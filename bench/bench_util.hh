@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the benchmark/table harnesses.
+ */
+
+#ifndef ACCDIS_BENCH_BENCH_UTIL_HH
+#define ACCDIS_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/baselines.hh"
+#include "core/engine.hh"
+#include "eval/metrics.hh"
+#include "synth/corpus.hh"
+
+namespace accdis::bench
+{
+
+/** Engine wrapped in the common Disassembler interface. */
+class EngineTool : public Disassembler
+{
+  public:
+    explicit EngineTool(EngineConfig config = {},
+                        std::string name = "accdis")
+        : engine_(std::move(config)), name_(std::move(name))
+    {}
+
+    std::string name() const override { return name_; }
+
+    Classification
+    analyzeSection(ByteSpan bytes, const std::vector<Offset> &entries,
+                   Addr base,
+                   const std::vector<AuxRegion> &aux = {}) const override
+    {
+        return engine_.analyzeSection(bytes, entries, base, aux);
+    }
+
+  private:
+    DisassemblyEngine engine_;
+    std::string name_;
+};
+
+/** The standard tool lineup for the comparison tables. */
+inline std::vector<std::unique_ptr<Disassembler>>
+standardTools()
+{
+    std::vector<std::unique_ptr<Disassembler>> tools;
+    tools.push_back(std::make_unique<LinearSweep>());
+    tools.push_back(std::make_unique<RecursiveTraversal>());
+    tools.push_back(std::make_unique<ProbDisasm>());
+    tools.push_back(std::make_unique<EngineTool>());
+    return tools;
+}
+
+/** The three corpus presets with their builder functions. */
+struct PresetEntry
+{
+    const char *name;
+    synth::CorpusConfig (*make)(u64 seed);
+};
+
+inline const std::vector<PresetEntry> &
+presets()
+{
+    static const std::vector<PresetEntry> list = {
+        {"gcc-like", &synth::gccLikePreset},
+        {"msvc-like", &synth::msvcLikePreset},
+        {"adversarial", &synth::adversarialPreset},
+    };
+    return list;
+}
+
+/** Geometric mean of a non-empty vector of positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace accdis::bench
+
+#endif // ACCDIS_BENCH_BENCH_UTIL_HH

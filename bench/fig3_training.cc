@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 3 — sensitivity to the probabilistic model's training-set
+ * size: engine errors with models trained on 4 KiB to 1 MiB of code.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace accdis;
+    using namespace accdis::bench;
+
+    std::printf("Figure 3: engine errors vs model training volume "
+                "(msvc-like & adversarial, 96 functions, seed 1)\n");
+    std::printf("%-12s %12s %12s\n", "train-bytes", "msvc-like",
+                "adversarial");
+
+    for (u64 trainBytes :
+         {u64{4} << 10, u64{16} << 10, u64{64} << 10, u64{256} << 10,
+          u64{1} << 20}) {
+        ProbModel model = trainProbModel(777, trainBytes);
+        EngineConfig config;
+        config.model = &model;
+        EngineTool tool(config);
+
+        std::printf("%-12llu",
+                    static_cast<unsigned long long>(trainBytes));
+        for (const char *presetName : {"msvc-like", "adversarial"}) {
+            for (const auto &preset : presets()) {
+                if (std::string(preset.name) != presetName)
+                    continue;
+                synth::CorpusConfig corpus = preset.make(1);
+                corpus.numFunctions = 96;
+                synth::SynthBinary bin =
+                    synth::buildSynthBinary(corpus);
+                u64 errors = compareToTruth(tool.analyze(bin.image),
+                                            bin.truth)
+                                 .errors();
+                std::printf(" %12llu",
+                            static_cast<unsigned long long>(errors));
+            }
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Figure 6 — component throughput: where the engine's time goes.
+ * Superset decoding, flow fixpoint, pattern scans, jump-table
+ * discovery and scoring, measured in isolation (google-benchmark).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/defuse.hh"
+#include "bench_util.hh"
+#include "prob/scorer.hh"
+#include "superset/superset.hh"
+
+namespace
+{
+
+using namespace accdis;
+
+const synth::SynthBinary &
+bigBinary()
+{
+    static const synth::SynthBinary bin = [] {
+        synth::CorpusConfig config = synth::msvcLikePreset(6);
+        config.numFunctions = 512;
+        return synth::buildSynthBinary(config);
+    }();
+    return bin;
+}
+
+const Superset &
+bigSuperset()
+{
+    static const Superset superset(bigBinary().image.section(0).bytes());
+    return superset;
+}
+
+void
+BM_SupersetDecode(benchmark::State &state)
+{
+    ByteSpan bytes = bigBinary().image.section(0).bytes();
+    for (auto _ : state) {
+        Superset superset(bytes);
+        benchmark::DoNotOptimize(superset.validCount());
+    }
+    state.SetBytesProcessed(
+        static_cast<s64>(state.iterations() * bytes.size()));
+}
+
+void
+BM_FlowAnalysis(benchmark::State &state)
+{
+    const Superset &superset = bigSuperset();
+    for (auto _ : state) {
+        FlowAnalysis flow(superset);
+        benchmark::DoNotOptimize(flow.mustFaultCount());
+    }
+    state.SetBytesProcessed(
+        static_cast<s64>(state.iterations() * superset.size()));
+}
+
+void
+BM_PatternScan(benchmark::State &state)
+{
+    ByteSpan bytes = bigBinary().image.section(0).bytes();
+    PatternConfig config;
+    config.sectionBase = synth::kSynthTextBase;
+    for (auto _ : state) {
+        auto strings = findStringRegions(bytes, config);
+        auto zeros = findZeroRuns(bytes, config);
+        benchmark::DoNotOptimize(strings.size() + zeros.size());
+    }
+    state.SetBytesProcessed(
+        static_cast<s64>(state.iterations() * bytes.size()));
+}
+
+void
+BM_JumpTableScan(benchmark::State &state)
+{
+    const Superset &superset = bigSuperset();
+    JumpTableConfig config;
+    config.sectionBase = synth::kSynthTextBase;
+    for (auto _ : state) {
+        auto tables = findJumpTables(superset, config);
+        benchmark::DoNotOptimize(tables.size());
+    }
+    state.SetBytesProcessed(
+        static_cast<s64>(state.iterations() * superset.size()));
+}
+
+void
+BM_LikelihoodScoring(benchmark::State &state)
+{
+    const Superset &superset = bigSuperset();
+    LikelihoodScorer scorer(defaultProbModel(), superset);
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (Offset off = 0; off < superset.size(); off += 7)
+            sum += scorer.scoreAt(off);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetBytesProcessed(
+        static_cast<s64>(state.iterations() * superset.size() / 7));
+}
+
+void
+BM_DefUseScoring(benchmark::State &state)
+{
+    const Superset &superset = bigSuperset();
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (Offset off = 0; off < superset.size(); off += 7)
+            sum += defUseScore(analyzeDefUse(superset, off));
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetBytesProcessed(
+        static_cast<s64>(state.iterations() * superset.size() / 7));
+}
+
+} // namespace
+
+BENCHMARK(BM_SupersetDecode);
+BENCHMARK(BM_FlowAnalysis);
+BENCHMARK(BM_PatternScan);
+BENCHMARK(BM_JumpTableScan);
+BENCHMARK(BM_LikelihoodScoring);
+BENCHMARK(BM_DefUseScoring);
+
+BENCHMARK_MAIN();

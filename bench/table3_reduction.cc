@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table 3 — error-reduction factors: accdis errors vs each baseline
+ * and vs the best baseline per preset (the paper's 3x-4x headline).
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace accdis;
+    using namespace accdis::bench;
+
+    std::printf("Table 3: error-reduction factor of accdis vs "
+                "baselines (seeds 1-3, 96 functions)\n");
+    std::printf("%-12s %10s %10s %10s %12s\n", "preset", "vs-sweep",
+                "vs-recur", "vs-prob", "vs-best");
+
+    LinearSweep sweep;
+    RecursiveTraversal rec;
+    ProbDisasm prob;
+    EngineTool engine;
+
+    std::vector<double> bestFactors;
+    for (const auto &preset : presets()) {
+        u64 sweepErr = 0, recErr = 0, probErr = 0, ourErr = 0;
+        for (u64 seed = 1; seed <= 3; ++seed) {
+            synth::CorpusConfig config = preset.make(seed);
+            config.numFunctions = 96;
+            synth::SynthBinary bin = synth::buildSynthBinary(config);
+            sweepErr += compareToTruth(sweep.analyze(bin.image),
+                                       bin.truth)
+                            .errors();
+            recErr += compareToTruth(rec.analyze(bin.image), bin.truth)
+                          .errors();
+            probErr +=
+                compareToTruth(prob.analyze(bin.image), bin.truth)
+                    .errors();
+            ourErr +=
+                compareToTruth(engine.analyze(bin.image), bin.truth)
+                    .errors();
+        }
+        double ours = static_cast<double>(ourErr ? ourErr : 1);
+        double best = static_cast<double>(
+            std::min({sweepErr, recErr, probErr}));
+        bestFactors.push_back(best / ours);
+        std::printf("%-12s %9.1fx %9.1fx %9.1fx %11.1fx\n", preset.name,
+                    static_cast<double>(sweepErr) / ours,
+                    static_cast<double>(recErr) / ours,
+                    static_cast<double>(probErr) / ours, best / ours);
+    }
+    std::printf("\ngeomean reduction vs best baseline: %.1fx "
+                "(paper reports 3x-4x)\n",
+                geomean(bestFactors));
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table 6 — runtime and throughput (google-benchmark): wall time and
+ * MB/s of every tool across section sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace accdis;
+using namespace accdis::bench;
+
+/** Cache synthesized binaries per function count. */
+const synth::SynthBinary &
+binaryFor(int functions)
+{
+    static std::map<int, synth::SynthBinary> cache;
+    auto it = cache.find(functions);
+    if (it == cache.end()) {
+        synth::CorpusConfig config = synth::msvcLikePreset(5);
+        config.numFunctions = functions;
+        it = cache.emplace(functions,
+                           synth::buildSynthBinary(config)).first;
+    }
+    return it->second;
+}
+
+template <typename Tool>
+void
+runTool(benchmark::State &state)
+{
+    // Force one-time model training outside the timed region.
+    defaultProbModel();
+    const synth::SynthBinary &bin =
+        binaryFor(static_cast<int>(state.range(0)));
+    Tool tool;
+    for (auto _ : state) {
+        Classification result = tool.analyze(bin.image);
+        benchmark::DoNotOptimize(result.insnStarts.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<s64>(state.iterations()) *
+        static_cast<s64>(bin.stats.totalBytes));
+    state.counters["section_bytes"] =
+        static_cast<double>(bin.stats.totalBytes);
+}
+
+void BM_LinearSweep(benchmark::State &state)
+{
+    runTool<LinearSweep>(state);
+}
+void BM_Recursive(benchmark::State &state)
+{
+    runTool<RecursiveTraversal>(state);
+}
+void BM_ProbDisasm(benchmark::State &state)
+{
+    runTool<ProbDisasm>(state);
+}
+void BM_Accdis(benchmark::State &state)
+{
+    runTool<EngineTool>(state);
+}
+
+} // namespace
+
+BENCHMARK(BM_LinearSweep)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Recursive)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ProbDisasm)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_Accdis)->Arg(64)->Arg(256)->Arg(1024);
+
+BENCHMARK_MAIN();

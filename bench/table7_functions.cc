@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Table 7 — function-boundary recovery: entry precision/recall of the
+ * full recovery pipeline vs a region-heads-only strawman, per preset.
+ */
+
+#include <set>
+
+#include "bench_util.hh"
+#include "core/functions.hh"
+#include "superset/superset.hh"
+
+namespace
+{
+
+using namespace accdis;
+
+struct FnMetrics
+{
+    u64 tp = 0, fp = 0, fn = 0;
+    double precision() const
+    {
+        return tp + fp ? static_cast<double>(tp) /
+                             static_cast<double>(tp + fp)
+                       : 1.0;
+    }
+    double recall() const
+    {
+        return tp + fn ? static_cast<double>(tp) /
+                             static_cast<double>(tp + fn)
+                       : 1.0;
+    }
+};
+
+FnMetrics
+score(const std::vector<FunctionInfo> &functions,
+      const synth::GroundTruth &truth)
+{
+    FnMetrics m;
+    std::set<Offset> recovered;
+    for (const auto &fn : functions)
+        recovered.insert(fn.entry);
+    std::set<Offset> real(truth.functionStarts().begin(),
+                          truth.functionStarts().end());
+    for (Offset entry : recovered) {
+        if (real.count(entry))
+            ++m.tp;
+        else
+            ++m.fp;
+    }
+    for (Offset entry : real) {
+        if (!recovered.count(entry))
+            ++m.fn;
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace accdis;
+    using namespace accdis::bench;
+
+    std::printf("Table 7: function-entry recovery "
+                "(seeds 1-3, 96 functions)\n");
+    std::printf("%-12s %14s %14s %16s %16s\n", "preset", "full-prec",
+                "full-recall", "regions-prec", "regions-recall");
+
+    DisassemblyEngine engine;
+    for (const auto &preset : presets()) {
+        FnMetrics full, heads;
+        for (u64 seed = 1; seed <= 3; ++seed) {
+            synth::CorpusConfig config = preset.make(seed);
+            config.numFunctions = 96;
+            synth::SynthBinary bin = synth::buildSynthBinary(config);
+            Classification result = engine.analyze(bin.image);
+            Superset superset(bin.image.section(0).bytes());
+
+            auto fnsFull = recoverFunctions(superset, result,
+                                            synth::kSynthTextBase);
+            FnMetrics a = score(fnsFull, bin.truth);
+            full.tp += a.tp;
+            full.fp += a.fp;
+            full.fn += a.fn;
+
+            // Strawman: keep only region-head entries (the partition
+            // one gets without call/pointer/prologue evidence).
+            std::vector<FunctionInfo> fnsHeads;
+            for (const auto &fn : fnsFull) {
+                if (fn.source == FunctionInfo::Source::RegionHead)
+                    fnsHeads.push_back(fn);
+            }
+            FnMetrics b = score(fnsHeads, bin.truth);
+            heads.tp += b.tp;
+            heads.fp += b.fp;
+            heads.fn += b.fn;
+        }
+        std::printf("%-12s %14.4f %14.4f %16.4f %16.4f\n", preset.name,
+                    full.precision(), full.recall(), heads.precision(),
+                    heads.recall());
+    }
+    return 0;
+}

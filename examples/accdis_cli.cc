@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Command-line front end: classify a real ELF or PE binary and emit a
+ * text or JSON report of code/data intervals, instruction starts and
+ * recovered functions.
+ *
+ * Usage:
+ *   accdis_cli <binary> [--json] [--functions] [--max-insns N]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/engine.hh"
+#include "core/functions.hh"
+#include "image/elf_reader.hh"
+#include "image/pe_reader.hh"
+#include "support/error.hh"
+#include "x86/decoder.hh"
+#include "x86/formatter.hh"
+
+namespace
+{
+
+using namespace accdis;
+
+BinaryImage
+loadAny(const std::string &path)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)>
+        file(std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!file)
+        throw Error("cannot open " + path);
+    std::fseek(file.get(), 0, SEEK_END);
+    long size = std::ftell(file.get());
+    std::fseek(file.get(), 0, SEEK_SET);
+    ByteVec bytes(static_cast<std::size_t>(std::max(0L, size)));
+    if (!bytes.empty() &&
+        std::fread(bytes.data(), 1, bytes.size(), file.get()) !=
+            bytes.size())
+        throw Error("short read on " + path);
+    if (isElf(bytes))
+        return readElf(bytes, path);
+    if (isPe(bytes))
+        return readPe(bytes, path);
+    throw Error(path + ": neither ELF nor PE");
+}
+
+void
+reportJson(const Section &section, const Classification &result,
+           const std::vector<FunctionInfo> &functions)
+{
+    std::printf("  {\n    \"section\": \"%s\",\n",
+                section.name().c_str());
+    std::printf("    \"base\": %llu,\n",
+                static_cast<unsigned long long>(section.base()));
+    std::printf("    \"code_bytes\": %llu,\n",
+                static_cast<unsigned long long>(
+                    result.bytesOf(ResultClass::Code)));
+    std::printf("    \"data_bytes\": %llu,\n",
+                static_cast<unsigned long long>(
+                    result.bytesOf(ResultClass::Data)));
+    std::printf("    \"instructions\": %zu,\n",
+                result.insnStarts.size());
+    std::printf("    \"functions\": %zu,\n", functions.size());
+    std::printf("    \"intervals\": [\n");
+    auto entries = result.map.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::printf("      {\"begin\": %llu, \"end\": %llu, "
+                    "\"class\": \"%s\"}%s\n",
+                    static_cast<unsigned long long>(entries[i].begin),
+                    static_cast<unsigned long long>(entries[i].end),
+                    entries[i].label == ResultClass::Code ? "code"
+                                                          : "data",
+                    i + 1 < entries.size() ? "," : "");
+    }
+    std::printf("    ]\n  }");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <binary> [--json] [--functions] "
+                     "[--max-insns N]\n",
+                     argv[0]);
+        return 2;
+    }
+    std::string path = argv[1];
+    bool json = false, listFunctions = false;
+    int maxInsns = 8;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else if (!std::strcmp(argv[i], "--functions"))
+            listFunctions = true;
+        else if (!std::strcmp(argv[i], "--max-insns") && i + 1 < argc)
+            maxInsns = std::atoi(argv[++i]);
+    }
+
+    try {
+        BinaryImage image = loadAny(path);
+        EngineConfig config;
+        config.flow.escapingBranchIsFatal = false;
+        DisassemblyEngine engine(config);
+
+        if (json)
+            std::printf("[\n");
+        bool first = true;
+        auto sectionResults = engine.analyzeAll(image);
+        for (auto &sr : sectionResults) {
+            const Section *sectionPtr =
+                image.sectionNamed(sr.name);
+            if (!sectionPtr)
+                continue;
+            const Section &section = *sectionPtr;
+            Classification &result = sr.result;
+            Superset superset(section.bytes());
+            auto functions = recoverFunctions(superset, result,
+                                              section.base());
+
+            if (json) {
+                if (!first)
+                    std::printf(",\n");
+                reportJson(section, result, functions);
+                first = false;
+                continue;
+            }
+
+            std::printf("%s %s: %llu bytes -> %llu code / %llu data, "
+                        "%zu instructions, %zu functions\n",
+                        path.c_str(), section.name().c_str(),
+                        static_cast<unsigned long long>(section.size()),
+                        static_cast<unsigned long long>(
+                            result.bytesOf(ResultClass::Code)),
+                        static_cast<unsigned long long>(
+                            result.bytesOf(ResultClass::Data)),
+                        result.insnStarts.size(), functions.size());
+            if (listFunctions) {
+                for (const auto &fn : functions) {
+                    std::printf("  func %llx (%u insns)\n",
+                                static_cast<unsigned long long>(
+                                    section.vaddr(fn.entry)),
+                                fn.instructions);
+                }
+            }
+            int shown = 0;
+            for (Offset off : result.insnStarts) {
+                if (shown++ >= maxInsns)
+                    break;
+                x86::Instruction insn =
+                    x86::decode(section.bytes(), off);
+                std::printf("  %8llx: %s\n",
+                            static_cast<unsigned long long>(
+                                section.vaddr(off)),
+                            x86::format(insn).c_str());
+            }
+        }
+        if (json)
+            std::printf("\n]\n");
+    } catch (const Error &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Train a probabilistic model pair on synthesized corpora, persist it
+ * to disk, reload it, and use it for classification — the workflow a
+ * downstream user follows to retarget the statistical models at their
+ * own code distribution.
+ *
+ * Usage: ./build/examples/train_model [out-prefix]
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/engine.hh"
+#include "eval/metrics.hh"
+#include "prob/ngram.hh"
+#include "support/error.hh"
+#include "synth/corpus.hh"
+
+namespace
+{
+
+void
+writeFile(const std::string &path, const accdis::ByteVec &bytes)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)>
+        file(std::fopen(path.c_str(), "wb"), &std::fclose);
+    if (!file)
+        throw accdis::Error("cannot open " + path);
+    std::fwrite(bytes.data(), 1, bytes.size(), file.get());
+}
+
+accdis::ByteVec
+readFile(const std::string &path)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)>
+        file(std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!file)
+        throw accdis::Error("cannot open " + path);
+    std::fseek(file.get(), 0, SEEK_END);
+    long size = std::ftell(file.get());
+    std::fseek(file.get(), 0, SEEK_SET);
+    accdis::ByteVec bytes(static_cast<std::size_t>(size));
+    if (std::fread(bytes.data(), 1, bytes.size(), file.get()) !=
+        bytes.size())
+        throw accdis::Error("short read on " + path);
+    return bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace accdis;
+    std::string prefix = argc > 1 ? argv[1] : "/tmp/accdis-model";
+
+    // 1. Train from scratch (deterministic in the seed).
+    std::printf("training model pair (seed 1234, 256 KiB of code)...\n");
+    ProbModel model = trainProbModel(1234, 256 * 1024);
+    std::printf("  code model: %llu tokens; data model: %llu bytes\n",
+                static_cast<unsigned long long>(
+                    model.code.trainedTokens()),
+                static_cast<unsigned long long>(
+                    model.data.trainedBytes()));
+
+    // 2. Persist and reload.
+    writeFile(prefix + ".code", model.code.serialize());
+    writeFile(prefix + ".data", model.data.serialize());
+    ProbModel reloaded;
+    reloaded.code =
+        CodeNgramModel::deserialize(readFile(prefix + ".code"));
+    reloaded.data =
+        DataByteModel::deserialize(readFile(prefix + ".data"));
+    std::printf("serialized to %s.{code,data} and reloaded\n",
+                prefix.c_str());
+
+    // 3. Classify with the reloaded model.
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::msvcLikePreset(99));
+    EngineConfig config;
+    config.model = &reloaded;
+    DisassemblyEngine engine(config);
+    AccuracyMetrics metrics =
+        compareToTruth(engine.analyze(bin.image), bin.truth);
+    std::printf("classification with reloaded model: precision %.4f, "
+                "recall %.4f\n",
+                metrics.precision(), metrics.recall());
+    return 0;
+}

@@ -1,0 +1,79 @@
+#include "analysis/defuse.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace accdis
+{
+
+DefUseResult
+analyzeDefUse(const Superset &superset, Offset off, DefUseConfig config)
+{
+    using x86::kAllGprs;
+    using x86::RegFlags;
+    using x86::regBit;
+
+    DefUseResult result;
+    x86::RegMask defined = 0;
+    x86::RegMask unreadDefs = 0;
+    int pairs = 0;
+
+    Offset cursor = off;
+    for (int i = 0; i < config.window; ++i) {
+        if (cursor >= superset.size() || !superset.validAt(cursor)) {
+            result.endedAtInvalid = true;
+            break;
+        }
+        const SupersetNode &node = superset.node(cursor);
+        ++result.chainLength;
+
+        x86::RegMask reads = node.regsRead;
+        x86::RegMask writes = node.regsWritten;
+
+        // Def→use pairs over GPRs.
+        pairs += std::popcount(reads & defined & kAllGprs);
+        // Flags consumption.
+        if (reads & regBit(RegFlags)) {
+            if (defined & regBit(RegFlags))
+                ++result.flagUseSatisfied;
+            else
+                ++result.flagUseUnsatisfied;
+        }
+        // Dead stores: a GPR defined, never read, then redefined.
+        result.deadStores +=
+            std::popcount(writes & unreadDefs & kAllGprs);
+
+        unreadDefs &= ~reads;
+        unreadDefs |= writes & kAllGprs;
+        defined |= writes;
+
+        if (!node.fallsThrough())
+            break;
+        cursor += node.length;
+    }
+
+    if (result.chainLength > 0)
+        result.pairDensity =
+            static_cast<double>(pairs) /
+            static_cast<double>(result.chainLength);
+    return result;
+}
+
+double
+defUseScore(const DefUseResult &result)
+{
+    if (result.chainLength == 0)
+        return -1.0;
+    // Dense chains with satisfied flag uses look like code; dead
+    // stores and orphan flag consumers look like decoded garbage.
+    double score = std::min(1.0, result.pairDensity);
+    score += 0.25 * result.flagUseSatisfied;
+    score -= 0.30 * result.flagUseUnsatisfied;
+    score -= 0.20 * result.deadStores /
+             std::max(1, result.chainLength);
+    if (result.endedAtInvalid)
+        score -= 0.5;
+    return std::clamp(score, -1.0, 1.0);
+}
+
+} // namespace accdis

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Register def-use analysis along superset fallthrough chains.
+ *
+ * Real code exhibits dense producer/consumer register chains; byte
+ * soup that happens to decode does not. Conversely, consuming the
+ * flags register with no producer in sight, or dead stores, are
+ * behavioral oddities that penalize a candidate.
+ */
+
+#ifndef ACCDIS_ANALYSIS_DEFUSE_HH
+#define ACCDIS_ANALYSIS_DEFUSE_HH
+
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+/** Tunables for the def-use analysis. */
+struct DefUseConfig
+{
+    /** Instructions examined along the fallthrough chain. */
+    int window = 8;
+};
+
+/** Per-offset def-use summary. */
+struct DefUseResult
+{
+    /** Def→use register pairs per instruction in window; in [0, ~2]. */
+    double pairDensity = 0.0;
+    /** Conditional branches whose flags had a producer in-window. */
+    int flagUseSatisfied = 0;
+    /** Conditional branches consuming flags with no producer seen. */
+    int flagUseUnsatisfied = 0;
+    /** Registers overwritten twice with no intervening read. */
+    int deadStores = 0;
+    /** Chain length actually examined. */
+    int chainLength = 0;
+    /** Chain stopped by running into an invalid decode (or off the
+     *  section) rather than a control-flow terminator or the window
+     *  limit — the signature of decoded garbage. */
+    bool endedAtInvalid = false;
+};
+
+/** Compute the def-use summary for the chain starting at @p off. */
+DefUseResult analyzeDefUse(const Superset &superset, Offset off,
+                           DefUseConfig config = {});
+
+/**
+ * Scalar code-likeness score in [-1, 1] derived from a summary:
+ * positive for dense, satisfied chains; negative for violation-heavy
+ * ones.
+ */
+double defUseScore(const DefUseResult &result);
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_DEFUSE_HH

@@ -1,0 +1,128 @@
+#include "analysis/flow.hh"
+
+#include <algorithm>
+
+namespace accdis
+{
+
+FlowAnalysis::FlowAnalysis(const Superset &superset, FlowConfig config)
+    : config_(config)
+{
+    bad_.assign(superset.size(), false);
+    poison_.assign(superset.size(), 0.0);
+    computeBad(superset);
+    computePoison(superset);
+}
+
+void
+FlowAnalysis::computeBad(const Superset &superset)
+{
+    const std::size_t n = superset.size();
+    // Seed: invalid decodes are bad by definition.
+    for (Offset off = 0; off < n; ++off)
+        bad_[off] = !superset.validAt(off);
+
+    // Fixpoint: a node is bad when a successor that execution *must*
+    // be able to continue through is bad. Both successors of a
+    // conditional are required: real code does not conditionally
+    // branch into garbage.
+    auto refresh = [&](Offset off) -> bool {
+        if (bad_[off])
+            return false;
+        const SupersetNode &node = superset.node(off);
+        using x86::CtrlFlow;
+
+        if (node.fallsThrough()) {
+            Offset ft = off + node.length;
+            if (ft >= n || bad_[ft]) {
+                bad_[off] = true;
+                return true;
+            }
+        }
+        if (node.hasDirectTarget()) {
+            if (superset.targetEscapes(off)) {
+                // Escaping *calls* are never fatal (cross-section
+                // calls are routine); escaping jumps are, when the
+                // image is self-contained.
+                bool fatal = node.flow != CtrlFlow::Call &&
+                             config_.escapingBranchIsFatal;
+                if (fatal) {
+                    bad_[off] = true;
+                    return true;
+                }
+            } else {
+                Offset t = superset.target(off);
+                if (bad_[t]) {
+                    bad_[off] = true;
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+
+    bool changed = true;
+    passes_ = 0;
+    while (changed && passes_ < config_.maxPasses) {
+        changed = false;
+        ++passes_;
+        // Alternate sweep direction: descending resolves fallthrough
+        // chains in one pass, ascending resolves backward branches.
+        if (passes_ % 2 == 1) {
+            for (Offset off = n; off-- > 0;)
+                changed |= refresh(off);
+        } else {
+            for (Offset off = 0; off < n; ++off)
+                changed |= refresh(off);
+        }
+    }
+
+    badCount_ = 0;
+    for (Offset off = 0; off < n; ++off)
+        badCount_ += bad_[off];
+}
+
+void
+FlowAnalysis::computePoison(const Superset &superset)
+{
+    using x86::kFlagLock;
+    using x86::kFlagPrivileged;
+    using x86::kFlagRare;
+    using x86::kFlagRedundantPrefix;
+    using x86::kFlagSegment;
+
+    const std::size_t n = superset.size();
+    // Single descending sweep: poison flows backward along the
+    // fallthrough chain with decay, so a candidate a few instructions
+    // before a `hlt` or an `in` is still suspicious.
+    for (Offset off = n; off-- > 0;) {
+        if (bad_[off]) {
+            poison_[off] = 1.0;
+            continue;
+        }
+        const SupersetNode &node = superset.node(off);
+        double base = 0.0;
+        if (node.flags & kFlagPrivileged)
+            base = std::max(base, 0.7);
+        if (node.flags & kFlagRare)
+            base = std::max(base, 0.35);
+        if (node.flags & kFlagRedundantPrefix)
+            base = std::max(base, 0.25);
+        if (node.flags & kFlagSegment)
+            base = std::max(base, 0.10);
+        if (superset.targetEscapes(off))
+            base = std::max(base,
+                            node.flow == x86::CtrlFlow::Call ? 0.20
+                                                             : 0.50);
+
+        double inherited = 0.0;
+        if (node.fallsThrough()) {
+            Offset ft = off + node.length;
+            if (ft < n)
+                inherited = config_.poisonDecay * poison_[ft];
+        }
+        poison_[off] = std::min(1.0, std::max(base, inherited));
+    }
+}
+
+} // namespace accdis

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Control-flow consistency analysis over the superset graph: which
+ * candidate instructions *cannot* be real code because every execution
+ * from them reaches an invalid decode, and a soft "poison" score for
+ * candidates that reach rare/privileged instructions.
+ */
+
+#ifndef ACCDIS_ANALYSIS_FLOW_HH
+#define ACCDIS_ANALYSIS_FLOW_HH
+
+#include <vector>
+
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+/** Tunables for the flow-consistency analysis. */
+struct FlowConfig
+{
+    /**
+     * Treat direct jumps/branches whose target leaves the section as
+     * proof of non-code. True for self-contained images (synthetic
+     * corpora); set false for real binaries with cross-section tail
+     * calls.
+     */
+    bool escapingBranchIsFatal = true;
+    /** Decay applied per instruction when propagating soft poison. */
+    double poisonDecay = 0.80;
+    /** Maximum fixpoint passes (each pass is O(section size)). */
+    int maxPasses = 64;
+};
+
+/**
+ * Behavioral "flag data" analysis (abstract: *behavioral properties of
+ * code to flag data*). mustFault() is sound for self-contained
+ * sections: a true instruction never must-reach an invalid decode.
+ */
+class FlowAnalysis
+{
+  public:
+    FlowAnalysis(const Superset &superset, FlowConfig config = {});
+
+    /**
+     * True when every execution path from @p off reaches an invalid
+     * decode (or falls off the section): @p off cannot be code.
+     */
+    bool mustFault(Offset off) const { return bad_[off]; }
+
+    /**
+     * Soft evidence in [0,1] that @p off is data: decayed proximity to
+     * rare/privileged instructions and escaping flow along the
+     * fallthrough chain. 1.0 for mustFault offsets.
+     */
+    double poison(Offset off) const { return poison_[off]; }
+
+    /** Number of offsets proven non-code. */
+    u64 mustFaultCount() const { return badCount_; }
+
+    /** Number of passes the fixpoint needed. */
+    int passes() const { return passes_; }
+
+  private:
+    void computeBad(const Superset &superset);
+    void computePoison(const Superset &superset);
+
+    FlowConfig config_;
+    std::vector<bool> bad_;
+    std::vector<double> poison_;
+    u64 badCount_ = 0;
+    int passes_ = 0;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_FLOW_HH

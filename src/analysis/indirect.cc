@@ -1,0 +1,100 @@
+#include "analysis/indirect.hh"
+
+#include "support/bytes.hh"
+
+namespace accdis
+{
+
+std::vector<IndirectTarget>
+resolveIndirectFlow(const Superset &superset, IndirectConfig config)
+{
+    std::vector<IndirectTarget> resolved;
+    ByteSpan bytes = superset.bytes();
+    const std::size_t n = superset.size();
+
+    for (Offset off = 0; off < n; ++off) {
+        if (!superset.validAt(off))
+            continue;
+        const SupersetNode &node = superset.node(off);
+
+        // Case 1: call/jmp [rip+disp] with a constant in-section slot.
+        if ((node.flow == x86::CtrlFlow::IndirectCall ||
+             node.flow == x86::CtrlFlow::IndirectJump)) {
+            x86::Instruction insn = superset.decodeFull(off);
+            if (insn.ripRelative) {
+                s64 slot = static_cast<s64>(insn.end()) + insn.disp;
+                if (slot >= 0 && static_cast<u64>(slot) + 8 <= n) {
+                    u64 value =
+                        readLe64(bytes, static_cast<Offset>(slot));
+                    if (value >= config.sectionBase) {
+                        u64 rel = value - config.sectionBase;
+                        if (rel < n && superset.validAt(rel)) {
+                            resolved.push_back(
+                                {off, static_cast<Offset>(rel),
+                                 node.flow ==
+                                     x86::CtrlFlow::IndirectCall,
+                                 IndirectTarget::Via::RipSlot});
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        // Case 2: mov reg, imm64 materializing an in-section address.
+        if (node.op != x86::Op::Mov || node.length < 10)
+            continue;
+        x86::Instruction mov = superset.decodeFull(off);
+        if (mov.hasModRm || !mov.hasImm || mov.opSize != 8)
+            continue;
+        u64 value = static_cast<u64>(mov.imm);
+        if (value < config.sectionBase)
+            continue;
+        u64 rel = value - config.sectionBase;
+        if (rel >= n || !superset.validAt(rel))
+            continue;
+        // Which register was loaded? (B8+r with REX.B.)
+        if ((mov.opcodeByte & 0xf8) != 0xb8)
+            continue;
+        u8 reg = static_cast<u8>(mov.opcodeByte & 7);
+        // Recover REX.B from the encoded bytes.
+        for (Offset b = off; b < off + mov.length; ++b) {
+            u8 raw = bytes[b];
+            if (raw >= 0x40 && raw <= 0x4f) {
+                reg |= static_cast<u8>((raw & 1) << 3);
+                break;
+            }
+            if ((raw & 0xf8) == 0xb8)
+                break;
+        }
+
+        // Follow the chain until the register is used as a call/jmp
+        // operand or redefined.
+        Offset cursor = off + node.length;
+        for (int i = 0; i < config.window && cursor < n; ++i) {
+            if (!superset.validAt(cursor))
+                break;
+            const SupersetNode &next = superset.node(cursor);
+            x86::Instruction use = superset.decodeFull(cursor);
+            bool isIndirect =
+                next.flow == x86::CtrlFlow::IndirectCall ||
+                next.flow == x86::CtrlFlow::IndirectJump;
+            if (isIndirect && use.hasModRm && use.modrmMod == 3 &&
+                use.modrmRm == reg) {
+                resolved.push_back(
+                    {cursor, static_cast<Offset>(rel),
+                     next.flow == x86::CtrlFlow::IndirectCall,
+                     IndirectTarget::Via::RegisterConstant});
+                break;
+            }
+            if (next.regsWritten & x86::regBit(reg))
+                break;
+            if (!next.fallsThrough())
+                break;
+            cursor += next.length;
+        }
+    }
+    return resolved;
+}
+
+} // namespace accdis

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Indirect control-flow resolution by local constant tracking:
+ * `mov reg, imm64; ...; call/jmp reg` and `call [rip+slot]` where the
+ * slot holds an in-section code pointer. Resolved targets are hard
+ * code evidence for functions that direct traversal can never reach.
+ */
+
+#ifndef ACCDIS_ANALYSIS_INDIRECT_HH
+#define ACCDIS_ANALYSIS_INDIRECT_HH
+
+#include <vector>
+
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+/** One resolved indirect transfer. */
+struct IndirectTarget
+{
+    Offset site = 0;    ///< Offset of the indirect call/jump.
+    Offset target = 0;  ///< Resolved section-relative target.
+    bool isCall = true;
+    enum class Via : u8
+    {
+        RegisterConstant, ///< mov reg, imm; call/jmp reg.
+        RipSlot,          ///< call/jmp [rip+disp] with const slot.
+    } via = Via::RegisterConstant;
+};
+
+/** Tunables for indirect resolution. */
+struct IndirectConfig
+{
+    /** Instructions tracked between the constant load and its use. */
+    int window = 12;
+    Addr sectionBase = 0;
+};
+
+/**
+ * Resolve statically-constant indirect transfers in a section.
+ * Conservative: a register constant survives only while no
+ * instruction redefines that register along the fallthrough chain.
+ */
+std::vector<IndirectTarget> resolveIndirectFlow(
+    const Superset &superset, IndirectConfig config = {});
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_INDIRECT_HH

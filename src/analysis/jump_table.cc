@@ -1,0 +1,168 @@
+#include "analysis/jump_table.hh"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "support/bytes.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+/**
+ * Check whether the fallthrough chain after @p leaOff contains the
+ * dispatch tail: an indexed 4-byte load and an indirect jump.
+ */
+bool
+matchDispatchIdiom(const Superset &superset, Offset leaOff, int window)
+{
+    bool sawIndexedLoad = false;
+    Offset cursor = leaOff;
+    for (int i = 0; i < window; ++i) {
+        if (!superset.validAt(cursor))
+            return false;
+        const SupersetNode &node = superset.node(cursor);
+        if (i > 0) {
+            if (node.op == x86::Op::Movsxd ||
+                (node.op == x86::Op::Mov &&
+                 (node.flags & x86::kFlagReadsMem)))
+                sawIndexedLoad = true;
+            if (node.flow == x86::CtrlFlow::IndirectJump)
+                return sawIndexedLoad;
+        }
+        if (!node.fallsThrough())
+            return false;
+        cursor += node.length;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<JumpTable>
+findJumpTables(const Superset &superset, JumpTableConfig config)
+{
+    std::vector<JumpTable> tables;
+    ByteSpan bytes = superset.bytes();
+    const std::size_t n = superset.size();
+
+    // First pass: collect every RIP-relative lea and the base it
+    // materializes. The bases double as walk terminators: compilers
+    // pool switch tables back to back, so the entries of one table
+    // must not be parsed as a continuation of its neighbor.
+    std::vector<std::pair<Offset, Offset>> candidates; // (lea, base)
+    std::set<Offset> bases;
+    // Aux-region (.rodata) table candidates: (lea, vaddr, region).
+    std::vector<std::tuple<Offset, Addr, const AuxRegion *>> auxCands;
+    std::set<Addr> auxBases;
+    for (Offset off = 0; off < n; ++off) {
+        if (!superset.validAt(off))
+            continue;
+        const SupersetNode &node = superset.node(off);
+        if (node.op != x86::Op::Lea ||
+            !(node.flags & x86::kFlagRipRelative))
+            continue;
+        x86::Instruction lea = superset.decodeFull(off);
+        s64 base = static_cast<s64>(lea.end()) + lea.disp;
+        if (base >= 0 && static_cast<u64>(base) + 4 <= n) {
+            candidates.emplace_back(off, static_cast<Offset>(base));
+            bases.insert(static_cast<Offset>(base));
+            continue;
+        }
+        // Out of this section: maybe an aux-region (.rodata) table,
+        // the GCC layout.
+        s64 va = static_cast<s64>(config.sectionBase) + base;
+        for (const AuxRegion &region : config.auxRegions) {
+            if (va >= static_cast<s64>(region.base) &&
+                static_cast<u64>(va) + 4 <=
+                    region.base + region.bytes.size()) {
+                auxCands.emplace_back(off, static_cast<Addr>(va),
+                                      &region);
+                auxBases.insert(static_cast<Addr>(va));
+                break;
+            }
+        }
+    }
+
+    // Second pass: in-section tables.
+    for (const auto &[off, tableOff] : candidates) {
+        JumpTable table;
+        table.dispatchOff = off;
+        table.tableOff = tableOff;
+        table.tableVaddr = config.sectionBase + tableOff;
+        table.entrySize = 4;
+        std::vector<Offset> raw;
+        for (u32 i = 0; i < config.maxEntries; ++i) {
+            Offset entryOff = tableOff + static_cast<Offset>(i) * 4;
+            if (entryOff + 4 > n)
+                break;
+            // Stop at the next lea-anchored base: that is another
+            // table's first entry, not ours.
+            if (i > 0 && bases.count(entryOff))
+                break;
+            s32 delta = static_cast<s32>(readLe32(bytes, entryOff));
+            s64 target = static_cast<s64>(tableOff) + delta;
+            if (target < 0 || static_cast<u64>(target) >= n)
+                break;
+            if (config.requireBackwardTargets &&
+                target >= static_cast<s64>(tableOff))
+                break;
+            if (!superset.validAt(static_cast<Offset>(target)))
+                break;
+            raw.push_back(static_cast<Offset>(target));
+        }
+        if (raw.size() < config.minEntries)
+            continue;
+
+        table.entryCount = static_cast<u32>(raw.size());
+        table.fullIdiom =
+            matchDispatchIdiom(superset, off, config.idiomWindow);
+        std::sort(raw.begin(), raw.end());
+        raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+        table.targets = std::move(raw);
+        tables.push_back(std::move(table));
+    }
+
+    // Third pass: aux-region tables (entries are target minus table
+    // virtual address; targets land back in the code section).
+    for (const auto &[off, va, region] : auxCands) {
+        JumpTable table;
+        table.dispatchOff = off;
+        table.external = true;
+        table.tableVaddr = va;
+        table.entrySize = 4;
+        u64 auxOff = va - region->base;
+        std::vector<Offset> raw;
+        for (u32 i = 0; i < config.maxEntries; ++i) {
+            u64 entryOff = auxOff + static_cast<u64>(i) * 4;
+            if (entryOff + 4 > region->bytes.size())
+                break;
+            if (i > 0 && auxBases.count(va + i * 4))
+                break; // The neighboring table starts here.
+            s32 delta =
+                static_cast<s32>(readLe32(region->bytes, entryOff));
+            s64 targetVa = static_cast<s64>(va) + delta;
+            s64 rel = targetVa - static_cast<s64>(config.sectionBase);
+            if (rel < 0 || static_cast<u64>(rel) >= n)
+                break;
+            if (!superset.validAt(static_cast<Offset>(rel)))
+                break;
+            raw.push_back(static_cast<Offset>(rel));
+        }
+        if (raw.size() < config.minEntries)
+            continue;
+        table.entryCount = static_cast<u32>(raw.size());
+        table.fullIdiom =
+            matchDispatchIdiom(superset, off, config.idiomWindow);
+        std::sort(raw.begin(), raw.end());
+        raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+        table.targets = std::move(raw);
+        tables.push_back(std::move(table));
+    }
+    return tables;
+}
+
+} // namespace accdis

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Jump-table discovery: finds switch-dispatch tables embedded in
+ * executable sections and recovers their targets. Tables are hard
+ * *data* evidence for their own bytes and hard *code* evidence for
+ * the case targets they index.
+ */
+
+#ifndef ACCDIS_ANALYSIS_JUMP_TABLE_HH
+#define ACCDIS_ANALYSIS_JUMP_TABLE_HH
+
+#include <vector>
+
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+/** One recovered jump table. */
+struct JumpTable
+{
+    /** Offset of the lea that materializes the table base. */
+    Offset dispatchOff = 0;
+    /** First byte of the table (section-relative; meaningless when
+     *  external is true — see tableVaddr). */
+    Offset tableOff = 0;
+    /** Virtual address of the table (aux-region tables). */
+    Addr tableVaddr = 0;
+    /** True when the table lives in an auxiliary (.rodata) region
+     *  rather than the analyzed code section. */
+    bool external = false;
+    /** Entry width in bytes (4 = base-relative s32, 8 = absolute). */
+    int entrySize = 4;
+    /** Recovered case-target offsets (deduplicated, sorted). */
+    std::vector<Offset> targets;
+    /** Number of raw entries accepted. */
+    u32 entryCount = 0;
+    /** True when the full dispatch idiom (indexed load + indirect
+     *  jump) was matched, not just a plausible table shape. */
+    bool fullIdiom = false;
+
+    Offset tableEnd() const { return tableOff + entryCount * entrySize; }
+};
+
+/**
+ * A non-executable region (e.g. .rodata) consulted when a dispatch
+ * sequence materializes a table base outside the code section — the
+ * GCC layout, where switch tables live in read-only data.
+ */
+struct AuxRegion
+{
+    Addr base = 0;
+    ByteSpan bytes;
+};
+
+/** Tunables for jump-table discovery. */
+struct JumpTableConfig
+{
+    /** Read-only data regions searched for out-of-section tables. */
+    std::vector<AuxRegion> auxRegions;
+    u32 minEntries = 3;
+    u32 maxEntries = 1024;
+    /** Instructions scanned after the lea for the dispatch idiom. */
+    int idiomWindow = 8;
+    /**
+     * Accept only entries whose target precedes the table. Compilers
+     * place switch tables after the cases they index (inline after
+     * the function, or pooled at the end of the section), so this
+     * cheaply stops the entry walk from running past the true table
+     * end into unrelated bytes.
+     */
+    bool requireBackwardTargets = true;
+    /** Section base address (for absolute 8-byte tables). */
+    Addr sectionBase = 0;
+};
+
+/**
+ * Find base-relative jump tables anchored at RIP-relative lea
+ * instructions, validating entries against the superset (every entry
+ * must land on a valid decode).
+ */
+std::vector<JumpTable> findJumpTables(const Superset &superset,
+                                      JumpTableConfig config = {});
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_JUMP_TABLE_HH

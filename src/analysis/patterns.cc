@@ -1,0 +1,328 @@
+#include "analysis/patterns.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/bytes.hh"
+#include "support/stats.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+bool
+isTextByte(u8 b)
+{
+    return (b >= 0x20 && b < 0x7f) || b == 0 || b == '\t' || b == '\n' ||
+           b == '\r';
+}
+
+} // namespace
+
+std::vector<DataRegion>
+findStringRegions(ByteSpan bytes, const PatternConfig &config)
+{
+    std::vector<DataRegion> regions;
+    const std::size_t n = bytes.size();
+    Offset runStart = 0;
+    bool inRun = false;
+
+    auto flush = [&](Offset end) {
+        if (!inRun)
+            return;
+        inRun = false;
+        u64 len = end - runStart;
+        if (len < config.minStringRun)
+            return;
+        ByteSpan run = bytes.subspan(runStart, len);
+        bool hasNul = false;
+        u64 printable = 0;
+        for (u8 b : run) {
+            hasNul |= b == 0;
+            printable += b >= 0x20 && b < 0x7f;
+        }
+        double frac =
+            static_cast<double>(printable) / static_cast<double>(len);
+        if (hasNul && frac >= config.minPrintableFraction)
+            regions.push_back({runStart, end, DataRegion::Kind::String});
+    };
+
+    for (Offset off = 0; off < n; ++off) {
+        if (isTextByte(bytes[off])) {
+            if (!inRun) {
+                inRun = true;
+                runStart = off;
+            }
+        } else {
+            flush(off);
+        }
+    }
+    flush(n);
+    return regions;
+}
+
+std::vector<DataRegion>
+findWideStringRegions(ByteSpan bytes, const PatternConfig &config)
+{
+    std::vector<DataRegion> regions;
+    const std::size_t n = bytes.size();
+    // Try both alignments of the (ascii, 0x00) code-unit phase.
+    for (int phase = 0; phase < 2; ++phase) {
+        Offset off = static_cast<Offset>(phase);
+        while (off + 2 <= n) {
+            // Grow a run of printable-ASCII/terminator code units.
+            Offset runStart = off;
+            u32 printableUnits = 0;
+            while (off + 2 <= n && bytes[off + 1] == 0 &&
+                   ((bytes[off] >= 0x20 && bytes[off] < 0x7f) ||
+                    bytes[off] == 0)) {
+                printableUnits += bytes[off] != 0;
+                off += 2;
+            }
+            u64 len = off - runStart;
+            if (len >= config.minStringRun && printableUnits >= 5) {
+                // Avoid double-reporting across phases: the longer
+                // phase wins naturally since overlapping reports are
+                // merged by the engine's data commits.
+                regions.push_back(
+                    {runStart, off, DataRegion::Kind::WideString});
+            }
+            off += 2;
+        }
+    }
+    return regions;
+}
+
+std::vector<DataRegion>
+findZeroRuns(ByteSpan bytes, const PatternConfig &config)
+{
+    std::vector<DataRegion> regions;
+    const std::size_t n = bytes.size();
+    Offset runStart = 0;
+    bool inRun = false;
+    for (Offset off = 0; off < n; ++off) {
+        if (bytes[off] == 0) {
+            if (!inRun) {
+                inRun = true;
+                runStart = off;
+            }
+        } else if (inRun) {
+            inRun = false;
+            if (off - runStart >= config.minZeroRun)
+                regions.push_back(
+                    {runStart, off, DataRegion::Kind::ZeroRun});
+        }
+    }
+    if (inRun && n - runStart >= config.minZeroRun)
+        regions.push_back({runStart, n, DataRegion::Kind::ZeroRun});
+    return regions;
+}
+
+std::vector<DataRegion>
+findPointerArrays(const Superset &superset, const PatternConfig &config)
+{
+    std::vector<DataRegion> regions;
+    ByteSpan bytes = superset.bytes();
+    const std::size_t n = bytes.size();
+    if (n < 8)
+        return regions;
+
+    auto isCodePointer = [&](Offset off) -> bool {
+        u64 value = readLe64(bytes, off);
+        if (value < config.sectionBase)
+            return false;
+        u64 rel = value - config.sectionBase;
+        return rel < n && superset.validAt(rel);
+    };
+
+    Offset off = 0;
+    while (off + 8 <= n) {
+        if (!isCodePointer(off)) {
+            ++off;
+            continue;
+        }
+        Offset runStart = off;
+        u32 count = 0;
+        while (off + 8 <= n && isCodePointer(off)) {
+            ++count;
+            off += 8;
+        }
+        if (count >= config.minPointerEntries)
+            regions.push_back(
+                {runStart, off, DataRegion::Kind::PointerArray});
+    }
+    return regions;
+}
+
+namespace
+{
+
+/**
+ * Try to parse one linkage stub of @p stride bytes at @p off.
+ * Returns the instruction offsets inside the stub, or empty when the
+ * shape does not match.
+ */
+std::vector<Offset>
+parseStub(const Superset &superset, Offset off, u32 stride)
+{
+    std::vector<Offset> insns;
+    bool sawIndirectJmp = false;
+    Offset cursor = off;
+    Offset limit = off + stride;
+    if (limit > superset.size())
+        return {};
+    while (cursor < limit) {
+        if (!superset.validAt(cursor))
+            return {};
+        const SupersetNode &node = superset.node(cursor);
+        if (cursor + node.length > limit)
+            return {};
+        insns.push_back(cursor);
+        if (node.flow == x86::CtrlFlow::IndirectJump &&
+            (node.flags & x86::kFlagRipRelative))
+            sawIndirectJmp = true;
+        // A direct jmp (to the lazy-binding header) may end the stub.
+        if (node.flow == x86::CtrlFlow::Jump) {
+            cursor += node.length;
+            break;
+        }
+        if (node.flow == x86::CtrlFlow::IndirectJump &&
+            cursor + node.length == limit) {
+            cursor += node.length;
+            break;
+        }
+        if (!node.fallsThrough() &&
+            node.flow != x86::CtrlFlow::IndirectJump)
+            return {};
+        cursor += node.length;
+        if (node.flow == x86::CtrlFlow::IndirectJump) {
+            // Lazy PLT: the push/jmp tail follows the first jmp.
+            continue;
+        }
+    }
+    if (!sawIndirectJmp || insns.size() > 4)
+        return {};
+    // Remaining bytes must be padding NOPs.
+    while (cursor < limit) {
+        if (!superset.validAt(cursor))
+            return {};
+        const SupersetNode &node = superset.node(cursor);
+        if (node.op != x86::Op::Nop || cursor + node.length > limit)
+            return {};
+        insns.push_back(cursor);
+        cursor += node.length;
+    }
+    return insns;
+}
+
+} // namespace
+
+std::vector<Offset>
+findLinkageStubs(const Superset &superset)
+{
+    std::vector<Offset> result;
+    std::set<Offset> seen;
+    for (u32 stride : {16u, 8u}) {
+        Offset base = 0;
+        while (base + stride <= superset.size()) {
+            // Count a run of consecutive stubs at this stride.
+            std::vector<std::vector<Offset>> run;
+            Offset cursor = base;
+            while (cursor + stride <= superset.size()) {
+                auto stub = parseStub(superset, cursor, stride);
+                if (stub.empty())
+                    break;
+                run.push_back(std::move(stub));
+                cursor += stride;
+            }
+            if (run.size() >= 3) {
+                for (const auto &stub : run) {
+                    for (Offset off : stub) {
+                        if (seen.insert(off).second)
+                            result.push_back(off);
+                    }
+                }
+                base = cursor;
+            } else {
+                base += stride;
+            }
+        }
+    }
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+std::vector<Offset>
+findPrologues(const Superset &superset)
+{
+    std::vector<Offset> prologues;
+    ByteSpan bytes = superset.bytes();
+    const std::size_t n = superset.size();
+
+    for (Offset off = 0; off < n; ++off) {
+        if (!superset.validAt(off))
+            continue;
+
+        // endbr64: f3 0f 1e fa.
+        if (off + 4 <= n && bytes[off] == 0xf3 && bytes[off + 1] == 0x0f &&
+            bytes[off + 2] == 0x1e && bytes[off + 3] == 0xfa) {
+            prologues.push_back(off);
+            continue;
+        }
+
+        // A prologue immediately preceded by endbr64 belongs to the
+        // endbr64's entry; reporting it too would split the function.
+        bool afterEndbr = off >= 4 && bytes[off - 4] == 0xf3 &&
+                          bytes[off - 3] == 0x0f &&
+                          bytes[off - 2] == 0x1e &&
+                          bytes[off - 1] == 0xfa;
+        if (afterEndbr)
+            continue;
+
+        // push rbp; mov rbp, rsp.
+        const SupersetNode &node = superset.node(off);
+        if (node.op == x86::Op::Push && node.length == 1 &&
+            bytes[off] == 0x55) {
+            Offset next = off + 1;
+            if (superset.validAt(next)) {
+                const SupersetNode &second = superset.node(next);
+                if (second.op == x86::Op::Mov &&
+                    (second.regsWritten & x86::regBit(x86::RBP)) &&
+                    (second.regsRead & x86::regBit(x86::RSP))) {
+                    prologues.push_back(off);
+                    continue;
+                }
+            }
+        }
+
+        // push callee-saved; ... ; sub rsp, imm within two insns.
+        // Not when directly preceded by another push: that makes this
+        // the middle of a save sequence, not its start.
+        bool afterPush =
+            (off >= 1 && bytes[off - 1] >= 0x50 &&
+             bytes[off - 1] <= 0x57) ||
+            (off >= 2 && bytes[off - 2] == 0x41 &&
+             bytes[off - 1] >= 0x50 && bytes[off - 1] <= 0x57);
+        if (!afterPush && node.op == x86::Op::Push &&
+            node.length <= 2 && (node.regsRead & x86::kCalleeSaved)) {
+            Offset cursor = off;
+            for (int depth = 0; depth < 3 && superset.validAt(cursor);
+                 ++depth) {
+                const SupersetNode &cur = superset.node(cursor);
+                if (cur.op == x86::Op::Sub &&
+                    (cur.regsWritten & x86::regBit(x86::RSP))) {
+                    prologues.push_back(off);
+                    break;
+                }
+                if (cur.op != x86::Op::Push || !cur.fallsThrough())
+                    break;
+                cursor += cur.length;
+            }
+        }
+    }
+    return prologues;
+}
+
+} // namespace accdis

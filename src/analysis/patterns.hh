@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Data-pattern detectors (*statistical properties of data*): string
+ * regions, zero runs, pointer arrays, and code-evidence prologue
+ * idioms.
+ */
+
+#ifndef ACCDIS_ANALYSIS_PATTERNS_HH
+#define ACCDIS_ANALYSIS_PATTERNS_HH
+
+#include <vector>
+
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+/** A detected data-like region with its detector kind. */
+struct DataRegion
+{
+    enum class Kind : u8
+    {
+        String,
+        WideString,
+        ZeroRun,
+        PointerArray,
+    };
+
+    Offset begin = 0;
+    Offset end = 0;
+    Kind kind = Kind::String;
+};
+
+/** Tunables for the pattern detectors. */
+struct PatternConfig
+{
+    u32 minStringRun = 12;
+    double minPrintableFraction = 0.85;
+    u32 minZeroRun = 16;
+    u32 minPointerEntries = 3;
+    Addr sectionBase = 0;
+};
+
+/**
+ * Maximal runs of printable text terminated by NULs. Short ASCII-ish
+ * byte windows occur inside code, so the run and printability
+ * thresholds are deliberately conservative.
+ */
+std::vector<DataRegion> findStringRegions(ByteSpan bytes,
+                                          const PatternConfig &config);
+
+/**
+ * UTF-16LE text runs: printable ASCII code units interleaved with
+ * zero high bytes, at least minStringRun bytes long.
+ */
+std::vector<DataRegion> findWideStringRegions(
+    ByteSpan bytes, const PatternConfig &config);
+
+/** Maximal runs of zero bytes of at least minZeroRun. */
+std::vector<DataRegion> findZeroRuns(ByteSpan bytes,
+                                     const PatternConfig &config);
+
+/**
+ * Runs of 8-byte little-endian values that all decode to in-section
+ * virtual addresses landing on valid instruction decodes: function
+ * pointer arrays / vtables embedded in text.
+ */
+std::vector<DataRegion> findPointerArrays(const Superset &superset,
+                                          const PatternConfig &config);
+
+/**
+ * Offsets that look like function entries: endbr64, or the classic
+ * push rbp / mov rbp,rsp pair, or callee-save pushes followed by a
+ * stack adjustment. Code evidence for seeding the error-correction
+ * queue.
+ */
+std::vector<Offset> findPrologues(const Superset &superset);
+
+/**
+ * Linkage-stub (PLT-style) entry offsets: runs of at least three
+ * 8/16-byte-aligned short blocks, each a one-to-three instruction
+ * sequence ending in an indirect jump through memory. Real linkers
+ * emit these at a fixed stride; they are code even though nothing in
+ * the section references them directly.
+ */
+std::vector<Offset> findLinkageStubs(const Superset &superset);
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_PATTERNS_HH

@@ -1,0 +1,202 @@
+#include "baseline/baselines.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/defuse.hh"
+#include "core/engine.hh"
+#include "prob/scorer.hh"
+#include "superset/superset.hh"
+#include "support/error.hh"
+#include "x86/decoder.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+/** Build the final map from a per-byte code flag vector. */
+Classification
+buildResult(const std::vector<bool> &isCode,
+            const std::vector<bool> &isStart)
+{
+    Classification result;
+    const Offset n = isCode.size();
+    if (n == 0)
+        return result;
+    Offset runStart = 0;
+    ResultClass runClass =
+        isCode[0] ? ResultClass::Code : ResultClass::Data;
+    for (Offset off = 1; off < n; ++off) {
+        ResultClass cls =
+            isCode[off] ? ResultClass::Code : ResultClass::Data;
+        if (cls != runClass) {
+            result.map.assign(runStart, off, runClass);
+            runStart = off;
+            runClass = cls;
+        }
+    }
+    result.map.assign(runStart, n, runClass);
+    for (Offset off = 0; off < n; ++off) {
+        if (isStart[off])
+            result.insnStarts.push_back(off);
+    }
+    return result;
+}
+
+} // namespace
+
+Classification
+Disassembler::analyze(const BinaryImage &image) const
+{
+    for (const auto &section : image.sections()) {
+        if (!section.flags().executable)
+            continue;
+        std::vector<Offset> entries;
+        for (Addr entry : image.entryPoints()) {
+            if (section.containsVaddr(entry))
+                entries.push_back(section.toOffset(entry));
+        }
+        return analyzeSection(section.bytes(), entries, section.base(),
+                              auxRegionsOf(image));
+    }
+    throw Error("baseline: image has no executable section");
+}
+
+Classification
+LinearSweep::analyzeSection(ByteSpan bytes,
+                            const std::vector<Offset> &entries,
+                            Addr sectionBase,
+                            const std::vector<AuxRegion> &aux) const
+{
+    (void)entries;
+    (void)sectionBase;
+    (void)aux;
+    std::vector<bool> isCode(bytes.size(), false);
+    std::vector<bool> isStart(bytes.size(), false);
+
+    Offset off = 0;
+    while (off < bytes.size()) {
+        x86::Instruction insn = x86::decode(bytes, off);
+        if (!insn.valid()) {
+            // objdump prints the byte as data and resumes at the next
+            // offset.
+            ++off;
+            continue;
+        }
+        isStart[off] = true;
+        for (Offset b = off; b < insn.end(); ++b)
+            isCode[b] = true;
+        off = insn.end();
+    }
+    return buildResult(isCode, isStart);
+}
+
+Classification
+RecursiveTraversal::analyzeSection(
+    ByteSpan bytes, const std::vector<Offset> &entries,
+    Addr sectionBase, const std::vector<AuxRegion> &aux) const
+{
+    (void)sectionBase;
+    (void)aux;
+    Superset superset(bytes);
+    std::vector<bool> isCode(bytes.size(), false);
+    std::vector<bool> isStart(bytes.size(), false);
+
+    std::vector<Offset> work(entries.begin(), entries.end());
+    while (!work.empty()) {
+        Offset off = work.back();
+        work.pop_back();
+        if (off >= bytes.size() || isStart[off] ||
+            !superset.validAt(off))
+            continue;
+        const SupersetNode &node = superset.node(off);
+        if (off + node.length > bytes.size())
+            continue;
+        isStart[off] = true;
+        for (Offset b = off; b < off + node.length; ++b)
+            isCode[b] = true;
+        if (node.fallsThrough())
+            work.push_back(off + node.length);
+        Offset target = superset.target(off);
+        if (target != kNoAddr)
+            work.push_back(target);
+    }
+    return buildResult(isCode, isStart);
+}
+
+Classification
+ProbDisasm::analyzeSection(ByteSpan bytes,
+                           const std::vector<Offset> &entries,
+                           Addr sectionBase,
+                           const std::vector<AuxRegion> &aux) const
+{
+    (void)sectionBase;
+    (void)aux;
+    Superset superset(bytes);
+    const ProbModel &model =
+        config_.model ? *config_.model : defaultProbModel();
+    LikelihoodScorer scorer(model, superset);
+
+    const std::size_t n = bytes.size();
+    std::vector<double> prob(n, 0.0);
+
+    // Initial per-offset hint probabilities.
+    for (Offset off = 0; off < n; ++off) {
+        if (!superset.validAt(off))
+            continue;
+        double llr = scorer.scoreAt(off);
+        double base = 1.0 / (1.0 + std::exp(-1.5 * llr));
+        double du = defUseScore(analyzeDefUse(superset, off));
+        prob[off] = std::clamp(0.7 * base + 0.3 * (0.5 + 0.5 * du),
+                               0.0, 1.0);
+    }
+    for (Offset entry : entries) {
+        if (entry < n)
+            prob[entry] = 1.0;
+    }
+
+    // Hint propagation: an offset inherits support from predecessors
+    // via fallthrough/branch convergence. Approximated with forward
+    // sweeps pushing probability to successors.
+    for (int iter = 0; iter < config_.iterations; ++iter) {
+        for (Offset off = 0; off < n; ++off) {
+            if (!superset.validAt(off) || prob[off] <= 0.0)
+                continue;
+            const SupersetNode &node = superset.node(off);
+            double push = prob[off] * 0.9;
+            if (node.fallsThrough()) {
+                Offset ft = off + node.length;
+                if (ft < n)
+                    prob[ft] = std::max(prob[ft], push);
+            }
+            Offset target = superset.target(off);
+            if (target != kNoAddr)
+                prob[target] = std::max(prob[target], push);
+        }
+    }
+
+    // Threshold into a consistent set, greedy by offset order: once
+    // an offset is accepted as code, occluded offsets inside it are
+    // suppressed (no error correction).
+    std::vector<bool> isCode(n, false);
+    std::vector<bool> isStart(n, false);
+    Offset off = 0;
+    while (off < n) {
+        if (superset.validAt(off) && prob[off] >= config_.threshold) {
+            const SupersetNode &node = superset.node(off);
+            if (off + node.length <= n) {
+                isStart[off] = true;
+                for (Offset b = off; b < off + node.length; ++b)
+                    isCode[b] = true;
+                off += node.length;
+                continue;
+            }
+        }
+        ++off;
+    }
+    return buildResult(isCode, isStart);
+}
+
+} // namespace accdis

@@ -1,0 +1,138 @@
+#include "core/cfg.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace accdis
+{
+
+Cfg::Cfg(const Superset &superset, const Classification &result)
+{
+    const auto &starts = result.insnStarts;
+    if (starts.empty())
+        return;
+
+    // 1. Leaders: direct targets, post-terminator instructions, and
+    //    region heads (first instruction after non-code bytes).
+    std::set<Offset> leaders;
+    Offset prevEnd = kNoAddr;
+    bool prevFallsThrough = false;
+    for (Offset off : starts) {
+        const SupersetNode &node = superset.node(off);
+        bool regionHead = prevEnd == kNoAddr || off != prevEnd;
+        if (regionHead || !prevFallsThrough)
+            leaders.insert(off);
+        if (node.hasDirectTarget()) {
+            Offset target = superset.target(off);
+            if (target != kNoAddr && result.isInsnStart(target))
+                leaders.insert(target);
+            // The instruction after a branch/call starts a block.
+            if (node.fallsThrough())
+                leaders.insert(off + node.length);
+        }
+        if (node.flow == x86::CtrlFlow::IndirectCall &&
+            node.fallsThrough())
+            leaders.insert(off + node.length);
+        prevEnd = off + node.length;
+        prevFallsThrough = node.fallsThrough();
+    }
+
+    // 2. Cut blocks at leaders.
+    std::map<Offset, u32> blockIndex;
+    BasicBlock current;
+    bool open = false;
+    auto close = [&]() {
+        if (!open)
+            return;
+        blockIndex[current.begin] = static_cast<u32>(blocks_.size());
+        blocks_.push_back(current);
+        open = false;
+    };
+    prevEnd = kNoAddr;
+    for (Offset off : starts) {
+        const SupersetNode &node = superset.node(off);
+        bool isLeader = leaders.count(off) != 0;
+        bool discontinuous = prevEnd != kNoAddr && off != prevEnd;
+        if (isLeader || discontinuous || !open) {
+            close();
+            current = BasicBlock{};
+            current.begin = off;
+            open = true;
+        }
+        current.end = off + node.length;
+        ++current.instructions;
+        prevEnd = off + node.length;
+        if (!node.fallsThrough() || node.hasDirectTarget() ||
+            node.flow == x86::CtrlFlow::IndirectCall)
+            close();
+    }
+    close();
+
+    // 3. Edges.
+    for (u32 i = 0; i < blocks_.size(); ++i) {
+        BasicBlock &block = blocks_[i];
+        // Find the block's last instruction.
+        Offset last = block.begin;
+        for (Offset off = block.begin; off < block.end;) {
+            last = off;
+            off += superset.node(off).length;
+        }
+        const SupersetNode &tail = superset.node(last);
+
+        auto addEdge = [&](Offset target, EdgeKind kind) {
+            auto it = blockIndex.find(target);
+            CfgEdge edge;
+            edge.kind = kind;
+            if (it != blockIndex.end())
+                edge.toBlock = it->second;
+            block.successors.push_back(edge);
+        };
+
+        if (tail.flow == x86::CtrlFlow::Return) {
+            block.successors.push_back(
+                {~u32{0}, EdgeKind::Return});
+        } else {
+            if (tail.fallsThrough() && block.end < superset.size() &&
+                result.isInsnStart(block.end))
+                addEdge(block.end, EdgeKind::FallThrough);
+            if (tail.hasDirectTarget()) {
+                Offset target = superset.target(last);
+                if (target != kNoAddr)
+                    addEdge(target,
+                            tail.flow == x86::CtrlFlow::Call
+                                ? EdgeKind::Call
+                                : EdgeKind::Branch);
+            }
+        }
+    }
+
+    // 4. Predecessors.
+    for (u32 i = 0; i < blocks_.size(); ++i) {
+        for (const CfgEdge &edge : blocks_[i].successors) {
+            if (edge.toBlock != ~u32{0})
+                blocks_[edge.toBlock].predecessors.push_back(i);
+        }
+    }
+}
+
+u32
+Cfg::blockAt(Offset off) const
+{
+    for (u32 i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].begin == off)
+            return i;
+    }
+    return ~u32{0};
+}
+
+u64
+Cfg::edgeCount() const
+{
+    u64 total = 0;
+    for (const auto &block : blocks_)
+        total += block.successors.size();
+    return total;
+}
+
+} // namespace accdis

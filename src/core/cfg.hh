@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Control-flow graph construction over a classified section: basic
+ * blocks, edges, and per-function grouping. This is the API binary
+ * rewriters and analyzers consume after disassembly.
+ */
+
+#ifndef ACCDIS_CORE_CFG_HH
+#define ACCDIS_CORE_CFG_HH
+
+#include <vector>
+
+#include "core/result.hh"
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+/** Kind of a CFG edge. */
+enum class EdgeKind : u8
+{
+    FallThrough,
+    Branch,       ///< Taken direct jump/conditional edge.
+    Call,         ///< Direct call edge (interprocedural).
+    Return,       ///< Block ends in a return (no explicit successor).
+};
+
+/** One outgoing edge. */
+struct CfgEdge
+{
+    u32 toBlock = ~u32{0}; ///< Target block index; ~0 when external.
+    EdgeKind kind = EdgeKind::FallThrough;
+};
+
+/** A maximal single-entry straight-line instruction run. */
+struct BasicBlock
+{
+    Offset begin = 0;         ///< First instruction offset.
+    Offset end = 0;           ///< Exclusive byte end.
+    u32 instructions = 0;
+    std::vector<CfgEdge> successors;
+    std::vector<u32> predecessors; ///< Block indices.
+};
+
+/** The CFG of one classified section. */
+class Cfg
+{
+  public:
+    /**
+     * Build the graph from a classification: leaders are recovered
+     * starts that are branch/call targets, fallthrough points after
+     * terminators, or classification-region heads.
+     */
+    Cfg(const Superset &superset, const Classification &result);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Index of the block starting at @p off, or ~0u. */
+    u32 blockAt(Offset off) const;
+
+    /** Total edges in the graph. */
+    u64 edgeCount() const;
+
+  private:
+    std::vector<BasicBlock> blocks_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_CORE_CFG_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The accdis disassembly engine: superset decode, behavioral and
+ * statistical evidence collection, and prioritized error correction.
+ *
+ * This is the paper's primary contribution. The engine classifies
+ * every byte of an executable section as code or data by:
+ *
+ *  1. decoding at every offset (superset disassembly);
+ *  2. proving offsets non-code via control-flow consistency
+ *     ("behavioral properties of code to flag data");
+ *  3. scoring candidates with n-gram likelihood ratios
+ *     ("statistical properties of data to detect code");
+ *  4. discovering jump tables, strings, pointer arrays and zero runs
+ *     as anchored evidence; and
+ *  5. committing evidence through a priority queue in which stronger
+ *     evidence can roll back weaker, earlier commitments — the
+ *     prioritized error-correction algorithm.
+ */
+
+#ifndef ACCDIS_CORE_ENGINE_HH
+#define ACCDIS_CORE_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/flow.hh"
+#include "analysis/indirect.hh"
+#include "analysis/jump_table.hh"
+#include "analysis/patterns.hh"
+#include "core/result.hh"
+#include "image/binary_image.hh"
+#include "prob/ngram.hh"
+#include "prob/scorer.hh"
+
+namespace accdis
+{
+
+/** Evidence strength classes, strongest first. */
+enum class Priority : u8
+{
+    Anchor = 0,   ///< Entry points, full-idiom jump-table structure.
+    Propagated,   ///< Targets reached from committed code.
+    Pattern,      ///< Detected data regions, partial-idiom tables.
+    Heuristic,    ///< Probabilistic/prologue seeds.
+    Residual,     ///< Gap refinement of leftover bytes.
+};
+
+/** Engine configuration; the ablation switches mirror Table 4. */
+struct EngineConfig
+{
+    /** Use the control-flow consistency proof (mustFault). */
+    bool useFlowAnalysis = true;
+    /** Use register def-use scoring. */
+    bool useDefUse = true;
+    /** Use the n-gram likelihood-ratio scorer. */
+    bool useProbModel = true;
+    /** Use string/zero/pointer-array detectors. */
+    bool useDataPatterns = true;
+    /** Use jump-table discovery. */
+    bool useJumpTables = true;
+    /** Resolve constant indirect calls/jumps (movabs + call reg,
+     *  call [rip+slot]) into code evidence. */
+    bool useIndirectFlow = true;
+    /**
+     * Allow stronger evidence to roll back weaker commitments and run
+     * chain-consistent gap refinement (the error-correction pass).
+     * When false, evidence is still processed in priority order but
+     * first-commitment wins and gaps fall back to per-offset
+     * thresholding.
+     */
+    bool useErrorCorrection = true;
+
+    /** LLR threshold (bits/byte) above which a gap chain is code. */
+    double codeThreshold = 0.2;
+    /** Weight of the def-use score when mixed into seed scores. */
+    double defUseWeight = 0.5;
+    /** Weight of the flow-analysis poison score (rare/privileged
+     *  proximity) subtracted from seed scores. */
+    double poisonWeight = 2.0;
+
+    FlowConfig flow;
+    JumpTableConfig jumpTables;
+    PatternConfig patterns;
+    ScorerConfig scorer;
+
+    /** Model override; nullptr selects defaultProbModel(). */
+    const ProbModel *model = nullptr;
+};
+
+/**
+ * The non-executable initialized sections of @p image, packaged as
+ * auxiliary regions for out-of-section jump-table discovery.
+ */
+std::vector<AuxRegion> auxRegionsOf(const BinaryImage &image);
+
+/**
+ * Classifies executable sections into code and data without any
+ * compiler metadata.
+ */
+class DisassemblyEngine
+{
+  public:
+    explicit DisassemblyEngine(EngineConfig config = {});
+
+    /**
+     * Classify one executable section. @p entryOffsets are known
+     * section-relative entry points (possibly empty for fully
+     * stripped inputs). @p auxRegions are the non-executable data
+     * sections consulted for out-of-section (.rodata) jump tables;
+     * analyze()/analyzeAll() populate them automatically.
+     */
+    Classification analyzeSection(
+        ByteSpan bytes, const std::vector<Offset> &entryOffsets,
+        Addr sectionBase = 0,
+        const std::vector<AuxRegion> &auxRegions = {}) const;
+
+    /**
+     * Classify the first executable section of @p image using the
+     * image's entry points.
+     */
+    Classification analyze(const BinaryImage &image) const;
+
+    /** Result of one section within an image-wide analysis. */
+    struct SectionResult
+    {
+        std::string name;
+        Addr base = 0;
+        Classification result;
+    };
+
+    /**
+     * Classify every executable section of @p image. Returns one
+     * entry per executable section, in image order.
+     */
+    std::vector<SectionResult> analyzeAll(
+        const BinaryImage &image) const;
+
+    const EngineConfig &config() const { return config_; }
+
+  private:
+    EngineConfig config_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_CORE_ENGINE_HH

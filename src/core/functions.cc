@@ -1,0 +1,126 @@
+#include "core/functions.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/patterns.hh"
+#include "support/bytes.hh"
+
+namespace accdis
+{
+
+std::vector<FunctionInfo>
+recoverFunctions(const Superset &superset, const Classification &result,
+                 Addr sectionBase, FunctionConfig config)
+{
+    using Source = FunctionInfo::Source;
+
+    // Entry candidates with the strongest source kept per offset.
+    std::map<Offset, Source> entries;
+    auto propose = [&](Offset off, Source source) {
+        if (!result.isInsnStart(off))
+            return;
+        auto [it, inserted] = entries.emplace(off, source);
+        if (!inserted && static_cast<u8>(source) <
+                             static_cast<u8>(it->second))
+            it->second = source;
+    };
+
+    // 1. Direct call targets within the recovered code.
+    for (Offset off : result.insnStarts) {
+        const SupersetNode &node = superset.node(off);
+        if (node.flow != x86::CtrlFlow::Call || !node.hasDirectTarget())
+            continue;
+        Offset target = superset.target(off);
+        if (target != kNoAddr)
+            propose(target, Source::CallTarget);
+    }
+
+    // 2. Pointer-array references (vtables, callback tables).
+    PatternConfig patConfig;
+    patConfig.sectionBase = sectionBase;
+    for (const DataRegion &region :
+         findPointerArrays(superset, patConfig)) {
+        ByteSpan bytes = superset.bytes();
+        for (Offset b = region.begin; b + 8 <= region.end; b += 8) {
+            u64 value = readLe64(bytes, b);
+            if (value < sectionBase)
+                continue;
+            u64 rel = value - sectionBase;
+            if (rel < superset.size())
+                propose(static_cast<Offset>(rel),
+                        Source::PointerTable);
+        }
+    }
+
+    // 3. Prologue idioms at recovered starts.
+    for (Offset off : findPrologues(superset))
+        propose(off, Source::Prologue);
+
+    // 4. Region heads: the first instruction after every non-code
+    //    interval is a function entry candidate (functions do not
+    //    start mid-region).
+    if (config.includeRegionHeads) {
+        Offset prevEnd = kNoAddr;
+        bool pendingHead = true;
+        for (Offset off : result.insnStarts) {
+            if (prevEnd != kNoAddr && off != prevEnd &&
+                !result.map.covered(prevEnd, off, ResultClass::Code))
+                pendingHead = true;
+            const SupersetNode &node = superset.node(off);
+            // Skip over alignment filler (NOP/INT3 runs): the entry
+            // is the first substantive instruction of the region.
+            // endbr64 shares Op::Nop but *is* a function entry.
+            ByteSpan raw = superset.bytes();
+            bool endbr = raw[off] == 0xf3 && off + 4 <= raw.size() &&
+                         raw[off + 1] == 0x0f && raw[off + 2] == 0x1e &&
+                         raw[off + 3] == 0xfa;
+            bool filler = !endbr && (node.op == x86::Op::Nop ||
+                                     node.op == x86::Op::Int3);
+            if (pendingHead && !filler) {
+                propose(off, Source::RegionHead);
+                pendingHead = false;
+            }
+            prevEnd = off + node.length;
+        }
+    }
+
+    // Partition the instruction stream by entry offsets.
+    std::vector<FunctionInfo> functions;
+    if (entries.empty())
+        return functions;
+
+    auto entryIt = entries.begin();
+    FunctionInfo current;
+    bool open = false;
+    for (Offset off : result.insnStarts) {
+        // Advance to the entry that owns this instruction.
+        while (entryIt != entries.end() && entryIt->first <= off) {
+            if (entryIt->first == off) {
+                if (open)
+                    functions.push_back(current);
+                current = FunctionInfo{};
+                current.entry = off;
+                current.source = entryIt->second;
+                open = true;
+            }
+            ++entryIt;
+        }
+        if (!open)
+            continue; // Code before the first entry: unowned prelude.
+        const SupersetNode &node = superset.node(off);
+        current.end = off + node.length;
+        ++current.instructions;
+    }
+    if (open)
+        functions.push_back(current);
+
+    // Drop tiny unanchored region-head islands (see FunctionConfig).
+    std::erase_if(functions, [&](const FunctionInfo &fn) {
+        return fn.source == Source::RegionHead &&
+               fn.instructions < config.minRegionHeadInsns;
+    });
+    return functions;
+}
+
+} // namespace accdis

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Function-boundary recovery on top of a code/data classification —
+ * the second output metadata-free binary analyses need (after
+ * instruction recovery): where functions begin and end.
+ */
+
+#ifndef ACCDIS_CORE_FUNCTIONS_HH
+#define ACCDIS_CORE_FUNCTIONS_HH
+
+#include <vector>
+
+#include "core/result.hh"
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+/** One recovered function. */
+struct FunctionInfo
+{
+    Offset entry = 0;   ///< First instruction offset.
+    Offset end = 0;     ///< Exclusive end (next function/data/padding).
+    u32 instructions = 0;
+    /** How the entry was identified (strongest evidence wins). */
+    enum class Source : u8
+    {
+        CallTarget,   ///< Target of a committed direct call.
+        PointerTable, ///< Referenced from a pointer array.
+        Prologue,     ///< Prologue idiom at a region head.
+        RegionHead,   ///< First code after a data/padding boundary.
+    } source = Source::RegionHead;
+};
+
+/** Tunables for function recovery. */
+struct FunctionConfig
+{
+    /** Also emit region-head entries that lack any other evidence. */
+    bool includeRegionHeads = true;
+    /**
+     * Discard region-head functions with fewer instructions than
+     * this: tiny unanchored islands are almost always classifier
+     * false positives inside data, not real functions.
+     */
+    u32 minRegionHeadInsns = 4;
+};
+
+/**
+ * Partition the code of a classified section into functions.
+ *
+ * Entries are seeded from direct call targets inside the recovered
+ * code, pointer-array references, prologue idioms, and (optionally)
+ * the first instruction after each data/padding boundary. Every
+ * recovered instruction belongs to exactly one function; function
+ * bodies never cross data intervals.
+ */
+std::vector<FunctionInfo> recoverFunctions(
+    const Superset &superset, const Classification &result,
+    Addr sectionBase, FunctionConfig config = {});
+
+} // namespace accdis
+
+#endif // ACCDIS_CORE_FUNCTIONS_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Output of the disassembly engine: a byte-level code/data map plus
+ * recovered instruction starts and bookkeeping statistics.
+ */
+
+#ifndef ACCDIS_CORE_RESULT_HH
+#define ACCDIS_CORE_RESULT_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "support/interval_map.hh"
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** Final byte classification. */
+enum class ResultClass : u8
+{
+    Code,
+    Data,
+};
+
+/** Classification of one executable section. */
+struct Classification
+{
+    /** Byte-level code/data intervals covering the whole section. */
+    IntervalMap<ResultClass> map;
+
+    /** Sorted recovered instruction-start offsets. */
+    std::vector<Offset> insnStarts;
+
+    /**
+     * Explainability: which evidence strength committed each byte
+     * (values are core Priority levels, 0 = strongest). Lets users
+     * audit *why* a byte was classified the way it was.
+     */
+    IntervalMap<u8> provenance;
+
+    /** Engine bookkeeping (ablation figures and diagnostics). */
+    struct Stats
+    {
+        u64 evidenceProcessed = 0;
+        u64 conflicts = 0;
+        u64 rollbacks = 0;
+        u64 mustFaultOffsets = 0;
+        u64 jumpTablesFound = 0;
+        u64 dataPatternBytes = 0;
+        u64 gapBytes = 0;
+        /** Errors-remaining trace per correction phase (figure F4). */
+        std::vector<u64> committedPerPhase;
+    } stats;
+
+    /** True when @p off was recovered as an instruction start. */
+    bool
+    isInsnStart(Offset off) const
+    {
+        return std::binary_search(insnStarts.begin(), insnStarts.end(),
+                                  off);
+    }
+
+    /** Total bytes classified as the given class. */
+    u64 bytesOf(ResultClass cls) const { return map.totalBytes(cls); }
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_CORE_RESULT_HH

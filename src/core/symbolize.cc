@@ -1,0 +1,184 @@
+#include "core/symbolize.hh"
+
+#include <cstdio>
+#include <set>
+
+#include "x86/formatter.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+/** True when the formatter's text for @p insn round-trips through
+ *  GNU as unambiguously (no memory-size ambiguity, no pseudo
+ *  mnemonics, no raw RIP-relative displacements). */
+bool
+liftable(const x86::Instruction &insn)
+{
+    using x86::Op;
+    // Anything touching memory needs ptr-size qualifiers and
+    // RIP-relative reference lifting; emit raw instead.
+    if (insn.hasModRm && insn.modrmMod != 3)
+        return false;
+    switch (insn.op) {
+      case Op::Add: case Op::Or: case Op::Adc: case Op::Sbb:
+      case Op::And: case Op::Sub: case Op::Xor: case Op::Cmp:
+      case Op::Test: case Op::Mov: case Op::Xchg:
+      case Op::Inc: case Op::Dec: case Op::Not: case Op::Neg:
+      case Op::Shl: case Op::Shr: case Op::Sar: case Op::Rol:
+      case Op::Ror:
+      case Op::Imul:
+      case Op::Push: case Op::Pop:
+      case Op::Ret: case Op::Leave: case Op::Int3: case Op::Hlt:
+      case Op::Cwde: case Op::Cdq: case Op::Cpuid: case Op::Syscall:
+      case Op::Ud2:
+        break;
+      case Op::Nop:
+        // Multi-byte NOPs have ModRM mem forms (filtered above);
+        // plain nop is fine.
+        break;
+      default:
+        return false;
+    }
+    // movabs and 16-bit forms print without width markers; keep the
+    // common 32/64-bit register/immediate forms only.
+    if (insn.opSize == 2)
+        return false;
+    if (insn.op == Op::Mov && insn.opSize == 8 && insn.hasImm &&
+        (insn.imm > INT32_MAX || insn.imm < INT32_MIN))
+        return false; // movabs spelling differs across assemblers.
+    if (insn.op == Op::Push && insn.hasImm)
+        return false; // push imm width is assembler-discretionary.
+    if ((insn.op == Op::Ret || insn.op == Op::Int) && insn.hasImm)
+        return false;
+    if (insn.flags & (x86::kFlagLock | x86::kFlagRep |
+                      x86::kFlagSegment))
+        return false;
+    return true;
+}
+
+void
+appendByteDirective(std::string &out, ByteSpan bytes, Offset begin,
+                    Offset end, const char *comment)
+{
+    char buf[32];
+    while (begin < end) {
+        out += "    .byte ";
+        int cols = 0;
+        while (begin < end && cols < 12) {
+            if (cols)
+                out += ", ";
+            std::snprintf(buf, sizeof(buf), "0x%02x", bytes[begin]);
+            out += buf;
+            ++begin;
+            ++cols;
+        }
+        if (comment) {
+            out += "   # ";
+            out += comment;
+            comment = nullptr;
+        }
+        out += "\n";
+    }
+}
+
+std::string
+labelFor(Offset off)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), ".L%llx",
+                  static_cast<unsigned long long>(off));
+    return buf;
+}
+
+} // namespace
+
+std::string
+symbolize(const Superset &superset, const Classification &result,
+          SymbolizeStats *stats)
+{
+    SymbolizeStats local;
+    ByteSpan bytes = superset.bytes();
+
+    // Pass 1: collect label targets (direct branch targets that are
+    // recovered instruction starts).
+    std::set<Offset> labels;
+    for (Offset off : result.insnStarts) {
+        const SupersetNode &node = superset.node(off);
+        if (!node.hasDirectTarget())
+            continue;
+        Offset target = superset.target(off);
+        if (target != kNoAddr && result.isInsnStart(target))
+            labels.insert(target);
+    }
+
+    // Pass 2: emit.
+    std::string out;
+    out += "    .intel_syntax noprefix\n";
+    out += "    .text\n";
+
+    std::size_t insnIdx = 0;
+    const auto &starts = result.insnStarts;
+    Offset off = 0;
+    const Offset n = superset.size();
+    while (off < n) {
+        // Advance the instruction cursor.
+        while (insnIdx < starts.size() && starts[insnIdx] < off)
+            ++insnIdx;
+
+        if (labels.count(off)) {
+            out += labelFor(off);
+            out += ":\n";
+            ++local.labels;
+        }
+
+        if (insnIdx < starts.size() && starts[insnIdx] == off) {
+            x86::Instruction insn = superset.decodeFull(off);
+            bool isBranch = insn.hasDirectTarget();
+            if (isBranch) {
+                Offset target = superset.target(off);
+                if (target != kNoAddr && labels.count(target)) {
+                    out += "    ";
+                    out += x86::formatMnemonic(insn);
+                    out += " ";
+                    out += labelFor(target);
+                    out += "\n";
+                    ++local.liftedInsns;
+                } else {
+                    // Escaping branch: keep raw bytes.
+                    appendByteDirective(out, bytes, off, insn.end(),
+                                        x86::format(insn).c_str());
+                    ++local.byteInsns;
+                }
+            } else if (liftable(insn)) {
+                out += "    ";
+                out += x86::format(insn);
+                out += "\n";
+                ++local.liftedInsns;
+            } else {
+                appendByteDirective(out, bytes, off, insn.end(),
+                                    x86::format(insn).c_str());
+                ++local.byteInsns;
+            }
+            off = insn.end();
+            continue;
+        }
+
+        // Data run: until the next instruction start or label.
+        Offset next = insnIdx < starts.size() ? starts[insnIdx] : n;
+        auto labelIt = labels.upper_bound(off);
+        if (labelIt != labels.end() && *labelIt < next)
+            next = *labelIt;
+        appendByteDirective(out, bytes, off, next, "data");
+        local.dataBytes += next - off;
+        off = next;
+    }
+
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace accdis

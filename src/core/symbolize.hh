@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Symbolization: turn a classified section back into assembly source
+ * that GNU as accepts — the "reassemblable disassembly" application
+ * that motivates accurate code/data separation in the first place.
+ *
+ * Control transfers are emitted symbolically (labels), so the code is
+ * relocatable: inserting or removing instructions preserves branch
+ * structure. Instructions whose textual form the formatter cannot
+ * guarantee to round-trip (memory-size-ambiguous forms, aggregate
+ * SSE/FPU mnemonics, RIP-relative data references) are emitted as
+ * .byte directives with a disassembly comment, keeping the output
+ * assemblable end to end.
+ */
+
+#ifndef ACCDIS_CORE_SYMBOLIZE_HH
+#define ACCDIS_CORE_SYMBOLIZE_HH
+
+#include <string>
+
+#include "core/result.hh"
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+/** Symbolizer statistics (how much was lifted vs byte-encoded). */
+struct SymbolizeStats
+{
+    u64 liftedInsns = 0;   ///< Emitted as assembly mnemonics.
+    u64 byteInsns = 0;     ///< Emitted as .byte (raw) directives.
+    u64 dataBytes = 0;
+    u64 labels = 0;
+};
+
+/**
+ * Produce GNU-as-compatible Intel-syntax assembly reproducing the
+ * classified section. @p stats (optional) reports lift coverage.
+ */
+std::string symbolize(const Superset &superset,
+                      const Classification &result,
+                      SymbolizeStats *stats = nullptr);
+
+} // namespace accdis
+
+#endif // ACCDIS_CORE_SYMBOLIZE_HH

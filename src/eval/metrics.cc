@@ -1,0 +1,64 @@
+#include "eval/metrics.hh"
+
+#include <set>
+
+namespace accdis
+{
+
+AccuracyMetrics
+compareToTruth(const Classification &result,
+               const synth::GroundTruth &truth)
+{
+    using synth::ByteClass;
+    AccuracyMetrics metrics;
+
+    std::set<Offset> predicted(result.insnStarts.begin(),
+                               result.insnStarts.end());
+    std::set<Offset> real;
+    for (Offset off : truth.insnStarts()) {
+        if (truth.classAt(off) != ByteClass::Padding)
+            real.insert(off);
+    }
+
+    for (Offset off : predicted) {
+        if (truth.classAt(off) == ByteClass::Padding)
+            continue;
+        if (real.count(off))
+            ++metrics.truePositives;
+        else
+            ++metrics.falsePositives;
+    }
+    for (Offset off : real) {
+        if (!predicted.count(off))
+            ++metrics.falseNegatives;
+    }
+
+    // Byte-level comparison over non-padding bytes.
+    for (const auto &interval : truth.intervals()) {
+        if (interval.label == ByteClass::Padding)
+            continue;
+        ResultClass expected = interval.label == ByteClass::Code
+                                   ? ResultClass::Code
+                                   : ResultClass::Data;
+        for (Offset b = interval.begin; b < interval.end; ++b) {
+            ++metrics.byteTotal;
+            auto got = result.map.at(b);
+            if (got && *got == expected)
+                ++metrics.byteCorrect;
+        }
+    }
+    return metrics;
+}
+
+double
+errorReductionFactor(const AccuracyMetrics &ours,
+                     const AccuracyMetrics &baseline)
+{
+    double ourErrors = static_cast<double>(ours.errors());
+    double baseErrors = static_cast<double>(baseline.errors());
+    if (ourErrors == 0.0)
+        return baseErrors == 0.0 ? 1.0 : 1e9;
+    return baseErrors / ourErrors;
+}
+
+} // namespace accdis

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Accuracy metrics comparing a classification against ground truth.
+ */
+
+#ifndef ACCDIS_EVAL_METRICS_HH
+#define ACCDIS_EVAL_METRICS_HH
+
+#include "core/result.hh"
+#include "synth/ground_truth.hh"
+
+namespace accdis
+{
+
+/**
+ * Instruction- and byte-level accuracy. Padding bytes are excluded
+ * from every count: alignment filler is decoded as NOPs or skipped
+ * depending on the tool, and neither answer is an error a user cares
+ * about (this mirrors the established evaluation practice).
+ */
+struct AccuracyMetrics
+{
+    // Instruction level (offsets of instruction starts).
+    u64 truePositives = 0;  ///< Correctly reported instruction starts.
+    u64 falsePositives = 0; ///< Reported starts that are not real.
+    u64 falseNegatives = 0; ///< Real starts that were missed.
+
+    // Byte level (code/data classification of each byte).
+    u64 byteCorrect = 0;
+    u64 byteTotal = 0;
+
+    /** Instruction-level precision in [0,1]; 1 when nothing reported. */
+    double
+    precision() const
+    {
+        u64 reported = truePositives + falsePositives;
+        return reported == 0
+                   ? 1.0
+                   : static_cast<double>(truePositives) /
+                         static_cast<double>(reported);
+    }
+
+    /** Instruction-level recall in [0,1]; 1 when nothing to find. */
+    double
+    recall() const
+    {
+        u64 real = truePositives + falseNegatives;
+        return real == 0 ? 1.0
+                         : static_cast<double>(truePositives) /
+                               static_cast<double>(real);
+    }
+
+    /** Harmonic mean of precision and recall. */
+    double
+    f1() const
+    {
+        double p = precision(), r = recall();
+        return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+    }
+
+    /** Total instruction-level errors (the paper's headline count). */
+    u64 errors() const { return falsePositives + falseNegatives; }
+
+    /** Byte-level accuracy in [0,1]. */
+    double
+    byteAccuracy() const
+    {
+        return byteTotal == 0 ? 1.0
+                              : static_cast<double>(byteCorrect) /
+                                    static_cast<double>(byteTotal);
+    }
+};
+
+/** Compare a classification against the synthesized ground truth. */
+AccuracyMetrics compareToTruth(const Classification &result,
+                               const synth::GroundTruth &truth);
+
+/**
+ * Error-reduction factor of @p ours relative to @p baseline
+ * (baseline errors / our errors; infinity-safe).
+ */
+double errorReductionFactor(const AccuracyMetrics &ours,
+                            const AccuracyMetrics &baseline);
+
+} // namespace accdis
+
+#endif // ACCDIS_EVAL_METRICS_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Container for a loaded binary: sections plus entry points.
+ */
+
+#ifndef ACCDIS_IMAGE_BINARY_IMAGE_HH
+#define ACCDIS_IMAGE_BINARY_IMAGE_HH
+
+#include <string>
+#include <vector>
+
+#include "image/section.hh"
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/**
+ * A loaded binary image: an ordered list of sections and the known
+ * entry points (program entry, exported/visible function starts when
+ * available). This is the unit the disassembly pipeline consumes.
+ */
+class BinaryImage
+{
+  public:
+    /** Create an empty image named @p name. */
+    explicit BinaryImage(std::string name = "image")
+        : name_(std::move(name))
+    {}
+
+    /** Image name (file path or synthetic id). */
+    const std::string &name() const { return name_; }
+
+    /** Append a section; returns its index. */
+    std::size_t
+    addSection(Section section)
+    {
+        sections_.push_back(std::move(section));
+        return sections_.size() - 1;
+    }
+
+    /** All sections. */
+    const std::vector<Section> &sections() const { return sections_; }
+
+    /** Section by index. */
+    const Section &section(std::size_t idx) const { return sections_[idx]; }
+
+    /** Section containing @p addr, or nullptr. */
+    const Section *
+    sectionContaining(Addr addr) const
+    {
+        for (const auto &sec : sections_) {
+            if (sec.containsVaddr(addr))
+                return &sec;
+        }
+        return nullptr;
+    }
+
+    /** Section with the given name, or nullptr. */
+    const Section *
+    sectionNamed(const std::string &name) const
+    {
+        for (const auto &sec : sections_) {
+            if (sec.name() == name)
+                return &sec;
+        }
+        return nullptr;
+    }
+
+    /** Register a known entry point (virtual address). */
+    void addEntryPoint(Addr addr) { entryPoints_.push_back(addr); }
+
+    /** Known entry points. */
+    const std::vector<Addr> &entryPoints() const { return entryPoints_; }
+
+    /** Sum of executable section sizes. */
+    u64
+    executableBytes() const
+    {
+        u64 total = 0;
+        for (const auto &sec : sections_) {
+            if (sec.flags().executable)
+                total += sec.size();
+        }
+        return total;
+    }
+
+  private:
+    std::string name_;
+    std::vector<Section> sections_;
+    std::vector<Addr> entryPoints_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_IMAGE_BINARY_IMAGE_HH

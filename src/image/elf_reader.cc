@@ -1,0 +1,204 @@
+#include "image/elf_reader.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "support/bytes.hh"
+#include "support/error.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+// ELF constants we need; defined locally so the reader is self-contained.
+constexpr u8 kMag0 = 0x7f;
+constexpr u8 kMag1 = 'E';
+constexpr u8 kMag2 = 'L';
+constexpr u8 kMag3 = 'F';
+constexpr u8 kClass64 = 2;
+constexpr u8 kDataLsb = 1;
+constexpr u16 kMachineX8664 = 62;
+constexpr u32 kShtProgbits = 1;
+constexpr u64 kShfAlloc = 0x2;
+constexpr u64 kShfExecinstr = 0x4;
+constexpr u64 kShfWrite = 0x1;
+constexpr u32 kPtLoad = 1;
+constexpr u32 kPfX = 1;
+constexpr u32 kPfW = 2;
+
+struct ElfHeader
+{
+    u16 machine;
+    Addr entry;
+    u64 phoff;
+    u64 shoff;
+    u16 phentsize;
+    u16 phnum;
+    u16 shentsize;
+    u16 shnum;
+    u16 shstrndx;
+};
+
+ElfHeader
+parseHeader(ByteSpan bytes)
+{
+    if (bytes.size() < 64)
+        throw Error("ELF: file shorter than the ELF64 header");
+    if (bytes[0] != kMag0 || bytes[1] != kMag1 || bytes[2] != kMag2 ||
+        bytes[3] != kMag3)
+        throw Error("ELF: bad magic");
+    if (bytes[4] != kClass64)
+        throw Error("ELF: only ELF64 is supported");
+    if (bytes[5] != kDataLsb)
+        throw Error("ELF: only little-endian images are supported");
+
+    ElfHeader hdr;
+    hdr.machine = readLe16(bytes, 18);
+    hdr.entry = readLe64(bytes, 24);
+    hdr.phoff = readLe64(bytes, 32);
+    hdr.shoff = readLe64(bytes, 40);
+    hdr.phentsize = readLe16(bytes, 54);
+    hdr.phnum = readLe16(bytes, 56);
+    hdr.shentsize = readLe16(bytes, 58);
+    hdr.shnum = readLe16(bytes, 60);
+    hdr.shstrndx = readLe16(bytes, 62);
+    if (hdr.machine != kMachineX8664)
+        throw Error("ELF: only x86-64 images are supported");
+    return hdr;
+}
+
+std::string
+sectionName(ByteSpan strtab, u32 nameOff)
+{
+    std::string out;
+    for (u64 i = nameOff; i < strtab.size() && strtab[i] != 0; ++i)
+        out.push_back(static_cast<char>(strtab[i]));
+    return out;
+}
+
+bool
+loadFromSections(ByteSpan bytes, const ElfHeader &hdr, BinaryImage &image)
+{
+    if (hdr.shoff == 0 || hdr.shnum == 0 || hdr.shentsize < 64)
+        return false;
+    if (hdr.shoff + static_cast<u64>(hdr.shnum) * hdr.shentsize >
+        bytes.size())
+        throw Error("ELF: section table extends past end of file");
+
+    // Locate the section-name string table.
+    ByteSpan strtab;
+    if (hdr.shstrndx < hdr.shnum) {
+        u64 sh = hdr.shoff + static_cast<u64>(hdr.shstrndx) * hdr.shentsize;
+        u64 off = readLe64(bytes, sh + 24);
+        u64 size = readLe64(bytes, sh + 32);
+        if (off + size <= bytes.size())
+            strtab = bytes.subspan(off, size);
+    }
+
+    bool loadedAny = false;
+    for (u16 i = 0; i < hdr.shnum; ++i) {
+        u64 sh = hdr.shoff + static_cast<u64>(i) * hdr.shentsize;
+        u32 nameOff = readLe32(bytes, sh);
+        u32 type = readLe32(bytes, sh + 4);
+        u64 flags = readLe64(bytes, sh + 8);
+        Addr addr = readLe64(bytes, sh + 16);
+        u64 off = readLe64(bytes, sh + 24);
+        u64 size = readLe64(bytes, sh + 32);
+
+        if (type != kShtProgbits || !(flags & kShfAlloc) || size == 0)
+            continue;
+        if (off + size > bytes.size())
+            throw Error("ELF: section payload extends past end of file");
+
+        SectionFlags sflags;
+        sflags.executable = (flags & kShfExecinstr) != 0;
+        sflags.writable = (flags & kShfWrite) != 0;
+        ByteVec payload(bytes.begin() + off, bytes.begin() + off + size);
+        image.addSection(Section(sectionName(strtab, nameOff), addr,
+                                 std::move(payload), sflags));
+        loadedAny = true;
+    }
+    return loadedAny;
+}
+
+bool
+loadFromProgramHeaders(ByteSpan bytes, const ElfHeader &hdr,
+                       BinaryImage &image)
+{
+    if (hdr.phoff == 0 || hdr.phnum == 0 || hdr.phentsize < 56)
+        return false;
+    if (hdr.phoff + static_cast<u64>(hdr.phnum) * hdr.phentsize >
+        bytes.size())
+        throw Error("ELF: program header table extends past end of file");
+
+    bool loadedAny = false;
+    int index = 0;
+    for (u16 i = 0; i < hdr.phnum; ++i) {
+        u64 ph = hdr.phoff + static_cast<u64>(i) * hdr.phentsize;
+        u32 type = readLe32(bytes, ph);
+        u32 flags = readLe32(bytes, ph + 4);
+        u64 off = readLe64(bytes, ph + 8);
+        Addr vaddr = readLe64(bytes, ph + 16);
+        u64 filesz = readLe64(bytes, ph + 32);
+
+        if (type != kPtLoad || filesz == 0)
+            continue;
+        if (off + filesz > bytes.size())
+            throw Error("ELF: segment payload extends past end of file");
+
+        SectionFlags sflags;
+        sflags.executable = (flags & kPfX) != 0;
+        sflags.writable = (flags & kPfW) != 0;
+        ByteVec payload(bytes.begin() + off, bytes.begin() + off + filesz);
+        image.addSection(Section("load" + std::to_string(index++), vaddr,
+                                 std::move(payload), sflags));
+        loadedAny = true;
+    }
+    return loadedAny;
+}
+
+} // namespace
+
+bool
+isElf(ByteSpan bytes)
+{
+    return bytes.size() >= 4 && bytes[0] == kMag0 && bytes[1] == kMag1 &&
+           bytes[2] == kMag2 && bytes[3] == kMag3;
+}
+
+BinaryImage
+readElf(ByteSpan bytes, const std::string &name)
+{
+    ElfHeader hdr = parseHeader(bytes);
+    BinaryImage image(name);
+    if (!loadFromSections(bytes, hdr, image) &&
+        !loadFromProgramHeaders(bytes, hdr, image))
+        throw Error("ELF: no loadable sections or segments found");
+    if (hdr.entry != 0)
+        image.addEntryPoint(hdr.entry);
+    return image;
+}
+
+BinaryImage
+readElfFile(const std::string &path)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)>
+        file(std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!file)
+        throw Error("ELF: cannot open " + path);
+    std::fseek(file.get(), 0, SEEK_END);
+    long size = std::ftell(file.get());
+    if (size < 0)
+        throw Error("ELF: cannot stat " + path);
+    std::fseek(file.get(), 0, SEEK_SET);
+    ByteVec bytes(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        std::fread(bytes.data(), 1, bytes.size(), file.get()) !=
+            bytes.size())
+        throw Error("ELF: short read on " + path);
+    return readElf(bytes, path);
+}
+
+} // namespace accdis

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal from-scratch ELF64 reader. Parses just enough of the format
+ * (file header, section headers, string table, entry point) to feed the
+ * disassembly pipeline with stripped x86-64 binaries; no dependence on
+ * libelf or <elf.h>.
+ */
+
+#ifndef ACCDIS_IMAGE_ELF_READER_HH
+#define ACCDIS_IMAGE_ELF_READER_HH
+
+#include <string>
+
+#include "image/binary_image.hh"
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** True when @p bytes starts with the ELF magic. */
+bool isElf(ByteSpan bytes);
+
+/**
+ * Parse an ELF64 little-endian image from memory.
+ * Loads all SHT_PROGBITS sections with the ALLOC flag, marking
+ * executability from SHF_EXECINSTR, and records e_entry as an entry
+ * point. Falls back to program headers when the section table is
+ * missing (fully stripped binaries).
+ *
+ * @throws Error on malformed or unsupported (non-x86-64/ELF32) input.
+ */
+BinaryImage readElf(ByteSpan bytes, const std::string &name);
+
+/** Read an ELF file from disk. @throws Error on I/O or parse failure. */
+BinaryImage readElfFile(const std::string &path);
+
+} // namespace accdis
+
+#endif // ACCDIS_IMAGE_ELF_READER_HH

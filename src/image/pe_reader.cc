@@ -1,0 +1,118 @@
+#include "image/pe_reader.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "support/bytes.hh"
+#include "support/error.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+constexpr u16 kDosMagic = 0x5a4d;      // "MZ"
+constexpr u32 kPeSignature = 0x00004550; // "PE\0\0"
+constexpr u16 kMachineAmd64 = 0x8664;
+constexpr u16 kPe32PlusMagic = 0x20b;
+constexpr u32 kScnMemExecute = 0x20000000;
+constexpr u32 kScnMemWrite = 0x80000000;
+constexpr u32 kScnCntUninitialized = 0x00000080;
+
+} // namespace
+
+bool
+isPe(ByteSpan bytes)
+{
+    return bytes.size() >= 0x40 && readLe16(bytes, 0) == kDosMagic;
+}
+
+BinaryImage
+readPe(ByteSpan bytes, const std::string &name)
+{
+    if (!isPe(bytes))
+        throw Error("PE: missing MZ header");
+    u32 peOff = readLe32(bytes, 0x3c);
+    if (peOff + 24 > bytes.size())
+        throw Error("PE: e_lfanew points past end of file");
+    if (readLe32(bytes, peOff) != kPeSignature)
+        throw Error("PE: bad PE signature");
+
+    // COFF file header.
+    u16 machine = readLe16(bytes, peOff + 4);
+    u16 numSections = readLe16(bytes, peOff + 6);
+    u16 optSize = readLe16(bytes, peOff + 20);
+    if (machine != kMachineAmd64)
+        throw Error("PE: only x86-64 (PE32+) images are supported");
+    u64 optOff = peOff + 24;
+    if (optOff + optSize > bytes.size() || optSize < 112)
+        throw Error("PE: optional header truncated");
+    if (readLe16(bytes, optOff) != kPe32PlusMagic)
+        throw Error("PE: not a PE32+ optional header");
+
+    Addr entryRva = readLe32(bytes, optOff + 16);
+    Addr imageBase = readLe64(bytes, optOff + 24);
+
+    // Section table follows the optional header.
+    u64 secOff = optOff + optSize;
+    if (secOff + static_cast<u64>(numSections) * 40 > bytes.size())
+        throw Error("PE: section table truncated");
+
+    BinaryImage image(name);
+    for (u16 i = 0; i < numSections; ++i) {
+        u64 sh = secOff + static_cast<u64>(i) * 40;
+        std::string secName;
+        for (int c = 0; c < 8 && bytes[sh + c] != 0; ++c)
+            secName.push_back(static_cast<char>(bytes[sh + c]));
+        u32 virtualSize = readLe32(bytes, sh + 8);
+        u32 rva = readLe32(bytes, sh + 12);
+        u32 rawSize = readLe32(bytes, sh + 16);
+        u32 rawOff = readLe32(bytes, sh + 20);
+        u32 characteristics = readLe32(bytes, sh + 36);
+
+        if (characteristics & kScnCntUninitialized)
+            continue; // .bss-style sections carry no bytes.
+        u64 loadSize = std::min<u64>(rawSize, virtualSize ? virtualSize
+                                                          : rawSize);
+        if (loadSize == 0)
+            continue;
+        if (static_cast<u64>(rawOff) + loadSize > bytes.size())
+            throw Error("PE: section payload extends past end of file");
+
+        SectionFlags flags;
+        flags.executable = (characteristics & kScnMemExecute) != 0;
+        flags.writable = (characteristics & kScnMemWrite) != 0;
+        ByteVec payload(bytes.begin() + rawOff,
+                        bytes.begin() + rawOff + loadSize);
+        image.addSection(Section(secName, imageBase + rva,
+                                 std::move(payload), flags));
+    }
+    if (image.sections().empty())
+        throw Error("PE: no loadable sections");
+    if (entryRva != 0)
+        image.addEntryPoint(imageBase + entryRva);
+    return image;
+}
+
+BinaryImage
+readPeFile(const std::string &path)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)>
+        file(std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!file)
+        throw Error("PE: cannot open " + path);
+    std::fseek(file.get(), 0, SEEK_END);
+    long size = std::ftell(file.get());
+    if (size < 0)
+        throw Error("PE: cannot stat " + path);
+    std::fseek(file.get(), 0, SEEK_SET);
+    ByteVec bytes(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        std::fread(bytes.data(), 1, bytes.size(), file.get()) !=
+            bytes.size())
+        throw Error("PE: short read on " + path);
+    return readPe(bytes, path);
+}
+
+} // namespace accdis

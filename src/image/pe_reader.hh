@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal from-scratch PE32+ (Windows x64) reader. The paper's
+ * hardest inputs are MSVC binaries; this reader lets the pipeline
+ * consume them directly: DOS header, COFF header, PE32+ optional
+ * header, and section table — no dependence on Windows headers.
+ */
+
+#ifndef ACCDIS_IMAGE_PE_READER_HH
+#define ACCDIS_IMAGE_PE_READER_HH
+
+#include <string>
+
+#include "image/binary_image.hh"
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** True when @p bytes starts with the DOS "MZ" magic. */
+bool isPe(ByteSpan bytes);
+
+/**
+ * Parse a PE32+ x86-64 image from memory. Loads every section with
+ * raw data, marking executability from the section characteristics,
+ * and records ImageBase + AddressOfEntryPoint as an entry point.
+ *
+ * @throws Error on malformed or unsupported (PE32/non-x64) input.
+ */
+BinaryImage readPe(ByteSpan bytes, const std::string &name);
+
+/** Read a PE file from disk. @throws Error on I/O or parse failure. */
+BinaryImage readPeFile(const std::string &path);
+
+} // namespace accdis
+
+#endif // ACCDIS_IMAGE_PE_READER_HH

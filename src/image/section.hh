@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A named, addressed slice of a binary image.
+ */
+
+#ifndef ACCDIS_IMAGE_SECTION_HH
+#define ACCDIS_IMAGE_SECTION_HH
+
+#include <string>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** Access permissions of a section, as relevant to disassembly. */
+struct SectionFlags
+{
+    bool executable = false;
+    bool writable = false;
+    bool initialized = true;
+};
+
+/**
+ * One section of a binary image: a byte payload with a virtual base
+ * address. Offsets used throughout the analyses are section-relative;
+ * vaddr() converts them to image virtual addresses.
+ */
+class Section
+{
+  public:
+    Section(std::string name, Addr base, ByteVec bytes, SectionFlags flags)
+        : name_(std::move(name)), base_(base), bytes_(std::move(bytes)),
+          flags_(flags)
+    {}
+
+    /** Section name, e.g. ".text". */
+    const std::string &name() const { return name_; }
+
+    /** Virtual address of the first byte. */
+    Addr base() const { return base_; }
+
+    /** Section payload. */
+    ByteSpan bytes() const { return bytes_; }
+
+    /** Number of payload bytes. */
+    u64 size() const { return bytes_.size(); }
+
+    /** Permission flags. */
+    const SectionFlags &flags() const { return flags_; }
+
+    /** Virtual address of section-relative @p off. */
+    Addr vaddr(Offset off) const { return base_ + off; }
+
+    /** True when virtual address @p addr falls inside this section. */
+    bool
+    containsVaddr(Addr addr) const
+    {
+        return addr >= base_ && addr - base_ < size();
+    }
+
+    /** Section-relative offset of @p addr. @pre containsVaddr(addr). */
+    Offset toOffset(Addr addr) const { return addr - base_; }
+
+  private:
+    std::string name_;
+    Addr base_;
+    ByteVec bytes_;
+    SectionFlags flags_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_IMAGE_SECTION_HH

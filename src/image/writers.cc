@@ -1,0 +1,207 @@
+#include "image/writers.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "support/bytes.hh"
+#include "support/error.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+u64
+alignUp(u64 value, u64 align)
+{
+    return (value + align - 1) / align * align;
+}
+
+} // namespace
+
+ByteVec
+writeElf(const BinaryImage &image)
+{
+    const auto &sections = image.sections();
+    if (sections.empty())
+        throw Error("writeElf: image has no sections");
+
+    // Layout: [ehdr][payloads...][shstrtab][shdrs].
+    const u64 ehdrSize = 64;
+    ByteVec out(ehdrSize, 0);
+
+    // Payloads (16-byte aligned for readability).
+    std::vector<u64> payloadOff(sections.size());
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        out.resize(alignUp(out.size(), 16), 0);
+        payloadOff[i] = out.size();
+        ByteSpan bytes = sections[i].bytes();
+        out.insert(out.end(), bytes.begin(), bytes.end());
+    }
+
+    // Section-name string table: "\0" + names + ".shstrtab".
+    u64 strtabOff = out.size();
+    ByteVec strtab;
+    strtab.push_back(0);
+    std::vector<u32> nameOff(sections.size());
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        nameOff[i] = static_cast<u32>(strtab.size());
+        for (char c : sections[i].name())
+            strtab.push_back(static_cast<u8>(c));
+        strtab.push_back(0);
+    }
+    u32 shstrtabName = static_cast<u32>(strtab.size());
+    for (char c : std::string(".shstrtab"))
+        strtab.push_back(static_cast<u8>(c));
+    strtab.push_back(0);
+    out.insert(out.end(), strtab.begin(), strtab.end());
+
+    // Section headers: null + sections + shstrtab.
+    out.resize(alignUp(out.size(), 8), 0);
+    u64 shoff = out.size();
+    u16 shnum = static_cast<u16>(sections.size() + 2);
+    out.resize(out.size() + static_cast<u64>(shnum) * 64, 0);
+
+    auto shdr = [&](u16 index) { return shoff + index * u64{64}; };
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        u64 sh = shdr(static_cast<u16>(i + 1));
+        const Section &sec = sections[i];
+        writeLe32(out, sh + 0, nameOff[i]);
+        writeLe32(out, sh + 4, 1); // SHT_PROGBITS
+        u64 flags = 0x2;           // SHF_ALLOC
+        if (sec.flags().executable)
+            flags |= 0x4; // SHF_EXECINSTR
+        if (sec.flags().writable)
+            flags |= 0x1; // SHF_WRITE
+        writeLe64(out, sh + 8, flags);
+        writeLe64(out, sh + 16, sec.base());
+        writeLe64(out, sh + 24, payloadOff[i]);
+        writeLe64(out, sh + 32, sec.size());
+        writeLe64(out, sh + 48, 16); // alignment
+    }
+    {
+        u64 sh = shdr(static_cast<u16>(sections.size() + 1));
+        writeLe32(out, sh + 0, shstrtabName);
+        writeLe32(out, sh + 4, 3); // SHT_STRTAB
+        writeLe64(out, sh + 24, strtabOff);
+        writeLe64(out, sh + 32, strtab.size());
+    }
+
+    // ELF header.
+    out[0] = 0x7f;
+    out[1] = 'E';
+    out[2] = 'L';
+    out[3] = 'F';
+    out[4] = 2; // ELFCLASS64
+    out[5] = 1; // little endian
+    out[6] = 1; // EV_CURRENT
+    out[16] = 2; // ET_EXEC
+    out[18] = 62; // EM_X86_64
+    writeLe32(out, 20, 1); // e_version
+    Addr entry = image.entryPoints().empty() ? 0
+                                             : image.entryPoints()[0];
+    writeLe64(out, 24, entry);
+    writeLe64(out, 40, shoff);
+    out[52] = 64; // e_ehsize
+    out[58] = 64; // e_shentsize
+    out[60] = static_cast<u8>(shnum);
+    out[61] = static_cast<u8>(shnum >> 8);
+    u16 shstrndx = static_cast<u16>(sections.size() + 1);
+    out[62] = static_cast<u8>(shstrndx);
+    out[63] = static_cast<u8>(shstrndx >> 8);
+    return out;
+}
+
+ByteVec
+writePe(const BinaryImage &image)
+{
+    const auto &sections = image.sections();
+    if (sections.empty())
+        throw Error("writePe: image has no sections");
+
+    // Use the lowest section base as ImageBase (RVAs must be >= 0).
+    Addr imageBase = ~Addr{0};
+    for (const auto &sec : sections)
+        imageBase = std::min(imageBase, sec.base());
+    imageBase &= ~Addr{0xfff};
+    // Keep the first section's RVA non-zero: an entry point at RVA 0
+    // would read back as "no entry point".
+    imageBase = imageBase >= 0x1000 ? imageBase - 0x1000 : 0;
+
+    const u32 optSize = 240; // standard PE32+ optional header
+    const u32 peOff = 0x80;
+    const u64 headersEnd =
+        peOff + 24 + optSize + sections.size() * u64{40};
+    u64 rawCursor = alignUp(headersEnd, 0x200);
+
+    ByteVec out(rawCursor, 0);
+
+    // DOS header: just the magic and e_lfanew.
+    out[0] = 'M';
+    out[1] = 'Z';
+    writeLe32(out, 0x3c, peOff);
+
+    // PE signature + COFF header.
+    writeLe32(out, peOff, 0x00004550);
+    out[peOff + 4] = 0x64; // machine 0x8664
+    out[peOff + 5] = 0x86;
+    out[peOff + 6] = static_cast<u8>(sections.size());
+    out[peOff + 7] = static_cast<u8>(sections.size() >> 8);
+    out[peOff + 20] = static_cast<u8>(optSize);
+    out[peOff + 21] = static_cast<u8>(optSize >> 8);
+    // Characteristics: EXECUTABLE_IMAGE | LARGE_ADDRESS_AWARE.
+    out[peOff + 22] = 0x22;
+
+    // Optional header (PE32+).
+    u64 opt = peOff + 24;
+    out[opt] = 0x0b; // magic 0x20b
+    out[opt + 1] = 0x02;
+    Addr entry = image.entryPoints().empty() ? imageBase
+                                             : image.entryPoints()[0];
+    writeLe32(out, opt + 16, static_cast<u32>(entry - imageBase));
+    writeLe64(out, opt + 24, imageBase);
+    writeLe32(out, opt + 32, 0x1000); // SectionAlignment
+    writeLe32(out, opt + 36, 0x200);  // FileAlignment
+
+    // Section table + payloads.
+    u64 secTab = opt + optSize;
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        const Section &sec = sections[i];
+        u64 sh = secTab + i * 40;
+        std::string name = sec.name().substr(0, 8);
+        for (std::size_t c = 0; c < name.size(); ++c)
+            out[sh + c] = static_cast<u8>(name[c]);
+        writeLe32(out, sh + 8, static_cast<u32>(sec.size()));
+        writeLe32(out, sh + 12, static_cast<u32>(sec.base() - imageBase));
+        u32 rawSize =
+            static_cast<u32>(alignUp(sec.size(), 0x200));
+        writeLe32(out, sh + 16, rawSize);
+        writeLe32(out, sh + 20, static_cast<u32>(out.size()));
+        u32 characteristics = 0x40000000; // MEM_READ
+        if (sec.flags().executable)
+            characteristics |= 0x20000000 | 0x20; // MEM_EXECUTE|CNT_CODE
+        if (sec.flags().writable)
+            characteristics |= 0x80000000;
+        writeLe32(out, sh + 36, characteristics);
+
+        ByteSpan bytes = sec.bytes();
+        out.insert(out.end(), bytes.begin(), bytes.end());
+        out.resize(alignUp(out.size(), 0x200), 0);
+    }
+    return out;
+}
+
+void
+writeFileBytes(const std::string &path, ByteSpan bytes)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)>
+        file(std::fopen(path.c_str(), "wb"), &std::fclose);
+    if (!file)
+        throw Error("cannot open " + path + " for writing");
+    if (std::fwrite(bytes.data(), 1, bytes.size(), file.get()) !=
+        bytes.size())
+        throw Error("short write on " + path);
+}
+
+} // namespace accdis

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Minimal ELF64 and PE32+ writers: serialize a BinaryImage (e.g. a
+ * synthesized corpus binary) into a real on-disk object that external
+ * tools (objdump, IDA, Ghidra) can open. Round-trips through the
+ * in-repo readers.
+ */
+
+#ifndef ACCDIS_IMAGE_WRITERS_HH
+#define ACCDIS_IMAGE_WRITERS_HH
+
+#include <string>
+
+#include "image/binary_image.hh"
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** Serialize @p image as a minimal ELF64 x86-64 executable image. */
+ByteVec writeElf(const BinaryImage &image);
+
+/** Serialize @p image as a minimal PE32+ x86-64 image. */
+ByteVec writePe(const BinaryImage &image);
+
+/** Write @p bytes to @p path. @throws Error on I/O failure. */
+void writeFileBytes(const std::string &path, ByteSpan bytes);
+
+} // namespace accdis
+
+#endif // ACCDIS_IMAGE_WRITERS_HH

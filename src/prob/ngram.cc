@@ -1,0 +1,283 @@
+#include "prob/ngram.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "support/bytes.hh"
+#include "support/error.hh"
+#include "synth/corpus.hh"
+#include "synth/datagen.hh"
+#include "x86/decoder.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+/** Convert a count row into smoothed log2 probabilities. */
+void
+smoothRow(const u32 *counts, float *out, int n, double alpha)
+{
+    double total = 0.0;
+    for (int i = 0; i < n; ++i)
+        total += counts[i];
+    double denom = total + alpha * n;
+    for (int i = 0; i < n; ++i)
+        out[i] = static_cast<float>(
+            std::log2((counts[i] + alpha) / denom));
+}
+
+void
+serializeFloats(ByteVec &out, const std::vector<float> &values)
+{
+    for (float v : values) {
+        u32 bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        appendLe32(out, bits);
+    }
+}
+
+std::vector<float>
+deserializeFloats(ByteSpan bytes, Offset &cursor, std::size_t count)
+{
+    if (cursor + count * 4 > bytes.size())
+        throw Error("ngram: truncated model payload");
+    std::vector<float> values(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        u32 bits = readLe32(bytes, cursor);
+        cursor += 4;
+        __builtin_memcpy(&values[i], &bits, sizeof(float));
+    }
+    return values;
+}
+
+} // namespace
+
+CodeNgramModel::CodeNgramModel()
+    : counts_(static_cast<std::size_t>(kCodeTokens) * kCodeTokens, 0),
+      triCounts_(static_cast<std::size_t>(kCodeTokens) * kCodeTokens *
+                     kCodeTokens,
+                 0)
+{}
+
+void
+CodeNgramModel::addSequence(const std::vector<int> &tokens)
+{
+    int prev2 = kStartToken;
+    int prev = kStartToken;
+    for (int token : tokens) {
+        assert(token >= 0 && token < kCodeTokens);
+        ++counts_[static_cast<std::size_t>(prev) * kCodeTokens +
+                  static_cast<std::size_t>(token)];
+        ++triCounts_[triIndex(prev2, prev, token)];
+        ++total_;
+        prev2 = prev;
+        prev = token;
+    }
+}
+
+void
+CodeNgramModel::train(double alpha, double lambda)
+{
+    // Bigram backoff.
+    logProb_.resize(counts_.size());
+    for (int prev = 0; prev < kCodeTokens; ++prev) {
+        smoothRow(&counts_[static_cast<std::size_t>(prev) * kCodeTokens],
+                  &logProb_[static_cast<std::size_t>(prev) * kCodeTokens],
+                  kCodeTokens, alpha);
+    }
+
+    // Trigram interpolated with the bigram:
+    //   P(cur | p2, p1) = lambda * P3 + (1 - lambda) * P2.
+    triLogProb_.resize(triCounts_.size());
+    const std::size_t t = static_cast<std::size_t>(kCodeTokens);
+    for (std::size_t ctx = 0; ctx < t * t; ++ctx) {
+        const u32 *row = &triCounts_[ctx * t];
+        double rowTotal = 0.0;
+        for (std::size_t cur = 0; cur < t; ++cur)
+            rowTotal += row[cur];
+        double denom = rowTotal + alpha * static_cast<double>(t);
+        std::size_t prev1 = ctx % t;
+        const float *bigramRow = &logProb_[prev1 * t];
+        for (std::size_t cur = 0; cur < t; ++cur) {
+            double p3 = (row[cur] + alpha) / denom;
+            double p2 = std::exp2(
+                static_cast<double>(bigramRow[cur]));
+            triLogProb_[ctx * t + cur] = static_cast<float>(
+                std::log2(lambda * p3 + (1.0 - lambda) * p2));
+        }
+    }
+    trained_ = true;
+}
+
+double
+CodeNgramModel::logProb(int prev, int cur) const
+{
+    assert(trained_);
+    assert(prev >= 0 && prev < kCodeTokens && cur >= 0 &&
+           cur < kCodeTokens);
+    return logProb_[static_cast<std::size_t>(prev) * kCodeTokens +
+                    static_cast<std::size_t>(cur)];
+}
+
+double
+CodeNgramModel::logProb3(int prev2, int prev1, int cur) const
+{
+    assert(trained_);
+    return triLogProb_[triIndex(prev2, prev1, cur)];
+}
+
+ByteVec
+CodeNgramModel::serialize() const
+{
+    assert(trained_);
+    ByteVec out;
+    appendLe32(out, 0x4243444eu); // "NDCB" (v2: bigram + trigram)
+    appendLe32(out, static_cast<u32>(kCodeTokens));
+    appendLe64(out, total_);
+    serializeFloats(out, logProb_);
+    serializeFloats(out, triLogProb_);
+    return out;
+}
+
+CodeNgramModel
+CodeNgramModel::deserialize(ByteSpan bytes)
+{
+    if (bytes.size() < 16 || readLe32(bytes, 0) != 0x4243444eu)
+        throw Error("ngram: bad code-model header");
+    if (readLe32(bytes, 4) != static_cast<u32>(kCodeTokens))
+        throw Error("ngram: token-alphabet mismatch");
+    CodeNgramModel model;
+    model.total_ = readLe64(bytes, 8);
+    Offset cursor = 16;
+    const std::size_t t = static_cast<std::size_t>(kCodeTokens);
+    model.logProb_ = deserializeFloats(bytes, cursor, t * t);
+    model.triLogProb_ = deserializeFloats(bytes, cursor, t * t * t);
+    model.trained_ = true;
+    return model;
+}
+
+DataByteModel::DataByteModel() : counts_(256 * 256, 0) {}
+
+void
+DataByteModel::addBytes(ByteSpan bytes)
+{
+    if (bytes.empty())
+        return;
+    u8 prev = 0;
+    for (u8 b : bytes) {
+        ++counts_[static_cast<std::size_t>(prev) * 256 + b];
+        prev = b;
+    }
+    total_ += bytes.size();
+}
+
+void
+DataByteModel::train(double alpha)
+{
+    logProb_.resize(counts_.size());
+    for (int prev = 0; prev < 256; ++prev) {
+        smoothRow(&counts_[static_cast<std::size_t>(prev) * 256],
+                  &logProb_[static_cast<std::size_t>(prev) * 256], 256,
+                  alpha);
+    }
+    trained_ = true;
+}
+
+double
+DataByteModel::logProb(u8 prev, u8 cur) const
+{
+    assert(trained_);
+    return logProb_[static_cast<std::size_t>(prev) * 256 + cur];
+}
+
+ByteVec
+DataByteModel::serialize() const
+{
+    assert(trained_);
+    ByteVec out;
+    appendLe32(out, 0x4144444eu); // "NDDA"
+    appendLe64(out, total_);
+    serializeFloats(out, logProb_);
+    return out;
+}
+
+DataByteModel
+DataByteModel::deserialize(ByteSpan bytes)
+{
+    if (bytes.size() < 12 || readLe32(bytes, 0) != 0x4144444eu)
+        throw Error("ngram: bad data-model header");
+    DataByteModel model;
+    model.total_ = readLe64(bytes, 4);
+    Offset cursor = 12;
+    model.logProb_ = deserializeFloats(bytes, cursor, 256 * 256);
+    model.trained_ = true;
+    return model;
+}
+
+ProbModel
+trainProbModel(u64 seed, u64 approxCodeBytes)
+{
+    ProbModel model;
+
+    // Code side: synthesize pure-code binaries and feed the true
+    // instruction token streams, split at control-flow boundaries.
+    u64 codeBytes = 0;
+    u64 round = 0;
+    while (codeBytes < approxCodeBytes) {
+        synth::CorpusConfig config;
+        config.seed = seed + 1000 * round++;
+        config.numFunctions = 48;
+        config.dataFraction = 0.0;
+        config.pointerSlots = 0;
+        config.jumpTableFraction = 0.0; // keep the stream data-free
+        synth::SynthBinary bin = synth::buildSynthBinary(config);
+        ByteSpan bytes = bin.image.section(0).bytes();
+
+        std::vector<int> tokens;
+        for (Offset off : bin.truth.insnStarts()) {
+            x86::Instruction insn = x86::decode(bytes, off);
+            assert(insn.valid());
+            tokens.push_back(codeToken(insn.op, insn.opcodeByte));
+            if (!insn.fallsThrough()) {
+                model.code.addSequence(tokens);
+                tokens.clear();
+            }
+        }
+        if (!tokens.empty())
+            model.code.addSequence(tokens);
+        codeBytes += bin.stats.codeBytes;
+    }
+    model.code.train();
+
+    // Data side: the embedded-data mixture.
+    Rng rng(seed ^ 0x9e3779b9u);
+    synth::DataGenerator datagen(rng);
+    const u64 dataBytes = approxCodeBytes / 2 + 4096;
+    u64 emitted = 0;
+    static const synth::DataKind kTrainKinds[] = {
+        synth::DataKind::AsciiStrings, synth::DataKind::ConstPool,
+        synth::DataKind::RandomBlob, synth::DataKind::ZeroRun,
+        synth::DataKind::Utf16Strings,
+    };
+    while (emitted < dataBytes) {
+        synth::DataKind kind =
+            kTrainKinds[rng.below(std::size(kTrainKinds))];
+        ByteVec blob = datagen.generate(kind, 512);
+        model.data.addBytes(blob);
+        emitted += blob.size();
+    }
+    model.data.train();
+    return model;
+}
+
+const ProbModel &
+defaultProbModel()
+{
+    static const ProbModel model = trainProbModel(0xacc0ffee, 512 * 1024);
+    return model;
+}
+
+} // namespace accdis

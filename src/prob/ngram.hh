@@ -1,0 +1,143 @@
+/**
+ * @file
+ * N-gram models backing the data-driven probabilistic classifier:
+ * an order-1 Markov model over instruction-mnemonic tokens for code,
+ * and an order-1 byte bigram model for data.
+ */
+
+#ifndef ACCDIS_PROB_NGRAM_HH
+#define ACCDIS_PROB_NGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+#include "x86/instruction.hh"
+
+namespace accdis
+{
+
+/**
+ * Token alphabet: one token per x86::Op, 32 sub-tokens refining the
+ * aggregate Sse class by opcode-byte bucket (movaps behaves nothing
+ * like pcmpeq statistically), plus a chain-start token.
+ */
+inline constexpr int kSseBuckets = 32;
+inline constexpr int kCodeTokens =
+    static_cast<int>(x86::Op::NumOps) + kSseBuckets + 1;
+
+/** The chain-start pseudo-token. */
+inline constexpr int kStartToken = kCodeTokens - 1;
+
+/** Token for an instruction mnemonic (+ SSE opcode bucket). */
+inline int
+codeToken(x86::Op op, u8 opcodeByte = 0)
+{
+    if (op == x86::Op::Sse)
+        return static_cast<int>(x86::Op::NumOps) + (opcodeByte >> 3);
+    return static_cast<int>(op);
+}
+
+/**
+ * Order-2 Markov model over mnemonic tokens: trigram counts
+ * interpolated with a bigram backoff (both add-alpha smoothed).
+ * Trained from real token sequences; logProb()/logProb3() return
+ * smoothed log2 transition probabilities.
+ */
+class CodeNgramModel
+{
+  public:
+    CodeNgramModel();
+
+    /** Accumulate one token sequence (one basic block / function). */
+    void addSequence(const std::vector<int> &tokens);
+
+    /**
+     * Finalize counts into log-probabilities. @p lambda weights the
+     * trigram estimate against the bigram backoff.
+     */
+    void train(double alpha = 0.5, double lambda = 0.6);
+
+    /** log2 P(cur | prev) from the bigram backoff. @pre trained. */
+    double logProb(int prev, int cur) const;
+
+    /** log2 P(cur | prev2, prev1), trigram/bigram interpolated. */
+    double logProb3(int prev2, int prev1, int cur) const;
+
+    /** Total tokens seen during training. */
+    u64 trainedTokens() const { return total_; }
+
+    /** Serialize / deserialize (little-endian floats). */
+    ByteVec serialize() const;
+    static CodeNgramModel deserialize(ByteSpan bytes);
+
+  private:
+    std::size_t
+    triIndex(int prev2, int prev1, int cur) const
+    {
+        return (static_cast<std::size_t>(prev2) * kCodeTokens +
+                static_cast<std::size_t>(prev1)) *
+                   kCodeTokens +
+               static_cast<std::size_t>(cur);
+    }
+
+    std::vector<u32> counts_;    // [T * T] bigram
+    std::vector<u32> triCounts_; // [T * T * T] trigram
+    std::vector<float> logProb_;    // bigram backoff
+    std::vector<float> triLogProb_; // interpolated trigram
+    u64 total_ = 0;
+    bool trained_ = false;
+};
+
+/**
+ * Order-1 byte bigram model for embedded data with add-alpha
+ * smoothing.
+ */
+class DataByteModel
+{
+  public:
+    DataByteModel();
+
+    /** Accumulate a data blob. */
+    void addBytes(ByteSpan bytes);
+
+    /** Finalize counts into log-probabilities. */
+    void train(double alpha = 0.5);
+
+    /** log2 P(cur | prev). @pre trained. */
+    double logProb(u8 prev, u8 cur) const;
+
+    u64 trainedBytes() const { return total_; }
+
+    ByteVec serialize() const;
+    static DataByteModel deserialize(ByteSpan bytes);
+
+  private:
+    std::vector<u32> counts_;   // [256 * 256]
+    std::vector<float> logProb_;
+    u64 total_ = 0;
+    bool trained_ = false;
+};
+
+/** The pair of models the scorer consumes. */
+struct ProbModel
+{
+    CodeNgramModel code;
+    DataByteModel data;
+};
+
+/**
+ * Train a model pair from synthesized corpora with the given seed and
+ * approximate training volume (bytes of code).
+ */
+ProbModel trainProbModel(u64 seed, u64 approxCodeBytes);
+
+/**
+ * The default model pair: trained once per process from a fixed seed
+ * (deterministic), then cached.
+ */
+const ProbModel &defaultProbModel();
+
+} // namespace accdis
+
+#endif // ACCDIS_PROB_NGRAM_HH

@@ -1,0 +1,62 @@
+#include "prob/scorer.hh"
+
+namespace accdis
+{
+
+LikelihoodScorer::LikelihoodScorer(const ProbModel &model,
+                                   const Superset &superset,
+                                   ScorerConfig config)
+    : model_(model), superset_(superset), config_(config)
+{}
+
+double
+LikelihoodScorer::scoreAt(Offset off) const
+{
+    return scoreChain(off, config_.window);
+}
+
+double
+LikelihoodScorer::scoreChain(Offset off, int maxInsns) const
+{
+    if (!superset_.validAt(off))
+        return -64.0;
+
+    ByteSpan bytes = superset_.bytes();
+    double codeLog = 0.0;
+    double dataLog = 0.0;
+    u64 coveredBytes = 0;
+    int prev2 = kStartToken;
+    int prev = kStartToken;
+
+    Offset cursor = off;
+    for (int i = 0; i < maxInsns; ++i) {
+        if (cursor >= superset_.size() || !superset_.validAt(cursor)) {
+            // Chain runs into garbage: charge a strong penalty in
+            // place of the missing tokens.
+            codeLog -= 12.0;
+            break;
+        }
+        const SupersetNode &node = superset_.node(cursor);
+        int token = codeToken(node.op, node.opcodeByte);
+        codeLog += model_.code.logProb3(prev2, prev, token);
+        prev2 = prev;
+        prev = token;
+
+        u8 prevByte = cursor == 0 ? 0 : bytes[cursor - 1];
+        for (Offset b = cursor; b < cursor + node.length; ++b) {
+            dataLog += model_.data.logProb(prevByte, bytes[b]);
+            prevByte = bytes[b];
+        }
+        coveredBytes += node.length;
+
+        if (!node.fallsThrough())
+            break;
+        cursor += node.length;
+    }
+
+    if (coveredBytes == 0)
+        return -64.0;
+    return (codeLog - dataLog) / static_cast<double>(coveredBytes);
+}
+
+} // namespace accdis

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Likelihood-ratio scoring of candidate instruction chains: how much
+ * more plausible is "code starts here" than "these bytes are data"?
+ */
+
+#ifndef ACCDIS_PROB_SCORER_HH
+#define ACCDIS_PROB_SCORER_HH
+
+#include "prob/ngram.hh"
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+/** Tunables for the likelihood scorer. */
+struct ScorerConfig
+{
+    /** Instructions examined along the fallthrough chain. */
+    int window = 8;
+};
+
+/**
+ * Scores a candidate offset by walking its fallthrough chain,
+ * accumulating log2 P(token stream | code model) and
+ * log2 P(raw bytes | data model), and reporting the per-byte
+ * log-likelihood ratio. Positive means "more code-like than
+ * data-like".
+ */
+class LikelihoodScorer
+{
+  public:
+    LikelihoodScorer(const ProbModel &model, const Superset &superset,
+                     ScorerConfig config = {});
+
+    /**
+     * Per-byte LLR of the chain starting at @p off. Returns a large
+     * negative value when no valid decode exists at @p off.
+     */
+    double scoreAt(Offset off) const;
+
+    /** LLR of a specific chain length (used by gap refinement). */
+    double scoreChain(Offset off, int maxInsns) const;
+
+  private:
+    const ProbModel &model_;
+    const Superset &superset_;
+    ScorerConfig config_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_PROB_SCORER_HH

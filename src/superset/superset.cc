@@ -1,0 +1,37 @@
+#include "superset/superset.hh"
+
+#include "x86/decoder.hh"
+
+namespace accdis
+{
+
+Superset::Superset(ByteSpan bytes) : bytes_(bytes)
+{
+    nodes_.resize(bytes.size());
+    for (Offset off = 0; off < bytes.size(); ++off) {
+        x86::Instruction insn = x86::decode(bytes, off);
+        if (!insn.valid())
+            continue;
+        SupersetNode &n = nodes_[off];
+        n.length = insn.length;
+        n.opcodeByte = insn.opcodeByte;
+        n.op = insn.op;
+        n.flow = insn.flow;
+        n.flags = insn.flags;
+        n.hasTarget = insn.hasTarget;
+        if (insn.hasTarget)
+            n.targetRel =
+                static_cast<s32>(insn.target - static_cast<s64>(off));
+        n.regsRead = insn.regsRead;
+        n.regsWritten = insn.regsWritten;
+        ++validCount_;
+    }
+}
+
+x86::Instruction
+Superset::decodeFull(Offset off) const
+{
+    return x86::decode(bytes_, off);
+}
+
+} // namespace accdis

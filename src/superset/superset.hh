@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Superset ("exhaustive") disassembly: one decode attempt at every
+ * byte offset of a section, stored compactly for the analyses.
+ */
+
+#ifndef ACCDIS_SUPERSET_SUPERSET_HH
+#define ACCDIS_SUPERSET_SUPERSET_HH
+
+#include <vector>
+
+#include "support/types.hh"
+#include "x86/instruction.hh"
+
+namespace accdis
+{
+
+/**
+ * Compact per-offset summary of a superset decode. A full Instruction
+ * is ~100 bytes; keeping one per section byte would be prohibitive for
+ * multi-megabyte sections, so the superset stores only the facets the
+ * analyses consume and re-decodes on demand for the rest.
+ */
+struct SupersetNode
+{
+    u8 length = 0; ///< 0 means the decode at this offset is invalid.
+    u8 opcodeByte = 0; ///< Last opcode byte (n-gram sub-tokens).
+    x86::Op op = x86::Op::Invalid;
+    x86::CtrlFlow flow = x86::CtrlFlow::None;
+    u16 flags = 0;
+    s32 targetRel = 0; ///< Branch target minus node offset.
+    bool hasTarget = false;
+    x86::RegMask regsRead = 0;
+    x86::RegMask regsWritten = 0;
+
+    bool valid() const { return length != 0; }
+
+    bool
+    fallsThrough() const
+    {
+        using x86::CtrlFlow;
+        switch (flow) {
+          case CtrlFlow::None:
+          case CtrlFlow::CondJump:
+          case CtrlFlow::Call:
+          case CtrlFlow::IndirectCall:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool
+    hasDirectTarget() const
+    {
+        using x86::CtrlFlow;
+        return hasTarget &&
+               (flow == CtrlFlow::Jump || flow == CtrlFlow::CondJump ||
+                flow == CtrlFlow::Call);
+    }
+};
+
+/**
+ * The superset instruction graph over one section: a node per offset
+ * plus fallthrough/branch successor accessors.
+ */
+class Superset
+{
+  public:
+    /** Decode every offset of @p bytes. */
+    explicit Superset(ByteSpan bytes);
+
+    /** Number of byte offsets (== section size). */
+    std::size_t size() const { return nodes_.size(); }
+
+    /** The raw section bytes the superset was built over. */
+    ByteSpan bytes() const { return bytes_; }
+
+    /** Node at @p off. @pre off < size(). */
+    const SupersetNode &node(Offset off) const { return nodes_[off]; }
+
+    /** True when a valid instruction decodes at @p off. */
+    bool
+    validAt(Offset off) const
+    {
+        return off < nodes_.size() && nodes_[off].valid();
+    }
+
+    /** Fallthrough successor offset, or kNoAddr when none. */
+    Offset
+    fallthrough(Offset off) const
+    {
+        const SupersetNode &n = nodes_[off];
+        if (!n.valid() || !n.fallsThrough())
+            return kNoAddr;
+        Offset next = off + n.length;
+        return next < nodes_.size() ? next : kNoAddr;
+    }
+
+    /**
+     * Direct branch target offset, or kNoAddr when the node has no
+     * direct target or the target escapes the section.
+     */
+    Offset
+    target(Offset off) const
+    {
+        const SupersetNode &n = nodes_[off];
+        if (!n.valid() || !n.hasDirectTarget())
+            return kNoAddr;
+        s64 t = static_cast<s64>(off) + n.targetRel;
+        if (t < 0 || static_cast<u64>(t) >= nodes_.size())
+            return kNoAddr;
+        return static_cast<Offset>(t);
+    }
+
+    /**
+     * True when the node's direct target leaves the section (distinct
+     * from having no target at all).
+     */
+    bool
+    targetEscapes(Offset off) const
+    {
+        const SupersetNode &n = nodes_[off];
+        if (!n.valid() || !n.hasDirectTarget())
+            return false;
+        s64 t = static_cast<s64>(off) + n.targetRel;
+        return t < 0 || static_cast<u64>(t) >= nodes_.size();
+    }
+
+    /** Count of offsets with a valid decode. */
+    u64 validCount() const { return validCount_; }
+
+    /** Re-decode the full Instruction at @p off (on-demand detail). */
+    x86::Instruction decodeFull(Offset off) const;
+
+  private:
+    ByteSpan bytes_;
+    std::vector<SupersetNode> nodes_;
+    u64 validCount_ = 0;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPERSET_SUPERSET_HH

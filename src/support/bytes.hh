@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Little-endian byte packing/unpacking helpers.
+ */
+
+#ifndef ACCDIS_SUPPORT_BYTES_HH
+#define ACCDIS_SUPPORT_BYTES_HH
+
+#include <cassert>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** Read a little-endian 16-bit value. @pre span has >= 2 bytes at off. */
+inline u16
+readLe16(ByteSpan bytes, Offset off)
+{
+    assert(off + 2 <= bytes.size());
+    return static_cast<u16>(bytes[off]) |
+           static_cast<u16>(bytes[off + 1]) << 8;
+}
+
+/** Read a little-endian 32-bit value. @pre span has >= 4 bytes at off. */
+inline u32
+readLe32(ByteSpan bytes, Offset off)
+{
+    assert(off + 4 <= bytes.size());
+    return static_cast<u32>(bytes[off]) |
+           static_cast<u32>(bytes[off + 1]) << 8 |
+           static_cast<u32>(bytes[off + 2]) << 16 |
+           static_cast<u32>(bytes[off + 3]) << 24;
+}
+
+/** Read a little-endian 64-bit value. @pre span has >= 8 bytes at off. */
+inline u64
+readLe64(ByteSpan bytes, Offset off)
+{
+    assert(off + 8 <= bytes.size());
+    return static_cast<u64>(readLe32(bytes, off)) |
+           static_cast<u64>(readLe32(bytes, off + 4)) << 32;
+}
+
+/** Append a little-endian 16-bit value. */
+inline void
+appendLe16(ByteVec &out, u16 v)
+{
+    out.push_back(static_cast<u8>(v));
+    out.push_back(static_cast<u8>(v >> 8));
+}
+
+/** Append a little-endian 32-bit value. */
+inline void
+appendLe32(ByteVec &out, u32 v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+/** Append a little-endian 64-bit value. */
+inline void
+appendLe64(ByteVec &out, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+/** Overwrite a little-endian 32-bit value in place. */
+inline void
+writeLe32(ByteVec &out, Offset off, u32 v)
+{
+    assert(off + 4 <= out.size());
+    for (int i = 0; i < 4; ++i)
+        out[off + i] = static_cast<u8>(v >> (8 * i));
+}
+
+/** Overwrite a little-endian 64-bit value in place. */
+inline void
+writeLe64(ByteVec &out, Offset off, u64 v)
+{
+    assert(off + 8 <= out.size());
+    for (int i = 0; i < 8; ++i)
+        out[off + i] = static_cast<u8>(v >> (8 * i));
+}
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_BYTES_HH

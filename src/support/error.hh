@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Exception type raised at accdis API boundaries.
+ */
+
+#ifndef ACCDIS_SUPPORT_ERROR_HH
+#define ACCDIS_SUPPORT_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace accdis
+{
+
+/**
+ * Error raised when a library entry point is handed invalid input
+ * (malformed image, bad configuration). Internal invariants use
+ * assertions instead; an Error always indicates a caller problem.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_ERROR_HH

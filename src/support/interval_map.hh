@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Half-open interval containers keyed by byte offset. Used for ground
+ * truth maps, classifier output, and data-region bookkeeping.
+ */
+
+#ifndef ACCDIS_SUPPORT_INTERVAL_MAP_HH
+#define ACCDIS_SUPPORT_INTERVAL_MAP_HH
+
+#include <cassert>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/**
+ * A map from disjoint half-open intervals [begin, end) to labels.
+ * Adjacent intervals with equal labels are coalesced. Insertion
+ * overwrites any previously stored labels in the inserted range
+ * (last-writer-wins), which is the natural semantics for layered
+ * classification passes.
+ */
+template <typename Label>
+class IntervalMap
+{
+  public:
+    /** One stored interval. */
+    struct Entry
+    {
+        Offset begin;
+        Offset end;
+        Label label;
+    };
+
+    /** Remove all intervals. */
+    void clear() { map_.clear(); }
+
+    /** True when no interval is stored. */
+    bool empty() const { return map_.empty(); }
+
+    /** Number of stored (coalesced) intervals. */
+    std::size_t size() const { return map_.size(); }
+
+    /**
+     * Assign @p label to [begin, end), splitting or overwriting any
+     * existing overlapping intervals. Empty ranges are ignored.
+     */
+    void
+    assign(Offset begin, Offset end, const Label &label)
+    {
+        if (begin >= end)
+            return;
+        // Find first interval that could overlap, possibly splitting it.
+        auto it = map_.lower_bound(begin);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > begin) {
+                // prev overlaps the front of the new range; split it.
+                Node tail = prev->second;
+                prev->second.end = begin;
+                if (tail.end > end)
+                    map_.emplace(end, Node{tail.end, tail.label});
+                it = map_.lower_bound(begin);
+            }
+        }
+        // Remove intervals fully shadowed by the new range; split the
+        // last one if it extends past end.
+        while (it != map_.end() && it->first < end) {
+            if (it->second.end > end) {
+                Node tail = it->second;
+                map_.emplace(end, Node{tail.end, tail.label});
+                it = map_.erase(it);
+                break;
+            }
+            it = map_.erase(it);
+        }
+        map_.emplace(begin, Node{end, label});
+        coalesceAround(begin, end);
+    }
+
+    /** Label covering @p off, if any. */
+    std::optional<Label>
+    at(Offset off) const
+    {
+        auto it = map_.upper_bound(off);
+        if (it == map_.begin())
+            return std::nullopt;
+        --it;
+        if (off < it->second.end)
+            return it->second.label;
+        return std::nullopt;
+    }
+
+    /** True when [begin, end) is fully covered by a single label value. */
+    bool
+    covered(Offset begin, Offset end, const Label &label) const
+    {
+        Offset cursor = begin;
+        while (cursor < end) {
+            auto it = map_.upper_bound(cursor);
+            if (it == map_.begin())
+                return false;
+            --it;
+            if (cursor >= it->second.end || !(it->second.label == label))
+                return false;
+            cursor = it->second.end;
+        }
+        return true;
+    }
+
+    /** Materialize all intervals in ascending order. */
+    std::vector<Entry>
+    entries() const
+    {
+        std::vector<Entry> out;
+        out.reserve(map_.size());
+        for (const auto &[begin, node] : map_)
+            out.push_back({begin, node.end, node.label});
+        return out;
+    }
+
+    /** Total number of bytes labeled @p label. */
+    u64
+    totalBytes(const Label &label) const
+    {
+        u64 total = 0;
+        for (const auto &[begin, node] : map_) {
+            if (node.label == label)
+                total += node.end - begin;
+        }
+        return total;
+    }
+
+  private:
+    struct Node
+    {
+        Offset end;
+        Label label;
+    };
+
+    void
+    coalesceAround(Offset begin, Offset end)
+    {
+        auto it = map_.find(begin);
+        assert(it != map_.end());
+        // Merge with predecessor.
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end == begin &&
+                prev->second.label == it->second.label) {
+                prev->second.end = it->second.end;
+                map_.erase(it);
+                it = prev;
+            }
+        }
+        // Merge with successor.
+        auto next = map_.find(end);
+        if (next != map_.end() && it->second.end == next->first &&
+            it->second.label == next->second.label) {
+            it->second.end = next->second.end;
+            map_.erase(next);
+        }
+    }
+
+    std::map<Offset, Node> map_;
+};
+
+/**
+ * A set of disjoint half-open intervals with union semantics
+ * (insertion merges with any overlapping or adjacent intervals).
+ */
+class IntervalSet
+{
+  public:
+    /** One stored interval. */
+    struct Entry
+    {
+        Offset begin;
+        Offset end;
+    };
+
+    /** Remove all intervals. */
+    void clear() { map_.clear(); }
+
+    /** True when no interval is stored. */
+    bool empty() const { return map_.empty(); }
+
+    /** Number of stored (merged) intervals. */
+    std::size_t size() const { return map_.size(); }
+
+    /** Insert [begin, end), merging overlaps and adjacency. */
+    void
+    insert(Offset begin, Offset end)
+    {
+        if (begin >= end)
+            return;
+        auto it = map_.upper_bound(begin);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= begin) {
+                begin = prev->first;
+                end = std::max(end, prev->second);
+                map_.erase(prev);
+            }
+        }
+        it = map_.lower_bound(begin);
+        while (it != map_.end() && it->first <= end) {
+            end = std::max(end, it->second);
+            it = map_.erase(it);
+        }
+        map_.emplace(begin, end);
+    }
+
+    /** True when @p off is inside some interval. */
+    bool
+    contains(Offset off) const
+    {
+        auto it = map_.upper_bound(off);
+        if (it == map_.begin())
+            return false;
+        --it;
+        return off < it->second;
+    }
+
+    /** True when [begin, end) intersects any stored interval. */
+    bool
+    intersects(Offset begin, Offset end) const
+    {
+        if (begin >= end)
+            return false;
+        auto it = map_.upper_bound(begin);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > begin)
+                return true;
+        }
+        return it != map_.end() && it->first < end;
+    }
+
+    /** Sum of interval lengths. */
+    u64
+    totalBytes() const
+    {
+        u64 total = 0;
+        for (const auto &[begin, end] : map_)
+            total += end - begin;
+        return total;
+    }
+
+    /** Materialize all intervals in ascending order. */
+    std::vector<Entry>
+    entries() const
+    {
+        std::vector<Entry> out;
+        out.reserve(map_.size());
+        for (const auto &[begin, end] : map_)
+            out.push_back({begin, end});
+        return out;
+    }
+
+  private:
+    std::map<Offset, Offset> map_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_INTERVAL_MAP_HH

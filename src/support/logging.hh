@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal leveled logging in the gem5 spirit: inform/warn for user-facing
+ * status, panic for broken internal invariants.
+ */
+
+#ifndef ACCDIS_SUPPORT_LOGGING_HH
+#define ACCDIS_SUPPORT_LOGGING_HH
+
+#include <string>
+
+namespace accdis
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Debug,
+    Inform,
+    Warn,
+    Quiet,
+};
+
+/** Set the global minimum level that is actually printed. */
+void setLogLevel(LogLevel level);
+
+/** Current global minimum printed level. */
+LogLevel logLevel();
+
+/** Print a debug-level message to stderr. */
+void logDebug(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string &msg);
+
+/** Report a broken internal invariant and abort. */
+[[noreturn]] void panic(const std::string &msg);
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_LOGGING_HH

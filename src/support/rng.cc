@@ -1,0 +1,121 @@
+#include "support/rng.hh"
+
+#include <cassert>
+
+namespace accdis
+{
+
+namespace
+{
+
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 x = seed;
+    for (auto &s : state_)
+        s = splitmix64(x);
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+u64
+Rng::below(u64 bound)
+{
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (~bound + 1) % bound;
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+u64
+Rng::range(u64 lo, u64 hi)
+{
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::unit()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return unit() < p;
+}
+
+std::size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    assert(!weights.empty());
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    assert(total > 0.0);
+    double pick = unit() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        pick -= weights[i];
+        if (pick < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+void
+Rng::fill(u8 *dst, std::size_t len)
+{
+    std::size_t i = 0;
+    while (i + 8 <= len) {
+        u64 v = next();
+        for (int b = 0; b < 8; ++b)
+            dst[i++] = static_cast<u8>(v >> (8 * b));
+    }
+    if (i < len) {
+        u64 v = next();
+        while (i < len) {
+            dst[i++] = static_cast<u8>(v);
+            v >>= 8;
+        }
+    }
+}
+
+} // namespace accdis

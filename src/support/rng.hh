@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256++) for the
+ * synthetic corpus generator and the benchmarks. Determinism matters: a
+ * seed fully determines a generated binary, so every experiment is
+ * reproducible bit-for-bit.
+ */
+
+#ifndef ACCDIS_SUPPORT_RNG_HH
+#define ACCDIS_SUPPORT_RNG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/**
+ * xoshiro256++ generator. Small, fast, and reproducible across
+ * platforms, unlike std::mt19937 distributions.
+ */
+class Rng
+{
+  public:
+    /** Seed with a 64-bit value expanded via splitmix64. */
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    u64 below(u64 bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    u64 range(u64 lo, u64 hi);
+
+    /** Uniform double in [0, 1). */
+    double unit();
+
+    /** True with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Sample an index according to non-negative weights.
+     * @pre weights is non-empty and sums to a positive value.
+     */
+    std::size_t weighted(const std::vector<double> &weights);
+
+    /** Fill a buffer with uniform random bytes. */
+    void fill(u8 *dst, std::size_t len);
+
+  private:
+    u64 state_[4];
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_RNG_HH

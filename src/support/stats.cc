@@ -1,0 +1,75 @@
+#include "support/stats.hh"
+
+#include <cmath>
+
+namespace accdis
+{
+
+void
+OnlineStats::add(double x)
+{
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+void
+ByteHistogram::add(ByteSpan bytes)
+{
+    for (u8 b : bytes)
+        ++counts_[b];
+    total_ += bytes.size();
+}
+
+double
+ByteHistogram::entropy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double h = 0.0;
+    const double total = static_cast<double>(total_);
+    for (u64 c : counts_) {
+        if (c == 0)
+            continue;
+        double p = static_cast<double>(c) / total;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double
+byteEntropy(ByteSpan bytes)
+{
+    ByteHistogram hist;
+    hist.add(bytes);
+    return hist.entropy();
+}
+
+double
+printableFraction(ByteSpan bytes)
+{
+    if (bytes.empty())
+        return 0.0;
+    u64 printable = 0;
+    for (u8 b : bytes) {
+        if ((b >= 0x20 && b < 0x7f) || b == '\t' || b == '\n' || b == '\r')
+            ++printable;
+    }
+    return static_cast<double>(printable) /
+           static_cast<double>(bytes.size());
+}
+
+} // namespace accdis

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small statistics helpers: running moments, byte histograms, and
+ * Shannon entropy of byte windows.
+ */
+
+#ifndef ACCDIS_SUPPORT_STATS_HH
+#define ACCDIS_SUPPORT_STATS_HH
+
+#include <array>
+#include <cstddef>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** Running mean / variance accumulator (Welford's algorithm). */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    u64 count() const { return count_; }
+
+    /** Mean of the observations (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Sample variance (0 with fewer than two observations). */
+    double variance() const;
+
+    /** Smallest observation seen (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest observation seen (-inf when empty). */
+    double max() const { return max_; }
+
+  private:
+    u64 count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1e308;
+    double max_ = -1e308;
+};
+
+/** Histogram over the 256 byte values. */
+class ByteHistogram
+{
+  public:
+    /** Count every byte of @p bytes. */
+    void add(ByteSpan bytes);
+
+    /** Count a single byte value. */
+    void add(u8 value) { ++counts_[value]; ++total_; }
+
+    /** Total bytes counted. */
+    u64 total() const { return total_; }
+
+    /** Count for one byte value. */
+    u64 count(u8 value) const { return counts_[value]; }
+
+    /** Shannon entropy in bits per byte (0 when empty). */
+    double entropy() const;
+
+  private:
+    std::array<u64, 256> counts_{};
+    u64 total_ = 0;
+};
+
+/** Shannon entropy (bits/byte) of a byte window. */
+double byteEntropy(ByteSpan bytes);
+
+/** Fraction of bytes in @p bytes that are printable ASCII or \\t \\n \\r. */
+double printableFraction(ByteSpan bytes);
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_STATS_HH

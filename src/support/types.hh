@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental integer and byte-span aliases used across accdis.
+ */
+
+#ifndef ACCDIS_SUPPORT_TYPES_HH
+#define ACCDIS_SUPPORT_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace accdis
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Read-only view over raw bytes. */
+using ByteSpan = std::span<const u8>;
+
+/** Owning byte buffer. */
+using ByteVec = std::vector<u8>;
+
+/** Offset of a byte within a section or image. */
+using Offset = u64;
+
+/** Virtual address within a loaded image. */
+using Addr = u64;
+
+/** Sentinel for "no address / no offset". */
+inline constexpr u64 kNoAddr = ~u64{0};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_TYPES_HH

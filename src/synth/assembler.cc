@@ -1,0 +1,691 @@
+#include "synth/assembler.hh"
+
+#include <cassert>
+
+#include "support/bytes.hh"
+#include "support/logging.hh"
+
+namespace accdis::synth
+{
+
+Label
+Assembler::newLabel()
+{
+    labels_.push_back(0);
+    bound_.push_back(false);
+    return static_cast<Label>(labels_.size() - 1);
+}
+
+void
+Assembler::bind(Label label)
+{
+    assert(label < labels_.size() && !bound_[label]);
+    labels_[label] = here();
+    bound_[label] = true;
+}
+
+Offset
+Assembler::labelOffset(Label label) const
+{
+    assert(label < labels_.size() && bound_[label]);
+    return labels_[label];
+}
+
+void
+Assembler::finalize()
+{
+    for (const Fixup &fix : fixups_) {
+        if (!bound_[fix.label])
+            panic("assembler: unbound label in finalize");
+        s64 target = static_cast<s64>(labels_[fix.label]);
+        switch (fix.kind) {
+          case FixKind::Rel8: {
+            s64 rel = target - static_cast<s64>(fix.anchor);
+            assert(rel >= -128 && rel <= 127);
+            out_[fix.at] = static_cast<u8>(static_cast<s8>(rel));
+            break;
+          }
+          case FixKind::Rel32: {
+            s64 rel = target - static_cast<s64>(fix.anchor);
+            writeLe32(out_, fix.at, static_cast<u32>(rel));
+            break;
+          }
+          case FixKind::Delta32: {
+            s64 delta = target - static_cast<s64>(fix.anchor);
+            writeLe32(out_, fix.at, static_cast<u32>(delta));
+            break;
+          }
+          case FixKind::Vaddr64:
+            writeLe64(out_, fix.at,
+                      static_cast<u64>(fix.anchor) +
+                          static_cast<u64>(target));
+            break;
+        }
+    }
+    fixups_.clear();
+}
+
+void
+Assembler::emitRex(bool w, u8 reg, u8 index, u8 rm, bool force)
+{
+    u8 rex = 0x40;
+    if (w)
+        rex |= 0x08;
+    if (reg != 0xff && reg >= 8)
+        rex |= 0x04;
+    if (index != 0xff && index >= 8)
+        rex |= 0x02;
+    if (rm != 0xff && rm >= 8)
+        rex |= 0x01;
+    if (rex != 0x40 || force)
+        emit(rex);
+}
+
+void
+Assembler::emitModRmReg(u8 reg, u8 rm)
+{
+    emit(static_cast<u8>(0xc0 | ((reg & 7) << 3) | (rm & 7)));
+}
+
+void
+Assembler::emitMem(u8 reg, const Mem &mem)
+{
+    const u8 regBits = static_cast<u8>((reg & 7) << 3);
+    if (mem.ripRel) {
+        emit(static_cast<u8>(0x00 | regBits | 5));
+        appendLe32(out_, static_cast<u32>(mem.disp));
+        return;
+    }
+    assert(mem.base != 0xff || mem.index != 0xff);
+
+    const bool needSib =
+        mem.index != 0xff || (mem.base & 7) == 4 || mem.base == 0xff;
+    u8 mod;
+    bool disp8 = false, disp32 = false;
+    if (mem.base == 0xff) {
+        // Index-only form: mod 00, SIB base 101, disp32.
+        mod = 0x00;
+        disp32 = true;
+    } else if (mem.disp == 0 && (mem.base & 7) != 5) {
+        mod = 0x00;
+    } else if (mem.disp >= -128 && mem.disp <= 127) {
+        mod = 0x40;
+        disp8 = true;
+    } else {
+        mod = 0x80;
+        disp32 = true;
+    }
+
+    if (needSib) {
+        emit(static_cast<u8>(mod | regBits | 4));
+        u8 scale = static_cast<u8>(mem.scale << 6);
+        u8 indexBits =
+            static_cast<u8>((mem.index == 0xff ? 4 : (mem.index & 7))
+                            << 3);
+        u8 baseBits = mem.base == 0xff ? 5 : (mem.base & 7);
+        assert(mem.index == 0xff || (mem.index & 15) != x86::RSP);
+        emit(static_cast<u8>(scale | indexBits | baseBits));
+    } else {
+        emit(static_cast<u8>(mod | regBits | (mem.base & 7)));
+    }
+
+    if (disp8)
+        emit(static_cast<u8>(static_cast<s8>(mem.disp)));
+    else if (disp32)
+        appendLe32(out_, static_cast<u32>(mem.disp));
+}
+
+// --- Moves -------------------------------------------------------------
+
+void
+Assembler::movRR(Reg dst, Reg src, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, src, 0xff, dst);
+    emit(size == 1 ? 0x88 : 0x89);
+    emitModRmReg(src, dst);
+}
+
+void
+Assembler::movRI(Reg dst, s64 imm, int size)
+{
+    startInsn();
+    if (size == 8 && (imm < INT32_MIN || imm > INT32_MAX)) {
+        emitRex(true, 0xff, 0xff, dst);
+        emit(static_cast<u8>(0xb8 | (dst & 7)));
+        appendLe64(out_, static_cast<u64>(imm));
+        return;
+    }
+    if (size == 8) {
+        // Sign-extended imm32 form: REX.W C7 /0.
+        emitRex(true, 0xff, 0xff, dst);
+        emit(0xc7);
+        emitModRmReg(0, dst);
+        appendLe32(out_, static_cast<u32>(imm));
+        return;
+    }
+    if (size == 2)
+        emit(0x66);
+    emitRex(false, 0xff, 0xff, dst);
+    if (size == 1) {
+        emit(static_cast<u8>(0xb0 | (dst & 7)));
+        emit(static_cast<u8>(imm));
+    } else if (size == 2) {
+        emit(static_cast<u8>(0xb8 | (dst & 7)));
+        appendLe16(out_, static_cast<u16>(imm));
+    } else {
+        emit(static_cast<u8>(0xb8 | (dst & 7)));
+        appendLe32(out_, static_cast<u32>(imm));
+    }
+}
+
+void
+Assembler::movRVaddr64(Reg dst, Label label, Addr sectionBase)
+{
+    startInsn();
+    emitRex(true, 0xff, 0xff, dst);
+    emit(static_cast<u8>(0xb8 | (dst & 7)));
+    Offset at = here();
+    appendLe64(out_, 0);
+    fixups_.push_back({at, sectionBase, label, FixKind::Vaddr64});
+}
+
+void
+Assembler::movRM(Reg dst, const Mem &mem, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, dst, mem.index, mem.base);
+    emit(size == 1 ? 0x8a : 0x8b);
+    emitMem(dst, mem);
+}
+
+void
+Assembler::movMR(const Mem &mem, Reg src, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, src, mem.index, mem.base);
+    emit(size == 1 ? 0x88 : 0x89);
+    emitMem(src, mem);
+}
+
+void
+Assembler::movMI(const Mem &mem, s32 imm, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, 0xff, mem.index, mem.base);
+    emit(size == 1 ? 0xc6 : 0xc7);
+    emitMem(0, mem);
+    if (size == 1)
+        emit(static_cast<u8>(imm));
+    else if (size == 2)
+        appendLe16(out_, static_cast<u16>(imm));
+    else
+        appendLe32(out_, static_cast<u32>(imm));
+}
+
+void
+Assembler::movzxRM(Reg dst, const Mem &mem, int srcSize)
+{
+    assert(srcSize == 1 || srcSize == 2);
+    startInsn();
+    emitRex(false, dst, mem.index, mem.base);
+    emit(0x0f);
+    emit(srcSize == 1 ? 0xb6 : 0xb7);
+    emitMem(dst, mem);
+}
+
+void
+Assembler::movsxdRM(Reg dst, const Mem &mem)
+{
+    startInsn();
+    emitRex(true, dst, mem.index, mem.base);
+    emit(0x63);
+    emitMem(dst, mem);
+}
+
+void
+Assembler::leaRM(Reg dst, const Mem &mem)
+{
+    startInsn();
+    emitRex(true, dst, mem.index, mem.base);
+    emit(0x8d);
+    emitMem(dst, mem);
+}
+
+void
+Assembler::leaRipLabel(Reg dst, Label label)
+{
+    startInsn();
+    emitRex(true, dst, 0xff, 0xff);
+    emit(0x8d);
+    emit(static_cast<u8>(((dst & 7) << 3) | 5));
+    Offset at = here();
+    appendLe32(out_, 0);
+    fixups_.push_back({at, here(), label, FixKind::Rel32});
+}
+
+void
+Assembler::leaRipVaddr(Reg dst, Addr targetVaddr, Addr textBase)
+{
+    startInsn();
+    emitRex(true, dst, 0xff, 0xff);
+    emit(0x8d);
+    emit(static_cast<u8>(((dst & 7) << 3) | 5));
+    Offset end = here() + 4;
+    s64 delta = static_cast<s64>(targetVaddr) -
+                static_cast<s64>(textBase + end);
+    appendLe32(out_, static_cast<u32>(static_cast<s32>(delta)));
+}
+
+// --- ALU -----------------------------------------------------------------
+
+void
+Assembler::aluRR(int opIndex, Reg dst, Reg src, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, src, 0xff, dst);
+    emit(static_cast<u8>(opIndex * 8 + (size == 1 ? 0x00 : 0x01)));
+    emitModRmReg(src, dst);
+}
+
+void
+Assembler::aluRI(int opIndex, Reg dst, s32 imm, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, 0xff, 0xff, dst);
+    if (size != 1 && imm >= -128 && imm <= 127) {
+        emit(0x83);
+        emitModRmReg(static_cast<u8>(opIndex), dst);
+        emit(static_cast<u8>(static_cast<s8>(imm)));
+        return;
+    }
+    emit(size == 1 ? 0x80 : 0x81);
+    emitModRmReg(static_cast<u8>(opIndex), dst);
+    if (size == 1)
+        emit(static_cast<u8>(imm));
+    else if (size == 2)
+        appendLe16(out_, static_cast<u16>(imm));
+    else
+        appendLe32(out_, static_cast<u32>(imm));
+}
+
+void
+Assembler::aluRM(int opIndex, Reg dst, const Mem &mem, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, dst, mem.index, mem.base);
+    emit(static_cast<u8>(opIndex * 8 + (size == 1 ? 0x02 : 0x03)));
+    emitMem(dst, mem);
+}
+
+void
+Assembler::testRR(Reg a, Reg b, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, b, 0xff, a);
+    emit(size == 1 ? 0x84 : 0x85);
+    emitModRmReg(b, a);
+}
+
+void
+Assembler::imulRR(Reg dst, Reg src, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, dst, 0xff, src);
+    emit(0x0f);
+    emit(0xaf);
+    emitModRmReg(dst, src);
+}
+
+void
+Assembler::shiftRI(bool right, bool arithmetic, Reg reg, u8 amount,
+                   int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, 0xff, 0xff, reg);
+    u8 sub = right ? (arithmetic ? 7 : 5) : 4;
+    if (amount == 1) {
+        emit(size == 1 ? 0xd0 : 0xd1);
+        emitModRmReg(sub, reg);
+    } else {
+        emit(size == 1 ? 0xc0 : 0xc1);
+        emitModRmReg(sub, reg);
+        emit(amount);
+    }
+}
+
+void
+Assembler::incR(Reg reg, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, 0xff, 0xff, reg);
+    emit(size == 1 ? 0xfe : 0xff);
+    emitModRmReg(0, reg);
+}
+
+void
+Assembler::decR(Reg reg, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, 0xff, 0xff, reg);
+    emit(size == 1 ? 0xfe : 0xff);
+    emitModRmReg(1, reg);
+}
+
+void
+Assembler::negR(Reg reg, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, 0xff, 0xff, reg);
+    emit(size == 1 ? 0xf6 : 0xf7);
+    emitModRmReg(3, reg);
+}
+
+void
+Assembler::cmovccRR(u8 cond, Reg dst, Reg src, int size)
+{
+    startInsn();
+    if (size == 2)
+        emit(0x66);
+    emitRex(size == 8, dst, 0xff, src);
+    emit(0x0f);
+    emit(static_cast<u8>(0x40 | (cond & 0x0f)));
+    emitModRmReg(dst, src);
+}
+
+void
+Assembler::setccR(u8 cond, Reg reg)
+{
+    startInsn();
+    // REX needed for spl/bpl/sil/dil and r8b-r15b.
+    emitRex(false, 0xff, 0xff, reg, reg >= 4);
+    emit(0x0f);
+    emit(static_cast<u8>(0x90 | (cond & 0x0f)));
+    emitModRmReg(0, reg);
+}
+
+// --- Stack ---------------------------------------------------------------
+
+void
+Assembler::pushR(Reg reg)
+{
+    startInsn();
+    if (reg >= 8)
+        emit(0x41);
+    emit(static_cast<u8>(0x50 | (reg & 7)));
+}
+
+void
+Assembler::popR(Reg reg)
+{
+    startInsn();
+    if (reg >= 8)
+        emit(0x41);
+    emit(static_cast<u8>(0x58 | (reg & 7)));
+}
+
+// --- SSE -----------------------------------------------------------------
+
+void
+Assembler::sseMovRR(u8 xmmDst, u8 xmmSrc)
+{
+    assert(xmmDst < 8 && xmmSrc < 8);
+    startInsn();
+    emit(0x0f);
+    emit(0x28); // movaps
+    emitModRmReg(xmmDst, xmmSrc);
+}
+
+void
+Assembler::sseLoadM(u8 xmmDst, const Mem &mem)
+{
+    assert(xmmDst < 8);
+    startInsn();
+    emit(0xf2); // movsd
+    emitRex(false, xmmDst, mem.index, mem.base);
+    emit(0x0f);
+    emit(0x10);
+    emitMem(xmmDst, mem);
+}
+
+void
+Assembler::sseStoreM(const Mem &mem, u8 xmmSrc)
+{
+    assert(xmmSrc < 8);
+    startInsn();
+    emit(0xf2);
+    emitRex(false, xmmSrc, mem.index, mem.base);
+    emit(0x0f);
+    emit(0x11);
+    emitMem(xmmSrc, mem);
+}
+
+void
+Assembler::ssePxorRR(u8 xmmDst, u8 xmmSrc)
+{
+    assert(xmmDst < 8 && xmmSrc < 8);
+    startInsn();
+    emit(0x66);
+    emit(0x0f);
+    emit(0xef);
+    emitModRmReg(xmmDst, xmmSrc);
+}
+
+void
+Assembler::sseAddRR(u8 xmmDst, u8 xmmSrc)
+{
+    assert(xmmDst < 8 && xmmSrc < 8);
+    startInsn();
+    emit(0xf2); // addsd
+    emit(0x0f);
+    emit(0x58);
+    emitModRmReg(xmmDst, xmmSrc);
+}
+
+// --- Control flow ----------------------------------------------------------
+
+void
+Assembler::jmp(Label label)
+{
+    startInsn();
+    emit(0xe9);
+    Offset at = here();
+    appendLe32(out_, 0);
+    fixups_.push_back({at, here(), label, FixKind::Rel32});
+}
+
+void
+Assembler::jmpShort(Label label)
+{
+    startInsn();
+    emit(0xeb);
+    Offset at = here();
+    emit(0);
+    fixups_.push_back({at, here(), label, FixKind::Rel8});
+}
+
+void
+Assembler::jcc(u8 cond, Label label)
+{
+    startInsn();
+    emit(0x0f);
+    emit(static_cast<u8>(0x80 | (cond & 0x0f)));
+    Offset at = here();
+    appendLe32(out_, 0);
+    fixups_.push_back({at, here(), label, FixKind::Rel32});
+}
+
+void
+Assembler::call(Label label)
+{
+    startInsn();
+    emit(0xe8);
+    Offset at = here();
+    appendLe32(out_, 0);
+    fixups_.push_back({at, here(), label, FixKind::Rel32});
+}
+
+void
+Assembler::callRipMem(Label label)
+{
+    startInsn();
+    emit(0xff);
+    emit(0x15); // modrm: reg=2, rm=101 (RIP-relative).
+    Offset at = here();
+    appendLe32(out_, 0);
+    fixups_.push_back({at, here(), label, FixKind::Rel32});
+}
+
+void
+Assembler::callR(Reg reg)
+{
+    startInsn();
+    if (reg >= 8)
+        emit(0x41);
+    emit(0xff);
+    emitModRmReg(2, reg);
+}
+
+void
+Assembler::jmpR(Reg reg)
+{
+    startInsn();
+    if (reg >= 8)
+        emit(0x41);
+    emit(0xff);
+    emitModRmReg(4, reg);
+}
+
+void
+Assembler::ret()
+{
+    startInsn();
+    emit(0xc3);
+}
+
+void
+Assembler::retImm(u16 imm)
+{
+    startInsn();
+    emit(0xc2);
+    appendLe16(out_, imm);
+}
+
+void
+Assembler::leave()
+{
+    startInsn();
+    emit(0xc9);
+}
+
+void
+Assembler::int3()
+{
+    startInsn();
+    emit(0xcc);
+}
+
+void
+Assembler::ud2()
+{
+    startInsn();
+    emit(0x0f);
+    emit(0x0b);
+}
+
+void
+Assembler::endbr64()
+{
+    startInsn();
+    emit(0xf3);
+    emit(0x0f);
+    emit(0x1e);
+    emit(0xfa);
+}
+
+void
+Assembler::nop(int length)
+{
+    assert(length >= 1 && length <= 9);
+    startInsn();
+    // Canonical Intel-recommended multi-byte NOP sequences.
+    static const u8 nops[9][9] = {
+        {0x90},
+        {0x66, 0x90},
+        {0x0f, 0x1f, 0x00},
+        {0x0f, 0x1f, 0x40, 0x00},
+        {0x0f, 0x1f, 0x44, 0x00, 0x00},
+        {0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00},
+        {0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00},
+        {0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+        {0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+    };
+    for (int i = 0; i < length; ++i)
+        emit(nops[length - 1][i]);
+}
+
+void
+Assembler::repMovsb()
+{
+    startInsn();
+    emit(0xf3);
+    emit(0xa4);
+}
+
+// --- Raw data ---------------------------------------------------------------
+
+void
+Assembler::rawBytes(ByteSpan bytes)
+{
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void
+Assembler::rawZeros(std::size_t count)
+{
+    out_.insert(out_.end(), count, 0);
+}
+
+void
+Assembler::rawLabelDelta32(Label label, Offset base)
+{
+    Offset at = here();
+    appendLe32(out_, 0);
+    fixups_.push_back({at, base, label, FixKind::Delta32});
+}
+
+void
+Assembler::rawLabelVaddr64(Label label, Addr sectionBase)
+{
+    Offset at = here();
+    appendLe64(out_, 0);
+    fixups_.push_back({at, sectionBase, label, FixKind::Vaddr64});
+}
+
+} // namespace accdis::synth

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * A small x86-64 assembler used by the synthetic binary generator.
+ *
+ * Emits the compiler-idiomatic instruction subset with label/fixup
+ * management for intra-section branches, calls and RIP-relative data
+ * references. Every emitted byte sequence is, by construction, a valid
+ * encoding for the accdis decoder (round-trip tested).
+ */
+
+#ifndef ACCDIS_SYNTH_ASSEMBLER_HH
+#define ACCDIS_SYNTH_ASSEMBLER_HH
+
+#include <vector>
+
+#include "support/types.hh"
+#include "x86/registers.hh"
+
+namespace accdis::synth
+{
+
+using x86::Reg;
+
+/** Handle for a not-yet-resolved position in the output buffer. */
+using Label = u32;
+
+/** Memory operand: [base + index*scale + disp] or [rip + disp]. */
+struct Mem
+{
+    u8 base = 0xff;   ///< GPR number or 0xff for none.
+    u8 index = 0xff;  ///< GPR number or 0xff for none.
+    u8 scale = 0;     ///< log2 of the scale (0,1,2,3).
+    s32 disp = 0;
+    bool ripRel = false;
+
+    static Mem
+    baseDisp(u8 base, s32 disp)
+    {
+        Mem m;
+        m.base = base;
+        m.disp = disp;
+        return m;
+    }
+
+    static Mem
+    baseIndex(u8 base, u8 index, u8 scale, s32 disp = 0)
+    {
+        Mem m;
+        m.base = base;
+        m.index = index;
+        m.scale = scale;
+        m.disp = disp;
+        return m;
+    }
+
+    static Mem
+    rip(s32 disp = 0)
+    {
+        Mem m;
+        m.ripRel = true;
+        m.disp = disp;
+        return m;
+    }
+};
+
+/**
+ * Appends encoded instructions to an external byte buffer and records
+ * every instruction-start offset (the generator's ground truth).
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(ByteVec &out) : out_(out) {}
+
+    /** Current offset (== size of the buffer so far). */
+    Offset here() const { return out_.size(); }
+
+    /** Offsets at which instructions were emitted, in order. */
+    const std::vector<Offset> &insnStarts() const { return starts_; }
+
+    // --- Labels -------------------------------------------------------
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current offset. */
+    void bind(Label label);
+
+    /** Offset a bound label resolves to. @pre bound. */
+    Offset labelOffset(Label label) const;
+
+    /**
+     * Resolve all recorded fixups against their bound labels.
+     * @pre every referenced label has been bound.
+     */
+    void finalize();
+
+    // --- Moves --------------------------------------------------------
+    void movRR(Reg dst, Reg src, int size = 8);
+    void movRI(Reg dst, s64 imm, int size = 8);
+    /** movabs dst, sectionBase + offset(label) (10-byte imm64 form). */
+    void movRVaddr64(Reg dst, Label label, Addr sectionBase);
+    /** mov dst, [mem] */
+    void movRM(Reg dst, const Mem &mem, int size = 8);
+    /** mov [mem], src */
+    void movMR(const Mem &mem, Reg src, int size = 8);
+    /** mov dword/qword ptr [mem], imm32 */
+    void movMI(const Mem &mem, s32 imm, int size = 4);
+    void movzxRM(Reg dst, const Mem &mem, int srcSize);
+    void movsxdRM(Reg dst, const Mem &mem);
+    void leaRM(Reg dst, const Mem &mem);
+    /** lea dst, [rip + (label - end-of-insn)] */
+    void leaRipLabel(Reg dst, Label label);
+    /**
+     * lea dst, [rip + delta] targeting an absolute virtual address in
+     * another section. @p textBase is the virtual address of this
+     * buffer's first byte.
+     */
+    void leaRipVaddr(Reg dst, Addr targetVaddr, Addr textBase);
+
+    // --- ALU ----------------------------------------------------------
+    /** opIndex: 0 add, 1 or, 2 adc, 3 sbb, 4 and, 5 sub, 6 xor, 7 cmp */
+    void aluRR(int opIndex, Reg dst, Reg src, int size = 8);
+    void aluRI(int opIndex, Reg dst, s32 imm, int size = 8);
+    void aluRM(int opIndex, Reg dst, const Mem &mem, int size = 8);
+    void testRR(Reg a, Reg b, int size = 8);
+    void imulRR(Reg dst, Reg src, int size = 8);
+    void shiftRI(bool right, bool arithmetic, Reg reg, u8 amount,
+                 int size = 8);
+    void incR(Reg reg, int size = 8);
+    void decR(Reg reg, int size = 8);
+    void negR(Reg reg, int size = 8);
+    void cmovccRR(u8 cond, Reg dst, Reg src, int size = 8);
+    void setccR(u8 cond, Reg reg);
+
+    // --- Stack --------------------------------------------------------
+    void pushR(Reg reg);
+    void popR(Reg reg);
+
+    // --- SSE (register forms, for instruction-mix realism) -------------
+    /** movaps/movapd-style register move between xmm<a>, xmm<b>. */
+    void sseMovRR(u8 xmmDst, u8 xmmSrc);
+    /** movsd xmm<dst>, [mem] */
+    void sseLoadM(u8 xmmDst, const Mem &mem);
+    /** movsd [mem], xmm<src> */
+    void sseStoreM(const Mem &mem, u8 xmmSrc);
+    /** pxor xmm<dst>, xmm<src> */
+    void ssePxorRR(u8 xmmDst, u8 xmmSrc);
+    /** addsd xmm<dst>, xmm<src> */
+    void sseAddRR(u8 xmmDst, u8 xmmSrc);
+
+    // --- Control flow --------------------------------------------------
+    void jmp(Label label);
+    /** Unconditional jmp forced to the rel8 form. @pre target near. */
+    void jmpShort(Label label);
+    void jcc(u8 cond, Label label);
+    void call(Label label);
+    /** call qword ptr [rip + (label - end)] (import-style call). */
+    void callRipMem(Label label);
+    void callR(Reg reg);
+    void jmpR(Reg reg);
+    void ret();
+    void retImm(u16 imm);
+    void leave();
+    void int3();
+    void ud2();
+    void endbr64();
+    /** Canonical multi-byte NOP of the given length (1-9 bytes). */
+    void nop(int length = 1);
+    void repMovsb();
+
+    // --- Raw data (not recorded as instructions) ------------------------
+    /** Append raw bytes (data regions; not an instruction). */
+    void rawBytes(ByteSpan bytes);
+    /** Append @p count zero bytes. */
+    void rawZeros(std::size_t count);
+    /** Append a 32-bit slot that will hold label minus @p base. */
+    void rawLabelDelta32(Label label, Offset base);
+    /** Append a 64-bit slot holding sectionBase + label offset. */
+    void rawLabelVaddr64(Label label, Addr sectionBase);
+
+  private:
+    enum class FixKind : u8
+    {
+        Rel8,     ///< 1-byte displacement relative to the next byte.
+        Rel32,    ///< 4-byte displacement relative to fixed end.
+        Delta32,  ///< 4-byte label offset minus stored base.
+        Vaddr64,  ///< 8-byte absolute address (base + label offset).
+    };
+
+    struct Fixup
+    {
+        Offset at;      ///< Buffer position of the displacement field.
+        Offset anchor;  ///< "next instruction" offset (rel) or base.
+        Label label;
+        FixKind kind;
+    };
+
+    void startInsn() { starts_.push_back(out_.size()); }
+    void emit(u8 b) { out_.push_back(b); }
+    void emitRex(bool w, u8 reg, u8 index, u8 rm, bool force = false);
+    void emitModRmReg(u8 reg, u8 rm);
+    void emitMem(u8 reg, const Mem &mem);
+
+    ByteVec &out_;
+    std::vector<Offset> starts_;
+    std::vector<Offset> labels_;
+    std::vector<bool> bound_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace accdis::synth
+
+#endif // ACCDIS_SYNTH_ASSEMBLER_HH

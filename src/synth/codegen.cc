@@ -1,0 +1,425 @@
+#include "synth/codegen.hh"
+
+#include <cassert>
+
+namespace accdis::synth
+{
+
+namespace
+{
+
+/** Scratch registers generated code computes in (SysV caller-saved). */
+const Reg kScratchPool[] = {x86::RAX, x86::RCX, x86::RDX, x86::RSI,
+                            x86::RDI, x86::R8, x86::R9, x86::R10,
+                            x86::R11};
+
+/** Callee-saved registers eligible for prologue saves. */
+const Reg kSaveePool[] = {x86::RBX, x86::R12, x86::R13, x86::R14,
+                          x86::R15};
+
+} // namespace
+
+Reg
+CodeGenerator::scratch()
+{
+    return kScratchPool[rng_.below(std::size(kScratchPool))];
+}
+
+Reg
+CodeGenerator::scratchOther(Reg avoid)
+{
+    for (;;) {
+        Reg r = scratch();
+        if (r != avoid)
+            return r;
+    }
+}
+
+void
+CodeGenerator::emitArithStep()
+{
+    int count = static_cast<int>(rng_.range(1, 4));
+    for (int i = 0; i < count; ++i) {
+        Reg dst = scratch();
+        Reg src = scratchOther(dst);
+        int size = rng_.chance(0.7) ? 8 : 4;
+        switch (rng_.below(8)) {
+          case 0:
+            as_.movRR(dst, src, size);
+            break;
+          case 1:
+            as_.movRI(dst, static_cast<s64>(rng_.below(1 << 16)), size);
+            break;
+          case 2:
+            as_.aluRR(static_cast<int>(rng_.weighted(
+                          {3, 1, 0.1, 0.1, 1, 2, 1.5, 1})),
+                      dst, src, size);
+            break;
+          case 3:
+            as_.aluRI(static_cast<int>(rng_.weighted(
+                          {3, 0.5, 0.1, 0.1, 1.5, 2, 0.5, 1})),
+                      dst, static_cast<s32>(rng_.below(256)), size);
+            break;
+          case 4:
+            as_.imulRR(dst, src, size);
+            break;
+          case 5:
+            as_.shiftRI(rng_.chance(0.5), rng_.chance(0.5), dst,
+                        static_cast<u8>(rng_.range(1, 31)), size);
+            break;
+          case 6:
+            as_.leaRM(dst, Mem::baseIndex(
+                               src, scratchOther(dst),
+                               static_cast<u8>(rng_.below(4)),
+                               static_cast<s32>(rng_.below(64))));
+            break;
+          default:
+            if (rng_.chance(0.5))
+                as_.incR(dst, size);
+            else
+                as_.decR(dst, size);
+            break;
+        }
+    }
+}
+
+void
+CodeGenerator::emitMemStep()
+{
+    Reg reg = scratch();
+    Mem local = localSlot();
+    int size = rng_.chance(0.75) ? 8 : 4;
+    switch (rng_.below(5)) {
+      case 0:
+        as_.movRM(reg, local, size);
+        break;
+      case 1:
+        as_.movMR(local, reg, size);
+        break;
+      case 2:
+        as_.movMI(local, static_cast<s32>(rng_.below(1024)));
+        break;
+      case 3:
+        as_.movzxRM(reg, local, rng_.chance(0.5) ? 1 : 2);
+        break;
+      default:
+        as_.aluRM(static_cast<int>(rng_.weighted(
+                      {3, 1, 0, 0, 1, 2, 1, 2})),
+                  reg, local, size);
+        break;
+    }
+}
+
+Mem
+CodeGenerator::localSlot()
+{
+    if (hasFrame_) {
+        s32 slot = static_cast<s32>(rng_.range(1, 12)) * 8;
+        return Mem::baseDisp(x86::RBP, -slot);
+    }
+    s32 slot =
+        static_cast<s32>(rng_.below(static_cast<u64>(frameSize_ / 8))) *
+        8;
+    return Mem::baseDisp(x86::RSP, slot);
+}
+
+void
+CodeGenerator::emitSseStep()
+{
+    u8 a = static_cast<u8>(rng_.below(8));
+    u8 b = static_cast<u8>(rng_.below(8));
+    Mem local = localSlot();
+    switch (rng_.below(5)) {
+      case 0:
+        as_.sseLoadM(a, local);
+        break;
+      case 1:
+        as_.sseStoreM(local, a);
+        break;
+      case 2:
+        as_.ssePxorRR(a, a);
+        break;
+      case 3:
+        as_.sseAddRR(a, b);
+        break;
+      default:
+        as_.sseMovRR(a, b);
+        break;
+    }
+}
+
+void
+CodeGenerator::emitCallStep(const FuncRequest &request)
+{
+    if (!request.funcPtrSlots.empty() && rng_.chance(0.25)) {
+        // Import-style indirect call through a pointer slot.
+        as_.callRipMem(request.funcPtrSlots[rng_.below(
+            request.funcPtrSlots.size())]);
+    } else if (!request.regCallees.empty() && rng_.chance(0.2)) {
+        // Materialized-constant indirect call: the classic pattern
+        // that defeats plain recursive traversal.
+        Reg reg = scratch();
+        as_.movRVaddr64(reg,
+                        request.regCallees[rng_.below(
+                            request.regCallees.size())],
+                        request.sectionBase);
+        as_.callR(reg);
+    } else if (!request.callees.empty()) {
+        // Argument setup then a direct call.
+        int args = static_cast<int>(rng_.below(3));
+        const Reg argRegs[] = {x86::RDI, x86::RSI, x86::RDX};
+        for (int i = 0; i < args; ++i) {
+            if (rng_.chance(0.5))
+                as_.movRI(argRegs[i],
+                          static_cast<s64>(rng_.below(4096)), 8);
+            else
+                as_.movRR(argRegs[i], scratch(), 8);
+        }
+        as_.call(request.callees[rng_.below(request.callees.size())]);
+        if (rng_.chance(0.4))
+            as_.testRR(x86::RAX, x86::RAX, 8);
+    } else {
+        emitArithStep();
+    }
+}
+
+void
+CodeGenerator::emitIfStep(int depthBudget, const FuncRequest &request)
+{
+    Reg reg = scratch();
+    if (rng_.chance(0.5))
+        as_.testRR(reg, reg, rng_.chance(0.5) ? 8 : 4);
+    else
+        as_.aluRI(7, reg, static_cast<s32>(rng_.below(64)), 8); // cmp
+    u8 cond = static_cast<u8>(rng_.range(2, 15));
+
+    Label skip = as_.newLabel();
+    as_.jcc(cond, skip);
+
+    auto emitBlock = [&] {
+        int steps = static_cast<int>(rng_.range(1, 4));
+        for (int i = 0; i < steps; ++i) {
+            switch (rng_.below(4)) {
+              case 0:
+                emitArithStep();
+                break;
+              case 1:
+                emitMemStep();
+                break;
+              case 2:
+                emitCallStep(request);
+                break;
+              default:
+                if (depthBudget > 0)
+                    emitIfStep(depthBudget - 1, request);
+                else
+                    emitArithStep();
+                break;
+            }
+        }
+    };
+
+    emitBlock();
+    if (rng_.chance(style_.earlyReturnFraction)) {
+        // Early-exit path with its own epilogue.
+        if (rng_.chance(0.5))
+            as_.movRI(x86::RAX, static_cast<s64>(rng_.below(16)), 4);
+        emitEpilogue();
+    } else if (rng_.chance(0.3)) {
+        // if/else diamond.
+        Label end = as_.newLabel();
+        as_.jmp(end);
+        as_.bind(skip);
+        emitBlock();
+        as_.bind(end);
+        return;
+    }
+    as_.bind(skip);
+}
+
+void
+CodeGenerator::emitLoopStep()
+{
+    Reg counter = scratch();
+    as_.movRI(counter, static_cast<s64>(rng_.range(2, 64)), 4);
+    Label top = as_.newLabel();
+    as_.bind(top);
+    int steps = static_cast<int>(rng_.range(1, 3));
+    for (int i = 0; i < steps; ++i) {
+        if (rng_.chance(0.5))
+            emitArithStep();
+        else
+            emitMemStep();
+    }
+    as_.decR(counter, 4);
+    as_.jcc(5, top); // jne backward
+}
+
+void
+CodeGenerator::emitJumpTable(const FuncRequest &request,
+                             FuncResult &result)
+{
+    const bool rodata = request.jumpTableVaddr != 0;
+    const int cases = rodata ? request.jumpTableCases
+                             : static_cast<int>(rng_.range(3, 10));
+    const Reg sel = x86::RDI;
+    const Reg tbl = x86::RAX;
+    const Reg off = x86::RDX;
+
+    Label join = as_.newLabel();
+    Label table = rodata ? kNoLabel : as_.newLabel();
+
+    // Bounds check + the canonical PIC jump-table dispatch sequence.
+    as_.aluRI(7, sel, cases - 1, 4); // cmp sel, N-1
+    as_.jcc(7, join);                // ja -> default path (join)
+    if (rodata)
+        as_.leaRipVaddr(tbl, request.jumpTableVaddr,
+                        request.sectionBase);
+    else
+        as_.leaRipLabel(tbl, table);
+    as_.movsxdRM(off, Mem::baseIndex(tbl, sel, 2));
+    as_.aluRR(0, tbl, off, 8); // add tbl, off
+    as_.jmpR(tbl);
+
+    // Case bodies; every case jumps (or falls through) to join.
+    std::vector<Label> caseLabels;
+    for (int i = 0; i < cases; ++i) {
+        Label c = as_.newLabel();
+        as_.bind(c);
+        caseLabels.push_back(c);
+        emitArithStep();
+        if (rng_.chance(0.3))
+            emitMemStep();
+        if (i + 1 < cases)
+            as_.jmp(join);
+    }
+    as_.bind(join);
+
+    ++result.numJumpTables;
+    if (rodata)
+        result.rodataTables.emplace_back(request.jumpTableVaddr,
+                                         caseLabels);
+    else if (request.embedJumpTable)
+        pendingEmbedded_.emplace_back(table, caseLabels);
+    else
+        result.pendingTables.emplace_back(table, caseLabels);
+}
+
+void
+CodeGenerator::emitEpilogue()
+{
+    if (hasFrame_) {
+        as_.leave();
+        as_.ret();
+        return;
+    }
+    as_.aluRI(0, x86::RSP, frameSize_, 8); // add rsp, N
+    for (auto it = savedRegs_.rbegin(); it != savedRegs_.rend(); ++it)
+        as_.popR(*it);
+    as_.ret();
+}
+
+FuncResult
+CodeGenerator::generate(const FuncRequest &request)
+{
+    FuncResult result;
+    pendingEmbedded_.clear();
+    result.entry =
+        request.entry != kNoLabel ? request.entry : as_.newLabel();
+    as_.bind(result.entry);
+    result.start = as_.here();
+
+    // Prologue. Two flavors: rbp frame (leave/ret epilogue, no callee
+    // saves to keep the unwind trivial) or frameless with saves.
+    if (style_.emitEndbr && rng_.chance(0.9))
+        as_.endbr64();
+    hasFrame_ = !rng_.chance(style_.framelessFraction);
+    savedRegs_.clear();
+    if (hasFrame_) {
+        as_.pushR(x86::RBP);
+        as_.movRR(x86::RBP, x86::RSP, 8);
+    } else {
+        int saves = static_cast<int>(rng_.below(3));
+        for (int i = 0; i < saves; ++i)
+            savedRegs_.push_back(kSaveePool[i]);
+        for (Reg r : savedRegs_)
+            as_.pushR(r);
+    }
+    frameSize_ = static_cast<int>(rng_.range(2, 16)) * 8;
+    as_.aluRI(5, x86::RSP, frameSize_, 8); // sub rsp, N
+
+    // Body.
+    bool wantTable = request.jumpTable;
+    bool wantLoop = rng_.chance(style_.loopFraction);
+    int steps = static_cast<int>(
+        rng_.range(style_.minBodySteps, style_.maxBodySteps));
+    for (int i = 0; i < steps; ++i) {
+        if (wantTable && i == steps / 2) {
+            emitJumpTable(request, result);
+            wantTable = false;
+            continue;
+        }
+        switch (rng_.weighted(
+            {4, 3, 1.5, 1.5, style_.sseFraction * 10, 1})) {
+          case 0:
+            emitArithStep();
+            break;
+          case 1:
+            emitMemStep();
+            break;
+          case 2:
+            emitCallStep(request);
+            break;
+          case 3:
+            emitIfStep(1, request);
+            break;
+          case 4:
+            emitSseStep();
+            break;
+          default:
+            if (wantLoop) {
+                emitLoopStep();
+                wantLoop = false;
+            } else {
+                emitArithStep();
+            }
+            break;
+        }
+    }
+    if (wantTable)
+        emitJumpTable(request, result);
+
+    // Return value then the final epilogue — or a tail call, which
+    // ends the function with a jmp into another function's entry.
+    if (!request.callees.empty() && rng_.chance(0.12)) {
+        if (hasFrame_) {
+            as_.leave();
+        } else {
+            as_.aluRI(0, x86::RSP, frameSize_, 8);
+            for (auto it = savedRegs_.rbegin();
+                 it != savedRegs_.rend(); ++it)
+                as_.popR(*it);
+        }
+        as_.jmp(request.callees[rng_.below(request.callees.size())]);
+    } else {
+        if (rng_.chance(0.6))
+            as_.movRI(x86::RAX, static_cast<s64>(rng_.below(256)), 4);
+        emitEpilogue();
+    }
+
+    // Materialize embedded jump tables after the function body,
+    // exactly where MSVC places them: inside .text, after the ret.
+    for (const auto &[table, cases] : pendingEmbedded_) {
+        as_.bind(table);
+        Offset tableStart = as_.here();
+        for (Label c : cases)
+            as_.rawLabelDelta32(c, tableStart);
+        result.dataRegions.emplace_back(tableStart, as_.here());
+    }
+    pendingEmbedded_.clear();
+
+    result.end = as_.here();
+    return result;
+}
+
+} // namespace accdis::synth

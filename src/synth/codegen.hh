@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Generator of compiler-idiomatic synthetic x86-64 functions.
+ */
+
+#ifndef ACCDIS_SYNTH_CODEGEN_HH
+#define ACCDIS_SYNTH_CODEGEN_HH
+
+#include <utility>
+#include <vector>
+
+#include "support/rng.hh"
+#include "synth/assembler.hh"
+
+namespace accdis::synth
+{
+
+/** Knobs controlling the flavor of generated code. */
+struct CodeStyle
+{
+    bool emitEndbr = true;        ///< CET endbr64 at function entry.
+    double framelessFraction = 0.35; ///< P(function without rbp frame).
+    double sseFraction = 0.08;    ///< P(an SSE step inside a body).
+    double loopFraction = 0.5;    ///< P(a function contains a loop).
+    double earlyReturnFraction = 0.3; ///< P(extra early-exit path).
+    int minBodySteps = 3;
+    int maxBodySteps = 24;
+};
+
+/** Sentinel meaning "no externally provided label". */
+inline constexpr Label kNoLabel = ~Label{0};
+
+/** Request describing one function to generate. */
+struct FuncRequest
+{
+    /** Pre-created entry label to bind at the function start. */
+    Label entry = kNoLabel;
+    /** Direct-call targets available to this function. */
+    std::vector<Label> callees;
+    /** Labels of 8-byte function-pointer slots for indirect calls. */
+    std::vector<Label> funcPtrSlots;
+    /**
+     * Functions callable through a materialized register constant
+     * (mov reg, imm64; call reg). Requires sectionBase.
+     */
+    std::vector<Label> regCallees;
+    /** Virtual base of the section (for absolute-address idioms). */
+    Addr sectionBase = 0;
+    /** Generate a switch lowered through a jump table. */
+    bool jumpTable = false;
+    /**
+     * When non-zero, the table lives at this absolute address in a
+     * read-only data section (GCC layout); jumpTableCases must give
+     * the pre-allocated case count. When zero, the table is placed
+     * in .text per embedJumpTable.
+     */
+    Addr jumpTableVaddr = 0;
+    int jumpTableCases = 0;
+    /** Place the jump-table bytes inline after the function body
+     *  (MSVC-style); otherwise the table is returned in pendingTables
+     *  for the caller to materialize in a pooled region. */
+    bool embedJumpTable = true;
+};
+
+/** What was generated for one function. */
+struct FuncResult
+{
+    Label entry = 0;
+    Offset start = 0;
+    Offset end = 0;
+    /** Embedded data intervals (inline jump tables). */
+    std::vector<std::pair<Offset, Offset>> dataRegions;
+    /** Tables to materialize in .rodata: (table vaddr, case labels). */
+    std::vector<std::pair<Addr, std::vector<Label>>> rodataTables;
+    /** Jump-table descriptors: (table offset label, case count). */
+    int numJumpTables = 0;
+    /** Labels of jump tables that must be materialized elsewhere. */
+    std::vector<std::pair<Label, std::vector<Label>>> pendingTables;
+};
+
+/**
+ * Emits one synthetic function at a time into a shared Assembler,
+ * mimicking the instruction mix and idioms of optimized compiler
+ * output (prologues/epilogues, forward conditional blocks, loops,
+ * direct and indirect calls, switch jump tables).
+ */
+class CodeGenerator
+{
+  public:
+    CodeGenerator(Assembler &as, Rng &rng, CodeStyle style = {})
+        : as_(as), rng_(rng), style_(style)
+    {}
+
+    /** Generate one function; the entry label is bound at its start. */
+    FuncResult generate(const FuncRequest &request);
+
+  private:
+    void emitArithStep();
+    void emitMemStep();
+    void emitSseStep();
+    void emitCallStep(const FuncRequest &request);
+    void emitIfStep(int depthBudget, const FuncRequest &request);
+    void emitLoopStep();
+    void emitJumpTable(const FuncRequest &request, FuncResult &result);
+    void emitEpilogue();
+
+    Reg scratch();
+    Reg scratchOther(Reg avoid);
+    Mem localSlot();
+
+    Assembler &as_;
+    Rng &rng_;
+    CodeStyle style_;
+
+    // Per-function state.
+    bool hasFrame_ = false;
+    int frameSize_ = 0;
+    std::vector<Reg> savedRegs_;
+    std::vector<std::pair<Label, std::vector<Label>>> pendingEmbedded_;
+};
+
+} // namespace accdis::synth
+
+#endif // ACCDIS_SYNTH_CODEGEN_HH

@@ -1,0 +1,360 @@
+#include "synth/corpus.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/bytes.hh"
+#include "synth/datagen.hh"
+
+namespace accdis::synth
+{
+
+namespace
+{
+
+/** Tracks ground-truth intervals as the section is laid out. */
+class TruthBuilder
+{
+  public:
+    void
+    mark(Offset begin, Offset end, ByteClass cls)
+    {
+        if (begin < end)
+            spans_.push_back({begin, end, cls});
+    }
+
+    void
+    markData(Offset begin, Offset end, DataOrigin origin)
+    {
+        mark(begin, end, ByteClass::Data);
+        if (begin < end)
+            origins_.push_back({begin, end, origin});
+    }
+
+    GroundTruth
+    build(std::vector<Offset> insnStarts) const
+    {
+        GroundTruth truth;
+        for (const auto &s : spans_)
+            truth.setClass(s.begin, s.end, s.cls);
+        for (const auto &o : origins_)
+            truth.setDataOrigin(o.begin, o.end, o.origin);
+        std::sort(insnStarts.begin(), insnStarts.end());
+        truth.setInsnStarts(std::move(insnStarts));
+        return truth;
+    }
+
+  private:
+    struct Span
+    {
+        Offset begin;
+        Offset end;
+        ByteClass cls;
+    };
+    struct OriginSpan
+    {
+        Offset begin;
+        Offset end;
+        DataOrigin origin;
+    };
+    std::vector<Span> spans_;
+    std::vector<OriginSpan> origins_;
+};
+
+DataKind
+pickDataKind(Rng &rng, const CorpusConfig &config)
+{
+    std::vector<double> weights(config.dataMix, config.dataMix + 6);
+    return static_cast<DataKind>(rng.weighted(weights));
+}
+
+void
+emitPadding(Assembler &as, const CorpusConfig &config, Rng &rng,
+            TruthBuilder &truth)
+{
+    Offset here = as.here();
+    u64 align = static_cast<u64>(config.alignment);
+    u64 pad = (align - (here % align)) % align;
+    if (pad == 0)
+        return;
+    Offset begin = as.here();
+    switch (config.padKind) {
+      case PadKind::Nop: {
+        // A run of canonical multi-byte NOPs, longest first.
+        u64 left = pad;
+        while (left > 0) {
+            int n = static_cast<int>(std::min<u64>(left, 9));
+            as.nop(n);
+            left -= static_cast<u64>(n);
+        }
+        break;
+      }
+      case PadKind::Int3:
+        for (u64 i = 0; i < pad; ++i)
+            as.int3();
+        break;
+      case PadKind::Zero:
+        as.rawZeros(pad);
+        break;
+    }
+    truth.mark(begin, as.here(), ByteClass::Padding);
+    (void)rng;
+}
+
+} // namespace
+
+SynthBinary
+buildSynthBinary(const CorpusConfig &config)
+{
+    Rng rng(config.seed);
+    ByteVec text;
+    Assembler as(text);
+    DataGenerator datagen(rng);
+    TruthBuilder truth;
+    SynthBinary result;
+    result.image = BinaryImage(config.name);
+
+    const int n = std::max(1, config.numFunctions);
+
+    // Pre-create entry labels so call fixups can reference any
+    // function regardless of generation order.
+    std::vector<Label> entries(n);
+    for (int i = 0; i < n; ++i)
+        entries[i] = as.newLabel();
+
+    // Decide which functions are only reachable indirectly.
+    std::vector<bool> addressTaken(n, false);
+    for (int i = 1; i < n; ++i) {
+        if (rng.chance(config.addressTakenFraction)) {
+            addressTaken[i] = true;
+            ++result.stats.addressTakenFunctions;
+        }
+    }
+
+    // Pointer-pool slots (labels bound when the pool is emitted).
+    int slots = std::max(0, config.pointerSlots);
+    std::vector<Label> ptrSlots(static_cast<std::size_t>(slots));
+    for (auto &slot : ptrSlots)
+        slot = as.newLabel();
+
+    CodeGenerator codegen(as, rng, config.codeStyle);
+    u64 dataEmitted = 0;
+    u64 rodataCursor = 0;
+    std::vector<Offset> functionStarts;
+    std::vector<std::pair<Label, std::vector<Label>>> pooledTables;
+    std::vector<std::pair<Addr, std::vector<Label>>> rodataTables;
+
+    auto emitDataRegion = [&](std::size_t size) {
+        DataKind kind = pickDataKind(rng, config);
+        ByteVec blob = datagen.generate(kind, size);
+        Offset begin = as.here();
+        as.rawBytes(blob);
+        truth.markData(begin, as.here(),
+                       static_cast<DataOrigin>(kind));
+        dataEmitted += blob.size();
+    };
+
+    auto dataDeficit = [&]() -> bool {
+        u64 total = text.size();
+        if (total == 0)
+            return false;
+        return static_cast<double>(dataEmitted) <
+               config.dataFraction * static_cast<double>(total);
+    };
+
+    for (int i = 0; i < n; ++i) {
+        // Interleaved embedded data between functions.
+        if (config.interleaveData) {
+            while (dataDeficit() && text.size() > 0) {
+                emitDataRegion(rng.range(
+                    static_cast<u64>(config.minDataRegion),
+                    static_cast<u64>(config.maxDataRegion)));
+                if (rng.chance(0.5))
+                    break;
+            }
+        }
+        emitPadding(as, config, rng, truth);
+
+        // Choose direct callees: forward neighbors, excluding
+        // address-taken functions (those are pointer-only).
+        FuncRequest request;
+        request.entry = entries[i];
+        for (int j = i + 1; j < std::min(n, i + 6); ++j) {
+            if (!addressTaken[j])
+                request.callees.push_back(entries[j]);
+        }
+        if (i > 2 && rng.chance(0.3) && !addressTaken[i - 2])
+            request.callees.push_back(entries[i - 2]);
+        request.funcPtrSlots = ptrSlots;
+        request.sectionBase = kSynthTextBase;
+        if (config.materializedCalls) {
+            for (int j = 1; j < n; ++j) {
+                if (addressTaken[j] && rng.chance(0.2))
+                    request.regCallees.push_back(entries[j]);
+            }
+        }
+        request.jumpTable = rng.chance(config.jumpTableFraction);
+        request.embedJumpTable = config.embedJumpTables;
+        if (request.jumpTable && config.tablesInRodata) {
+            // Pre-allocate the table in .rodata (GCC layout).
+            request.jumpTableCases = static_cast<int>(rng.range(3, 10));
+            request.jumpTableVaddr =
+                kSynthRodataBase + rodataCursor;
+            rodataCursor +=
+                static_cast<u64>(request.jumpTableCases) * 4;
+        }
+
+        Offset begin = as.here();
+        FuncResult func = codegen.generate(request);
+        functionStarts.push_back(func.start);
+        truth.mark(begin, func.end, ByteClass::Code);
+        for (const auto &[dBegin, dEnd] : func.dataRegions)
+            truth.markData(dBegin, dEnd, DataOrigin::JumpTable);
+        for (const auto &[dBegin, dEnd] : func.dataRegions)
+            dataEmitted += dEnd - dBegin;
+        result.stats.jumpTables += func.numJumpTables;
+        for (auto &pending : func.pendingTables)
+            pooledTables.push_back(std::move(pending));
+        for (auto &pending : func.rodataTables)
+            rodataTables.push_back(std::move(pending));
+        ++result.stats.functions;
+    }
+
+    // Pooled region at the end: pending jump tables, the pointer pool,
+    // and any remaining data budget.
+    emitPadding(as, config, rng, truth);
+    for (const auto &[table, cases] : pooledTables) {
+        Offset begin = as.here();
+        as.bind(table);
+        for (Label c : cases)
+            as.rawLabelDelta32(c, begin);
+        truth.markData(begin, as.here(), DataOrigin::JumpTable);
+        dataEmitted += as.here() - begin;
+    }
+    if (slots > 0) {
+        Offset begin = as.here();
+        for (int s = 0; s < slots; ++s) {
+            as.bind(ptrSlots[static_cast<std::size_t>(s)]);
+            // Point each slot at some function, preferring the
+            // address-taken ones.
+            int target = -1;
+            for (int tries = 0; tries < 8 && target < 0; ++tries) {
+                int cand = static_cast<int>(rng.below(n));
+                if (addressTaken[cand])
+                    target = cand;
+            }
+            if (target < 0)
+                target = static_cast<int>(rng.below(n));
+            as.rawLabelVaddr64(entries[target], kSynthTextBase);
+        }
+        truth.markData(begin, as.here(), DataOrigin::PointerPool);
+        dataEmitted += as.here() - begin;
+    }
+    while (dataDeficit()) {
+        emitDataRegion(rng.range(static_cast<u64>(config.minDataRegion),
+                                 static_cast<u64>(config.maxDataRegion)));
+    }
+
+    as.finalize();
+
+    result.stats.instructions = as.insnStarts().size();
+    result.stats.totalBytes = text.size();
+
+    SectionFlags flags;
+    flags.executable = true;
+    result.image.addSection(
+        Section(".text", kSynthTextBase, std::move(text), flags));
+    result.image.addEntryPoint(kSynthTextBase +
+                               as.labelOffset(entries[0]));
+
+    // Materialize the .rodata section with the GCC-style tables
+    // (entries are case-target vaddr minus table vaddr).
+    if (rodataCursor > 0) {
+        ByteVec rodata(rodataCursor, 0);
+        for (const auto &[tableVa, cases] : rodataTables) {
+            u64 off = tableVa - kSynthRodataBase;
+            for (Label c : cases) {
+                s64 targetVa = static_cast<s64>(
+                    kSynthTextBase + as.labelOffset(c));
+                writeLe32(rodata, off,
+                          static_cast<u32>(static_cast<s32>(
+                              targetVa - static_cast<s64>(tableVa))));
+                off += 4;
+            }
+        }
+        result.image.addSection(Section(".rodata", kSynthRodataBase,
+                                        std::move(rodata),
+                                        SectionFlags{}));
+    }
+
+    result.truth = truth.build(as.insnStarts());
+    std::sort(functionStarts.begin(), functionStarts.end());
+    result.truth.setFunctionStarts(std::move(functionStarts));
+    result.stats.codeBytes = result.truth.bytesOf(ByteClass::Code);
+    result.stats.dataBytes = result.truth.bytesOf(ByteClass::Data);
+    result.stats.paddingBytes =
+        result.truth.bytesOf(ByteClass::Padding);
+    return result;
+}
+
+CorpusConfig
+gccLikePreset(u64 seed)
+{
+    CorpusConfig config;
+    config.seed = seed;
+    config.name = "gcc-like";
+    config.dataFraction = 0.05;
+    config.interleaveData = false;
+    config.embedJumpTables = false;
+    config.tablesInRodata = true;
+    config.jumpTableFraction = 0.2;
+    config.addressTakenFraction = 0.08;
+    config.materializedCalls = false;
+    config.padKind = PadKind::Nop;
+    config.dataMix[0] = 2.0; // strings
+    config.dataMix[1] = 2.0; // consts
+    config.dataMix[2] = 0.5; // blobs
+    config.dataMix[3] = 1.0; // zeros
+    config.dataMix[4] = 0.0; // code-like
+    return config;
+}
+
+CorpusConfig
+msvcLikePreset(u64 seed)
+{
+    CorpusConfig config;
+    config.seed = seed;
+    config.name = "msvc-like";
+    config.dataFraction = 0.15;
+    config.interleaveData = true;
+    config.embedJumpTables = true;
+    config.jumpTableFraction = 0.3;
+    config.addressTakenFraction = 0.15;
+    config.padKind = PadKind::Int3;
+    config.codeStyle.emitEndbr = false;
+    config.dataMix[5] = 1.5; // UTF-16 strings (Windows flavor)
+    return config;
+}
+
+CorpusConfig
+adversarialPreset(u64 seed)
+{
+    CorpusConfig config;
+    config.seed = seed;
+    config.name = "adversarial";
+    config.dataFraction = 0.30;
+    config.interleaveData = true;
+    config.embedJumpTables = true;
+    config.jumpTableFraction = 0.35;
+    config.addressTakenFraction = 0.25;
+    config.pointerSlots = 16;
+    config.padKind = PadKind::Zero;
+    config.dataMix[0] = 2.0;
+    config.dataMix[1] = 1.5;
+    config.dataMix[2] = 1.0;
+    config.dataMix[3] = 0.5;
+    config.dataMix[4] = 2.0; // code-like data present
+    return config;
+}
+
+} // namespace accdis::synth

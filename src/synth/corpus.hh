@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Whole-binary synthesis: layout of functions, embedded data regions,
+ * jump tables, pointer pools and padding into a BinaryImage with
+ * byte-exact ground truth.
+ */
+
+#ifndef ACCDIS_SYNTH_CORPUS_HH
+#define ACCDIS_SYNTH_CORPUS_HH
+
+#include <string>
+
+#include "image/binary_image.hh"
+#include "synth/codegen.hh"
+#include "synth/ground_truth.hh"
+
+namespace accdis::synth
+{
+
+/** Alignment filler flavor between functions. */
+enum class PadKind : u8
+{
+    Nop,  ///< Multi-byte NOPs (GCC/Clang default).
+    Int3, ///< 0xCC filler (MSVC default).
+    Zero, ///< Zero bytes.
+};
+
+/** Full parameterization of one synthetic binary. */
+struct CorpusConfig
+{
+    u64 seed = 1;
+    std::string name = "synth";
+    int numFunctions = 64;
+
+    /** Target fraction of section bytes that is embedded data. */
+    double dataFraction = 0.15;
+    /** Interleave data regions between functions; else pool at end. */
+    bool interleaveData = true;
+    /** Approximate size of one embedded data region, in bytes. */
+    int minDataRegion = 16;
+    int maxDataRegion = 256;
+    /** Mix weights by DataKind order: ascii strings, consts, blob,
+     *  zeros, code-like, utf16 strings. */
+    double dataMix[6] = {3.0, 2.0, 1.0, 1.0, 0.0, 0.0};
+
+    /** P(function contains a switch jump table). */
+    double jumpTableFraction = 0.25;
+    /** Inline tables after each function (true) or pool them (false). */
+    bool embedJumpTables = true;
+    /**
+     * Place switch tables in a separate read-only .rodata section
+     * (the GCC layout) instead of .text. Overrides embedJumpTables.
+     */
+    bool tablesInRodata = false;
+
+    /** Functions reachable only through the pointer pool. */
+    double addressTakenFraction = 0.15;
+    /** 8-byte function-pointer slots embedded in .text. */
+    int pointerSlots = 8;
+    /** Emit mov reg, imm64; call reg idioms (large-code-model /
+     *  handwritten style); defeats plain recursive traversal. */
+    bool materializedCalls = true;
+
+    /** Function alignment and filler flavor. */
+    int alignment = 16;
+    PadKind padKind = PadKind::Nop;
+
+    CodeStyle codeStyle;
+};
+
+/** Aggregate statistics of a synthesized binary. */
+struct SynthStats
+{
+    u64 totalBytes = 0;
+    u64 codeBytes = 0;
+    u64 dataBytes = 0;
+    u64 paddingBytes = 0;
+    u64 instructions = 0;
+    int functions = 0;
+    int jumpTables = 0;
+    int addressTakenFunctions = 0;
+};
+
+/** A synthesized binary plus its ground truth (for section 0). */
+struct SynthBinary
+{
+    BinaryImage image;
+    GroundTruth truth;
+    SynthStats stats;
+};
+
+/** Virtual base address of the synthetic .text section. */
+inline constexpr Addr kSynthTextBase = 0x401000;
+
+/** Virtual base address of the synthetic .rodata section. */
+inline constexpr Addr kSynthRodataBase = 0x500000;
+
+/** Build one binary from a configuration. Deterministic in the seed. */
+SynthBinary buildSynthBinary(const CorpusConfig &config);
+
+/**
+ * Preset approximating well-behaved GCC output: little embedded data,
+ * pooled at the section end, NOP padding.
+ */
+CorpusConfig gccLikePreset(u64 seed = 1);
+
+/**
+ * Preset approximating MSVC output: inline jump tables, interleaved
+ * strings/constants in .text, INT3 padding.
+ */
+CorpusConfig msvcLikePreset(u64 seed = 1);
+
+/**
+ * Adversarial preset: heavy interleaved data including code-like
+ * bytes, many address-taken functions, zero padding.
+ */
+CorpusConfig adversarialPreset(u64 seed = 1);
+
+} // namespace accdis::synth
+
+#endif // ACCDIS_SYNTH_CORPUS_HH

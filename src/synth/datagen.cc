@@ -1,0 +1,174 @@
+#include "synth/datagen.hh"
+
+#include <cstring>
+
+#include "support/bytes.hh"
+#include "synth/assembler.hh"
+
+namespace accdis::synth
+{
+
+namespace
+{
+
+const char *const kWords[] = {
+    "error", "warning", "invalid", "argument", "file", "not", "found",
+    "usage", "option", "value", "failed", "open", "read", "write",
+    "memory", "allocation", "unexpected", "token", "parse", "config",
+    "version", "help", "output", "input", "buffer", "overflow",
+    "connection", "timeout", "retry", "socket", "path", "directory",
+};
+
+} // namespace
+
+ByteVec
+DataGenerator::asciiStrings(std::size_t size)
+{
+    ByteVec out;
+    while (out.size() < size) {
+        int words = static_cast<int>(rng_.range(1, 6));
+        for (int w = 0; w < words; ++w) {
+            const char *word = kWords[rng_.below(std::size(kWords))];
+            if (w > 0)
+                out.push_back(rng_.chance(0.8) ? ' ' : '_');
+            out.insert(out.end(), word, word + std::strlen(word));
+        }
+        if (rng_.chance(0.3)) {
+            const char fmt[] = ": %s (%d)";
+            out.insert(out.end(), fmt, fmt + sizeof(fmt) - 1);
+        }
+        out.push_back('\0');
+    }
+    out.resize(size);
+    if (!out.empty())
+        out.back() = '\0';
+    return out;
+}
+
+ByteVec
+DataGenerator::constPool(std::size_t size)
+{
+    ByteVec out;
+    while (out.size() + 8 <= size) {
+        switch (rng_.below(4)) {
+          case 0:
+            // Small positive integer, 8 bytes.
+            appendLe64(out, rng_.below(1 << 20));
+            break;
+          case 1:
+            // Double constant near 1.0 (realistic FP pool entry).
+            {
+                double v = (static_cast<double>(rng_.below(2000)) -
+                            1000.0) /
+                           64.0;
+                u64 bits;
+                std::memcpy(&bits, &v, sizeof(bits));
+                appendLe64(out, bits);
+            }
+            break;
+          case 2:
+            // Two 4-byte masks / small constants.
+            appendLe32(out, static_cast<u32>(rng_.below(256)));
+            appendLe32(out, rng_.chance(0.5) ? 0xffffffffu
+                                             : 0x7fffffffu);
+            break;
+          default:
+            // Pointer-looking value (page-aligned-ish).
+            appendLe64(out, 0x400000 + rng_.below(1 << 22) * 16);
+            break;
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+ByteVec
+DataGenerator::randomBlob(std::size_t size)
+{
+    ByteVec out(size);
+    rng_.fill(out.data(), out.size());
+    return out;
+}
+
+ByteVec
+DataGenerator::codeLike(std::size_t size)
+{
+    // Assemble a straight-line instruction soup: real encodings with a
+    // realistic opcode mix, but the bytes are data in the ground
+    // truth. Statistical models cannot tell these from code; only
+    // reachability/behavioral evidence can.
+    ByteVec out;
+    Assembler as(out);
+    const Reg pool[] = {x86::RAX, x86::RCX, x86::RDX, x86::RSI,
+                        x86::RDI, x86::R8, x86::R9};
+    while (out.size() < size) {
+        Reg a = pool[rng_.below(std::size(pool))];
+        Reg b = pool[rng_.below(std::size(pool))];
+        switch (rng_.below(6)) {
+          case 0:
+            as.movRR(a, b, rng_.chance(0.5) ? 8 : 4);
+            break;
+          case 1:
+            as.aluRR(static_cast<int>(rng_.below(8)), a, b, 8);
+            break;
+          case 2:
+            as.movRI(a, static_cast<s64>(rng_.below(65536)), 4);
+            break;
+          case 3:
+            as.movRM(a, Mem::baseDisp(b, static_cast<s32>(
+                                             rng_.below(128))),
+                     8);
+            break;
+          case 4:
+            as.leaRM(a, Mem::baseDisp(b,
+                                      static_cast<s32>(rng_.below(64))));
+            break;
+          default:
+            as.aluRI(static_cast<int>(rng_.below(8)), a,
+                     static_cast<s32>(rng_.below(256)), 4);
+            break;
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+ByteVec
+DataGenerator::utf16Strings(std::size_t size)
+{
+    // UTF-16LE words: ASCII code units interleaved with zero bytes,
+    // the dominant string flavor in Windows binaries.
+    ByteVec ascii = asciiStrings((size + 1) / 2);
+    ByteVec out;
+    out.reserve(size + 1);
+    for (u8 b : ascii) {
+        out.push_back(b);
+        out.push_back(0);
+        if (out.size() >= size)
+            break;
+    }
+    out.resize(size, 0);
+    return out;
+}
+
+ByteVec
+DataGenerator::generate(DataKind kind, std::size_t size)
+{
+    switch (kind) {
+      case DataKind::AsciiStrings:
+        return asciiStrings(size);
+      case DataKind::Utf16Strings:
+        return utf16Strings(size);
+      case DataKind::ConstPool:
+        return constPool(size);
+      case DataKind::RandomBlob:
+        return randomBlob(size);
+      case DataKind::ZeroRun:
+        return ByteVec(size, 0);
+      case DataKind::CodeLike:
+        return codeLike(size);
+    }
+    return ByteVec(size, 0);
+}
+
+} // namespace accdis::synth

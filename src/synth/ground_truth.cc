@@ -1,0 +1,22 @@
+#include "synth/ground_truth.hh"
+
+namespace accdis::synth
+{
+
+const char *
+dataOriginName(DataOrigin origin)
+{
+    switch (origin) {
+      case DataOrigin::AsciiStrings: return "ascii-strings";
+      case DataOrigin::ConstPool: return "const-pool";
+      case DataOrigin::RandomBlob: return "random-blob";
+      case DataOrigin::ZeroRun: return "zero-run";
+      case DataOrigin::CodeLike: return "code-like";
+      case DataOrigin::Utf16Strings: return "utf16-strings";
+      case DataOrigin::JumpTable: return "jump-table";
+      case DataOrigin::PointerPool: return "pointer-pool";
+      default: return "?";
+    }
+}
+
+} // namespace accdis::synth

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Byte-exact ground truth for a synthesized binary.
+ */
+
+#ifndef ACCDIS_SYNTH_GROUND_TRUTH_HH
+#define ACCDIS_SYNTH_GROUND_TRUTH_HH
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "support/interval_map.hh"
+#include "support/types.hh"
+
+namespace accdis::synth
+{
+
+/** Ground-truth classification of a byte in an executable section. */
+enum class ByteClass : u8
+{
+    Code,    ///< Byte of a real instruction.
+    Data,    ///< Embedded data (strings, tables, constants, blobs).
+    Padding, ///< Alignment filler; excluded from accuracy metrics, as
+             ///< both code and data answers are defensible for it.
+};
+
+/** What produced a ground-truth data byte (error-breakdown axis). */
+enum class DataOrigin : u8
+{
+    AsciiStrings,
+    ConstPool,
+    RandomBlob,
+    ZeroRun,
+    CodeLike,
+    Utf16Strings,
+    JumpTable,
+    PointerPool,
+    NumOrigins,
+};
+
+/** Short label for a DataOrigin. */
+const char *dataOriginName(DataOrigin origin);
+
+/**
+ * Per-section ground truth: interval labels for every byte plus the
+ * exact set of instruction-start offsets.
+ */
+class GroundTruth
+{
+  public:
+    /** Label [begin, end) with @p cls. */
+    void
+    setClass(Offset begin, Offset end, ByteClass cls)
+    {
+        classes_.assign(begin, end, cls);
+    }
+
+    /** Class of the byte at @p off (Data when unlabeled). */
+    ByteClass
+    classAt(Offset off) const
+    {
+        auto cls = classes_.at(off);
+        return cls ? *cls : ByteClass::Data;
+    }
+
+    /** Record the instruction-start offsets (must be sorted). */
+    void
+    setInsnStarts(std::vector<Offset> starts)
+    {
+        insnStarts_ = std::move(starts);
+    }
+
+    /** Record the true function-entry offsets (must be sorted). */
+    void
+    setFunctionStarts(std::vector<Offset> starts)
+    {
+        functionStarts_ = std::move(starts);
+    }
+
+    /** Sorted true function-entry offsets. */
+    const std::vector<Offset> &
+    functionStarts() const
+    {
+        return functionStarts_;
+    }
+
+    /** True when @p off is a function entry. */
+    bool
+    isFunctionStart(Offset off) const
+    {
+        return std::binary_search(functionStarts_.begin(),
+                                  functionStarts_.end(), off);
+    }
+
+    /** Sorted true instruction-start offsets. */
+    const std::vector<Offset> &insnStarts() const { return insnStarts_; }
+
+    /** True when @p off starts a real instruction. */
+    bool
+    isInsnStart(Offset off) const
+    {
+        return std::binary_search(insnStarts_.begin(), insnStarts_.end(),
+                                  off);
+    }
+
+    /** Total bytes with the given class. */
+    u64
+    bytesOf(ByteClass cls) const
+    {
+        return classes_.totalBytes(cls);
+    }
+
+    /** All labeled intervals in ascending order. */
+    std::vector<IntervalMap<ByteClass>::Entry>
+    intervals() const
+    {
+        return classes_.entries();
+    }
+
+    /** Record the origin of a data interval. */
+    void
+    setDataOrigin(Offset begin, Offset end, DataOrigin origin)
+    {
+        origins_.assign(begin, end, origin);
+    }
+
+    /** Origin of the data byte at @p off, if recorded. */
+    std::optional<DataOrigin>
+    dataOriginAt(Offset off) const
+    {
+        return origins_.at(off);
+    }
+
+  private:
+    IntervalMap<ByteClass> classes_;
+    IntervalMap<DataOrigin> origins_;
+    std::vector<Offset> insnStarts_;
+    std::vector<Offset> functionStarts_;
+};
+
+} // namespace accdis::synth
+
+#endif // ACCDIS_SYNTH_GROUND_TRUTH_HH

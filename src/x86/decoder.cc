@@ -1,0 +1,1050 @@
+#include "x86/decoder.hh"
+
+#include <cassert>
+
+#include "support/bytes.hh"
+#include "x86/opcode_table.hh"
+
+namespace accdis::x86
+{
+
+namespace
+{
+
+constexpr int kMaxInsnLen = 15;
+
+/** Mutable decode context threaded through the helper functions. */
+struct Ctx
+{
+    ByteSpan bytes;
+    Offset start = 0;
+    Offset cursor = 0;
+
+    // Prefix state.
+    u8 rex = 0;          ///< REX byte (0x40-0x4f) or 0.
+    bool rexStale = false; ///< A legacy prefix followed REX.
+    bool opSize66 = false;
+    bool addrSize67 = false;
+    bool lock = false;
+    u8 rep = 0;          ///< 0xf2, 0xf3 or 0.
+    int segCount = 0;
+    int prefixCount = 0;
+    bool redundant = false;
+
+    // VEX state.
+    bool vex = false;
+    u8 vexMap = 0;       ///< 1 = 0F, 2 = 0F38, 3 = 0F3A.
+    u8 vexPp = 0;
+    bool vexW = false;
+
+    bool rexW() const { return !vex ? (rex & 0x08) != 0 : vexW; }
+    u8 rexR() const { return (rex >> 2) & 1; }
+    u8 rexX() const { return (rex >> 1) & 1; }
+    u8 rexB() const { return rex & 1; }
+
+    bool
+    remaining(u64 n) const
+    {
+        return cursor + n <= bytes.size() &&
+               cursor + n - start <= kMaxInsnLen;
+    }
+
+    u8 peek() const { return bytes[cursor]; }
+    u8 take() { return bytes[cursor++]; }
+};
+
+Instruction
+invalid(Offset off)
+{
+    Instruction insn;
+    insn.offset = off;
+    return insn;
+}
+
+/** Consume legacy and REX prefixes. Returns false on truncation. */
+bool
+consumePrefixes(Ctx &ctx)
+{
+    for (;;) {
+        if (!ctx.remaining(1))
+            return false;
+        u8 b = ctx.peek();
+        bool legacy = true;
+        switch (b) {
+          case 0x66:
+            if (ctx.opSize66)
+                ctx.redundant = true;
+            ctx.opSize66 = true;
+            break;
+          case 0x67:
+            if (ctx.addrSize67)
+                ctx.redundant = true;
+            ctx.addrSize67 = true;
+            break;
+          case 0xf0:
+            if (ctx.lock)
+                ctx.redundant = true;
+            ctx.lock = true;
+            break;
+          case 0xf2:
+          case 0xf3:
+            if (ctx.rep)
+                ctx.redundant = true;
+            ctx.rep = b;
+            break;
+          case 0x26:
+          case 0x2e:
+          case 0x36:
+          case 0x3e:
+          case 0x64:
+          case 0x65:
+            ++ctx.segCount;
+            break;
+          default:
+            if (b >= 0x40 && b <= 0x4f) {
+                if (ctx.rex)
+                    ctx.redundant = true;
+                ctx.rex = b;
+                ctx.rexStale = false;
+                ctx.take();
+                ++ctx.prefixCount;
+                continue;
+            }
+            legacy = false;
+            break;
+        }
+        if (!legacy)
+            return true;
+        // A legacy prefix after REX makes the REX byte meaningless;
+        // hardware decodes as if REX were absent.
+        if (ctx.rex) {
+            ctx.rex = 0;
+            ctx.rexStale = true;
+            ctx.redundant = true;
+        }
+        ctx.take();
+        ++ctx.prefixCount;
+    }
+}
+
+/** Decode ModRM, SIB and displacement into @p insn. */
+bool
+consumeModRm(Ctx &ctx, Instruction &insn)
+{
+    if (!ctx.remaining(1))
+        return false;
+    u8 modrm = ctx.take();
+    insn.hasModRm = true;
+    insn.flags |= kFlagHasModRm;
+    insn.modrmMod = modrm >> 6;
+    insn.modrmReg = static_cast<u8>(((modrm >> 3) & 7) | (ctx.rexR() << 3));
+    u8 rm = modrm & 7;
+    insn.modrmRm = static_cast<u8>(rm | (ctx.rexB() << 3));
+
+    if (insn.modrmMod == 3)
+        return true; // Register operand; no memory bytes.
+
+    int dispSize = 0;
+    if (rm == 4) {
+        // SIB byte.
+        if (!ctx.remaining(1))
+            return false;
+        u8 sib = ctx.take();
+        insn.hasSib = true;
+        insn.sibScale = sib >> 6;
+        u8 index = static_cast<u8>(((sib >> 3) & 7) | (ctx.rexX() << 3));
+        u8 base = static_cast<u8>((sib & 7) | (ctx.rexB() << 3));
+        insn.sibIndex = (index == RSP) ? 0xff : index; // RSP: no index.
+        if ((sib & 7) == 5 && insn.modrmMod == 0) {
+            insn.sibBase = 0xff; // disp32 base.
+            dispSize = 4;
+        } else {
+            insn.sibBase = base;
+        }
+    } else if (rm == 5 && insn.modrmMod == 0) {
+        // RIP-relative addressing.
+        insn.ripRelative = true;
+        insn.flags |= kFlagRipRelative;
+        dispSize = 4;
+    } else {
+        insn.sibBase = insn.modrmRm;
+    }
+
+    if (insn.modrmMod == 1)
+        dispSize = 1;
+    else if (insn.modrmMod == 2)
+        dispSize = 4;
+
+    if (dispSize == 1) {
+        if (!ctx.remaining(1))
+            return false;
+        insn.disp = static_cast<s8>(ctx.take());
+    } else if (dispSize == 4) {
+        if (!ctx.remaining(4))
+            return false;
+        insn.disp = static_cast<s32>(readLe32(ctx.bytes, ctx.cursor));
+        ctx.cursor += 4;
+    }
+    return true;
+}
+
+bool
+consumeImm(Ctx &ctx, Instruction &insn, int size)
+{
+    if (!ctx.remaining(static_cast<u64>(size)))
+        return false;
+    switch (size) {
+      case 1:
+        insn.imm = static_cast<s8>(ctx.take());
+        break;
+      case 2:
+        insn.imm = static_cast<s16>(readLe16(ctx.bytes, ctx.cursor));
+        ctx.cursor += 2;
+        break;
+      case 4:
+        insn.imm = static_cast<s32>(readLe32(ctx.bytes, ctx.cursor));
+        ctx.cursor += 4;
+        break;
+      case 8:
+        insn.imm = static_cast<s64>(readLe64(ctx.bytes, ctx.cursor));
+        ctx.cursor += 8;
+        break;
+      default:
+        assert(false);
+    }
+    insn.hasImm = true;
+    return true;
+}
+
+/** Registers read by a memory operand's address computation. */
+RegMask
+memAddrRegs(const Instruction &insn)
+{
+    RegMask mask = 0;
+    if (insn.modrmMod == 3 || insn.ripRelative)
+        return mask;
+    if (insn.sibBase != 0xff)
+        mask |= regBit(insn.sibBase);
+    if (insn.hasSib && insn.sibIndex != 0xff)
+        mask |= regBit(insn.sibIndex);
+    return mask;
+}
+
+/** True when the instruction's r/m operand is a memory operand. */
+bool
+rmIsMem(const Instruction &insn)
+{
+    return insn.hasModRm && insn.modrmMod != 3;
+}
+
+void
+addRmRead(Instruction &insn)
+{
+    if (rmIsMem(insn)) {
+        insn.flags |= kFlagReadsMem;
+        insn.regsRead |= memAddrRegs(insn);
+    } else if (insn.hasModRm) {
+        insn.regsRead |= regBit(insn.modrmRm);
+    }
+}
+
+void
+addRmWrite(Instruction &insn)
+{
+    if (rmIsMem(insn)) {
+        insn.flags |= kFlagWritesMem;
+        insn.regsRead |= memAddrRegs(insn);
+    } else if (insn.hasModRm) {
+        insn.regsWritten |= regBit(insn.modrmRm);
+    }
+}
+
+void
+addRegRead(Instruction &insn)
+{
+    insn.regsRead |= regBit(insn.modrmReg);
+}
+
+void
+addRegWrite(Instruction &insn)
+{
+    insn.regsWritten |= regBit(insn.modrmReg);
+}
+
+constexpr RegMask kFlagsBit = regBit(RegFlags);
+
+/**
+ * Populate regsRead/regsWritten and memory-access flags from the
+ * decoded operands. Deliberately coarse (an AH write counts as an RSP
+ * write in byte mode without REX; acceptable for the analyses).
+ */
+void
+applySemantics(Ctx &ctx, Instruction &insn, const OpSpec &sp)
+{
+    // Record the opcode-embedded register for the forms that have one
+    // (push/pop r, mov r imm, xchg rAX r, bswap r).
+    if (insn.opcodeMap == 0) {
+        u8 b = insn.opcodeByte;
+        if ((b & 0xf8) == 0x50 || (b & 0xf8) == 0x58 ||
+            (b & 0xf0) == 0xb0 || ((b & 0xf8) == 0x90 && b != 0x90))
+            insn.opReg =
+                static_cast<u8>((b & 7) | (ctx.rexB() << 3));
+    } else if (insn.opcodeMap == 1 &&
+               (insn.opcodeByte & 0xf8) == 0xc8) {
+        insn.opReg = static_cast<u8>((insn.opcodeByte & 7) |
+                                     (ctx.rexB() << 3));
+    }
+
+    // Direction of two-operand ModRM forms in the classic maps: bit 1
+    // of the one-byte opcode selects reg<-rm; the 0F map conventions
+    // are handled per-op below.
+    const bool regIsDest =
+        insn.opcodeMap == 0 && (insn.opcodeByte & 0x02) != 0;
+
+    auto twoOperand = [&](bool destRead) {
+        if (!insn.hasModRm) {
+            // Immediate-with-accumulator form.
+            if (destRead)
+                insn.regsRead |= regBit(RAX);
+            insn.regsWritten |= regBit(RAX);
+            return;
+        }
+        if (sp.group == kGrp1 || sp.group == kGrp11b ||
+            sp.group == kGrp11v) {
+            // Immediate source; rm is the destination.
+            if (destRead)
+                addRmRead(insn);
+            addRmWrite(insn);
+            return;
+        }
+        if (regIsDest) {
+            addRmRead(insn);
+            if (destRead)
+                addRegRead(insn);
+            addRegWrite(insn);
+        } else {
+            addRegRead(insn);
+            if (destRead)
+                addRmRead(insn);
+            addRmWrite(insn);
+        }
+    };
+
+    switch (insn.op) {
+      case Op::Add: case Op::Or: case Op::Adc: case Op::Sbb:
+      case Op::And: case Op::Sub: case Op::Xor:
+        twoOperand(true);
+        insn.regsWritten |= kFlagsBit;
+        if (insn.op == Op::Adc || insn.op == Op::Sbb)
+            insn.regsRead |= kFlagsBit;
+        break;
+
+      case Op::Cmp:
+        if (!insn.hasModRm) {
+            insn.regsRead |= regBit(RAX);
+        } else if (sp.group == kGrp1) {
+            addRmRead(insn);
+        } else {
+            addRmRead(insn);
+            addRegRead(insn);
+        }
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Test:
+        if (!insn.hasModRm) {
+            insn.regsRead |= regBit(RAX);
+        } else if (sp.group == kGrp3b || sp.group == kGrp3v) {
+            addRmRead(insn);
+        } else {
+            addRmRead(insn);
+            addRegRead(insn);
+        }
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Mov:
+        if (!insn.hasModRm) {
+            // OI or MOffs forms.
+            if (insn.opcodeMap == 0 && (insn.opcodeByte & 0xf0) == 0xb0) {
+                u8 reg = static_cast<u8>((insn.opcodeByte & 7) |
+                                         (ctx.rexB() << 3));
+                insn.regsWritten |= regBit(reg);
+            } else {
+                // moffs forms: direction from bit 1.
+                if (insn.opcodeByte == 0xa0 || insn.opcodeByte == 0xa1) {
+                    insn.flags |= kFlagReadsMem;
+                    insn.regsWritten |= regBit(RAX);
+                } else {
+                    insn.flags |= kFlagWritesMem;
+                    insn.regsRead |= regBit(RAX);
+                }
+            }
+        } else {
+            twoOperand(false);
+        }
+        break;
+
+      case Op::Movsxd: case Op::Movzx: case Op::Movsx:
+        addRmRead(insn);
+        addRegWrite(insn);
+        break;
+
+      case Op::Lea:
+        insn.regsRead |= memAddrRegs(insn);
+        addRegWrite(insn);
+        // LEA computes an address but never touches memory.
+        insn.flags &= static_cast<u16>(~(kFlagReadsMem | kFlagWritesMem));
+        break;
+
+      case Op::Xchg:
+        if (!insn.hasModRm) {
+            u8 reg = static_cast<u8>((insn.opcodeByte & 7) |
+                                     (ctx.rexB() << 3));
+            insn.regsRead |= regBit(RAX) | regBit(reg);
+            insn.regsWritten |= regBit(RAX) | regBit(reg);
+        } else {
+            addRmRead(insn);
+            addRmWrite(insn);
+            addRegRead(insn);
+            addRegWrite(insn);
+        }
+        break;
+
+      case Op::Push:
+        insn.regsRead |= regBit(RSP);
+        insn.regsWritten |= regBit(RSP);
+        if (insn.hasModRm) {
+            addRmRead(insn);
+        } else if (insn.opcodeMap == 0 &&
+                   (insn.opcodeByte & 0xf8) == 0x50) {
+            insn.regsRead |= regBit(static_cast<u8>(
+                (insn.opcodeByte & 7) | (ctx.rexB() << 3)));
+        }
+        break;
+
+      case Op::Pop:
+        insn.regsRead |= regBit(RSP);
+        insn.regsWritten |= regBit(RSP);
+        if (insn.hasModRm) {
+            addRmWrite(insn);
+        } else if (insn.opcodeMap == 0 &&
+                   (insn.opcodeByte & 0xf8) == 0x58) {
+            insn.regsWritten |= regBit(static_cast<u8>(
+                (insn.opcodeByte & 7) | (ctx.rexB() << 3)));
+        }
+        break;
+
+      case Op::Inc: case Op::Dec:
+        addRmRead(insn);
+        addRmWrite(insn);
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Not:
+        addRmRead(insn);
+        addRmWrite(insn);
+        break;
+
+      case Op::Neg:
+        addRmRead(insn);
+        addRmWrite(insn);
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Mul: case Op::Div: case Op::Idiv:
+        addRmRead(insn);
+        insn.regsRead |= regBit(RAX) | regBit(RDX);
+        insn.regsWritten |= regBit(RAX) | regBit(RDX) | kFlagsBit;
+        break;
+
+      case Op::Imul:
+        if (insn.hasModRm && (sp.group == kGrp3b || sp.group == kGrp3v)) {
+            addRmRead(insn);
+            insn.regsRead |= regBit(RAX);
+            insn.regsWritten |= regBit(RAX) | regBit(RDX) | kFlagsBit;
+        } else {
+            addRmRead(insn);
+            if (!insn.hasImm)
+                addRegRead(insn); // 0F AF form reads the destination.
+            addRegWrite(insn);
+            insn.regsWritten |= kFlagsBit;
+        }
+        break;
+
+      case Op::Rol: case Op::Ror: case Op::Rcl: case Op::Rcr:
+      case Op::Shl: case Op::Shr: case Op::Sal: case Op::Sar:
+        addRmRead(insn);
+        addRmWrite(insn);
+        if (sp.flags & kSpecShiftCl) {
+            // handled at call site via parent flags
+        }
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Shld: case Op::Shrd:
+        addRmRead(insn);
+        addRmWrite(insn);
+        addRegRead(insn);
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Bt:
+        addRmRead(insn);
+        if (!insn.hasImm)
+            addRegRead(insn);
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Bts: case Op::Btr: case Op::Btc:
+        addRmRead(insn);
+        addRmWrite(insn);
+        if (!insn.hasImm)
+            addRegRead(insn);
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Bsf: case Op::Bsr: case Op::Popcnt:
+        addRmRead(insn);
+        addRegWrite(insn);
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Jcc:
+        insn.regsRead |= kFlagsBit;
+        break;
+
+      case Op::Loop: case Op::Loope: case Op::Loopne:
+        insn.regsRead |= regBit(RCX);
+        insn.regsWritten |= regBit(RCX);
+        if (insn.op != Op::Loop)
+            insn.regsRead |= kFlagsBit;
+        break;
+
+      case Op::Jrcxz:
+        insn.regsRead |= regBit(RCX);
+        break;
+
+      case Op::Call:
+        insn.regsRead |= regBit(RSP);
+        insn.regsWritten |= regBit(RSP);
+        if (insn.flow == CtrlFlow::IndirectCall)
+            addRmRead(insn);
+        break;
+
+      case Op::Jmp:
+        if (insn.flow == CtrlFlow::IndirectJump)
+            addRmRead(insn);
+        break;
+
+      case Op::Ret: case Op::Retf: case Op::Iret:
+        insn.regsRead |= regBit(RSP);
+        insn.regsWritten |= regBit(RSP);
+        break;
+
+      case Op::Setcc:
+        insn.regsRead |= kFlagsBit;
+        addRmWrite(insn);
+        break;
+
+      case Op::Cmovcc:
+        insn.regsRead |= kFlagsBit;
+        addRmRead(insn);
+        addRegRead(insn);
+        addRegWrite(insn);
+        break;
+
+      case Op::Movs:
+        insn.regsRead |= regBit(RSI) | regBit(RDI) | kFlagsBit;
+        insn.regsWritten |= regBit(RSI) | regBit(RDI);
+        insn.flags |= kFlagReadsMem | kFlagWritesMem;
+        break;
+
+      case Op::Cmps:
+        insn.regsRead |= regBit(RSI) | regBit(RDI) | kFlagsBit;
+        insn.regsWritten |= regBit(RSI) | regBit(RDI) | kFlagsBit;
+        insn.flags |= kFlagReadsMem;
+        break;
+
+      case Op::Stos:
+        insn.regsRead |= regBit(RAX) | regBit(RDI) | kFlagsBit;
+        insn.regsWritten |= regBit(RDI);
+        insn.flags |= kFlagWritesMem;
+        break;
+
+      case Op::Lods:
+        insn.regsRead |= regBit(RSI) | kFlagsBit;
+        insn.regsWritten |= regBit(RAX) | regBit(RSI);
+        insn.flags |= kFlagReadsMem;
+        break;
+
+      case Op::Scas:
+        insn.regsRead |= regBit(RAX) | regBit(RDI) | kFlagsBit;
+        insn.regsWritten |= regBit(RDI) | kFlagsBit;
+        insn.flags |= kFlagReadsMem;
+        break;
+
+      case Op::Ins: case Op::Outs:
+        insn.regsRead |= regBit(RDX) | regBit(RSI) | regBit(RDI);
+        insn.regsWritten |= regBit(RSI) | regBit(RDI);
+        break;
+
+      case Op::Xlat:
+        insn.regsRead |= regBit(RAX) | regBit(RBX);
+        insn.regsWritten |= regBit(RAX);
+        insn.flags |= kFlagReadsMem;
+        break;
+
+      case Op::Cwde:
+        insn.regsRead |= regBit(RAX);
+        insn.regsWritten |= regBit(RAX);
+        break;
+
+      case Op::Cdq:
+        insn.regsRead |= regBit(RAX);
+        insn.regsWritten |= regBit(RDX);
+        break;
+
+      case Op::Pushf:
+        insn.regsRead |= kFlagsBit | regBit(RSP);
+        insn.regsWritten |= regBit(RSP);
+        break;
+
+      case Op::Popf:
+        insn.regsRead |= regBit(RSP);
+        insn.regsWritten |= kFlagsBit | regBit(RSP);
+        break;
+
+      case Op::Sahf:
+        insn.regsRead |= regBit(RAX);
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Lahf:
+        insn.regsRead |= kFlagsBit;
+        insn.regsWritten |= regBit(RAX);
+        break;
+
+      case Op::Cmc: case Op::Clc: case Op::Stc: case Op::Cld:
+      case Op::Std: case Op::Cli: case Op::Sti:
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Enter: case Op::Leave:
+        insn.regsRead |= regBit(RSP) | regBit(RBP);
+        insn.regsWritten |= regBit(RSP) | regBit(RBP);
+        break;
+
+      case Op::Xadd:
+        addRmRead(insn);
+        addRmWrite(insn);
+        addRegRead(insn);
+        addRegWrite(insn);
+        insn.regsWritten |= kFlagsBit;
+        break;
+
+      case Op::Cmpxchg:
+        addRmRead(insn);
+        addRmWrite(insn);
+        if (insn.opcodeMap == 1 &&
+            (insn.opcodeByte == 0xb0 || insn.opcodeByte == 0xb1))
+            addRegRead(insn);
+        insn.regsRead |= regBit(RAX);
+        insn.regsWritten |= regBit(RAX) | kFlagsBit;
+        break;
+
+      case Op::Bswap: {
+        u8 reg = static_cast<u8>((insn.opcodeByte & 7) |
+                                 (ctx.rexB() << 3));
+        insn.regsRead |= regBit(reg);
+        insn.regsWritten |= regBit(reg);
+        break;
+      }
+
+      case Op::Cpuid:
+        insn.regsRead |= regBit(RAX) | regBit(RCX);
+        insn.regsWritten |= regBit(RAX) | regBit(RBX) | regBit(RCX) |
+                            regBit(RDX);
+        break;
+
+      case Op::Rdtsc:
+        insn.regsWritten |= regBit(RAX) | regBit(RDX);
+        break;
+
+      case Op::Syscall:
+        insn.regsRead |= regBit(RAX) | regBit(RDI) | regBit(RSI) |
+                         regBit(RDX);
+        insn.regsWritten |= regBit(RAX) | regBit(RCX) | regBit(R11);
+        break;
+
+      case Op::In:
+        insn.regsRead |= regBit(RDX);
+        insn.regsWritten |= regBit(RAX);
+        break;
+
+      case Op::Out:
+        insn.regsRead |= regBit(RAX) | regBit(RDX);
+        break;
+
+      case Op::Sse:
+        insn.regsRead |= regBit(RegVector) | memAddrRegs(insn);
+        insn.regsWritten |= regBit(RegVector);
+        if (rmIsMem(insn))
+            insn.flags |= kFlagReadsMem;
+        break;
+
+      case Op::Fpu:
+        insn.regsRead |= regBit(RegX87) | memAddrRegs(insn);
+        insn.regsWritten |= regBit(RegX87);
+        if (rmIsMem(insn))
+            insn.flags |= kFlagReadsMem;
+        break;
+
+      case Op::Nop:
+        // Hint NOPs may carry a ModRM memory form; no access happens.
+        insn.regsRead |= memAddrRegs(insn);
+        break;
+
+      default:
+        break;
+    }
+
+    // Shift-by-CL forms read CL on top of whatever else they do.
+    if (sp.flags & kSpecShiftCl)
+        insn.regsRead |= regBit(RCX);
+    // LOCKed memory RMW also reads memory.
+    if (insn.flags & kFlagLock)
+        insn.flags |= kFlagReadsMem;
+}
+
+} // namespace
+
+Instruction
+decode(ByteSpan bytes, Offset off)
+{
+    if (off >= bytes.size())
+        return invalid(off);
+
+    Ctx ctx;
+    ctx.bytes = bytes;
+    ctx.start = off;
+    ctx.cursor = off;
+
+    if (!consumePrefixes(ctx))
+        return invalid(off);
+    if (!ctx.remaining(1))
+        return invalid(off);
+
+    Instruction insn;
+    insn.offset = off;
+
+    // Opcode dispatch: VEX escapes, 0F escapes, or the one-byte map.
+    const OpSpec *sp = nullptr;
+    u8 opcode = ctx.take();
+    if (opcode == 0x62) {
+        // EVEX (AVX-512). Four-byte prefix: 62 P0 P1 P2, then the
+        // opcode from the map selected by P0[2:0], ModRM operands, and
+        // an imm8 for map 3. REX or legacy mandatory prefixes before
+        // EVEX are #UD.
+        if (ctx.rex || ctx.opSize66 || ctx.rep || ctx.lock)
+            return invalid(off);
+        if (!ctx.remaining(4))
+            return invalid(off);
+        u8 p0 = ctx.take();
+        u8 p1 = ctx.take();
+        ctx.take(); // P2: masking/rounding bits; no length effect.
+        u8 map = p0 & 0x07;
+        // Maps 1-3 are 0F/0F38/0F3A; 5 and 6 are the FP16 maps.
+        if (map != 1 && map != 2 && map != 3 && map != 5 && map != 6)
+            return invalid(off);
+        if ((p1 & 0x04) == 0)
+            return invalid(off); // P1 bit 2 must be set.
+        ctx.vex = true;
+        insn.isVex = true;
+        // Recover the REX-equivalent RXB bits (inverted in P0).
+        ctx.rex = static_cast<u8>(0x40 | (((~p0) >> 5) & 7));
+        insn.opcodeByte = ctx.take();
+        insn.opcodeMap = map;
+        static const OpSpec evexM = {Op::Sse, Enc::M, CtrlFlow::None,
+                                     0, -1};
+        static const OpSpec evexMI8 = {Op::Sse, Enc::MI8,
+                                       CtrlFlow::None, 0, -1};
+        sp = map == 3 ? &evexMI8 : &evexM;
+    } else if (opcode == 0xc4 || opcode == 0xc5) {
+        // VEX. REX or mandatory prefixes before VEX are #UD.
+        if (ctx.rex || ctx.opSize66 || ctx.rep || ctx.lock)
+            return invalid(off);
+        ctx.vex = true;
+        insn.isVex = true;
+        if (opcode == 0xc5) {
+            if (!ctx.remaining(1))
+                return invalid(off);
+            u8 b1 = ctx.take();
+            ctx.vexMap = 1;
+            ctx.vexPp = b1 & 3;
+            ctx.rex = static_cast<u8>(0x40 | (((~b1) >> 5) & 4)); // R
+        } else {
+            if (!ctx.remaining(2))
+                return invalid(off);
+            u8 b1 = ctx.take();
+            u8 b2 = ctx.take();
+            ctx.vexMap = b1 & 0x1f;
+            if (ctx.vexMap < 1 || ctx.vexMap > 3)
+                return invalid(off);
+            ctx.vexPp = b2 & 3;
+            ctx.vexW = (b2 & 0x80) != 0;
+            // Invert RXB from the VEX byte into REX-equivalent bits.
+            ctx.rex = static_cast<u8>(0x40 | (((~b1) >> 5) & 7));
+        }
+        if (!ctx.remaining(1))
+            return invalid(off);
+        opcode = ctx.take();
+        insn.opcodeByte = opcode;
+        insn.opcodeMap = ctx.vexMap;
+        static const OpSpec vex0f38 = {Op::Sse, Enc::M, CtrlFlow::None,
+                                       0, -1};
+        static const OpSpec vex0f3a = {Op::Sse, Enc::MI8, CtrlFlow::None,
+                                       0, -1};
+        if (ctx.vexMap == 1) {
+            sp = &twoByteMap()[opcode];
+            // Only data-processing opcodes exist under VEX, plus the
+            // AVX-512 mask-register ops (kmov/kand/kortest/...) that
+            // reuse 0F-map slots 41-4F, 90-93 and 98-99.
+            if (sp->op != Op::Sse && sp->op != Op::Nop) {
+                bool maskOp = (opcode >= 0x41 && opcode <= 0x4f) ||
+                              (opcode >= 0x90 && opcode <= 0x93) ||
+                              opcode == 0x98 || opcode == 0x99;
+                if (!maskOp)
+                    return invalid(off);
+                static const OpSpec vexMask = {Op::Sse, Enc::M,
+                                               CtrlFlow::None, 0, -1};
+                sp = &vexMask;
+            }
+        } else if (ctx.vexMap == 2) {
+            sp = &vex0f38;
+        } else {
+            sp = &vex0f3a;
+        }
+    } else if (opcode == 0x0f) {
+        if (!ctx.remaining(1))
+            return invalid(off);
+        u8 second = ctx.take();
+        if (second == 0x38 || second == 0x3a) {
+            if (!ctx.remaining(1))
+                return invalid(off);
+            insn.opcodeByte = ctx.take();
+            insn.opcodeMap = second == 0x38 ? 2 : 3;
+            static const OpSpec map38 = {Op::Sse, Enc::M, CtrlFlow::None,
+                                         kSpecRare, -1};
+            static const OpSpec map3a = {Op::Sse, Enc::MI8,
+                                         CtrlFlow::None, kSpecRare, -1};
+            sp = second == 0x38 ? &map38 : &map3a;
+        } else {
+            insn.opcodeByte = second;
+            insn.opcodeMap = 1;
+            sp = &twoByteMap()[second];
+            // popcnt/tzcnt/lzcnt require F3; plain 0FB8 is undefined.
+            if (second == 0xb8 && ctx.rep != 0xf3)
+                return invalid(off);
+        }
+    } else {
+        insn.opcodeByte = opcode;
+        insn.opcodeMap = 0;
+        sp = &oneByteMap()[opcode];
+    }
+
+    if (sp->op == Op::Invalid)
+        return invalid(off);
+
+    // Effective operand size.
+    bool byteOp = (sp->flags & kSpecByte) != 0;
+    u16 flags = sp->flags;
+    Enc enc = sp->enc;
+
+    // ModRM-bearing encodings (including all groups).
+    if (enc == Enc::M || enc == Enc::MI8 || enc == Enc::MIz ||
+        sp->group >= 0) {
+        if (!consumeModRm(ctx, insn))
+            return invalid(off);
+    }
+
+    // Group refinement after ModRM.
+    CtrlFlow flow = sp->flow;
+    Op op = sp->op;
+    if (sp->group >= 0) {
+        // TSX escape hatch: C7 F8 is xbegin rel32, C6 F8 is xabort
+        // imm8 (group 11, /7 with a mod=3 rm=0 "register" field).
+        if ((sp->group == kGrp11v || sp->group == kGrp11b) &&
+            (insn.modrmReg & 7) == 7 && insn.modrmMod == 3 &&
+            (insn.modrmRm & 7) == 0) {
+            if (sp->group == kGrp11v) {
+                insn.op = Op::Xbegin;
+                insn.flow = CtrlFlow::CondJump;
+                insn.flags |= kFlagRare;
+                if (!consumeImm(ctx, insn, ctx.opSize66 ? 2 : 4))
+                    return invalid(off);
+                insn.length = static_cast<u8>(ctx.cursor - off);
+                insn.target = static_cast<s64>(insn.end()) + insn.imm;
+                insn.hasTarget = true;
+                insn.opSize = 8;
+                return insn;
+            }
+            insn.op = Op::Xabort;
+            insn.flags |= kFlagRare;
+            if (!consumeImm(ctx, insn, 1))
+                return invalid(off);
+            insn.length = static_cast<u8>(ctx.cursor - off);
+            insn.opSize = 1;
+            return insn;
+        }
+        const OpSpec &sub = groups()[sp->group][insn.modrmReg & 7];
+        if (sub.op == Op::Invalid)
+            return invalid(off);
+        op = sub.op;
+        flow = sub.flow;
+        flags |= sub.flags;
+        if (sub.enc != Enc::None)
+            enc = sub.enc;
+        byteOp = byteOp || (flags & kSpecByte);
+        // Far call/jmp forms require a memory operand.
+        if ((sub.flow == CtrlFlow::IndirectCall ||
+             sub.flow == CtrlFlow::IndirectJump) &&
+            (sub.flags & kSpecRare) && insn.modrmMod == 3)
+            return invalid(off);
+    }
+
+    insn.op = op;
+    insn.flow = flow;
+    if (flags & kSpecCond)
+        insn.cond = insn.opcodeByte & 0x0f;
+
+    // Operand size.
+    if (byteOp) {
+        insn.opSize = 1;
+        insn.flags |= kFlagByteOp;
+    } else if (ctx.rexW()) {
+        insn.opSize = 8;
+    } else if (ctx.opSize66) {
+        insn.opSize = 2;
+    } else if (flags & kSpecD64) {
+        insn.opSize = 8;
+    } else {
+        insn.opSize = 4;
+    }
+
+    // Immediates and relative displacements.
+    switch (enc) {
+      case Enc::None:
+      case Enc::M:
+        break;
+      case Enc::MI8:
+      case Enc::I8:
+        if (!consumeImm(ctx, insn, 1))
+            return invalid(off);
+        break;
+      case Enc::MIz:
+      case Enc::Iz:
+        if (!consumeImm(ctx, insn, insn.opSize == 2 ? 2 : 4))
+            return invalid(off);
+        break;
+      case Enc::I16:
+        if (!consumeImm(ctx, insn, 2))
+            return invalid(off);
+        break;
+      case Enc::I16I8: {
+        if (!ctx.remaining(3))
+            return invalid(off);
+        u16 frame = readLe16(ctx.bytes, ctx.cursor);
+        ctx.cursor += 2;
+        u8 nesting = ctx.take();
+        insn.imm = (static_cast<s64>(nesting) << 16) | frame;
+        insn.hasImm = true;
+        break;
+      }
+      case Enc::Rel8:
+        if (!consumeImm(ctx, insn, 1))
+            return invalid(off);
+        break;
+      case Enc::Rel32:
+        if (!consumeImm(ctx, insn, 4))
+            return invalid(off);
+        break;
+      case Enc::OI:
+        if (byteOp) {
+            if (!consumeImm(ctx, insn, 1))
+                return invalid(off);
+        } else if (ctx.rexW()) {
+            if (!consumeImm(ctx, insn, 8))
+                return invalid(off);
+        } else if (ctx.opSize66) {
+            if (!consumeImm(ctx, insn, 2))
+                return invalid(off);
+        } else {
+            if (!consumeImm(ctx, insn, 4))
+                return invalid(off);
+        }
+        break;
+      case Enc::MOffs: {
+        int addrBytes = ctx.addrSize67 ? 4 : 8;
+        if (!ctx.remaining(static_cast<u64>(addrBytes)))
+            return invalid(off);
+        insn.disp = addrBytes == 8
+                        ? static_cast<s64>(readLe64(ctx.bytes, ctx.cursor))
+                        : static_cast<s64>(readLe32(ctx.bytes, ctx.cursor));
+        ctx.cursor += addrBytes;
+        break;
+      }
+    }
+
+    insn.length = static_cast<u8>(ctx.cursor - off);
+    assert(insn.length <= kMaxInsnLen);
+
+    // Direct branch target (section-relative, possibly out of range).
+    if (enc == Enc::Rel8 || enc == Enc::Rel32) {
+        insn.target = static_cast<s64>(insn.end()) + insn.imm;
+        insn.hasTarget = true;
+    }
+
+    // Prefix legality and oddity flags.
+    if (ctx.lock) {
+        insn.flags |= kFlagLock;
+        bool lockable = (flags & kSpecLockable) && rmIsMem(insn);
+        if (!lockable) {
+            // LOCK on anything else raises #UD: a true invalid decode.
+            return invalid(off);
+        }
+    }
+    if (ctx.rep)
+        insn.flags |= kFlagRep;
+    if (ctx.segCount > 0)
+        insn.flags |= kFlagSegment;
+    if (ctx.redundant || ctx.segCount > 1 || ctx.rexStale)
+        insn.flags |= kFlagRedundantPrefix;
+    if (ctx.opSize66 && byteOp)
+        insn.flags |= kFlagRedundantPrefix;
+    if (flags & kSpecRare)
+        insn.flags |= kFlagRare;
+    if (flags & kSpecPriv)
+        insn.flags |= kFlagPrivileged;
+    if (ctx.rep && insn.opcodeMap == 1)
+        insn.mandatoryPrefix = ctx.rep;
+    else if (ctx.opSize66 && insn.opcodeMap >= 1)
+        insn.mandatoryPrefix = 0x66;
+
+    applySemantics(ctx, insn, *sp);
+    // Group-refined shift-by-CL also reads CL (parent carries flag).
+    if (flags & kSpecShiftCl)
+        insn.regsRead |= regBit(RCX);
+    // REP-prefixed string ops additionally use RCX as the counter.
+    if (ctx.rep &&
+        (insn.op == Op::Movs || insn.op == Op::Cmps ||
+         insn.op == Op::Stos || insn.op == Op::Lods ||
+         insn.op == Op::Scas)) {
+        insn.regsRead |= regBit(RCX);
+        insn.regsWritten |= regBit(RCX);
+    }
+
+    return insn;
+}
+
+} // namespace accdis::x86

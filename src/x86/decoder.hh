@@ -1,0 +1,38 @@
+/**
+ * @file
+ * From-scratch x86-64 instruction decoder.
+ *
+ * The decoder is length-exact for the 64-bit instruction subset that
+ * compilers emit (all one-byte opcodes valid in long mode, the 0F map,
+ * the 0F38/0F3A escapes, VEX), and classifies each decode with the
+ * semantic facets the disassembly analyses need: control-flow class,
+ * direct branch targets, register def/use masks, and behavioral oddity
+ * flags (privileged, rare, redundant prefixes, ...).
+ */
+
+#ifndef ACCDIS_X86_DECODER_HH
+#define ACCDIS_X86_DECODER_HH
+
+#include "support/types.hh"
+#include "x86/instruction.hh"
+
+namespace accdis::x86
+{
+
+/**
+ * Decode one instruction at @p off within @p bytes.
+ *
+ * On failure (undefined opcode, instruction longer than 15 bytes or
+ * running past the end of @p bytes, encodings that #UD such as LOCK on
+ * a non-lockable instruction), the returned Instruction has
+ * op == Op::Invalid and valid() == false.
+ *
+ * Branch targets of direct jumps/calls are reported as *signed*
+ * section-relative offsets (Instruction::target); they may lie outside
+ * [0, bytes.size()) and callers decide how to treat escaping flow.
+ */
+Instruction decode(ByteSpan bytes, Offset off);
+
+} // namespace accdis::x86
+
+#endif // ACCDIS_X86_DECODER_HH

@@ -1,0 +1,280 @@
+#include "x86/formatter.hh"
+
+#include <cstdio>
+
+#include "x86/opcode_table.hh"
+
+namespace accdis::x86
+{
+
+namespace
+{
+
+std::string
+hexImm(s64 value)
+{
+    char buf[32];
+    if (value < 0)
+        std::snprintf(buf, sizeof(buf), "-0x%llx",
+                      static_cast<unsigned long long>(-value));
+    else
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** Resolve the common SSE mnemonics by (mandatory prefix, opcode). */
+const char *
+sseName(const Instruction &insn)
+{
+    if (insn.opcodeMap != 1)
+        return nullptr;
+    u8 p = insn.mandatoryPrefix;
+    switch (insn.opcodeByte) {
+      case 0x10:
+        return p == 0xf3 ? "movss" : p == 0xf2 ? "movsd"
+               : p == 0x66 ? "movupd" : "movups";
+      case 0x11:
+        return p == 0xf3 ? "movss" : p == 0xf2 ? "movsd"
+               : p == 0x66 ? "movupd" : "movups";
+      case 0x28: case 0x29:
+        return p == 0x66 ? "movapd" : "movaps";
+      case 0x2a: return "cvtsi2s";
+      case 0x2c: return "cvttss2si";
+      case 0x2e: return p == 0x66 ? "ucomisd" : "ucomiss";
+      case 0x2f: return p == 0x66 ? "comisd" : "comiss";
+      case 0x51: return "sqrt";
+      case 0x54: return p == 0x66 ? "andpd" : "andps";
+      case 0x57: return p == 0x66 ? "xorpd" : "xorps";
+      case 0x58: return "adds";
+      case 0x59: return "muls";
+      case 0x5c: return "subs";
+      case 0x5e: return "divs";
+      case 0x6e: return "movd";
+      case 0x6f:
+        return p == 0xf3 ? "movdqu" : p == 0x66 ? "movdqa" : "movq";
+      case 0x70: return "pshuf";
+      case 0x7e: return p == 0xf3 ? "movq" : "movd";
+      case 0x7f:
+        return p == 0xf3 ? "movdqu" : p == 0x66 ? "movdqa" : "movq";
+      case 0xd6: return "movq";
+      case 0xef: return "pxor";
+      default: return nullptr;
+    }
+}
+
+std::string
+memOperand(const Instruction &insn)
+{
+    std::string out = "[";
+    bool needPlus = false;
+    if (insn.ripRelative) {
+        out += "rip";
+        needPlus = true;
+    } else {
+        if (insn.sibBase != 0xff) {
+            out += regName(insn.sibBase, 8);
+            needPlus = true;
+        }
+        if (insn.hasSib && insn.sibIndex != 0xff) {
+            if (needPlus)
+                out += "+";
+            out += regName(insn.sibIndex, 8);
+            out += "*";
+            out += std::to_string(1 << insn.sibScale);
+            needPlus = true;
+        }
+    }
+    if (insn.disp != 0 || !needPlus) {
+        if (needPlus && insn.disp >= 0)
+            out += "+";
+        out += hexImm(insn.disp);
+    }
+    out += "]";
+    return out;
+}
+
+std::string
+rmOperand(const Instruction &insn, int size)
+{
+    if (insn.modrmMod == 3)
+        return regName(insn.modrmRm, size);
+    return memOperand(insn);
+}
+
+} // namespace
+
+std::string
+formatMnemonic(const Instruction &insn)
+{
+    if (!insn.valid())
+        return "(bad)";
+    switch (insn.op) {
+      case Op::Jcc:
+        return std::string("j") + condName(insn.cond);
+      case Op::Setcc:
+        return std::string("set") + condName(insn.cond);
+      case Op::Cmovcc:
+        return std::string("cmov") + condName(insn.cond);
+      case Op::Nop:
+        if (insn.opcodeMap == 1 && insn.opcodeByte == 0x1e &&
+            insn.mandatoryPrefix == 0xf3)
+            return "endbr64";
+        return "nop";
+      case Op::Sse: {
+        if (const char *name = sseName(insn))
+            return name;
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%s_%02x",
+                      insn.isVex ? "vex" : "sse", insn.opcodeByte);
+        return buf;
+      }
+      case Op::Fpu: {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "fpu_%02x", insn.opcodeByte);
+        return buf;
+      }
+      case Op::Sys: {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "sys_%02x", insn.opcodeByte);
+        return buf;
+      }
+      default:
+        return opName(insn.op);
+    }
+}
+
+std::string
+format(const Instruction &insn)
+{
+    if (!insn.valid())
+        return "(bad)";
+
+    std::string out;
+    if (insn.flags & kFlagLock)
+        out += "lock ";
+    if ((insn.flags & kFlagRep) && insn.opcodeMap == 0)
+        out += "rep ";
+    out += formatMnemonic(insn);
+
+    const int size = insn.opSize;
+    auto addOperand = [&](const std::string &text) {
+        out += out.find(' ') == std::string::npos &&
+                       out.find(',') == std::string::npos
+                   ? " "
+                   : ", ";
+        // The lambda above misfires once a mnemonic contains a space;
+        // simpler: track explicitly below.
+        out += text;
+    };
+    (void)addOperand;
+
+    std::string ops;
+    auto push = [&](const std::string &text) {
+        if (!ops.empty())
+            ops += ", ";
+        ops += text;
+    };
+
+    switch (insn.flow) {
+      case CtrlFlow::Jump:
+      case CtrlFlow::CondJump:
+      case CtrlFlow::Call:
+        if (insn.hasTarget) {
+            push(hexImm(insn.target));
+            out += " " + ops;
+            return out;
+        }
+        break;
+      default:
+        break;
+    }
+
+    bool regIsDest =
+        insn.opcodeMap == 0 ? (insn.opcodeByte & 0x02) != 0
+                            : true;
+    // Ops whose ModRM form is always reg <- r/m regardless of the
+    // direction bit convention.
+    switch (insn.op) {
+      case Op::Lea:
+      case Op::Movsxd:
+      case Op::Movzx:
+      case Op::Movsx:
+      case Op::Imul:
+      case Op::Bsf:
+      case Op::Bsr:
+      case Op::Popcnt:
+      case Op::Cmovcc:
+        regIsDest = true;
+        break;
+      default:
+        break;
+    }
+
+    if (insn.hasModRm) {
+        bool groupForm =
+            insn.opcodeMap == 0 &&
+            (insn.opcodeByte == 0x80 || insn.opcodeByte == 0x81 ||
+             insn.opcodeByte == 0x83 || insn.opcodeByte == 0xc0 ||
+             insn.opcodeByte == 0xc1 || insn.opcodeByte == 0xc6 ||
+             insn.opcodeByte == 0xc7 || insn.opcodeByte == 0xf6 ||
+             insn.opcodeByte == 0xf7 || insn.opcodeByte == 0xfe ||
+             insn.opcodeByte == 0xff ||
+             (insn.opcodeByte >= 0xd0 && insn.opcodeByte <= 0xd3) ||
+             insn.opcodeByte == 0x8f);
+        if (insn.op == Op::Nop && insn.opcodeMap == 1 &&
+            insn.opcodeByte == 0x1e && insn.mandatoryPrefix == 0xf3) {
+            // endbr64/endbr32 take no printable operands.
+        } else if (groupForm || insn.op == Op::Setcc) {
+            push(rmOperand(insn, size));
+        } else if (insn.op == Op::Sse || insn.op == Op::Fpu ||
+                   insn.op == Op::Sys || insn.op == Op::Nop) {
+            push(rmOperand(insn, size));
+        } else if (regIsDest) {
+            // Widening moves read a narrower r/m than they write.
+            int rmSize = size;
+            if (insn.op == Op::Movsxd) {
+                rmSize = 4;
+            } else if (insn.op == Op::Movzx || insn.op == Op::Movsx) {
+                rmSize = (insn.opcodeByte == 0xb6 ||
+                          insn.opcodeByte == 0xbe)
+                             ? 1
+                             : 2;
+            }
+            push(regName(insn.modrmReg, size));
+            push(rmOperand(insn, rmSize));
+        } else {
+            push(rmOperand(insn, size));
+            push(regName(insn.modrmReg, size));
+        }
+    } else if (insn.opcodeMap == 0) {
+        // Implicit register forms.
+        if (insn.opReg != 0xff) {
+            // xchg 91-97 swaps with the accumulator.
+            if (insn.op == Op::Xchg)
+                push(regName(RAX, size));
+            push(regName(insn.opReg, size));
+        } else if (insn.hasImm &&
+                   (insn.op == Op::Add || insn.op == Op::Or ||
+                    insn.op == Op::Adc || insn.op == Op::Sbb ||
+                    insn.op == Op::And || insn.op == Op::Sub ||
+                    insn.op == Op::Xor || insn.op == Op::Cmp ||
+                    insn.op == Op::Test)) {
+            push(regName(RAX, size));
+        }
+    } else if (insn.opcodeMap == 1 && insn.op == Op::Bswap) {
+        push(regName(insn.opReg != 0xff ? insn.opReg
+                                        : (insn.opcodeByte & 7),
+                     size));
+    }
+
+    if (insn.hasImm && insn.op != Op::Jcc && insn.op != Op::Jmp &&
+        insn.op != Op::Call)
+        push(hexImm(insn.imm));
+
+    if (!ops.empty())
+        out += " " + ops;
+    return out;
+}
+
+} // namespace accdis::x86

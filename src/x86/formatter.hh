@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Intel-syntax text rendering of decoded instructions.
+ */
+
+#ifndef ACCDIS_X86_FORMATTER_HH
+#define ACCDIS_X86_FORMATTER_HH
+
+#include <string>
+
+#include "x86/instruction.hh"
+
+namespace accdis::x86
+{
+
+/**
+ * Render an instruction in approximate Intel syntax. Operand coverage
+ * is coarse for the aggregate Sse/Fpu/Sys classes (common mnemonics
+ * are resolved, the rest print their opcode byte), exact for the
+ * integer/control-flow subset the analyses reason about.
+ */
+std::string format(const Instruction &insn);
+
+/** Render the mnemonic only (including condition-code suffixes). */
+std::string formatMnemonic(const Instruction &insn);
+
+} // namespace accdis::x86
+
+#endif // ACCDIS_X86_FORMATTER_HH

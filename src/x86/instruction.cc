@@ -1,0 +1,124 @@
+#include "x86/instruction.hh"
+
+namespace accdis::x86
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Invalid: return "(bad)";
+      case Op::Add: return "add";
+      case Op::Or: return "or";
+      case Op::Adc: return "adc";
+      case Op::Sbb: return "sbb";
+      case Op::And: return "and";
+      case Op::Sub: return "sub";
+      case Op::Xor: return "xor";
+      case Op::Cmp: return "cmp";
+      case Op::Mov: return "mov";
+      case Op::Movsxd: return "movsxd";
+      case Op::Movzx: return "movzx";
+      case Op::Movsx: return "movsx";
+      case Op::Lea: return "lea";
+      case Op::Xchg: return "xchg";
+      case Op::Push: return "push";
+      case Op::Pop: return "pop";
+      case Op::Bswap: return "bswap";
+      case Op::Xadd: return "xadd";
+      case Op::Cmpxchg: return "cmpxchg";
+      case Op::Movnti: return "movnti";
+      case Op::Rol: return "rol";
+      case Op::Ror: return "ror";
+      case Op::Rcl: return "rcl";
+      case Op::Rcr: return "rcr";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::Sal: return "sal";
+      case Op::Sar: return "sar";
+      case Op::Shld: return "shld";
+      case Op::Shrd: return "shrd";
+      case Op::Test: return "test";
+      case Op::Not: return "not";
+      case Op::Neg: return "neg";
+      case Op::Mul: return "mul";
+      case Op::Imul: return "imul";
+      case Op::Div: return "div";
+      case Op::Idiv: return "idiv";
+      case Op::Inc: return "inc";
+      case Op::Dec: return "dec";
+      case Op::Bt: return "bt";
+      case Op::Bts: return "bts";
+      case Op::Btr: return "btr";
+      case Op::Btc: return "btc";
+      case Op::Bsf: return "bsf";
+      case Op::Bsr: return "bsr";
+      case Op::Popcnt: return "popcnt";
+      case Op::Jmp: return "jmp";
+      case Op::Jcc: return "j";
+      case Op::Call: return "call";
+      case Op::Ret: return "ret";
+      case Op::Retf: return "retf";
+      case Op::Iret: return "iret";
+      case Op::Int3: return "int3";
+      case Op::Int: return "int";
+      case Op::Into: return "into";
+      case Op::Syscall: return "syscall";
+      case Op::Sysret: return "sysret";
+      case Op::Loop: return "loop";
+      case Op::Loope: return "loope";
+      case Op::Loopne: return "loopne";
+      case Op::Jrcxz: return "jrcxz";
+      case Op::Ud2: return "ud2";
+      case Op::Hlt: return "hlt";
+      case Op::Enter: return "enter";
+      case Op::Leave: return "leave";
+      case Op::Setcc: return "set";
+      case Op::Cmovcc: return "cmov";
+      case Op::Movs: return "movs";
+      case Op::Cmps: return "cmps";
+      case Op::Stos: return "stos";
+      case Op::Lods: return "lods";
+      case Op::Scas: return "scas";
+      case Op::Ins: return "ins";
+      case Op::Outs: return "outs";
+      case Op::Xlat: return "xlat";
+      case Op::Nop: return "nop";
+      case Op::Cwde: return "cwde";
+      case Op::Cdq: return "cdq";
+      case Op::Fwait: return "fwait";
+      case Op::Pushf: return "pushf";
+      case Op::Popf: return "popf";
+      case Op::Sahf: return "sahf";
+      case Op::Lahf: return "lahf";
+      case Op::Cmc: return "cmc";
+      case Op::Clc: return "clc";
+      case Op::Stc: return "stc";
+      case Op::Cli: return "cli";
+      case Op::Sti: return "sti";
+      case Op::Cld: return "cld";
+      case Op::Std: return "std";
+      case Op::Cpuid: return "cpuid";
+      case Op::Rdtsc: return "rdtsc";
+      case Op::In: return "in";
+      case Op::Out: return "out";
+      case Op::Xbegin: return "xbegin";
+      case Op::Xabort: return "xabort";
+      case Op::Fpu: return "fpu";
+      case Op::Sse: return "sse";
+      case Op::Sys: return "sys";
+      default: return "?";
+    }
+}
+
+const char *
+condName(u8 cond)
+{
+    static const char *const names[16] = {
+        "o", "no", "b", "ae", "e", "ne", "be", "a",
+        "s", "ns", "p", "np", "l", "ge", "le", "g",
+    };
+    return names[cond & 0x0f];
+}
+
+} // namespace accdis::x86

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The decoded-instruction model shared by the whole pipeline.
+ */
+
+#ifndef ACCDIS_X86_INSTRUCTION_HH
+#define ACCDIS_X86_INSTRUCTION_HH
+
+#include "support/types.hh"
+#include "x86/registers.hh"
+
+namespace accdis::x86
+{
+
+/** Mnemonic identity of a decoded instruction. */
+enum class Op : u8
+{
+    Invalid = 0,
+    // Binary ALU (grp1 order matters: add or adc sbb and sub xor cmp).
+    Add, Or, Adc, Sbb, And, Sub, Xor, Cmp,
+    // Data movement.
+    Mov, Movsxd, Movzx, Movsx, Lea, Xchg, Push, Pop, Bswap, Xadd,
+    Cmpxchg, Movnti,
+    // Shifts / rotates (grp2 order: rol ror rcl rcr shl shr sal sar).
+    Rol, Ror, Rcl, Rcr, Shl, Shr, Sal, Sar, Shld, Shrd,
+    // Unary grp3/4/5.
+    Test, Not, Neg, Mul, Imul, Div, Idiv, Inc, Dec,
+    // Bit ops.
+    Bt, Bts, Btr, Btc, Bsf, Bsr, Popcnt,
+    // Control flow.
+    Jmp, Jcc, Call, Ret, Retf, Iret, Int3, Int, Into, Syscall, Sysret,
+    Loop, Loope, Loopne, Jrcxz, Ud2, Hlt, Enter, Leave,
+    // Conditionals.
+    Setcc, Cmovcc,
+    // String ops.
+    Movs, Cmps, Stos, Lods, Scas, Ins, Outs, Xlat,
+    // Flag / misc.
+    Nop, Cwde, Cdq, Fwait, Pushf, Popf, Sahf, Lahf, Cmc, Clc, Stc, Cli,
+    Sti, Cld, Std, Cpuid, Rdtsc, In, Out,
+    // Transactional memory.
+    Xbegin, Xabort,
+    // Aggregate classes.
+    Fpu,     ///< Any x87 D8-DF instruction.
+    Sse,     ///< Any MMX/SSE/AVX data instruction.
+    Sys,     ///< Privileged/system instruction (lgdt, wrmsr, ...).
+    NumOps,
+};
+
+/** Control-flow behavior of an instruction. */
+enum class CtrlFlow : u8
+{
+    None,         ///< Falls through only.
+    Jump,         ///< Direct unconditional jump (rel8/rel32).
+    CondJump,     ///< Direct conditional jump; target + fallthrough.
+    Call,         ///< Direct call (rel32); target + fallthrough.
+    IndirectJump, ///< jmp r/m; unknown target, no fallthrough.
+    IndirectCall, ///< call r/m; unknown target, falls through.
+    Return,       ///< ret/retf/iret; no fallthrough.
+    Interrupt,    ///< int/int3/syscall; treated as no-return boundary.
+    Halt,         ///< hlt/ud2; no fallthrough.
+};
+
+/** Behavioral oddity flags used as static-analysis features. */
+enum InsnFlag : u16
+{
+    kFlagNone = 0,
+    kFlagRare = 1 << 0,       ///< Legal but essentially never emitted.
+    kFlagPrivileged = 1 << 1, ///< Faults in user mode.
+    kFlagLock = 1 << 2,       ///< LOCK prefix present.
+    kFlagRep = 1 << 3,        ///< REP/REPNE prefix present.
+    kFlagSegment = 1 << 4,    ///< Segment-override prefix present.
+    kFlagRedundantPrefix = 1 << 5, ///< Duplicated/ignored prefixes.
+    kFlagLockInvalid = 1 << 6, ///< LOCK on a non-lockable instruction.
+    kFlagReadsMem = 1 << 7,
+    kFlagWritesMem = 1 << 8,
+    kFlagRipRelative = 1 << 9, ///< RIP-relative memory operand.
+    kFlagHasModRm = 1 << 10,
+    kFlagByteOp = 1 << 11,     ///< 8-bit operand size.
+};
+
+/**
+ * One decoded x86-64 instruction. Offsets are section-relative; the
+ * branch target (when the instruction has a direct one) is stored as a
+ * section-relative offset too, computed by the decoder from the
+ * relative displacement, and may point outside the section (recorded
+ * as-is so analyses can penalize escaping flow).
+ */
+struct Instruction
+{
+    Offset offset = 0;     ///< Start offset within the section.
+    u8 length = 0;         ///< Total encoded length in bytes.
+    Op op = Op::Invalid;
+    CtrlFlow flow = CtrlFlow::None;
+    u16 flags = kFlagNone;
+    u8 cond = 0;           ///< Condition code for Jcc/Setcc/Cmovcc.
+    u8 opSize = 4;         ///< Operand size in bytes (1/2/4/8).
+    u8 opcodeByte = 0;     ///< Last opcode byte.
+    u8 opReg = 0xff;       ///< Opcode-embedded register (REX.B
+                           ///< applied) for push/pop/mov-imm/xchg/
+                           ///< bswap forms; 0xff when absent.
+    u8 opcodeMap = 0;      ///< 0 = one-byte, 1 = 0F, 2 = 0F38, 3 = 0F3A.
+    u8 mandatoryPrefix = 0; ///< 0, 0x66, 0xf2 or 0xf3 (SSE selection).
+    bool isVex = false;    ///< Encoded with a VEX prefix (C4/C5).
+
+    // Operand detail (valid depending on encoding).
+    bool hasModRm = false;
+    u8 modrmMod = 0;
+    u8 modrmReg = 0;       ///< With REX.R applied.
+    u8 modrmRm = 0;        ///< With REX.B applied (register case).
+    bool hasSib = false;
+    u8 sibBase = 0xff;     ///< 0xff = none.
+    u8 sibIndex = 0xff;    ///< 0xff = none.
+    u8 sibScale = 0;
+    bool ripRelative = false;
+    s64 disp = 0;          ///< Memory displacement.
+    s64 imm = 0;           ///< Immediate value (sign-extended).
+    bool hasImm = false;
+
+    /**
+     * Direct branch target as a signed section-relative offset
+     * (next-instruction offset + displacement). Only meaningful for
+     * Jump/CondJump/Call flow.
+     */
+    s64 target = 0;
+    bool hasTarget = false;
+
+    // Def/use summary.
+    RegMask regsRead = 0;
+    RegMask regsWritten = 0;
+
+    /** True when decode succeeded. */
+    bool valid() const { return op != Op::Invalid && length > 0; }
+
+    /** Offset of the byte following this instruction. */
+    Offset end() const { return offset + length; }
+
+    /** True for any flow that can transfer to a direct target. */
+    bool
+    hasDirectTarget() const
+    {
+        return hasTarget &&
+               (flow == CtrlFlow::Jump || flow == CtrlFlow::CondJump ||
+                flow == CtrlFlow::Call);
+    }
+
+    /** True when execution can continue at end(). */
+    bool
+    fallsThrough() const
+    {
+        switch (flow) {
+          case CtrlFlow::None:
+          case CtrlFlow::CondJump:
+          case CtrlFlow::Call:
+          case CtrlFlow::IndirectCall:
+            return true;
+          default:
+            return false;
+        }
+    }
+};
+
+/** Short lowercase mnemonic for an Op (formatter and tests). */
+const char *opName(Op op);
+
+/** Condition-code suffix ("o", "no", "b", ... ) for cond 0-15. */
+const char *condName(u8 cond);
+
+} // namespace accdis::x86
+
+#endif // ACCDIS_X86_INSTRUCTION_HH

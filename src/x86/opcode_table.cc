@@ -1,0 +1,415 @@
+#include "x86/opcode_table.hh"
+
+namespace accdis::x86
+{
+
+namespace
+{
+
+using Map = std::array<OpSpec, 256>;
+using GroupTable = std::array<std::array<OpSpec, 8>, kNumGroups>;
+
+OpSpec
+spec(Op op, Enc enc, u16 flags = 0, CtrlFlow flow = CtrlFlow::None)
+{
+    OpSpec s;
+    s.op = op;
+    s.enc = enc;
+    s.flow = flow;
+    s.flags = flags;
+    return s;
+}
+
+OpSpec
+groupSpec(s8 gid, Enc enc, u16 flags = 0)
+{
+    OpSpec s;
+    s.op = Op::Nop; // placeholder; the group entry decides.
+    s.enc = enc;
+    s.flags = flags;
+    s.group = gid;
+    return s;
+}
+
+/**
+ * Fill the six ModRM forms of a classic ALU opcode block starting at
+ * @p base: Eb,Gb / Ev,Gv / Gb,Eb / Gv,Ev / AL,imm8 / eAX,immz.
+ */
+void
+fillAluBlock(Map &map, u8 base, Op op, bool lockable)
+{
+    u16 lock = lockable ? kSpecLockable : 0;
+    map[base + 0] = spec(op, Enc::M, kSpecByte | lock);
+    map[base + 1] = spec(op, Enc::M, lock);
+    map[base + 2] = spec(op, Enc::M, kSpecByte);
+    map[base + 3] = spec(op, Enc::M);
+    map[base + 4] = spec(op, Enc::I8, kSpecByte);
+    map[base + 5] = spec(op, Enc::Iz);
+}
+
+Map
+buildOneByteMap()
+{
+    Map map{}; // All entries default to Op::Invalid.
+
+    fillAluBlock(map, 0x00, Op::Add, true);
+    fillAluBlock(map, 0x08, Op::Or, true);
+    fillAluBlock(map, 0x10, Op::Adc, true);
+    fillAluBlock(map, 0x18, Op::Sbb, true);
+    fillAluBlock(map, 0x20, Op::And, true);
+    fillAluBlock(map, 0x28, Op::Sub, true);
+    fillAluBlock(map, 0x30, Op::Xor, true);
+    fillAluBlock(map, 0x38, Op::Cmp, false);
+    // 06,07,0E,16,17,1E,1F,27,2F,37,3F: push/pop seg and BCD ops —
+    // invalid in 64-bit mode; left Invalid.
+
+    // 40-4F are REX prefixes in 64-bit mode: handled by the decoder's
+    // prefix loop, never reach table dispatch. Left Invalid.
+
+    for (u8 r = 0; r < 8; ++r) {
+        map[0x50 + r] = spec(Op::Push, Enc::None, kSpecD64);
+        map[0x58 + r] = spec(Op::Pop, Enc::None, kSpecD64);
+    }
+
+    map[0x63] = spec(Op::Movsxd, Enc::M);
+    map[0x68] = spec(Op::Push, Enc::Iz, kSpecD64);
+    map[0x69] = spec(Op::Imul, Enc::MIz);
+    map[0x6a] = spec(Op::Push, Enc::I8, kSpecD64);
+    map[0x6b] = spec(Op::Imul, Enc::MI8);
+    map[0x6c] = spec(Op::Ins, Enc::None, kSpecByte | kSpecPriv);
+    map[0x6d] = spec(Op::Ins, Enc::None, kSpecPriv);
+    map[0x6e] = spec(Op::Outs, Enc::None, kSpecByte | kSpecPriv);
+    map[0x6f] = spec(Op::Outs, Enc::None, kSpecPriv);
+
+    for (u8 cc = 0; cc < 16; ++cc) {
+        map[0x70 + cc] =
+            spec(Op::Jcc, Enc::Rel8, kSpecCond, CtrlFlow::CondJump);
+    }
+
+    map[0x80] = groupSpec(kGrp1, Enc::MI8, kSpecByte);
+    map[0x81] = groupSpec(kGrp1, Enc::MIz);
+    // 0x82 is invalid in 64-bit mode.
+    map[0x83] = groupSpec(kGrp1, Enc::MI8);
+    map[0x84] = spec(Op::Test, Enc::M, kSpecByte);
+    map[0x85] = spec(Op::Test, Enc::M);
+    map[0x86] = spec(Op::Xchg, Enc::M, kSpecByte | kSpecLockable);
+    map[0x87] = spec(Op::Xchg, Enc::M, kSpecLockable);
+    map[0x88] = spec(Op::Mov, Enc::M, kSpecByte);
+    map[0x89] = spec(Op::Mov, Enc::M);
+    map[0x8a] = spec(Op::Mov, Enc::M, kSpecByte);
+    map[0x8b] = spec(Op::Mov, Enc::M);
+    map[0x8c] = spec(Op::Mov, Enc::M, kSpecRare); // mov r/m, sreg
+    map[0x8d] = spec(Op::Lea, Enc::M);
+    map[0x8e] = spec(Op::Mov, Enc::M, kSpecRare); // mov sreg, r/m
+    map[0x8f] = groupSpec(kGrp1A, Enc::M, kSpecD64);
+
+    map[0x90] = spec(Op::Nop, Enc::None);
+    for (u8 r = 1; r < 8; ++r)
+        map[0x90 + r] = spec(Op::Xchg, Enc::None);
+    map[0x98] = spec(Op::Cwde, Enc::None);
+    map[0x99] = spec(Op::Cdq, Enc::None);
+    // 0x9A call far: invalid in 64-bit mode.
+    map[0x9b] = spec(Op::Fwait, Enc::None, kSpecRare);
+    map[0x9c] = spec(Op::Pushf, Enc::None, kSpecD64);
+    map[0x9d] = spec(Op::Popf, Enc::None, kSpecD64);
+    map[0x9e] = spec(Op::Sahf, Enc::None, kSpecRare);
+    map[0x9f] = spec(Op::Lahf, Enc::None, kSpecRare);
+
+    map[0xa0] = spec(Op::Mov, Enc::MOffs, kSpecByte | kSpecRare);
+    map[0xa1] = spec(Op::Mov, Enc::MOffs, kSpecRare);
+    map[0xa2] = spec(Op::Mov, Enc::MOffs, kSpecByte | kSpecRare);
+    map[0xa3] = spec(Op::Mov, Enc::MOffs, kSpecRare);
+    map[0xa4] = spec(Op::Movs, Enc::None, kSpecByte);
+    map[0xa5] = spec(Op::Movs, Enc::None);
+    map[0xa6] = spec(Op::Cmps, Enc::None, kSpecByte);
+    map[0xa7] = spec(Op::Cmps, Enc::None);
+    map[0xa8] = spec(Op::Test, Enc::I8, kSpecByte);
+    map[0xa9] = spec(Op::Test, Enc::Iz);
+    map[0xaa] = spec(Op::Stos, Enc::None, kSpecByte);
+    map[0xab] = spec(Op::Stos, Enc::None);
+    map[0xac] = spec(Op::Lods, Enc::None, kSpecByte);
+    map[0xad] = spec(Op::Lods, Enc::None);
+    map[0xae] = spec(Op::Scas, Enc::None, kSpecByte);
+    map[0xaf] = spec(Op::Scas, Enc::None);
+
+    for (u8 r = 0; r < 8; ++r) {
+        map[0xb0 + r] = spec(Op::Mov, Enc::OI, kSpecByte);
+        map[0xb8 + r] = spec(Op::Mov, Enc::OI);
+    }
+
+    map[0xc0] = groupSpec(kGrp2, Enc::MI8, kSpecByte);
+    map[0xc1] = groupSpec(kGrp2, Enc::MI8);
+    map[0xc2] = spec(Op::Ret, Enc::I16, kSpecD64, CtrlFlow::Return);
+    map[0xc3] = spec(Op::Ret, Enc::None, kSpecD64, CtrlFlow::Return);
+    // C4/C5 are VEX escapes in 64-bit mode: handled by the decoder.
+    map[0xc6] = groupSpec(kGrp11b, Enc::MI8, kSpecByte);
+    map[0xc7] = groupSpec(kGrp11v, Enc::MIz);
+    map[0xc8] = spec(Op::Enter, Enc::I16I8, kSpecRare);
+    map[0xc9] = spec(Op::Leave, Enc::None, kSpecD64);
+    map[0xca] = spec(Op::Retf, Enc::I16, kSpecRare, CtrlFlow::Return);
+    map[0xcb] = spec(Op::Retf, Enc::None, kSpecRare, CtrlFlow::Return);
+    map[0xcc] = spec(Op::Int3, Enc::None, 0, CtrlFlow::Interrupt);
+    map[0xcd] = spec(Op::Int, Enc::I8, kSpecRare, CtrlFlow::Interrupt);
+    // CE (into) invalid in 64-bit mode.
+    map[0xcf] = spec(Op::Iret, Enc::None, kSpecPriv, CtrlFlow::Return);
+
+    map[0xd0] = groupSpec(kGrp2, Enc::M, kSpecByte | kSpecShift1);
+    map[0xd1] = groupSpec(kGrp2, Enc::M, kSpecShift1);
+    map[0xd2] = groupSpec(kGrp2, Enc::M, kSpecByte | kSpecShiftCl);
+    map[0xd3] = groupSpec(kGrp2, Enc::M, kSpecShiftCl);
+    // D4 (aam), D5 (aad), D6 invalid in 64-bit mode.
+    map[0xd7] = spec(Op::Xlat, Enc::None, kSpecRare);
+    for (u8 b = 0xd8; b >= 0xd8 && b <= 0xdf; ++b)
+        map[b] = spec(Op::Fpu, Enc::M, kSpecRare);
+
+    map[0xe0] = spec(Op::Loopne, Enc::Rel8, kSpecRare,
+                     CtrlFlow::CondJump);
+    map[0xe1] = spec(Op::Loope, Enc::Rel8, kSpecRare, CtrlFlow::CondJump);
+    map[0xe2] = spec(Op::Loop, Enc::Rel8, kSpecRare, CtrlFlow::CondJump);
+    map[0xe3] = spec(Op::Jrcxz, Enc::Rel8, kSpecRare, CtrlFlow::CondJump);
+    map[0xe4] = spec(Op::In, Enc::I8, kSpecByte | kSpecPriv);
+    map[0xe5] = spec(Op::In, Enc::I8, kSpecPriv);
+    map[0xe6] = spec(Op::Out, Enc::I8, kSpecByte | kSpecPriv);
+    map[0xe7] = spec(Op::Out, Enc::I8, kSpecPriv);
+    map[0xe8] = spec(Op::Call, Enc::Rel32, kSpecD64, CtrlFlow::Call);
+    map[0xe9] = spec(Op::Jmp, Enc::Rel32, kSpecD64, CtrlFlow::Jump);
+    // EA jmp far: invalid in 64-bit mode.
+    map[0xeb] = spec(Op::Jmp, Enc::Rel8, kSpecD64, CtrlFlow::Jump);
+    map[0xec] = spec(Op::In, Enc::None, kSpecByte | kSpecPriv);
+    map[0xed] = spec(Op::In, Enc::None, kSpecPriv);
+    map[0xee] = spec(Op::Out, Enc::None, kSpecByte | kSpecPriv);
+    map[0xef] = spec(Op::Out, Enc::None, kSpecPriv);
+
+    // F0/F2/F3 prefixes: handled by the decoder's prefix loop.
+    map[0xf1] = spec(Op::Int3, Enc::None, kSpecRare | kSpecPriv,
+                     CtrlFlow::Interrupt); // int1/icebp
+    map[0xf4] = spec(Op::Hlt, Enc::None, kSpecPriv, CtrlFlow::Halt);
+    map[0xf5] = spec(Op::Cmc, Enc::None, kSpecRare);
+    map[0xf6] = groupSpec(kGrp3b, Enc::M, kSpecByte);
+    map[0xf7] = groupSpec(kGrp3v, Enc::M);
+    map[0xf8] = spec(Op::Clc, Enc::None, kSpecRare);
+    map[0xf9] = spec(Op::Stc, Enc::None, kSpecRare);
+    map[0xfa] = spec(Op::Cli, Enc::None, kSpecPriv);
+    map[0xfb] = spec(Op::Sti, Enc::None, kSpecPriv);
+    map[0xfc] = spec(Op::Cld, Enc::None, kSpecRare);
+    map[0xfd] = spec(Op::Std, Enc::None, kSpecRare);
+    map[0xfe] = groupSpec(kGrp4, Enc::M, kSpecByte);
+    map[0xff] = groupSpec(kGrp5, Enc::M);
+
+    return map;
+}
+
+Map
+buildTwoByteMap()
+{
+    Map map{};
+
+    map[0x00] = groupSpec(kGrp6, Enc::M, kSpecPriv);
+    map[0x01] = groupSpec(kGrp7, Enc::M, kSpecPriv);
+    map[0x02] = spec(Op::Sys, Enc::M, kSpecPriv);  // lar
+    map[0x03] = spec(Op::Sys, Enc::M, kSpecPriv);  // lsl
+    map[0x05] = spec(Op::Syscall, Enc::None, 0, CtrlFlow::Interrupt);
+    map[0x06] = spec(Op::Sys, Enc::None, kSpecPriv); // clts
+    map[0x07] = spec(Op::Sysret, Enc::None, kSpecPriv, CtrlFlow::Return);
+    map[0x08] = spec(Op::Sys, Enc::None, kSpecPriv); // invd
+    map[0x09] = spec(Op::Sys, Enc::None, kSpecPriv); // wbinvd
+    map[0x0b] = spec(Op::Ud2, Enc::None, 0, CtrlFlow::Halt);
+    map[0x0d] = spec(Op::Nop, Enc::M, kSpecRare); // prefetchw group
+
+    // 10-17: SSE data moves (movups/movss/movlps/unpck/movhps...).
+    for (u16 b = 0x10; b <= 0x17; ++b)
+        map[b] = spec(Op::Sse, Enc::M);
+    // 18-1F: hint NOPs; 1F is the canonical multi-byte NOP.
+    for (u16 b = 0x18; b <= 0x1e; ++b)
+        map[b] = spec(Op::Nop, Enc::M, kSpecRare);
+    map[0x1f] = spec(Op::Nop, Enc::M);
+
+    // 20-23: mov to/from control and debug registers.
+    for (u16 b = 0x20; b <= 0x23; ++b)
+        map[b] = spec(Op::Sys, Enc::M, kSpecPriv);
+    // 28-2F: movaps / cvt / ucomis / comis.
+    for (u16 b = 0x28; b <= 0x2f; ++b)
+        map[b] = spec(Op::Sse, Enc::M);
+
+    map[0x30] = spec(Op::Sys, Enc::None, kSpecPriv);  // wrmsr
+    map[0x31] = spec(Op::Rdtsc, Enc::None, kSpecRare);
+    map[0x32] = spec(Op::Sys, Enc::None, kSpecPriv);  // rdmsr
+    map[0x33] = spec(Op::Sys, Enc::None, kSpecPriv);  // rdpmc
+    map[0x34] = spec(Op::Sys, Enc::None, kSpecPriv);  // sysenter
+    map[0x35] = spec(Op::Sys, Enc::None, kSpecPriv);  // sysexit
+    // 38/3A are three-byte escapes handled by the decoder.
+
+    for (u8 cc = 0; cc < 16; ++cc) {
+        map[0x40 + cc] = spec(Op::Cmovcc, Enc::M, kSpecCond);
+        map[0x80 + cc] =
+            spec(Op::Jcc, Enc::Rel32, kSpecCond, CtrlFlow::CondJump);
+        map[0x90 + cc] = spec(Op::Setcc, Enc::M, kSpecCond | kSpecByte);
+    }
+
+    // 50-6F: SSE/MMX arithmetic and conversion; all plain ModRM.
+    for (u16 b = 0x50; b <= 0x6f; ++b)
+        map[b] = spec(Op::Sse, Enc::M);
+    // 70-73: shuffles and shift groups take imm8.
+    for (u16 b = 0x70; b <= 0x73; ++b)
+        map[b] = spec(Op::Sse, Enc::MI8);
+    // 74-76: pcmpeq; 77 emms; 78/79 rare; 7C-7F moves.
+    for (u16 b = 0x74; b <= 0x76; ++b)
+        map[b] = spec(Op::Sse, Enc::M);
+    map[0x77] = spec(Op::Sse, Enc::None, kSpecRare); // emms
+    for (u16 b = 0x7c; b <= 0x7f; ++b)
+        map[b] = spec(Op::Sse, Enc::M);
+
+    map[0xa0] = spec(Op::Push, Enc::None, kSpecRare | kSpecD64);
+    map[0xa1] = spec(Op::Pop, Enc::None, kSpecRare | kSpecD64);
+    map[0xa2] = spec(Op::Cpuid, Enc::None);
+    map[0xa3] = spec(Op::Bt, Enc::M);
+    map[0xa4] = spec(Op::Shld, Enc::MI8);
+    map[0xa5] = spec(Op::Shld, Enc::M, kSpecShiftCl);
+    map[0xa8] = spec(Op::Push, Enc::None, kSpecRare | kSpecD64);
+    map[0xa9] = spec(Op::Pop, Enc::None, kSpecRare | kSpecD64);
+    map[0xaa] = spec(Op::Sys, Enc::None, kSpecPriv); // rsm
+    map[0xab] = spec(Op::Bts, Enc::M, kSpecLockable);
+    map[0xac] = spec(Op::Shrd, Enc::MI8);
+    map[0xad] = spec(Op::Shrd, Enc::M, kSpecShiftCl);
+    map[0xae] = groupSpec(kGrp15, Enc::M, kSpecRare);
+    map[0xaf] = spec(Op::Imul, Enc::M);
+
+    map[0xb0] = spec(Op::Cmpxchg, Enc::M, kSpecByte | kSpecLockable);
+    map[0xb1] = spec(Op::Cmpxchg, Enc::M, kSpecLockable);
+    map[0xb3] = spec(Op::Btr, Enc::M, kSpecLockable);
+    map[0xb6] = spec(Op::Movzx, Enc::M);
+    map[0xb7] = spec(Op::Movzx, Enc::M);
+    map[0xb8] = spec(Op::Popcnt, Enc::M); // with F3; plain 0FB8 is jmpe.
+    map[0xba] = groupSpec(kGrp8, Enc::MI8);
+    map[0xbb] = spec(Op::Btc, Enc::M, kSpecLockable);
+    map[0xbc] = spec(Op::Bsf, Enc::M);
+    map[0xbd] = spec(Op::Bsr, Enc::M);
+    map[0xbe] = spec(Op::Movsx, Enc::M);
+    map[0xbf] = spec(Op::Movsx, Enc::M);
+
+    map[0xc0] = spec(Op::Xadd, Enc::M, kSpecByte | kSpecLockable);
+    map[0xc1] = spec(Op::Xadd, Enc::M, kSpecLockable);
+    map[0xc2] = spec(Op::Sse, Enc::MI8); // cmpps
+    map[0xc3] = spec(Op::Movnti, Enc::M, kSpecRare);
+    map[0xc4] = spec(Op::Sse, Enc::MI8); // pinsrw
+    map[0xc5] = spec(Op::Sse, Enc::MI8); // pextrw
+    map[0xc6] = spec(Op::Sse, Enc::MI8); // shufps
+    map[0xc7] = groupSpec(kGrp9, Enc::M);
+    for (u8 r = 0; r < 8; ++r)
+        map[0xc8 + r] = spec(Op::Bswap, Enc::None);
+
+    // D0-FF: MMX/SSE packed ops; all plain ModRM.
+    for (u16 b = 0xd0; b <= 0xff; ++b)
+        map[b] = spec(Op::Sse, Enc::M);
+    map[0xd7] = spec(Op::Sse, Enc::M); // pmovmskb (reg form only)
+
+    return map;
+}
+
+GroupTable
+buildGroups()
+{
+    GroupTable g{};
+
+    // Group 1: immediate ALU; op from modrm.reg, encoding from parent.
+    const Op grp1[8] = {Op::Add, Op::Or, Op::Adc, Op::Sbb,
+                        Op::And, Op::Sub, Op::Xor, Op::Cmp};
+    for (int i = 0; i < 8; ++i) {
+        g[kGrp1][i] = spec(grp1[i], Enc::None,
+                           i == 7 ? 0 : kSpecLockable);
+    }
+
+    // Group 1A: only /0 (pop r/m) is defined.
+    g[kGrp1A][0] = spec(Op::Pop, Enc::None, kSpecD64);
+
+    // Group 2: shifts/rotates. /6 is an undocumented alias of shl.
+    const Op grp2[8] = {Op::Rol, Op::Ror, Op::Rcl, Op::Rcr,
+                        Op::Shl, Op::Shr, Op::Sal, Op::Sar};
+    for (int i = 0; i < 8; ++i)
+        g[kGrp2][i] = spec(grp2[i], Enc::None, i == 6 ? kSpecRare : 0);
+
+    // Group 3: test/not/neg/mul/imul/div/idiv. The test forms carry an
+    // immediate whose width the group entry overrides.
+    g[kGrp3b][0] = spec(Op::Test, Enc::MI8);
+    g[kGrp3b][1] = spec(Op::Test, Enc::MI8, kSpecRare);
+    g[kGrp3v][0] = spec(Op::Test, Enc::MIz);
+    g[kGrp3v][1] = spec(Op::Test, Enc::MIz, kSpecRare);
+    for (int t : {kGrp3b, kGrp3v}) {
+        g[t][2] = spec(Op::Not, Enc::None, kSpecLockable);
+        g[t][3] = spec(Op::Neg, Enc::None, kSpecLockable);
+        g[t][4] = spec(Op::Mul, Enc::None);
+        g[t][5] = spec(Op::Imul, Enc::None);
+        g[t][6] = spec(Op::Div, Enc::None);
+        g[t][7] = spec(Op::Idiv, Enc::None);
+    }
+
+    // Group 4: inc/dec byte.
+    g[kGrp4][0] = spec(Op::Inc, Enc::None, kSpecLockable);
+    g[kGrp4][1] = spec(Op::Dec, Enc::None, kSpecLockable);
+
+    // Group 5: inc/dec/call/jmp/push.
+    g[kGrp5][0] = spec(Op::Inc, Enc::None, kSpecLockable);
+    g[kGrp5][1] = spec(Op::Dec, Enc::None, kSpecLockable);
+    g[kGrp5][2] = spec(Op::Call, Enc::None, kSpecD64,
+                       CtrlFlow::IndirectCall);
+    g[kGrp5][3] = spec(Op::Call, Enc::None, kSpecRare,
+                       CtrlFlow::IndirectCall); // callf m16:64
+    g[kGrp5][4] = spec(Op::Jmp, Enc::None, kSpecD64,
+                       CtrlFlow::IndirectJump);
+    g[kGrp5][5] = spec(Op::Jmp, Enc::None, kSpecRare,
+                       CtrlFlow::IndirectJump); // jmpf m16:64
+    g[kGrp5][6] = spec(Op::Push, Enc::None, kSpecD64);
+
+    // Groups 6/7: descriptor-table and system management; treat every
+    // encoding slot as a privileged system op.
+    for (int i = 0; i < 8; ++i) {
+        g[kGrp6][i] = spec(Op::Sys, Enc::None, kSpecPriv);
+        g[kGrp7][i] = spec(Op::Sys, Enc::None, kSpecPriv);
+    }
+
+    // Group 8: bt/bts/btr/btc with imm8; /0-/3 undefined.
+    g[kGrp8][4] = spec(Op::Bt, Enc::None);
+    g[kGrp8][5] = spec(Op::Bts, Enc::None, kSpecLockable);
+    g[kGrp8][6] = spec(Op::Btr, Enc::None, kSpecLockable);
+    g[kGrp8][7] = spec(Op::Btc, Enc::None, kSpecLockable);
+
+    // Group 9: cmpxchg8b/16b plus rdrand/rdseed reg forms.
+    g[kGrp9][1] = spec(Op::Cmpxchg, Enc::None, kSpecLockable);
+    g[kGrp9][6] = spec(Op::Sys, Enc::None, kSpecRare); // rdrand
+    g[kGrp9][7] = spec(Op::Sys, Enc::None, kSpecRare); // rdseed
+
+    // Group 11: mov r/m, imm; only /0 defined (xbegin/xabort ignored).
+    g[kGrp11b][0] = spec(Op::Mov, Enc::None);
+    g[kGrp11v][0] = spec(Op::Mov, Enc::None);
+
+    // Group 15: fences, ldmxcsr, xsave family. All slots defined.
+    for (int i = 0; i < 8; ++i)
+        g[kGrp15][i] = spec(Op::Sys, Enc::None, kSpecRare);
+
+    return g;
+}
+
+} // namespace
+
+const Map &
+oneByteMap()
+{
+    static const Map map = buildOneByteMap();
+    return map;
+}
+
+const Map &
+twoByteMap()
+{
+    static const Map map = buildTwoByteMap();
+    return map;
+}
+
+const GroupTable &
+groups()
+{
+    static const GroupTable table = buildGroups();
+    return table;
+}
+
+} // namespace accdis::x86

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Static opcode tables describing encoding, control flow and oddity
+ * flags for the one-byte, two-byte (0F) and group opcode maps in
+ * 64-bit mode.
+ */
+
+#ifndef ACCDIS_X86_OPCODE_TABLE_HH
+#define ACCDIS_X86_OPCODE_TABLE_HH
+
+#include <array>
+
+#include "support/types.hh"
+#include "x86/instruction.hh"
+
+namespace accdis::x86
+{
+
+/** Operand-byte layout that follows the opcode. */
+enum class Enc : u8
+{
+    None,   ///< No further bytes.
+    M,      ///< ModRM (+SIB/disp), no immediate.
+    MI8,    ///< ModRM + imm8.
+    MIz,    ///< ModRM + imm16/32 selected by operand size.
+    I8,     ///< imm8.
+    Iz,     ///< imm16/32 by operand size.
+    I16,    ///< imm16 (ret n).
+    I16I8,  ///< imm16 + imm8 (enter).
+    Rel8,   ///< 8-bit relative branch displacement.
+    Rel32,  ///< 32-bit relative branch displacement.
+    OI,     ///< B0-BF mov r,imm: imm8 / imm32 / imm64 with REX.W.
+    MOffs,  ///< A0-A3 mov moffs: 8-byte absolute (4 with 67h).
+};
+
+/** Per-opcode static properties beyond the encoding. */
+enum SpecFlag : u16
+{
+    kSpecByte = 1 << 0,     ///< Forces 8-bit operand size.
+    kSpecRare = 1 << 1,     ///< Legal but almost never compiler-emitted.
+    kSpecPriv = 1 << 2,     ///< Privileged; faults in user mode.
+    kSpecD64 = 1 << 3,      ///< Default operand size is 64 in long mode.
+    kSpecCond = 1 << 4,     ///< Condition code in the low opcode nibble.
+    kSpecLockable = 1 << 5, ///< LOCK prefix is architecturally legal.
+    kSpecShiftCl = 1 << 6,  ///< Shift amount comes from CL.
+    kSpecShift1 = 1 << 7,   ///< Shift amount is the constant 1.
+};
+
+/** One opcode-map or group entry. */
+struct OpSpec
+{
+    Op op = Op::Invalid;
+    Enc enc = Enc::None;
+    CtrlFlow flow = CtrlFlow::None;
+    u16 flags = 0;
+    s8 group = -1; ///< Group-table index when modrm.reg refines the op.
+};
+
+/** Group identifiers (index into the group table). */
+enum GroupId : s8
+{
+    kGrp1 = 0,   ///< 80/81/83 immediate ALU.
+    kGrp1A,      ///< 8F pop.
+    kGrp2,       ///< C0/C1/D0-D3 shifts.
+    kGrp3b,      ///< F6 unary byte.
+    kGrp3v,      ///< F7 unary word/dword/qword.
+    kGrp4,       ///< FE inc/dec byte.
+    kGrp5,       ///< FF inc/dec/call/jmp/push.
+    kGrp6,       ///< 0F00 system.
+    kGrp7,       ///< 0F01 system.
+    kGrp8,       ///< 0FBA bt/bts/btr/btc imm8.
+    kGrp9,       ///< 0FC7 cmpxchg8b/16b and friends.
+    kGrp11b,     ///< C6 mov imm8.
+    kGrp11v,     ///< C7 mov immz.
+    kGrp15,      ///< 0FAE fences/xsave.
+    kNumGroups,
+};
+
+/** The one-byte opcode map (index = first opcode byte). */
+const std::array<OpSpec, 256> &oneByteMap();
+
+/** The two-byte opcode map (index = byte after 0F). */
+const std::array<OpSpec, 256> &twoByteMap();
+
+/** Group table: groups()[gid][modrm.reg]. */
+const std::array<std::array<OpSpec, 8>, kNumGroups> &groups();
+
+} // namespace accdis::x86
+
+#endif // ACCDIS_X86_OPCODE_TABLE_HH

@@ -1,0 +1,59 @@
+#include "x86/registers.hh"
+
+namespace accdis::x86
+{
+
+namespace
+{
+
+const char *const kNames64[16] = {
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+};
+
+const char *const kNames32[16] = {
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+};
+
+const char *const kNames16[16] = {
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+    "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w",
+};
+
+const char *const kNames8[16] = {
+    "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+    "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+};
+
+} // namespace
+
+std::string
+regName(u8 reg)
+{
+    return regName(reg, 8);
+}
+
+std::string
+regName(u8 reg, int size)
+{
+    if (reg >= NumGpr) {
+        if (reg == RegFlags)
+            return "rflags";
+        if (reg == RegVector)
+            return "xmm";
+        return "st";
+    }
+    switch (size) {
+      case 1:
+        return kNames8[reg];
+      case 2:
+        return kNames16[reg];
+      case 4:
+        return kNames32[reg];
+      default:
+        return kNames64[reg];
+    }
+}
+
+} // namespace accdis::x86

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Register identifiers and def/use bitmask helpers for x86-64.
+ *
+ * The analyses only need a coarse register model: the 16 general
+ * purpose registers, the flags register, and "some vector register" /
+ * "some x87 register" as single aggregate resources.
+ */
+
+#ifndef ACCDIS_X86_REGISTERS_HH
+#define ACCDIS_X86_REGISTERS_HH
+
+#include <string>
+
+#include "support/types.hh"
+
+namespace accdis::x86
+{
+
+/** General purpose register numbers (hardware encoding order). */
+enum Reg : u8
+{
+    RAX = 0, RCX, RDX, RBX, RSP, RBP, RSI, RDI,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    NumGpr = 16,
+};
+
+/** Bit positions beyond the GPRs in a RegMask. */
+enum PseudoReg : u8
+{
+    RegFlags = 16,  ///< RFLAGS as a single resource.
+    RegVector = 17, ///< Any XMM/YMM register (aggregate).
+    RegX87 = 18,    ///< Any x87/MMX register (aggregate).
+};
+
+/** Bitmask over Reg and PseudoReg positions. */
+using RegMask = u32;
+
+/** Mask with a single register bit set. */
+constexpr RegMask
+regBit(u8 reg)
+{
+    return RegMask{1} << reg;
+}
+
+/** Mask of all 16 GPRs. */
+inline constexpr RegMask kAllGprs = (RegMask{1} << NumGpr) - 1;
+
+/** Mask of the System V callee-saved GPRs (rbx, rbp, r12-r15). */
+inline constexpr RegMask kCalleeSaved =
+    regBit(RBX) | regBit(RBP) | regBit(R12) | regBit(R13) | regBit(R14) |
+    regBit(R15);
+
+/** Mask of System V argument registers (rdi, rsi, rdx, rcx, r8, r9). */
+inline constexpr RegMask kArgRegs =
+    regBit(RDI) | regBit(RSI) | regBit(RDX) | regBit(RCX) | regBit(R8) |
+    regBit(R9);
+
+/** 64-bit register name for a GPR number. */
+std::string regName(u8 reg);
+
+/** Register name honoring an operand size of 1, 2, 4 or 8 bytes. */
+std::string regName(u8 reg, int size);
+
+} // namespace accdis::x86
+
+#endif // ACCDIS_X86_REGISTERS_HH

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Tests for superset disassembly and the static analyses: flow
+ * consistency, def-use, jump-table discovery, pattern detectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/defuse.hh"
+#include "support/stats.hh"
+#include "analysis/flow.hh"
+#include "analysis/jump_table.hh"
+#include "analysis/patterns.hh"
+#include "superset/superset.hh"
+#include "synth/assembler.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+using synth::Assembler;
+using synth::Label;
+using synth::Mem;
+
+TEST(Superset, DecodesEveryOffset)
+{
+    // push rbp; mov rbp,rsp; ret -- plus the overlapping decodes.
+    ByteVec bytes{0x55, 0x48, 0x89, 0xe5, 0xc3};
+    Superset ss(bytes);
+    EXPECT_EQ(ss.size(), 5u);
+    EXPECT_TRUE(ss.validAt(0));
+    EXPECT_TRUE(ss.validAt(1));
+    EXPECT_TRUE(ss.validAt(4));
+    EXPECT_EQ(ss.node(0).length, 1);
+    EXPECT_EQ(ss.node(1).length, 3);
+    EXPECT_EQ(ss.node(4).flow, x86::CtrlFlow::Return);
+    // Offset 2: 89 e5 = mov ebp, esp (valid); offset 3: e5 c3 = in.
+    EXPECT_TRUE(ss.validAt(2));
+    EXPECT_TRUE(ss.validAt(3));
+}
+
+TEST(Superset, TargetsAndEscapes)
+{
+    // jmp +0x10 escapes a 7-byte buffer; jmp -3 stays inside.
+    ByteVec bytes{0xeb, 0x10, 0x90, 0x90, 0x90, 0xeb, 0xf9};
+    Superset ss(bytes);
+    EXPECT_TRUE(ss.targetEscapes(0));
+    EXPECT_EQ(ss.target(0), kNoAddr);
+    EXPECT_FALSE(ss.targetEscapes(5));
+    EXPECT_EQ(ss.target(5), 0u);
+}
+
+TEST(Superset, FallthroughStopsAtEnd)
+{
+    ByteVec bytes{0x90, 0x90};
+    Superset ss(bytes);
+    EXPECT_EQ(ss.fallthrough(0), 1u);
+    EXPECT_EQ(ss.fallthrough(1), kNoAddr);
+}
+
+TEST(FlowAnalysis, InvalidSeedsPropagateBackward)
+{
+    // nop; nop; <invalid 0x06>: both nops must-fault since execution
+    // falls into the invalid byte.
+    ByteVec bytes{0x90, 0x90, 0x06};
+    Superset ss(bytes);
+    FlowAnalysis flow(ss);
+    EXPECT_TRUE(flow.mustFault(2));
+    EXPECT_TRUE(flow.mustFault(1));
+    EXPECT_TRUE(flow.mustFault(0));
+    EXPECT_EQ(flow.mustFaultCount(), 3u);
+}
+
+TEST(FlowAnalysis, ReturnTerminatesChain)
+{
+    // nop; ret; <invalid>: the nop and ret are fine.
+    ByteVec bytes{0x90, 0xc3, 0x06};
+    Superset ss(bytes);
+    FlowAnalysis flow(ss);
+    EXPECT_FALSE(flow.mustFault(0));
+    EXPECT_FALSE(flow.mustFault(1));
+    EXPECT_TRUE(flow.mustFault(2));
+}
+
+TEST(FlowAnalysis, CondBranchNeedsBothSuccessors)
+{
+    // je +1 (target = invalid byte), then ret. The jcc must-faults
+    // because its taken path lands on invalid code.
+    //   0: 74 01    je 3
+    //   2: c3       ret
+    //   3: 06       invalid
+    ByteVec bytes{0x74, 0x01, 0xc3, 0x06};
+    Superset ss(bytes);
+    FlowAnalysis flow(ss);
+    EXPECT_TRUE(flow.mustFault(0));
+    EXPECT_FALSE(flow.mustFault(2));
+}
+
+TEST(FlowAnalysis, EscapingJumpFatalOnlyWhenConfigured)
+{
+    ByteVec bytes{0xeb, 0x7f, 0x90}; // jmp far past the end; nop
+    Superset ss(bytes);
+    FlowAnalysis strict(ss, FlowConfig{true, 0.8, 64});
+    EXPECT_TRUE(strict.mustFault(0));
+    FlowAnalysis lax(ss, FlowConfig{false, 0.8, 64});
+    EXPECT_FALSE(lax.mustFault(0));
+}
+
+TEST(FlowAnalysis, EscapingCallNeverFatal)
+{
+    // call rel32 with a large displacement leaving the section.
+    ByteVec bytes{0xe8, 0x00, 0x10, 0x00, 0x00, 0xc3};
+    Superset ss(bytes);
+    FlowAnalysis flow(ss);
+    EXPECT_FALSE(flow.mustFault(0));
+    EXPECT_GT(flow.poison(0), 0.0); // ...but it is soft-penalized.
+}
+
+TEST(FlowAnalysis, PoisonDecaysWithDistance)
+{
+    // nop; nop; nop; hlt -- poison decays moving away from hlt.
+    ByteVec bytes{0x90, 0x90, 0x90, 0xf4};
+    Superset ss(bytes);
+    FlowAnalysis flow(ss);
+    EXPECT_GT(flow.poison(3), 0.6);
+    EXPECT_GT(flow.poison(2), flow.poison(1));
+    EXPECT_GT(flow.poison(1), flow.poison(0));
+    EXPECT_GT(flow.poison(0), 0.0);
+}
+
+TEST(FlowAnalysis, LoopsConverge)
+{
+    // jmp -2: a tight self-loop must not hang or be misclassified.
+    ByteVec bytes{0xeb, 0xfe};
+    Superset ss(bytes);
+    FlowAnalysis flow(ss);
+    EXPECT_FALSE(flow.mustFault(0));
+    EXPECT_LT(flow.passes(), 10);
+}
+
+TEST(FlowAnalysis, RealCodeMostlySurvives)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::msvcLikePreset(21));
+    const Section &text = bin.image.section(0);
+    Superset ss(text.bytes());
+    FlowAnalysis flow(ss);
+    u64 trueStartsFaulted = 0;
+    for (Offset off : bin.truth.insnStarts())
+        trueStartsFaulted += flow.mustFault(off);
+    // mustFault is sound on self-contained sections: no true
+    // instruction should be proven non-code.
+    EXPECT_EQ(trueStartsFaulted, 0u);
+    // ...and it should prove a decent share of non-starts as non-code.
+    EXPECT_GT(flow.mustFaultCount(), 0u);
+}
+
+TEST(DefUse, SatisfiedFlagsAndPairs)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    Label end = as.newLabel();
+    as.movRI(x86::RAX, 5, 8);
+    as.aluRR(0, x86::RDX, x86::RAX, 8);
+    as.testRR(x86::RDX, x86::RDX, 8);
+    as.jcc(5, end);
+    as.movRR(x86::RCX, x86::RDX, 8);
+    as.bind(end);
+    as.ret();
+    as.finalize();
+
+    Superset ss(buf);
+    DefUseResult r = analyzeDefUse(ss, 0);
+    EXPECT_GT(r.pairDensity, 0.2);
+    EXPECT_EQ(r.flagUseSatisfied, 1);
+    EXPECT_EQ(r.flagUseUnsatisfied, 0);
+    EXPECT_GT(defUseScore(r), 0.3);
+}
+
+TEST(DefUse, OrphanFlagConsumerPenalized)
+{
+    // jcc as the very first instruction: flags have no producer.
+    ByteVec buf;
+    Assembler as(buf);
+    Label end = as.newLabel();
+    as.jcc(4, end);
+    as.bind(end);
+    as.ret();
+    as.finalize();
+
+    Superset ss(buf);
+    DefUseResult r = analyzeDefUse(ss, 0);
+    EXPECT_EQ(r.flagUseUnsatisfied, 1);
+    EXPECT_LT(defUseScore(r), 0.0);
+}
+
+TEST(DefUse, RandomBytesScoreLowOnAverage)
+{
+    Rng rng(31);
+    ByteVec junk(4096);
+    rng.fill(junk.data(), junk.size());
+    Superset ss(junk);
+
+    OnlineStats junkScores;
+    for (Offset off = 0; off < junk.size(); ++off) {
+        if (ss.validAt(off))
+            junkScores.add(defUseScore(analyzeDefUse(ss, off)));
+    }
+
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::gccLikePreset(32));
+    Superset code(bin.image.section(0).bytes());
+    OnlineStats codeScores;
+    for (Offset off : bin.truth.insnStarts())
+        codeScores.add(defUseScore(analyzeDefUse(code, off)));
+
+    EXPECT_GT(codeScores.mean(), junkScores.mean() + 0.1);
+}
+
+TEST(JumpTables, FindsSynthesizedTables)
+{
+    synth::CorpusConfig config = synth::msvcLikePreset(41);
+    config.numFunctions = 48;
+    config.jumpTableFraction = 1.0;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    Superset ss(bin.image.section(0).bytes());
+    JumpTableConfig jtConfig;
+    jtConfig.sectionBase = synth::kSynthTextBase;
+    auto tables = findJumpTables(ss, jtConfig);
+
+    // At least 80% of the synthesized tables must be recovered with
+    // the full dispatch idiom.
+    int fullIdiom = 0;
+    for (const auto &t : tables)
+        fullIdiom += t.fullIdiom;
+    EXPECT_GE(fullIdiom,
+              static_cast<int>(0.8 * bin.stats.jumpTables));
+
+    // Every full-idiom table's targets must be true instruction
+    // starts.
+    std::set<Offset> truthStarts(bin.truth.insnStarts().begin(),
+                                 bin.truth.insnStarts().end());
+    for (const auto &t : tables) {
+        if (!t.fullIdiom)
+            continue;
+        for (Offset target : t.targets)
+            EXPECT_TRUE(truthStarts.count(target))
+                << "table at " << t.tableOff << " target " << target;
+    }
+}
+
+TEST(Patterns, StringRegions)
+{
+    ByteVec bytes;
+    // Code-ish prefix.
+    for (int i = 0; i < 16; ++i)
+        bytes.push_back(0x90);
+    Offset strStart = bytes.size();
+    const char msg[] = "error: invalid argument provided";
+    bytes.insert(bytes.end(), msg, msg + sizeof(msg)); // includes NUL
+    Offset strEnd = bytes.size();
+    for (int i = 0; i < 16; ++i)
+        bytes.push_back(0xc3);
+
+    PatternConfig config;
+    auto regions = findStringRegions(bytes, config);
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_LE(regions[0].begin, strStart);
+    EXPECT_GE(regions[0].end, strEnd);
+    EXPECT_EQ(regions[0].kind, DataRegion::Kind::String);
+}
+
+TEST(Patterns, ShortAsciiInCodeIgnored)
+{
+    // "push rax" repeated: byte 0x50 == 'P' is printable, but there is
+    // no NUL terminator, so no string region may be reported.
+    ByteVec bytes(64, 0x50);
+    PatternConfig config;
+    EXPECT_TRUE(findStringRegions(bytes, config).empty());
+}
+
+TEST(Patterns, WideStringRegions)
+{
+    ByteVec bytes(16, 0x90);
+    Offset start = bytes.size();
+    const char msg[] = "invalid argument";
+    for (const char *p = msg; *p; ++p) {
+        bytes.push_back(static_cast<u8>(*p));
+        bytes.push_back(0);
+    }
+    bytes.push_back(0); // UTF-16 NUL terminator
+    bytes.push_back(0);
+    Offset end = bytes.size();
+    bytes.insert(bytes.end(), 16, 0xc3);
+
+    PatternConfig config;
+    auto regions = findWideStringRegions(bytes, config);
+    ASSERT_FALSE(regions.empty());
+    EXPECT_LE(regions[0].begin, start);
+    EXPECT_GE(regions[0].end, end - 2);
+    EXPECT_EQ(regions[0].kind, DataRegion::Kind::WideString);
+}
+
+TEST(Patterns, WideStringNotTriggeredByCode)
+{
+    // Instructions with sporadic zero bytes must not look like
+    // UTF-16: require a long run of alternating printable/zero.
+    ByteVec buf;
+    synth::Assembler as(buf);
+    for (int i = 0; i < 32; ++i) {
+        as.movRI(x86::RAX, 0x41, 4);   // b8 41 00 00 00
+        as.aluRI(0, x86::RBX, 0x42, 4);
+    }
+    as.ret();
+    as.finalize();
+    PatternConfig config;
+    auto regions = findWideStringRegions(buf, config);
+    for (const auto &region : regions)
+        EXPECT_LT(region.end - region.begin, 24u);
+}
+
+TEST(Patterns, ZeroRuns)
+{
+    ByteVec bytes(8, 0x90);
+    bytes.insert(bytes.end(), 32, 0x00);
+    bytes.insert(bytes.end(), 8, 0x90);
+    PatternConfig config;
+    auto regions = findZeroRuns(bytes, config);
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].begin, 8u);
+    EXPECT_EQ(regions[0].end, 40u);
+
+    // Short zero runs (common displacement bytes) are ignored.
+    ByteVec shortRun(8, 0x90);
+    shortRun.insert(shortRun.end(), 8, 0x00);
+    EXPECT_TRUE(findZeroRuns(shortRun, config).empty());
+}
+
+TEST(Patterns, PointerArrays)
+{
+    // Build: some code, then 4 pointers to offset 0 (valid nop).
+    ByteVec bytes{0x90, 0xc3};
+    while (bytes.size() < 16)
+        bytes.push_back(0x90);
+    const Addr base = 0x1000;
+    for (int i = 0; i < 4; ++i) {
+        u64 ptr = base + static_cast<u64>(i % 2);
+        for (int b = 0; b < 8; ++b)
+            bytes.push_back(static_cast<u8>(ptr >> (8 * b)));
+    }
+    Superset ss(bytes);
+    PatternConfig config;
+    config.sectionBase = base;
+    auto regions = findPointerArrays(ss, config);
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].begin, 16u);
+    EXPECT_EQ(regions[0].end, 48u);
+    EXPECT_EQ(regions[0].kind, DataRegion::Kind::PointerArray);
+}
+
+TEST(Patterns, LinkageStubs)
+{
+    // Hand-build a classic lazy PLT: header stub + three entries,
+    // each 16 bytes: jmp [rip+d]; push imm32; jmp header.
+    ByteVec buf;
+    synth::Assembler as(buf);
+    synth::Label header = as.newLabel();
+    as.bind(header);
+    // Header: push [rip+d]; jmp [rip+d]; 4-byte nop pad.
+    as.rawBytes(ByteVec{0xff, 0x35, 0xca, 0x6f, 0x00, 0x00});
+    as.rawBytes(ByteVec{0xff, 0x25, 0xcc, 0x6f, 0x00, 0x00});
+    as.nop(4);
+    std::vector<Offset> entryOffs;
+    for (int i = 0; i < 3; ++i) {
+        entryOffs.push_back(as.here());
+        as.rawBytes(ByteVec{0xff, 0x25, 0xca, 0x6f, 0x00, 0x00});
+        // push imm32 (relocation index).
+        as.rawBytes(ByteVec{0x68,
+                            static_cast<u8>(i), 0x00, 0x00, 0x00});
+        as.jmp(header);
+    }
+    as.finalize();
+    ASSERT_EQ(buf.size() % 16, 0u);
+
+    Superset ss(buf);
+    auto stubs = findLinkageStubs(ss);
+    std::set<Offset> set(stubs.begin(), stubs.end());
+    for (Offset off : entryOffs)
+        EXPECT_TRUE(set.count(off)) << off;
+    // The push and trailing jmp inside each stub are reported too.
+    for (Offset off : entryOffs) {
+        EXPECT_TRUE(set.count(off + 6));
+        EXPECT_TRUE(set.count(off + 11));
+    }
+}
+
+TEST(Patterns, LinkageStubsIgnorePlainCode)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::gccLikePreset(55));
+    Superset ss(bin.image.section(0).bytes());
+    auto stubs = findLinkageStubs(ss);
+    // Regular generated code has no strided indirect-jump arrays.
+    EXPECT_LT(stubs.size(), 12u);
+}
+
+TEST(Patterns, Prologues)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    Offset f1 = as.here();
+    as.endbr64();
+    as.ret();
+    Offset f2 = as.here();
+    as.pushR(x86::RBP);
+    as.movRR(x86::RBP, x86::RSP, 8);
+    as.ret();
+    Offset f3 = as.here();
+    as.pushR(x86::RBX);
+    as.pushR(x86::R12);
+    as.aluRI(5, x86::RSP, 0x20, 8); // sub rsp, 0x20
+    as.ret();
+    as.finalize();
+
+    Superset ss(buf);
+    auto prologues = findPrologues(ss);
+    std::set<Offset> set(prologues.begin(), prologues.end());
+    EXPECT_TRUE(set.count(f1));
+    EXPECT_TRUE(set.count(f2));
+    EXPECT_TRUE(set.count(f3));
+}
+
+} // namespace
+} // namespace accdis

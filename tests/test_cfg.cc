@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for control-flow-graph construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cfg.hh"
+#include "core/engine.hh"
+#include "synth/assembler.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+using synth::Assembler;
+using synth::Label;
+
+/** Classify a hand-assembled buffer with entry at offset 0. */
+Classification
+classify(const ByteVec &buf)
+{
+    DisassemblyEngine engine;
+    return engine.analyzeSection(buf, {0}, 0x1000);
+}
+
+TEST(Cfg, DiamondShape)
+{
+    //   test; je L1; movA; jmp L2; L1: movB; L2: ret
+    ByteVec buf;
+    Assembler as(buf);
+    Label l1 = as.newLabel();
+    Label l2 = as.newLabel();
+    as.testRR(x86::RAX, x86::RAX, 8);
+    as.jcc(4, l1);
+    as.movRI(x86::RAX, 1, 4);
+    as.jmp(l2);
+    as.bind(l1);
+    as.movRI(x86::RAX, 2, 4);
+    as.bind(l2);
+    as.ret();
+    as.finalize();
+
+    Classification result = classify(buf);
+    Superset ss(buf);
+    Cfg cfg(ss, result);
+
+    // Blocks: [test,je], [movA,jmp], [movB], [ret].
+    ASSERT_EQ(cfg.blocks().size(), 4u);
+    const auto &blocks = cfg.blocks();
+
+    // Entry block: two successors (fallthrough + branch).
+    ASSERT_EQ(blocks[0].successors.size(), 2u);
+
+    // movB block has two predecessors? No: only the branch. The join
+    // block (ret) has two predecessors.
+    u32 retBlock = cfg.blockAt(as.labelOffset(l2));
+    ASSERT_NE(retBlock, ~u32{0});
+    EXPECT_EQ(blocks[retBlock].predecessors.size(), 2u);
+    ASSERT_EQ(blocks[retBlock].successors.size(), 1u);
+    EXPECT_EQ(blocks[retBlock].successors[0].kind, EdgeKind::Return);
+}
+
+TEST(Cfg, LoopBackEdge)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    as.movRI(x86::RCX, 10, 4);
+    Label top = as.newLabel();
+    as.bind(top);
+    as.decR(x86::RCX, 4);
+    as.jcc(5, top); // jne top
+    as.ret();
+    as.finalize();
+
+    Classification result = classify(buf);
+    Superset ss(buf);
+    Cfg cfg(ss, result);
+
+    u32 loopBlock = cfg.blockAt(as.labelOffset(top));
+    ASSERT_NE(loopBlock, ~u32{0});
+    // The loop block branches to itself and falls through to ret.
+    bool selfEdge = false;
+    for (const CfgEdge &edge : cfg.blocks()[loopBlock].successors)
+        selfEdge |= edge.toBlock == loopBlock &&
+                    edge.kind == EdgeKind::Branch;
+    EXPECT_TRUE(selfEdge);
+    EXPECT_EQ(cfg.blocks()[loopBlock].successors.size(), 2u);
+}
+
+TEST(Cfg, CallEdgesAndFallthrough)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    Label callee = as.newLabel();
+    as.call(callee);
+    as.movRI(x86::RAX, 0, 4);
+    as.ret();
+    as.bind(callee);
+    as.nop(1);
+    as.ret();
+    as.finalize();
+
+    Classification result = classify(buf);
+    Superset ss(buf);
+    Cfg cfg(ss, result);
+
+    u32 entry = cfg.blockAt(0);
+    ASSERT_NE(entry, ~u32{0});
+    bool hasCall = false, hasFall = false;
+    for (const CfgEdge &edge : cfg.blocks()[entry].successors) {
+        hasCall |= edge.kind == EdgeKind::Call;
+        hasFall |= edge.kind == EdgeKind::FallThrough;
+    }
+    EXPECT_TRUE(hasCall);
+    EXPECT_TRUE(hasFall);
+}
+
+TEST(Cfg, BlocksPartitionRecoveredCode)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::msvcLikePreset(51));
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    Superset ss(bin.image.section(0).bytes());
+    Cfg cfg(ss, result);
+
+    // Every recovered instruction lies inside exactly one block.
+    u64 blockInsns = 0;
+    Offset prevEnd = 0;
+    for (const auto &block : cfg.blocks()) {
+        EXPECT_GE(block.begin, prevEnd);
+        EXPECT_GT(block.end, block.begin);
+        blockInsns += block.instructions;
+        prevEnd = block.end;
+    }
+    EXPECT_EQ(blockInsns, result.insnStarts.size());
+    EXPECT_GT(cfg.edgeCount(), cfg.blocks().size() / 2);
+
+    // All edge targets are valid block indices.
+    for (const auto &block : cfg.blocks()) {
+        for (const CfgEdge &edge : block.successors) {
+            if (edge.toBlock != ~u32{0}) {
+                EXPECT_LT(edge.toBlock, cfg.blocks().size());
+            }
+        }
+    }
+}
+
+TEST(Cfg, EmptyInput)
+{
+    ByteVec empty;
+    Superset ss(empty);
+    Classification result;
+    Cfg cfg(ss, result);
+    EXPECT_TRUE(cfg.blocks().empty());
+    EXPECT_EQ(cfg.edgeCount(), 0u);
+    EXPECT_EQ(cfg.blockAt(0), ~u32{0});
+}
+
+} // namespace
+} // namespace accdis

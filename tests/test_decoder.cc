@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Unit tests for the x86-64 decoder: lengths, mnemonics, control-flow
+ * classification, branch targets, def/use masks, and invalid
+ * encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+
+#include "x86/decoder.hh"
+#include "x86/formatter.hh"
+
+namespace accdis::x86
+{
+namespace
+{
+
+Instruction
+dec(std::initializer_list<int> raw)
+{
+    ByteVec bytes;
+    for (int b : raw)
+        bytes.push_back(static_cast<u8>(b));
+    return decode(bytes, 0);
+}
+
+struct LengthCase
+{
+    const char *name;
+    std::vector<int> bytes;
+    int length;
+};
+
+class DecoderLength : public ::testing::TestWithParam<LengthCase> {};
+
+TEST_P(DecoderLength, LengthExact)
+{
+    const auto &c = GetParam();
+    ByteVec raw;
+    for (int b : c.bytes)
+        raw.push_back(static_cast<u8>(b));
+    Instruction insn = decode(raw, 0);
+    ASSERT_TRUE(insn.valid()) << c.name;
+    EXPECT_EQ(static_cast<int>(insn.length), c.length) << c.name;
+    EXPECT_EQ(static_cast<std::size_t>(c.length), c.bytes.size())
+        << c.name << ": test case must contain exactly one instruction";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommonEncodings, DecoderLength,
+    ::testing::Values(
+        LengthCase{"nop", {0x90}, 1},
+        LengthCase{"ret", {0xc3}, 1},
+        LengthCase{"push_rbp", {0x55}, 1},
+        LengthCase{"pop_rbp", {0x5d}, 1},
+        LengthCase{"leave", {0xc9}, 1},
+        LengthCase{"int3", {0xcc}, 1},
+        LengthCase{"hlt", {0xf4}, 1},
+        LengthCase{"cdq", {0x99}, 1},
+        LengthCase{"push_r15", {0x41, 0x57}, 2},
+        LengthCase{"mov_rbp_rsp", {0x48, 0x89, 0xe5}, 3},
+        LengthCase{"sub_rsp_imm8", {0x48, 0x83, 0xec, 0x18}, 4},
+        LengthCase{"mov_eax_mem", {0x8b, 0x45, 0xfc}, 3},
+        LengthCase{"mov_mem_edi", {0x89, 0x7d, 0xec}, 3},
+        LengthCase{"call_rel32", {0xe8, 0x10, 0x00, 0x00, 0x00}, 5},
+        LengthCase{"jmp_rel8", {0xeb, 0xfe}, 2},
+        LengthCase{"je_rel8", {0x74, 0x05}, 2},
+        LengthCase{"je_rel32", {0x0f, 0x84, 0x00, 0x01, 0x00, 0x00}, 6},
+        LengthCase{"call_rax", {0xff, 0xd0}, 2},
+        LengthCase{"jmp_rax", {0xff, 0xe0}, 2},
+        LengthCase{"jmp_riprel",
+                   {0xff, 0x25, 0x00, 0x10, 0x00, 0x00}, 6},
+        LengthCase{"ret_imm16", {0xc2, 0x10, 0x00}, 3},
+        LengthCase{"lea_riprel",
+                   {0x48, 0x8d, 0x05, 0x40, 0x00, 0x00, 0x00}, 7},
+        LengthCase{"nop5", {0x0f, 0x1f, 0x44, 0x00, 0x00}, 5},
+        LengthCase{"nop6", {0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00}, 6},
+        LengthCase{"nop8",
+                   {0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00}, 8},
+        LengthCase{"nop9",
+                   {0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00,
+                    0x00}, 9},
+        LengthCase{"movabs_rax",
+                   {0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8}, 10},
+        LengthCase{"mov_eax_imm32", {0xb8, 1, 2, 3, 4}, 5},
+        LengthCase{"mov_ax_imm16", {0x66, 0xb8, 1, 2}, 4},
+        LengthCase{"mov_bl_imm8", {0xb3, 0x7f}, 2},
+        LengthCase{"push_imm8", {0x6a, 0x01}, 2},
+        LengthCase{"push_imm32", {0x68, 1, 2, 3, 4}, 5},
+        LengthCase{"push_imm16", {0x66, 0x68, 1, 2}, 4},
+        LengthCase{"endbr64", {0xf3, 0x0f, 0x1e, 0xfa}, 4},
+        LengthCase{"rep_ret", {0xf3, 0xc3}, 2},
+        LengthCase{"imul_rax_rbx", {0x48, 0x0f, 0xaf, 0xc3}, 4},
+        LengthCase{"imul3_imm8", {0x6b, 0xc0, 0x10}, 3},
+        LengthCase{"imul3_imm32", {0x69, 0xc0, 1, 2, 3, 4}, 6},
+        LengthCase{"movzx_eax_al", {0x0f, 0xb6, 0xc0}, 3},
+        LengthCase{"movsxd_rdx_eax", {0x48, 0x63, 0xd0}, 3},
+        LengthCase{"neg_eax", {0xf7, 0xd8}, 2},
+        LengthCase{"idiv_rcx", {0x48, 0xf7, 0xf9}, 3},
+        LengthCase{"test_bl_imm8", {0xf6, 0xc3, 0x01}, 3},
+        LengthCase{"test_eax_imm32", {0xf7, 0xc0, 1, 0, 0, 0}, 6},
+        LengthCase{"mov_rax_imm32s", {0x48, 0xc7, 0xc0, 1, 2, 3, 4}, 7},
+        LengthCase{"mov_byte_riprel_imm8",
+                   {0xc6, 0x05, 1, 2, 3, 4, 0x2a}, 7},
+        LengthCase{"cmp_byte_riprel_imm8",
+                   {0x80, 0x3d, 1, 2, 3, 4, 0x00}, 7},
+        LengthCase{"mov_addr32", {0x67, 0x8b, 0x00}, 3},
+        LengthCase{"xchg_ax_ax", {0x66, 0x90}, 2},
+        LengthCase{"mov_r15_riprel",
+                   {0x4c, 0x8b, 0x3d, 1, 2, 3, 4}, 7},
+        LengthCase{"lock_cmpxchg",
+                   {0xf0, 0x48, 0x0f, 0xb1, 0x0e}, 5},
+        LengthCase{"lock_add_mem", {0xf0, 0x48, 0x01, 0x03}, 4},
+        LengthCase{"mov_sib", {0x48, 0x8b, 0x04, 0xc8}, 4},
+        LengthCase{"mov_sib_nobase",
+                   {0x8b, 0x04, 0xcd, 1, 2, 3, 4}, 7},
+        LengthCase{"jmp_table",
+                   {0xff, 0x24, 0xc5, 1, 2, 3, 4}, 7},
+        LengthCase{"movsxd_scaled", {0x48, 0x63, 0x04, 0x82}, 4},
+        LengthCase{"loop_rel8", {0xe2, 0xfb}, 2},
+        LengthCase{"vxorps", {0xc5, 0xf8, 0x57, 0xc0}, 4},
+        LengthCase{"vpshufb", {0xc4, 0xe2, 0x79, 0x00, 0xc0}, 5},
+        LengthCase{"vpblendw_imm8",
+                   {0xc4, 0xe3, 0x79, 0x0e, 0xc0, 0x01}, 6},
+        LengthCase{"fld_st0", {0xd9, 0xc0}, 2},
+        LengthCase{"fld_mem", {0xdd, 0x04, 0x24}, 3},
+        LengthCase{"movabs_al_moffs",
+                   {0xa0, 1, 2, 3, 4, 5, 6, 7, 8}, 9},
+        LengthCase{"movabs_moffs_eax",
+                   {0xa3, 1, 2, 3, 4, 5, 6, 7, 8}, 9},
+        LengthCase{"enter", {0xc8, 0x10, 0x00, 0x01}, 4},
+        LengthCase{"xadd", {0xf0, 0x0f, 0xc1, 0x03}, 4},
+        LengthCase{"bt_imm8", {0x0f, 0xba, 0xe0, 0x05}, 4},
+        LengthCase{"popcnt", {0xf3, 0x48, 0x0f, 0xb8, 0xc1}, 5},
+        LengthCase{"cmovne", {0x48, 0x0f, 0x45, 0xc1}, 4},
+        LengthCase{"setg", {0x0f, 0x9f, 0xc0}, 3},
+        LengthCase{"bswap_r13", {0x49, 0x0f, 0xcd}, 3},
+        LengthCase{"cpuid", {0x0f, 0xa2}, 2},
+        LengthCase{"syscall", {0x0f, 0x05}, 2},
+        LengthCase{"ud2", {0x0f, 0x0b}, 2},
+        LengthCase{"rep_movsb", {0xf3, 0xa4}, 2},
+        LengthCase{"rep_stosq", {0xf3, 0x48, 0xab}, 3},
+        LengthCase{"shl_cl", {0x48, 0xd3, 0xe0}, 3},
+        LengthCase{"sar_imm8", {0x48, 0xc1, 0xf8, 0x03}, 4},
+        LengthCase{"pshufd_imm8",
+                   {0x66, 0x0f, 0x70, 0xc0, 0x4e}, 5},
+        LengthCase{"movdqa", {0x66, 0x0f, 0x6f, 0x00}, 4},
+        LengthCase{"movsd_mem",
+                   {0xf2, 0x0f, 0x10, 0x45, 0xf8}, 5},
+        LengthCase{"pshufb_ssse3",
+                   {0x66, 0x0f, 0x38, 0x00, 0xc1}, 5},
+        LengthCase{"palignr_imm8",
+                   {0x66, 0x0f, 0x3a, 0x0f, 0xc1, 0x08}, 6},
+        LengthCase{"xchg_eax_ebx", {0x93}, 1},
+        LengthCase{"xbegin", {0xc7, 0xf8, 0, 0, 0, 0}, 6},
+        LengthCase{"xabort", {0xc6, 0xf8, 0xff}, 3},
+        LengthCase{"kmovq_k1_rbx",
+                   {0xc4, 0xe1, 0xfb, 0x92, 0xcb}, 5},
+        LengthCase{"evex_vmovdqu64",
+                   {0x62, 0xf1, 0xfe, 0x48, 0x6f, 0x06}, 6},
+        LengthCase{"evex_disp8",
+                   {0x62, 0xf1, 0xfe, 0x48, 0x6f, 0x46, 0x01}, 7},
+        LengthCase{"evex_vpternlog_imm8",
+                   {0x62, 0xf3, 0xf5, 0x48, 0x25, 0xc2, 0x55}, 7},
+        LengthCase{"in_al_dx", {0xec}, 1},
+        LengthCase{"fence", {0x0f, 0xae, 0xf0}, 3}));
+
+TEST(Decoder, InvalidOpcodes)
+{
+    // Opcodes removed or undefined in 64-bit mode.
+    for (int b : {0x06, 0x07, 0x0e, 0x16, 0x17, 0x1e, 0x1f, 0x27, 0x2f,
+                  0x37, 0x3f, 0x60, 0x61, 0x82, 0x9a, 0xc4, 0xce,
+                  0xd4, 0xd5, 0xd6, 0xea}) {
+        Instruction insn = dec({b, 0x00, 0x00, 0x00, 0x00, 0x00});
+        // C4 with a following byte whose top bits make an invalid VEX
+        // map is rejected; other bytes are plain invalid.
+        EXPECT_FALSE(insn.valid()) << "opcode " << b;
+    }
+    EXPECT_FALSE(dec({0x0f, 0x04}).valid());
+    EXPECT_FALSE(dec({0x0f, 0x0a}).valid());
+    EXPECT_FALSE(dec({0x0f, 0x36}).valid());
+}
+
+TEST(Decoder, TruncatedInput)
+{
+    EXPECT_FALSE(dec({0x48}).valid());
+    EXPECT_FALSE(dec({0xe8, 0x01, 0x02}).valid());
+    EXPECT_FALSE(dec({0x0f}).valid());
+    EXPECT_FALSE(dec({0x8b, 0x45}).valid());
+    EXPECT_FALSE(dec({0x48, 0xb8, 1, 2, 3}).valid());
+    EXPECT_FALSE(dec({0xf0}).valid());
+}
+
+TEST(Decoder, FifteenByteLimit)
+{
+    // 14 prefix bytes + two-byte instruction = 16 bytes: too long.
+    ByteVec bytes(14, 0x66);
+    bytes.push_back(0x89);
+    bytes.push_back(0xc0);
+    EXPECT_FALSE(decode(bytes, 0).valid());
+
+    // 12 prefixes + mov reg,reg (2 bytes) = 14: legal.
+    ByteVec ok(12, 0x66);
+    ok.push_back(0x89);
+    ok.push_back(0xc0);
+    EXPECT_TRUE(decode(ok, 0).valid());
+}
+
+TEST(Decoder, LockLegality)
+{
+    // LOCK on a register destination or a non-RMW op is #UD.
+    EXPECT_FALSE(dec({0xf0, 0x90}).valid());
+    EXPECT_FALSE(dec({0xf0, 0x48, 0x01, 0xc3}).valid());
+    EXPECT_FALSE(dec({0xf0, 0xc3}).valid());
+    EXPECT_FALSE(dec({0xf0, 0x8b, 0x03}).valid()); // lock mov load
+    // LOCK on memory RMW is legal.
+    Instruction insn = dec({0xf0, 0x48, 0x01, 0x03});
+    ASSERT_TRUE(insn.valid());
+    EXPECT_TRUE(insn.flags & kFlagLock);
+}
+
+TEST(Decoder, ControlFlowClasses)
+{
+    EXPECT_EQ(dec({0xc3}).flow, CtrlFlow::Return);
+    EXPECT_EQ(dec({0xc2, 0, 0}).flow, CtrlFlow::Return);
+    EXPECT_EQ(dec({0xe9, 0, 0, 0, 0}).flow, CtrlFlow::Jump);
+    EXPECT_EQ(dec({0xeb, 0}).flow, CtrlFlow::Jump);
+    EXPECT_EQ(dec({0x74, 0}).flow, CtrlFlow::CondJump);
+    EXPECT_EQ(dec({0x0f, 0x8f, 0, 0, 0, 0}).flow, CtrlFlow::CondJump);
+    EXPECT_EQ(dec({0xe8, 0, 0, 0, 0}).flow, CtrlFlow::Call);
+    EXPECT_EQ(dec({0xff, 0xd0}).flow, CtrlFlow::IndirectCall);
+    EXPECT_EQ(dec({0xff, 0xe0}).flow, CtrlFlow::IndirectJump);
+    EXPECT_EQ(dec({0xcc}).flow, CtrlFlow::Interrupt);
+    EXPECT_EQ(dec({0x0f, 0x05}).flow, CtrlFlow::Interrupt);
+    EXPECT_EQ(dec({0x0f, 0x0b}).flow, CtrlFlow::Halt);
+    EXPECT_EQ(dec({0xf4}).flow, CtrlFlow::Halt);
+    EXPECT_EQ(dec({0x90}).flow, CtrlFlow::None);
+    EXPECT_EQ(dec({0xe2, 0xfb}).flow, CtrlFlow::CondJump);
+}
+
+TEST(Decoder, BranchTargets)
+{
+    // jmp rel8 with displacement -2 targets its own start.
+    Instruction insn = dec({0xeb, 0xfe});
+    ASSERT_TRUE(insn.hasTarget);
+    EXPECT_EQ(insn.target, 0);
+
+    // je +5 from offset 0: next is 2, target 7.
+    insn = dec({0x74, 0x05});
+    EXPECT_EQ(insn.target, 7);
+
+    // call rel32 0x10: next is 5, target 0x15.
+    insn = dec({0xe8, 0x10, 0x00, 0x00, 0x00});
+    EXPECT_EQ(insn.target, 0x15);
+
+    // Negative rel32 can escape the section (target < 0).
+    insn = dec({0xe8, 0xf0, 0xff, 0xff, 0xff});
+    EXPECT_EQ(insn.target, 5 - 16);
+
+    // Non-zero decode offset shifts the target.
+    ByteVec bytes{0x90, 0x90, 0xeb, 0x02};
+    Instruction at2 = decode(bytes, 2);
+    ASSERT_TRUE(at2.valid());
+    EXPECT_EQ(at2.target, 6);
+
+    // Indirect flow has no direct target.
+    EXPECT_FALSE(dec({0xff, 0xe0}).hasTarget);
+}
+
+TEST(Decoder, FallThrough)
+{
+    EXPECT_TRUE(dec({0x90}).fallsThrough());
+    EXPECT_TRUE(dec({0x74, 0x00}).fallsThrough());
+    EXPECT_TRUE(dec({0xe8, 0, 0, 0, 0}).fallsThrough());
+    EXPECT_TRUE(dec({0xff, 0xd0}).fallsThrough());
+    EXPECT_FALSE(dec({0xc3}).fallsThrough());
+    EXPECT_FALSE(dec({0xe9, 0, 0, 0, 0}).fallsThrough());
+    EXPECT_FALSE(dec({0xff, 0xe0}).fallsThrough());
+    EXPECT_FALSE(dec({0xf4}).fallsThrough());
+}
+
+TEST(Decoder, DefUseMasks)
+{
+    // mov rbp, rsp: reads rsp, writes rbp.
+    Instruction insn = dec({0x48, 0x89, 0xe5});
+    EXPECT_TRUE(insn.regsRead & regBit(RSP));
+    EXPECT_TRUE(insn.regsWritten & regBit(RBP));
+    EXPECT_FALSE(insn.regsWritten & regBit(RSP));
+
+    // mov eax, [rbp-4]: reads rbp + memory, writes rax.
+    insn = dec({0x8b, 0x45, 0xfc});
+    EXPECT_TRUE(insn.regsRead & regBit(RBP));
+    EXPECT_TRUE(insn.regsWritten & regBit(RAX));
+    EXPECT_TRUE(insn.flags & kFlagReadsMem);
+    EXPECT_FALSE(insn.flags & kFlagWritesMem);
+
+    // mov [rbp-0x14], edi: reads rbp and edi, writes memory.
+    insn = dec({0x89, 0x7d, 0xec});
+    EXPECT_TRUE(insn.regsRead & regBit(RDI));
+    EXPECT_TRUE(insn.regsRead & regBit(RBP));
+    EXPECT_TRUE(insn.flags & kFlagWritesMem);
+
+    // jne reads flags.
+    insn = dec({0x75, 0x00});
+    EXPECT_TRUE(insn.regsRead & regBit(RegFlags));
+
+    // cmp writes flags without writing GPRs.
+    insn = dec({0x48, 0x39, 0xd8});
+    EXPECT_TRUE(insn.regsWritten & regBit(RegFlags));
+    EXPECT_EQ(insn.regsWritten & kAllGprs, 0u);
+    EXPECT_TRUE(insn.regsRead & regBit(RAX));
+    EXPECT_TRUE(insn.regsRead & regBit(RBX));
+
+    // push rbx: reads rbx and rsp, writes rsp.
+    insn = dec({0x53});
+    EXPECT_TRUE(insn.regsRead & regBit(RBX));
+    EXPECT_TRUE(insn.regsRead & regBit(RSP));
+    EXPECT_TRUE(insn.regsWritten & regBit(RSP));
+
+    // pop r12: writes r12 and rsp.
+    insn = dec({0x41, 0x5c});
+    EXPECT_TRUE(insn.regsWritten & regBit(R12));
+    EXPECT_TRUE(insn.regsWritten & regBit(RSP));
+
+    // lea rax, [rbx+rcx*2]: reads rbx/rcx, no memory access.
+    insn = dec({0x48, 0x8d, 0x04, 0x4b});
+    EXPECT_TRUE(insn.regsRead & regBit(RBX));
+    EXPECT_TRUE(insn.regsRead & regBit(RCX));
+    EXPECT_FALSE(insn.flags & kFlagReadsMem);
+
+    // idiv rcx: reads rax/rdx/rcx, writes rax/rdx.
+    insn = dec({0x48, 0xf7, 0xf9});
+    EXPECT_TRUE(insn.regsRead & regBit(RAX));
+    EXPECT_TRUE(insn.regsRead & regBit(RDX));
+    EXPECT_TRUE(insn.regsRead & regBit(RCX));
+    EXPECT_TRUE(insn.regsWritten & regBit(RAX));
+    EXPECT_TRUE(insn.regsWritten & regBit(RDX));
+
+    // shl rax, cl reads rcx.
+    insn = dec({0x48, 0xd3, 0xe0});
+    EXPECT_TRUE(insn.regsRead & regBit(RCX));
+
+    // rep movsb uses rcx, rsi, rdi.
+    insn = dec({0xf3, 0xa4});
+    EXPECT_TRUE(insn.regsRead & regBit(RCX));
+    EXPECT_TRUE(insn.regsRead & regBit(RSI));
+    EXPECT_TRUE(insn.regsRead & regBit(RDI));
+
+    // setg writes the r/m byte register and reads flags.
+    insn = dec({0x0f, 0x9f, 0xc0});
+    EXPECT_TRUE(insn.regsRead & regBit(RegFlags));
+    EXPECT_TRUE(insn.regsWritten & regBit(RAX));
+}
+
+TEST(Decoder, RexExtensions)
+{
+    // mov r15, [rip+disp]: REX.R extends modrm.reg.
+    Instruction insn = dec({0x4c, 0x8b, 0x3d, 1, 2, 3, 4});
+    EXPECT_EQ(insn.modrmReg, R15);
+    EXPECT_TRUE(insn.ripRelative);
+    EXPECT_TRUE(insn.regsWritten & regBit(R15));
+
+    // push r15: REX.B extends the register in the opcode byte.
+    insn = dec({0x41, 0x57});
+    EXPECT_TRUE(insn.regsRead & regBit(R15));
+
+    // SIB with REX.X: mov rax, [rbx+r9*4].
+    insn = dec({0x4a, 0x8b, 0x04, 0x8b});
+    EXPECT_EQ(insn.sibBase, RBX);
+    EXPECT_EQ(insn.sibIndex, R9);
+}
+
+TEST(Decoder, StaleRexIsIgnored)
+{
+    // "48 66 05 imm16": the REX.W is cancelled by the later 66, so the
+    // immediate is 16-bit (add ax, imm16), total length 5.
+    Instruction insn = dec({0x48, 0x66, 0x05, 0x01, 0x02});
+    ASSERT_TRUE(insn.valid());
+    EXPECT_EQ(insn.length, 5);
+    EXPECT_EQ(insn.opSize, 2);
+    EXPECT_TRUE(insn.flags & kFlagRedundantPrefix);
+}
+
+TEST(Decoder, OddityFlags)
+{
+    EXPECT_TRUE(dec({0xf4}).flags & kFlagPrivileged);
+    EXPECT_TRUE(dec({0xec}).flags & kFlagPrivileged);
+    EXPECT_TRUE(dec({0x9e}).flags & kFlagRare);  // sahf
+    EXPECT_TRUE(dec({0xd7}).flags & kFlagRare);  // xlat
+    EXPECT_TRUE(dec({0x66, 0x66, 0x90}).flags & kFlagRedundantPrefix);
+    EXPECT_TRUE(dec({0x64, 0x8b, 0x00}).flags & kFlagSegment);
+    EXPECT_FALSE(dec({0x90}).flags & kFlagRare);
+    EXPECT_FALSE(dec({0x48, 0x89, 0xe5}).flags & kFlagRedundantPrefix);
+}
+
+TEST(Decoder, ImmediateValues)
+{
+    EXPECT_EQ(dec({0x48, 0x83, 0xec, 0x18}).imm, 0x18);
+    EXPECT_EQ(dec({0x6a, 0xff}).imm, -1); // push -1 sign-extends.
+    EXPECT_EQ(dec({0xb8, 0x78, 0x56, 0x34, 0x12}).imm, 0x12345678);
+    EXPECT_EQ(dec({0x48, 0xb8, 0xef, 0xcd, 0xab, 0x89, 0x67, 0x45,
+                   0x23, 0x01}).imm,
+              0x0123456789abcdefLL);
+    EXPECT_EQ(dec({0xc2, 0x08, 0x00}).imm, 8);
+}
+
+TEST(Decoder, ConditionCodes)
+{
+    EXPECT_EQ(dec({0x74, 0x00}).cond, 4);              // je
+    EXPECT_EQ(dec({0x75, 0x00}).cond, 5);              // jne
+    EXPECT_EQ(dec({0x0f, 0x8c, 0, 0, 0, 0}).cond, 12); // jl
+    EXPECT_EQ(dec({0x0f, 0x9f, 0xc0}).cond, 15);       // setg
+    EXPECT_EQ(dec({0x48, 0x0f, 0x45, 0xc1}).cond, 5);  // cmovne
+}
+
+TEST(Decoder, DecodeAtEveryOffsetNeverOverruns)
+{
+    // Superset-disassembly smoke test: decoding at every offset of a
+    // byte soup must never produce an instruction extending past the
+    // end of the buffer.
+    ByteVec bytes;
+    for (int i = 0; i < 4096; ++i)
+        bytes.push_back(static_cast<u8>((i * 37 + 11) & 0xff));
+    for (Offset off = 0; off < bytes.size(); ++off) {
+        Instruction insn = decode(bytes, off);
+        if (insn.valid()) {
+            EXPECT_LE(insn.end(), bytes.size());
+            EXPECT_GE(insn.length, 1);
+            EXPECT_LE(insn.length, 15);
+        }
+    }
+}
+
+TEST(Formatter, CommonInstructions)
+{
+    EXPECT_EQ(format(dec({0x90})), "nop");
+    EXPECT_EQ(format(dec({0xc3})), "ret");
+    EXPECT_EQ(format(dec({0x48, 0x89, 0xe5})), "mov rbp, rsp");
+    EXPECT_EQ(format(dec({0x55})), "push rbp");
+    EXPECT_EQ(format(dec({0x74, 0x05})), "je 0x7");
+    EXPECT_EQ(format(dec({0xe8, 0x10, 0, 0, 0})), "call 0x15");
+    EXPECT_EQ(format(dec({0x8b, 0x45, 0xfc})), "mov eax, [rbp-0x4]");
+    EXPECT_EQ(format(dec({0xf3, 0x0f, 0x1e, 0xfa})), "endbr64");
+    EXPECT_EQ(formatMnemonic(dec({0x0f, 0x9f, 0xc0})), "setg");
+    EXPECT_EQ(formatMnemonic(dec({0x48, 0x0f, 0x45, 0xc1})), "cmovne");
+    EXPECT_EQ(format(dec({0x48, 0x83, 0xec, 0x18})), "sub rsp, 0x18");
+    EXPECT_EQ(format(Instruction{}), "(bad)");
+}
+
+} // namespace
+} // namespace accdis::x86

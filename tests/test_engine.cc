@@ -1,0 +1,318 @@
+/**
+ * @file
+ * End-to-end tests for the DisassemblyEngine: accuracy against ground
+ * truth on every preset, ablation behavior, error correction, and
+ * robustness properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+#include "eval/metrics.hh"
+#include "support/error.hh"
+#include "synth/corpus.hh"
+#include "x86/decoder.hh"
+
+namespace accdis
+{
+namespace
+{
+
+synth::SynthBinary
+makeBinary(synth::CorpusConfig (*preset)(u64), u64 seed, int functions)
+{
+    synth::CorpusConfig config = preset(seed);
+    config.numFunctions = functions;
+    return synth::buildSynthBinary(config);
+}
+
+TEST(Engine, PerfectRecallOnAllPresets)
+{
+    for (auto preset : {synth::gccLikePreset, synth::msvcLikePreset,
+                        synth::adversarialPreset}) {
+        synth::SynthBinary bin = makeBinary(preset, 17, 64);
+        DisassemblyEngine engine;
+        Classification result = engine.analyze(bin.image);
+        AccuracyMetrics m = compareToTruth(result, bin.truth);
+        EXPECT_GT(m.recall(), 0.995) << bin.image.name();
+    }
+}
+
+TEST(Engine, HighPrecisionOnCompilerLikePresets)
+{
+    synth::SynthBinary gcc = makeBinary(synth::gccLikePreset, 18, 64);
+    DisassemblyEngine engine;
+    AccuracyMetrics m = compareToTruth(engine.analyze(gcc.image),
+                                       gcc.truth);
+    EXPECT_GT(m.precision(), 0.995);
+
+    synth::SynthBinary msvc = makeBinary(synth::msvcLikePreset, 18, 64);
+    m = compareToTruth(engine.analyze(msvc.image), msvc.truth);
+    EXPECT_GT(m.precision(), 0.96);
+}
+
+TEST(Engine, ByteAccuracyHigh)
+{
+    synth::SynthBinary bin = makeBinary(synth::msvcLikePreset, 19, 64);
+    DisassemblyEngine engine;
+    AccuracyMetrics m = compareToTruth(engine.analyze(bin.image),
+                                       bin.truth);
+    EXPECT_GT(m.byteAccuracy(), 0.97);
+}
+
+TEST(Engine, CoversEveryByte)
+{
+    synth::SynthBinary bin =
+        makeBinary(synth::adversarialPreset, 20, 48);
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    u64 total = result.bytesOf(ResultClass::Code) +
+                result.bytesOf(ResultClass::Data);
+    EXPECT_EQ(total, bin.image.section(0).size());
+}
+
+TEST(Engine, InsnStartsAreSortedUniqueAndDecodable)
+{
+    synth::SynthBinary bin = makeBinary(synth::msvcLikePreset, 21, 48);
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    ByteSpan bytes = bin.image.section(0).bytes();
+    Offset prev = kNoAddr;
+    for (Offset off : result.insnStarts) {
+        if (prev != kNoAddr) {
+            EXPECT_GT(off, prev);
+        }
+        prev = off;
+        EXPECT_TRUE(x86::decode(bytes, off).valid()) << off;
+    }
+}
+
+TEST(Engine, ReportedCodeBytesMatchStarts)
+{
+    synth::SynthBinary bin = makeBinary(synth::gccLikePreset, 22, 32);
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    ByteSpan bytes = bin.image.section(0).bytes();
+    // Every reported start's bytes must be classified Code.
+    for (Offset off : result.insnStarts) {
+        auto insn = x86::decode(bytes, off);
+        EXPECT_TRUE(result.map.covered(off, off + insn.length,
+                                       ResultClass::Code))
+            << off;
+    }
+}
+
+TEST(Engine, AblationOrdering)
+{
+    // The full system must beat the configuration with the
+    // probabilistic model and data patterns disabled, on a preset
+    // with embedded data.
+    synth::SynthBinary bin =
+        makeBinary(synth::adversarialPreset, 23, 64);
+
+    DisassemblyEngine full;
+    u64 fullErrors =
+        compareToTruth(full.analyze(bin.image), bin.truth).errors();
+
+    EngineConfig weakConfig;
+    weakConfig.useProbModel = false;
+    weakConfig.useDataPatterns = false;
+    weakConfig.useDefUse = false;
+    weakConfig.useIndirectFlow = false;
+    weakConfig.useJumpTables = false;
+    DisassemblyEngine weak(weakConfig);
+    u64 weakErrors =
+        compareToTruth(weak.analyze(bin.image), bin.truth).errors();
+
+    EXPECT_LT(fullErrors, weakErrors);
+}
+
+TEST(Engine, ErrorCorrectionHelps)
+{
+    synth::SynthBinary bin =
+        makeBinary(synth::adversarialPreset, 24, 64);
+
+    DisassemblyEngine full;
+    u64 fullErrors =
+        compareToTruth(full.analyze(bin.image), bin.truth).errors();
+
+    EngineConfig noEc;
+    noEc.useErrorCorrection = false;
+    DisassemblyEngine weak(noEc);
+    u64 weakErrors =
+        compareToTruth(weak.analyze(bin.image), bin.truth).errors();
+
+    EXPECT_LE(fullErrors, weakErrors);
+}
+
+TEST(Engine, RevisionRollsBackWeakCommitments)
+{
+    // Deterministic corpus on which the correction loop is known to
+    // revise an earlier weak commitment (stronger evidence evicts a
+    // misaligned residual chain). Guards the rollback machinery
+    // against silent regression into dead code.
+    synth::CorpusConfig config = synth::adversarialPreset(11);
+    config.numFunctions = 48;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    EXPECT_GE(result.stats.rollbacks, 1u);
+    // The revision must leave a consistent, accurate result.
+    AccuracyMetrics m = compareToTruth(result, bin.truth);
+    EXPECT_GT(m.recall(), 0.99);
+    EXPECT_GT(m.precision(), 0.9);
+}
+
+TEST(Engine, WorksWithoutEntryPoints)
+{
+    // Fully stripped: no entry points at all.
+    synth::SynthBinary bin = makeBinary(synth::msvcLikePreset, 25, 48);
+    DisassemblyEngine engine;
+    Classification result = engine.analyzeSection(
+        bin.image.section(0).bytes(), {}, synth::kSynthTextBase);
+    AccuracyMetrics m = compareToTruth(result, bin.truth);
+    EXPECT_GT(m.recall(), 0.98);
+    EXPECT_GT(m.precision(), 0.9);
+}
+
+TEST(Engine, EmptySection)
+{
+    DisassemblyEngine engine;
+    Classification result = engine.analyzeSection(ByteSpan{}, {}, 0);
+    EXPECT_TRUE(result.insnStarts.empty());
+    EXPECT_EQ(result.bytesOf(ResultClass::Code), 0u);
+}
+
+TEST(Engine, PureDataSection)
+{
+    Rng rng(71);
+    ByteVec blob(2048);
+    rng.fill(blob.data(), blob.size());
+    DisassemblyEngine engine;
+    Classification result = engine.analyzeSection(blob, {}, 0x1000);
+    // Random bytes should be mostly data; tolerate a small number of
+    // unlucky code-looking runs.
+    EXPECT_LT(result.bytesOf(ResultClass::Code), blob.size() / 4);
+}
+
+TEST(Engine, PureCodeSection)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(72);
+    config.dataFraction = 0.0;
+    config.pointerSlots = 0;
+    config.numFunctions = 32;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    DisassemblyEngine engine;
+    AccuracyMetrics m = compareToTruth(engine.analyze(bin.image),
+                                       bin.truth);
+    EXPECT_GT(m.recall(), 0.999);
+    EXPECT_GT(m.precision(), 0.999);
+}
+
+TEST(Engine, DeterministicOutput)
+{
+    synth::SynthBinary bin = makeBinary(synth::msvcLikePreset, 26, 32);
+    DisassemblyEngine engine;
+    Classification a = engine.analyze(bin.image);
+    Classification b = engine.analyze(bin.image);
+    EXPECT_EQ(a.insnStarts, b.insnStarts);
+    EXPECT_EQ(a.bytesOf(ResultClass::Code), b.bytesOf(ResultClass::Code));
+}
+
+TEST(Engine, ThrowsOnImageWithoutExecutableSection)
+{
+    BinaryImage image("noexec");
+    image.addSection(Section(".data", 0x1000, ByteVec(64, 0),
+                             SectionFlags{false, true, true}));
+    DisassemblyEngine engine;
+    EXPECT_THROW(engine.analyze(image), Error);
+}
+
+TEST(Engine, ProvenanceCoversSectionAndAnchorsEntry)
+{
+    synth::SynthBinary bin = makeBinary(synth::msvcLikePreset, 28, 32);
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    const u64 size = bin.image.section(0).size();
+
+    // Every byte has a provenance level.
+    u64 covered = 0;
+    for (const auto &entry : result.provenance.entries())
+        covered += entry.end - entry.begin;
+    EXPECT_EQ(covered, size);
+
+    // The entry point's bytes were committed at Anchor strength.
+    Offset entry = bin.image.section(0).toOffset(
+        bin.image.entryPoints()[0]);
+    auto level = result.provenance.at(entry);
+    ASSERT_TRUE(level.has_value());
+    EXPECT_EQ(*level, static_cast<u8>(Priority::Anchor));
+}
+
+TEST(Engine, AnalyzeAllCoversEveryExecutableSection)
+{
+    BinaryImage image("multi");
+    synth::SynthBinary a =
+        synth::buildSynthBinary(synth::gccLikePreset(29));
+    synth::SynthBinary b =
+        synth::buildSynthBinary(synth::msvcLikePreset(29));
+    image.addSection(a.image.section(0));
+    image.addSection(Section(".rodata", 0x900000, ByteVec(256, 7),
+                             SectionFlags{false, false, true}));
+    image.addSection(Section(".text2", 0xa00000,
+                             ByteVec(b.image.section(0).bytes().begin(),
+                                     b.image.section(0).bytes().end()),
+                             SectionFlags{true, false, true}));
+    image.addEntryPoint(a.image.entryPoints()[0]);
+
+    DisassemblyEngine engine;
+    auto results = engine.analyzeAll(image);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].name, ".text");
+    EXPECT_EQ(results[1].name, ".text2");
+    EXPECT_GT(results[0].result.insnStarts.size(), 100u);
+    EXPECT_GT(results[1].result.insnStarts.size(), 100u);
+}
+
+TEST(Engine, ResolvesRodataJumpTables)
+{
+    // GCC layout: switch tables live in .rodata; their targets are
+    // reachable only through the cross-section dispatch. Without the
+    // aux regions the engine must lose recall; with them (via
+    // analyze(image)) it must recover everything.
+    synth::CorpusConfig config = synth::gccLikePreset(30);
+    config.numFunctions = 48;
+    config.jumpTableFraction = 1.0;
+    config.addressTakenFraction = 0.0;
+    config.pointerSlots = 0;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    ASSERT_EQ(bin.image.sections().size(), 2u);
+    ASSERT_EQ(bin.image.section(1).name(), ".rodata");
+    ASSERT_GT(bin.stats.jumpTables, 20);
+
+    DisassemblyEngine engine;
+    Classification withAux = engine.analyze(bin.image);
+    AccuracyMetrics mAux = compareToTruth(withAux, bin.truth);
+    EXPECT_GT(mAux.recall(), 0.999);
+    EXPECT_GT(withAux.stats.jumpTablesFound, 20u);
+
+    Classification noAux = engine.analyzeSection(
+        bin.image.section(0).bytes(),
+        {bin.image.section(0).toOffset(bin.image.entryPoints()[0])},
+        synth::kSynthTextBase);
+    EXPECT_EQ(noAux.stats.jumpTablesFound, 0u);
+}
+
+TEST(Engine, StatsArePopulated)
+{
+    synth::SynthBinary bin = makeBinary(synth::msvcLikePreset, 27, 48);
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    EXPECT_GT(result.stats.evidenceProcessed, 0u);
+    EXPECT_GT(result.stats.mustFaultOffsets, 0u);
+    EXPECT_GT(result.stats.jumpTablesFound, 0u);
+    EXPECT_FALSE(result.stats.committedPerPhase.empty());
+}
+
+} // namespace
+} // namespace accdis

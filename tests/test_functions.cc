@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for function-boundary recovery and indirect-flow resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/indirect.hh"
+#include "core/engine.hh"
+#include "core/functions.hh"
+#include "synth/assembler.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+using synth::Assembler;
+using synth::Label;
+
+TEST(IndirectFlow, ResolvesMovCallReg)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    const Addr base = 0x401000;
+    Label target = as.newLabel();
+    as.movRVaddr64(x86::RAX, target, base);
+    as.callR(x86::RAX);
+    as.ret();
+    as.bind(target);
+    as.nop(1);
+    as.ret();
+    as.finalize();
+
+    Superset ss(buf);
+    IndirectConfig config;
+    config.sectionBase = base;
+    auto targets = resolveIndirectFlow(ss, config);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0].target, as.labelOffset(target));
+    EXPECT_TRUE(targets[0].isCall);
+    EXPECT_EQ(targets[0].via,
+              IndirectTarget::Via::RegisterConstant);
+}
+
+TEST(IndirectFlow, ResolvesExtendedRegister)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    const Addr base = 0x401000;
+    Label target = as.newLabel();
+    as.movRVaddr64(x86::R10, target, base);
+    as.movRI(x86::RCX, 7, 4); // unrelated instruction in between
+    as.callR(x86::R10);
+    as.ret();
+    as.bind(target);
+    as.ret();
+    as.finalize();
+
+    Superset ss(buf);
+    IndirectConfig config;
+    config.sectionBase = base;
+    auto targets = resolveIndirectFlow(ss, config);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0].target, as.labelOffset(target));
+}
+
+TEST(IndirectFlow, RedefinitionKillsConstant)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    const Addr base = 0x401000;
+    Label target = as.newLabel();
+    as.movRVaddr64(x86::RAX, target, base);
+    as.movRI(x86::RAX, 0, 4); // clobbers the constant
+    as.callR(x86::RAX);
+    as.ret();
+    as.bind(target);
+    as.ret();
+    as.finalize();
+
+    Superset ss(buf);
+    IndirectConfig config;
+    config.sectionBase = base;
+    EXPECT_TRUE(resolveIndirectFlow(ss, config).empty());
+}
+
+TEST(IndirectFlow, ResolvesRipSlotCall)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    const Addr base = 0x401000;
+    Label target = as.newLabel();
+    Label slot = as.newLabel();
+    as.callRipMem(slot);
+    as.ret();
+    as.bind(target);
+    as.nop(1);
+    as.ret();
+    as.bind(slot);
+    as.rawLabelVaddr64(target, base);
+    as.finalize();
+
+    Superset ss(buf);
+    IndirectConfig config;
+    config.sectionBase = base;
+    auto targets = resolveIndirectFlow(ss, config);
+    ASSERT_GE(targets.size(), 1u);
+    EXPECT_EQ(targets[0].target, as.labelOffset(target));
+    EXPECT_EQ(targets[0].via, IndirectTarget::Via::RipSlot);
+}
+
+TEST(IndirectFlow, OutOfSectionConstantIgnored)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    as.movRI(x86::RAX, 0x7fffffff0000LL, 8); // far outside
+    as.callR(x86::RAX);
+    as.ret();
+    as.finalize();
+
+    Superset ss(buf);
+    IndirectConfig config;
+    config.sectionBase = 0x401000;
+    EXPECT_TRUE(resolveIndirectFlow(ss, config).empty());
+}
+
+TEST(Engine, RecoversMaterializedCallTargets)
+{
+    // Functions reachable only through movabs+call must be found.
+    synth::CorpusConfig config = synth::adversarialPreset(31);
+    config.numFunctions = 64;
+    config.pointerSlots = 0; // force reliance on materialized calls
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    std::set<Offset> predicted(result.insnStarts.begin(),
+                               result.insnStarts.end());
+    u64 missed = 0;
+    for (Offset off : bin.truth.insnStarts()) {
+        if (bin.truth.classAt(off) != synth::ByteClass::Padding &&
+            !predicted.count(off))
+            ++missed;
+    }
+    EXPECT_LT(missed, bin.truth.insnStarts().size() / 100);
+}
+
+TEST(Functions, RecoversSynthesizedBoundaries)
+{
+    synth::CorpusConfig config = synth::msvcLikePreset(32);
+    config.numFunctions = 48;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    Superset superset(bin.image.section(0).bytes());
+    auto functions = recoverFunctions(superset, result,
+                                      synth::kSynthTextBase);
+
+    std::set<Offset> recovered;
+    for (const auto &fn : functions)
+        recovered.insert(fn.entry);
+
+    // Recall: nearly every true entry recovered.
+    u64 hits = 0;
+    for (Offset entry : bin.truth.functionStarts())
+        hits += recovered.count(entry);
+    double recall = static_cast<double>(hits) /
+                    static_cast<double>(
+                        bin.truth.functionStarts().size());
+    EXPECT_GT(recall, 0.9);
+
+    // Functions partition the code: no overlaps, sorted entries.
+    Offset prevEnd = 0;
+    for (const auto &fn : functions) {
+        EXPECT_GE(fn.entry, prevEnd);
+        EXPECT_GT(fn.end, fn.entry);
+        EXPECT_GT(fn.instructions, 0u);
+        prevEnd = fn.end;
+    }
+}
+
+TEST(Functions, TruthFunctionStartsArePopulated)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::gccLikePreset(33));
+    EXPECT_EQ(bin.truth.functionStarts().size(),
+              static_cast<std::size_t>(bin.stats.functions));
+    for (Offset entry : bin.truth.functionStarts()) {
+        EXPECT_TRUE(bin.truth.isInsnStart(entry));
+        EXPECT_TRUE(bin.truth.isFunctionStart(entry));
+    }
+    EXPECT_FALSE(bin.truth.isFunctionStart(3));
+}
+
+TEST(Functions, EmptyClassification)
+{
+    ByteVec empty;
+    Superset superset(empty);
+    Classification result;
+    EXPECT_TRUE(recoverFunctions(superset, result, 0).empty());
+}
+
+} // namespace
+} // namespace accdis

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Golden decoder regression test: 400 real instruction encodings
+ * sampled from a glibc build, with lengths verified against GNU
+ * objdump at extraction time. Protects length-exactness without
+ * requiring objdump at test time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "x86/decoder.hh"
+#include "x86/formatter.hh"
+
+namespace accdis::x86
+{
+namespace
+{
+
+struct GoldenCase
+{
+    std::vector<int> bytes;
+    int length;
+};
+
+const std::vector<GoldenCase> &
+goldenCases()
+{
+    static const std::vector<GoldenCase> cases = {
+#include "golden_encodings.inc"
+    };
+    return cases;
+}
+
+TEST(GoldenEncodings, AllDecodeWithExactLength)
+{
+    int index = 0;
+    for (const GoldenCase &c : goldenCases()) {
+        ByteVec raw;
+        for (int b : c.bytes)
+            raw.push_back(static_cast<u8>(b));
+        Instruction insn = decode(raw, 0);
+        ASSERT_TRUE(insn.valid()) << "golden case " << index;
+        EXPECT_EQ(static_cast<int>(insn.length), c.length)
+            << "golden case " << index;
+        ++index;
+    }
+    EXPECT_GE(index, 300);
+}
+
+TEST(GoldenEncodings, AllFormatNonEmpty)
+{
+    for (const GoldenCase &c : goldenCases()) {
+        ByteVec raw;
+        for (int b : c.bytes)
+            raw.push_back(static_cast<u8>(b));
+        Instruction insn = decode(raw, 0);
+        ASSERT_TRUE(insn.valid());
+        EXPECT_FALSE(format(insn).empty());
+        EXPECT_NE(format(insn), "(bad)");
+    }
+}
+
+} // namespace
+} // namespace accdis::x86

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the binary-image substrate, including the from-scratch
+ * ELF64 reader exercised against a hand-built ELF image and against a
+ * real system binary when one is available.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "image/binary_image.hh"
+#include "image/elf_reader.hh"
+#include "support/bytes.hh"
+#include "support/error.hh"
+
+namespace accdis
+{
+namespace
+{
+
+TEST(Section, AddressMath)
+{
+    Section sec(".text", 0x400000, ByteVec(100, 0x90),
+                SectionFlags{true, false, true});
+    EXPECT_TRUE(sec.containsVaddr(0x400000));
+    EXPECT_TRUE(sec.containsVaddr(0x400063));
+    EXPECT_FALSE(sec.containsVaddr(0x400064));
+    EXPECT_FALSE(sec.containsVaddr(0x3fffff));
+    EXPECT_EQ(sec.vaddr(10), 0x40000au);
+    EXPECT_EQ(sec.toOffset(0x400010), 0x10u);
+}
+
+TEST(BinaryImage, Lookup)
+{
+    BinaryImage image("test");
+    image.addSection(Section(".text", 0x1000, ByteVec(0x100, 0),
+                             SectionFlags{true, false, true}));
+    image.addSection(Section(".rodata", 0x2000, ByteVec(0x80, 0),
+                             SectionFlags{false, false, true}));
+    image.addEntryPoint(0x1000);
+
+    EXPECT_EQ(image.sections().size(), 2u);
+    EXPECT_EQ(image.sectionContaining(0x1080)->name(), ".text");
+    EXPECT_EQ(image.sectionContaining(0x2000)->name(), ".rodata");
+    EXPECT_EQ(image.sectionContaining(0x3000), nullptr);
+    EXPECT_EQ(image.sectionNamed(".rodata")->base(), 0x2000u);
+    EXPECT_EQ(image.sectionNamed(".bss"), nullptr);
+    EXPECT_EQ(image.executableBytes(), 0x100u);
+    ASSERT_EQ(image.entryPoints().size(), 1u);
+    EXPECT_EQ(image.entryPoints()[0], 0x1000u);
+}
+
+/** Build a minimal but well-formed ELF64 x86-64 image in memory. */
+ByteVec
+buildTinyElf()
+{
+    // Layout: [0,64) ehdr, [64,128) two shdrs won't fit; use offsets:
+    // ehdr 0..64, .text payload 0x80..0x90, shstrtab 0x90..0xA0,
+    // section headers at 0x100 (3 entries x 64 bytes).
+    ByteVec elf(0x100 + 3 * 64, 0);
+    elf[0] = 0x7f; elf[1] = 'E'; elf[2] = 'L'; elf[3] = 'F';
+    elf[4] = 2;  // ELFCLASS64
+    elf[5] = 1;  // little endian
+    elf[6] = 1;  // version
+    elf[16] = 2; // ET_EXEC
+    elf[18] = 62; // EM_X86_64
+    writeLe64(elf, 24, 0x401000);       // e_entry
+    writeLe64(elf, 40, 0x100);          // e_shoff
+    elf[58] = 64;                        // e_shentsize
+    elf[60] = 3;                         // e_shnum
+    elf[62] = 2;                         // e_shstrndx
+
+    // .text payload: ret + nops.
+    elf[0x80] = 0xc3;
+    for (int i = 1; i < 16; ++i)
+        elf[0x80 + i] = 0x90;
+    // shstrtab: "\0.text\0.shstrtab\0"
+    const char strs[] = "\0.text\0.shstrtab";
+    for (std::size_t i = 0; i < sizeof(strs); ++i)
+        elf[0x90 + i] = static_cast<u8>(strs[i]);
+
+    // Section header 0: SHT_NULL (all zero).
+    // Section header 1: .text
+    u64 sh = 0x100 + 64;
+    writeLe32(elf, sh + 0, 1);           // name offset -> ".text"
+    writeLe32(elf, sh + 4, 1);           // SHT_PROGBITS
+    writeLe64(elf, sh + 8, 0x2 | 0x4);   // ALLOC | EXECINSTR
+    writeLe64(elf, sh + 16, 0x401000);   // addr
+    writeLe64(elf, sh + 24, 0x80);       // offset
+    writeLe64(elf, sh + 32, 16);         // size
+    // Section header 2: .shstrtab
+    sh = 0x100 + 2 * 64;
+    writeLe32(elf, sh + 0, 7);           // name offset -> ".shstrtab"
+    writeLe32(elf, sh + 4, 3);           // SHT_STRTAB
+    writeLe64(elf, sh + 24, 0x90);       // offset
+    writeLe64(elf, sh + 32, sizeof(strs)); // size
+    return elf;
+}
+
+TEST(ElfReader, MagicDetection)
+{
+    ByteVec elf = buildTinyElf();
+    EXPECT_TRUE(isElf(elf));
+    ByteVec junk{0x12, 0x34, 0x56, 0x78};
+    EXPECT_FALSE(isElf(junk));
+    EXPECT_FALSE(isElf(ByteVec{}));
+}
+
+TEST(ElfReader, ParsesTinyImage)
+{
+    ByteVec elf = buildTinyElf();
+    BinaryImage image = readElf(elf, "tiny");
+    ASSERT_EQ(image.sections().size(), 1u);
+    const Section &text = image.section(0);
+    EXPECT_EQ(text.name(), ".text");
+    EXPECT_EQ(text.base(), 0x401000u);
+    EXPECT_EQ(text.size(), 16u);
+    EXPECT_TRUE(text.flags().executable);
+    EXPECT_EQ(text.bytes()[0], 0xc3);
+    ASSERT_EQ(image.entryPoints().size(), 1u);
+    EXPECT_EQ(image.entryPoints()[0], 0x401000u);
+}
+
+TEST(ElfReader, RejectsTruncated)
+{
+    ByteVec elf = buildTinyElf();
+    elf.resize(32);
+    EXPECT_THROW(readElf(elf, "trunc"), Error);
+}
+
+TEST(ElfReader, RejectsBadMagic)
+{
+    ByteVec elf = buildTinyElf();
+    elf[1] = 'X';
+    EXPECT_THROW(readElf(elf, "bad"), Error);
+}
+
+TEST(ElfReader, RejectsElf32)
+{
+    ByteVec elf = buildTinyElf();
+    elf[4] = 1;
+    EXPECT_THROW(readElf(elf, "elf32"), Error);
+}
+
+TEST(ElfReader, RejectsSectionPastEof)
+{
+    ByteVec elf = buildTinyElf();
+    // Corrupt .text size to extend past the file end.
+    writeLe64(elf, 0x100 + 64 + 32, 1 << 20);
+    EXPECT_THROW(readElf(elf, "eof"), Error);
+}
+
+TEST(ElfReader, ReadsRealSystemBinaryIfPresent)
+{
+    const char *path = "/bin/true";
+    std::FILE *probe = std::fopen(path, "rb");
+    if (!probe)
+        GTEST_SKIP() << "no /bin/true on this system";
+    std::fclose(probe);
+
+    BinaryImage image = readElfFile(path);
+    EXPECT_GT(image.executableBytes(), 0u);
+}
+
+} // namespace
+} // namespace accdis

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Additional coverage: formatter breadth, interval-container edge
+ * cases, function-source precedence, and engine model override.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+#include "core/functions.hh"
+#include "eval/metrics.hh"
+#include "support/interval_map.hh"
+#include "synth/assembler.hh"
+#include "synth/corpus.hh"
+#include "x86/decoder.hh"
+#include "x86/formatter.hh"
+
+namespace accdis
+{
+namespace
+{
+
+using synth::Assembler;
+using synth::Label;
+using synth::Mem;
+
+x86::Instruction
+dec(std::initializer_list<int> raw)
+{
+    ByteVec bytes;
+    for (int b : raw)
+        bytes.push_back(static_cast<u8>(b));
+    return x86::decode(bytes, 0);
+}
+
+TEST(Formatter, BreadthAcrossOperandForms)
+{
+    EXPECT_EQ(x86::format(dec({0x41, 0x57})), "push r15");
+    EXPECT_EQ(x86::format(dec({0x41, 0x5c})), "pop r12");
+    EXPECT_EQ(x86::format(dec({0x93})), "xchg eax, ebx");
+    EXPECT_EQ(x86::format(dec({0x48, 0x0f, 0xaf, 0xc3})),
+              "imul rax, rbx");
+    EXPECT_EQ(x86::format(dec({0x48, 0x63, 0xd0})), "movsxd rdx, eax");
+    EXPECT_EQ(x86::format(dec({0x0f, 0xb6, 0xc8})), "movzx ecx, al");
+    EXPECT_EQ(x86::format(dec({0x48, 0x8d, 0x04, 0x4b})),
+              "lea rax, [rbx+rcx*2]");
+    EXPECT_EQ(x86::format(dec({0xf7, 0xd8})), "neg eax");
+    EXPECT_EQ(x86::format(dec({0x48, 0xd3, 0xe0})), "shl rax");
+    EXPECT_EQ(x86::format(dec({0xc2, 0x08, 0x00})), "ret 0x8");
+    EXPECT_EQ(x86::format(dec({0x6a, 0xff})), "push -0x1");
+    EXPECT_EQ(x86::format(dec({0xcc})), "int3");
+    EXPECT_EQ(x86::format(dec({0x0f, 0x05})), "syscall");
+    EXPECT_EQ(x86::formatMnemonic(dec({0x0f, 0x92, 0xc0})), "setb");
+    EXPECT_EQ(x86::formatMnemonic(dec({0xc7, 0xf8, 0, 0, 0, 0})),
+              "xbegin");
+    EXPECT_EQ(x86::formatMnemonic(dec({0x66, 0x0f, 0x6f, 0xc1})),
+              "movdqa");
+    EXPECT_EQ(x86::formatMnemonic(dec({0xf3, 0x0f, 0x10, 0xc1})),
+              "movss");
+}
+
+TEST(Formatter, MemoryOperandSpellings)
+{
+    EXPECT_EQ(x86::format(dec({0x8b, 0x00})), "mov eax, [rax]");
+    EXPECT_EQ(x86::format(dec({0x8b, 0x40, 0x10})),
+              "mov eax, [rax+0x10]");
+    EXPECT_EQ(x86::format(dec({0x8b, 0x04, 0x25, 0x44, 0x33, 0x22,
+                               0x11})),
+              "mov eax, [0x11223344]");
+    EXPECT_EQ(x86::format(dec({0x8b, 0x05, 1, 0, 0, 0})),
+              "mov eax, [rip+0x1]");
+    EXPECT_EQ(x86::format(dec({0x4a, 0x8b, 0x04, 0x8b})),
+              "mov rax, [rbx+r9*4]");
+}
+
+TEST(IntervalMap, CoveredAcrossSplits)
+{
+    IntervalMap<int> map;
+    map.assign(0, 100, 1);
+    map.assign(40, 60, 2);
+    EXPECT_TRUE(map.covered(0, 40, 1));
+    EXPECT_TRUE(map.covered(40, 60, 2));
+    EXPECT_TRUE(map.covered(60, 100, 1));
+    EXPECT_FALSE(map.covered(30, 50, 1));
+    EXPECT_EQ(map.totalBytes(3), 0u);
+    EXPECT_EQ(map.size(), 3u);
+}
+
+TEST(IntervalMap, AssignIdenticalRangeTwice)
+{
+    IntervalMap<int> map;
+    map.assign(10, 20, 1);
+    map.assign(10, 20, 2);
+    EXPECT_EQ(map.at(10), 2);
+    EXPECT_EQ(map.at(19), 2);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(Functions, SourcePrecedenceCallBeatsPrologue)
+{
+    // A function that is both a call target and prologue-shaped must
+    // report the stronger CallTarget source.
+    ByteVec buf;
+    Assembler as(buf);
+    Label callee = as.newLabel();
+    as.endbr64();
+    as.call(callee);
+    as.ret();
+    as.bind(callee);
+    as.pushR(x86::RBP);
+    as.movRR(x86::RBP, x86::RSP, 8);
+    as.leave();
+    as.ret();
+    as.finalize();
+
+    DisassemblyEngine engine;
+    Classification result = engine.analyzeSection(buf, {0}, 0x1000);
+    Superset superset(buf);
+    auto functions = recoverFunctions(superset, result, 0x1000);
+
+    bool found = false;
+    for (const auto &fn : functions) {
+        if (fn.entry == as.labelOffset(callee)) {
+            EXPECT_EQ(fn.source, FunctionInfo::Source::CallTarget);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Engine, CustomModelOverride)
+{
+    ProbModel model = trainProbModel(4242, 32 * 1024);
+    EngineConfig config;
+    config.model = &model;
+    DisassemblyEngine engine(config);
+
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::msvcLikePreset(91));
+    AccuracyMetrics m =
+        compareToTruth(engine.analyze(bin.image), bin.truth);
+    EXPECT_GT(m.recall(), 0.99);
+    EXPECT_GT(m.precision(), 0.95);
+}
+
+TEST(Metrics, PerfectClassifierScoresPerfectly)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::msvcLikePreset(92));
+    // Build the oracle classification straight from the truth.
+    Classification oracle;
+    for (const auto &iv : bin.truth.intervals()) {
+        oracle.map.assign(iv.begin, iv.end,
+                          iv.label == synth::ByteClass::Code
+                              ? ResultClass::Code
+                              : ResultClass::Data);
+    }
+    oracle.insnStarts = bin.truth.insnStarts();
+    AccuracyMetrics m = compareToTruth(oracle, bin.truth);
+    EXPECT_EQ(m.errors(), 0u);
+    EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(m.byteAccuracy(), 1.0);
+}
+
+TEST(Assembler, MovRVaddrRoundTrip)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    Label target = as.newLabel();
+    as.movRVaddr64(x86::R11, target, 0x400000);
+    as.ret();
+    as.bind(target);
+    as.nop(1);
+    as.finalize();
+
+    auto insn = x86::decode(buf, 0);
+    ASSERT_TRUE(insn.valid());
+    EXPECT_EQ(insn.length, 10);
+    EXPECT_EQ(static_cast<u64>(insn.imm),
+              0x400000 + as.labelOffset(target));
+    EXPECT_TRUE(insn.regsWritten & x86::regBit(x86::R11));
+}
+
+TEST(Assembler, LeaRipVaddrComputesDelta)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    as.leaRipVaddr(x86::RAX, 0x500040, 0x401000);
+    as.finalize();
+
+    auto insn = x86::decode(buf, 0);
+    ASSERT_TRUE(insn.valid());
+    EXPECT_TRUE(insn.ripRelative);
+    // end-of-insn vaddr + disp == target vaddr.
+    EXPECT_EQ(0x401000 + insn.end() + static_cast<u64>(insn.disp),
+              0x500040u);
+}
+
+} // namespace
+} // namespace accdis

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the PE32+ reader and the ELF/PE writers, including full
+ * round-trips: synthesize → write → re-read → classify.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+#include "eval/metrics.hh"
+#include "image/elf_reader.hh"
+#include "image/pe_reader.hh"
+#include "image/writers.hh"
+#include "support/error.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+TEST(PeWriter, RoundTripsThroughReader)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::msvcLikePreset(41));
+    ByteVec pe = writePe(bin.image);
+    EXPECT_TRUE(isPe(pe));
+    EXPECT_FALSE(isElf(pe));
+
+    BinaryImage reread = readPe(pe, "roundtrip");
+    ASSERT_EQ(reread.sections().size(), 1u);
+    const Section &text = reread.section(0);
+    EXPECT_EQ(text.name(), ".text");
+    EXPECT_EQ(text.base(), synth::kSynthTextBase);
+    EXPECT_EQ(text.size(), bin.image.section(0).size());
+    EXPECT_TRUE(text.flags().executable);
+    ASSERT_EQ(reread.entryPoints().size(), 1u);
+    EXPECT_EQ(reread.entryPoints()[0], bin.image.entryPoints()[0]);
+    EXPECT_TRUE(std::equal(text.bytes().begin(), text.bytes().end(),
+                           bin.image.section(0).bytes().begin()));
+}
+
+TEST(ElfWriter, RoundTripsThroughReader)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::gccLikePreset(42));
+    ByteVec elf = writeElf(bin.image);
+    EXPECT_TRUE(isElf(elf));
+    EXPECT_FALSE(isPe(elf));
+
+    BinaryImage reread = readElf(elf, "roundtrip");
+    ASSERT_EQ(reread.sections().size(), bin.image.sections().size());
+    const Section &text = reread.section(0);
+    EXPECT_EQ(text.name(), ".text");
+    EXPECT_EQ(text.base(), synth::kSynthTextBase);
+    EXPECT_TRUE(std::equal(text.bytes().begin(), text.bytes().end(),
+                           bin.image.section(0).bytes().begin()));
+    ASSERT_EQ(reread.entryPoints().size(), 1u);
+}
+
+TEST(Writers, ClassificationSurvivesRoundTrip)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::msvcLikePreset(43));
+    DisassemblyEngine engine;
+
+    Classification direct = engine.analyze(bin.image);
+    Classification viaPe = engine.analyze(readPe(writePe(bin.image),
+                                                 "pe"));
+    Classification viaElf = engine.analyze(readElf(writeElf(bin.image),
+                                                   "elf"));
+    EXPECT_EQ(direct.insnStarts, viaPe.insnStarts);
+    EXPECT_EQ(direct.insnStarts, viaElf.insnStarts);
+
+    AccuracyMetrics m = compareToTruth(viaPe, bin.truth);
+    EXPECT_GT(m.recall(), 0.99);
+}
+
+TEST(PeReader, RejectsMalformed)
+{
+    ByteVec junk{'M', 'Z'};
+    EXPECT_THROW(readPe(junk, "tiny"), Error);
+
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::msvcLikePreset(44));
+    ByteVec pe = writePe(bin.image);
+
+    ByteVec badSig = pe;
+    badSig[0x80] = 'X';
+    EXPECT_THROW(readPe(badSig, "badsig"), Error);
+
+    ByteVec badMachine = pe;
+    badMachine[0x84] = 0x4c; // i386
+    badMachine[0x85] = 0x01;
+    EXPECT_THROW(readPe(badMachine, "machine"), Error);
+
+    ByteVec truncated = pe;
+    truncated.resize(0x100);
+    EXPECT_THROW(readPe(truncated, "trunc"), Error);
+}
+
+TEST(PeReader, MagicDetection)
+{
+    EXPECT_FALSE(isPe(ByteVec{}));
+    EXPECT_FALSE(isPe(ByteVec{0x7f, 'E', 'L', 'F'}));
+}
+
+TEST(Writers, FuzzTruncationNeverCrashesReaders)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::msvcLikePreset(45));
+    ByteVec pe = writePe(bin.image);
+    ByteVec elf = writeElf(bin.image);
+
+    Rng rng(46);
+    for (int i = 0; i < 200; ++i) {
+        std::size_t cut = rng.below(pe.size());
+        ByteVec truncated(pe.begin(), pe.begin() + cut);
+        try {
+            readPe(truncated, "fuzz");
+        } catch (const Error &) {
+            // Rejection is the expected outcome; crashes are not.
+        }
+    }
+    for (int i = 0; i < 200; ++i) {
+        std::size_t cut = rng.below(elf.size());
+        ByteVec truncated(elf.begin(), elf.begin() + cut);
+        try {
+            readElf(truncated, "fuzz");
+        } catch (const Error &) {
+        }
+    }
+    SUCCEED();
+}
+
+TEST(Writers, FuzzBitflipsNeverCrashReaders)
+{
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::gccLikePreset(47));
+    ByteVec elf = writeElf(bin.image);
+    ByteVec pe = writePe(bin.image);
+
+    Rng rng(48);
+    for (int i = 0; i < 300; ++i) {
+        ByteVec mutated = elf;
+        for (int flips = 0; flips < 8; ++flips)
+            mutated[rng.below(mutated.size())] ^=
+                static_cast<u8>(1u << rng.below(8));
+        try {
+            readElf(mutated, "fuzz");
+        } catch (const Error &) {
+        }
+    }
+    for (int i = 0; i < 300; ++i) {
+        ByteVec mutated = pe;
+        for (int flips = 0; flips < 8; ++flips)
+            mutated[rng.below(mutated.size())] ^=
+                static_cast<u8>(1u << rng.below(8));
+        try {
+            readPe(mutated, "fuzz");
+        } catch (const Error &) {
+        }
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace accdis

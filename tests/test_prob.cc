@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the probabilistic models and the likelihood scorer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prob/ngram.hh"
+#include "prob/scorer.hh"
+#include "superset/superset.hh"
+#include "support/error.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "synth/corpus.hh"
+#include "synth/datagen.hh"
+
+namespace accdis
+{
+namespace
+{
+
+TEST(CodeNgram, LearnsTransitions)
+{
+    CodeNgramModel model;
+    int push = codeToken(x86::Op::Push);
+    int mov = codeToken(x86::Op::Mov);
+    int ret = codeToken(x86::Op::Ret);
+    for (int i = 0; i < 100; ++i)
+        model.addSequence({push, mov, mov, ret});
+    model.train();
+
+    // P(mov | push) must dominate P(ret | push).
+    EXPECT_GT(model.logProb(push, mov), model.logProb(push, ret));
+    EXPECT_GT(model.logProb(mov, ret), model.logProb(ret, push));
+    EXPECT_EQ(model.trainedTokens(), 400u);
+}
+
+TEST(CodeNgram, TrigramContextRefinesBigram)
+{
+    CodeNgramModel model;
+    int push = codeToken(x86::Op::Push);
+    int mov = codeToken(x86::Op::Mov);
+    int sub = codeToken(x86::Op::Sub);
+    int ret = codeToken(x86::Op::Ret);
+    // push,mov is always followed by sub; mov alone is usually
+    // followed by ret.
+    for (int i = 0; i < 50; ++i)
+        model.addSequence({push, mov, sub, ret});
+    for (int i = 0; i < 50; ++i)
+        model.addSequence({mov, ret});
+    model.train();
+
+    // Trigram: P(sub | push,mov) must beat P(ret | push,mov), even
+    // though P(ret | mov) is competitive at the bigram level.
+    EXPECT_GT(model.logProb3(push, mov, sub),
+              model.logProb3(push, mov, ret));
+    EXPECT_GT(model.logProb3(kStartToken, mov, ret),
+              model.logProb3(kStartToken, mov, sub));
+}
+
+TEST(CodeNgram, TrigramSerializeRoundTrip)
+{
+    CodeNgramModel model;
+    model.addSequence({codeToken(x86::Op::Push), codeToken(x86::Op::Mov),
+                       codeToken(x86::Op::Sub),
+                       codeToken(x86::Op::Ret)});
+    model.train();
+    CodeNgramModel copy =
+        CodeNgramModel::deserialize(model.serialize());
+    EXPECT_DOUBLE_EQ(
+        model.logProb3(codeToken(x86::Op::Push),
+                       codeToken(x86::Op::Mov),
+                       codeToken(x86::Op::Sub)),
+        copy.logProb3(codeToken(x86::Op::Push),
+                      codeToken(x86::Op::Mov),
+                      codeToken(x86::Op::Sub)));
+}
+
+TEST(CodeNgram, SmoothingAvoidsZeros)
+{
+    CodeNgramModel model;
+    model.addSequence({codeToken(x86::Op::Nop)});
+    model.train();
+    // Unseen transitions still get finite log-probability.
+    double lp = model.logProb(codeToken(x86::Op::Hlt),
+                              codeToken(x86::Op::Cpuid));
+    EXPECT_GT(lp, -40.0);
+    EXPECT_LT(lp, 0.0);
+}
+
+TEST(CodeNgram, SerializeRoundTrip)
+{
+    CodeNgramModel model;
+    model.addSequence({codeToken(x86::Op::Push), codeToken(x86::Op::Mov),
+                       codeToken(x86::Op::Ret)});
+    model.train();
+    ByteVec blob = model.serialize();
+    CodeNgramModel copy = CodeNgramModel::deserialize(blob);
+    for (int prev : {0, 5, 20}) {
+        for (int cur : {1, 8, 30})
+            EXPECT_DOUBLE_EQ(model.logProb(prev, cur),
+                             copy.logProb(prev, cur));
+    }
+    EXPECT_EQ(copy.trainedTokens(), model.trainedTokens());
+}
+
+TEST(CodeNgram, DeserializeRejectsJunk)
+{
+    ByteVec junk{1, 2, 3, 4};
+    EXPECT_THROW(CodeNgramModel::deserialize(junk), Error);
+}
+
+TEST(DataModel, LearnsByteStatistics)
+{
+    DataByteModel model;
+    ByteVec text;
+    for (int i = 0; i < 400; ++i) {
+        text.push_back('a');
+        text.push_back('b');
+    }
+    model.addBytes(text);
+    model.train();
+    EXPECT_GT(model.logProb('a', 'b'), model.logProb('a', 'z'));
+}
+
+TEST(DataModel, SerializeRoundTrip)
+{
+    DataByteModel model;
+    ByteVec sample{'x', 'y', 'z', 0, 1, 2};
+    model.addBytes(sample);
+    model.train();
+    ByteVec blob = model.serialize();
+    DataByteModel copy = DataByteModel::deserialize(blob);
+    EXPECT_DOUBLE_EQ(model.logProb('x', 'y'), copy.logProb('x', 'y'));
+    EXPECT_EQ(copy.trainedBytes(), model.trainedBytes());
+}
+
+TEST(TrainProbModel, DeterministicInSeed)
+{
+    ProbModel a = trainProbModel(5, 32 * 1024);
+    ProbModel b = trainProbModel(5, 32 * 1024);
+    EXPECT_EQ(a.code.trainedTokens(), b.code.trainedTokens());
+    EXPECT_DOUBLE_EQ(
+        a.code.logProb(codeToken(x86::Op::Push), codeToken(x86::Op::Mov)),
+        b.code.logProb(codeToken(x86::Op::Push),
+                       codeToken(x86::Op::Mov)));
+}
+
+TEST(Scorer, SeparatesCodeFromData)
+{
+    const ProbModel &model = defaultProbModel();
+
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::gccLikePreset(61));
+    Superset codeSs(bin.image.section(0).bytes());
+    LikelihoodScorer codeScorer(model, codeSs);
+    OnlineStats codeScores;
+    for (Offset off : bin.truth.insnStarts())
+        codeScores.add(codeScorer.scoreAt(off));
+
+    Rng rng(62);
+    synth::DataGenerator datagen(rng);
+    ByteVec strings =
+        datagen.generate(synth::DataKind::AsciiStrings, 4096);
+    Superset dataSs(strings);
+    LikelihoodScorer dataScorer(model, dataSs);
+    OnlineStats dataScores;
+    for (Offset off = 0; off < strings.size(); ++off)
+        dataScores.add(dataScorer.scoreAt(off));
+
+    // Mean LLR of real code well above mean LLR of string data.
+    EXPECT_GT(codeScores.mean(), 0.5);
+    EXPECT_LT(dataScores.mean(), 0.0);
+}
+
+TEST(Scorer, InvalidOffsetScoresVeryLow)
+{
+    ByteVec bytes{0x06, 0x06, 0x06, 0x06}; // invalid opcodes
+    Superset ss(bytes);
+    LikelihoodScorer scorer(defaultProbModel(), ss);
+    EXPECT_LE(scorer.scoreAt(0), -60.0);
+}
+
+TEST(Scorer, RandomBlobsScoreBelowCode)
+{
+    const ProbModel &model = defaultProbModel();
+    Rng rng(63);
+    ByteVec blob(8192);
+    rng.fill(blob.data(), blob.size());
+    Superset blobSs(blob);
+    LikelihoodScorer blobScorer(model, blobSs);
+    OnlineStats blobScores;
+    for (Offset off = 0; off < blob.size(); ++off) {
+        if (blobSs.validAt(off))
+            blobScores.add(blobScorer.scoreAt(off));
+    }
+
+    synth::SynthBinary bin =
+        synth::buildSynthBinary(synth::gccLikePreset(64));
+    Superset codeSs(bin.image.section(0).bytes());
+    LikelihoodScorer codeScorer(model, codeSs);
+    OnlineStats codeScores;
+    for (Offset off : bin.truth.insnStarts())
+        codeScores.add(codeScorer.scoreAt(off));
+
+    EXPECT_GT(codeScores.mean(), blobScores.mean() + 0.5);
+}
+
+} // namespace
+} // namespace accdis

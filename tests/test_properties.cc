@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Property-based and metamorphic tests across the whole pipeline:
+ * invariants that must hold for any seed, and stability of the
+ * classification under content-preserving perturbations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.hh"
+#include "eval/metrics.hh"
+#include "synth/corpus.hh"
+#include "synth/datagen.hh"
+#include "x86/decoder.hh"
+#include "x86/formatter.hh"
+
+namespace accdis
+{
+namespace
+{
+
+class SeedSweep : public ::testing::TestWithParam<u64>
+{};
+
+TEST_P(SeedSweep, EngineInvariantsHoldForAnySeed)
+{
+    synth::CorpusConfig config = synth::msvcLikePreset(GetParam());
+    config.numFunctions = 24;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+    ByteSpan bytes = bin.image.section(0).bytes();
+
+    // 1. Full coverage: every byte classified.
+    EXPECT_EQ(result.bytesOf(ResultClass::Code) +
+                  result.bytesOf(ResultClass::Data),
+              bytes.size());
+
+    // 2. Reported instructions decode, fit the section, and their
+    //    bytes are classified code; consecutive starts never overlap.
+    Offset prevEnd = 0;
+    for (Offset off : result.insnStarts) {
+        x86::Instruction insn = x86::decode(bytes, off);
+        ASSERT_TRUE(insn.valid());
+        EXPECT_GE(off, prevEnd);
+        EXPECT_LE(insn.end(), bytes.size());
+        EXPECT_TRUE(result.map.covered(off, insn.end(),
+                                       ResultClass::Code));
+        prevEnd = insn.end();
+    }
+
+    // 3. Recall floor holds across arbitrary seeds.
+    AccuracyMetrics m = compareToTruth(result, bin.truth);
+    EXPECT_GT(m.recall(), 0.98) << "seed " << GetParam();
+    EXPECT_GT(m.precision(), 0.9) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, DecodeAndFormatNeverCrashOnArbitraryBytes)
+{
+    Rng rng(GetParam() * 2654435761u + 17);
+    ByteVec junk(2048);
+    rng.fill(junk.data(), junk.size());
+    for (Offset off = 0; off < junk.size(); ++off) {
+        x86::Instruction insn = x86::decode(junk, off);
+        if (insn.valid()) {
+            std::string text = x86::format(insn);
+            EXPECT_FALSE(text.empty());
+            EXPECT_LE(insn.end(), junk.size());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(101, 202, 303, 404, 505,
+                                           606, 707, 808));
+
+TEST(Metamorphic, AppendingDataPreservesEarlierClassification)
+{
+    // Appending a trailing data blob must not disturb the
+    // classification of the original bytes (locality of evidence).
+    synth::CorpusConfig config = synth::msvcLikePreset(61);
+    config.numFunctions = 24;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    ByteSpan original = bin.image.section(0).bytes();
+
+    DisassemblyEngine engine;
+    Classification before = engine.analyzeSection(
+        original, {0}, synth::kSynthTextBase);
+
+    Rng rng(62);
+    synth::DataGenerator datagen(rng);
+    ByteVec extended(original.begin(), original.end());
+    ByteVec blob = datagen.generate(synth::DataKind::RandomBlob, 2048);
+    extended.insert(extended.end(), blob.begin(), blob.end());
+    Classification after = engine.analyzeSection(
+        extended, {0}, synth::kSynthTextBase);
+
+    std::set<Offset> beforeStarts(before.insnStarts.begin(),
+                                  before.insnStarts.end());
+    std::set<Offset> afterStarts;
+    for (Offset off : after.insnStarts) {
+        if (off < original.size())
+            afterStarts.insert(off);
+    }
+    // Allow a tiny boundary effect near the old section end.
+    u64 differing = 0;
+    for (Offset off : beforeStarts)
+        differing += !afterStarts.count(off);
+    for (Offset off : afterStarts)
+        differing += !beforeStarts.count(off);
+    EXPECT_LE(differing, beforeStarts.size() / 50);
+}
+
+TEST(Metamorphic, PaddingFlavorDoesNotChangeCodeRecovery)
+{
+    // Same seed, different alignment filler: the recovered set of
+    // non-padding instructions must be nearly identical.
+    auto starts = [&](synth::PadKind pad) {
+        synth::CorpusConfig config = synth::msvcLikePreset(63);
+        config.numFunctions = 24;
+        config.padKind = pad;
+        synth::SynthBinary bin = synth::buildSynthBinary(config);
+        DisassemblyEngine engine;
+        Classification result = engine.analyze(bin.image);
+        // Count recall of true (non-padding) starts only; offsets
+        // differ across flavors is impossible here since padding
+        // bytes have identical sizes.
+        AccuracyMetrics m = compareToTruth(result, bin.truth);
+        return m.recall();
+    };
+    EXPECT_GT(starts(synth::PadKind::Nop), 0.99);
+    EXPECT_GT(starts(synth::PadKind::Int3), 0.99);
+    EXPECT_GT(starts(synth::PadKind::Zero), 0.99);
+}
+
+TEST(Metamorphic, EntryPointOnlyShiftsConfidenceNotOutcome)
+{
+    // Removing the entry point loses one anchor; the classification
+    // must degrade gracefully, not collapse.
+    synth::CorpusConfig config = synth::adversarialPreset(64);
+    config.numFunctions = 32;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    ByteSpan bytes = bin.image.section(0).bytes();
+    DisassemblyEngine engine;
+
+    Classification with = engine.analyzeSection(
+        bytes, {0}, synth::kSynthTextBase);
+    Classification without = engine.analyzeSection(
+        bytes, {}, synth::kSynthTextBase);
+
+    AccuracyMetrics mWith = compareToTruth(with, bin.truth);
+    AccuracyMetrics mWithout = compareToTruth(without, bin.truth);
+    EXPECT_GT(mWithout.recall(), mWith.recall() - 0.02);
+    EXPECT_GT(mWithout.precision(), mWith.precision() - 0.05);
+}
+
+} // namespace
+} // namespace accdis

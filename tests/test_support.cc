@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the support substrate: RNG, byte helpers, interval
+ * containers, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bytes.hh"
+#include "support/interval_map.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace accdis
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<u64> seen;
+    for (int i = 0; i < 500; ++i) {
+        u64 v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UnitInHalfOpenInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, WeightedRespectsZeroWeights)
+{
+    Rng rng(13);
+    std::vector<double> weights{0.0, 1.0, 0.0};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(rng.weighted(weights), 1u);
+}
+
+TEST(Rng, WeightedApproximatesRatios)
+{
+    Rng rng(17);
+    std::vector<double> weights{1.0, 3.0};
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.weighted(weights) == 1;
+    double frac = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(frac, 0.75, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(19);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Bytes, RoundTrip)
+{
+    ByteVec buf;
+    appendLe16(buf, 0x1234);
+    appendLe32(buf, 0xdeadbeef);
+    appendLe64(buf, 0x0123456789abcdefULL);
+    ByteSpan span(buf);
+    EXPECT_EQ(readLe16(span, 0), 0x1234);
+    EXPECT_EQ(readLe32(span, 2), 0xdeadbeefu);
+    EXPECT_EQ(readLe64(span, 6), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, InPlaceWrite)
+{
+    ByteVec buf(12, 0);
+    writeLe32(buf, 0, 0x11223344);
+    writeLe64(buf, 4, 0x8877665544332211ULL);
+    EXPECT_EQ(readLe32(buf, 0), 0x11223344u);
+    EXPECT_EQ(readLe64(buf, 4), 0x8877665544332211ULL);
+}
+
+TEST(IntervalSet, MergesOverlaps)
+{
+    IntervalSet set;
+    set.insert(10, 20);
+    set.insert(15, 30);
+    set.insert(30, 40); // adjacent
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.totalBytes(), 30u);
+    EXPECT_TRUE(set.contains(10));
+    EXPECT_TRUE(set.contains(39));
+    EXPECT_FALSE(set.contains(40));
+    EXPECT_FALSE(set.contains(9));
+}
+
+TEST(IntervalSet, DisjointStaysDisjoint)
+{
+    IntervalSet set;
+    set.insert(0, 5);
+    set.insert(10, 15);
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_FALSE(set.intersects(5, 10));
+    EXPECT_TRUE(set.intersects(4, 6));
+    EXPECT_TRUE(set.intersects(14, 100));
+}
+
+TEST(IntervalSet, EmptyRangeIgnored)
+{
+    IntervalSet set;
+    set.insert(5, 5);
+    EXPECT_TRUE(set.empty());
+    EXPECT_FALSE(set.intersects(0, 100));
+}
+
+TEST(IntervalMap, AssignAndQuery)
+{
+    IntervalMap<int> map;
+    map.assign(0, 10, 1);
+    map.assign(10, 20, 2);
+    EXPECT_EQ(map.at(0), 1);
+    EXPECT_EQ(map.at(9), 1);
+    EXPECT_EQ(map.at(10), 2);
+    EXPECT_EQ(map.at(19), 2);
+    EXPECT_FALSE(map.at(20).has_value());
+}
+
+TEST(IntervalMap, OverwriteSplits)
+{
+    IntervalMap<int> map;
+    map.assign(0, 30, 1);
+    map.assign(10, 20, 2);
+    EXPECT_EQ(map.at(5), 1);
+    EXPECT_EQ(map.at(15), 2);
+    EXPECT_EQ(map.at(25), 1);
+    EXPECT_EQ(map.totalBytes(1), 20u);
+    EXPECT_EQ(map.totalBytes(2), 10u);
+}
+
+TEST(IntervalMap, CoalescesEqualNeighbors)
+{
+    IntervalMap<int> map;
+    map.assign(0, 10, 7);
+    map.assign(10, 20, 7);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_TRUE(map.covered(0, 20, 7));
+}
+
+TEST(IntervalMap, CoveredDetectsGaps)
+{
+    IntervalMap<int> map;
+    map.assign(0, 5, 1);
+    map.assign(7, 10, 1);
+    EXPECT_FALSE(map.covered(0, 10, 1));
+    EXPECT_TRUE(map.covered(0, 5, 1));
+}
+
+TEST(IntervalMap, OverwriteAcrossManyIntervals)
+{
+    IntervalMap<int> map;
+    for (int i = 0; i < 10; ++i)
+        map.assign(i * 10, i * 10 + 10, i);
+    map.assign(5, 95, 42);
+    EXPECT_EQ(map.at(0), 0);
+    EXPECT_EQ(map.at(4), 0);
+    EXPECT_EQ(map.at(5), 42);
+    EXPECT_EQ(map.at(94), 42);
+    EXPECT_EQ(map.at(95), 9);
+    EXPECT_EQ(map.totalBytes(42), 90u);
+}
+
+TEST(Stats, OnlineMoments)
+{
+    OnlineStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(x);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(Stats, EntropyBounds)
+{
+    ByteVec zeros(256, 0);
+    EXPECT_DOUBLE_EQ(byteEntropy(zeros), 0.0);
+
+    ByteVec all(256);
+    for (int i = 0; i < 256; ++i)
+        all[i] = static_cast<u8>(i);
+    EXPECT_NEAR(byteEntropy(all), 8.0, 1e-9);
+}
+
+TEST(Stats, PrintableFraction)
+{
+    ByteVec text{'h', 'e', 'l', 'l', 'o', '\n'};
+    EXPECT_DOUBLE_EQ(printableFraction(text), 1.0);
+    ByteVec mixed{'a', 0x00, 'b', 0xff};
+    EXPECT_DOUBLE_EQ(printableFraction(mixed), 0.5);
+}
+
+} // namespace
+} // namespace accdis

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Tests for the synthetic-binary substrate: assembler round-trips
+ * through the decoder, and whole-binary ground-truth invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/assembler.hh"
+#include "synth/corpus.hh"
+#include "synth/datagen.hh"
+#include "x86/decoder.hh"
+
+namespace accdis::synth
+{
+namespace
+{
+
+using x86::CtrlFlow;
+using x86::decode;
+using x86::Op;
+
+/** Decode every recorded instruction and check starts/lengths agree. */
+void
+expectRoundTrip(const ByteVec &buf, const Assembler &as)
+{
+    std::size_t idx = 0;
+    const auto &starts = as.insnStarts();
+    while (idx < starts.size()) {
+        Offset off = starts[idx];
+        auto insn = decode(buf, off);
+        ASSERT_TRUE(insn.valid()) << "offset " << off;
+        if (idx + 1 < starts.size())
+            EXPECT_EQ(insn.end(), starts[idx + 1]) << "offset " << off;
+        else
+            EXPECT_LE(insn.end(), buf.size());
+        ++idx;
+    }
+}
+
+TEST(Assembler, MovRoundTrip)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    as.movRR(x86::RBP, x86::RSP, 8);
+    as.movRI(x86::RAX, 42, 4);
+    as.movRI(x86::R10, 0x123456789abcLL, 8);
+    as.movRI(x86::RCX, -1, 8);
+    as.movRM(x86::RAX, Mem::baseDisp(x86::RBP, -8), 8);
+    as.movMR(Mem::baseDisp(x86::RSP, 16), x86::RDI, 4);
+    as.movMI(Mem::baseDisp(x86::RBP, -16), 7);
+    as.movzxRM(x86::RDX, Mem::baseDisp(x86::RSI, 3), 1);
+    as.movsxdRM(x86::R8, Mem::baseIndex(x86::RAX, x86::RCX, 2));
+    as.leaRM(x86::RAX, Mem::baseIndex(x86::RBX, x86::RDX, 3, 0x40));
+    as.finalize();
+    expectRoundTrip(buf, as);
+
+    auto first = decode(buf, 0);
+    EXPECT_EQ(first.op, Op::Mov);
+    EXPECT_TRUE(first.regsWritten & x86::regBit(x86::RBP));
+}
+
+TEST(Assembler, AluRoundTrip)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    for (int op = 0; op < 8; ++op) {
+        as.aluRR(op, x86::RAX, x86::R9, 8);
+        as.aluRI(op, x86::RDX, 100, 4);
+        as.aluRI(op, x86::R11, 100000, 8);
+        as.aluRM(op, x86::RCX, Mem::baseDisp(x86::RBP, -24), 8);
+    }
+    as.testRR(x86::RAX, x86::RAX, 8);
+    as.imulRR(x86::RSI, x86::RDI, 8);
+    as.shiftRI(true, true, x86::RAX, 3, 8);
+    as.shiftRI(false, false, x86::RCX, 1, 4);
+    as.incR(x86::RBX, 8);
+    as.decR(x86::R14, 4);
+    as.negR(x86::RAX, 8);
+    as.cmovccRR(5, x86::RAX, x86::RDX, 8);
+    as.setccR(15, x86::RCX);
+    as.setccR(4, x86::RSI); // needs REX for sil
+    as.finalize();
+    expectRoundTrip(buf, as);
+}
+
+TEST(Assembler, StackAndSse)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    as.pushR(x86::RBP);
+    as.pushR(x86::R12);
+    as.popR(x86::R12);
+    as.popR(x86::RBP);
+    as.sseMovRR(1, 2);
+    as.sseLoadM(3, Mem::baseDisp(x86::RBP, -8));
+    as.sseStoreM(Mem::baseDisp(x86::RSP, 8), 4);
+    as.ssePxorRR(0, 0);
+    as.sseAddRR(1, 5);
+    as.repMovsb();
+    as.finalize();
+    expectRoundTrip(buf, as);
+}
+
+TEST(Assembler, BranchFixups)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    Label skip = as.newLabel();
+    Label func = as.newLabel();
+    as.testRR(x86::RAX, x86::RAX, 8);
+    as.jcc(4, skip); // je skip
+    as.movRI(x86::RAX, 1, 4);
+    as.bind(skip);
+    as.call(func);
+    as.ret();
+    as.bind(func);
+    as.nop(1);
+    as.ret();
+    as.finalize();
+    expectRoundTrip(buf, as);
+
+    // The jcc must target the bound offset of `skip`.
+    auto jcc = decode(buf, 3);
+    ASSERT_EQ(jcc.flow, CtrlFlow::CondJump);
+    EXPECT_EQ(static_cast<Offset>(jcc.target), as.labelOffset(skip));
+
+    auto call = decode(buf, as.labelOffset(skip));
+    ASSERT_EQ(call.flow, CtrlFlow::Call);
+    EXPECT_EQ(static_cast<Offset>(call.target), as.labelOffset(func));
+}
+
+TEST(Assembler, ShortJumpAndLeaLabel)
+{
+    ByteVec buf;
+    Assembler as(buf);
+    Label fwd = as.newLabel();
+    as.jmpShort(fwd);
+    as.nop(3);
+    as.bind(fwd);
+    Label table = as.newLabel();
+    as.leaRipLabel(x86::RAX, table);
+    as.ret();
+    as.bind(table);
+    as.rawLabelDelta32(fwd, as.labelOffset(fwd));
+    as.finalize();
+    expectRoundTrip(buf, as);
+
+    auto jmp = decode(buf, 0);
+    EXPECT_EQ(static_cast<Offset>(jmp.target), as.labelOffset(fwd));
+
+    auto lea = decode(buf, as.labelOffset(fwd));
+    EXPECT_EQ(lea.op, Op::Lea);
+    EXPECT_TRUE(lea.ripRelative);
+    EXPECT_EQ(lea.end() + static_cast<u64>(lea.disp),
+              as.labelOffset(table));
+}
+
+TEST(Assembler, NopLengths)
+{
+    for (int len = 1; len <= 9; ++len) {
+        ByteVec buf;
+        Assembler as(buf);
+        as.nop(len);
+        auto insn = decode(buf, 0);
+        ASSERT_TRUE(insn.valid()) << len;
+        EXPECT_EQ(static_cast<int>(insn.length), len);
+        EXPECT_EQ(insn.op, Op::Nop) << len;
+    }
+}
+
+TEST(DataGen, Flavors)
+{
+    Rng rng(5);
+    DataGenerator gen(rng);
+
+    ByteVec strings = gen.generate(DataKind::AsciiStrings, 200);
+    EXPECT_EQ(strings.size(), 200u);
+    int printable = 0;
+    for (u8 b : strings)
+        printable += (b >= 0x20 && b < 0x7f) || b == 0;
+    EXPECT_EQ(printable, 200);
+
+    ByteVec zeros = gen.generate(DataKind::ZeroRun, 64);
+    EXPECT_EQ(zeros, ByteVec(64, 0));
+
+    ByteVec blob = gen.generate(DataKind::RandomBlob, 512);
+    EXPECT_EQ(blob.size(), 512u);
+
+    ByteVec consts = gen.generate(DataKind::ConstPool, 128);
+    EXPECT_EQ(consts.size(), 128u);
+
+    ByteVec wide = gen.generate(DataKind::Utf16Strings, 128);
+    EXPECT_EQ(wide.size(), 128u);
+    int zeroHighBytes = 0;
+    for (std::size_t i = 1; i < wide.size(); i += 2)
+        zeroHighBytes += wide[i] == 0;
+    EXPECT_EQ(zeroHighBytes, 64); // strict UTF-16LE ASCII layout
+
+    // Code-like data decodes as valid instructions from offset 0.
+    ByteVec codeLike = gen.generate(DataKind::CodeLike, 256);
+    Offset off = 0;
+    int decoded = 0;
+    while (off + 15 < codeLike.size()) {
+        auto insn = decode(codeLike, off);
+        ASSERT_TRUE(insn.valid()) << off;
+        off = insn.end();
+        ++decoded;
+    }
+    EXPECT_GT(decoded, 20);
+}
+
+class CorpusPreset
+    : public ::testing::TestWithParam<CorpusConfig (*)(u64)>
+{};
+
+TEST_P(CorpusPreset, GroundTruthInvariants)
+{
+    SynthBinary bin = buildSynthBinary(GetParam()(7));
+    ASSERT_GE(bin.image.sections().size(), 1u);
+    const Section &text = bin.image.section(0);
+    EXPECT_EQ(text.name(), ".text");
+    ASSERT_GT(text.size(), 0u);
+    EXPECT_TRUE(text.flags().executable);
+    ASSERT_EQ(bin.image.entryPoints().size(), 1u);
+    EXPECT_TRUE(text.containsVaddr(bin.image.entryPoints()[0]));
+
+    const auto &starts = bin.truth.insnStarts();
+    ASSERT_FALSE(starts.empty());
+
+    std::set<Offset> startSet(starts.begin(), starts.end());
+    for (Offset off : starts) {
+        auto insn = decode(text.bytes(), off);
+        ASSERT_TRUE(insn.valid()) << "truth start " << off;
+        // Every truth instruction lies in Code or Padding bytes.
+        for (Offset b = off; b < insn.end(); ++b)
+            EXPECT_NE(bin.truth.classAt(b), ByteClass::Data)
+                << "byte " << b;
+        // Direct branch targets land on true instruction starts.
+        if (insn.hasDirectTarget()) {
+            ASSERT_GE(insn.target, 0);
+            EXPECT_TRUE(startSet.count(
+                static_cast<Offset>(insn.target)))
+                << "target of insn at " << off;
+        }
+    }
+
+    // Byte classes exactly partition the section.
+    u64 sum = bin.stats.codeBytes + bin.stats.dataBytes +
+              bin.stats.paddingBytes;
+    EXPECT_EQ(sum, text.size());
+    EXPECT_EQ(bin.stats.totalBytes, text.size());
+    EXPECT_GT(bin.stats.codeBytes, 0u);
+}
+
+TEST_P(CorpusPreset, Deterministic)
+{
+    SynthBinary a = buildSynthBinary(GetParam()(99));
+    SynthBinary b = buildSynthBinary(GetParam()(99));
+    ASSERT_EQ(a.image.section(0).size(), b.image.section(0).size());
+    EXPECT_TRUE(std::equal(a.image.section(0).bytes().begin(),
+                           a.image.section(0).bytes().end(),
+                           b.image.section(0).bytes().begin()));
+    EXPECT_EQ(a.truth.insnStarts(), b.truth.insnStarts());
+}
+
+TEST_P(CorpusPreset, SeedsDiffer)
+{
+    SynthBinary a = buildSynthBinary(GetParam()(1));
+    SynthBinary b = buildSynthBinary(GetParam()(2));
+    bool differ =
+        a.image.section(0).size() != b.image.section(0).size() ||
+        !std::equal(a.image.section(0).bytes().begin(),
+                    a.image.section(0).bytes().end(),
+                    b.image.section(0).bytes().begin());
+    EXPECT_TRUE(differ);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, CorpusPreset,
+                         ::testing::Values(&gccLikePreset,
+                                           &msvcLikePreset,
+                                           &adversarialPreset));
+
+TEST(Corpus, DataFractionApproximatesTarget)
+{
+    CorpusConfig config = msvcLikePreset(3);
+    config.numFunctions = 128;
+    SynthBinary bin = buildSynthBinary(config);
+    double frac = static_cast<double>(bin.stats.dataBytes) /
+                  static_cast<double>(bin.stats.totalBytes);
+    EXPECT_GT(frac, 0.08);
+    EXPECT_LT(frac, 0.25);
+}
+
+TEST(Corpus, JumpTablesPresent)
+{
+    CorpusConfig config = msvcLikePreset(11);
+    config.numFunctions = 64;
+    config.jumpTableFraction = 1.0;
+    SynthBinary bin = buildSynthBinary(config);
+    EXPECT_GE(bin.stats.jumpTables, 32);
+}
+
+TEST(Corpus, ScalesToLargeBinaries)
+{
+    CorpusConfig config = adversarialPreset(4);
+    config.numFunctions = 400;
+    SynthBinary bin = buildSynthBinary(config);
+    EXPECT_GT(bin.stats.totalBytes, 100000u);
+    EXPECT_GT(bin.stats.instructions, 20000u);
+}
+
+} // namespace
+} // namespace accdis::synth
