@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_datafrac.dir/fig1_datafrac.cc.o"
+  "CMakeFiles/fig1_datafrac.dir/fig1_datafrac.cc.o.d"
+  "fig1_datafrac"
+  "fig1_datafrac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_datafrac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

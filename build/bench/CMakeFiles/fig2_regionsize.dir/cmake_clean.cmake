@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_regionsize.dir/fig2_regionsize.cc.o"
+  "CMakeFiles/fig2_regionsize.dir/fig2_regionsize.cc.o.d"
+  "fig2_regionsize"
+  "fig2_regionsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_regionsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

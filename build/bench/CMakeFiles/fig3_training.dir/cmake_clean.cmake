@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_training.dir/fig3_training.cc.o"
+  "CMakeFiles/fig3_training.dir/fig3_training.cc.o.d"
+  "fig3_training"
+  "fig3_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

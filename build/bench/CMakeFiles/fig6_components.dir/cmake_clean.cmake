@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_components.dir/fig6_components.cc.o"
+  "CMakeFiles/fig6_components.dir/fig6_components.cc.o.d"
+  "fig6_components"
+  "fig6_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_reduction.dir/table3_reduction.cc.o"
+  "CMakeFiles/table3_reduction.dir/table3_reduction.cc.o.d"
+  "table3_reduction"
+  "table3_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_jumptables.dir/table5_jumptables.cc.o"
+  "CMakeFiles/table5_jumptables.dir/table5_jumptables.cc.o.d"
+  "table5_jumptables"
+  "table5_jumptables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_jumptables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

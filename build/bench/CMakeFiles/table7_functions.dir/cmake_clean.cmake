@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_functions.dir/table7_functions.cc.o"
+  "CMakeFiles/table7_functions.dir/table7_functions.cc.o.d"
+  "table7_functions"
+  "table7_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_breakdown.dir/table8_breakdown.cc.o"
+  "CMakeFiles/table8_breakdown.dir/table8_breakdown.cc.o.d"
+  "table8_breakdown"
+  "table8_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

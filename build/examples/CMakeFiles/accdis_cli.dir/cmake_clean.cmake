@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accdis_cli.dir/accdis_cli.cc.o"
+  "CMakeFiles/accdis_cli.dir/accdis_cli.cc.o.d"
+  "accdis_cli"
+  "accdis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accdis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

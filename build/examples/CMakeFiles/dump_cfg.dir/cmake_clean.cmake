@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_cfg.dir/dump_cfg.cc.o"
+  "CMakeFiles/dump_cfg.dir/dump_cfg.cc.o.d"
+  "dump_cfg"
+  "dump_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

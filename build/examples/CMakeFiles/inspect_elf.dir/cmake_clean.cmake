@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_elf.dir/inspect_elf.cc.o"
+  "CMakeFiles/inspect_elf.dir/inspect_elf.cc.o.d"
+  "inspect_elf"
+  "inspect_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/defuse.cc" "src/CMakeFiles/accdis.dir/analysis/defuse.cc.o" "gcc" "src/CMakeFiles/accdis.dir/analysis/defuse.cc.o.d"
+  "/root/repo/src/analysis/flow.cc" "src/CMakeFiles/accdis.dir/analysis/flow.cc.o" "gcc" "src/CMakeFiles/accdis.dir/analysis/flow.cc.o.d"
+  "/root/repo/src/analysis/indirect.cc" "src/CMakeFiles/accdis.dir/analysis/indirect.cc.o" "gcc" "src/CMakeFiles/accdis.dir/analysis/indirect.cc.o.d"
+  "/root/repo/src/analysis/jump_table.cc" "src/CMakeFiles/accdis.dir/analysis/jump_table.cc.o" "gcc" "src/CMakeFiles/accdis.dir/analysis/jump_table.cc.o.d"
+  "/root/repo/src/analysis/patterns.cc" "src/CMakeFiles/accdis.dir/analysis/patterns.cc.o" "gcc" "src/CMakeFiles/accdis.dir/analysis/patterns.cc.o.d"
+  "/root/repo/src/baseline/baselines.cc" "src/CMakeFiles/accdis.dir/baseline/baselines.cc.o" "gcc" "src/CMakeFiles/accdis.dir/baseline/baselines.cc.o.d"
+  "/root/repo/src/core/cfg.cc" "src/CMakeFiles/accdis.dir/core/cfg.cc.o" "gcc" "src/CMakeFiles/accdis.dir/core/cfg.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/accdis.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/accdis.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/functions.cc" "src/CMakeFiles/accdis.dir/core/functions.cc.o" "gcc" "src/CMakeFiles/accdis.dir/core/functions.cc.o.d"
+  "/root/repo/src/core/symbolize.cc" "src/CMakeFiles/accdis.dir/core/symbolize.cc.o" "gcc" "src/CMakeFiles/accdis.dir/core/symbolize.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/accdis.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/accdis.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/image/elf_reader.cc" "src/CMakeFiles/accdis.dir/image/elf_reader.cc.o" "gcc" "src/CMakeFiles/accdis.dir/image/elf_reader.cc.o.d"
+  "/root/repo/src/image/pe_reader.cc" "src/CMakeFiles/accdis.dir/image/pe_reader.cc.o" "gcc" "src/CMakeFiles/accdis.dir/image/pe_reader.cc.o.d"
+  "/root/repo/src/image/writers.cc" "src/CMakeFiles/accdis.dir/image/writers.cc.o" "gcc" "src/CMakeFiles/accdis.dir/image/writers.cc.o.d"
+  "/root/repo/src/prob/ngram.cc" "src/CMakeFiles/accdis.dir/prob/ngram.cc.o" "gcc" "src/CMakeFiles/accdis.dir/prob/ngram.cc.o.d"
+  "/root/repo/src/prob/scorer.cc" "src/CMakeFiles/accdis.dir/prob/scorer.cc.o" "gcc" "src/CMakeFiles/accdis.dir/prob/scorer.cc.o.d"
+  "/root/repo/src/superset/superset.cc" "src/CMakeFiles/accdis.dir/superset/superset.cc.o" "gcc" "src/CMakeFiles/accdis.dir/superset/superset.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/accdis.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/accdis.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/accdis.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/accdis.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/accdis.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/accdis.dir/support/stats.cc.o.d"
+  "/root/repo/src/synth/assembler.cc" "src/CMakeFiles/accdis.dir/synth/assembler.cc.o" "gcc" "src/CMakeFiles/accdis.dir/synth/assembler.cc.o.d"
+  "/root/repo/src/synth/codegen.cc" "src/CMakeFiles/accdis.dir/synth/codegen.cc.o" "gcc" "src/CMakeFiles/accdis.dir/synth/codegen.cc.o.d"
+  "/root/repo/src/synth/corpus.cc" "src/CMakeFiles/accdis.dir/synth/corpus.cc.o" "gcc" "src/CMakeFiles/accdis.dir/synth/corpus.cc.o.d"
+  "/root/repo/src/synth/datagen.cc" "src/CMakeFiles/accdis.dir/synth/datagen.cc.o" "gcc" "src/CMakeFiles/accdis.dir/synth/datagen.cc.o.d"
+  "/root/repo/src/synth/ground_truth.cc" "src/CMakeFiles/accdis.dir/synth/ground_truth.cc.o" "gcc" "src/CMakeFiles/accdis.dir/synth/ground_truth.cc.o.d"
+  "/root/repo/src/x86/decoder.cc" "src/CMakeFiles/accdis.dir/x86/decoder.cc.o" "gcc" "src/CMakeFiles/accdis.dir/x86/decoder.cc.o.d"
+  "/root/repo/src/x86/formatter.cc" "src/CMakeFiles/accdis.dir/x86/formatter.cc.o" "gcc" "src/CMakeFiles/accdis.dir/x86/formatter.cc.o.d"
+  "/root/repo/src/x86/instruction.cc" "src/CMakeFiles/accdis.dir/x86/instruction.cc.o" "gcc" "src/CMakeFiles/accdis.dir/x86/instruction.cc.o.d"
+  "/root/repo/src/x86/opcode_table.cc" "src/CMakeFiles/accdis.dir/x86/opcode_table.cc.o" "gcc" "src/CMakeFiles/accdis.dir/x86/opcode_table.cc.o.d"
+  "/root/repo/src/x86/registers.cc" "src/CMakeFiles/accdis.dir/x86/registers.cc.o" "gcc" "src/CMakeFiles/accdis.dir/x86/registers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/accdis_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/accdis_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_cfg.cc" "tests/CMakeFiles/accdis_tests.dir/test_cfg.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_cfg.cc.o.d"
+  "/root/repo/tests/test_decoder.cc" "tests/CMakeFiles/accdis_tests.dir/test_decoder.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_decoder.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/accdis_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_functions.cc" "tests/CMakeFiles/accdis_tests.dir/test_functions.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_functions.cc.o.d"
+  "/root/repo/tests/test_golden.cc" "tests/CMakeFiles/accdis_tests.dir/test_golden.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_golden.cc.o.d"
+  "/root/repo/tests/test_image.cc" "tests/CMakeFiles/accdis_tests.dir/test_image.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_image.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/accdis_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_pe_writers.cc" "tests/CMakeFiles/accdis_tests.dir/test_pe_writers.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_pe_writers.cc.o.d"
+  "/root/repo/tests/test_prob.cc" "tests/CMakeFiles/accdis_tests.dir/test_prob.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_prob.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/accdis_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/accdis_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_symbolize.cc" "tests/CMakeFiles/accdis_tests.dir/test_symbolize.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_symbolize.cc.o.d"
+  "/root/repo/tests/test_synth.cc" "tests/CMakeFiles/accdis_tests.dir/test_synth.cc.o" "gcc" "tests/CMakeFiles/accdis_tests.dir/test_synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/accdis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
