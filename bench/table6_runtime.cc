@@ -1,12 +1,16 @@
 /**
  * @file
  * Table 6 — runtime and throughput (google-benchmark): wall time and
- * MB/s of every tool across section sizes.
+ * MB/s of every tool across section sizes, plus serial-vs-parallel
+ * batch throughput of the pipeline over a 20-binary corpus.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_util.hh"
+#include "pipeline/batch.hh"
 
 namespace
 {
@@ -66,11 +70,93 @@ void BM_Accdis(benchmark::State &state)
     runTool<EngineTool>(state);
 }
 
+/** The 20-binary mixed-preset batch corpus, built once. */
+const std::vector<synth::SynthBinary> &
+batchCorpus()
+{
+    static const std::vector<synth::SynthBinary> corpus = [] {
+        std::vector<synth::SynthBinary> built;
+        for (u64 seed = 1; seed <= 20; ++seed) {
+            synth::CorpusConfig config =
+                presets()[seed % presets().size()].make(seed);
+            config.numFunctions = 48;
+            built.push_back(synth::buildSynthBinary(config));
+        }
+        return built;
+    }();
+    return corpus;
+}
+
+/** Serial analyzeAll() wall time over the corpus, measured once. */
+double
+serialBatchSeconds()
+{
+    static const double seconds = [] {
+        defaultProbModel();
+        DisassemblyEngine engine;
+        auto start = std::chrono::steady_clock::now();
+        for (const auto &bin : batchCorpus()) {
+            auto results = engine.analyzeAll(bin.image);
+            benchmark::DoNotOptimize(results.data());
+        }
+        return std::chrono::duration_cast<
+                   std::chrono::duration<double>>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }();
+    return seconds;
+}
+
+/**
+ * Batch pipeline over the 20-binary corpus at Arg(0) jobs. The
+ * speedup_vs_serial counter is the serial-vs-parallel ratio the
+ * table reports (>= 3x expected at 8 jobs on a >= 8-core host).
+ */
+void
+BM_BatchPipeline(benchmark::State &state)
+{
+    double serialSec = serialBatchSeconds();
+    const auto &corpus = batchCorpus();
+    std::vector<const BinaryImage *> images;
+    u64 totalBytes = 0;
+    for (const auto &bin : corpus) {
+        images.push_back(&bin.image);
+        totalBytes += bin.stats.totalBytes;
+    }
+    pipeline::BatchConfig config;
+    config.jobs = static_cast<unsigned>(state.range(0));
+    pipeline::BatchAnalyzer analyzer(config);
+    double parallelSec = 0.0;
+    for (auto _ : state) {
+        pipeline::BatchReport report = analyzer.run(images);
+        benchmark::DoNotOptimize(report.results.data());
+        parallelSec += report.wallSeconds;
+    }
+    state.SetBytesProcessed(
+        static_cast<s64>(state.iterations()) *
+        static_cast<s64>(totalBytes));
+    state.counters["jobs"] = static_cast<double>(config.jobs);
+    state.counters["serial_s"] = serialSec;
+    if (parallelSec > 0.0) {
+        state.counters["speedup_vs_serial"] =
+            serialSec /
+            (parallelSec / static_cast<double>(state.iterations()));
+    }
+}
+
 } // namespace
 
 BENCHMARK(BM_LinearSweep)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_Recursive)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_ProbDisasm)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_Accdis)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_BatchPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

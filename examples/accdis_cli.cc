@@ -5,7 +5,12 @@
  * recovered functions.
  *
  * Usage:
- *   accdis_cli <binary> [--json] [--functions] [--max-insns N]
+ *   accdis_cli <binary>... [--json] [--functions] [--max-insns N]
+ *              [--jobs N] [--metrics-out FILE]
+ *
+ * Several binaries and/or --jobs > 1 route the analysis through the
+ * parallel batch pipeline; output is byte-identical to a serial run.
+ * --metrics-out dumps batch/pool/per-stage metrics as JSON.
  */
 
 #include <algorithm>
@@ -14,11 +19,14 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/engine.hh"
 #include "core/functions.hh"
 #include "image/elf_reader.hh"
 #include "image/pe_reader.hh"
+#include "pipeline/batch.hh"
+#include "pipeline/metrics.hh"
 #include "support/error.hh"
 #include "x86/decoder.hh"
 #include "x86/formatter.hh"
@@ -88,83 +96,121 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s <binary> [--json] [--functions] "
-                     "[--max-insns N]\n",
+                     "usage: %s <binary>... [--json] [--functions] "
+                     "[--max-insns N] [--jobs N] "
+                     "[--metrics-out FILE]\n",
                      argv[0]);
         return 2;
     }
-    std::string path = argv[1];
+    std::vector<std::string> paths;
     bool json = false, listFunctions = false;
     int maxInsns = 8;
-    for (int i = 2; i < argc; ++i) {
+    unsigned jobs = 1;
+    std::string metricsOut;
+    for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--json"))
             json = true;
         else if (!std::strcmp(argv[i], "--functions"))
             listFunctions = true;
         else if (!std::strcmp(argv[i], "--max-insns") && i + 1 < argc)
             maxInsns = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            jobs = static_cast<unsigned>(
+                std::max(0, std::atoi(argv[++i])));
+        else if (!std::strcmp(argv[i], "--metrics-out") &&
+                 i + 1 < argc)
+            metricsOut = argv[++i];
+        else
+            paths.emplace_back(argv[i]);
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "error: no input binaries\n");
+        return 2;
     }
 
     try {
-        BinaryImage image = loadAny(path);
-        EngineConfig config;
-        config.flow.escapingBranchIsFatal = false;
-        DisassemblyEngine engine(config);
+        std::vector<BinaryImage> images;
+        images.reserve(paths.size());
+        for (const std::string &path : paths)
+            images.push_back(loadAny(path));
 
+        pipeline::BatchConfig batchConfig;
+        batchConfig.jobs = jobs;
+        batchConfig.engine.flow.escapingBranchIsFatal = false;
+        pipeline::MetricsRegistry metrics;
+        pipeline::BatchAnalyzer analyzer(batchConfig, &metrics);
+        pipeline::BatchReport report = analyzer.run(images);
+
+        bool failed = false;
         if (json)
             std::printf("[\n");
         bool first = true;
-        auto sectionResults = engine.analyzeAll(image);
-        for (auto &sr : sectionResults) {
-            const Section *sectionPtr =
-                image.sectionNamed(sr.name);
-            if (!sectionPtr)
-                continue;
-            const Section &section = *sectionPtr;
-            Classification &result = sr.result;
-            Superset superset(section.bytes());
-            auto functions = recoverFunctions(superset, result,
-                                              section.base());
-
-            if (json) {
-                if (!first)
-                    std::printf(",\n");
-                reportJson(section, result, functions);
-                first = false;
+        for (std::size_t b = 0; b < report.results.size(); ++b) {
+            pipeline::BinaryResult &binary = report.results[b];
+            const BinaryImage &image = images[b];
+            if (!binary.ok()) {
+                std::fprintf(stderr, "error: %s: %s\n",
+                             binary.name.c_str(),
+                             binary.error.c_str());
+                failed = true;
                 continue;
             }
+            for (auto &sr : binary.sections) {
+                const Section *sectionPtr =
+                    image.sectionNamed(sr.name);
+                if (!sectionPtr)
+                    continue;
+                const Section &section = *sectionPtr;
+                Classification &result = sr.result;
+                Superset superset(section.bytes());
+                auto functions = recoverFunctions(superset, result,
+                                                  section.base());
 
-            std::printf("%s %s: %llu bytes -> %llu code / %llu data, "
-                        "%zu instructions, %zu functions\n",
-                        path.c_str(), section.name().c_str(),
-                        static_cast<unsigned long long>(section.size()),
-                        static_cast<unsigned long long>(
-                            result.bytesOf(ResultClass::Code)),
-                        static_cast<unsigned long long>(
-                            result.bytesOf(ResultClass::Data)),
-                        result.insnStarts.size(), functions.size());
-            if (listFunctions) {
-                for (const auto &fn : functions) {
-                    std::printf("  func %llx (%u insns)\n",
-                                static_cast<unsigned long long>(
-                                    section.vaddr(fn.entry)),
-                                fn.instructions);
+                if (json) {
+                    if (!first)
+                        std::printf(",\n");
+                    reportJson(section, result, functions);
+                    first = false;
+                    continue;
                 }
-            }
-            int shown = 0;
-            for (Offset off : result.insnStarts) {
-                if (shown++ >= maxInsns)
-                    break;
-                x86::Instruction insn =
-                    x86::decode(section.bytes(), off);
-                std::printf("  %8llx: %s\n",
-                            static_cast<unsigned long long>(
-                                section.vaddr(off)),
-                            x86::format(insn).c_str());
+
+                std::printf(
+                    "%s %s: %llu bytes -> %llu code / %llu data, "
+                    "%zu instructions, %zu functions\n",
+                    binary.name.c_str(), section.name().c_str(),
+                    static_cast<unsigned long long>(section.size()),
+                    static_cast<unsigned long long>(
+                        result.bytesOf(ResultClass::Code)),
+                    static_cast<unsigned long long>(
+                        result.bytesOf(ResultClass::Data)),
+                    result.insnStarts.size(), functions.size());
+                if (listFunctions) {
+                    for (const auto &fn : functions) {
+                        std::printf("  func %llx (%u insns)\n",
+                                    static_cast<unsigned long long>(
+                                        section.vaddr(fn.entry)),
+                                    fn.instructions);
+                    }
+                }
+                int shown = 0;
+                for (Offset off : result.insnStarts) {
+                    if (shown++ >= maxInsns)
+                        break;
+                    x86::Instruction insn =
+                        x86::decode(section.bytes(), off);
+                    std::printf("  %8llx: %s\n",
+                                static_cast<unsigned long long>(
+                                    section.vaddr(off)),
+                                x86::format(insn).c_str());
+                }
             }
         }
         if (json)
             std::printf("\n]\n");
+        if (!metricsOut.empty())
+            metrics.writeJson(metricsOut);
+        if (failed)
+            return 1;
     } catch (const Error &err) {
         std::fprintf(stderr, "error: %s\n", err.what());
         return 1;

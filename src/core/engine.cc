@@ -1,6 +1,7 @@
 #include "core/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <queue>
 
@@ -13,6 +14,48 @@ namespace accdis
 
 namespace
 {
+
+/** Monotonic nanoseconds, for stage timing. */
+u64
+nowNanos()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** RAII stage stopwatch; no-op when @p times is null. */
+class StageScope
+{
+  public:
+    StageScope(EngineStageTimes *times, EngineStage stage)
+        : times_(times), stage_(stage),
+          start_(times ? nowNanos() : 0)
+    {}
+
+    ~StageScope()
+    {
+        if (times_)
+            times_->add(stage_, nowNanos() - start_);
+    }
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    EngineStageTimes *times_;
+    EngineStage stage_;
+    u64 start_;
+};
+
+/** Build the superset decode under the SupersetDecode stage timer. */
+Superset
+buildSuperset(ByteSpan bytes, EngineStageTimes *times)
+{
+    StageScope scope(times, EngineStage::SupersetDecode);
+    return Superset(bytes);
+}
 
 /** Byte states during classification. */
 enum ByteState : u8
@@ -63,11 +106,16 @@ class Worker
            const std::vector<Offset> &entries, Addr base,
            const std::vector<AuxRegion> &auxRegions)
         : config_(config), bytes_(bytes), entries_(entries),
-          superset_(bytes)
+          superset_(buildSuperset(bytes, config.stageTimes))
     {
-        if (config_.useFlowAnalysis)
+        if (config_.useFlowAnalysis) {
+            StageScope scope(config_.stageTimes,
+                             EngineStage::FlowAnalysis);
             flow_.emplace(superset_, config_.flow);
+        }
         if (config_.useProbModel) {
+            StageScope scope(config_.stageTimes,
+                             EngineStage::Scoring);
             const ProbModel &model =
                 config_.model ? *config_.model : defaultProbModel();
             scorer_.emplace(model, superset_, config_.scorer);
@@ -312,6 +360,8 @@ Worker::collectEvidence()
     // their data bytes and their code targets; shape-only tables are
     // weaker pattern evidence.
     if (config_.useJumpTables) {
+        StageScope scope(config_.stageTimes,
+                         EngineStage::JumpTableDiscovery);
         auto tables = findJumpTables(superset_, jtConfig_);
         stats_.jumpTablesFound = 0;
         for (const auto &table : tables) {
@@ -333,6 +383,8 @@ Worker::collectEvidence()
 
     // Data-pattern detectors.
     if (config_.useDataPatterns) {
+        StageScope scope(config_.stageTimes,
+                         EngineStage::PatternDetection);
         auto push = [&](const std::vector<DataRegion> &regions) {
             for (const auto &region : regions) {
                 stats_.dataPatternBytes += region.end - region.begin;
@@ -384,6 +436,7 @@ Worker::collectEvidence()
     }
 
     // Heuristic seeds: prologue-shaped offsets with favorable scores.
+    StageScope scope(config_.stageTimes, EngineStage::Scoring);
     auto prologues = findPrologues(superset_);
     for (Offset off : prologues) {
         if (mustFault(off))
@@ -647,27 +700,52 @@ Classification
 Worker::run()
 {
     collectEvidence();
-    drainQueue();
-
-    // Correction rounds: gap refinement can surface new evidence
-    // (call targets inside residual chains) whose processing can roll
-    // back earlier weak commitments and re-open gaps. Iterate until
-    // quiescent; the round bound prevents pathological oscillation.
-    const int kMaxRounds = config_.useErrorCorrection ? 8 : 1;
-    for (int round = 0; round < kMaxRounds; ++round) {
-        refineGaps();
-        u64 committed = 0;
-        for (Offset off = 0; off < state_.size(); ++off)
-            committed += isStart_[off];
-        stats_.committedPerPhase.push_back(committed);
-        if (queue_.empty())
-            break;
+    {
+        StageScope scope(config_.stageTimes,
+                         EngineStage::ErrorCorrection);
         drainQueue();
+
+        // Correction rounds: gap refinement can surface new evidence
+        // (call targets inside residual chains) whose processing can
+        // roll back earlier weak commitments and re-open gaps. Iterate
+        // until quiescent; the round bound prevents pathological
+        // oscillation.
+        const int kMaxRounds = config_.useErrorCorrection ? 8 : 1;
+        for (int round = 0; round < kMaxRounds; ++round) {
+            refineGaps();
+            u64 committed = 0;
+            for (Offset off = 0; off < state_.size(); ++off)
+                committed += isStart_[off];
+            stats_.committedPerPhase.push_back(committed);
+            if (queue_.empty())
+                break;
+            drainQueue();
+        }
     }
     return finish();
 }
 
 } // namespace
+
+const char *
+engineStageName(EngineStage stage)
+{
+    switch (stage) {
+      case EngineStage::SupersetDecode:
+        return "superset_decode";
+      case EngineStage::FlowAnalysis:
+        return "flow_analysis";
+      case EngineStage::Scoring:
+        return "scoring";
+      case EngineStage::PatternDetection:
+        return "pattern_detection";
+      case EngineStage::JumpTableDiscovery:
+        return "jump_table_discovery";
+      case EngineStage::ErrorCorrection:
+        return "error_correction";
+    }
+    return "unknown";
+}
 
 DisassemblyEngine::DisassemblyEngine(EngineConfig config)
     : config_(std::move(config))

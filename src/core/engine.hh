@@ -21,6 +21,8 @@
 #ifndef ACCDIS_CORE_ENGINE_HH
 #define ACCDIS_CORE_ENGINE_HH
 
+#include <array>
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,91 @@ enum class Priority : u8
     Pattern,      ///< Detected data regions, partial-idiom tables.
     Heuristic,    ///< Probabilistic/prologue seeds.
     Residual,     ///< Gap refinement of leftover bytes.
+};
+
+/** Internal engine stages exposed for per-stage timing. */
+enum class EngineStage : u8
+{
+    SupersetDecode = 0, ///< Exhaustive per-offset decode.
+    FlowAnalysis,       ///< mustFault/poison fixpoint.
+    Scoring,            ///< Likelihood scorer build + seed scoring.
+    PatternDetection,   ///< String/zero/pointer/stub detectors.
+    JumpTableDiscovery, ///< Jump-table idiom search.
+    ErrorCorrection,    ///< Queue drain + gap-refinement rounds.
+};
+
+/** Number of EngineStage values. */
+inline constexpr std::size_t kNumEngineStages = 6;
+
+/** Human-readable metric name of @p stage (snake_case). */
+const char *engineStageName(EngineStage stage);
+
+/**
+ * Per-stage accumulated wall time. All members are atomic, so one
+ * instance can be shared by engines running concurrently on many
+ * threads (the batch pipeline aggregates across a whole corpus run
+ * this way).
+ */
+struct EngineStageTimes
+{
+    /** Plain (copyable) image of the accumulated stage times. */
+    struct Snapshot
+    {
+        std::array<u64, kNumEngineStages> nanos{};
+        std::array<u64, kNumEngineStages> calls{};
+
+        u64
+        nanosOf(EngineStage stage) const
+        {
+            return nanos[static_cast<std::size_t>(stage)];
+        }
+
+        u64
+        callsOf(EngineStage stage) const
+        {
+            return calls[static_cast<std::size_t>(stage)];
+        }
+    };
+
+    std::array<std::atomic<u64>, kNumEngineStages> nanos{};
+    std::array<std::atomic<u64>, kNumEngineStages> calls{};
+
+    /** Copy the current values out of the atomics. */
+    Snapshot
+    snapshot() const
+    {
+        Snapshot snap;
+        for (std::size_t i = 0; i < kNumEngineStages; ++i) {
+            snap.nanos[i] = nanos[i].load(std::memory_order_relaxed);
+            snap.calls[i] = calls[i].load(std::memory_order_relaxed);
+        }
+        return snap;
+    }
+
+    /** Record one interval of @p ns wall time against @p stage. */
+    void
+    add(EngineStage stage, u64 ns)
+    {
+        auto idx = static_cast<std::size_t>(stage);
+        nanos[idx].fetch_add(ns, std::memory_order_relaxed);
+        calls[idx].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Accumulated nanoseconds of @p stage. */
+    u64
+    nanosOf(EngineStage stage) const
+    {
+        return nanos[static_cast<std::size_t>(stage)].load(
+            std::memory_order_relaxed);
+    }
+
+    /** Number of recordings against @p stage. */
+    u64
+    callsOf(EngineStage stage) const
+    {
+        return calls[static_cast<std::size_t>(stage)].load(
+            std::memory_order_relaxed);
+    }
 };
 
 /** Engine configuration; the ablation switches mirror Table 4. */
@@ -86,6 +173,13 @@ struct EngineConfig
 
     /** Model override; nullptr selects defaultProbModel(). */
     const ProbModel *model = nullptr;
+
+    /**
+     * Optional per-stage timing sink; nullptr disables timing. The
+     * pointed-to object must outlive every analyze call and may be
+     * shared across threads (its members are atomic).
+     */
+    EngineStageTimes *stageTimes = nullptr;
 };
 
 /**

@@ -1,0 +1,210 @@
+#include "pipeline/batch.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "prob/ngram.hh"
+#include "support/error.hh"
+
+namespace accdis::pipeline
+{
+
+namespace
+{
+
+/** Inputs of one per-binary fan-out, precomputed on the main thread
+ *  so every task sees stable, read-only data. */
+struct BinaryPlan
+{
+    const BinaryImage *image = nullptr;
+    std::vector<AuxRegion> auxRegions;
+    /** Index into BinaryImage::sections() per executable section. */
+    std::vector<std::size_t> execSections;
+    /** Entry offsets per executable section (same order). */
+    std::vector<std::vector<Offset>> entries;
+};
+
+BinaryPlan
+planBinary(const BinaryImage &image)
+{
+    BinaryPlan plan;
+    plan.image = &image;
+    plan.auxRegions = auxRegionsOf(image);
+    const auto &sections = image.sections();
+    for (std::size_t idx = 0; idx < sections.size(); ++idx) {
+        const Section &section = sections[idx];
+        if (!section.flags().executable)
+            continue;
+        std::vector<Offset> entries;
+        for (Addr entry : image.entryPoints()) {
+            if (section.containsVaddr(entry))
+                entries.push_back(section.toOffset(entry));
+        }
+        plan.execSections.push_back(idx);
+        plan.entries.push_back(std::move(entries));
+    }
+    return plan;
+}
+
+/** Analyze one executable section of a planned binary. */
+DisassemblyEngine::SectionResult
+analyzePlanned(const DisassemblyEngine &engine, const BinaryPlan &plan,
+               std::size_t which)
+{
+    const Section &section =
+        plan.image->section(plan.execSections[which]);
+    DisassemblyEngine::SectionResult result;
+    result.name = section.name();
+    result.base = section.base();
+    result.result = engine.analyzeSection(section.bytes(),
+                                          plan.entries[which],
+                                          section.base(),
+                                          plan.auxRegions);
+    return result;
+}
+
+} // namespace
+
+BatchAnalyzer::BatchAnalyzer(BatchConfig config,
+                             MetricsRegistry *metrics)
+    : config_(std::move(config)), metrics_(metrics)
+{}
+
+BatchReport
+BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
+{
+    // Pre-warm the shared model so its one-time training is not
+    // serialized inside (or timed as part of) the parallel region.
+    EngineConfig engineConfig = config_.engine;
+    if (engineConfig.useProbModel && !engineConfig.model)
+        defaultProbModel();
+
+    EngineStageTimes stageTimes;
+    engineConfig.stageTimes = &stageTimes;
+    const DisassemblyEngine engine(engineConfig);
+
+    BatchReport report;
+    report.results.resize(images.size());
+
+    auto start = std::chrono::steady_clock::now();
+    {
+        // Plan on the main thread. Declared before the pool on
+        // purpose: tasks reference plans by address, and a worker can
+        // still be unwinding a task body after its future became
+        // ready — the pool's destructor (which joins every worker)
+        // must run before the plans are freed.
+        std::vector<BinaryPlan> plans;
+        plans.reserve(images.size());
+        for (const BinaryImage *image : images)
+            plans.push_back(planBinary(*image));
+
+        ThreadPool pool(config_.jobs);
+        report.jobs = pool.workerCount();
+
+        // Fan out, one future per (binary, section) — or per binary
+        // when splitSections is off. Futures are collected in input
+        // order, which pins the output order regardless of the order
+        // tasks actually ran in.
+        using SectionFuture =
+            std::future<DisassemblyEngine::SectionResult>;
+        std::vector<std::vector<SectionFuture>> futures(images.size());
+        for (std::size_t i = 0; i < plans.size(); ++i) {
+            const BinaryPlan &plan = plans[i];
+            if (config_.splitSections) {
+                for (std::size_t s = 0; s < plan.execSections.size();
+                     ++s) {
+                    futures[i].push_back(pool.submit([&engine, &plan,
+                                                      s] {
+                        return analyzePlanned(engine, plan, s);
+                    }));
+                }
+            } else if (!plan.execSections.empty()) {
+                // One task analyzing every section of the binary;
+                // still one future per section for uniform joining.
+                auto promise = std::make_shared<std::vector<
+                    std::promise<DisassemblyEngine::SectionResult>>>(
+                    plan.execSections.size());
+                for (auto &p : *promise)
+                    futures[i].push_back(p.get_future());
+                pool.submit([&engine, &plan, promise] {
+                    // Cache the count: after the final set_value the
+                    // joiner may race ahead, so the loop must not
+                    // read plan again.
+                    const std::size_t count =
+                        plan.execSections.size();
+                    for (std::size_t s = 0; s < count; ++s) {
+                        try {
+                            promise->at(s).set_value(
+                                analyzePlanned(engine, plan, s));
+                        } catch (...) {
+                            promise->at(s).set_exception(
+                                std::current_exception());
+                        }
+                    }
+                });
+            }
+        }
+
+        for (std::size_t i = 0; i < images.size(); ++i) {
+            BinaryResult &result = report.results[i];
+            result.name = images[i]->name();
+            try {
+                for (auto &future : futures[i])
+                    result.sections.push_back(future.get());
+                result.executableBytes = images[i]->executableBytes();
+                report.totalBytes += result.executableBytes;
+            } catch (const Error &err) {
+                result.sections.clear();
+                result.error = err.what();
+            }
+        }
+        report.pool = pool.stats();
+    }
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    report.wallSeconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            elapsed)
+            .count();
+    report.stageTimes = stageTimes.snapshot();
+
+    if (metrics_) {
+        metrics_->counter("batch.binaries").add(images.size());
+        u64 sections = 0, failed = 0;
+        for (const BinaryResult &result : report.results) {
+            sections += result.sections.size();
+            failed += !result.ok();
+        }
+        metrics_->counter("batch.sections").add(sections);
+        metrics_->counter("batch.failed_binaries").add(failed);
+        metrics_->counter("batch.bytes").add(report.totalBytes);
+        metrics_->counter("batch.bytes_per_sec")
+            .set(static_cast<u64>(report.bytesPerSecond()));
+        metrics_->counter("batch.jobs").set(report.jobs);
+        metrics_->timer("batch.wall").add(static_cast<u64>(
+            report.wallSeconds * 1e9));
+        metrics_->counter("pool.tasks").add(report.pool.executed);
+        metrics_->counter("pool.steals").add(report.pool.steals);
+        metrics_->counter("pool.max_queue_depth")
+            .set(report.pool.maxQueueDepth);
+        for (std::size_t i = 0; i < kNumEngineStages; ++i) {
+            auto stage = static_cast<EngineStage>(i);
+            metrics_->timer(std::string("stage.") +
+                            engineStageName(stage))
+                .merge(report.stageTimes.nanos[i],
+                       report.stageTimes.calls[i]);
+        }
+    }
+    return report;
+}
+
+BatchReport
+BatchAnalyzer::run(const std::vector<BinaryImage> &images) const
+{
+    std::vector<const BinaryImage *> pointers;
+    pointers.reserve(images.size());
+    for (const BinaryImage &image : images)
+        pointers.push_back(&image);
+    return run(pointers);
+}
+
+} // namespace accdis::pipeline

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Batch analysis: fan whole binaries — and, within a binary, its
+ * independent executable sections — across a work-stealing thread
+ * pool, with per-stage metrics and a hard determinism guarantee.
+ *
+ * Determinism: DisassemblyEngine::analyzeSection() is a pure function
+ * of its inputs (const engine, no shared mutable state), every task
+ * analyzes a disjoint section, and results are assembled in input
+ * order from the futures — so BatchAnalyzer output is byte-identical
+ * to a serial analyzeAll() loop at any job count.
+ */
+
+#ifndef ACCDIS_PIPELINE_BATCH_HH
+#define ACCDIS_PIPELINE_BATCH_HH
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "image/binary_image.hh"
+#include "pipeline/metrics.hh"
+#include "pipeline/thread_pool.hh"
+
+namespace accdis::pipeline
+{
+
+/** Configuration of one batch run. */
+struct BatchConfig
+{
+    /** Worker threads; 0 selects hardware_concurrency(). */
+    unsigned jobs = 0;
+    /**
+     * Fan out executable sections of one binary as separate tasks
+     * (finer grain, better load balance on few large binaries). When
+     * false each binary is a single task.
+     */
+    bool splitSections = true;
+    /** Engine configuration applied to every binary. */
+    EngineConfig engine;
+};
+
+/** Analysis outcome of one binary within a batch. */
+struct BinaryResult
+{
+    /** Image name, copied from BinaryImage::name(). */
+    std::string name;
+    /** Per-executable-section results, in image section order. */
+    std::vector<DisassemblyEngine::SectionResult> sections;
+    /** Executable bytes analyzed. */
+    u64 executableBytes = 0;
+    /** Empty on success; the Error message when analysis failed. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Whole-batch outcome plus throughput bookkeeping. */
+struct BatchReport
+{
+    /** One entry per input image, in input order. */
+    std::vector<BinaryResult> results;
+    /** Worker threads actually used. */
+    unsigned jobs = 1;
+    /** Wall time of the fan-out + join, in seconds. */
+    double wallSeconds = 0.0;
+    /** Executable bytes across all successfully analyzed binaries. */
+    u64 totalBytes = 0;
+    /** Pool statistics of the run (steals, queue depth, tasks). */
+    PoolStats pool;
+    /** Per-stage engine times accumulated across the whole batch. */
+    EngineStageTimes::Snapshot stageTimes;
+
+    /** Throughput in bytes per second (0 when wallSeconds is 0). */
+    double
+    bytesPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(totalBytes) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Analyzes batches of binaries in parallel. The analyzer itself is
+ * cheap to construct; each run() creates a fresh pool so concurrent
+ * runs do not interfere.
+ */
+class BatchAnalyzer
+{
+  public:
+    /**
+     * @p metrics, when non-null, receives per-run counters and
+     * timers ("batch.*", "pool.*", "stage.*") after every run();
+     * it must outlive the analyzer's use.
+     */
+    explicit BatchAnalyzer(BatchConfig config = {},
+                           MetricsRegistry *metrics = nullptr);
+
+    /** Analyze every image; results come back in input order. */
+    BatchReport run(const std::vector<const BinaryImage *> &images) const;
+
+    /** Convenience overload over owned images. */
+    BatchReport run(const std::vector<BinaryImage> &images) const;
+
+    const BatchConfig &config() const { return config_; }
+
+  private:
+    BatchConfig config_;
+    MetricsRegistry *metrics_;
+};
+
+} // namespace accdis::pipeline
+
+#endif // ACCDIS_PIPELINE_BATCH_HH

@@ -1,0 +1,73 @@
+#include "pipeline/metrics.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace accdis::pipeline
+{
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Timer &
+MetricsRegistry::timer(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = timers_[name];
+    if (!slot)
+        slot = std::make_unique<Timer>();
+    return *slot;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, counter] : counters_) {
+        out << (first ? "\n" : ",\n") << "    \"" << name
+            << "\": " << counter->value();
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"timers\": {";
+    first = true;
+    for (const auto &[name, timer] : timers_) {
+        char seconds[32];
+        std::snprintf(seconds, sizeof(seconds), "%.9f",
+                      timer->seconds());
+        out << (first ? "\n" : ",\n") << "    \"" << name
+            << "\": {\"nanos\": " << timer->nanos()
+            << ", \"count\": " << timer->count()
+            << ", \"seconds\": " << seconds << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n}\n";
+    return out.str();
+}
+
+void
+MetricsRegistry::writeJson(const std::string &path) const
+{
+    std::string json = toJson();
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        throw Error("metrics: cannot open " + path);
+    std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    int closed = std::fclose(file);
+    if (written != json.size() || closed != 0)
+        throw Error("metrics: short write on " + path);
+}
+
+} // namespace accdis::pipeline

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Lightweight metrics for the batch pipeline: named atomic counters
+ * and monotonic timers, dumpable as JSON.
+ *
+ * The registry is write-hot and read-cold: counter/timer handles are
+ * resolved once (under a mutex) and then updated lock-free from any
+ * number of threads, so instrumentation is cheap enough to leave on.
+ *
+ * JSON schema (stable, consumed by tooling):
+ * @code{.json}
+ * {
+ *   "counters": { "<name>": <u64>, ... },
+ *   "timers": {
+ *     "<name>": { "nanos": <u64>, "count": <u64>,
+ *                 "seconds": <double> }, ...
+ *   }
+ * }
+ * @endcode
+ * Names are emitted in sorted order, so dumps are deterministic.
+ */
+
+#ifndef ACCDIS_PIPELINE_METRICS_HH
+#define ACCDIS_PIPELINE_METRICS_HH
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "support/types.hh"
+
+namespace accdis::pipeline
+{
+
+/** Monotonically increasing atomic counter. */
+class Counter
+{
+  public:
+    /** Add @p delta. Thread-safe, lock-free. */
+    void add(u64 delta) { value_.fetch_add(delta); }
+
+    /** Add one. */
+    void inc() { add(1); }
+
+    /** Replace the value (for gauges computed once per run). */
+    void set(u64 value) { value_.store(value); }
+
+    /** Current value. */
+    u64 value() const { return value_.load(); }
+
+  private:
+    std::atomic<u64> value_{0};
+};
+
+/** Accumulated wall time plus number of recordings. */
+class Timer
+{
+  public:
+    /** Record one interval of @p nanos wall time. */
+    void
+    add(u64 nanos)
+    {
+        nanos_.fetch_add(nanos);
+        count_.fetch_add(1);
+    }
+
+    /** Merge @p count pre-aggregated intervals totaling @p nanos. */
+    void
+    merge(u64 nanos, u64 count)
+    {
+        nanos_.fetch_add(nanos);
+        count_.fetch_add(count);
+    }
+
+    u64 nanos() const { return nanos_.load(); }
+    u64 count() const { return count_.load(); }
+    double seconds() const { return static_cast<double>(nanos()) * 1e-9; }
+
+  private:
+    std::atomic<u64> nanos_{0};
+    std::atomic<u64> count_{0};
+};
+
+/**
+ * Named registry of counters and timers. Handle resolution locks;
+ * handle use is lock-free. Returned references stay valid for the
+ * registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The counter named @p name, created on first use. */
+    Counter &counter(const std::string &name);
+
+    /** The timer named @p name, created on first use. */
+    Timer &timer(const std::string &name);
+
+    /** Serialize every metric as JSON (see file comment for schema). */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path. Throws accdis::Error on I/O error. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/** RAII: records the elapsed wall time into a Timer on destruction. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &timer)
+        : timer_(timer), start_(std::chrono::steady_clock::now())
+    {}
+
+    ~ScopedTimer()
+    {
+        auto elapsed = std::chrono::steady_clock::now() - start_;
+        timer_.add(static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                elapsed)
+                .count()));
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Timer &timer_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace accdis::pipeline
+
+#endif // ACCDIS_PIPELINE_METRICS_HH

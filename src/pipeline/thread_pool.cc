@@ -1,0 +1,156 @@
+#include "pipeline/thread_pool.hh"
+
+namespace accdis::pipeline
+{
+
+namespace
+{
+
+/** Identity of the current thread inside a pool, for nested submits. */
+thread_local const ThreadPool *tlsPool = nullptr;
+thread_local unsigned tlsWorker = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = std::max(1u, std::thread::hardware_concurrency());
+    queues_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::pushTask(Task task)
+{
+    unsigned target;
+    bool front = false;
+    if (tlsPool == this) {
+        // Nested submit from a worker: push LIFO onto its own deque
+        // so freshly spawned subtasks run while their data is hot.
+        target = tlsWorker;
+        front = true;
+    } else {
+        target = static_cast<unsigned>(nextQueue_.fetch_add(1) %
+                                       queues_.size());
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        if (front)
+            queues_[target]->tasks.push_front(std::move(task));
+        else
+            queues_[target]->tasks.push_back(std::move(task));
+    }
+    submitted_.fetch_add(1);
+    u64 depth = pending_.fetch_add(1) + 1;
+    u64 seen = maxQueueDepth_.load();
+    while (depth > seen &&
+           !maxQueueDepth_.compare_exchange_weak(seen, depth)) {
+    }
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::popTask(unsigned self, Task &out)
+{
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    // Own deque first, from the front (LIFO end).
+    if (self < n) {
+        WorkerQueue &own = *queues_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            out = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            pending_.fetch_sub(1);
+            return true;
+        }
+    }
+    // Steal from a victim's back (FIFO end): the oldest task there is
+    // typically the coarsest unit of work still waiting.
+    for (unsigned i = 1; i <= n; ++i) {
+        unsigned victim = (self + i) % n;
+        if (victim == self)
+            continue;
+        WorkerQueue &queue = *queues_[victim];
+        std::lock_guard<std::mutex> lock(queue.mutex);
+        if (!queue.tasks.empty()) {
+            out = std::move(queue.tasks.back());
+            queue.tasks.pop_back();
+            pending_.fetch_sub(1);
+            steals_.fetch_add(1);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ThreadPool::runPendingTask()
+{
+    unsigned self = tlsPool == this
+                        ? tlsWorker
+                        : static_cast<unsigned>(queues_.size());
+    Task task;
+    if (!popTask(self, task))
+        return false;
+    // Count before running: a joiner that saw the task's future
+    // become ready must also see it counted in stats().
+    executed_.fetch_add(1);
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    tlsPool = this;
+    tlsWorker = self;
+    Task task;
+    for (;;) {
+        if (popTask(self, task)) {
+            executed_.fetch_add(1);
+            task();
+            task = nullptr;
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        if (stopping_ && pending_.load() == 0)
+            return;
+        wake_.wait(lock, [this] {
+            return stopping_ || pending_.load() > 0;
+        });
+        if (stopping_ && pending_.load() == 0)
+            return;
+    }
+}
+
+PoolStats
+ThreadPool::stats() const
+{
+    PoolStats stats;
+    stats.submitted = submitted_.load();
+    stats.executed = executed_.load();
+    stats.steals = steals_.load();
+    stats.maxQueueDepth = maxQueueDepth_.load();
+    return stats;
+}
+
+} // namespace accdis::pipeline

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fixed-size work-stealing thread pool for the batch-analysis
+ * pipeline.
+ *
+ * Each worker owns a deque: tasks submitted from a worker thread go
+ * to the *front* of its own deque (LIFO, cache-warm), tasks submitted
+ * from outside are distributed round-robin to deque *backs*, and an
+ * idle worker steals from the *back* of a victim's deque (FIFO, the
+ * oldest — and usually largest — piece of work). Results travel
+ * through std::future, so exceptions thrown inside a task propagate
+ * to whoever calls get(). Destruction is a clean shutdown: every
+ * task already submitted runs to completion before the workers join.
+ */
+
+#ifndef ACCDIS_PIPELINE_THREAD_POOL_HH
+#define ACCDIS_PIPELINE_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace accdis::pipeline
+{
+
+/** Lifetime statistics of a ThreadPool, for the metrics registry. */
+struct PoolStats
+{
+    u64 submitted = 0;     ///< Tasks accepted by submit().
+    u64 executed = 0;      ///< Tasks run to completion.
+    u64 steals = 0;        ///< Tasks obtained from another worker.
+    u64 maxQueueDepth = 0; ///< High-water mark of pending tasks.
+};
+
+/**
+ * Fixed-size work-stealing thread pool.
+ *
+ * Thread safety: submit(), runPendingTask() and stats() may be called
+ * from any thread, including from inside pool tasks (nested submits).
+ * Blocking on a future from *inside* a pool task can deadlock a fully
+ * loaded pool; use waitAndHelp() there instead, which runs pending
+ * tasks while waiting.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p workers threads; 0 selects
+     * std::thread::hardware_concurrency() (at least 1).
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Clean shutdown: runs every pending task, then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Schedule @p fn and return a future for its result. The task's
+     * exception (if any) is rethrown from future::get().
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn &>>
+    {
+        using Result = std::invoke_result_t<Fn &>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        pushTask([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run one pending task on the calling thread, if any is queued.
+     * Returns false when every deque was empty. Lets blocked callers
+     * help instead of idling (see waitAndHelp()).
+     */
+    bool runPendingTask();
+
+    /** Snapshot of lifetime statistics. */
+    PoolStats stats() const;
+
+  private:
+    using Task = std::function<void()>;
+
+    /** One worker's deque; the mutex arbitrates owner vs thieves. */
+    struct WorkerQueue
+    {
+        mutable std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void pushTask(Task task);
+    bool popTask(unsigned self, Task &out);
+    void workerLoop(unsigned self);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex sleepMutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+
+    std::atomic<u64> pending_{0};
+    std::atomic<u64> submitted_{0};
+    std::atomic<u64> executed_{0};
+    std::atomic<u64> steals_{0};
+    std::atomic<u64> maxQueueDepth_{0};
+    std::atomic<u64> nextQueue_{0};
+};
+
+/**
+ * Wait for @p future while running other pool tasks on this thread;
+ * safe to call from inside a pool task (no deadlock). Returns or
+ * rethrows the task's result.
+ */
+template <typename T>
+T
+waitAndHelp(ThreadPool &pool, std::future<T> future)
+{
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+        if (!pool.runPendingTask())
+            std::this_thread::yield();
+    }
+    return future.get();
+}
+
+} // namespace accdis::pipeline
+
+#endif // ACCDIS_PIPELINE_THREAD_POOL_HH

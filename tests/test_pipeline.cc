@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the batch-analysis pipeline: thread-pool semantics
+ * (nested submits, exception propagation, clean shutdown, stress),
+ * the metrics registry, engine stage timing, and the BatchAnalyzer
+ * determinism guarantee (byte-identical to serial at any job count).
+ *
+ * All suites are prefixed "Pipeline" so the TSan CI job can run
+ * exactly this file via --gtest_filter=Pipeline*.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "pipeline/batch.hh"
+#include "pipeline/metrics.hh"
+#include "pipeline/thread_pool.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+using pipeline::BatchAnalyzer;
+using pipeline::BatchConfig;
+using pipeline::BatchReport;
+using pipeline::MetricsRegistry;
+using pipeline::ThreadPool;
+
+TEST(PipelinePool, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    int sum = 0;
+    for (auto &future : futures)
+        sum += future.get();
+    EXPECT_EQ(sum, 328350); // sum of squares 0..99
+    pipeline::PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.submitted, 100u);
+}
+
+TEST(PipelinePool, DefaultsToHardwareConcurrency)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+TEST(PipelinePool, NestedSubmitsComplete)
+{
+    // Each task fans out subtasks and joins them with waitAndHelp;
+    // this must not deadlock even on a single-worker pool.
+    for (unsigned workers : {1u, 4u}) {
+        ThreadPool pool(workers);
+        auto outer = pool.submit([&pool] {
+            int total = 0;
+            std::vector<std::future<int>> inner;
+            for (int i = 0; i < 8; ++i)
+                inner.push_back(pool.submit([i] { return i + 1; }));
+            for (auto &future : inner)
+                total += pipeline::waitAndHelp(pool,
+                                               std::move(future));
+            return total;
+        });
+        EXPECT_EQ(pipeline::waitAndHelp(pool, std::move(outer)), 36);
+    }
+}
+
+TEST(PipelinePool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(
+        {
+            try {
+                bad.get();
+            } catch (const std::runtime_error &err) {
+                EXPECT_STREQ(err.what(), "task failed");
+                throw;
+            }
+        },
+        std::runtime_error);
+}
+
+TEST(PipelinePool, ShutdownDrainsPendingTasks)
+{
+    // Destroying the pool with a backlog must run every task, not
+    // drop it: every future is ready afterwards.
+    std::vector<std::future<int>> futures;
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            futures.push_back(pool.submit([i, &ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                ran.fetch_add(1);
+                return i;
+            }));
+        }
+    }
+    EXPECT_EQ(ran.load(), 64);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_EQ(futures[i].get(), i);
+    }
+}
+
+TEST(PipelinePool, StressManyProducers)
+{
+    constexpr int kProducers = 4;
+    constexpr int kTasksEach = 500;
+    ThreadPool pool(4);
+    std::atomic<u64> total{0};
+    std::vector<std::thread> producers;
+    std::vector<std::vector<std::future<void>>> futures(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kTasksEach; ++i) {
+                futures[p].push_back(pool.submit(
+                    [&total] { total.fetch_add(1); }));
+            }
+        });
+    }
+    for (auto &producer : producers)
+        producer.join();
+    for (auto &perProducer : futures) {
+        for (auto &future : perProducer)
+            future.get();
+    }
+    EXPECT_EQ(total.load(), u64{kProducers} * kTasksEach);
+    pipeline::PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.submitted, u64{kProducers} * kTasksEach);
+    EXPECT_EQ(stats.executed, u64{kProducers} * kTasksEach);
+    EXPECT_LE(stats.maxQueueDepth,
+              u64{kProducers} * kTasksEach);
+}
+
+TEST(PipelineMetrics, CountersAndTimers)
+{
+    MetricsRegistry metrics;
+    metrics.counter("a").inc();
+    metrics.counter("a").add(4);
+    metrics.counter("b").set(9);
+    metrics.timer("t").add(1500);
+    metrics.timer("t").merge(500, 3);
+    EXPECT_EQ(metrics.counter("a").value(), 5u);
+    EXPECT_EQ(metrics.counter("b").value(), 9u);
+    EXPECT_EQ(metrics.timer("t").nanos(), 2000u);
+    EXPECT_EQ(metrics.timer("t").count(), 4u);
+    EXPECT_NEAR(metrics.timer("t").seconds(), 2e-6, 1e-12);
+}
+
+TEST(PipelineMetrics, JsonIsDeterministicAndComplete)
+{
+    MetricsRegistry metrics;
+    metrics.counter("zeta").set(1);
+    metrics.counter("alpha").set(2);
+    metrics.timer("t").add(1000000000);
+    std::string json = metrics.toJson();
+    // Sorted keys: alpha before zeta.
+    EXPECT_LT(json.find("\"alpha\": 2"), json.find("\"zeta\": 1"));
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"timers\""), std::string::npos);
+    EXPECT_NE(json.find("\"nanos\": 1000000000"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"seconds\": 1.000000000"),
+              std::string::npos);
+}
+
+TEST(PipelineMetrics, EmptyRegistryIsValidJson)
+{
+    MetricsRegistry metrics;
+    EXPECT_EQ(metrics.toJson(),
+              "{\n  \"counters\": {},\n  \"timers\": {}\n}\n");
+}
+
+TEST(PipelineStageTimes, EngineRecordsStages)
+{
+    synth::CorpusConfig config = synth::msvcLikePreset(3);
+    config.numFunctions = 24;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+
+    EngineStageTimes times;
+    EngineConfig engineConfig;
+    engineConfig.stageTimes = &times;
+    DisassemblyEngine engine(engineConfig);
+    engine.analyze(bin.image);
+
+    auto snap = times.snapshot();
+    EXPECT_GT(snap.nanosOf(EngineStage::SupersetDecode), 0u);
+    EXPECT_EQ(snap.callsOf(EngineStage::SupersetDecode), 1u);
+    EXPECT_GT(snap.nanosOf(EngineStage::FlowAnalysis), 0u);
+    EXPECT_GT(snap.nanosOf(EngineStage::ErrorCorrection), 0u);
+    EXPECT_GE(snap.callsOf(EngineStage::Scoring), 1u);
+    EXPECT_GE(snap.callsOf(EngineStage::JumpTableDiscovery), 1u);
+    EXPECT_GE(snap.callsOf(EngineStage::PatternDetection), 1u);
+}
+
+/** The 20-binary mixed-preset corpus used by the determinism tests. */
+std::vector<synth::SynthBinary>
+determinismCorpus()
+{
+    std::vector<synth::SynthBinary> corpus;
+    synth::CorpusConfig (*presets[])(u64) = {
+        synth::gccLikePreset,
+        synth::msvcLikePreset,
+        synth::adversarialPreset,
+    };
+    for (u64 seed = 1; seed <= 20; ++seed) {
+        synth::CorpusConfig config = presets[seed % 3](seed);
+        config.numFunctions = 10;
+        corpus.push_back(synth::buildSynthBinary(config));
+    }
+    return corpus;
+}
+
+/** Byte-exact fingerprint of one binary's section results. */
+std::string
+fingerprint(const std::string &name,
+            const std::vector<DisassemblyEngine::SectionResult> &secs)
+{
+    std::ostringstream out;
+    out << name << "\n";
+    for (const auto &sec : secs) {
+        out << sec.name << "@" << sec.base << ":";
+        for (const auto &entry : sec.result.map.entries()) {
+            out << entry.begin << "-" << entry.end
+                << (entry.label == ResultClass::Code ? "c" : "d")
+                << ";";
+        }
+        out << "|";
+        for (Offset off : sec.result.insnStarts)
+            out << off << ",";
+        out << "|";
+        for (const auto &entry : sec.result.provenance.entries()) {
+            out << entry.begin << "-" << entry.end << "p"
+                << static_cast<int>(entry.label) << ";";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+TEST(PipelineBatch, DeterministicAcrossJobCounts)
+{
+    std::vector<synth::SynthBinary> corpus = determinismCorpus();
+    std::vector<const BinaryImage *> images;
+    for (const auto &bin : corpus)
+        images.push_back(&bin.image);
+
+    // Serial reference: analyzeAll() per binary, in order.
+    DisassemblyEngine serial;
+    std::vector<std::string> reference;
+    for (const BinaryImage *image : images)
+        reference.push_back(
+            fingerprint(image->name(), serial.analyzeAll(*image)));
+
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        BatchConfig config;
+        config.jobs = jobs;
+        BatchAnalyzer analyzer(config);
+        BatchReport report = analyzer.run(images);
+        ASSERT_EQ(report.results.size(), images.size());
+        EXPECT_EQ(report.jobs, jobs);
+        for (std::size_t i = 0; i < report.results.size(); ++i) {
+            const pipeline::BinaryResult &result = report.results[i];
+            ASSERT_TRUE(result.ok()) << result.error;
+            EXPECT_EQ(fingerprint(result.name, result.sections),
+                      reference[i])
+                << "jobs=" << jobs << " binary=" << i;
+        }
+    }
+}
+
+TEST(PipelineBatch, WholeBinaryTasksMatchSectionTasks)
+{
+    std::vector<synth::SynthBinary> corpus = determinismCorpus();
+    corpus.resize(6);
+    std::vector<const BinaryImage *> images;
+    for (const auto &bin : corpus)
+        images.push_back(&bin.image);
+
+    BatchConfig split;
+    split.jobs = 4;
+    BatchConfig whole;
+    whole.jobs = 4;
+    whole.splitSections = false;
+    BatchReport a = BatchAnalyzer(split).run(images);
+    BatchReport b = BatchAnalyzer(whole).run(images);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(
+            fingerprint(a.results[i].name, a.results[i].sections),
+            fingerprint(b.results[i].name, b.results[i].sections));
+    }
+}
+
+TEST(PipelineBatch, ReportsMetricsAndThroughput)
+{
+    std::vector<synth::SynthBinary> corpus = determinismCorpus();
+    corpus.resize(4);
+    std::vector<const BinaryImage *> images;
+    u64 expectedBytes = 0;
+    for (const auto &bin : corpus) {
+        images.push_back(&bin.image);
+        expectedBytes += bin.image.executableBytes();
+    }
+
+    MetricsRegistry metrics;
+    BatchConfig config;
+    config.jobs = 2;
+    BatchAnalyzer analyzer(config, &metrics);
+    BatchReport report = analyzer.run(images);
+
+    EXPECT_EQ(report.totalBytes, expectedBytes);
+    EXPECT_GT(report.wallSeconds, 0.0);
+    EXPECT_GT(report.bytesPerSecond(), 0.0);
+    EXPECT_GE(report.pool.executed, images.size());
+    EXPECT_GT(
+        report.stageTimes.nanosOf(EngineStage::SupersetDecode), 0u);
+
+    EXPECT_EQ(metrics.counter("batch.binaries").value(),
+              images.size());
+    EXPECT_EQ(metrics.counter("batch.bytes").value(), expectedBytes);
+    EXPECT_EQ(metrics.counter("batch.failed_binaries").value(), 0u);
+    EXPECT_GT(metrics.timer("stage.superset_decode").nanos(), 0u);
+    std::string json = metrics.toJson();
+    EXPECT_NE(json.find("\"batch.bytes_per_sec\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"pool.steals\""), std::string::npos);
+}
+
+TEST(PipelineBatch, EmptyBatchIsEmptyReport)
+{
+    BatchReport report = BatchAnalyzer().run(
+        std::vector<const BinaryImage *>{});
+    EXPECT_TRUE(report.results.empty());
+    EXPECT_EQ(report.totalBytes, 0u);
+}
+
+} // namespace
+} // namespace accdis
