@@ -3,11 +3,20 @@
  * Table 6 — runtime and throughput (google-benchmark): wall time and
  * MB/s of every tool across section sizes, plus serial-vs-parallel
  * batch throughput of the pipeline over a 20-binary corpus.
+ *
+ * Besides the console table, every run writes BENCH_pipeline.json
+ * (benchmark name → wall seconds per iteration, bytes, counters such
+ * as jobs/serial_s/speedup_vs_serial) so the perf trajectory can be
+ * tracked by machines, not just eyeballs.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "pipeline/batch.hh"
@@ -144,6 +153,66 @@ BM_BatchPipeline(benchmark::State &state)
     }
 }
 
+/**
+ * Console reporter that additionally collects every run into a flat
+ * list and dumps it as JSON — the machine-readable face of Table 6.
+ */
+class JsonDumpReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            Entry entry;
+            entry.name = run.benchmark_name();
+            entry.iterations = static_cast<double>(run.iterations);
+            entry.wallSeconds =
+                run.iterations > 0
+                    ? run.real_accumulated_time /
+                          static_cast<double>(run.iterations)
+                    : 0.0;
+            for (const auto &[name, counter] : run.counters)
+                entry.counters.emplace_back(name, counter.value);
+            entries_.push_back(std::move(entry));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    /** Write everything collected so far to @p path. */
+    bool
+    writeJson(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << "{\n  \"benchmarks\": [\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &entry = entries_[i];
+            out << "    {\n      \"name\": \"" << entry.name
+                << "\",\n      \"iterations\": " << entry.iterations
+                << ",\n      \"wall_seconds\": " << entry.wallSeconds;
+            for (const auto &[name, value] : entry.counters)
+                out << ",\n      \"" << name << "\": " << value;
+            out << "\n    }" << (i + 1 < entries_.size() ? "," : "")
+                << "\n";
+        }
+        out << "  ]\n}\n";
+        return static_cast<bool>(out);
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        double iterations = 0.0;
+        double wallSeconds = 0.0;
+        std::vector<std::pair<std::string, double>> counters;
+    };
+
+    std::vector<Entry> entries_;
+};
+
 } // namespace
 
 BENCHMARK(BM_LinearSweep)->Arg(64)->Arg(256)->Arg(1024);
@@ -159,4 +228,18 @@ BENCHMARK(BM_BatchPipeline)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonDumpReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    const char *jsonPath = "BENCH_pipeline.json";
+    if (reporter.writeJson(jsonPath))
+        std::printf("wrote %s\n", jsonPath);
+    else
+        std::fprintf(stderr, "failed to write %s\n", jsonPath);
+    return 0;
+}

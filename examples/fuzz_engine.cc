@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Differential fuzzing driver: generate seeded synthetic binaries,
+ * mutate them structure-aware, run every invariant oracle on each
+ * mutant, and report deduplicated divergences. A non-zero exit code
+ * means an invariant broke somewhere in the engine, decoder, superset,
+ * batch pipeline, or ground-truth generator.
+ *
+ * Usage:
+ *   fuzz_engine [--runs N] [--seed S] [--jobs N] [--minimize]
+ *               [--corpus-dir DIR] [--known-gaps DIR]
+ *               [--max-mutations N] [--functions LO:HI]
+ *               [--no-batch] [--no-baselines]
+ *
+ * --known-gaps points at a directory of checked-in reproducers (e.g.
+ * tests/corpus); oracles they mark `expect divergence` are reported
+ * but do not fail the campaign — the replay test tracks them.
+ *
+ * Identical --seed reproduces the identical corpus and identical
+ * findings at any --jobs value.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "fuzz/runner.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace accdis;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--runs N] [--seed S] [--jobs N] "
+                 "[--minimize] [--corpus-dir DIR] [--known-gaps DIR] "
+                 "[--max-mutations N] [--functions LO:HI] "
+                 "[--no-batch] [--no-baselines]\n",
+                 argv0);
+    return 2;
+}
+
+/** Oracles marked `expect divergence` by reproducers under @p dir. */
+std::vector<std::string>
+loadKnownGaps(const std::string &dir)
+{
+    std::vector<std::string> oracles;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".repro")
+            continue;
+        fuzz::Reproducer repro =
+            fuzz::loadReproducerFile(entry.path().string());
+        if (!repro.expectsClean() &&
+            std::find(oracles.begin(), oracles.end(), repro.expect) ==
+                oracles.end()) {
+            oracles.push_back(repro.expect);
+        }
+    }
+    std::sort(oracles.begin(), oracles.end());
+    return oracles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fuzz::FuzzConfig config;
+    config.runs = 1000;
+    config.seed = 1;
+    config.jobs = 1;
+    config.minimize = false;
+    std::string knownGapsDir;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--runs") && i + 1 < argc) {
+            config.runs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+            config.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            config.jobs = static_cast<unsigned>(
+                std::max(0, std::atoi(argv[++i])));
+        } else if (!std::strcmp(argv[i], "--minimize")) {
+            config.minimize = true;
+        } else if (!std::strcmp(argv[i], "--corpus-dir") &&
+                   i + 1 < argc) {
+            config.corpusDir = argv[++i];
+        } else if (!std::strcmp(argv[i], "--known-gaps") &&
+                   i + 1 < argc) {
+            knownGapsDir = argv[++i];
+        } else if (!std::strcmp(argv[i], "--max-mutations") &&
+                   i + 1 < argc) {
+            config.maxMutations = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--functions") &&
+                   i + 1 < argc) {
+            const char *range = argv[++i];
+            const char *colon = std::strchr(range, ':');
+            if (colon == nullptr)
+                return usage(argv[0]);
+            config.minFunctions = std::atoi(range);
+            config.maxFunctions = std::atoi(colon + 1);
+        } else if (!std::strcmp(argv[i], "--no-batch")) {
+            config.oracle.checkBatch = false;
+        } else if (!std::strcmp(argv[i], "--no-baselines")) {
+            config.oracle.checkBaselines = false;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    try {
+        if (!knownGapsDir.empty()) {
+            config.knownOracles = loadKnownGaps(knownGapsDir);
+            for (const std::string &oracle : config.knownOracles)
+                std::printf("known gap: %s\n", oracle.c_str());
+        }
+        std::printf("fuzzing: %llu runs, seed %llu, %u jobs, up to %d "
+                    "mutations per run\n",
+                    static_cast<unsigned long long>(config.runs),
+                    static_cast<unsigned long long>(config.seed),
+                    config.jobs, config.maxMutations);
+        fuzz::FuzzRunner runner(config);
+        fuzz::FuzzReport report = runner.run();
+
+        std::printf("done: %llu runs (%llu pristine, %llu mutation "
+                    "steps) in %.1f s (%.1f runs/s)\n",
+                    static_cast<unsigned long long>(report.runs),
+                    static_cast<unsigned long long>(
+                        report.pristineRuns),
+                    static_cast<unsigned long long>(report.totalSteps),
+                    report.wallSeconds,
+                    report.wallSeconds > 0.0
+                        ? static_cast<double>(report.runs) /
+                              report.wallSeconds
+                        : 0.0);
+        std::printf("baseline divergence histogram (bytes): "
+                    "engine=code/sweep=data %llu, "
+                    "engine=data/sweep=code %llu, "
+                    "engine=code/rec=data %llu, "
+                    "engine=data/rec=code %llu\n",
+                    static_cast<unsigned long long>(
+                        report.baseline.engineCodeSweepData),
+                    static_cast<unsigned long long>(
+                        report.baseline.engineDataSweepCode),
+                    static_cast<unsigned long long>(
+                        report.baseline.engineCodeRecData),
+                    static_cast<unsigned long long>(
+                        report.baseline.engineDataRecCode));
+
+        std::printf("%zu deduplicated finding(s)\n",
+                    report.findings.size());
+        for (const fuzz::Finding &finding : report.findings) {
+            std::printf("  [%s]%s %s\n",
+                        finding.divergence.key.c_str(),
+                        finding.known ? " (known gap)" : "",
+                        finding.divergence.detail.c_str());
+            std::printf("    first at run %llu, %llu duplicate(s); "
+                        "repro: preset=%s seed=%llu functions=%d "
+                        "steps=%zu%s%s\n",
+                        static_cast<unsigned long long>(
+                            finding.runIndex),
+                        static_cast<unsigned long long>(
+                            finding.duplicates),
+                        finding.spec.preset.c_str(),
+                        static_cast<unsigned long long>(
+                            finding.spec.corpusSeed),
+                        finding.spec.numFunctions,
+                        finding.spec.steps.size(),
+                        finding.reproducerPath.empty() ? ""
+                                                       : " -> ",
+                        finding.reproducerPath.c_str());
+        }
+        if (report.clean()) {
+            std::printf("no unexplained invariant violations\n");
+            return 0;
+        }
+        return 1;
+    } catch (const Error &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+}

@@ -1,0 +1,394 @@
+#include "fuzz/mutator.hh"
+
+#include <algorithm>
+
+#include "x86/decoder.hh"
+
+namespace accdis::fuzz
+{
+
+namespace
+{
+
+using synth::ByteClass;
+using synth::DataOrigin;
+using synth::GroundTruth;
+
+/** Mutable working copy of a binary while steps apply. */
+struct Working
+{
+    std::string name;
+    Addr textBase = 0;
+    ByteVec text;
+    bool hasRodata = false;
+    Addr rodataBase = 0;
+    ByteVec rodata;
+    GroundTruth truth;
+    std::vector<Offset> starts;         ///< Maintained, sorted.
+    std::vector<Offset> functionStarts; ///< From the seed binary.
+    std::vector<Addr> entryPoints;
+};
+
+/** Decoded length at a maintained start (>= 1 by maintenance). */
+u8
+lengthAt(const ByteVec &text, Offset off)
+{
+    x86::Instruction insn = x86::decode(text, off);
+    return insn.valid() ? insn.length : 1;
+}
+
+/**
+ * Retire every maintained start whose instruction bytes intersect
+ * [begin, end). Must run *before* the bytes are modified, so lengths
+ * still come from the unmutated encodings.
+ */
+void
+retireStarts(Working &w, Offset begin, Offset end)
+{
+    Offset scanFrom = begin >= 14 ? begin - 14 : 0;
+    auto lo = std::lower_bound(w.starts.begin(), w.starts.end(),
+                               scanFrom);
+    auto hi = std::lower_bound(w.starts.begin(), w.starts.end(), end);
+    auto keep = [&](Offset s) {
+        return s + lengthAt(w.text, s) <= begin;
+    };
+    w.starts.erase(std::remove_if(lo, hi,
+                                  [&](Offset s) { return !keep(s); }),
+                   hi);
+}
+
+/** Contiguous runs of data bytes with the given origin, by scan. */
+std::vector<std::pair<Offset, Offset>>
+originRuns(const GroundTruth &truth, DataOrigin origin)
+{
+    std::vector<std::pair<Offset, Offset>> runs;
+    for (const auto &interval : truth.intervals()) {
+        if (interval.label != ByteClass::Data)
+            continue;
+        Offset runBegin = kNoAddr;
+        for (Offset off = interval.begin; off <= interval.end; ++off) {
+            bool match =
+                off < interval.end &&
+                truth.dataOriginAt(off) == std::optional(origin);
+            if (match && runBegin == kNoAddr)
+                runBegin = off;
+            if (!match && runBegin != kNoAddr) {
+                runs.emplace_back(runBegin, off);
+                runBegin = kNoAddr;
+            }
+        }
+    }
+    return runs;
+}
+
+void
+flipRandomByte(Working &w, Rng &rng)
+{
+    if (w.text.empty())
+        return;
+    Offset at = rng.below(w.text.size());
+    u8 mask = static_cast<u8>(1u << rng.below(8));
+    retireStarts(w, at, at + 1);
+    w.text[at] ^= mask;
+}
+
+void
+spliceData(Working &w, Rng &rng)
+{
+    std::vector<std::pair<Offset, Offset>> codeIntervals;
+    for (const auto &interval : w.truth.intervals()) {
+        if (interval.label == ByteClass::Code &&
+            interval.end - interval.begin >= 6) {
+            codeIntervals.emplace_back(interval.begin, interval.end);
+        }
+    }
+    if (codeIntervals.empty()) {
+        flipRandomByte(w, rng);
+        return;
+    }
+    auto [ivBegin, ivEnd] =
+        codeIntervals[rng.below(codeIntervals.size())];
+    u64 ivLen = ivEnd - ivBegin;
+    u64 len = rng.range(4, std::min<u64>(32, ivLen));
+    Offset begin = ivBegin + rng.below(ivLen - len + 1);
+    retireStarts(w, begin, begin + len);
+    bool ascii = rng.chance(0.5);
+    for (u64 i = 0; i < len; ++i) {
+        w.text[begin + i] =
+            ascii ? static_cast<u8>(0x20 + rng.below(0x5f))
+                  : static_cast<u8>(rng.below(256));
+    }
+    w.truth.setClass(begin, begin + len, ByteClass::Data);
+    w.truth.setDataOrigin(begin, begin + len, DataOrigin::RandomBlob);
+}
+
+void
+perturbJumpTable(Working &w, Rng &rng)
+{
+    auto runs = originRuns(w.truth, DataOrigin::JumpTable);
+    if (!runs.empty()) {
+        auto [begin, end] = runs[rng.below(runs.size())];
+        u64 flips = rng.range(1, 4);
+        for (u64 i = 0; i < flips; ++i) {
+            Offset at = begin + rng.below(end - begin);
+            w.text[at] ^= static_cast<u8>(1u << rng.below(8));
+        }
+        return;
+    }
+    if (w.hasRodata && w.rodata.size() >= 4) {
+        // GCC-layout tables live out of section; corrupt those.
+        u64 flips = rng.range(1, 4);
+        for (u64 i = 0; i < flips; ++i) {
+            Offset at = rng.below(w.rodata.size());
+            w.rodata[at] ^= static_cast<u8>(1u << rng.below(8));
+        }
+        return;
+    }
+    flipRandomByte(w, rng);
+}
+
+void
+flipCodeByte(Working &w, Rng &rng)
+{
+    if (w.starts.empty()) {
+        flipRandomByte(w, rng);
+        return;
+    }
+    Offset s = w.starts[rng.below(w.starts.size())];
+    u8 len = lengthAt(w.text, s);
+    Offset at = s + rng.below(len);
+    u8 mask = static_cast<u8>(1u << rng.below(8));
+    retireStarts(w, at, at + 1);
+    w.text[at] ^= mask;
+}
+
+void
+flipPrefix(Working &w, Rng &rng)
+{
+    static constexpr u8 kPrefixes[] = {0x66, 0xf2, 0xf3, 0xf0,
+                                       0x48, 0x67, 0x2e, 0x41};
+    if (w.starts.empty()) {
+        flipRandomByte(w, rng);
+        return;
+    }
+    Offset s = w.starts[rng.below(w.starts.size())];
+    u8 prefix = kPrefixes[rng.below(std::size(kPrefixes))];
+    retireStarts(w, s, s + 1);
+    w.text[s] = prefix;
+}
+
+void
+overlapJump(Working &w, Rng &rng)
+{
+    std::vector<Offset> candidates;
+    for (Offset s : w.starts) {
+        if (lengthAt(w.text, s) >= 3)
+            candidates.push_back(s);
+    }
+    if (candidates.empty()) {
+        flipRandomByte(w, rng);
+        return;
+    }
+    Offset s = candidates[rng.below(candidates.size())];
+    u8 len = lengthAt(w.text, s);
+    // jmp rel8 at s whose target lands on one of the old
+    // instruction's tail bytes: two decode streams now overlap.
+    u8 disp = static_cast<u8>(rng.below(len - 2u));
+    retireStarts(w, s, s + 2);
+    w.text[s] = 0xeb;
+    w.text[s + 1] = disp;
+    // The planted jmp is a real instruction: maintain its start.
+    auto pos = std::lower_bound(w.starts.begin(), w.starts.end(), s);
+    if (pos == w.starts.end() || *pos != s)
+        w.starts.insert(pos, s);
+}
+
+void
+truncateSection(Working &w, Rng &rng)
+{
+    if (w.text.size() <= 32 || w.starts.empty())
+        return;
+    std::vector<Offset> candidates;
+    for (Offset s : w.starts) {
+        if (lengthAt(w.text, s) >= 2 && s >= 16)
+            candidates.push_back(s);
+    }
+    if (candidates.empty())
+        return;
+    Offset s = candidates[rng.below(candidates.size())];
+    u8 len = lengthAt(w.text, s);
+    Offset cut = s + rng.range(1, static_cast<u64>(len) - 1);
+
+    // Decode lengths before the resize; keep fully surviving starts.
+    std::vector<Offset> kept;
+    for (Offset start : w.starts) {
+        if (start + lengthAt(w.text, start) <= cut)
+            kept.push_back(start);
+    }
+    w.text.resize(cut);
+    w.starts = std::move(kept);
+
+    // Rebuild the truth clipped to the new size.
+    GroundTruth clipped;
+    for (const auto &interval : w.truth.intervals()) {
+        Offset end = std::min<Offset>(interval.end, cut);
+        if (interval.begin < end)
+            clipped.setClass(interval.begin, end, interval.label);
+    }
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(DataOrigin::NumOrigins); ++k) {
+        auto origin = static_cast<DataOrigin>(k);
+        for (auto [begin, end] : originRuns(w.truth, origin)) {
+            Offset clippedEnd = std::min<Offset>(end, cut);
+            if (begin < clippedEnd)
+                clipped.setDataOrigin(begin, clippedEnd, origin);
+        }
+    }
+    w.truth = std::move(clipped);
+    w.functionStarts.erase(
+        std::remove_if(w.functionStarts.begin(), w.functionStarts.end(),
+                       [&](Offset f) { return f >= cut; }),
+        w.functionStarts.end());
+}
+
+void
+applyStep(Working &w, const MutationStep &step)
+{
+    Rng rng(step.seed);
+    switch (step.kind) {
+      case MutationKind::SpliceData:
+        spliceData(w, rng);
+        break;
+      case MutationKind::PerturbJumpTable:
+        perturbJumpTable(w, rng);
+        break;
+      case MutationKind::FlipCodeByte:
+        flipCodeByte(w, rng);
+        break;
+      case MutationKind::FlipPrefix:
+        flipPrefix(w, rng);
+        break;
+      case MutationKind::OverlapJump:
+        overlapJump(w, rng);
+        break;
+      case MutationKind::TruncateSection:
+        truncateSection(w, rng);
+        break;
+      case MutationKind::FlipRandomByte:
+      case MutationKind::NumKinds:
+        flipRandomByte(w, rng);
+        break;
+    }
+}
+
+} // namespace
+
+const char *
+mutationKindName(MutationKind kind)
+{
+    switch (kind) {
+      case MutationKind::SpliceData:
+        return "splice-data";
+      case MutationKind::PerturbJumpTable:
+        return "perturb-jump-table";
+      case MutationKind::FlipCodeByte:
+        return "flip-code-byte";
+      case MutationKind::FlipPrefix:
+        return "flip-prefix";
+      case MutationKind::OverlapJump:
+        return "overlap-jump";
+      case MutationKind::TruncateSection:
+        return "truncate-section";
+      case MutationKind::FlipRandomByte:
+        return "flip-random-byte";
+      case MutationKind::NumKinds:
+        break;
+    }
+    return "unknown";
+}
+
+MutationKind
+mutationKindFromName(const std::string &name)
+{
+    for (std::size_t k = 0; k < kNumMutationKinds; ++k) {
+        auto kind = static_cast<MutationKind>(k);
+        if (name == mutationKindName(kind))
+            return kind;
+    }
+    return MutationKind::NumKinds;
+}
+
+Mutant
+mutate(const synth::SynthBinary &seedBinary,
+       const std::vector<MutationStep> &steps)
+{
+    Working w;
+    w.name = seedBinary.image.name();
+    w.truth = seedBinary.truth;
+    w.starts = seedBinary.truth.insnStarts();
+    w.functionStarts = seedBinary.truth.functionStarts();
+    w.entryPoints = seedBinary.image.entryPoints();
+    for (const Section &sec : seedBinary.image.sections()) {
+        if (sec.flags().executable) {
+            w.textBase = sec.base();
+            w.text.assign(sec.bytes().begin(), sec.bytes().end());
+        } else {
+            w.hasRodata = true;
+            w.rodataBase = sec.base();
+            w.rodata.assign(sec.bytes().begin(), sec.bytes().end());
+        }
+    }
+
+    for (const MutationStep &step : steps)
+        applyStep(w, step);
+
+    // A function start is only meaningful while its instruction
+    // survives; retired starts drop out of the function list too.
+    w.functionStarts.erase(
+        std::remove_if(w.functionStarts.begin(), w.functionStarts.end(),
+                       [&](Offset f) {
+                           return !std::binary_search(w.starts.begin(),
+                                                      w.starts.end(), f);
+                       }),
+        w.functionStarts.end());
+
+    Mutant mutant;
+    mutant.steps = steps;
+    mutant.image = BinaryImage(w.name);
+    SectionFlags execFlags;
+    execFlags.executable = true;
+    u64 textSize = w.text.size();
+    mutant.image.addSection(
+        Section(".text", w.textBase, std::move(w.text), execFlags));
+    if (w.hasRodata) {
+        mutant.image.addSection(Section(".rodata", w.rodataBase,
+                                        std::move(w.rodata),
+                                        SectionFlags{}));
+    }
+    for (Addr entry : w.entryPoints) {
+        if (entry >= w.textBase && entry - w.textBase < textSize)
+            mutant.image.addEntryPoint(entry);
+    }
+    mutant.truth = std::move(w.truth);
+    mutant.truth.setInsnStarts(std::move(w.starts));
+    mutant.truth.setFunctionStarts(std::move(w.functionStarts));
+    return mutant;
+}
+
+std::vector<MutationStep>
+randomSteps(Rng &rng, int maxSteps)
+{
+    u64 count = rng.below(static_cast<u64>(std::max(0, maxSteps)) + 1);
+    std::vector<MutationStep> steps;
+    steps.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        MutationStep step;
+        step.kind =
+            static_cast<MutationKind>(rng.below(kNumMutationKinds));
+        step.seed = rng.next();
+        steps.push_back(step);
+    }
+    return steps;
+}
+
+} // namespace accdis::fuzz

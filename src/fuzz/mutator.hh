@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Structure-aware, seed-driven mutation of synthetic binaries.
+ *
+ * Unlike a blind byte fuzzer, the mutator knows the ground truth of
+ * the binary it perturbs, so every mutation also *maintains* the parts
+ * of the truth that remain valid: instruction starts whose bytes were
+ * touched are retired, regions overwritten with data are relabeled,
+ * and truncation clips every record to the new section size. That
+ * maintained truth is what lets the oracles keep checking superset
+ * soundness on mutants, not just on pristine binaries.
+ *
+ * Replayability: a mutation is fully described by (kind, seed). All
+ * randomness inside a step is drawn from an Rng constructed from that
+ * seed, and steps apply in order, so a (corpus config, step list) pair
+ * reproduces a mutant bit-for-bit — the basis of the reproducer files
+ * under tests/corpus/.
+ */
+
+#ifndef ACCDIS_FUZZ_MUTATOR_HH
+#define ACCDIS_FUZZ_MUTATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+#include "synth/corpus.hh"
+
+namespace accdis::fuzz
+{
+
+/** The structure-aware mutation repertoire. */
+enum class MutationKind : u8
+{
+    SpliceData = 0,   ///< Overwrite a code range with data-like bytes.
+    PerturbJumpTable, ///< Corrupt entries of a jump table (or .rodata).
+    FlipCodeByte,     ///< Flip one bit inside a real instruction.
+    FlipPrefix,       ///< Replace an instruction's first byte with a
+                      ///< prefix (66/F2/F3/F0/REX/67/segment).
+    OverlapJump,      ///< Rewrite an instruction head into a short jmp
+                      ///< landing inside its own tail bytes.
+    TruncateSection,  ///< Cut the section mid-instruction.
+    FlipRandomByte,   ///< Flip one bit anywhere in the section.
+    NumKinds,
+};
+
+/** Number of MutationKind values. */
+inline constexpr std::size_t kNumMutationKinds =
+    static_cast<std::size_t>(MutationKind::NumKinds);
+
+/** Stable lowercase name of @p kind (reproducer files, logs). */
+const char *mutationKindName(MutationKind kind);
+
+/** Parse a mutation kind name; returns NumKinds when unknown. */
+MutationKind mutationKindFromName(const std::string &name);
+
+/** One replayable mutation: all step randomness derives from seed. */
+struct MutationStep
+{
+    MutationKind kind = MutationKind::FlipRandomByte;
+    u64 seed = 0;
+
+    bool
+    operator==(const MutationStep &other) const
+    {
+        return kind == other.kind && seed == other.seed;
+    }
+};
+
+/**
+ * A mutated binary plus its maintained ground truth.
+ *
+ * `truth` stays sound on mutants in the following sense: every
+ * recorded instruction start still decodes to a valid instruction
+ * whose bytes were not modified (starts overlapping mutated bytes are
+ * retired; starts the mutator itself planted, e.g. OverlapJump heads,
+ * are added). Accuracy-style oracles that need the *full* semantic
+ * truth (error counts, byte classes) must check `pristine()`.
+ */
+struct Mutant
+{
+    BinaryImage image;
+    synth::GroundTruth truth;
+    std::vector<MutationStep> steps;
+
+    /** True when no mutation was applied (full truth semantics). */
+    bool pristine() const { return steps.empty(); }
+};
+
+/**
+ * Apply @p steps, in order, to a fresh copy of @p seedBinary.
+ * Deterministic: identical inputs produce an identical mutant. Steps
+ * that find no applicable site (e.g. PerturbJumpTable on a binary
+ * without tables) degrade to the nearest applicable mutation or to a
+ * no-op, still deterministically.
+ */
+Mutant mutate(const synth::SynthBinary &seedBinary,
+              const std::vector<MutationStep> &steps);
+
+/**
+ * Draw a random mutation chain of up to @p maxSteps steps (possibly
+ * zero, so pristine binaries stay in the corpus mix).
+ */
+std::vector<MutationStep> randomSteps(Rng &rng, int maxSteps);
+
+} // namespace accdis::fuzz
+
+#endif // ACCDIS_FUZZ_MUTATOR_HH

@@ -1,0 +1,397 @@
+#include "fuzz/oracle.hh"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "baseline/baselines.hh"
+#include "eval/metrics.hh"
+#include "pipeline/batch.hh"
+#include "superset/superset.hh"
+#include "x86/decoder.hh"
+
+namespace accdis::fuzz
+{
+
+namespace
+{
+
+/** Compact byte-identity fingerprint of a full-image analysis. */
+std::string
+fingerprint(const std::vector<DisassemblyEngine::SectionResult> &secs)
+{
+    std::ostringstream out;
+    for (const auto &sec : secs) {
+        out << sec.name << "@" << sec.base << ":";
+        for (const auto &entry : sec.result.map.entries()) {
+            out << entry.begin << "-" << entry.end
+                << (entry.label == ResultClass::Code ? "c" : "d");
+        }
+        out << "|";
+        for (Offset s : sec.result.insnStarts)
+            out << s << ",";
+        out << "|";
+        for (const auto &entry : sec.result.provenance.entries()) {
+            out << entry.begin << "-" << entry.end << "p"
+                << static_cast<int>(entry.label);
+        }
+        out << ";";
+    }
+    return out.str();
+}
+
+/** First executable section of @p image, or nullptr. */
+const Section *
+firstExecSection(const BinaryImage &image)
+{
+    for (const Section &sec : image.sections()) {
+        if (sec.flags().executable)
+            return &sec;
+    }
+    return nullptr;
+}
+
+/** Entry points of @p image as offsets into @p sec. */
+std::vector<Offset>
+entryOffsets(const BinaryImage &image, const Section &sec)
+{
+    std::vector<Offset> offsets;
+    for (Addr entry : image.entryPoints()) {
+        if (sec.containsVaddr(entry))
+            offsets.push_back(sec.toOffset(entry));
+    }
+    return offsets;
+}
+
+/** Emit one divergence per (oracle, category), however often it hit. */
+class Collector
+{
+  public:
+    explicit Collector(std::vector<Divergence> &out) : out_(out) {}
+
+    void
+    report(const std::string &oracle, const std::string &category,
+           const std::string &detail)
+    {
+        std::string key = oracle + ":" + category;
+        if (std::find(seen_.begin(), seen_.end(), key) != seen_.end())
+            return;
+        seen_.push_back(key);
+        out_.push_back({oracle, key, detail});
+    }
+
+  private:
+    std::vector<Divergence> &out_;
+    std::vector<std::string> seen_;
+};
+
+void
+checkDecodeStability(ByteSpan bytes, const std::string &secName,
+                     Collector &collector)
+{
+    for (Offset off = 0; off < bytes.size(); ++off) {
+        x86::Instruction full = x86::decode(bytes, off);
+        if (!full.valid())
+            continue;
+        std::ostringstream at;
+        at << secName << "+0x" << std::hex << off;
+        if (full.length < 1 || full.length > 15) {
+            collector.report("decode-stability", "length-range",
+                             at.str() + ": reported length " +
+                                 std::to_string(full.length));
+            continue;
+        }
+        if (full.end() > bytes.size()) {
+            collector.report("decode-stability", "overrun",
+                             at.str() + ": decode end " +
+                                 std::to_string(full.end()) +
+                                 " past section size " +
+                                 std::to_string(bytes.size()));
+            continue;
+        }
+        // Re-decode from a slice of exactly the reported bytes: the
+        // decoder must not have peeked past its own length.
+        ByteSpan slice = bytes.subspan(off, full.length);
+        x86::Instruction again = x86::decode(slice, 0);
+        if (!again.valid()) {
+            collector.report("decode-stability", "slice-invalid",
+                             at.str() +
+                                 ": valid decode turned invalid when "
+                                 "re-decoded from its own bytes");
+            continue;
+        }
+        bool sameTarget =
+            again.hasTarget == full.hasTarget &&
+            (!full.hasTarget ||
+             again.target + static_cast<s64>(off) == full.target);
+        if (again.length != full.length || again.op != full.op ||
+            again.flow != full.flow || again.flags != full.flags ||
+            !sameTarget) {
+            collector.report("decode-stability", "facet-mismatch",
+                             at.str() +
+                                 ": slice re-decode disagrees (length " +
+                                 std::to_string(again.length) + " vs " +
+                                 std::to_string(full.length) + ")");
+        }
+    }
+}
+
+void
+checkSuperset(ByteSpan bytes, const synth::GroundTruth &truth,
+              const std::string &secName, bool checkSoundness,
+              Collector &collector)
+{
+    Superset superset(bytes);
+    for (Offset off = 0; off < bytes.size(); ++off) {
+        const SupersetNode &node = superset.node(off);
+        x86::Instruction full = x86::decode(bytes, off);
+        std::ostringstream at;
+        at << secName << "+0x" << std::hex << off;
+        if (node.valid() != full.valid()) {
+            collector.report("superset-consistency", "validity",
+                             at.str() + ": node valid=" +
+                                 std::to_string(node.valid()) +
+                                 " decoder valid=" +
+                                 std::to_string(full.valid()));
+            continue;
+        }
+        if (!full.valid())
+            continue;
+        bool sameTarget =
+            node.hasTarget == full.hasTarget &&
+            (!full.hasTarget ||
+             static_cast<s64>(off) + node.targetRel == full.target);
+        if (node.length != full.length || node.op != full.op ||
+            node.flow != full.flow || node.flags != full.flags ||
+            node.regsRead != full.regsRead ||
+            node.regsWritten != full.regsWritten || !sameTarget) {
+            collector.report("superset-consistency", "facets",
+                             at.str() +
+                                 ": compact node disagrees with full "
+                                 "decode");
+        }
+    }
+    if (!checkSoundness)
+        return;
+    for (Offset start : truth.insnStarts()) {
+        if (start >= bytes.size() || !superset.validAt(start)) {
+            std::ostringstream detail;
+            detail << secName << "+0x" << std::hex << start
+                   << ": ground-truth instruction start has no valid "
+                      "superset decode";
+            collector.report("superset-soundness", "missing-start",
+                             detail.str());
+        }
+    }
+}
+
+void
+classifyBaselineDivergence(const Classification &engine,
+                           const Classification &sweep,
+                           const Classification &recursive,
+                           u64 sectionSize, BaselineDivergenceStats &out)
+{
+    for (Offset b = 0; b < sectionSize; ++b) {
+        auto engineAt = engine.map.at(b);
+        bool engineCode = engineAt && *engineAt == ResultClass::Code;
+        auto sweepAt = sweep.map.at(b);
+        bool sweepCode = sweepAt && *sweepAt == ResultClass::Code;
+        auto recAt = recursive.map.at(b);
+        bool recCode = recAt && *recAt == ResultClass::Code;
+        if (engineCode && !sweepCode)
+            ++out.engineCodeSweepData;
+        if (!engineCode && sweepCode)
+            ++out.engineDataSweepCode;
+        if (engineCode && !recCode)
+            ++out.engineCodeRecData;
+        if (!engineCode && recCode)
+            ++out.engineDataRecCode;
+    }
+}
+
+} // namespace
+
+std::vector<Divergence>
+checkResultWellFormed(const Classification &result, u64 sectionSize,
+                      const std::string &tool)
+{
+    std::vector<Divergence> divergences;
+    Collector collector(divergences);
+    const std::string oracle = "result-well-formed";
+
+    // The code/data map must tile [0, sectionSize) exactly.
+    Offset cursor = 0;
+    for (const auto &entry : result.map.entries()) {
+        if (entry.begin != cursor) {
+            collector.report(oracle, tool + ":coverage-gap",
+                             tool + ": map gap at offset " +
+                                 std::to_string(cursor));
+            break;
+        }
+        cursor = entry.end;
+    }
+    if (divergences.empty() && cursor != sectionSize && sectionSize > 0) {
+        collector.report(oracle, tool + ":coverage-end",
+                         tool + ": map covers " + std::to_string(cursor) +
+                             " of " + std::to_string(sectionSize) +
+                             " bytes");
+    }
+
+    Offset prev = kNoAddr;
+    for (Offset s : result.insnStarts) {
+        if (s >= sectionSize) {
+            collector.report(oracle, tool + ":start-range",
+                             tool + ": instruction start " +
+                                 std::to_string(s) +
+                                 " outside the section");
+            break;
+        }
+        if (prev != kNoAddr && s <= prev) {
+            collector.report(oracle, tool + ":start-order",
+                             tool +
+                                 ": instruction starts not strictly "
+                                 "increasing at " +
+                                 std::to_string(s));
+            break;
+        }
+        auto cls = result.map.at(s);
+        if (!cls || *cls != ResultClass::Code) {
+            collector.report(oracle, tool + ":start-class",
+                             tool + ": instruction start " +
+                                 std::to_string(s) +
+                                 " not classified as code");
+            break;
+        }
+        prev = s;
+    }
+    return divergences;
+}
+
+OracleReport
+runOracles(const Mutant &mutant, const OracleOptions &options)
+{
+    OracleReport report;
+    Collector collector(report.divergences);
+
+    const Section *text = firstExecSection(mutant.image);
+    if (text == nullptr)
+        return report;
+    ByteSpan bytes = text->bytes();
+
+    // --- Decoder / superset invariants (no engine involved) ---------
+    checkDecodeStability(bytes, text->name(), collector);
+    checkSuperset(bytes, mutant.truth, text->name(),
+                  /*checkSoundness=*/true, collector);
+
+    // --- Engine determinism: serial twice, then serial vs batch -----
+    DisassemblyEngine engine(options.engine);
+    auto first = engine.analyzeAll(mutant.image);
+    auto second = engine.analyzeAll(mutant.image);
+    std::string reference = fingerprint(first);
+    if (fingerprint(second) != reference) {
+        collector.report("engine-determinism", "serial-rerun",
+                         "two serial analyzeAll runs disagree on " +
+                             mutant.image.name());
+    }
+    if (options.checkBatch) {
+        pipeline::BatchConfig batchConfig;
+        batchConfig.jobs = options.batchJobs;
+        batchConfig.engine = options.engine;
+        pipeline::BatchAnalyzer analyzer(batchConfig);
+        pipeline::BatchReport batch =
+            analyzer.run({&mutant.image});
+        if (batch.results.size() != 1 || !batch.results[0].ok()) {
+            collector.report("engine-determinism", "batch-error",
+                             "BatchAnalyzer failed on " +
+                                 mutant.image.name() + ": " +
+                                 (batch.results.empty()
+                                      ? "no result"
+                                      : batch.results[0].error));
+        } else if (fingerprint(batch.results[0].sections) !=
+                   reference) {
+            collector.report("engine-determinism", "batch-vs-serial",
+                             "BatchAnalyzer output differs from serial "
+                             "analyzeAll on " +
+                                 mutant.image.name());
+        }
+    }
+
+    // --- Structural validity of every produced classification -------
+    for (const auto &sec : first) {
+        u64 size = 0;
+        for (const Section &imageSec : mutant.image.sections()) {
+            if (imageSec.name() == sec.name)
+                size = imageSec.size();
+        }
+        for (Divergence &d :
+             checkResultWellFormed(sec.result, size, "engine")) {
+            collector.report(d.oracle, d.key, d.detail);
+        }
+    }
+
+    const Classification &engineText = first[0].result;
+
+    // --- Baselines: well-formedness, soundness, divergence buckets --
+    if (options.checkBaselines) {
+        std::vector<Offset> entries = entryOffsets(mutant.image, *text);
+        std::vector<AuxRegion> aux = auxRegionsOf(mutant.image);
+        LinearSweep sweepTool;
+        RecursiveTraversal recursiveTool;
+        Classification sweep = sweepTool.analyzeSection(
+            bytes, entries, text->base(), aux);
+        Classification recursive = recursiveTool.analyzeSection(
+            bytes, entries, text->base(), aux);
+        for (Divergence &d : checkResultWellFormed(
+                 sweep, bytes.size(), "linear-sweep")) {
+            collector.report(d.oracle, d.key, d.detail);
+        }
+        for (Divergence &d : checkResultWellFormed(
+                 recursive, bytes.size(), "recursive")) {
+            collector.report(d.oracle, d.key, d.detail);
+        }
+        classifyBaselineDivergence(engineText, sweep, recursive,
+                                   bytes.size(), report.baseline);
+
+        // Recursive traversal only follows provable direct flow, so
+        // on a pristine binary everything it finds must be real.
+        if (mutant.pristine()) {
+            for (Offset s : recursive.insnStarts) {
+                if (!mutant.truth.isInsnStart(s)) {
+                    std::ostringstream detail;
+                    detail << "recursive traversal start 0x" << std::hex
+                           << s
+                           << " is not a ground-truth instruction "
+                              "start";
+                    collector.report("recursive-soundness",
+                                     "false-start", detail.str());
+                    break;
+                }
+            }
+        }
+    }
+
+    // --- Error-correction monotonicity (full truth required) --------
+    if (mutant.pristine()) {
+        EngineConfig noEc = options.engine;
+        noEc.useErrorCorrection = false;
+        DisassemblyEngine plain(noEc);
+        Classification uncorrected = plain.analyze(mutant.image);
+        AccuracyMetrics with =
+            compareToTruth(engineText, mutant.truth);
+        AccuracyMetrics without =
+            compareToTruth(uncorrected, mutant.truth);
+        if (options.engine.useErrorCorrection &&
+            with.errors() > without.errors()) {
+            collector.report(
+                "ec-monotonicity", "more-errors",
+                "error correction raised the error count from " +
+                    std::to_string(without.errors()) + " to " +
+                    std::to_string(with.errors()) + " on " +
+                    mutant.image.name());
+        }
+    }
+
+    return report;
+}
+
+} // namespace accdis::fuzz

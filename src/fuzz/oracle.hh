@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Differential and invariant oracles run on every fuzz mutant.
+ *
+ * An oracle checks a property that must hold for *any* input, valid
+ * or corrupted — so a violation is a bug in the engine, the decoder,
+ * the superset, the batch pipeline, or the ground-truth generator,
+ * never an "inaccuracy" of the classifier:
+ *
+ *  - decode-stability: a valid decode at offset o re-decodes
+ *    identically from a slice of exactly its own bytes (the decoder
+ *    never reads past the length it reports), lengths stay in
+ *    [1, 15], and no decode overruns the section;
+ *  - superset-consistency: every SupersetNode facet equals the full
+ *    decoder's answer at that offset;
+ *  - superset-soundness: every maintained ground-truth instruction
+ *    start has a valid superset decode;
+ *  - result-well-formed: every tool's Classification covers the
+ *    section exactly, with sorted unique in-range instruction starts
+ *    that land on code-classified bytes;
+ *  - engine-determinism: two serial runs agree byte-for-byte, and a
+ *    BatchAnalyzer run agrees with serial at any job count;
+ *  - ec-monotonicity (pristine binaries only): enabling prioritized
+ *    error correction never increases the ground-truth error count;
+ *  - recursive-soundness (pristine binaries only): every instruction
+ *    start found by recursive traversal from the true entry points is
+ *    a ground-truth instruction start (cross-checks the generator
+ *    against the decoder, the Li et al. failure mode).
+ *
+ * Engine-vs-baseline disagreement is *classified*, not flagged: the
+ * per-byte divergence histogram feeds the runner's report so shifts
+ * in baseline behavior are visible without declaring either side
+ * wrong.
+ */
+
+#ifndef ACCDIS_FUZZ_ORACLE_HH
+#define ACCDIS_FUZZ_ORACLE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "fuzz/mutator.hh"
+
+namespace accdis::fuzz
+{
+
+/** One invariant violation found by an oracle. */
+struct Divergence
+{
+    /** Which oracle fired (stable identifier, e.g. "decode-stability"). */
+    std::string oracle;
+    /**
+     * Deduplication key: oracle plus a coarse location/category, so
+     * the same root cause found through many mutants collapses to one
+     * finding.
+     */
+    std::string key;
+    /** Human-readable description with offsets and values. */
+    std::string detail;
+};
+
+/** Byte-level engine-vs-baseline disagreement histogram. */
+struct BaselineDivergenceStats
+{
+    u64 engineCodeSweepData = 0; ///< Engine code, linear sweep data.
+    u64 engineDataSweepCode = 0; ///< Engine data, linear sweep code.
+    u64 engineCodeRecData = 0;   ///< Engine code, recursive data.
+    u64 engineDataRecCode = 0;   ///< Engine data, recursive code.
+
+    void
+    add(const BaselineDivergenceStats &other)
+    {
+        engineCodeSweepData += other.engineCodeSweepData;
+        engineDataSweepCode += other.engineDataSweepCode;
+        engineCodeRecData += other.engineCodeRecData;
+        engineDataRecCode += other.engineDataRecCode;
+    }
+};
+
+/** Which checks to run and how. */
+struct OracleOptions
+{
+    /** Jobs for the serial-vs-batch determinism check (>= 2 to get
+     *  real concurrency; 1 still checks the batch path). */
+    unsigned batchJobs = 2;
+    /** Run the serial-vs-batch comparison (pool spin-up per call). */
+    bool checkBatch = true;
+    /** Run baselines for the divergence histogram and their
+     *  well-formedness / soundness checks. */
+    bool checkBaselines = true;
+    /** Engine configuration under test. */
+    EngineConfig engine;
+};
+
+/** Everything the oracles learned about one mutant. */
+struct OracleReport
+{
+    std::vector<Divergence> divergences;
+    BaselineDivergenceStats baseline;
+};
+
+/**
+ * Structural validity of one classification over @p sectionSize
+ * bytes. Exposed for unit tests; runOracles applies it to the engine
+ * and every baseline.
+ */
+std::vector<Divergence> checkResultWellFormed(
+    const Classification &result, u64 sectionSize,
+    const std::string &tool);
+
+/** Run every applicable oracle on @p mutant. */
+OracleReport runOracles(const Mutant &mutant,
+                        const OracleOptions &options);
+
+} // namespace accdis::fuzz
+
+#endif // ACCDIS_FUZZ_ORACLE_HH

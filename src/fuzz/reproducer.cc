@@ -1,0 +1,175 @@
+#include "fuzz/reproducer.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace accdis::fuzz
+{
+
+namespace
+{
+
+u64
+parseU64(const std::string &token, const std::string &context)
+{
+    try {
+        std::size_t used = 0;
+        u64 value = std::stoull(token, &used, 0);
+        if (used != token.size())
+            throw Error("trailing junk");
+        return value;
+    } catch (const std::exception &) {
+        throw Error("reproducer: bad number '" + token + "' in " +
+                    context);
+    }
+}
+
+} // namespace
+
+synth::CorpusConfig
+configForSpec(const RunSpec &spec)
+{
+    synth::CorpusConfig config;
+    if (spec.preset == "gcc")
+        config = synth::gccLikePreset(spec.corpusSeed);
+    else if (spec.preset == "msvc")
+        config = synth::msvcLikePreset(spec.corpusSeed);
+    else if (spec.preset == "adversarial")
+        config = synth::adversarialPreset(spec.corpusSeed);
+    else
+        throw Error("reproducer: unknown preset '" + spec.preset + "'");
+    config.numFunctions = spec.numFunctions;
+    return config;
+}
+
+Mutant
+buildMutant(const RunSpec &spec)
+{
+    synth::SynthBinary seed = synth::buildSynthBinary(configForSpec(spec));
+    return mutate(seed, spec.steps);
+}
+
+std::string
+serializeReproducer(const Reproducer &repro, const std::string &comment)
+{
+    std::ostringstream out;
+    out << "# accdis fuzz reproducer\n";
+    if (!comment.empty())
+        out << "# " << comment << "\n";
+    out << "preset " << repro.spec.preset << "\n";
+    out << "seed " << repro.spec.corpusSeed << "\n";
+    out << "functions " << repro.spec.numFunctions << "\n";
+    for (const MutationStep &step : repro.spec.steps) {
+        out << "mutate " << mutationKindName(step.kind) << " "
+            << step.seed << "\n";
+    }
+    if (repro.expectsClean())
+        out << "expect clean\n";
+    else
+        out << "expect divergence " << repro.expect << "\n";
+    return out.str();
+}
+
+Reproducer
+parseReproducer(const std::string &text)
+{
+    Reproducer repro;
+    bool sawPreset = false;
+    std::istringstream lines(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(lines, line)) {
+        ++lineNo;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream fields(line);
+        std::string directive;
+        if (!(fields >> directive))
+            continue;
+        std::string where = "line " + std::to_string(lineNo);
+        if (directive == "preset") {
+            if (!(fields >> repro.spec.preset))
+                throw Error("reproducer: preset needs a name, " + where);
+            sawPreset = true;
+        } else if (directive == "seed") {
+            std::string token;
+            if (!(fields >> token))
+                throw Error("reproducer: seed needs a value, " + where);
+            repro.spec.corpusSeed = parseU64(token, where);
+        } else if (directive == "functions") {
+            std::string token;
+            if (!(fields >> token))
+                throw Error("reproducer: functions needs a value, " +
+                            where);
+            repro.spec.numFunctions =
+                static_cast<int>(parseU64(token, where));
+        } else if (directive == "mutate") {
+            std::string kindName, token;
+            if (!(fields >> kindName >> token))
+                throw Error("reproducer: mutate needs <kind> <seed>, " +
+                            where);
+            MutationKind kind = mutationKindFromName(kindName);
+            if (kind == MutationKind::NumKinds)
+                throw Error("reproducer: unknown mutation '" + kindName +
+                            "', " + where);
+            repro.spec.steps.push_back({kind, parseU64(token, where)});
+        } else if (directive == "expect") {
+            std::string what;
+            if (!(fields >> what))
+                throw Error("reproducer: expect needs an outcome, " +
+                            where);
+            if (what == "clean") {
+                repro.expect = "clean";
+            } else if (what == "divergence") {
+                if (!(fields >> repro.expect))
+                    throw Error("reproducer: expect divergence needs an "
+                                "oracle name, " +
+                                where);
+            } else {
+                throw Error("reproducer: expect must be 'clean' or "
+                            "'divergence <oracle>', " +
+                            where);
+            }
+        } else {
+            throw Error("reproducer: unknown directive '" + directive +
+                        "', " + where);
+        }
+        std::string extra;
+        if (fields >> extra)
+            throw Error("reproducer: trailing '" + extra + "', " +
+                        where);
+    }
+    if (!sawPreset)
+        throw Error("reproducer: missing 'preset' directive");
+    // Validate the preset eagerly so replay errors point here.
+    configForSpec(repro.spec);
+    return repro;
+}
+
+Reproducer
+loadReproducerFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw Error("reproducer: cannot open " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseReproducer(text.str());
+}
+
+void
+writeReproducerFile(const std::string &path, const Reproducer &repro,
+                    const std::string &comment)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw Error("reproducer: cannot write " + path);
+    out << serializeReproducer(repro, comment);
+    if (!out)
+        throw Error("reproducer: write to " + path + " failed");
+}
+
+} // namespace accdis::fuzz

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Replayable fuzz-run specifications and their on-disk reproducer
+ * format.
+ *
+ * A RunSpec pins everything needed to rebuild one mutant bit-for-bit:
+ * the synth preset, its corpus seed, the function count, and the
+ * ordered mutation steps. Reproducers serialize a RunSpec plus an
+ * `expect` line to a small line-oriented text file; the files checked
+ * into tests/corpus/ are replayed by tests/test_fuzz.cc as ordinary
+ * ctest cases, so every divergence the fuzzer ever found stays a
+ * permanent regression test.
+ *
+ * Format (one directive per line, '#' starts a comment):
+ *
+ *     preset adversarial
+ *     seed 421
+ *     functions 8
+ *     mutate flip-prefix 9917
+ *     mutate splice-data 40031
+ *     expect clean
+ *
+ * `expect clean` asserts the oracles stay silent; `expect divergence
+ * <oracle>` marks a known gap whose fix is still pending — the replay
+ * asserts the divergence is still exactly the recorded one, so a fix
+ * (or a behavior shift) flips the test and forces the corpus entry to
+ * be updated.
+ */
+
+#ifndef ACCDIS_FUZZ_REPRODUCER_HH
+#define ACCDIS_FUZZ_REPRODUCER_HH
+
+#include <string>
+#include <vector>
+
+#include "fuzz/mutator.hh"
+
+namespace accdis::fuzz
+{
+
+/** Complete, replayable recipe for one fuzz mutant. */
+struct RunSpec
+{
+    /** Synth preset name: "gcc", "msvc", or "adversarial". */
+    std::string preset = "gcc";
+    /** Seed handed to the preset (drives codegen randomness). */
+    u64 corpusSeed = 1;
+    /** Function count override (keeps fuzz binaries small). */
+    int numFunctions = 8;
+    /** Mutation chain applied to the generated binary, in order. */
+    std::vector<MutationStep> steps;
+
+    bool
+    operator==(const RunSpec &other) const
+    {
+        return preset == other.preset &&
+               corpusSeed == other.corpusSeed &&
+               numFunctions == other.numFunctions &&
+               steps == other.steps;
+    }
+};
+
+/** A parsed reproducer file: a spec plus the expected outcome. */
+struct Reproducer
+{
+    RunSpec spec;
+    /** "clean", or the oracle name expected to fire (known gap). */
+    std::string expect = "clean";
+
+    bool expectsClean() const { return expect == "clean"; }
+};
+
+/** Corpus configuration for @p spec. @throws Error on a bad preset. */
+synth::CorpusConfig configForSpec(const RunSpec &spec);
+
+/** Generate the seed binary and apply the spec's mutation chain. */
+Mutant buildMutant(const RunSpec &spec);
+
+/** Serialize to the reproducer text format (with a header comment). */
+std::string serializeReproducer(const Reproducer &repro,
+                                const std::string &comment = "");
+
+/** Parse the reproducer format. @throws Error on malformed input. */
+Reproducer parseReproducer(const std::string &text);
+
+/** Read and parse one reproducer file. @throws Error on failure. */
+Reproducer loadReproducerFile(const std::string &path);
+
+/** Write @p repro to @p path. @throws Error when the write fails. */
+void writeReproducerFile(const std::string &path, const Reproducer &repro,
+                         const std::string &comment = "");
+
+} // namespace accdis::fuzz
+
+#endif // ACCDIS_FUZZ_REPRODUCER_HH

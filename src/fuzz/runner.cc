@@ -1,0 +1,212 @@
+#include "fuzz/runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <map>
+
+#include "pipeline/thread_pool.hh"
+
+namespace accdis::fuzz
+{
+
+namespace
+{
+
+/** Per-run spec RNG seed: pure function of (masterSeed, runIndex). */
+u64
+runSeed(u64 masterSeed, u64 runIndex)
+{
+    // The Rng constructor splitmixes, so a simple odd-multiplier mix
+    // is enough to decorrelate adjacent run indices.
+    return masterSeed ^ ((runIndex + 1) * 0x9e3779b97f4a7c15ull);
+}
+
+/** Outcome of evaluating one run, folded in index order. */
+struct RunOutcome
+{
+    RunSpec spec;
+    std::vector<Divergence> divergences;
+    BaselineDivergenceStats baseline;
+};
+
+/** Filesystem-safe file stem for a divergence key. */
+std::string
+sanitizeKey(const std::string &key)
+{
+    std::string out;
+    for (char c : key) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '_';
+        out.push_back(ok ? c : '-');
+    }
+    return out;
+}
+
+} // namespace
+
+FuzzRunner::FuzzRunner(FuzzConfig config) : config_(std::move(config)) {}
+
+RunSpec
+FuzzRunner::specForRun(u64 runIndex) const
+{
+    Rng rng(runSeed(config_.seed, runIndex));
+    RunSpec spec;
+    static const char *const kPresets[] = {"gcc", "msvc", "adversarial"};
+    spec.preset = kPresets[rng.below(3)];
+    spec.corpusSeed = rng.next();
+    int lo = std::max(1, config_.minFunctions);
+    int hi = std::max(lo, config_.maxFunctions);
+    spec.numFunctions = static_cast<int>(
+        rng.range(static_cast<u64>(lo), static_cast<u64>(hi)));
+    spec.steps = randomSteps(rng, config_.maxMutations);
+    return spec;
+}
+
+RunSpec
+FuzzRunner::minimizeSpec(const RunSpec &spec,
+                         const std::string &oracleName) const
+{
+    auto stillFails = [&](const RunSpec &candidate) {
+        OracleReport report = runOracles(buildMutant(candidate),
+                                         config_.oracle);
+        return std::any_of(report.divergences.begin(),
+                           report.divergences.end(),
+                           [&](const Divergence &d) {
+                               return d.oracle == oracleName;
+                           });
+    };
+    if (!stillFails(spec))
+        return spec;
+
+    RunSpec best = spec;
+    // Greedy ddmin over the mutation chain: repeatedly try dropping
+    // each step until no single removal still reproduces.
+    bool shrunk = true;
+    while (shrunk && !best.steps.empty()) {
+        shrunk = false;
+        for (std::size_t i = 0; i < best.steps.size(); ++i) {
+            RunSpec candidate = best;
+            candidate.steps.erase(candidate.steps.begin() + i);
+            if (stillFails(candidate)) {
+                best = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    // Then shrink the seed binary: halve, then step down by one.
+    while (best.numFunctions > 1) {
+        RunSpec candidate = best;
+        candidate.numFunctions = best.numFunctions / 2;
+        if (!stillFails(candidate))
+            break;
+        best = candidate;
+    }
+    while (best.numFunctions > 1) {
+        RunSpec candidate = best;
+        candidate.numFunctions = best.numFunctions - 1;
+        if (!stillFails(candidate))
+            break;
+        best = candidate;
+    }
+    return best;
+}
+
+FuzzReport
+FuzzRunner::run() const
+{
+    auto start = std::chrono::steady_clock::now();
+    FuzzReport report;
+    report.runs = config_.runs;
+
+    auto evaluate = [this](u64 runIndex) {
+        RunOutcome outcome;
+        outcome.spec = specForRun(runIndex);
+        OracleReport oracles =
+            runOracles(buildMutant(outcome.spec), config_.oracle);
+        outcome.divergences = std::move(oracles.divergences);
+        outcome.baseline = oracles.baseline;
+        return outcome;
+    };
+
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(config_.runs);
+    unsigned jobs = config_.jobs != 0
+                        ? config_.jobs
+                        : std::max(1u,
+                                   std::thread::hardware_concurrency());
+    if (jobs <= 1) {
+        for (u64 i = 0; i < config_.runs; ++i)
+            outcomes.push_back(evaluate(i));
+    } else {
+        pipeline::ThreadPool pool(jobs);
+        std::vector<std::future<RunOutcome>> futures;
+        futures.reserve(config_.runs);
+        for (u64 i = 0; i < config_.runs; ++i)
+            futures.push_back(pool.submit([&evaluate, i] {
+                return evaluate(i);
+            }));
+        // Collect strictly in run-index order: report contents become
+        // independent of scheduling, hence of the jobs value.
+        for (auto &future : futures)
+            outcomes.push_back(future.get());
+    }
+
+    std::map<std::string, std::size_t> findingIndex;
+    for (u64 i = 0; i < outcomes.size(); ++i) {
+        RunOutcome &outcome = outcomes[i];
+        if (outcome.spec.steps.empty())
+            ++report.pristineRuns;
+        report.totalSteps += outcome.spec.steps.size();
+        report.baseline.add(outcome.baseline);
+        for (Divergence &divergence : outcome.divergences) {
+            auto it = findingIndex.find(divergence.key);
+            if (it != findingIndex.end()) {
+                ++report.findings[it->second].duplicates;
+                continue;
+            }
+            findingIndex.emplace(divergence.key,
+                                 report.findings.size());
+            Finding finding;
+            finding.divergence = std::move(divergence);
+            finding.spec = outcome.spec;
+            finding.runIndex = i;
+            report.findings.push_back(std::move(finding));
+        }
+    }
+
+    for (Finding &finding : report.findings) {
+        finding.known =
+            std::find(config_.knownOracles.begin(),
+                      config_.knownOracles.end(),
+                      finding.divergence.oracle) !=
+            config_.knownOracles.end();
+        if (finding.known)
+            continue; // Its reproducer is already checked in.
+        if (config_.minimize) {
+            finding.spec = minimizeSpec(finding.spec,
+                                        finding.divergence.oracle);
+        }
+        if (!config_.corpusDir.empty()) {
+            std::filesystem::create_directories(config_.corpusDir);
+            Reproducer repro;
+            repro.spec = finding.spec;
+            repro.expect = finding.divergence.oracle;
+            std::string path = config_.corpusDir + "/" +
+                               sanitizeKey(finding.divergence.key) +
+                               ".repro";
+            writeReproducerFile(path, repro, finding.divergence.detail);
+            finding.reproducerPath = path;
+        }
+    }
+
+    report.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return report;
+}
+
+} // namespace accdis::fuzz

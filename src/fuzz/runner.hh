@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fuzz campaign orchestration: corpus scheduling across the thread
+ * pool, divergence deduplication, and delta-debugging minimization.
+ *
+ * Determinism contract: the spec of run i is a pure function of
+ * (config.seed, i), runs are evaluated independently, and results are
+ * folded in run-index order after the parallel phase joins — so a
+ * campaign with the same seed produces the identical report at any
+ * --jobs value, and any finding is replayable from its RunSpec alone.
+ */
+
+#ifndef ACCDIS_FUZZ_RUNNER_HH
+#define ACCDIS_FUZZ_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hh"
+#include "fuzz/reproducer.hh"
+
+namespace accdis::fuzz
+{
+
+/** Configuration of one fuzz campaign. */
+struct FuzzConfig
+{
+    /** Master seed; everything else derives from (seed, runIndex). */
+    u64 seed = 1;
+    /** Number of mutants to generate and check. */
+    u64 runs = 1000;
+    /** Worker threads; 0 selects hardware_concurrency(). */
+    unsigned jobs = 1;
+    /** Function-count range for generated seed binaries (kept small:
+     *  fuzz throughput beats per-binary realism here). */
+    int minFunctions = 4;
+    int maxFunctions = 12;
+    /** Maximum mutation-chain length (0..max steps per run). */
+    int maxMutations = 4;
+    /** Shrink each deduplicated finding with delta debugging. */
+    bool minimize = true;
+    /** Directory for reproducer files; empty disables writing. */
+    std::string corpusDir;
+    /**
+     * Oracles with a checked-in known-gap reproducer (see
+     * tests/corpus/). Findings from these oracles are still reported
+     * but marked known and excluded from FuzzReport::clean() — the
+     * corpus replay test, not the campaign, owns tracking them.
+     */
+    std::vector<std::string> knownOracles;
+    /** Oracle selection and engine configuration under test. */
+    OracleOptions oracle;
+};
+
+/** One deduplicated divergence discovered by a campaign. */
+struct Finding
+{
+    /** The first divergence observed with this key. */
+    Divergence divergence;
+    /** Spec reproducing it — minimized when minimization ran. */
+    RunSpec spec;
+    /** Run index of the first occurrence. */
+    u64 runIndex = 0;
+    /** Later runs that hit the same key. */
+    u64 duplicates = 0;
+    /** True when the oracle is a registered known gap. */
+    bool known = false;
+    /** Reproducer file written for it; empty when none. */
+    std::string reproducerPath;
+};
+
+/** Campaign outcome. */
+struct FuzzReport
+{
+    u64 runs = 0;
+    u64 pristineRuns = 0; ///< Runs whose mutation chain was empty.
+    u64 totalSteps = 0;   ///< Mutation steps applied across all runs.
+    std::vector<Finding> findings;
+    /** Engine-vs-baseline byte histogram summed over the campaign. */
+    BaselineDivergenceStats baseline;
+    double wallSeconds = 0.0;
+
+    /** True when every finding is a registered known gap. */
+    bool
+    clean() const
+    {
+        for (const Finding &finding : findings) {
+            if (!finding.known)
+                return false;
+        }
+        return true;
+    }
+};
+
+/** Runs fuzz campaigns. Construction is cheap; run() does the work. */
+class FuzzRunner
+{
+  public:
+    explicit FuzzRunner(FuzzConfig config);
+
+    /** Execute the campaign described by the config. */
+    FuzzReport run() const;
+
+    /**
+     * The spec of run @p runIndex — a pure function of the master
+     * seed and the index. Exposed so tests can verify scheduling
+     * determinism without running oracles.
+     */
+    RunSpec specForRun(u64 runIndex) const;
+
+    /**
+     * Delta-debug @p spec down to a smaller spec that still triggers
+     * oracle @p oracleName: first greedily drops mutation steps, then
+     * shrinks the function count. Returns @p spec unchanged when it
+     * does not reproduce.
+     */
+    RunSpec minimizeSpec(const RunSpec &spec,
+                         const std::string &oracleName) const;
+
+    const FuzzConfig &config() const { return config_; }
+
+  private:
+    FuzzConfig config_;
+};
+
+} // namespace accdis::fuzz
+
+#endif // ACCDIS_FUZZ_RUNNER_HH

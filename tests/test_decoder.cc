@@ -415,6 +415,60 @@ TEST(Decoder, ConditionCodes)
     EXPECT_EQ(dec({0x48, 0x0f, 0x45, 0xc1}).cond, 5);  // cmovne
 }
 
+TEST(Decoder, GoldenEncodingsRoundTrip)
+{
+    // Round-trip stability over the full golden corpus, including the
+    // prefix/RIP-relative/max-length edge cases: decoding with junk
+    // appended must not change the result (no peeking past the
+    // reported length), and re-decoding an instruction from a slice
+    // of exactly its own bytes must reproduce every facet.
+    struct GoldenCase
+    {
+        std::vector<int> bytes;
+        int length;
+    };
+    static const std::vector<GoldenCase> cases = {
+#include "golden_encodings.inc"
+    };
+    int index = 0;
+    for (const GoldenCase &c : cases) {
+        ByteVec raw;
+        for (int b : c.bytes)
+            raw.push_back(static_cast<u8>(b));
+        ByteVec padded = raw;
+        for (u8 junk : {0xccu, 0x00u, 0xffu})
+            padded.push_back(static_cast<u8>(junk));
+
+        Instruction fromPadded = decode(padded, 0);
+        ASSERT_TRUE(fromPadded.valid()) << "golden case " << index;
+        EXPECT_EQ(static_cast<int>(fromPadded.length), c.length)
+            << "golden case " << index
+            << ": length changed when trailing bytes were appended";
+
+        Instruction fromSlice = decode(raw, 0);
+        ASSERT_TRUE(fromSlice.valid()) << "golden case " << index;
+        EXPECT_EQ(fromSlice.length, fromPadded.length)
+            << "golden case " << index;
+        EXPECT_EQ(fromSlice.op, fromPadded.op) << "golden case "
+                                               << index;
+        EXPECT_EQ(fromSlice.flow, fromPadded.flow)
+            << "golden case " << index;
+        EXPECT_EQ(fromSlice.flags, fromPadded.flags)
+            << "golden case " << index;
+        EXPECT_EQ(fromSlice.hasTarget, fromPadded.hasTarget)
+            << "golden case " << index;
+        EXPECT_EQ(fromSlice.target, fromPadded.target)
+            << "golden case " << index;
+        EXPECT_EQ(fromSlice.regsRead, fromPadded.regsRead)
+            << "golden case " << index;
+        EXPECT_EQ(fromSlice.regsWritten, fromPadded.regsWritten)
+            << "golden case " << index;
+        EXPECT_EQ(fromSlice.imm, fromPadded.imm)
+            << "golden case " << index;
+        ++index;
+    }
+}
+
 TEST(Decoder, DecodeAtEveryOffsetNeverOverruns)
 {
     // Superset-disassembly smoke test: decoding at every offset of a

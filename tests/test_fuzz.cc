@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Fuzz subsystem tests: mutator determinism and truth maintenance,
+ * reproducer format round-trips, runner scheduling/jobs-independence,
+ * oracle self-checks, and the replay of every reproducer checked into
+ * tests/corpus/ (compile definition ACCDIS_CORPUS_DIR).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "fuzz/mutator.hh"
+#include "fuzz/oracle.hh"
+#include "fuzz/reproducer.hh"
+#include "fuzz/runner.hh"
+#include "support/error.hh"
+#include "x86/decoder.hh"
+
+namespace
+{
+
+using namespace accdis;
+
+/** Fast oracle options for unit tests (fewer engine runs). */
+fuzz::OracleOptions
+quickOracles()
+{
+    fuzz::OracleOptions options;
+    options.checkBatch = false;
+    options.checkBaselines = false;
+    return options;
+}
+
+ByteSpan
+textBytes(const BinaryImage &image)
+{
+    for (const Section &sec : image.sections()) {
+        if (sec.flags().executable)
+            return sec.bytes();
+    }
+    return {};
+}
+
+TEST(FuzzMutator, IsDeterministic)
+{
+    synth::SynthBinary seed =
+        synth::buildSynthBinary(synth::msvcLikePreset(42));
+    std::vector<fuzz::MutationStep> steps = {
+        {fuzz::MutationKind::SpliceData, 7},
+        {fuzz::MutationKind::FlipPrefix, 8},
+        {fuzz::MutationKind::OverlapJump, 9},
+    };
+    fuzz::Mutant a = fuzz::mutate(seed, steps);
+    fuzz::Mutant b = fuzz::mutate(seed, steps);
+    ByteSpan ta = textBytes(a.image), tb = textBytes(b.image);
+    ASSERT_EQ(ta.size(), tb.size());
+    EXPECT_TRUE(std::equal(ta.begin(), ta.end(), tb.begin()));
+    EXPECT_EQ(a.truth.insnStarts(), b.truth.insnStarts());
+    EXPECT_EQ(a.truth.functionStarts(), b.truth.functionStarts());
+}
+
+TEST(FuzzMutator, PristineWhenNoSteps)
+{
+    synth::SynthBinary seed =
+        synth::buildSynthBinary(synth::gccLikePreset(1));
+    fuzz::Mutant mutant = fuzz::mutate(seed, {});
+    EXPECT_TRUE(mutant.pristine());
+    ByteSpan original = textBytes(seed.image);
+    ByteSpan copy = textBytes(mutant.image);
+    ASSERT_EQ(original.size(), copy.size());
+    EXPECT_TRUE(
+        std::equal(original.begin(), original.end(), copy.begin()));
+    EXPECT_EQ(mutant.truth.insnStarts(), seed.truth.insnStarts());
+}
+
+TEST(FuzzMutator, MaintainedStartsStillDecode)
+{
+    // Whatever the mutation chain does, every instruction start the
+    // maintained truth keeps must still decode to a valid instruction
+    // — the contract the superset-soundness oracle relies on.
+    synth::SynthBinary seed =
+        synth::buildSynthBinary(synth::adversarialPreset(3));
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<fuzz::MutationStep> steps =
+            fuzz::randomSteps(rng, 4);
+        fuzz::Mutant mutant = fuzz::mutate(seed, steps);
+        ByteSpan text = textBytes(mutant.image);
+        for (Offset start : mutant.truth.insnStarts()) {
+            ASSERT_LT(start, text.size());
+            x86::Instruction insn = x86::decode(text, start);
+            ASSERT_TRUE(insn.valid())
+                << "trial " << trial << ": maintained start 0x"
+                << std::hex << start << " no longer decodes";
+        }
+        for (Offset fn : mutant.truth.functionStarts()) {
+            EXPECT_TRUE(mutant.truth.isInsnStart(fn))
+                << "function start 0x" << std::hex << fn
+                << " not among maintained instruction starts";
+        }
+    }
+}
+
+TEST(FuzzMutator, KindNamesRoundTrip)
+{
+    for (std::size_t i = 0; i < fuzz::kNumMutationKinds; ++i) {
+        auto kind = static_cast<fuzz::MutationKind>(i);
+        EXPECT_EQ(fuzz::mutationKindFromName(
+                      fuzz::mutationKindName(kind)),
+                  kind);
+    }
+    EXPECT_EQ(fuzz::mutationKindFromName("bogus"),
+              fuzz::MutationKind::NumKinds);
+}
+
+TEST(FuzzReproducer, RoundTrips)
+{
+    fuzz::Reproducer repro;
+    repro.spec.preset = "adversarial";
+    repro.spec.corpusSeed = 0xdeadbeefcafeull;
+    repro.spec.numFunctions = 6;
+    repro.spec.steps = {
+        {fuzz::MutationKind::PerturbJumpTable, 11},
+        {fuzz::MutationKind::TruncateSection, 22},
+    };
+    repro.expect = "superset-soundness";
+    fuzz::Reproducer parsed = fuzz::parseReproducer(
+        fuzz::serializeReproducer(repro, "round-trip test"));
+    EXPECT_EQ(parsed.spec, repro.spec);
+    EXPECT_EQ(parsed.expect, repro.expect);
+
+    repro.expect = "clean";
+    parsed = fuzz::parseReproducer(fuzz::serializeReproducer(repro));
+    EXPECT_TRUE(parsed.expectsClean());
+}
+
+TEST(FuzzReproducer, RejectsMalformedInput)
+{
+    EXPECT_THROW(fuzz::parseReproducer("seed 1\n"), Error);
+    EXPECT_THROW(fuzz::parseReproducer("preset nonesuch\nseed 1\n"),
+                 Error);
+    EXPECT_THROW(
+        fuzz::parseReproducer("preset gcc\nmutate bogus-kind 1\n"),
+        Error);
+    EXPECT_THROW(fuzz::parseReproducer("preset gcc\nexpect maybe\n"),
+                 Error);
+    EXPECT_THROW(fuzz::parseReproducer("preset gcc\nseed 1 trailing\n"),
+                 Error);
+}
+
+TEST(FuzzRunner, SpecDerivationIsPure)
+{
+    fuzz::FuzzConfig config;
+    config.seed = 77;
+    fuzz::FuzzRunner a(config), b(config);
+    for (u64 i = 0; i < 32; ++i) {
+        fuzz::RunSpec sa = a.specForRun(i);
+        EXPECT_EQ(sa, b.specForRun(i));
+        EXPECT_GE(sa.numFunctions, config.minFunctions);
+        EXPECT_LE(sa.numFunctions, config.maxFunctions);
+        EXPECT_LE(static_cast<int>(sa.steps.size()),
+                  config.maxMutations);
+    }
+    // Different master seeds must diverge somewhere early.
+    config.seed = 78;
+    fuzz::FuzzRunner c(config);
+    bool differs = false;
+    for (u64 i = 0; i < 8 && !differs; ++i)
+        differs = !(a.specForRun(i) == c.specForRun(i));
+    EXPECT_TRUE(differs);
+}
+
+TEST(FuzzRunner, ReportIndependentOfJobs)
+{
+    fuzz::FuzzConfig config;
+    config.seed = 5;
+    config.runs = 8;
+    config.minFunctions = 2;
+    config.maxFunctions = 4;
+    config.oracle = quickOracles();
+    config.knownOracles = {"ec-monotonicity"};
+
+    config.jobs = 1;
+    fuzz::FuzzReport serial = fuzz::FuzzRunner(config).run();
+    config.jobs = 3;
+    fuzz::FuzzReport parallel = fuzz::FuzzRunner(config).run();
+
+    EXPECT_EQ(serial.pristineRuns, parallel.pristineRuns);
+    EXPECT_EQ(serial.totalSteps, parallel.totalSteps);
+    ASSERT_EQ(serial.findings.size(), parallel.findings.size());
+    for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+        EXPECT_EQ(serial.findings[i].divergence.key,
+                  parallel.findings[i].divergence.key);
+        EXPECT_EQ(serial.findings[i].runIndex,
+                  parallel.findings[i].runIndex);
+        EXPECT_EQ(serial.findings[i].duplicates,
+                  parallel.findings[i].duplicates);
+        EXPECT_EQ(serial.findings[i].known, parallel.findings[i].known);
+    }
+}
+
+TEST(FuzzOracle, WellFormedAcceptsEngineOutput)
+{
+    fuzz::RunSpec spec;
+    spec.preset = "gcc";
+    spec.corpusSeed = 21;
+    spec.numFunctions = 4;
+    fuzz::Mutant mutant = fuzz::buildMutant(spec);
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(mutant.image);
+    EXPECT_TRUE(fuzz::checkResultWellFormed(
+                    result, textBytes(mutant.image).size(), "engine")
+                    .empty());
+}
+
+TEST(FuzzOracle, WellFormedFlagsBrokenResults)
+{
+    Classification broken;
+    broken.map.assign(0, 4, ResultClass::Code);
+    broken.map.assign(8, 12, ResultClass::Data); // gap [4, 8)
+    broken.insnStarts = {0, 2};
+    EXPECT_FALSE(
+        fuzz::checkResultWellFormed(broken, 12, "test").empty());
+
+    Classification badStart;
+    badStart.map.assign(0, 8, ResultClass::Data);
+    badStart.insnStarts = {2}; // start on a data byte
+    EXPECT_FALSE(
+        fuzz::checkResultWellFormed(badStart, 8, "test").empty());
+
+    Classification unsorted;
+    unsorted.map.assign(0, 8, ResultClass::Code);
+    unsorted.insnStarts = {4, 2};
+    EXPECT_FALSE(
+        fuzz::checkResultWellFormed(unsorted, 8, "test").empty());
+}
+
+TEST(FuzzOracle, CleanOnPristinePresets)
+{
+    for (const char *preset : {"gcc", "msvc"}) {
+        fuzz::RunSpec spec;
+        spec.preset = preset;
+        spec.corpusSeed = 9;
+        spec.numFunctions = 5;
+        fuzz::OracleReport report =
+            fuzz::runOracles(fuzz::buildMutant(spec), quickOracles());
+        for (const fuzz::Divergence &d : report.divergences)
+            ADD_FAILURE() << preset << ": " << d.key << " — "
+                          << d.detail;
+    }
+}
+
+/**
+ * Replay every reproducer checked into tests/corpus/. `expect clean`
+ * entries assert the oracles stay silent; `expect divergence X`
+ * entries are known gaps and assert X (and only X) still fires — so
+ * fixing the gap flips this test and forces the corpus entry update.
+ */
+TEST(FuzzCorpus, ReplayCheckedInReproducers)
+{
+    std::filesystem::path dir(ACCDIS_CORPUS_DIR);
+    ASSERT_TRUE(std::filesystem::is_directory(dir))
+        << "missing corpus directory " << dir;
+    fuzz::OracleOptions options; // full oracle set, batch included
+    std::size_t replayed = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".repro")
+            continue;
+        SCOPED_TRACE(entry.path().filename().string());
+        fuzz::Reproducer repro =
+            fuzz::loadReproducerFile(entry.path().string());
+        fuzz::OracleReport report =
+            fuzz::runOracles(fuzz::buildMutant(repro.spec), options);
+        if (repro.expectsClean()) {
+            for (const fuzz::Divergence &d : report.divergences)
+                ADD_FAILURE() << d.key << " — " << d.detail;
+        } else {
+            bool expectedFired = false;
+            for (const fuzz::Divergence &d : report.divergences) {
+                EXPECT_EQ(d.oracle, repro.expect)
+                    << "unexpected extra divergence: " << d.detail;
+                expectedFired |= d.oracle == repro.expect;
+            }
+            EXPECT_TRUE(expectedFired)
+                << "known gap no longer reproduces — if it was fixed, "
+                   "flip this corpus entry to `expect clean`";
+        }
+        ++replayed;
+    }
+    EXPECT_GT(replayed, 0u) << "corpus directory has no .repro files";
+}
+
+} // namespace

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Self-consistency property tests for the synthetic ground truth: the
+ * fuzz oracles (and every accuracy table) trust these invariants, and
+ * Li et al. showed ground-truth generators are themselves a major
+ * error source — so they get checked directly, per preset, across
+ * seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/bytes.hh"
+#include "synth/corpus.hh"
+#include "x86/decoder.hh"
+
+namespace
+{
+
+using namespace accdis;
+
+struct PresetCase
+{
+    const char *name;
+    synth::CorpusConfig (*make)(u64);
+    u64 seed;
+};
+
+std::vector<PresetCase>
+presetCases()
+{
+    std::vector<PresetCase> cases;
+    for (u64 seed : {1ull, 2ull, 3ull, 5ull, 8ull}) {
+        cases.push_back({"gcc", synth::gccLikePreset, seed});
+        cases.push_back({"msvc", synth::msvcLikePreset, seed});
+        cases.push_back({"adversarial", synth::adversarialPreset, seed});
+    }
+    return cases;
+}
+
+synth::SynthBinary
+build(const PresetCase &pc)
+{
+    synth::CorpusConfig config = pc.make(pc.seed);
+    config.numFunctions = 12;
+    return synth::buildSynthBinary(config);
+}
+
+ByteSpan
+textBytes(const synth::SynthBinary &bin)
+{
+    for (const Section &sec : bin.image.sections()) {
+        if (sec.flags().executable)
+            return sec.bytes();
+    }
+    return {};
+}
+
+TEST(SynthInvariants, ClassIntervalsTileTheSection)
+{
+    for (const PresetCase &pc : presetCases()) {
+        SCOPED_TRACE(std::string(pc.name) + "/" +
+                     std::to_string(pc.seed));
+        synth::SynthBinary bin = build(pc);
+        u64 size = textBytes(bin).size();
+        ASSERT_GT(size, 0u);
+        // IntervalMap entries are sorted and disjoint by construction;
+        // the property to verify is that no byte was left unclaimed.
+        Offset cursor = 0;
+        for (const auto &entry : bin.truth.intervals()) {
+            EXPECT_EQ(entry.begin, cursor)
+                << "unlabeled gap before 0x" << std::hex << entry.begin;
+            cursor = entry.end;
+        }
+        EXPECT_EQ(cursor, size) << "unlabeled tail";
+    }
+}
+
+TEST(SynthInvariants, InstructionStartsTileCodeExactly)
+{
+    for (const PresetCase &pc : presetCases()) {
+        SCOPED_TRACE(std::string(pc.name) + "/" +
+                     std::to_string(pc.seed));
+        synth::SynthBinary bin = build(pc);
+        ByteSpan text = textBytes(bin);
+        const auto &starts = bin.truth.insnStarts();
+        ASSERT_FALSE(starts.empty());
+
+        std::vector<bool> covered(text.size(), false);
+        Offset prevEnd = 0;
+        for (std::size_t i = 0; i < starts.size(); ++i) {
+            Offset s = starts[i];
+            ASSERT_LT(s, text.size());
+            if (i > 0) {
+                ASSERT_GT(s, starts[i - 1]) << "starts not sorted";
+                ASSERT_GE(s, prevEnd)
+                    << "instruction at 0x" << std::hex << starts[i - 1]
+                    << " overlaps the next start";
+            }
+            // A recorded start is never inside claimed data.
+            EXPECT_NE(bin.truth.classAt(s), synth::ByteClass::Data)
+                << "start 0x" << std::hex << s << " on a data byte";
+            x86::Instruction insn = x86::decode(text, s);
+            ASSERT_TRUE(insn.valid())
+                << "start 0x" << std::hex << s << " does not decode";
+            prevEnd = s + insn.length;
+            ASSERT_LE(prevEnd, text.size());
+            for (Offset b = s; b < prevEnd; ++b) {
+                covered[b] = true;
+                // No instruction byte may be claimed as data.
+                EXPECT_NE(bin.truth.classAt(b),
+                          synth::ByteClass::Data)
+                    << "instruction at 0x" << std::hex << s
+                    << " crosses into data at 0x" << b;
+            }
+        }
+        // Conversely, every code-classified byte belongs to some
+        // recorded instruction.
+        for (Offset b = 0; b < text.size(); ++b) {
+            if (bin.truth.classAt(b) == synth::ByteClass::Code) {
+                EXPECT_TRUE(covered[b])
+                    << "code byte 0x" << std::hex << b
+                    << " not covered by any recorded instruction";
+            }
+        }
+    }
+}
+
+TEST(SynthInvariants, BranchTargetsLandOnRecordedStarts)
+{
+    using x86::CtrlFlow;
+    for (const PresetCase &pc : presetCases()) {
+        SCOPED_TRACE(std::string(pc.name) + "/" +
+                     std::to_string(pc.seed));
+        synth::SynthBinary bin = build(pc);
+        ByteSpan text = textBytes(bin);
+        for (Offset s : bin.truth.insnStarts()) {
+            x86::Instruction insn = x86::decode(text, s);
+            ASSERT_TRUE(insn.valid());
+            if (!insn.hasTarget)
+                continue;
+            if (insn.flow != CtrlFlow::Jump &&
+                insn.flow != CtrlFlow::CondJump &&
+                insn.flow != CtrlFlow::Call)
+                continue;
+            ASSERT_GE(insn.target, 0)
+                << "branch at 0x" << std::hex << s
+                << " targets before the section";
+            ASSERT_LT(static_cast<u64>(insn.target), text.size())
+                << "branch at 0x" << std::hex << s
+                << " targets past the section";
+            EXPECT_TRUE(bin.truth.isInsnStart(
+                static_cast<Offset>(insn.target)))
+                << "branch at 0x" << std::hex << s << " targets 0x"
+                << insn.target
+                << ", which is not a recorded instruction start";
+        }
+    }
+}
+
+TEST(SynthInvariants, FunctionStartsAreCodeInsnStarts)
+{
+    for (const PresetCase &pc : presetCases()) {
+        SCOPED_TRACE(std::string(pc.name) + "/" +
+                     std::to_string(pc.seed));
+        synth::SynthBinary bin = build(pc);
+        const auto &fns = bin.truth.functionStarts();
+        ASSERT_FALSE(fns.empty());
+        for (std::size_t i = 0; i < fns.size(); ++i) {
+            if (i > 0)
+                ASSERT_GT(fns[i], fns[i - 1]);
+            EXPECT_TRUE(bin.truth.isInsnStart(fns[i]));
+            EXPECT_EQ(bin.truth.classAt(fns[i]),
+                      synth::ByteClass::Code);
+        }
+        // The image entry point is one of them.
+        for (Addr entry : bin.image.entryPoints()) {
+            EXPECT_TRUE(bin.truth.isFunctionStart(
+                entry - synth::kSynthTextBase));
+        }
+    }
+}
+
+/**
+ * Every 4-byte entry of an in-text jump-table region must resolve to
+ * a recorded instruction start relative to its table's base. Origin
+ * intervals coalesce adjacent tables, so table bases inside a run are
+ * recovered nondeterministically: a base candidate survives while its
+ * entries keep resolving, and every 4-aligned entry offset is itself
+ * a new candidate (tables start at entry boundaries). The run fails
+ * only when no candidate base explains an entry.
+ */
+TEST(SynthInvariants, JumpTableEntriesResolveToStarts)
+{
+    for (const PresetCase &pc : presetCases()) {
+        SCOPED_TRACE(std::string(pc.name) + "/" +
+                     std::to_string(pc.seed));
+        synth::SynthBinary bin = build(pc);
+        ByteSpan text = textBytes(bin);
+        Offset off = 0;
+        while (off < text.size()) {
+            if (bin.truth.classAt(off) != synth::ByteClass::Data ||
+                bin.truth.dataOriginAt(off) !=
+                    synth::DataOrigin::JumpTable) {
+                ++off;
+                continue;
+            }
+            Offset runBegin = off;
+            while (off < text.size() &&
+                   bin.truth.classAt(off) == synth::ByteClass::Data &&
+                   bin.truth.dataOriginAt(off) ==
+                       synth::DataOrigin::JumpTable) {
+                ++off;
+            }
+            ASSERT_EQ((off - runBegin) % 4, 0u)
+                << "jump-table run at 0x" << std::hex << runBegin
+                << " is not a whole number of 32-bit entries";
+            std::set<Offset> bases{runBegin};
+            for (Offset p = runBegin; p < off; p += 4) {
+                s64 value = static_cast<s32>(readLe32(text, p));
+                std::set<Offset> survivors;
+                for (Offset base : bases) {
+                    s64 target = static_cast<s64>(base) + value;
+                    if (target >= 0 &&
+                        static_cast<u64>(target) < text.size() &&
+                        bin.truth.isInsnStart(
+                            static_cast<Offset>(target)))
+                        survivors.insert(base);
+                }
+                s64 fresh = static_cast<s64>(p) + value;
+                if (fresh >= 0 &&
+                    static_cast<u64>(fresh) < text.size() &&
+                    bin.truth.isInsnStart(static_cast<Offset>(fresh)))
+                    survivors.insert(p);
+                ASSERT_FALSE(survivors.empty())
+                    << "jump-table entry at 0x" << std::hex << p
+                    << " resolves to no instruction start under any "
+                       "candidate table base";
+                bases = std::move(survivors);
+            }
+        }
+    }
+}
+
+TEST(SynthInvariants, PointerPoolEntriesTargetFunctions)
+{
+    for (const PresetCase &pc : presetCases()) {
+        SCOPED_TRACE(std::string(pc.name) + "/" +
+                     std::to_string(pc.seed));
+        synth::SynthBinary bin = build(pc);
+        ByteSpan text = textBytes(bin);
+        Offset off = 0;
+        while (off < text.size()) {
+            if (bin.truth.classAt(off) != synth::ByteClass::Data ||
+                bin.truth.dataOriginAt(off) !=
+                    synth::DataOrigin::PointerPool) {
+                ++off;
+                continue;
+            }
+            Offset runBegin = off;
+            while (off < text.size() &&
+                   bin.truth.classAt(off) == synth::ByteClass::Data &&
+                   bin.truth.dataOriginAt(off) ==
+                       synth::DataOrigin::PointerPool) {
+                ++off;
+            }
+            ASSERT_EQ((off - runBegin) % 8, 0u)
+                << "pointer pool at 0x" << std::hex << runBegin
+                << " is not a whole number of 64-bit slots";
+            for (Offset p = runBegin; p < off; p += 8) {
+                u64 value = readLe64(text, p);
+                ASSERT_GE(value, synth::kSynthTextBase)
+                    << "pointer at 0x" << std::hex << p
+                    << " points below the text base";
+                u64 rel = value - synth::kSynthTextBase;
+                ASSERT_LT(rel, text.size());
+                EXPECT_TRUE(bin.truth.isFunctionStart(rel))
+                    << "pointer at 0x" << std::hex << p
+                    << " targets 0x" << rel
+                    << ", which is not a function start";
+            }
+        }
+    }
+}
+
+} // namespace
