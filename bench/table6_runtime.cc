@@ -136,10 +136,13 @@ BM_BatchPipeline(benchmark::State &state)
     config.jobs = static_cast<unsigned>(state.range(0));
     pipeline::BatchAnalyzer analyzer(config);
     double parallelSec = 0.0;
+    std::map<std::string, u64> passNanos;
     for (auto _ : state) {
         pipeline::BatchReport report = analyzer.run(images);
         benchmark::DoNotOptimize(report.results.data());
         parallelSec += report.wallSeconds;
+        for (const PassTimes::Entry &entry : report.passTimes)
+            passNanos[entry.name] += entry.nanos;
     }
     state.SetBytesProcessed(
         static_cast<s64>(state.iterations()) *
@@ -150,6 +153,13 @@ BM_BatchPipeline(benchmark::State &state)
         state.counters["speedup_vs_serial"] =
             serialSec /
             (parallelSec / static_cast<double>(state.iterations()));
+    }
+    // Per-pass engine seconds per iteration, one counter per pass
+    // the registry actually ran — new passes show up automatically.
+    for (const auto &[name, nanos] : passNanos) {
+        state.counters["pass_" + name + "_s"] =
+            static_cast<double>(nanos) * 1e-9 /
+            static_cast<double>(state.iterations());
     }
 }
 

@@ -6,11 +6,14 @@
  *
  * Usage:
  *   accdis_cli <binary>... [--json] [--functions] [--max-insns N]
- *              [--jobs N] [--metrics-out FILE]
+ *              [--jobs N] [--metrics-out FILE] [--explain ADDR]
  *
  * Several binaries and/or --jobs > 1 route the analysis through the
  * parallel batch pipeline; output is byte-identical to a serial run.
- * --metrics-out dumps batch/pool/per-stage metrics as JSON.
+ * --metrics-out dumps batch/pool/per-pass metrics as JSON.
+ * --explain ADDR re-analyzes with the provenance ledger recording and
+ * prints the evidence chain (commits, rollbacks, final owner) that
+ * decided the classification of the byte at virtual address ADDR.
  */
 
 #include <algorithm>
@@ -89,6 +92,43 @@ reportJson(const Section &section, const Classification &result,
     std::printf("    ]\n  }");
 }
 
+/**
+ * Explain the classification of the byte at virtual address
+ * @p target: find the executable section containing it, re-run the
+ * engine with the provenance ledger recording, and print the chain.
+ * Returns false when no loaded image maps the address.
+ */
+bool
+explainAddress(const std::vector<BinaryImage> &images, Addr target,
+               const EngineConfig &engineConfig)
+{
+    bool found = false;
+    for (const BinaryImage &image : images) {
+        for (const Section &section : image.sections()) {
+            if (!section.flags().executable ||
+                !section.containsVaddr(target))
+                continue;
+            std::vector<Offset> entries;
+            for (Addr entry : image.entryPoints()) {
+                if (section.containsVaddr(entry))
+                    entries.push_back(section.toOffset(entry));
+            }
+            DisassemblyEngine engine(engineConfig);
+            std::string chain = engine.explainSection(
+                section.bytes(), entries, section.toOffset(target),
+                section.base(), auxRegionsOf(image));
+            std::printf("%s %s vaddr %llx (offset %llx):\n%s",
+                        image.name().c_str(), section.name().c_str(),
+                        static_cast<unsigned long long>(target),
+                        static_cast<unsigned long long>(
+                            section.toOffset(target)),
+                        chain.c_str());
+            found = true;
+        }
+    }
+    return found;
+}
+
 } // namespace
 
 int
@@ -98,7 +138,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: %s <binary>... [--json] [--functions] "
                      "[--max-insns N] [--jobs N] "
-                     "[--metrics-out FILE]\n",
+                     "[--metrics-out FILE] [--explain ADDR]\n",
                      argv[0]);
         return 2;
     }
@@ -107,6 +147,8 @@ main(int argc, char **argv)
     int maxInsns = 8;
     unsigned jobs = 1;
     std::string metricsOut;
+    bool explain = false;
+    Addr explainAddr = 0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--json"))
             json = true;
@@ -120,7 +162,12 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--metrics-out") &&
                  i + 1 < argc)
             metricsOut = argv[++i];
-        else
+        else if (!std::strcmp(argv[i], "--explain") && i + 1 < argc) {
+            explain = true;
+            // Base 0: accepts both hex (0x...) and decimal.
+            explainAddr = static_cast<Addr>(
+                std::strtoull(argv[++i], nullptr, 0));
+        } else
             paths.emplace_back(argv[i]);
     }
     if (paths.empty()) {
@@ -137,6 +184,20 @@ main(int argc, char **argv)
         pipeline::BatchConfig batchConfig;
         batchConfig.jobs = jobs;
         batchConfig.engine.flow.escapingBranchIsFatal = false;
+
+        if (explain) {
+            if (!explainAddress(images, explainAddr,
+                                batchConfig.engine)) {
+                std::fprintf(stderr,
+                             "error: vaddr %llx is not inside any "
+                             "executable section\n",
+                             static_cast<unsigned long long>(
+                                 explainAddr));
+                return 1;
+            }
+            return 0;
+        }
+
         pipeline::MetricsRegistry metrics;
         pipeline::BatchAnalyzer analyzer(batchConfig, &metrics);
         pipeline::BatchReport report = analyzer.run(images);

@@ -146,15 +146,11 @@ main(int argc, char **argv)
                         report.pool.steals));
         std::printf("speedup:  %.2fx\n",
                     serialSec / report.wallSeconds);
-        for (std::size_t i = 0; i < kNumEngineStages; ++i) {
-            auto stage = static_cast<EngineStage>(i);
-            std::printf("  stage %-20s %8.3f ms (%llu calls)\n",
-                        engineStageName(stage),
-                        static_cast<double>(
-                            report.stageTimes.nanos[i]) /
-                            1e6,
-                        static_cast<unsigned long long>(
-                            report.stageTimes.calls[i]));
+        for (const PassTimes::Entry &entry : report.passTimes) {
+            std::printf("  pass %-20s %8.3f ms (%llu calls)\n",
+                        entry.name.c_str(),
+                        static_cast<double>(entry.nanos) / 1e6,
+                        static_cast<unsigned long long>(entry.calls));
         }
 
         if (verify) {

@@ -13,8 +13,11 @@
  *               [--no-batch] [--no-baselines]
  *
  * --known-gaps points at a directory of checked-in reproducers (e.g.
- * tests/corpus); oracles they mark `expect divergence` are reported
- * but do not fail the campaign — the replay test tracks them.
+ * tests/corpus); a finding matching an `expect divergence` entry's
+ * oracle and generator seed is reported but does not fail the
+ * campaign — the replay test tracks it. Matching is per entry, not
+ * per oracle: the same oracle firing on an unregistered seed still
+ * fails.
  *
  * Identical --seed reproduces the identical corpus and identical
  * findings at any --jobs value.
@@ -26,6 +29,7 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <tuple>
 
 #include "fuzz/runner.hh"
 #include "support/error.hh"
@@ -47,25 +51,28 @@ usage(const char *argv0)
     return 2;
 }
 
-/** Oracles marked `expect divergence` by reproducers under @p dir. */
-std::vector<std::string>
+/** Reproducers marked `expect divergence` under @p dir. */
+std::vector<fuzz::Reproducer>
 loadKnownGaps(const std::string &dir)
 {
-    std::vector<std::string> oracles;
+    std::vector<fuzz::Reproducer> gaps;
     for (const auto &entry :
          std::filesystem::directory_iterator(dir)) {
         if (entry.path().extension() != ".repro")
             continue;
         fuzz::Reproducer repro =
             fuzz::loadReproducerFile(entry.path().string());
-        if (!repro.expectsClean() &&
-            std::find(oracles.begin(), oracles.end(), repro.expect) ==
-                oracles.end()) {
-            oracles.push_back(repro.expect);
-        }
+        if (!repro.expectsClean())
+            gaps.push_back(std::move(repro));
     }
-    std::sort(oracles.begin(), oracles.end());
-    return oracles;
+    std::sort(gaps.begin(), gaps.end(),
+              [](const fuzz::Reproducer &a, const fuzz::Reproducer &b) {
+                  return std::tie(a.expect, a.spec.preset,
+                                  a.spec.corpusSeed) <
+                         std::tie(b.expect, b.spec.preset,
+                                  b.spec.corpusSeed);
+              });
+    return gaps;
 }
 
 } // namespace
@@ -117,9 +124,13 @@ main(int argc, char **argv)
 
     try {
         if (!knownGapsDir.empty()) {
-            config.knownOracles = loadKnownGaps(knownGapsDir);
-            for (const std::string &oracle : config.knownOracles)
-                std::printf("known gap: %s\n", oracle.c_str());
+            config.knownGaps = loadKnownGaps(knownGapsDir);
+            for (const fuzz::Reproducer &gap : config.knownGaps)
+                std::printf("known gap: %s (preset=%s seed=%llu)\n",
+                            gap.expect.c_str(),
+                            gap.spec.preset.c_str(),
+                            static_cast<unsigned long long>(
+                                gap.spec.corpusSeed));
         }
         std::printf("fuzzing: %llu runs, seed %llu, %u jobs, up to %d "
                     "mutations per run\n",

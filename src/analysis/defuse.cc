@@ -27,8 +27,8 @@ analyzeDefUse(const Superset &superset, Offset off, DefUseConfig config)
         const SupersetNode &node = superset.node(cursor);
         ++result.chainLength;
 
-        x86::RegMask reads = node.regsRead;
-        x86::RegMask writes = node.regsWritten;
+        x86::RegMask reads = node.regsRead();
+        x86::RegMask writes = node.regsWritten();
 
         // Def→use pairs over GPRs.
         pairs += std::popcount(reads & defined & kAllGprs);

@@ -1,0 +1,14 @@
+#include "analysis/defuse_pass.hh"
+
+#include "core/context.hh"
+
+namespace accdis
+{
+
+void
+DefUsePass::run(AnalysisContext &ctx) const
+{
+    ctx.defUseEnabled = true;
+}
+
+} // namespace accdis

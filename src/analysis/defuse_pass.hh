@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The def-use evidence pass: enables the register def-use component
+ * of seed scoring.
+ */
+
+#ifndef ACCDIS_ANALYSIS_DEFUSE_PASS_HH
+#define ACCDIS_ANALYSIS_DEFUSE_PASS_HH
+
+#include "core/pass.hh"
+
+namespace accdis
+{
+
+/**
+ * Arms the def-use term of AnalysisContext::seedScore(). Def-use
+ * chains are computed on demand per candidate offset (they are cheap
+ * and local), so the pass itself only flips the switch — disabling it
+ * is the useDefUse ablation.
+ */
+class DefUsePass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "def_use"; }
+
+    std::vector<std::string>
+    dependsOn() const override
+    {
+        return {"superset_decode"};
+    }
+
+    void run(AnalysisContext &ctx) const override;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_DEFUSE_PASS_HH

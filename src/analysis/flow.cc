@@ -102,13 +102,13 @@ FlowAnalysis::computePoison(const Superset &superset)
         }
         const SupersetNode &node = superset.node(off);
         double base = 0.0;
-        if (node.flags & kFlagPrivileged)
+        if (node.flags() & kFlagPrivileged)
             base = std::max(base, 0.7);
-        if (node.flags & kFlagRare)
+        if (node.flags() & kFlagRare)
             base = std::max(base, 0.35);
-        if (node.flags & kFlagRedundantPrefix)
+        if (node.flags() & kFlagRedundantPrefix)
             base = std::max(base, 0.25);
-        if (node.flags & kFlagSegment)
+        if (node.flags() & kFlagSegment)
             base = std::max(base, 0.10);
         if (superset.targetEscapes(off))
             base = std::max(base,

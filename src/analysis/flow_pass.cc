@@ -1,0 +1,15 @@
+#include "analysis/flow_pass.hh"
+
+#include "core/context.hh"
+#include "core/engine.hh"
+
+namespace accdis
+{
+
+void
+FlowPass::run(AnalysisContext &ctx) const
+{
+    ctx.flow.emplace(ctx.superset.get(), ctx.config.flow);
+}
+
+} // namespace accdis

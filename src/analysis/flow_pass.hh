@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The flow-analysis evidence pass: builds the mustFault/poison
+ * artifact used to veto and penalize code candidates.
+ */
+
+#ifndef ACCDIS_ANALYSIS_FLOW_PASS_HH
+#define ACCDIS_ANALYSIS_FLOW_PASS_HH
+
+#include "core/pass.hh"
+
+namespace accdis
+{
+
+/** Builds the control-flow consistency facts (mustFault/poison). */
+class FlowPass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "flow"; }
+
+    std::vector<std::string>
+    dependsOn() const override
+    {
+        return {"superset_decode"};
+    }
+
+    void run(AnalysisContext &ctx) const override;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_FLOW_PASS_HH

@@ -87,7 +87,7 @@ resolveIndirectFlow(const Superset &superset, IndirectConfig config)
                      IndirectTarget::Via::RegisterConstant});
                 break;
             }
-            if (next.regsWritten & x86::regBit(reg))
+            if (next.regsWritten() & x86::regBit(reg))
                 break;
             if (!next.fallsThrough())
                 break;

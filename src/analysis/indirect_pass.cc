@@ -1,0 +1,25 @@
+#include "analysis/indirect_pass.hh"
+
+#include "analysis/indirect.hh"
+#include "core/context.hh"
+
+namespace accdis
+{
+
+void
+IndirectPass::run(AnalysisContext &ctx) const
+{
+    IndirectConfig indirectConfig;
+    indirectConfig.sectionBase = ctx.patConfig.sectionBase;
+    u32 reason = 0;
+    if (ctx.ledger.enabled())
+        reason = ctx.ledger.intern(
+            "statically resolved indirect transfer target");
+    for (const IndirectTarget &it :
+         resolveIndirectFlow(ctx.superset.get(), indirectConfig)) {
+        ctx.pushCode(Priority::Propagated, 65.0, it.target, name(),
+                     reason);
+    }
+}
+
+} // namespace accdis

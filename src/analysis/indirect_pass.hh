@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The indirect-flow evidence pass: statically resolvable indirect
+ * calls/jumps become Propagated-strength code evidence.
+ */
+
+#ifndef ACCDIS_ANALYSIS_INDIRECT_PASS_HH
+#define ACCDIS_ANALYSIS_INDIRECT_PASS_HH
+
+#include "core/pass.hh"
+
+namespace accdis
+{
+
+/**
+ * Queues targets of constant indirect transfers (movabs + call reg,
+ * call [rip+slot]): the constant is part of the program text, so the
+ * targets carry propagated-level strength.
+ */
+class IndirectPass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "indirect"; }
+
+    std::vector<std::string>
+    dependsOn() const override
+    {
+        return {"superset_decode"};
+    }
+
+    void run(AnalysisContext &ctx) const override;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_INDIRECT_PASS_HH

@@ -28,7 +28,7 @@ matchDispatchIdiom(const Superset &superset, Offset leaOff, int window)
         if (i > 0) {
             if (node.op == x86::Op::Movsxd ||
                 (node.op == x86::Op::Mov &&
-                 (node.flags & x86::kFlagReadsMem)))
+                 (node.flags() & x86::kFlagReadsMem)))
                 sawIndexedLoad = true;
             if (node.flow == x86::CtrlFlow::IndirectJump)
                 return sawIndexedLoad;
@@ -63,7 +63,7 @@ findJumpTables(const Superset &superset, JumpTableConfig config)
             continue;
         const SupersetNode &node = superset.node(off);
         if (node.op != x86::Op::Lea ||
-            !(node.flags & x86::kFlagRipRelative))
+            !(node.flags() & x86::kFlagRipRelative))
             continue;
         x86::Instruction lea = superset.decodeFull(off);
         s64 base = static_cast<s64>(lea.end()) + lea.disp;

@@ -1,0 +1,59 @@
+#include "analysis/jump_table_pass.hh"
+
+#include <cstdio>
+#include <string>
+
+#include "core/context.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+std::string
+hexOffset(Offset off)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(off));
+    return buf;
+}
+
+} // namespace
+
+void
+JumpTablePass::run(AnalysisContext &ctx) const
+{
+    auto tables = findJumpTables(ctx.superset.get(), ctx.jtConfig);
+    ctx.stats.jumpTablesFound = 0;
+    for (const auto &table : tables) {
+        Priority prio =
+            table.fullIdiom ? Priority::Anchor : Priority::Pattern;
+        if (table.fullIdiom)
+            ++ctx.stats.jumpTablesFound;
+        const char *idiom =
+            table.fullIdiom ? "full-idiom" : "shape-only";
+        u32 dataReason = 0, targetReason = 0, dispatchReason = 0;
+        if (ctx.ledger.enabled()) {
+            std::string at = " of " + std::string(idiom) +
+                             " jump table dispatched at " +
+                             hexOffset(table.dispatchOff);
+            dataReason = ctx.ledger.intern("table bytes" + at);
+            targetReason = ctx.ledger.intern("branch target" + at);
+            dispatchReason = ctx.ledger.intern("dispatch site" + at);
+        }
+        // External (.rodata) tables have no bytes to claim in
+        // this section; their value is the recovered targets.
+        if (!table.external)
+            ctx.pushData(prio, 50.0, table.tableOff, table.tableEnd(),
+                         name(), dataReason);
+        for (Offset target : table.targets)
+            ctx.pushCode(prio, 60.0, target, name(), targetReason);
+        // The dispatch site itself is code evidence.
+        ctx.pushCode(prio, 55.0, table.dispatchOff, name(),
+                     dispatchReason);
+    }
+}
+
+} // namespace accdis

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The jump-table evidence pass: turns discovered dispatch idioms into
+ * anchored data + code evidence.
+ */
+
+#ifndef ACCDIS_ANALYSIS_JUMP_TABLE_PASS_HH
+#define ACCDIS_ANALYSIS_JUMP_TABLE_PASS_HH
+
+#include "core/pass.hh"
+
+namespace accdis
+{
+
+/**
+ * Queues jump-table structure evidence: full-idiom tables anchor both
+ * their data bytes and their code targets; shape-only tables are
+ * weaker pattern evidence.
+ */
+class JumpTablePass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "jump_tables"; }
+
+    std::vector<std::string>
+    dependsOn() const override
+    {
+        return {"superset_decode"};
+    }
+
+    void run(AnalysisContext &ctx) const override;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_JUMP_TABLE_PASS_HH

@@ -181,7 +181,7 @@ parseStub(const Superset &superset, Offset off, u32 stride)
             return {};
         insns.push_back(cursor);
         if (node.flow == x86::CtrlFlow::IndirectJump &&
-            (node.flags & x86::kFlagRipRelative))
+            (node.flags() & x86::kFlagRipRelative))
             sawIndirectJmp = true;
         // A direct jmp (to the lazy-binding header) may end the stub.
         if (node.flow == x86::CtrlFlow::Jump) {
@@ -289,8 +289,8 @@ findPrologues(const Superset &superset)
             if (superset.validAt(next)) {
                 const SupersetNode &second = superset.node(next);
                 if (second.op == x86::Op::Mov &&
-                    (second.regsWritten & x86::regBit(x86::RBP)) &&
-                    (second.regsRead & x86::regBit(x86::RSP))) {
+                    (second.regsWritten() & x86::regBit(x86::RBP)) &&
+                    (second.regsRead() & x86::regBit(x86::RSP))) {
                     prologues.push_back(off);
                     continue;
                 }
@@ -306,13 +306,13 @@ findPrologues(const Superset &superset)
             (off >= 2 && bytes[off - 2] == 0x41 &&
              bytes[off - 1] >= 0x50 && bytes[off - 1] <= 0x57);
         if (!afterPush && node.op == x86::Op::Push &&
-            node.length <= 2 && (node.regsRead & x86::kCalleeSaved)) {
+            node.length <= 2 && (node.regsRead() & x86::kCalleeSaved)) {
             Offset cursor = off;
             for (int depth = 0; depth < 3 && superset.validAt(cursor);
                  ++depth) {
                 const SupersetNode &cur = superset.node(cursor);
                 if (cur.op == x86::Op::Sub &&
-                    (cur.regsWritten & x86::regBit(x86::RSP))) {
+                    (cur.regsWritten() & x86::regBit(x86::RSP))) {
                     prologues.push_back(off);
                     break;
                 }

@@ -1,0 +1,63 @@
+#include "analysis/patterns_pass.hh"
+
+#include "core/context.hh"
+#include "support/bytes.hh"
+
+namespace accdis
+{
+
+void
+PatternsPass::run(AnalysisContext &ctx) const
+{
+    const Superset &superset = ctx.superset.get();
+    const bool record = ctx.ledger.enabled();
+
+    auto push = [&](const std::vector<DataRegion> &regions,
+                    const char *what) {
+        u32 reason = record ? ctx.ledger.intern(what) : 0;
+        for (const auto &region : regions) {
+            ctx.stats.dataPatternBytes += region.end - region.begin;
+            ctx.pushData(Priority::Pattern, 30.0, region.begin,
+                         region.end, name(), reason);
+        }
+    };
+    push(findStringRegions(ctx.bytes, ctx.patConfig),
+         "ASCII string region");
+    push(findWideStringRegions(ctx.bytes, ctx.patConfig),
+         "wide string region");
+    push(findZeroRuns(ctx.bytes, ctx.patConfig), "zero run");
+
+    u32 arrayReason =
+        record ? ctx.ledger.intern("pointer array") : 0;
+    u32 pointeeReason =
+        record ? ctx.ledger.intern("pointer-array target "
+                                   "(address-taken function)")
+               : 0;
+    auto pointers = findPointerArrays(superset, ctx.patConfig);
+    for (const auto &region : pointers) {
+        ctx.stats.dataPatternBytes += region.end - region.begin;
+        ctx.pushData(Priority::Pattern, 40.0, region.begin,
+                     region.end, name(), arrayReason);
+        // The pointed-to offsets are code evidence: this is how
+        // address-taken functions are recovered.
+        for (Offset b = region.begin; b + 8 <= region.end; b += 8) {
+            u64 value = readLe64(ctx.bytes, b);
+            if (value >= ctx.patConfig.sectionBase) {
+                u64 rel = value - ctx.patConfig.sectionBase;
+                if (rel < ctx.state.size())
+                    ctx.pushCode(Priority::Pattern, 45.0,
+                                 static_cast<Offset>(rel), name(),
+                                 pointeeReason);
+            }
+        }
+    }
+
+    // Linkage stubs (PLT-style): strided indirect-jump arrays are
+    // code even though nothing references them in-section.
+    u32 stubReason = record ? ctx.ledger.intern("linkage stub") : 0;
+    for (Offset off : findLinkageStubs(superset))
+        ctx.pushCode(Priority::Pattern, 48.0, off, name(),
+                     stubReason);
+}
+
+} // namespace accdis

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The data-pattern evidence pass: strings, zero runs, pointer arrays
+ * (plus their pointed-to functions) and linkage stubs.
+ */
+
+#ifndef ACCDIS_ANALYSIS_PATTERNS_PASS_HH
+#define ACCDIS_ANALYSIS_PATTERNS_PASS_HH
+
+#include "core/pass.hh"
+
+namespace accdis
+{
+
+/**
+ * Queues detected data regions as Pattern-strength data evidence and
+ * pointer-array targets / linkage stubs as code evidence.
+ */
+class PatternsPass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "patterns"; }
+
+    std::vector<std::string>
+    dependsOn() const override
+    {
+        return {"superset_decode"};
+    }
+
+    void run(AnalysisContext &ctx) const override;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_ANALYSIS_PATTERNS_PASS_HH

@@ -1,0 +1,406 @@
+#include "core/context.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/defuse.hh"
+#include "core/engine.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+/** "0x<hex>" rendering of an offset, for ledger reasons. */
+std::string
+hexOffset(Offset off)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(off));
+    return buf;
+}
+
+} // namespace
+
+const char *
+priorityName(Priority prio)
+{
+    switch (prio) {
+      case Priority::Anchor:
+        return "anchor";
+      case Priority::Propagated:
+        return "propagated";
+      case Priority::Pattern:
+        return "pattern";
+      case Priority::Heuristic:
+        return "heuristic";
+      case Priority::Residual:
+        return "residual";
+    }
+    return "unknown";
+}
+
+AnalysisContext::AnalysisContext(
+    const EngineConfig &config, ByteSpan bytes,
+    const std::vector<Offset> &entries, Addr sectionBase,
+    const std::vector<AuxRegion> &auxRegions, bool recordLedger)
+    : config(config), bytes(bytes), entries(entries),
+      sectionBase(sectionBase), ledger(recordLedger)
+{
+    jtConfig = config.jumpTables;
+    jtConfig.sectionBase = sectionBase;
+    jtConfig.auxRegions = auxRegions;
+    patConfig = config.patterns;
+    patConfig.sectionBase = sectionBase;
+
+    state.assign(bytes.size(), kUnknown);
+    owner.assign(bytes.size(), 0);
+    isStart.assign(bytes.size(), false);
+    queuedTarget.assign(bytes.size(), false);
+    commits.emplace_back(); // id 0 = "no owner" sentinel.
+}
+
+void
+AnalysisContext::invalidate(ArtifactId id)
+{
+    switch (id) {
+      case ArtifactId::Superset:
+        superset.reset();
+        invalidate(ArtifactId::Flow);
+        invalidate(ArtifactId::Scorer);
+        return;
+      case ArtifactId::Flow:
+        flow.reset();
+        invalidate(ArtifactId::Evidence);
+        return;
+      case ArtifactId::Scorer:
+        scorer.reset();
+        invalidate(ArtifactId::Evidence);
+        return;
+      case ArtifactId::Evidence:
+        queue_ = {};
+        invalidate(ArtifactId::Commitments);
+        return;
+      case ArtifactId::Commitments:
+        state.assign(bytes.size(), kUnknown);
+        owner.assign(bytes.size(), 0);
+        isStart.assign(bytes.size(), false);
+        queuedTarget.assign(bytes.size(), false);
+        commits.clear();
+        commits.emplace_back();
+        stats = {};
+        return;
+      default:
+        return;
+    }
+}
+
+bool
+AnalysisContext::artifactPresent(ArtifactId id) const
+{
+    switch (id) {
+      case ArtifactId::Superset:
+        return superset.present();
+      case ArtifactId::Flow:
+        return flow.present();
+      case ArtifactId::Scorer:
+        return scorer.present();
+      case ArtifactId::Evidence:
+        return !queue_.empty();
+      case ArtifactId::Commitments:
+        return commits.size() > 1;
+      default:
+        return false;
+    }
+}
+
+double
+AnalysisContext::seedScore(Offset off) const
+{
+    double score = 0.0;
+    if (scorer.present())
+        score += scorer->scoreAt(off);
+    if (defUseEnabled)
+        score += config.defUseWeight *
+                 defUseScore(analyzeDefUse(superset.get(), off));
+    if (flow.present())
+        score -= config.poisonWeight * flow->poison(off);
+    return score;
+}
+
+u32
+AnalysisContext::newCommit(Priority prio, const char *source,
+                           u32 reasonId)
+{
+    commits.push_back(Commitment{prio, true, source, reasonId, {}, {}});
+    u32 id = static_cast<u32>(commits.size() - 1);
+    ledger.recordCommit(id);
+    return id;
+}
+
+void
+AnalysisContext::rollback(u32 id, u32 byId)
+{
+    Commitment &commit = commits[id];
+    if (!commit.live)
+        return;
+    commit.live = false;
+    ++stats.rollbacks;
+    ledger.recordRollback(id, byId);
+    for (const auto &[begin, end] : commit.ranges) {
+        for (Offset b = begin; b < end; ++b) {
+            if (owner[b] == id) {
+                state[b] = kUnknown;
+                owner[b] = 0;
+            }
+        }
+    }
+    for (Offset start : commit.starts) {
+        if (owner[start] == 0)
+            isStart[start] = false;
+    }
+}
+
+bool
+AnalysisContext::resolveConflicts(Offset begin, Offset end,
+                                  Priority prio, u32 claimant)
+{
+    // First scan: is the range free or freeable?
+    for (Offset b = begin; b < end; ++b) {
+        if (state[b] == kUnknown)
+            continue;
+        const Commitment &holder = commits[owner[b]];
+        if (holder.prio <= prio) {
+            ++stats.conflicts;
+            return false;
+        }
+        if (!correctionEnabled) {
+            // Without error correction the first commitment wins.
+            ++stats.conflicts;
+            return false;
+        }
+    }
+    // Second scan: evict weaker owners.
+    for (Offset b = begin; b < end; ++b) {
+        if (state[b] != kUnknown)
+            rollback(owner[b], claimant);
+    }
+    return true;
+}
+
+void
+AnalysisContext::enqueueCallTarget(Offset off, Priority prio,
+                                   const char *source, Offset callSite)
+{
+    if (off >= state.size() || queuedTarget[off])
+        return;
+    queuedTarget[off] = true;
+    u32 reason = 0;
+    if (ledger.enabled())
+        reason = ledger.intern("call target of call@" +
+                               hexOffset(callSite));
+    pushCode(prio, 70.0, off, source, reason);
+}
+
+void
+AnalysisContext::commitCodeFrom(const EvidenceItem &item)
+{
+    const Superset &ss = superset.get();
+    u32 id = newCommit(item.prio, item.source, item.reasonId);
+    Commitment &commit = commits[id];
+    std::vector<Offset> work{item.off};
+
+    // Evidence derived from a commitment is itself evidence: call
+    // targets are queued at Propagated strength (or Heuristic when
+    // the source is weak) so they can later evict misaligned weaker
+    // commitments — the heart of prioritized error correction.
+    Priority derived = item.prio <= Priority::Heuristic
+                           ? Priority::Propagated
+                           : Priority::Heuristic;
+
+    while (!work.empty()) {
+        Offset o = work.back();
+        work.pop_back();
+        if (o >= state.size())
+            continue;
+        if (isStart[o] && state[o] == kCode)
+            continue; // Already an accepted instruction here.
+        if (!ss.validAt(o) || mustFault(o))
+            continue;
+
+        const SupersetNode &node = ss.node(o);
+        Offset end = o + node.length;
+        if (end > state.size())
+            continue;
+        if (!resolveConflicts(o, end, item.prio, id))
+            continue;
+
+        for (Offset b = o; b < end; ++b) {
+            state[b] = kCode;
+            owner[b] = id;
+        }
+        isStart[o] = true;
+        commit.starts.push_back(o);
+        commit.ranges.emplace_back(o, end);
+
+        if (node.fallsThrough() && end < state.size())
+            work.push_back(end);
+        Offset target = ss.target(o);
+        if (target != kNoAddr) {
+            if (node.flow == x86::CtrlFlow::Call)
+                enqueueCallTarget(target, derived, item.source, o);
+            else
+                work.push_back(target);
+        }
+    }
+
+    if (commit.starts.empty())
+        commit.live = false;
+}
+
+void
+AnalysisContext::commitData(const EvidenceItem &item)
+{
+    Offset begin = std::min<Offset>(item.off, state.size());
+    Offset end = std::min<Offset>(item.end, state.size());
+    if (begin >= end)
+        return;
+
+    // Data regions are divisible: claim every byte that is free or
+    // held by a strictly weaker commitment (evicting the holder),
+    // and leave bytes under same-or-stronger claims alone. Code
+    // commits stay atomic per instruction; data does not need to be.
+    u32 id = newCommit(item.prio, item.source, item.reasonId);
+    Commitment &commit = commits[id];
+    Offset runStart = kNoAddr;
+    auto flushRun = [&](Offset runEnd) {
+        if (runStart == kNoAddr)
+            return;
+        commit.ranges.emplace_back(runStart, runEnd);
+        runStart = kNoAddr;
+    };
+    for (Offset b = begin; b < end; ++b) {
+        if (state[b] != kUnknown) {
+            const Commitment &holder = commits[owner[b]];
+            if (holder.prio <= item.prio || !correctionEnabled) {
+                ++stats.conflicts;
+                flushRun(b);
+                continue;
+            }
+            rollback(owner[b], id);
+        }
+        state[b] = kData;
+        owner[b] = id;
+        if (runStart == kNoAddr)
+            runStart = b;
+    }
+    flushRun(end);
+    if (commit.ranges.empty())
+        commit.live = false;
+}
+
+u64
+AnalysisContext::committedStarts() const
+{
+    u64 committed = 0;
+    for (Offset off = 0; off < state.size(); ++off)
+        committed += isStart[off];
+    return committed;
+}
+
+Classification
+AnalysisContext::finish() const
+{
+    Classification result;
+    result.stats = stats;
+    if (flow.present())
+        result.stats.mustFaultOffsets = flow->mustFaultCount();
+
+    const Offset n = state.size();
+    Offset runStart = 0;
+    ResultClass runClass = ResultClass::Data;
+    auto classify = [&](Offset off) {
+        return state[off] == kCode ? ResultClass::Code
+                                   : ResultClass::Data;
+    };
+    if (n > 0) {
+        runClass = classify(0);
+        for (Offset off = 1; off < n; ++off) {
+            ResultClass cls = classify(off);
+            if (cls != runClass) {
+                result.map.assign(runStart, off, runClass);
+                runStart = off;
+                runClass = cls;
+            }
+        }
+        result.map.assign(runStart, n, runClass);
+    }
+    // Provenance: record the committing evidence strength per byte.
+    if (n > 0) {
+        Offset provStart = 0;
+        u8 provLevel = static_cast<u8>(commits[owner[0]].prio);
+        for (Offset off = 1; off < n; ++off) {
+            u8 level = static_cast<u8>(commits[owner[off]].prio);
+            if (level != provLevel) {
+                result.provenance.assign(provStart, off, provLevel);
+                provStart = off;
+                provLevel = level;
+            }
+        }
+        result.provenance.assign(provStart, n, provLevel);
+    }
+    for (Offset off = 0; off < n; ++off) {
+        if (isStart[off] && state[off] == kCode)
+            result.insnStarts.push_back(off);
+    }
+    return result;
+}
+
+std::string
+AnalysisContext::explain(Offset off) const
+{
+    if (off >= state.size())
+        return "";
+
+    std::ostringstream out;
+    for (const auto &event : ledger.events()) {
+        const Commitment &commit = commits[event.id];
+        if (!commit.covers(off))
+            continue;
+        if (event.kind == ProvenanceLedger::Event::Kind::Commit) {
+            out << "commit #" << event.id << " ["
+                << priorityName(commit.prio) << "] by "
+                << commit.source;
+            const std::string &reason = ledger.reason(commit.reasonId);
+            if (!reason.empty())
+                out << ": " << reason;
+            out << "\n";
+        } else {
+            const Commitment &by = commits[event.byId];
+            out << "rollback #" << event.id << " (evicted by #"
+                << event.byId << " [" << priorityName(by.prio)
+                << "] from " << by.source << ")\n";
+        }
+    }
+
+    const char *cls = state[off] == kCode    ? "code"
+                      : state[off] == kData ? "data"
+                                            : "unknown";
+    out << "final: " << cls;
+    u32 holder = owner[off];
+    if (holder != 0) {
+        const Commitment &commit = commits[holder];
+        out << ", owner #" << holder << " ["
+            << priorityName(commit.prio) << "] by " << commit.source;
+        const std::string &reason = ledger.reason(commit.reasonId);
+        if (!reason.empty())
+            out << ": " << reason;
+    }
+    out << "\n";
+    return out.str();
+}
+
+} // namespace accdis

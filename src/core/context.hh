@@ -1,0 +1,374 @@
+/**
+ * @file
+ * The shared per-section analysis state threaded through the evidence
+ * passes: typed artifact slots (superset, flow facts, seed scorer),
+ * the prioritized evidence queue, the revocable commitment map, and a
+ * provenance ledger recording *why* every byte was committed.
+ *
+ * An AnalysisContext is created per analyzeSection() call, populated
+ * by the registered EvidencePasses in dependency order, and finally
+ * folded into a Classification by finish(). Passes communicate only
+ * through the context — no pass holds private cross-pass state — so
+ * passes can be disabled, reordered (within dependency constraints),
+ * or re-run after invalidation without touching the engine.
+ */
+
+#ifndef ACCDIS_CORE_CONTEXT_HH
+#define ACCDIS_CORE_CONTEXT_HH
+
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "analysis/flow.hh"
+#include "analysis/jump_table.hh"
+#include "analysis/patterns.hh"
+#include "core/result.hh"
+#include "prob/scorer.hh"
+#include "superset/superset.hh"
+
+namespace accdis
+{
+
+struct EngineConfig;
+
+/** Evidence strength classes, strongest first. */
+enum class Priority : u8
+{
+    Anchor = 0,   ///< Entry points, full-idiom jump-table structure.
+    Propagated,   ///< Targets reached from committed code.
+    Pattern,      ///< Detected data regions, partial-idiom tables.
+    Heuristic,    ///< Probabilistic/prologue seeds.
+    Residual,     ///< Gap refinement of leftover bytes.
+};
+
+/** Human-readable name of a Priority level. */
+const char *priorityName(Priority prio);
+
+/**
+ * A typed artifact slot on the context: at most one value, plus a
+ * generation counter bumped on every (re)build so dependents can
+ * detect staleness after invalidation.
+ */
+template <typename T>
+class ArtifactSlot
+{
+  public:
+    /** True when the artifact has been built and not invalidated. */
+    bool present() const { return value_.has_value(); }
+
+    /** Build (or rebuild) the artifact in place. */
+    template <typename... Args>
+    T &
+    emplace(Args &&...args)
+    {
+        value_.emplace(std::forward<Args>(args)...);
+        ++generation_;
+        return *value_;
+    }
+
+    /** Drop the artifact (dependents must treat it as absent). */
+    void reset() { value_.reset(); }
+
+    /** The artifact. @pre present(). */
+    const T &get() const { return *value_; }
+    T &get() { return *value_; }
+
+    const T *operator->() const { return &*value_; }
+    const T &operator*() const { return *value_; }
+
+    /** Number of times the slot has been (re)built. */
+    u64 generation() const { return generation_; }
+
+  private:
+    std::optional<T> value_;
+    u64 generation_ = 0;
+};
+
+/** Identifiers of the context's invalidatable artifact slots. */
+enum class ArtifactId : u8
+{
+    Superset = 0, ///< Exhaustive per-offset decode.
+    Flow,         ///< mustFault/poison facts (depends on Superset).
+    Scorer,       ///< Likelihood scorer (depends on Superset).
+    Evidence,     ///< Queued evidence items (depend on everything).
+    Commitments,  ///< The commitment map (depends on Evidence).
+    NumArtifacts,
+};
+
+/**
+ * Append-only record of every commitment and rollback the engine
+ * makes, strong enough to reconstruct the commit/rollback chain for
+ * any byte after the fact (`accdis_cli --explain`).
+ *
+ * Recording detail is gated: when disabled (the default) only the
+ * structural commit metadata that the engine needs anyway is kept and
+ * reason strings are dropped, so the hot path stays allocation-free.
+ */
+class ProvenanceLedger
+{
+  public:
+    explicit ProvenanceLedger(bool enabled = false)
+        : enabled_(enabled)
+    {
+        reasons_.push_back(""); // id 0 = "no reason recorded".
+    }
+
+    bool enabled() const { return enabled_; }
+
+    /** Intern @p reason; returns 0 (dropped) when disabled. */
+    u32
+    intern(const std::string &reason)
+    {
+        if (!enabled_)
+            return 0;
+        reasons_.push_back(reason);
+        return static_cast<u32>(reasons_.size() - 1);
+    }
+
+    const std::string &reason(u32 id) const { return reasons_[id]; }
+
+    /** One ledger event, in engine execution order. */
+    struct Event
+    {
+        enum class Kind : u8
+        {
+            Commit,   ///< Commitment @p id went live.
+            Rollback, ///< Commitment @p id evicted by @p byId.
+        };
+        Kind kind = Kind::Commit;
+        u32 id = 0;
+        u32 byId = 0;
+    };
+
+    void
+    recordCommit(u32 id)
+    {
+        if (enabled_)
+            events_.push_back({Event::Kind::Commit, id, 0});
+    }
+
+    void
+    recordRollback(u32 id, u32 byId)
+    {
+        if (enabled_)
+            events_.push_back({Event::Kind::Rollback, id, byId});
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+
+  private:
+    bool enabled_;
+    std::vector<std::string> reasons_;
+    std::vector<Event> events_;
+};
+
+/** A revocable commitment made while resolving the evidence queue. */
+struct Commitment
+{
+    Priority prio = Priority::Residual;
+    bool live = false;
+    /** Name of the pass whose evidence produced this commitment. */
+    const char *source = "";
+    /** Interned reason id in the ledger (0 when not recorded). */
+    u32 reasonId = 0;
+    std::vector<Offset> starts;
+    std::vector<std::pair<Offset, Offset>> ranges;
+
+    bool
+    covers(Offset off) const
+    {
+        for (const auto &[begin, end] : ranges) {
+            if (off >= begin && off < end)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** One queued piece of evidence. */
+struct EvidenceItem
+{
+    Priority prio;
+    double score;
+    Offset off;
+    Offset end;   ///< Exclusive end for data items; unused for code.
+    bool isCode;
+    /** Producing pass (static storage; not part of the ordering). */
+    const char *source;
+    /** Interned ledger reason (not part of the ordering). */
+    u32 reasonId;
+};
+
+/** Strongest-first ordering over evidence items. */
+struct EvidenceOrder
+{
+    bool
+    operator()(const EvidenceItem &a, const EvidenceItem &b) const
+    {
+        // std::priority_queue pops the *largest*; invert so the
+        // strongest priority / highest score pops first.
+        if (a.prio != b.prio)
+            return a.prio > b.prio;
+        if (a.score != b.score)
+            return a.score < b.score;
+        return a.off > b.off;
+    }
+};
+
+/**
+ * Everything the evidence passes share while analyzing one section.
+ * Members are deliberately public: the context *is* the inter-pass
+ * API, and passes live in several subsystems (analysis/, prob/,
+ * superset/, core/).
+ */
+class AnalysisContext
+{
+  public:
+    /** Byte states during classification. */
+    enum ByteState : u8
+    {
+        kUnknown = 0,
+        kCode,
+        kData,
+    };
+
+    AnalysisContext(const EngineConfig &config, ByteSpan bytes,
+                    const std::vector<Offset> &entries,
+                    Addr sectionBase,
+                    const std::vector<AuxRegion> &auxRegions,
+                    bool recordLedger = false);
+
+    // --- Inputs -----------------------------------------------------
+    const EngineConfig &config;
+    ByteSpan bytes;
+    const std::vector<Offset> &entries;
+    Addr sectionBase;
+    /** Jump-table config with sectionBase/auxRegions applied. */
+    JumpTableConfig jtConfig;
+    /** Pattern config with sectionBase applied. */
+    PatternConfig patConfig;
+
+    // --- Artifact slots ---------------------------------------------
+    ArtifactSlot<Superset> superset;
+    ArtifactSlot<FlowAnalysis> flow;
+    ArtifactSlot<LikelihoodScorer> scorer;
+    /** Mix the def-use component into seed scores (DefUsePass). */
+    bool defUseEnabled = false;
+    /** Rollback + chain refinement armed (ErrorCorrectionPass). */
+    bool correctionEnabled = false;
+
+    /**
+     * Drop @p id's artifact and every downstream artifact that was
+     * derived from it (Flow/Scorer from Superset; Evidence and the
+     * Commitments map from any of them). A rebuilt upstream artifact
+     * bumps its slot generation, so dependents can also detect
+     * staleness themselves.
+     */
+    void invalidate(ArtifactId id);
+
+    /** True when the slot behind @p id currently holds a value. */
+    bool artifactPresent(ArtifactId id) const;
+
+    // --- Evidence queue ---------------------------------------------
+    /** Queue code evidence: "an instruction chain starts at off". */
+    void
+    pushCode(Priority prio, double score, Offset off,
+             const char *source, u32 reasonId = 0)
+    {
+        queue_.push(
+            {prio, score, off, 0, true, source, reasonId});
+    }
+
+    /** Queue data evidence over [begin, end). */
+    void
+    pushData(Priority prio, double score, Offset begin, Offset end,
+             const char *source, u32 reasonId = 0)
+    {
+        queue_.push(
+            {prio, score, begin, end, false, source, reasonId});
+    }
+
+    bool queueEmpty() const { return queue_.empty(); }
+    std::size_t queueSize() const { return queue_.size(); }
+
+    /** Pop the strongest pending item. @pre !queueEmpty(). */
+    EvidenceItem
+    popEvidence()
+    {
+        EvidenceItem item = queue_.top();
+        queue_.pop();
+        return item;
+    }
+
+    // --- Seed scoring (mixes whichever artifacts are present) -------
+    /** True when flow facts prove @p off cannot be code. */
+    bool
+    mustFault(Offset off) const
+    {
+        return flow.present() && flow->mustFault(off);
+    }
+
+    /** Combined seed score of a candidate chain start at @p off. */
+    double seedScore(Offset off) const;
+
+    // --- Commitment map ---------------------------------------------
+    std::vector<u8> state;          ///< ByteState per byte.
+    std::vector<u32> owner;         ///< Owning commitment id (0 none).
+    std::vector<bool> isStart;      ///< Accepted instruction start.
+    std::vector<bool> queuedTarget; ///< Call target already queued.
+    std::vector<Commitment> commits; ///< Id 0 = "no owner" sentinel.
+    Classification::Stats stats;
+    ProvenanceLedger ledger;
+
+    /** Open a new live commitment and record it in the ledger. */
+    u32 newCommit(Priority prio, const char *source, u32 reasonId);
+
+    /** Evict commitment @p id (because of @p byId); idempotent. */
+    void rollback(u32 id, u32 byId);
+
+    /**
+     * Make [begin, end) claimable at @p prio: roll back strictly
+     * weaker owners; report false when a same-or-stronger owner holds
+     * any byte. @p claimant is the evicting commitment id.
+     */
+    bool resolveConflicts(Offset begin, Offset end, Priority prio,
+                          u32 claimant);
+
+    /**
+     * Queue a call target (deduplicated) as code evidence.
+     * @p callSite is the committing call's offset, recorded as the
+     * ledger reason when recording is on.
+     */
+    void enqueueCallTarget(Offset off, Priority prio,
+                           const char *source, Offset callSite);
+
+    /** Commit the instruction chain rooted at @p off. */
+    void commitCodeFrom(const EvidenceItem &item);
+
+    /** Commit [begin, end) as data, byte-divisibly. */
+    void commitData(const EvidenceItem &item);
+
+    /** Number of accepted instruction starts so far. */
+    u64 committedStarts() const;
+
+    /** Fold the commitment map into the final Classification. */
+    Classification finish() const;
+
+    /**
+     * Render the commit/rollback chain that decided @p off, one
+     * event per line (empty when the ledger was disabled or the byte
+     * is out of range).
+     */
+    std::string explain(Offset off) const;
+
+  private:
+    std::priority_queue<EvidenceItem, std::vector<EvidenceItem>,
+                        EvidenceOrder>
+        queue_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_CORE_CONTEXT_HH

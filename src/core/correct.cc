@@ -1,0 +1,376 @@
+#include "core/correct.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/patterns.hh"
+#include "core/context.hh"
+#include "core/engine.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+/** "0x<hex>" rendering of an offset, for ledger reasons. */
+std::string
+hexOffset(Offset off)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(off));
+    return buf;
+}
+
+} // namespace
+
+void
+AnchorPass::run(AnalysisContext &ctx) const
+{
+    u32 reason = 0;
+    if (ctx.ledger.enabled())
+        reason = ctx.ledger.intern("known entry point");
+    for (Offset entry : ctx.entries)
+        ctx.pushCode(Priority::Anchor, 100.0, entry, name(), reason);
+}
+
+void
+PrologueSeedPass::run(AnalysisContext &ctx) const
+{
+    for (Offset off : findPrologues(ctx.superset.get())) {
+        if (ctx.mustFault(off))
+            continue;
+        double score = ctx.seedScore(off);
+        if (score > ctx.config.codeThreshold) {
+            u32 reason = 0;
+            if (ctx.ledger.enabled())
+                reason = ctx.ledger.intern(
+                    "prologue-shaped seed, score " +
+                    std::to_string(score));
+            ctx.pushCode(Priority::Heuristic, score, off, name(),
+                         reason);
+        }
+    }
+}
+
+void
+ErrorCorrectionPass::run(AnalysisContext &ctx) const
+{
+    ctx.correctionEnabled = true;
+}
+
+void
+ResolvePass::run(AnalysisContext &ctx) const
+{
+    drainQueue(ctx);
+
+    // Correction rounds: gap refinement can surface new evidence
+    // (call targets inside residual chains) whose processing can
+    // roll back earlier weak commitments and re-open gaps. Iterate
+    // until quiescent; the round bound prevents pathological
+    // oscillation.
+    const int kMaxRounds = ctx.correctionEnabled ? 8 : 1;
+    for (int round = 0; round < kMaxRounds; ++round) {
+        refineGaps(ctx);
+        ctx.stats.committedPerPhase.push_back(ctx.committedStarts());
+        if (ctx.queueEmpty())
+            break;
+        drainQueue(ctx);
+    }
+}
+
+void
+ResolvePass::drainQueue(AnalysisContext &ctx) const
+{
+    int lastPrio = -1;
+    while (!ctx.queueEmpty()) {
+        EvidenceItem item = ctx.popEvidence();
+        ++ctx.stats.evidenceProcessed;
+        if (static_cast<int>(item.prio) != lastPrio) {
+            lastPrio = static_cast<int>(item.prio);
+            ctx.stats.committedPerPhase.push_back(
+                ctx.committedStarts());
+        }
+        if (item.isCode)
+            ctx.commitCodeFrom(item);
+        else
+            ctx.commitData(item);
+    }
+}
+
+void
+ResolvePass::refineGaps(AnalysisContext &ctx) const
+{
+    Offset off = 0;
+    const Offset n = ctx.state.size();
+    while (off < n) {
+        if (ctx.state[off] != AnalysisContext::kUnknown) {
+            ++off;
+            continue;
+        }
+        Offset g1 = off;
+        while (g1 < n && ctx.state[g1] == AnalysisContext::kUnknown)
+            ++g1;
+        ctx.stats.gapBytes += g1 - off;
+        if (ctx.correctionEnabled)
+            refineGapChain(ctx, off, g1);
+        else
+            refineGapGreedy(ctx, off, g1);
+        off = g1;
+    }
+}
+
+/**
+ * Chain-consistent gap refinement: within [g0, g1), search a small
+ * window for the best-scoring chain start, commit the whole chain,
+ * and classify skipped prefixes as data.
+ */
+void
+ResolvePass::refineGapChain(AnalysisContext &ctx, Offset g0,
+                            Offset g1) const
+{
+    const int kSearchWindow = 16;
+    const Superset &superset = ctx.superset.get();
+    u32 reason = 0;
+    if (ctx.ledger.enabled())
+        reason = ctx.ledger.intern("gap refinement [" + hexOffset(g0) +
+                                   ", " + hexOffset(g1) + ")");
+    u32 id = ctx.newCommit(Priority::Residual, name(), reason);
+    Commitment &commit = ctx.commits[id];
+
+    // When several window candidates score within this margin of the
+    // window maximum, resynchronize on the earliest of them: at a
+    // code boundary the true start and the overlapping decodes one
+    // to three bytes into it often score near-identically, and
+    // skipping the true start over a hair-thin score edge converts
+    // real instructions into a data prefix. A large margin would
+    // defeat the point of scoring at all; garbage decodes ahead of
+    // real code trail the maximum by much more than this.
+    const double kTieMargin = 1.0;
+
+    Offset cursor = g0;
+    while (cursor < g1) {
+        // Find the best chain start in the next few bytes, then take
+        // the earliest candidate within kTieMargin of it.
+        Offset best = kNoAddr;
+        double bestScore = ctx.config.codeThreshold;
+        Offset searchEnd =
+            std::min<Offset>(g1, cursor + kSearchWindow);
+        for (Offset cand = cursor; cand < searchEnd; ++cand) {
+            if (ctx.state[cand] != AnalysisContext::kUnknown ||
+                !superset.validAt(cand) || ctx.mustFault(cand))
+                continue;
+            double score = ctx.seedScore(cand);
+            if (score > bestScore) {
+                bestScore = score;
+                best = cand;
+            }
+        }
+        for (Offset cand = cursor; best != kNoAddr && cand < best;
+             ++cand) {
+            if (ctx.state[cand] != AnalysisContext::kUnknown ||
+                !superset.validAt(cand) || ctx.mustFault(cand))
+                continue;
+            double score = ctx.seedScore(cand);
+            if (score > ctx.config.codeThreshold &&
+                score >= bestScore - kTieMargin) {
+                best = cand;
+                break;
+            }
+        }
+        if (best == kNoAddr) {
+            // Nothing code-like in the window: data.
+            for (Offset b = cursor; b < searchEnd; ++b) {
+                ctx.state[b] = AnalysisContext::kData;
+                ctx.owner[b] = id;
+            }
+            commit.ranges.emplace_back(cursor, searchEnd);
+            cursor = searchEnd;
+            continue;
+        }
+        // Prefix before the chain start is data.
+        if (best > cursor) {
+            for (Offset b = cursor; b < best; ++b) {
+                ctx.state[b] = AnalysisContext::kData;
+                ctx.owner[b] = id;
+            }
+            commit.ranges.emplace_back(cursor, best);
+        }
+        // Walk the candidate chain while it stays inside the gap,
+        // without committing yet: the whole chain is judged first.
+        // Only the chain head was score-checked, so the walk also
+        // watches for runs of consecutive implausible straight-line
+        // instructions: blindly committing them is how refinement
+        // plants false starts inside const pools. Three sub-threshold
+        // fall-through decodes in a row truncate the chain back to
+        // its last plausible instruction and hand the rest back to
+        // the window search, which either resynchronizes on a
+        // plausible start or classifies the run as data. Control flow
+        // and terminators reset the run: a final low-scoring ret is
+        // how real residual chains normally end.
+        const int kMaxImplausibleRun = 3;
+        cursor = best;
+        Offset chainStart = cursor;
+        std::vector<Offset> chain;
+        int cfInsns = 0;
+        int belowRun = 0;
+        while (cursor < g1 &&
+               ctx.state[cursor] == AnalysisContext::kUnknown &&
+               superset.validAt(cursor) && !ctx.mustFault(cursor)) {
+            const SupersetNode &node = superset.node(cursor);
+            Offset end = cursor + node.length;
+            if (end > g1)
+                break;
+            bool clean = true;
+            for (Offset b = cursor; b < end; ++b)
+                clean &= ctx.state[b] == AnalysisContext::kUnknown;
+            if (!clean)
+                break;
+            if (node.flow == x86::CtrlFlow::None &&
+                ctx.seedScore(cursor) <= ctx.config.codeThreshold) {
+                if (++belowRun == kMaxImplausibleRun) {
+                    cursor = chain[chain.size() -
+                                   (kMaxImplausibleRun - 1)];
+                    chain.resize(chain.size() -
+                                 (kMaxImplausibleRun - 1));
+                    break;
+                }
+            } else {
+                belowRun = 0;
+            }
+            chain.push_back(cursor);
+            cfInsns += node.flow != x86::CtrlFlow::None;
+            if (!node.fallsThrough()) {
+                cursor = end;
+                break;
+            }
+            cursor = end;
+        }
+
+        // A genuine residual chain ends by transferring control —
+        // typically a ret or jmp, whose own score may be low. A
+        // trailing run of sub-threshold instructions capped by
+        // nothing, or by a trap (an int3/hlt byte inside a data
+        // region masquerades as a terminator), is garbage the walk
+        // picked up on its way out of the gap. Strip such trailers
+        // and hand their bytes back to the window search. The chain
+        // head passed the window score check, so at least one
+        // instruction always survives.
+        while (!chain.empty()) {
+            const SupersetNode &tail = superset.node(chain.back());
+            bool transfers =
+                tail.flow == x86::CtrlFlow::Jump ||
+                tail.flow == x86::CtrlFlow::CondJump ||
+                tail.flow == x86::CtrlFlow::Call ||
+                tail.flow == x86::CtrlFlow::IndirectJump ||
+                tail.flow == x86::CtrlFlow::IndirectCall ||
+                tail.flow == x86::CtrlFlow::Return;
+            if (transfers || ctx.seedScore(chain.back()) >
+                                 ctx.config.codeThreshold)
+                break;
+            cfInsns -= tail.flow != x86::CtrlFlow::None;
+            cursor = chain.back();
+            chain.pop_back();
+        }
+
+        // Behavioral veto: real code exhibits control flow every few
+        // instructions; a straight-line run without a single branch,
+        // call or return is the signature of code-like data. Note a
+        // chain with zero control-flow instructions necessarily ended
+        // by colliding with committed bytes or the gap boundary (a
+        // ret/jmp terminator would have counted), so this only ever
+        // suppresses runs that also fail to terminate like real code.
+        bool straightLineVeto = chain.size() >= 8 && cfInsns == 0;
+
+        if (straightLineVeto) {
+            Offset end = chain.empty() ? chainStart : cursor;
+            for (Offset b = chainStart; b < end; ++b) {
+                ctx.state[b] = AnalysisContext::kData;
+                ctx.owner[b] = id;
+            }
+            commit.ranges.emplace_back(chainStart, end);
+            cursor = end;
+        } else {
+            for (Offset o : chain) {
+                const SupersetNode &node = superset.node(o);
+                Offset end = o + node.length;
+                for (Offset b = o; b < end; ++b) {
+                    ctx.state[b] = AnalysisContext::kCode;
+                    ctx.owner[b] = id;
+                }
+                ctx.isStart[o] = true;
+                commit.starts.push_back(o);
+                commit.ranges.emplace_back(o, end);
+                // Calls out of a residually committed chain are weak
+                // code evidence for their targets; queue them for the
+                // next correction round.
+                if (node.flow == x86::CtrlFlow::Call) {
+                    Offset target = superset.target(o);
+                    if (target != kNoAddr)
+                        ctx.enqueueCallTarget(
+                            target, Priority::Heuristic, name(), o);
+                }
+            }
+        }
+        if (cursor == chainStart) {
+            // The chosen start could not commit even one instruction
+            // (the decode spills out of the gap or collides): classify
+            // the byte as data so the scan always advances.
+            ctx.state[cursor] = AnalysisContext::kData;
+            ctx.owner[cursor] = id;
+            commit.ranges.emplace_back(cursor, cursor + 1);
+            ++cursor;
+        }
+        // Continue scanning after the chain.
+        while (cursor < g1 &&
+               ctx.state[cursor] != AnalysisContext::kUnknown)
+            ++cursor;
+    }
+}
+
+/** Per-offset greedy fallback used when error correction is off. */
+void
+ResolvePass::refineGapGreedy(AnalysisContext &ctx, Offset g0,
+                             Offset g1) const
+{
+    const Superset &superset = ctx.superset.get();
+    u32 reason = 0;
+    if (ctx.ledger.enabled())
+        reason = ctx.ledger.intern("greedy gap refinement [" +
+                                   hexOffset(g0) + ", " +
+                                   hexOffset(g1) + ")");
+    u32 id = ctx.newCommit(Priority::Residual, name(), reason);
+    Commitment &commit = ctx.commits[id];
+    Offset cursor = g0;
+    while (cursor < g1) {
+        bool code = superset.validAt(cursor) &&
+                    !ctx.mustFault(cursor) &&
+                    ctx.seedScore(cursor) > ctx.config.codeThreshold;
+        if (code) {
+            const SupersetNode &node = superset.node(cursor);
+            Offset end = std::min<Offset>(g1, cursor + node.length);
+            bool clean = true;
+            for (Offset b = cursor; b < end; ++b)
+                clean &= ctx.state[b] == AnalysisContext::kUnknown;
+            if (clean && end == cursor + node.length) {
+                for (Offset b = cursor; b < end; ++b) {
+                    ctx.state[b] = AnalysisContext::kCode;
+                    ctx.owner[b] = id;
+                }
+                ctx.isStart[cursor] = true;
+                commit.starts.push_back(cursor);
+                commit.ranges.emplace_back(cursor, end);
+                cursor = end;
+                continue;
+            }
+        }
+        ctx.state[cursor] = AnalysisContext::kData;
+        ctx.owner[cursor] = id;
+        commit.ranges.emplace_back(cursor, cursor + 1);
+        ++cursor;
+    }
+}
+
+} // namespace accdis

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The core evidence passes that do not belong to a specific analysis:
+ * entry-point anchoring, prologue-shaped heuristic seeding, the
+ * error-correction mode switch, and the terminal resolve pass that
+ * drains the evidence queue and refines the remaining gaps.
+ */
+
+#ifndef ACCDIS_CORE_CORRECT_HH
+#define ACCDIS_CORE_CORRECT_HH
+
+#include "core/pass.hh"
+
+namespace accdis
+{
+
+/** Queues the known entry points as Anchor-strength code evidence. */
+class AnchorPass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "anchors"; }
+    void run(AnalysisContext &ctx) const override;
+};
+
+/**
+ * Queues prologue-shaped offsets with favorable seed scores as
+ * Heuristic code evidence. Always-on: even with the probabilistic
+ * scorer disabled, prologues seed from the remaining score terms.
+ */
+class PrologueSeedPass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "prologue_seeds"; }
+
+    std::vector<std::string>
+    dependsOn() const override
+    {
+        return {"superset_decode"};
+    }
+
+    void run(AnalysisContext &ctx) const override;
+};
+
+/**
+ * Arms prioritized error correction on the context: stronger evidence
+ * may roll back weaker commitments, and gap refinement runs the
+ * chain-consistent algorithm. Disabling this pass is the
+ * useErrorCorrection ablation — evidence is still processed in
+ * priority order, but first-commitment wins and gaps fall back to
+ * per-offset thresholding.
+ */
+class ErrorCorrectionPass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "error_correction"; }
+    void run(AnalysisContext &ctx) const override;
+};
+
+/**
+ * Terminal pass: drains the evidence queue through the prioritized
+ * commitment machinery, then alternates gap refinement with further
+ * drains until quiescent. Always-on — it is the consumer of every
+ * other pass's evidence.
+ */
+class ResolvePass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "resolve"; }
+
+    std::vector<std::string>
+    dependsOn() const override
+    {
+        return {"superset_decode", "anchors", "prologue_seeds"};
+    }
+
+    void run(AnalysisContext &ctx) const override;
+
+  private:
+    void drainQueue(AnalysisContext &ctx) const;
+    void refineGaps(AnalysisContext &ctx) const;
+    void refineGapChain(AnalysisContext &ctx, Offset g0,
+                        Offset g1) const;
+    void refineGapGreedy(AnalysisContext &ctx, Offset g0,
+                         Offset g1) const;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_CORE_CORRECT_HH

@@ -1,754 +1,53 @@
 #include "core/engine.hh"
 
-#include <algorithm>
-#include <chrono>
-#include <optional>
-#include <queue>
+#include <memory>
+#include <utility>
 
-#include "analysis/defuse.hh"
-#include "support/bytes.hh"
+#include "analysis/defuse_pass.hh"
+#include "analysis/flow_pass.hh"
+#include "analysis/indirect_pass.hh"
+#include "analysis/jump_table_pass.hh"
+#include "analysis/patterns_pass.hh"
+#include "core/correct.hh"
+#include "prob/scoring_pass.hh"
+#include "superset/superset_pass.hh"
 #include "support/error.hh"
 
 namespace accdis
 {
 
-namespace
+PassManager
+standardPassManager(const EngineConfig &config)
 {
+    // Registration order is the execution order (it is already
+    // dependency-consistent) and — because evidence resolution is a
+    // stable priority queue — part of the engine's observable
+    // behavior: do not reorder the evidence-producing passes.
+    PassManager manager;
+    manager.add(std::make_unique<SupersetDecodePass>());
+    manager.add(std::make_unique<FlowPass>());
+    manager.add(std::make_unique<DefUsePass>());
+    manager.add(std::make_unique<ScoringPass>());
+    manager.add(std::make_unique<AnchorPass>());
+    manager.add(std::make_unique<JumpTablePass>());
+    manager.add(std::make_unique<PatternsPass>());
+    manager.add(std::make_unique<IndirectPass>());
+    manager.add(std::make_unique<PrologueSeedPass>());
+    manager.add(std::make_unique<ErrorCorrectionPass>());
+    manager.add(std::make_unique<ResolvePass>());
 
-/** Monotonic nanoseconds, for stage timing. */
-u64
-nowNanos()
-{
-    return static_cast<u64>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-}
-
-/** RAII stage stopwatch; no-op when @p times is null. */
-class StageScope
-{
-  public:
-    StageScope(EngineStageTimes *times, EngineStage stage)
-        : times_(times), stage_(stage),
-          start_(times ? nowNanos() : 0)
-    {}
-
-    ~StageScope()
-    {
-        if (times_)
-            times_->add(stage_, nowNanos() - start_);
-    }
-
-    StageScope(const StageScope &) = delete;
-    StageScope &operator=(const StageScope &) = delete;
-
-  private:
-    EngineStageTimes *times_;
-    EngineStage stage_;
-    u64 start_;
-};
-
-/** Build the superset decode under the SupersetDecode stage timer. */
-Superset
-buildSuperset(ByteSpan bytes, EngineStageTimes *times)
-{
-    StageScope scope(times, EngineStage::SupersetDecode);
-    return Superset(bytes);
-}
-
-/** Byte states during classification. */
-enum ByteState : u8
-{
-    kUnknown = 0,
-    kCode,
-    kData,
-};
-
-/** One queued piece of evidence. */
-struct Item
-{
-    Priority prio;
-    double score;
-    Offset off;
-    Offset end;   ///< Exclusive end for data items; unused for code.
-    bool isCode;
-};
-
-struct ItemOrder
-{
-    bool
-    operator()(const Item &a, const Item &b) const
-    {
-        // std::priority_queue pops the *largest*; invert so the
-        // strongest priority / highest score pops first.
-        if (a.prio != b.prio)
-            return a.prio > b.prio;
-        if (a.score != b.score)
-            return a.score < b.score;
-        return a.off > b.off;
-    }
-};
-
-/** A revocable commitment made by the error-correction loop. */
-struct Commit
-{
-    Priority prio = Priority::Residual;
-    bool live = false;
-    std::vector<Offset> starts;
-    std::vector<std::pair<Offset, Offset>> ranges;
-};
-
-class Worker
-{
-  public:
-    Worker(const EngineConfig &config, ByteSpan bytes,
-           const std::vector<Offset> &entries, Addr base,
-           const std::vector<AuxRegion> &auxRegions)
-        : config_(config), bytes_(bytes), entries_(entries),
-          superset_(buildSuperset(bytes, config.stageTimes))
-    {
-        if (config_.useFlowAnalysis) {
-            StageScope scope(config_.stageTimes,
-                             EngineStage::FlowAnalysis);
-            flow_.emplace(superset_, config_.flow);
-        }
-        if (config_.useProbModel) {
-            StageScope scope(config_.stageTimes,
-                             EngineStage::Scoring);
-            const ProbModel &model =
-                config_.model ? *config_.model : defaultProbModel();
-            scorer_.emplace(model, superset_, config_.scorer);
-        }
-        jtConfig_ = config_.jumpTables;
-        jtConfig_.sectionBase = base;
-        jtConfig_.auxRegions = auxRegions;
-        patConfig_ = config_.patterns;
-        patConfig_.sectionBase = base;
-
-        state_.assign(bytes.size(), kUnknown);
-        owner_.assign(bytes.size(), 0);
-        isStart_.assign(bytes.size(), false);
-        queuedTarget_.assign(bytes.size(), false);
-        commits_.emplace_back(); // id 0 = "no owner" sentinel.
-    }
-
-    Classification run();
-
-  private:
-    bool mustFault(Offset off) const
-    {
-        return flow_ && flow_->mustFault(off);
-    }
-
-    double
-    seedScore(Offset off) const
-    {
-        double score = 0.0;
-        if (scorer_)
-            score += scorer_->scoreAt(off);
-        if (config_.useDefUse)
-            score += config_.defUseWeight *
-                     defUseScore(analyzeDefUse(superset_, off));
-        if (flow_)
-            score -= config_.poisonWeight * flow_->poison(off);
-        return score;
-    }
-
-    u32
-    newCommit(Priority prio)
-    {
-        commits_.push_back(Commit{prio, true, {}, {}});
-        return static_cast<u32>(commits_.size() - 1);
-    }
-
-    void rollback(u32 id);
-    bool resolveConflicts(Offset begin, Offset end, Priority prio);
-    void enqueueCallTarget(Offset off, Priority prio);
-    void commitCodeFrom(Offset off, Priority prio);
-    void commitData(Offset begin, Offset end, Priority prio);
-    void collectEvidence();
-    void drainQueue();
-    void refineGaps();
-    void refineGapChain(Offset g0, Offset g1);
-    void refineGapGreedy(Offset g0, Offset g1);
-    Classification finish();
-
-    const EngineConfig &config_;
-    ByteSpan bytes_;
-    const std::vector<Offset> &entries_;
-    Superset superset_;
-    std::optional<FlowAnalysis> flow_;
-    std::optional<LikelihoodScorer> scorer_;
-    JumpTableConfig jtConfig_;
-    PatternConfig patConfig_;
-
-    std::vector<u8> state_;
-    std::vector<u32> owner_;
-    std::vector<bool> isStart_;
-    std::vector<bool> queuedTarget_;
-    std::vector<Commit> commits_;
-    std::priority_queue<Item, std::vector<Item>, ItemOrder> queue_;
-    Classification::Stats stats_;
-};
-
-void
-Worker::rollback(u32 id)
-{
-    Commit &commit = commits_[id];
-    if (!commit.live)
-        return;
-    commit.live = false;
-    ++stats_.rollbacks;
-    for (const auto &[begin, end] : commit.ranges) {
-        for (Offset b = begin; b < end; ++b) {
-            if (owner_[b] == id) {
-                state_[b] = kUnknown;
-                owner_[b] = 0;
-            }
-        }
-    }
-    for (Offset start : commit.starts) {
-        if (owner_[start] == 0)
-            isStart_[start] = false;
-    }
-}
-
-/**
- * Make [begin, end) claimable at @p prio: roll back strictly weaker
- * owners; report false when a same-or-stronger owner holds any byte.
- */
-bool
-Worker::resolveConflicts(Offset begin, Offset end, Priority prio)
-{
-    // First scan: is the range free or freeable?
-    for (Offset b = begin; b < end; ++b) {
-        if (state_[b] == kUnknown)
-            continue;
-        const Commit &holder = commits_[owner_[b]];
-        if (holder.prio <= prio) {
-            ++stats_.conflicts;
-            return false;
-        }
-        if (!config_.useErrorCorrection) {
-            // Without error correction the first commitment wins.
-            ++stats_.conflicts;
-            return false;
-        }
-    }
-    // Second scan: evict weaker owners.
-    for (Offset b = begin; b < end; ++b) {
-        if (state_[b] != kUnknown)
-            rollback(owner_[b]);
-    }
-    return true;
-}
-
-void
-Worker::enqueueCallTarget(Offset off, Priority prio)
-{
-    if (off >= state_.size() || queuedTarget_[off])
-        return;
-    queuedTarget_[off] = true;
-    queue_.push({prio, 70.0, off, 0, true});
-}
-
-void
-Worker::commitCodeFrom(Offset off, Priority prio)
-{
-    u32 id = newCommit(prio);
-    Commit &commit = commits_[id];
-    std::vector<Offset> work{off};
-
-    // Evidence derived from a commitment is itself evidence: call
-    // targets are queued at Propagated strength (or Heuristic when
-    // the source is weak) so they can later evict misaligned weaker
-    // commitments — the heart of prioritized error correction.
-    Priority derived = prio <= Priority::Heuristic
-                           ? Priority::Propagated
-                           : Priority::Heuristic;
-
-    while (!work.empty()) {
-        Offset o = work.back();
-        work.pop_back();
-        if (o >= state_.size())
-            continue;
-        if (isStart_[o] && state_[o] == kCode)
-            continue; // Already an accepted instruction here.
-        if (!superset_.validAt(o) || mustFault(o))
-            continue;
-
-        const SupersetNode &node = superset_.node(o);
-        Offset end = o + node.length;
-        if (end > state_.size())
-            continue;
-        if (!resolveConflicts(o, end, prio))
-            continue;
-
-        for (Offset b = o; b < end; ++b) {
-            state_[b] = kCode;
-            owner_[b] = id;
-        }
-        isStart_[o] = true;
-        commit.starts.push_back(o);
-        commit.ranges.emplace_back(o, end);
-
-        if (node.fallsThrough() && end < state_.size())
-            work.push_back(end);
-        Offset target = superset_.target(o);
-        if (target != kNoAddr) {
-            if (node.flow == x86::CtrlFlow::Call)
-                enqueueCallTarget(target, derived);
-            else
-                work.push_back(target);
-        }
-    }
-
-    if (commit.starts.empty())
-        commit.live = false;
-}
-
-void
-Worker::commitData(Offset begin, Offset end, Priority prio)
-{
-    begin = std::min<Offset>(begin, state_.size());
-    end = std::min<Offset>(end, state_.size());
-    if (begin >= end)
-        return;
-
-    // Data regions are divisible: claim every byte that is free or
-    // held by a strictly weaker commitment (evicting the holder),
-    // and leave bytes under same-or-stronger claims alone. Code
-    // commits stay atomic per instruction; data does not need to be.
-    u32 id = newCommit(prio);
-    Commit &commit = commits_[id];
-    Offset runStart = kNoAddr;
-    auto flushRun = [&](Offset runEnd) {
-        if (runStart == kNoAddr)
-            return;
-        commit.ranges.emplace_back(runStart, runEnd);
-        runStart = kNoAddr;
-    };
-    for (Offset b = begin; b < end; ++b) {
-        if (state_[b] != kUnknown) {
-            const Commit &holder = commits_[owner_[b]];
-            if (holder.prio <= prio || !config_.useErrorCorrection) {
-                ++stats_.conflicts;
-                flushRun(b);
-                continue;
-            }
-            rollback(owner_[b]);
-        }
-        state_[b] = kData;
-        owner_[b] = id;
-        if (runStart == kNoAddr)
-            runStart = b;
-    }
-    flushRun(end);
-    if (commit.ranges.empty())
-        commit.live = false;
-}
-
-void
-Worker::collectEvidence()
-{
-    // Anchors: known entry points.
-    for (Offset entry : entries_)
-        queue_.push({Priority::Anchor, 100.0, entry, 0, true});
-
-    // Jump tables: structure evidence. Full-idiom tables anchor both
-    // their data bytes and their code targets; shape-only tables are
-    // weaker pattern evidence.
-    if (config_.useJumpTables) {
-        StageScope scope(config_.stageTimes,
-                         EngineStage::JumpTableDiscovery);
-        auto tables = findJumpTables(superset_, jtConfig_);
-        stats_.jumpTablesFound = 0;
-        for (const auto &table : tables) {
-            Priority prio = table.fullIdiom ? Priority::Anchor
-                                            : Priority::Pattern;
-            if (table.fullIdiom)
-                ++stats_.jumpTablesFound;
-            // External (.rodata) tables have no bytes to claim in
-            // this section; their value is the recovered targets.
-            if (!table.external)
-                queue_.push({prio, 50.0, table.tableOff,
-                             table.tableEnd(), false});
-            for (Offset target : table.targets)
-                queue_.push({prio, 60.0, target, 0, true});
-            // The dispatch site itself is code evidence.
-            queue_.push({prio, 55.0, table.dispatchOff, 0, true});
-        }
-    }
-
-    // Data-pattern detectors.
-    if (config_.useDataPatterns) {
-        StageScope scope(config_.stageTimes,
-                         EngineStage::PatternDetection);
-        auto push = [&](const std::vector<DataRegion> &regions) {
-            for (const auto &region : regions) {
-                stats_.dataPatternBytes += region.end - region.begin;
-                queue_.push({Priority::Pattern, 30.0, region.begin,
-                             region.end, false});
-            }
-        };
-        push(findStringRegions(bytes_, patConfig_));
-        push(findWideStringRegions(bytes_, patConfig_));
-        push(findZeroRuns(bytes_, patConfig_));
-
-        auto pointers = findPointerArrays(superset_, patConfig_);
-        for (const auto &region : pointers) {
-            stats_.dataPatternBytes += region.end - region.begin;
-            queue_.push({Priority::Pattern, 40.0, region.begin,
-                         region.end, false});
-            // The pointed-to offsets are code evidence: this is how
-            // address-taken functions are recovered.
-            for (Offset b = region.begin; b + 8 <= region.end; b += 8) {
-                u64 value = readLe64(bytes_, b);
-                if (value >= patConfig_.sectionBase) {
-                    u64 rel = value - patConfig_.sectionBase;
-                    if (rel < state_.size())
-                        queue_.push({Priority::Pattern, 45.0,
-                                     static_cast<Offset>(rel), 0,
-                                     true});
-                }
-            }
-        }
-    }
-
-    // Linkage stubs (PLT-style): strided indirect-jump arrays are
-    // code even though nothing references them in-section.
-    if (config_.useDataPatterns) {
-        for (Offset off : findLinkageStubs(superset_))
-            queue_.push({Priority::Pattern, 48.0, off, 0, true});
-    }
-
-    // Statically resolved indirect transfers: the constant is part of
-    // the program text, so targets carry propagated-level strength.
-    if (config_.useIndirectFlow) {
-        IndirectConfig indirectConfig;
-        indirectConfig.sectionBase = patConfig_.sectionBase;
-        for (const IndirectTarget &it :
-             resolveIndirectFlow(superset_, indirectConfig)) {
-            queue_.push({Priority::Propagated, 65.0, it.target, 0,
-                         true});
-        }
-    }
-
-    // Heuristic seeds: prologue-shaped offsets with favorable scores.
-    StageScope scope(config_.stageTimes, EngineStage::Scoring);
-    auto prologues = findPrologues(superset_);
-    for (Offset off : prologues) {
-        if (mustFault(off))
-            continue;
-        double score = seedScore(off);
-        if (score > config_.codeThreshold)
-            queue_.push({Priority::Heuristic, score, off, 0, true});
-    }
-}
-
-void
-Worker::drainQueue()
-{
-    int lastPrio = -1;
-    while (!queue_.empty()) {
-        Item item = queue_.top();
-        queue_.pop();
-        ++stats_.evidenceProcessed;
-        if (static_cast<int>(item.prio) != lastPrio) {
-            lastPrio = static_cast<int>(item.prio);
-            u64 committed = 0;
-            for (Offset off = 0; off < state_.size(); ++off)
-                committed += isStart_[off];
-            stats_.committedPerPhase.push_back(committed);
-        }
-        if (item.isCode)
-            commitCodeFrom(item.off, item.prio);
-        else
-            commitData(item.off, item.end, item.prio);
-    }
-}
-
-void
-Worker::refineGaps()
-{
-    Offset off = 0;
-    const Offset n = state_.size();
-    while (off < n) {
-        if (state_[off] != kUnknown) {
-            ++off;
-            continue;
-        }
-        Offset g1 = off;
-        while (g1 < n && state_[g1] == kUnknown)
-            ++g1;
-        stats_.gapBytes += g1 - off;
-        if (config_.useErrorCorrection)
-            refineGapChain(off, g1);
-        else
-            refineGapGreedy(off, g1);
-        off = g1;
-    }
-}
-
-/**
- * Chain-consistent gap refinement: within [g0, g1), search a small
- * window for the best-scoring chain start, commit the whole chain,
- * and classify skipped prefixes as data.
- */
-void
-Worker::refineGapChain(Offset g0, Offset g1)
-{
-    const int kSearchWindow = 16;
-    u32 id = newCommit(Priority::Residual);
-    Commit &commit = commits_[id];
-
-    Offset cursor = g0;
-    while (cursor < g1) {
-        // Find the best chain start in the next few bytes.
-        Offset best = kNoAddr;
-        double bestScore = config_.codeThreshold;
-        Offset searchEnd =
-            std::min<Offset>(g1, cursor + kSearchWindow);
-        for (Offset cand = cursor; cand < searchEnd; ++cand) {
-            if (state_[cand] != kUnknown || !superset_.validAt(cand) ||
-                mustFault(cand))
-                continue;
-            double score = seedScore(cand);
-            if (score > bestScore) {
-                bestScore = score;
-                best = cand;
-            }
-        }
-        if (best == kNoAddr) {
-            // Nothing code-like in the window: data.
-            for (Offset b = cursor; b < searchEnd; ++b) {
-                state_[b] = kData;
-                owner_[b] = id;
-            }
-            commit.ranges.emplace_back(cursor, searchEnd);
-            cursor = searchEnd;
-            continue;
-        }
-        // Prefix before the chain start is data.
-        if (best > cursor) {
-            for (Offset b = cursor; b < best; ++b) {
-                state_[b] = kData;
-                owner_[b] = id;
-            }
-            commit.ranges.emplace_back(cursor, best);
-        }
-        // Walk the candidate chain while it stays inside the gap,
-        // without committing yet: the whole chain is judged first.
-        cursor = best;
-        Offset chainStart = cursor;
-        std::vector<Offset> chain;
-        int cfInsns = 0;
-        while (cursor < g1 && state_[cursor] == kUnknown &&
-               superset_.validAt(cursor) && !mustFault(cursor)) {
-            const SupersetNode &node = superset_.node(cursor);
-            Offset end = cursor + node.length;
-            if (end > g1)
-                break;
-            bool clean = true;
-            for (Offset b = cursor; b < end; ++b)
-                clean &= state_[b] == kUnknown;
-            if (!clean)
-                break;
-            chain.push_back(cursor);
-            cfInsns += node.flow != x86::CtrlFlow::None;
-            if (!node.fallsThrough()) {
-                cursor = end;
-                break;
-            }
-            cursor = end;
-        }
-
-        // Behavioral veto: real code exhibits control flow every few
-        // instructions; a long straight-line run without a single
-        // branch, call or return is the signature of code-like data.
-        bool straightLineVeto = chain.size() >= 16 && cfInsns == 0;
-
-        if (straightLineVeto) {
-            Offset end = chain.empty() ? chainStart : cursor;
-            for (Offset b = chainStart; b < end; ++b) {
-                state_[b] = kData;
-                owner_[b] = id;
-            }
-            commit.ranges.emplace_back(chainStart, end);
-            cursor = end;
-        } else {
-            for (Offset o : chain) {
-                const SupersetNode &node = superset_.node(o);
-                Offset end = o + node.length;
-                for (Offset b = o; b < end; ++b) {
-                    state_[b] = kCode;
-                    owner_[b] = id;
-                }
-                isStart_[o] = true;
-                commit.starts.push_back(o);
-                commit.ranges.emplace_back(o, end);
-                // Calls out of a residually committed chain are weak
-                // code evidence for their targets; queue them for the
-                // next correction round.
-                if (node.flow == x86::CtrlFlow::Call) {
-                    Offset target = superset_.target(o);
-                    if (target != kNoAddr)
-                        enqueueCallTarget(target, Priority::Heuristic);
-                }
-            }
-        }
-        if (cursor == chainStart) {
-            // The chosen start could not commit even one instruction
-            // (the decode spills out of the gap or collides): classify
-            // the byte as data so the scan always advances.
-            state_[cursor] = kData;
-            owner_[cursor] = id;
-            commit.ranges.emplace_back(cursor, cursor + 1);
-            ++cursor;
-        }
-        // Continue scanning after the chain.
-        while (cursor < g1 && state_[cursor] != kUnknown)
-            ++cursor;
-    }
-}
-
-/** Per-offset greedy fallback used when error correction is off. */
-void
-Worker::refineGapGreedy(Offset g0, Offset g1)
-{
-    u32 id = newCommit(Priority::Residual);
-    Commit &commit = commits_[id];
-    Offset cursor = g0;
-    while (cursor < g1) {
-        bool code = superset_.validAt(cursor) && !mustFault(cursor) &&
-                    seedScore(cursor) > config_.codeThreshold;
-        if (code) {
-            const SupersetNode &node = superset_.node(cursor);
-            Offset end = std::min<Offset>(g1, cursor + node.length);
-            bool clean = true;
-            for (Offset b = cursor; b < end; ++b)
-                clean &= state_[b] == kUnknown;
-            if (clean && end == cursor + node.length) {
-                for (Offset b = cursor; b < end; ++b) {
-                    state_[b] = kCode;
-                    owner_[b] = id;
-                }
-                isStart_[cursor] = true;
-                commit.starts.push_back(cursor);
-                commit.ranges.emplace_back(cursor, end);
-                cursor = end;
-                continue;
-            }
-        }
-        state_[cursor] = kData;
-        owner_[cursor] = id;
-        commit.ranges.emplace_back(cursor, cursor + 1);
-        ++cursor;
-    }
-}
-
-Classification
-Worker::finish()
-{
-    Classification result;
-    result.stats = stats_;
-    if (flow_)
-        result.stats.mustFaultOffsets = flow_->mustFaultCount();
-
-    const Offset n = state_.size();
-    Offset runStart = 0;
-    ResultClass runClass = ResultClass::Data;
-    auto classify = [&](Offset off) {
-        return state_[off] == kCode ? ResultClass::Code
-                                    : ResultClass::Data;
-    };
-    if (n > 0) {
-        runClass = classify(0);
-        for (Offset off = 1; off < n; ++off) {
-            ResultClass cls = classify(off);
-            if (cls != runClass) {
-                result.map.assign(runStart, off, runClass);
-                runStart = off;
-                runClass = cls;
-            }
-        }
-        result.map.assign(runStart, n, runClass);
-    }
-    // Provenance: record the committing evidence strength per byte.
-    if (n > 0) {
-        Offset provStart = 0;
-        u8 provLevel = static_cast<u8>(commits_[owner_[0]].prio);
-        for (Offset off = 1; off < n; ++off) {
-            u8 level = static_cast<u8>(commits_[owner_[off]].prio);
-            if (level != provLevel) {
-                result.provenance.assign(provStart, off, provLevel);
-                provStart = off;
-                provLevel = level;
-            }
-        }
-        result.provenance.assign(provStart, n, provLevel);
-    }
-    for (Offset off = 0; off < n; ++off) {
-        if (isStart_[off] && state_[off] == kCode)
-            result.insnStarts.push_back(off);
-    }
-    return result;
-}
-
-Classification
-Worker::run()
-{
-    collectEvidence();
-    {
-        StageScope scope(config_.stageTimes,
-                         EngineStage::ErrorCorrection);
-        drainQueue();
-
-        // Correction rounds: gap refinement can surface new evidence
-        // (call targets inside residual chains) whose processing can
-        // roll back earlier weak commitments and re-open gaps. Iterate
-        // until quiescent; the round bound prevents pathological
-        // oscillation.
-        const int kMaxRounds = config_.useErrorCorrection ? 8 : 1;
-        for (int round = 0; round < kMaxRounds; ++round) {
-            refineGaps();
-            u64 committed = 0;
-            for (Offset off = 0; off < state_.size(); ++off)
-                committed += isStart_[off];
-            stats_.committedPerPhase.push_back(committed);
-            if (queue_.empty())
-                break;
-            drainQueue();
-        }
-    }
-    return finish();
-}
-
-} // namespace
-
-const char *
-engineStageName(EngineStage stage)
-{
-    switch (stage) {
-      case EngineStage::SupersetDecode:
-        return "superset_decode";
-      case EngineStage::FlowAnalysis:
-        return "flow_analysis";
-      case EngineStage::Scoring:
-        return "scoring";
-      case EngineStage::PatternDetection:
-        return "pattern_detection";
-      case EngineStage::JumpTableDiscovery:
-        return "jump_table_discovery";
-      case EngineStage::ErrorCorrection:
-        return "error_correction";
-    }
-    return "unknown";
+    manager.setEnabled("flow", config.useFlowAnalysis);
+    manager.setEnabled("def_use", config.useDefUse);
+    manager.setEnabled("scoring", config.useProbModel);
+    manager.setEnabled("jump_tables", config.useJumpTables);
+    manager.setEnabled("patterns", config.useDataPatterns);
+    manager.setEnabled("indirect", config.useIndirectFlow);
+    manager.setEnabled("error_correction", config.useErrorCorrection);
+    return manager;
 }
 
 DisassemblyEngine::DisassemblyEngine(EngineConfig config)
-    : config_(std::move(config))
+    : config_(std::move(config)), passes_(standardPassManager(config_))
 {}
 
 std::vector<AuxRegion>
@@ -768,9 +67,22 @@ DisassemblyEngine::analyzeSection(
     ByteSpan bytes, const std::vector<Offset> &entryOffsets,
     Addr sectionBase, const std::vector<AuxRegion> &auxRegions) const
 {
-    Worker worker(config_, bytes, entryOffsets, sectionBase,
-                  auxRegions);
-    return worker.run();
+    AnalysisContext ctx(config_, bytes, entryOffsets, sectionBase,
+                        auxRegions, config_.recordProvenance);
+    passes_.run(ctx, config_.passTimes);
+    return ctx.finish();
+}
+
+std::string
+DisassemblyEngine::explainSection(
+    ByteSpan bytes, const std::vector<Offset> &entryOffsets,
+    Offset target, Addr sectionBase,
+    const std::vector<AuxRegion> &auxRegions) const
+{
+    AnalysisContext ctx(config_, bytes, entryOffsets, sectionBase,
+                        auxRegions, /*recordLedger=*/true);
+    passes_.run(ctx, config_.passTimes);
+    return ctx.explain(target);
 }
 
 std::vector<DisassemblyEngine::SectionResult>

@@ -16,142 +16,47 @@
  *  5. committing evidence through a priority queue in which stronger
  *     evidence can roll back weaker, earlier commitments — the
  *     prioritized error-correction algorithm.
+ *
+ * Structurally the engine is a thin orchestrator: every step above is
+ * an EvidencePass over a shared AnalysisContext, scheduled by a
+ * PassManager (core/pass.hh). The ablation switches in EngineConfig
+ * are implemented as pass enable/disable on that registry.
  */
 
 #ifndef ACCDIS_CORE_ENGINE_HH
 #define ACCDIS_CORE_ENGINE_HH
 
-#include <array>
-#include <atomic>
 #include <string>
 #include <vector>
 
-#include "analysis/flow.hh"
-#include "analysis/indirect.hh"
-#include "analysis/jump_table.hh"
-#include "analysis/patterns.hh"
+#include "core/context.hh"
+#include "core/pass.hh"
 #include "core/result.hh"
 #include "image/binary_image.hh"
 #include "prob/ngram.hh"
-#include "prob/scorer.hh"
 
 namespace accdis
 {
 
-/** Evidence strength classes, strongest first. */
-enum class Priority : u8
-{
-    Anchor = 0,   ///< Entry points, full-idiom jump-table structure.
-    Propagated,   ///< Targets reached from committed code.
-    Pattern,      ///< Detected data regions, partial-idiom tables.
-    Heuristic,    ///< Probabilistic/prologue seeds.
-    Residual,     ///< Gap refinement of leftover bytes.
-};
-
-/** Internal engine stages exposed for per-stage timing. */
-enum class EngineStage : u8
-{
-    SupersetDecode = 0, ///< Exhaustive per-offset decode.
-    FlowAnalysis,       ///< mustFault/poison fixpoint.
-    Scoring,            ///< Likelihood scorer build + seed scoring.
-    PatternDetection,   ///< String/zero/pointer/stub detectors.
-    JumpTableDiscovery, ///< Jump-table idiom search.
-    ErrorCorrection,    ///< Queue drain + gap-refinement rounds.
-};
-
-/** Number of EngineStage values. */
-inline constexpr std::size_t kNumEngineStages = 6;
-
-/** Human-readable metric name of @p stage (snake_case). */
-const char *engineStageName(EngineStage stage);
-
-/**
- * Per-stage accumulated wall time. All members are atomic, so one
- * instance can be shared by engines running concurrently on many
- * threads (the batch pipeline aggregates across a whole corpus run
- * this way).
- */
-struct EngineStageTimes
-{
-    /** Plain (copyable) image of the accumulated stage times. */
-    struct Snapshot
-    {
-        std::array<u64, kNumEngineStages> nanos{};
-        std::array<u64, kNumEngineStages> calls{};
-
-        u64
-        nanosOf(EngineStage stage) const
-        {
-            return nanos[static_cast<std::size_t>(stage)];
-        }
-
-        u64
-        callsOf(EngineStage stage) const
-        {
-            return calls[static_cast<std::size_t>(stage)];
-        }
-    };
-
-    std::array<std::atomic<u64>, kNumEngineStages> nanos{};
-    std::array<std::atomic<u64>, kNumEngineStages> calls{};
-
-    /** Copy the current values out of the atomics. */
-    Snapshot
-    snapshot() const
-    {
-        Snapshot snap;
-        for (std::size_t i = 0; i < kNumEngineStages; ++i) {
-            snap.nanos[i] = nanos[i].load(std::memory_order_relaxed);
-            snap.calls[i] = calls[i].load(std::memory_order_relaxed);
-        }
-        return snap;
-    }
-
-    /** Record one interval of @p ns wall time against @p stage. */
-    void
-    add(EngineStage stage, u64 ns)
-    {
-        auto idx = static_cast<std::size_t>(stage);
-        nanos[idx].fetch_add(ns, std::memory_order_relaxed);
-        calls[idx].fetch_add(1, std::memory_order_relaxed);
-    }
-
-    /** Accumulated nanoseconds of @p stage. */
-    u64
-    nanosOf(EngineStage stage) const
-    {
-        return nanos[static_cast<std::size_t>(stage)].load(
-            std::memory_order_relaxed);
-    }
-
-    /** Number of recordings against @p stage. */
-    u64
-    callsOf(EngineStage stage) const
-    {
-        return calls[static_cast<std::size_t>(stage)].load(
-            std::memory_order_relaxed);
-    }
-};
-
 /** Engine configuration; the ablation switches mirror Table 4. */
 struct EngineConfig
 {
-    /** Use the control-flow consistency proof (mustFault). */
+    /** Use the control-flow consistency proof (pass "flow"). */
     bool useFlowAnalysis = true;
-    /** Use register def-use scoring. */
+    /** Use register def-use scoring (pass "def_use"). */
     bool useDefUse = true;
-    /** Use the n-gram likelihood-ratio scorer. */
+    /** Use the n-gram likelihood-ratio scorer (pass "scoring"). */
     bool useProbModel = true;
-    /** Use string/zero/pointer-array detectors. */
+    /** Use string/zero/pointer-array detectors (pass "patterns"). */
     bool useDataPatterns = true;
-    /** Use jump-table discovery. */
+    /** Use jump-table discovery (pass "jump_tables"). */
     bool useJumpTables = true;
     /** Resolve constant indirect calls/jumps (movabs + call reg,
-     *  call [rip+slot]) into code evidence. */
+     *  call [rip+slot]) into code evidence (pass "indirect"). */
     bool useIndirectFlow = true;
     /**
      * Allow stronger evidence to roll back weaker commitments and run
-     * chain-consistent gap refinement (the error-correction pass).
+     * chain-consistent gap refinement (pass "error_correction").
      * When false, evidence is still processed in priority order but
      * first-commitment wins and gaps fall back to per-offset
      * thresholding.
@@ -175,12 +80,27 @@ struct EngineConfig
     const ProbModel *model = nullptr;
 
     /**
-     * Optional per-stage timing sink; nullptr disables timing. The
+     * Optional per-pass timing sink; nullptr disables timing. The
      * pointed-to object must outlive every analyze call and may be
-     * shared across threads (its members are atomic).
+     * shared across threads (PassTimes is internally synchronized).
      */
-    EngineStageTimes *stageTimes = nullptr;
+    PassTimes *passTimes = nullptr;
+
+    /**
+     * Record commit reasons and the full commit/rollback event chain
+     * into the AnalysisContext's provenance ledger on every analyze
+     * call. Off by default — it allocates on the hot path. The
+     * explain entry points enable it for their own run regardless.
+     */
+    bool recordProvenance = false;
 };
+
+/**
+ * The standard pass registry for @p config: the full evidence
+ * pipeline in dependency order, with the config's ablation flags
+ * applied as pass enablement.
+ */
+PassManager standardPassManager(const EngineConfig &config);
 
 /**
  * The non-executable initialized sections of @p image, packaged as
@@ -210,6 +130,16 @@ class DisassemblyEngine
         const std::vector<AuxRegion> &auxRegions = {}) const;
 
     /**
+     * Re-analyze one section with the provenance ledger recording and
+     * render the commit/rollback chain that decided the byte at
+     * section-relative @p target (see AnalysisContext::explain).
+     */
+    std::string explainSection(
+        ByteSpan bytes, const std::vector<Offset> &entryOffsets,
+        Offset target, Addr sectionBase = 0,
+        const std::vector<AuxRegion> &auxRegions = {}) const;
+
+    /**
      * Classify the first executable section of @p image using the
      * image's entry points.
      */
@@ -232,8 +162,18 @@ class DisassemblyEngine
 
     const EngineConfig &config() const { return config_; }
 
+    /**
+     * The engine's pass registry. Mutable access exists so callers
+     * (tests, fuzz oracles) can toggle individual passes beyond what
+     * the EngineConfig flags express; do not mutate it while analyze
+     * calls are in flight on other threads.
+     */
+    PassManager &passes() { return passes_; }
+    const PassManager &passes() const { return passes_; }
+
   private:
     EngineConfig config_;
+    PassManager passes_;
 };
 
 } // namespace accdis

@@ -1,0 +1,197 @@
+#include "core/pass.hh"
+
+#include <chrono>
+
+#include "support/error.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+/** Monotonic nanoseconds, for pass timing. */
+u64
+nowNanos()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+void
+PassTimes::add(const std::string &name, u64 nanos)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry &entry : entries_) {
+        if (entry.name == name) {
+            entry.nanos += nanos;
+            ++entry.calls;
+            return;
+        }
+    }
+    entries_.push_back({name, nanos, 1});
+}
+
+PassTimes::Snapshot
+PassTimes::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+}
+
+u64
+PassTimes::nanosOf(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry &entry : entries_) {
+        if (entry.name == name)
+            return entry.nanos;
+    }
+    return 0;
+}
+
+u64
+PassTimes::callsOf(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Entry &entry : entries_) {
+        if (entry.name == name)
+            return entry.calls;
+    }
+    return 0;
+}
+
+const PassManager::Registered *
+PassManager::find(const std::string &name) const
+{
+    for (const Registered &reg : passes_) {
+        if (name == reg.pass->name())
+            return &reg;
+    }
+    return nullptr;
+}
+
+PassManager::Registered *
+PassManager::find(const std::string &name)
+{
+    for (Registered &reg : passes_) {
+        if (name == reg.pass->name())
+            return &reg;
+    }
+    return nullptr;
+}
+
+void
+PassManager::add(std::unique_ptr<EvidencePass> pass)
+{
+    if (find(pass->name()))
+        throw Error(std::string("pass: duplicate registration of '") +
+                    pass->name() + "'");
+    passes_.push_back({std::move(pass), true});
+}
+
+bool
+PassManager::has(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+void
+PassManager::setEnabled(const std::string &name, bool enabled)
+{
+    Registered *reg = find(name);
+    if (!reg)
+        throw Error("pass: unknown pass '" + name + "'");
+    reg->enabled = enabled;
+}
+
+bool
+PassManager::enabled(const std::string &name) const
+{
+    const Registered *reg = find(name);
+    if (!reg)
+        throw Error("pass: unknown pass '" + name + "'");
+    return reg->enabled;
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes_.size());
+    for (const Registered &reg : passes_)
+        names.push_back(reg.pass->name());
+    return names;
+}
+
+std::vector<const EvidencePass *>
+PassManager::schedule() const
+{
+    const std::size_t n = passes_.size();
+
+    // Edges dep -> dependent, by registration index.
+    std::vector<std::vector<std::size_t>> dependents(n);
+    std::vector<std::size_t> pending(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const std::string &dep : passes_[i].pass->dependsOn()) {
+            const EvidencePass *target = nullptr;
+            std::size_t targetIdx = 0;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (dep == passes_[j].pass->name()) {
+                    target = passes_[j].pass.get();
+                    targetIdx = j;
+                    break;
+                }
+            }
+            if (!target)
+                throw Error(std::string("pass: '") +
+                            passes_[i].pass->name() +
+                            "' depends on unregistered pass '" + dep +
+                            "'");
+            dependents[targetIdx].push_back(i);
+            ++pending[i];
+        }
+    }
+
+    // Kahn's algorithm, always picking the lowest-registered ready
+    // pass: a registration list that is already dependency-ordered
+    // schedules exactly as registered.
+    std::vector<const EvidencePass *> order;
+    order.reserve(n);
+    std::vector<bool> scheduled(n, false);
+    for (std::size_t step = 0; step < n; ++step) {
+        std::size_t next = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!scheduled[i] && pending[i] == 0) {
+                next = i;
+                break;
+            }
+        }
+        if (next == n)
+            throw Error("pass: dependency cycle in registered passes");
+        scheduled[next] = true;
+        order.push_back(passes_[next].pass.get());
+        for (std::size_t dependent : dependents[next])
+            --pending[dependent];
+    }
+    return order;
+}
+
+void
+PassManager::run(AnalysisContext &ctx, PassTimes *times) const
+{
+    for (const EvidencePass *pass : schedule()) {
+        if (!enabled(pass->name()))
+            continue;
+        const u64 start = times ? nowNanos() : 0;
+        pass->run(ctx);
+        if (times)
+            times->add(pass->name(), nowNanos() - start);
+    }
+}
+
+} // namespace accdis

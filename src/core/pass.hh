@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The evidence-pass interface and the manager that schedules passes
+ * over an AnalysisContext.
+ *
+ * A pass is a stateless unit of analysis: it reads the context's
+ * artifacts, builds new ones, and/or queues evidence. Passes declare
+ * their dependencies by name; the PassManager computes a stable
+ * topological order (registration order breaks ties), skips disabled
+ * passes, and times every pass into a name-keyed PassTimes sink. The
+ * EngineConfig ablation flags are implemented as pass enable/disable
+ * on this registry — disabling a pass is *the* ablation mechanism.
+ */
+
+#ifndef ACCDIS_CORE_PASS_HH
+#define ACCDIS_CORE_PASS_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+class AnalysisContext;
+
+/** One schedulable, individually timed unit of section analysis. */
+class EvidencePass
+{
+  public:
+    virtual ~EvidencePass() = default;
+
+    /** Stable snake_case identity (metric key "pass.<name>"). */
+    virtual const char *name() const = 0;
+
+    /** Names of passes that must run before this one. */
+    virtual std::vector<std::string> dependsOn() const { return {}; }
+
+    /** Analyze: read/build artifacts on @p ctx, queue evidence. */
+    virtual void run(AnalysisContext &ctx) const = 0;
+};
+
+/**
+ * Accumulated per-pass wall time, keyed by pass name. One instance
+ * can be shared by engines running concurrently on many threads (the
+ * batch pipeline aggregates across a whole corpus run this way);
+ * add() locks, but only once per pass per section, which is noise
+ * next to the passes themselves.
+ */
+class PassTimes
+{
+  public:
+    /** Accumulated time of one pass. */
+    struct Entry
+    {
+        std::string name;
+        u64 nanos = 0;
+        u64 calls = 0;
+    };
+
+    /** Plain (copyable) image of the accumulated times, in
+     *  first-recording order. */
+    using Snapshot = std::vector<Entry>;
+
+    /** Record one interval of @p nanos wall time against @p name. */
+    void add(const std::string &name, u64 nanos);
+
+    /** Copy the current values out. */
+    Snapshot snapshot() const;
+
+    /** Accumulated nanoseconds of @p name (0 when never recorded). */
+    u64 nanosOf(const std::string &name) const;
+
+    /** Number of recordings against @p name. */
+    u64 callsOf(const std::string &name) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Ordered registry of evidence passes. Passes register once (engine
+ * construction), can be enabled/disabled by name, and execute in a
+ * stable dependency order: Kahn's algorithm with registration order
+ * breaking ties, so registering an already-ordered list preserves it
+ * exactly. A disabled pass keeps its slot in the order (its
+ * dependents stay schedulable) — it is simply not run.
+ */
+class PassManager
+{
+  public:
+    PassManager() = default;
+    PassManager(PassManager &&) = default;
+    PassManager &operator=(PassManager &&) = default;
+
+    /** Register @p pass. Throws Error on a duplicate name. */
+    void add(std::unique_ptr<EvidencePass> pass);
+
+    /** True when a pass named @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /** Enable/disable @p name. Throws Error on an unknown name. */
+    void setEnabled(const std::string &name, bool enabled);
+
+    /** Enablement of @p name. Throws Error on an unknown name. */
+    bool enabled(const std::string &name) const;
+
+    /** Registered pass names, in registration order. */
+    std::vector<std::string> passNames() const;
+
+    /**
+     * The passes in execution order (dependency-ordered, stable).
+     * Includes disabled passes. Throws Error on an unknown
+     * dependency name or a dependency cycle.
+     */
+    std::vector<const EvidencePass *> schedule() const;
+
+    /**
+     * Run every enabled pass over @p ctx in schedule() order, timing
+     * each into @p times (nullptr disables timing).
+     */
+    void run(AnalysisContext &ctx, PassTimes *times = nullptr) const;
+
+  private:
+    struct Registered
+    {
+        std::unique_ptr<EvidencePass> pass;
+        bool enabled = true;
+    };
+
+    const Registered *find(const std::string &name) const;
+    Registered *find(const std::string &name);
+
+    std::vector<Registered> passes_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_CORE_PASS_HH

@@ -49,6 +49,8 @@ struct Classification
         u64 jumpTablesFound = 0;
         u64 dataPatternBytes = 0;
         u64 gapBytes = 0;
+        /** Bytes of SupersetNode storage the decode allocated. */
+        u64 supersetBytes = 0;
         /** Errors-remaining trace per correction phase (figure F4). */
         std::vector<u64> committedPerPhase;
     } stats;

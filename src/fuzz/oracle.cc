@@ -158,13 +158,13 @@ checkSuperset(ByteSpan bytes, const synth::GroundTruth &truth,
         if (!full.valid())
             continue;
         bool sameTarget =
-            node.hasTarget == full.hasTarget &&
+            node.hasTarget() == full.hasTarget &&
             (!full.hasTarget ||
              static_cast<s64>(off) + node.targetRel == full.target);
         if (node.length != full.length || node.op != full.op ||
-            node.flow != full.flow || node.flags != full.flags ||
-            node.regsRead != full.regsRead ||
-            node.regsWritten != full.regsWritten || !sameTarget) {
+            node.flow != full.flow || node.flags() != full.flags ||
+            node.regsRead() != full.regsRead ||
+            node.regsWritten() != full.regsWritten || !sameTarget) {
             collector.report("superset-consistency", "facets",
                              at.str() +
                                  ": compact node disagrees with full "
@@ -372,15 +372,17 @@ runOracles(const Mutant &mutant, const OracleOptions &options)
 
     // --- Error-correction monotonicity (full truth required) --------
     if (mutant.pristine()) {
-        EngineConfig noEc = options.engine;
-        noEc.useErrorCorrection = false;
-        DisassemblyEngine plain(noEc);
+        // Re-run with the error_correction pass disabled on the pass
+        // registry — the same engine pipeline minus one pass, rather
+        // than a separately configured engine.
+        DisassemblyEngine plain(options.engine);
+        plain.passes().setEnabled("error_correction", false);
         Classification uncorrected = plain.analyze(mutant.image);
         AccuracyMetrics with =
             compareToTruth(engineText, mutant.truth);
         AccuracyMetrics without =
             compareToTruth(uncorrected, mutant.truth);
-        if (options.engine.useErrorCorrection &&
+        if (engine.passes().enabled("error_correction") &&
             with.errors() > without.errors()) {
             collector.report(
                 "ec-monotonicity", "more-errors",

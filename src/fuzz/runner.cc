@@ -46,6 +46,19 @@ sanitizeKey(const std::string &key)
 
 } // namespace
 
+bool
+isKnownGap(const std::vector<Reproducer> &gaps,
+           const std::string &oracle, const RunSpec &spec)
+{
+    return std::any_of(gaps.begin(), gaps.end(),
+                       [&](const Reproducer &gap) {
+                           return gap.expect == oracle &&
+                                  gap.spec.preset == spec.preset &&
+                                  gap.spec.corpusSeed ==
+                                      spec.corpusSeed;
+                       });
+}
+
 FuzzRunner::FuzzRunner(FuzzConfig config) : config_(std::move(config)) {}
 
 RunSpec
@@ -178,11 +191,9 @@ FuzzRunner::run() const
     }
 
     for (Finding &finding : report.findings) {
-        finding.known =
-            std::find(config_.knownOracles.begin(),
-                      config_.knownOracles.end(),
-                      finding.divergence.oracle) !=
-            config_.knownOracles.end();
+        finding.known = isKnownGap(config_.knownGaps,
+                                   finding.divergence.oracle,
+                                   finding.spec);
         if (finding.known)
             continue; // Its reproducer is already checked in.
         if (config_.minimize) {

@@ -79,8 +79,8 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
     if (engineConfig.useProbModel && !engineConfig.model)
         defaultProbModel();
 
-    EngineStageTimes stageTimes;
-    engineConfig.stageTimes = &stageTimes;
+    PassTimes passTimes;
+    engineConfig.passTimes = &passTimes;
     const DisassemblyEngine engine(engineConfig);
 
     BatchReport report;
@@ -165,14 +165,16 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
         std::chrono::duration_cast<std::chrono::duration<double>>(
             elapsed)
             .count();
-    report.stageTimes = stageTimes.snapshot();
+    report.passTimes = passTimes.snapshot();
 
     if (metrics_) {
         metrics_->counter("batch.binaries").add(images.size());
-        u64 sections = 0, failed = 0;
+        u64 sections = 0, failed = 0, supersetBytes = 0;
         for (const BinaryResult &result : report.results) {
             sections += result.sections.size();
             failed += !result.ok();
+            for (const auto &section : result.sections)
+                supersetBytes += section.result.stats.supersetBytes;
         }
         metrics_->counter("batch.sections").add(sections);
         metrics_->counter("batch.failed_binaries").add(failed);
@@ -186,13 +188,10 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
         metrics_->counter("pool.steals").add(report.pool.steals);
         metrics_->counter("pool.max_queue_depth")
             .set(report.pool.maxQueueDepth);
-        for (std::size_t i = 0; i < kNumEngineStages; ++i) {
-            auto stage = static_cast<EngineStage>(i);
-            metrics_->timer(std::string("stage.") +
-                            engineStageName(stage))
-                .merge(report.stageTimes.nanos[i],
-                       report.stageTimes.calls[i]);
-        }
+        metrics_->counter("superset.bytes").add(supersetBytes);
+        for (const PassTimes::Entry &entry : report.passTimes)
+            metrics_->timer("pass." + entry.name)
+                .merge(entry.nanos, entry.calls);
     }
     return report;
 }

@@ -2,7 +2,7 @@
  * @file
  * Batch analysis: fan whole binaries — and, within a binary, its
  * independent executable sections — across a work-stealing thread
- * pool, with per-stage metrics and a hard determinism guarantee.
+ * pool, with per-pass metrics and a hard determinism guarantee.
  *
  * Determinism: DisassemblyEngine::analyzeSection() is a pure function
  * of its inputs (const engine, no shared mutable state), every task
@@ -68,8 +68,9 @@ struct BatchReport
     u64 totalBytes = 0;
     /** Pool statistics of the run (steals, queue depth, tasks). */
     PoolStats pool;
-    /** Per-stage engine times accumulated across the whole batch. */
-    EngineStageTimes::Snapshot stageTimes;
+    /** Per-pass engine times accumulated across the whole batch,
+     *  keyed by pass name, covering every registered pass that ran. */
+    PassTimes::Snapshot passTimes;
 
     /** Throughput in bytes per second (0 when wallSeconds is 0). */
     double
@@ -91,7 +92,7 @@ class BatchAnalyzer
   public:
     /**
      * @p metrics, when non-null, receives per-run counters and
-     * timers ("batch.*", "pool.*", "stage.*") after every run();
+     * timers ("batch.*", "pool.*", "pass.*") after every run();
      * it must outlive the analyzer's use.
      */
     explicit BatchAnalyzer(BatchConfig config = {},

@@ -1,0 +1,18 @@
+#include "prob/scoring_pass.hh"
+
+#include "core/context.hh"
+#include "core/engine.hh"
+#include "prob/ngram.hh"
+
+namespace accdis
+{
+
+void
+ScoringPass::run(AnalysisContext &ctx) const
+{
+    const ProbModel &model =
+        ctx.config.model ? *ctx.config.model : defaultProbModel();
+    ctx.scorer.emplace(model, ctx.superset.get(), ctx.config.scorer);
+}
+
+} // namespace accdis

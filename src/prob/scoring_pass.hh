@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The scoring evidence pass: builds the n-gram likelihood-ratio
+ * scorer artifact used by seed scoring and gap refinement.
+ */
+
+#ifndef ACCDIS_PROB_SCORING_PASS_HH
+#define ACCDIS_PROB_SCORING_PASS_HH
+
+#include "core/pass.hh"
+
+namespace accdis
+{
+
+/** Builds the LikelihoodScorer over the superset decode. */
+class ScoringPass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "scoring"; }
+
+    std::vector<std::string>
+    dependsOn() const override
+    {
+        return {"superset_decode"};
+    }
+
+    void run(AnalysisContext &ctx) const override;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_PROB_SCORING_PASS_HH

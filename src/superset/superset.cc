@@ -17,13 +17,13 @@ Superset::Superset(ByteSpan bytes) : bytes_(bytes)
         n.opcodeByte = insn.opcodeByte;
         n.op = insn.op;
         n.flow = insn.flow;
-        n.flags = insn.flags;
-        n.hasTarget = insn.hasTarget;
+        n.setFlags(insn.flags);
+        n.setHasTarget(insn.hasTarget);
         if (insn.hasTarget)
             n.targetRel =
                 static_cast<s32>(insn.target - static_cast<s64>(off));
-        n.regsRead = insn.regsRead;
-        n.regsWritten = insn.regsWritten;
+        n.setRegsRead(insn.regsRead);
+        n.setRegsWritten(insn.regsWritten);
         ++validCount_;
     }
 }

@@ -20,6 +20,12 @@ namespace accdis
  * is ~100 bytes; keeping one per section byte would be prohibitive for
  * multi-megabyte sections, so the superset stores only the facets the
  * analyses consume and re-decodes on demand for the rest.
+ *
+ * The node is hand-packed to exactly 16 bytes (one node per section
+ * byte dominates the engine's memory footprint): hasTarget is folded
+ * into the unused top bit of the InsnFlag word, and the two 19-bit
+ * register masks (16 GPRs + flags/vector/x87 pseudo-registers) split
+ * into 16-bit halves plus a shared high byte.
  */
 struct SupersetNode
 {
@@ -27,13 +33,71 @@ struct SupersetNode
     u8 opcodeByte = 0; ///< Last opcode byte (n-gram sub-tokens).
     x86::Op op = x86::Op::Invalid;
     x86::CtrlFlow flow = x86::CtrlFlow::None;
-    u16 flags = 0;
+    /** InsnFlag bits 0-14; bit 15 stores hasTarget. */
+    u16 packedFlags = 0;
+    /** regsRead/regsWritten bits 0-15 (the GPRs). */
+    u16 regsReadLow = 0;
     s32 targetRel = 0; ///< Branch target minus node offset.
-    bool hasTarget = false;
-    x86::RegMask regsRead = 0;
-    x86::RegMask regsWritten = 0;
+    u16 regsWrittenLow = 0;
+    /** regsRead bits 16-18 in the low nibble, regsWritten bits 16-18
+     *  in the high nibble (flags/vector/x87 pseudo-registers). */
+    u8 regsHigh = 0;
+    u8 reserved = 0;
+
+    static constexpr u16 kHasTargetBit = u16{1} << 15;
 
     bool valid() const { return length != 0; }
+
+    /** The decoder's InsnFlag word. */
+    u16 flags() const { return packedFlags & ~kHasTargetBit; }
+
+    bool hasTarget() const { return packedFlags & kHasTargetBit; }
+
+    x86::RegMask
+    regsRead() const
+    {
+        return regsReadLow |
+               (x86::RegMask{regsHigh} & 0x7) << 16;
+    }
+
+    x86::RegMask
+    regsWritten() const
+    {
+        return regsWrittenLow |
+               (x86::RegMask{regsHigh} >> 4 & 0x7) << 16;
+    }
+
+    void
+    setFlags(u16 value)
+    {
+        packedFlags =
+            (packedFlags & kHasTargetBit) | (value & ~kHasTargetBit);
+    }
+
+    void
+    setHasTarget(bool value)
+    {
+        if (value)
+            packedFlags |= kHasTargetBit;
+        else
+            packedFlags &= ~kHasTargetBit;
+    }
+
+    void
+    setRegsRead(x86::RegMask mask)
+    {
+        regsReadLow = static_cast<u16>(mask);
+        regsHigh = (regsHigh & 0xf0) |
+                   static_cast<u8>(mask >> 16 & 0x7);
+    }
+
+    void
+    setRegsWritten(x86::RegMask mask)
+    {
+        regsWrittenLow = static_cast<u16>(mask);
+        regsHigh = (regsHigh & 0x0f) |
+                   static_cast<u8>((mask >> 16 & 0x7) << 4);
+    }
 
     bool
     fallsThrough() const
@@ -54,11 +118,15 @@ struct SupersetNode
     hasDirectTarget() const
     {
         using x86::CtrlFlow;
-        return hasTarget &&
+        return hasTarget() &&
                (flow == CtrlFlow::Jump || flow == CtrlFlow::CondJump ||
                 flow == CtrlFlow::Call);
     }
 };
+
+static_assert(sizeof(SupersetNode) == 16,
+              "SupersetNode must stay 16 bytes: one node per section "
+              "byte dominates engine memory");
 
 /**
  * The superset instruction graph over one section: a node per offset

@@ -1,0 +1,15 @@
+#include "superset/superset_pass.hh"
+
+#include "core/context.hh"
+
+namespace accdis
+{
+
+void
+SupersetDecodePass::run(AnalysisContext &ctx) const
+{
+    Superset &superset = ctx.superset.emplace(ctx.bytes);
+    ctx.stats.supersetBytes = superset.size() * sizeof(SupersetNode);
+}
+
+} // namespace accdis

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The superset-decode evidence pass: builds the per-offset decode
+ * artifact every other pass consumes.
+ */
+
+#ifndef ACCDIS_SUPERSET_SUPERSET_PASS_HH
+#define ACCDIS_SUPERSET_SUPERSET_PASS_HH
+
+#include "core/pass.hh"
+
+namespace accdis
+{
+
+/** Decodes every byte offset into the context's Superset artifact. */
+class SupersetDecodePass final : public EvidencePass
+{
+  public:
+    const char *name() const override { return "superset_decode"; }
+    void run(AnalysisContext &ctx) const override;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPERSET_SUPERSET_PASS_HH

@@ -150,8 +150,10 @@ TEST(Engine, RevisionRollsBackWeakCommitments)
     // Deterministic corpus on which the correction loop is known to
     // revise an earlier weak commitment (stronger evidence evicts a
     // misaligned residual chain). Guards the rollback machinery
-    // against silent regression into dead code.
-    synth::CorpusConfig config = synth::adversarialPreset(11);
+    // against silent regression into dead code. The pinned seed is
+    // re-scanned whenever gap refinement improves enough to stop
+    // making the weak commitment on the old one.
+    synth::CorpusConfig config = synth::adversarialPreset(17);
     config.numFunctions = 48;
     synth::SynthBinary bin = synth::buildSynthBinary(config);
     DisassemblyEngine engine;

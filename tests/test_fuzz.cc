@@ -181,7 +181,6 @@ TEST(FuzzRunner, ReportIndependentOfJobs)
     config.minFunctions = 2;
     config.maxFunctions = 4;
     config.oracle = quickOracles();
-    config.knownOracles = {"ec-monotonicity"};
 
     config.jobs = 1;
     fuzz::FuzzReport serial = fuzz::FuzzRunner(config).run();
@@ -200,6 +199,36 @@ TEST(FuzzRunner, ReportIndependentOfJobs)
                   parallel.findings[i].duplicates);
         EXPECT_EQ(serial.findings[i].known, parallel.findings[i].known);
     }
+}
+
+TEST(FuzzRunner, KnownGapMatchingIsSpecKeyed)
+{
+    fuzz::Reproducer gap;
+    gap.expect = "ec-monotonicity";
+    gap.spec.preset = "msvc";
+    gap.spec.corpusSeed = 99;
+    gap.spec.numFunctions = 6;
+    std::vector<fuzz::Reproducer> gaps = {gap};
+
+    fuzz::RunSpec spec = gap.spec;
+    EXPECT_TRUE(fuzz::isKnownGap(gaps, "ec-monotonicity", spec));
+
+    // Function count and mutation steps are minimization noise.
+    spec.numFunctions = 11;
+    spec.steps = {{fuzz::MutationKind::FlipPrefix, 3}};
+    EXPECT_TRUE(fuzz::isKnownGap(gaps, "ec-monotonicity", spec));
+
+    // A gap never covers its whole oracle family: the same oracle on
+    // another seed or preset is a fresh, reportable finding.
+    spec = gap.spec;
+    spec.corpusSeed = 100;
+    EXPECT_FALSE(fuzz::isKnownGap(gaps, "ec-monotonicity", spec));
+    spec = gap.spec;
+    spec.preset = "gcc";
+    EXPECT_FALSE(fuzz::isKnownGap(gaps, "ec-monotonicity", spec));
+
+    // Nor does a registered seed excuse a different oracle on it.
+    EXPECT_FALSE(fuzz::isKnownGap(gaps, "decode-stability", gap.spec));
 }
 
 TEST(FuzzOracle, WellFormedAcceptsEngineOutput)

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the evidence-pass architecture: PassManager registration,
+ * dependency ordering, enable/disable, AnalysisContext artifact
+ * invalidation, ablation parity between EngineConfig flags and pass
+ * disabling, the packed SupersetNode layout, and provenance explain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/context.hh"
+#include "core/engine.hh"
+#include "core/pass.hh"
+#include "support/error.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+/** Stub pass that records its execution into a shared trace. */
+class TracePass : public EvidencePass
+{
+  public:
+    TracePass(std::string name, std::vector<std::string> deps,
+              std::vector<std::string> *trace)
+        : name_(std::move(name)), deps_(std::move(deps)),
+          trace_(trace)
+    {}
+
+    const char *name() const override { return name_.c_str(); }
+    std::vector<std::string> dependsOn() const override
+    {
+        return deps_;
+    }
+
+    void
+    run(AnalysisContext &) const override
+    {
+        trace_->push_back(name_);
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::string> deps_;
+    std::vector<std::string> *trace_;
+};
+
+/** A context over trivial bytes, for manager-mechanics tests. */
+struct TestContext
+{
+    EngineConfig config;
+    std::vector<u8> bytes{0x90, 0xc3, 0x00, 0x00};
+    std::vector<Offset> entries{0};
+    AnalysisContext ctx{config, bytes, entries, 0, {}, false};
+};
+
+TEST(PassManager, RegistrationAndLookup)
+{
+    std::vector<std::string> trace;
+    PassManager manager;
+    manager.add(std::make_unique<TracePass>(
+        "a", std::vector<std::string>{}, &trace));
+    manager.add(std::make_unique<TracePass>(
+        "b", std::vector<std::string>{"a"}, &trace));
+
+    EXPECT_TRUE(manager.has("a"));
+    EXPECT_FALSE(manager.has("c"));
+    EXPECT_EQ(manager.passNames(),
+              (std::vector<std::string>{"a", "b"}));
+    EXPECT_THROW(manager.add(std::make_unique<TracePass>(
+                     "a", std::vector<std::string>{}, &trace)),
+                 Error);
+    EXPECT_THROW(manager.setEnabled("nope", false), Error);
+    EXPECT_THROW((void)manager.enabled("nope"), Error);
+}
+
+TEST(PassManager, ScheduleRepairsRegistrationOrder)
+{
+    // Registered backwards: c depends on b depends on a.
+    std::vector<std::string> trace;
+    PassManager manager;
+    manager.add(std::make_unique<TracePass>(
+        "c", std::vector<std::string>{"b"}, &trace));
+    manager.add(std::make_unique<TracePass>(
+        "b", std::vector<std::string>{"a"}, &trace));
+    manager.add(std::make_unique<TracePass>(
+        "a", std::vector<std::string>{}, &trace));
+
+    std::vector<std::string> order;
+    for (const EvidencePass *pass : manager.schedule())
+        order.push_back(pass->name());
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c"}));
+
+    TestContext t;
+    manager.run(t.ctx);
+    EXPECT_EQ(trace, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(PassManager, SchedulePreservesOrderOfIndependentPasses)
+{
+    std::vector<std::string> trace;
+    PassManager manager;
+    for (const char *name : {"x", "y", "z"})
+        manager.add(std::make_unique<TracePass>(
+            name, std::vector<std::string>{}, &trace));
+    std::vector<std::string> order;
+    for (const EvidencePass *pass : manager.schedule())
+        order.push_back(pass->name());
+    EXPECT_EQ(order, (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(PassManager, UnknownDependencyAndCycleThrow)
+{
+    std::vector<std::string> trace;
+    {
+        PassManager manager;
+        manager.add(std::make_unique<TracePass>(
+            "a", std::vector<std::string>{"ghost"}, &trace));
+        EXPECT_THROW(manager.schedule(), Error);
+    }
+    {
+        PassManager manager;
+        manager.add(std::make_unique<TracePass>(
+            "a", std::vector<std::string>{"b"}, &trace));
+        manager.add(std::make_unique<TracePass>(
+            "b", std::vector<std::string>{"a"}, &trace));
+        EXPECT_THROW(manager.schedule(), Error);
+    }
+}
+
+TEST(PassManager, DisabledPassIsSkippedButKeepsItsSlot)
+{
+    std::vector<std::string> trace;
+    PassManager manager;
+    manager.add(std::make_unique<TracePass>(
+        "a", std::vector<std::string>{}, &trace));
+    manager.add(std::make_unique<TracePass>(
+        "b", std::vector<std::string>{"a"}, &trace));
+    manager.add(std::make_unique<TracePass>(
+        "c", std::vector<std::string>{"b"}, &trace));
+
+    manager.setEnabled("b", false);
+    EXPECT_FALSE(manager.enabled("b"));
+
+    // c still schedules (its dependency slot exists even though b is
+    // disabled) and b is simply not run.
+    TestContext t;
+    PassTimes times;
+    manager.run(t.ctx, &times);
+    EXPECT_EQ(trace, (std::vector<std::string>{"a", "c"}));
+    EXPECT_EQ(times.callsOf("a"), 1u);
+    EXPECT_EQ(times.callsOf("b"), 0u);
+    EXPECT_EQ(times.callsOf("c"), 1u);
+}
+
+TEST(AnalysisContext, ArtifactInvalidationCascades)
+{
+    TestContext t;
+    t.ctx.superset.emplace(t.ctx.bytes);
+    t.ctx.flow.emplace(t.ctx.superset.get(), t.config.flow);
+    EXPECT_TRUE(t.ctx.artifactPresent(ArtifactId::Superset));
+    EXPECT_TRUE(t.ctx.artifactPresent(ArtifactId::Flow));
+    EXPECT_EQ(t.ctx.superset.generation(), 1u);
+
+    // Invalidating the root drops every derived artifact.
+    t.ctx.invalidate(ArtifactId::Superset);
+    EXPECT_FALSE(t.ctx.artifactPresent(ArtifactId::Superset));
+    EXPECT_FALSE(t.ctx.artifactPresent(ArtifactId::Flow));
+    EXPECT_FALSE(t.ctx.artifactPresent(ArtifactId::Commitments));
+
+    // Rebuilding bumps the generation so dependents can detect it.
+    t.ctx.superset.emplace(t.ctx.bytes);
+    EXPECT_EQ(t.ctx.superset.generation(), 2u);
+
+    // Invalidating a mid-level artifact keeps the root.
+    t.ctx.flow.emplace(t.ctx.superset.get(), t.config.flow);
+    t.ctx.invalidate(ArtifactId::Flow);
+    EXPECT_TRUE(t.ctx.artifactPresent(ArtifactId::Superset));
+    EXPECT_FALSE(t.ctx.artifactPresent(ArtifactId::Flow));
+}
+
+TEST(AnalysisContext, CommitmentInvalidationResetsMap)
+{
+    TestContext t;
+    t.ctx.superset.emplace(t.ctx.bytes);
+    t.ctx.pushCode(Priority::Anchor, 100.0, 0, "test");
+    t.ctx.commitCodeFrom(t.ctx.popEvidence());
+    EXPECT_GT(t.ctx.committedStarts(), 0u);
+    EXPECT_TRUE(t.ctx.artifactPresent(ArtifactId::Commitments));
+
+    t.ctx.invalidate(ArtifactId::Commitments);
+    EXPECT_EQ(t.ctx.committedStarts(), 0u);
+    EXPECT_FALSE(t.ctx.artifactPresent(ArtifactId::Commitments));
+    EXPECT_TRUE(t.ctx.artifactPresent(ArtifactId::Superset));
+}
+
+/** Byte-exact fingerprint of one classification. */
+std::string
+fingerprint(const std::vector<DisassemblyEngine::SectionResult> &secs)
+{
+    std::ostringstream out;
+    for (const auto &sec : secs) {
+        out << sec.name << "@" << sec.base << ":";
+        for (const auto &entry : sec.result.map.entries())
+            out << entry.begin << "-" << entry.end
+                << (entry.label == ResultClass::Code ? "c" : "d");
+        out << "|";
+        for (Offset off : sec.result.insnStarts)
+            out << off << ",";
+        out << "|";
+        for (const auto &entry : sec.result.provenance.entries())
+            out << entry.begin << "-" << entry.end << "p"
+                << static_cast<int>(entry.label);
+        out << ";";
+    }
+    return out.str();
+}
+
+TEST(PassManager, AblationFlagsEquivalentToDisablingPasses)
+{
+    const std::pair<bool EngineConfig::*, const char *> ablations[] = {
+        {&EngineConfig::useFlowAnalysis, "flow"},
+        {&EngineConfig::useDefUse, "def_use"},
+        {&EngineConfig::useProbModel, "scoring"},
+        {&EngineConfig::useJumpTables, "jump_tables"},
+        {&EngineConfig::useDataPatterns, "patterns"},
+        {&EngineConfig::useIndirectFlow, "indirect"},
+        {&EngineConfig::useErrorCorrection, "error_correction"},
+    };
+
+    synth::CorpusConfig config = synth::adversarialPreset(21);
+    config.numFunctions = 24;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+
+    for (const auto &[flag, passName] : ablations) {
+        EngineConfig flagged;
+        flagged.*flag = false;
+        DisassemblyEngine byFlag(flagged);
+
+        DisassemblyEngine byPass;
+        byPass.passes().setEnabled(passName, false);
+
+        EXPECT_EQ(fingerprint(byFlag.analyzeAll(bin.image)),
+                  fingerprint(byPass.analyzeAll(bin.image)))
+            << "flag vs pass '" << passName << "'";
+    }
+}
+
+TEST(SupersetNode, PackedLayoutRoundTrips)
+{
+    static_assert(sizeof(SupersetNode) == 16);
+
+    SupersetNode node;
+    node.setFlags(x86::kFlagRare | x86::kFlagByteOp);
+    node.setHasTarget(true);
+    node.setRegsRead(x86::regBit(x86::RAX) | x86::regBit(x86::R15) |
+                     x86::regBit(x86::RegX87));
+    node.setRegsWritten(x86::regBit(x86::RSP) |
+                        x86::regBit(x86::RegFlags) |
+                        x86::regBit(x86::RegVector));
+
+    EXPECT_EQ(node.flags(),
+              u16{x86::kFlagRare | x86::kFlagByteOp});
+    EXPECT_TRUE(node.hasTarget());
+    EXPECT_EQ(node.regsRead(), x86::regBit(x86::RAX) |
+                                   x86::regBit(x86::R15) |
+                                   x86::regBit(x86::RegX87));
+    EXPECT_EQ(node.regsWritten(), x86::regBit(x86::RSP) |
+                                      x86::regBit(x86::RegFlags) |
+                                      x86::regBit(x86::RegVector));
+
+    // The facets are independent: clearing one leaves the others.
+    node.setHasTarget(false);
+    EXPECT_FALSE(node.hasTarget());
+    EXPECT_EQ(node.flags(), u16{x86::kFlagRare | x86::kFlagByteOp});
+    node.setFlags(0);
+    EXPECT_EQ(node.regsRead() & x86::regBit(x86::RegX87),
+              x86::regBit(x86::RegX87));
+}
+
+TEST(Provenance, ExplainReportsCommitChain)
+{
+    synth::CorpusConfig config = synth::msvcLikePreset(42);
+    config.numFunctions = 24;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+
+    const Section *text = nullptr;
+    for (const Section &sec : bin.image.sections()) {
+        if (sec.flags().executable)
+            text = &sec;
+    }
+    ASSERT_NE(text, nullptr);
+    std::vector<Offset> entries;
+    for (Addr entry : bin.image.entryPoints()) {
+        if (text->containsVaddr(entry))
+            entries.push_back(text->toOffset(entry));
+    }
+
+    DisassemblyEngine engine;
+    ASSERT_FALSE(entries.empty());
+    std::string chain = engine.explainSection(
+        text->bytes(), entries, entries[0], text->base(),
+        auxRegionsOf(bin.image));
+    EXPECT_NE(chain.find("anchor"), std::string::npos) << chain;
+    EXPECT_NE(chain.find("known entry point"), std::string::npos)
+        << chain;
+    EXPECT_NE(chain.find("final: code"), std::string::npos) << chain;
+}
+
+} // namespace
+} // namespace accdis

@@ -188,26 +188,40 @@ TEST(PipelineMetrics, EmptyRegistryIsValidJson)
               "{\n  \"counters\": {},\n  \"timers\": {}\n}\n");
 }
 
-TEST(PipelineStageTimes, EngineRecordsStages)
+TEST(PipelineStageTimes, EngineRecordsPasses)
 {
     synth::CorpusConfig config = synth::msvcLikePreset(3);
     config.numFunctions = 24;
     synth::SynthBinary bin = synth::buildSynthBinary(config);
 
-    EngineStageTimes times;
+    PassTimes times;
     EngineConfig engineConfig;
-    engineConfig.stageTimes = &times;
+    engineConfig.passTimes = &times;
     DisassemblyEngine engine(engineConfig);
     engine.analyze(bin.image);
 
-    auto snap = times.snapshot();
-    EXPECT_GT(snap.nanosOf(EngineStage::SupersetDecode), 0u);
-    EXPECT_EQ(snap.callsOf(EngineStage::SupersetDecode), 1u);
-    EXPECT_GT(snap.nanosOf(EngineStage::FlowAnalysis), 0u);
-    EXPECT_GT(snap.nanosOf(EngineStage::ErrorCorrection), 0u);
-    EXPECT_GE(snap.callsOf(EngineStage::Scoring), 1u);
-    EXPECT_GE(snap.callsOf(EngineStage::JumpTableDiscovery), 1u);
-    EXPECT_GE(snap.callsOf(EngineStage::PatternDetection), 1u);
+    // Every enabled pass of the registry shows up with exactly one
+    // recording for the single analyzed section — keyed by name, no
+    // static enum anywhere.
+    for (const std::string &name : engine.passes().passNames()) {
+        ASSERT_TRUE(engine.passes().enabled(name)) << name;
+        EXPECT_EQ(times.callsOf(name), 1u) << name;
+    }
+    EXPECT_GT(times.nanosOf("superset_decode"), 0u);
+    EXPECT_GT(times.nanosOf("flow"), 0u);
+    EXPECT_GT(times.nanosOf("resolve"), 0u);
+    EXPECT_EQ(times.nanosOf("no_such_pass"), 0u);
+    EXPECT_EQ(times.callsOf("no_such_pass"), 0u);
+
+    // Disabled passes are not run and therefore not timed.
+    PassTimes ablatedTimes;
+    EngineConfig ablatedConfig;
+    ablatedConfig.useJumpTables = false;
+    ablatedConfig.passTimes = &ablatedTimes;
+    DisassemblyEngine ablated(ablatedConfig);
+    ablated.analyze(bin.image);
+    EXPECT_EQ(ablatedTimes.callsOf("jump_tables"), 0u);
+    EXPECT_EQ(ablatedTimes.callsOf("superset_decode"), 1u);
 }
 
 /** The 20-binary mixed-preset corpus used by the determinism tests. */
@@ -330,14 +344,22 @@ TEST(PipelineBatch, ReportsMetricsAndThroughput)
     EXPECT_GT(report.wallSeconds, 0.0);
     EXPECT_GT(report.bytesPerSecond(), 0.0);
     EXPECT_GE(report.pool.executed, images.size());
-    EXPECT_GT(
-        report.stageTimes.nanosOf(EngineStage::SupersetDecode), 0u);
+    bool sawSupersetPass = false;
+    for (const PassTimes::Entry &entry : report.passTimes) {
+        if (entry.name == "superset_decode") {
+            sawSupersetPass = true;
+            EXPECT_GT(entry.nanos, 0u);
+        }
+    }
+    EXPECT_TRUE(sawSupersetPass);
 
     EXPECT_EQ(metrics.counter("batch.binaries").value(),
               images.size());
     EXPECT_EQ(metrics.counter("batch.bytes").value(), expectedBytes);
     EXPECT_EQ(metrics.counter("batch.failed_binaries").value(), 0u);
-    EXPECT_GT(metrics.timer("stage.superset_decode").nanos(), 0u);
+    EXPECT_GT(metrics.timer("pass.superset_decode").nanos(), 0u);
+    EXPECT_GT(metrics.timer("pass.resolve").nanos(), 0u);
+    EXPECT_GT(metrics.counter("superset.bytes").value(), 0u);
     std::string json = metrics.toJson();
     EXPECT_NE(json.find("\"batch.bytes_per_sec\""),
               std::string::npos);
