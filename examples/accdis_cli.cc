@@ -7,6 +7,7 @@
  * Usage:
  *   accdis_cli <binary>... [--json] [--functions] [--max-insns N]
  *              [--jobs N] [--metrics-out FILE] [--explain ADDR]
+ *              [--cache-dir DIR] [--cache-verify] [--version]
  *
  * Several binaries and/or --jobs > 1 route the analysis through the
  * parallel batch pipeline; output is byte-identical to a serial run.
@@ -14,6 +15,12 @@
  * --explain ADDR re-analyzes with the provenance ledger recording and
  * prints the evidence chain (commits, rollbacks, final owner) that
  * decided the classification of the byte at virtual address ADDR.
+ * --cache-dir DIR serves unchanged binaries from the on-disk result
+ * cache (and serves --explain from a cached provenance ledger without
+ * re-analysis when one is stored). --cache-verify re-runs every hit
+ * cold and fails unless the cached result is byte-identical.
+ * --version prints the build id, artifact schema version and the
+ * pass-registry fingerprint that key the cache.
  */
 
 #include <algorithm>
@@ -24,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/analysis_cache.hh"
 #include "core/engine.hh"
 #include "core/functions.hh"
 #include "image/elf_reader.hh"
@@ -31,6 +39,7 @@
 #include "pipeline/batch.hh"
 #include "pipeline/metrics.hh"
 #include "support/error.hh"
+#include "support/version.hh"
 #include "x86/decoder.hh"
 #include "x86/formatter.hh"
 
@@ -94,13 +103,17 @@ reportJson(const Section &section, const Classification &result,
 
 /**
  * Explain the classification of the byte at virtual address
- * @p target: find the executable section containing it, re-run the
- * engine with the provenance ledger recording, and print the chain.
- * Returns false when no loaded image maps the address.
+ * @p target: find the executable section containing it and print the
+ * evidence chain that decided it. With a cache directory, a stored
+ * provenance ledger answers without re-analysis; otherwise the engine
+ * re-runs with the ledger recording (and stores the artifact so the
+ * next --explain against the same cache is free). Returns false when
+ * no loaded image maps the address.
  */
 bool
 explainAddress(const std::vector<BinaryImage> &images, Addr target,
-               const EngineConfig &engineConfig)
+               const EngineConfig &engineConfig,
+               const std::string &cacheDir)
 {
     bool found = false;
     for (const BinaryImage &image : images) {
@@ -114,15 +127,39 @@ explainAddress(const std::vector<BinaryImage> &images, Addr target,
                     entries.push_back(section.toOffset(entry));
             }
             DisassemblyEngine engine(engineConfig);
-            std::string chain = engine.explainSection(
-                section.bytes(), entries, section.toOffset(target),
-                section.base(), auxRegionsOf(image));
-            std::printf("%s %s vaddr %llx (offset %llx):\n%s",
+            const Offset off = section.toOffset(target);
+            std::string chain;
+            bool fromCache = false;
+            if (!cacheDir.empty()) {
+                ResultCache store(ResultCache::Config{cacheDir});
+                const CacheKey key = makeCacheKey(
+                    section.contentKey(), entries, section.base(),
+                    auxRegionsOf(image), engine);
+                auto cached = loadCachedResult(store, key);
+                if (cached && cached->explain) {
+                    chain = renderExplain(*cached->explain, off);
+                    fromCache = true;
+                } else {
+                    ExplainArtifact artifact;
+                    DisassemblyEngine::AnalyzeOptions options;
+                    options.explainOut = &artifact;
+                    Classification result = engine.analyzeSectionWith(
+                        section.bytes(), entries, section.base(),
+                        auxRegionsOf(image), options);
+                    storeCachedResult(store, key, result, &artifact);
+                    chain = renderExplain(artifact, off);
+                }
+            } else {
+                chain = engine.explainSection(section.bytes(),
+                                              entries, off,
+                                              section.base(),
+                                              auxRegionsOf(image));
+            }
+            std::printf("%s %s vaddr %llx (offset %llx)%s:\n%s",
                         image.name().c_str(), section.name().c_str(),
                         static_cast<unsigned long long>(target),
-                        static_cast<unsigned long long>(
-                            section.toOffset(target)),
-                        chain.c_str());
+                        static_cast<unsigned long long>(off),
+                        fromCache ? " [cached]" : "", chain.c_str());
             found = true;
         }
     }
@@ -138,7 +175,9 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: %s <binary>... [--json] [--functions] "
                      "[--max-insns N] [--jobs N] "
-                     "[--metrics-out FILE] [--explain ADDR]\n",
+                     "[--metrics-out FILE] [--explain ADDR] "
+                     "[--cache-dir DIR] [--cache-verify] "
+                     "[--version]\n",
                      argv[0]);
         return 2;
     }
@@ -149,7 +188,22 @@ main(int argc, char **argv)
     std::string metricsOut;
     bool explain = false;
     Addr explainAddr = 0;
+    std::string cacheDir;
+    bool cacheVerify = false;
     for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--version")) {
+            // The identity triple of every cache entry: the build
+            // that wrote it, the artifact schema it used, and the
+            // pass registry that produced the result.
+            DisassemblyEngine engine;
+            std::printf("accdis %s\n", gitDescribe());
+            std::printf("schema version: %u\n", kSchemaVersion);
+            std::printf("pass registry: %s\n",
+                        hexDigest(passRegistryFingerprint(
+                                      engine.passes()))
+                            .c_str());
+            return 0;
+        }
         if (!std::strcmp(argv[i], "--json"))
             json = true;
         else if (!std::strcmp(argv[i], "--functions"))
@@ -167,7 +221,12 @@ main(int argc, char **argv)
             // Base 0: accepts both hex (0x...) and decimal.
             explainAddr = static_cast<Addr>(
                 std::strtoull(argv[++i], nullptr, 0));
-        } else
+        } else if (!std::strcmp(argv[i], "--cache-dir") &&
+                   i + 1 < argc)
+            cacheDir = argv[++i];
+        else if (!std::strcmp(argv[i], "--cache-verify"))
+            cacheVerify = true;
+        else
             paths.emplace_back(argv[i]);
     }
     if (paths.empty()) {
@@ -184,10 +243,12 @@ main(int argc, char **argv)
         pipeline::BatchConfig batchConfig;
         batchConfig.jobs = jobs;
         batchConfig.engine.flow.escapingBranchIsFatal = false;
+        batchConfig.cacheDir = cacheDir;
+        batchConfig.cacheVerify = cacheVerify;
 
         if (explain) {
             if (!explainAddress(images, explainAddr,
-                                batchConfig.engine)) {
+                                batchConfig.engine, cacheDir)) {
                 std::fprintf(stderr,
                              "error: vaddr %llx is not inside any "
                              "executable section\n",
@@ -268,6 +329,18 @@ main(int argc, char **argv)
         }
         if (json)
             std::printf("\n]\n");
+        if (report.cache.enabled) {
+            std::fprintf(
+                stderr,
+                "cache: %llu hits / %llu misses (%.0f%% hit rate), "
+                "%llu stored, %llu bad entries\n",
+                static_cast<unsigned long long>(report.cache.hits),
+                static_cast<unsigned long long>(report.cache.misses),
+                report.cache.hitRate() * 100.0,
+                static_cast<unsigned long long>(report.cache.stores),
+                static_cast<unsigned long long>(
+                    report.cache.badEntries));
+        }
         if (!metricsOut.empty())
             metrics.writeJson(metricsOut);
         if (failed)

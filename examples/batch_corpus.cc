@@ -7,12 +7,26 @@
  * Usage:
  *   batch_corpus [--binaries N] [--functions N] [--jobs N]
  *                [--metrics-out FILE] [--no-verify]
+ *                [--cache-dir DIR] [--cache-fresh]
+ *                [--cache-assert-warm]
+ *
+ * --cache-dir routes the batch through the on-disk result cache.
+ * --cache-fresh wipes that directory first, so the first run is
+ * guaranteed cold even when a previous invocation (e.g. a ctest
+ * rerun) left entries behind.
+ * --cache-assert-warm then replays the whole corpus a second time
+ * through the same cache and fails unless the warm run is served
+ * 100% from cache, sees zero bad entries and produces results that
+ * compare operator== (map, starts, provenance AND stats) to the cold
+ * run — the executable form of the cache's correctness contract,
+ * wired into ctest.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -77,6 +91,9 @@ main(int argc, char **argv)
     unsigned jobs = 0; // hardware concurrency
     std::string metricsOut;
     bool verify = true;
+    std::string cacheDir;
+    bool cacheFresh = false;
+    bool assertWarm = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--binaries") && i + 1 < argc)
             binaries = std::atoi(argv[++i]);
@@ -90,14 +107,30 @@ main(int argc, char **argv)
             metricsOut = argv[++i];
         else if (!std::strcmp(argv[i], "--no-verify"))
             verify = false;
+        else if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc)
+            cacheDir = argv[++i];
+        else if (!std::strcmp(argv[i], "--cache-fresh"))
+            cacheFresh = true;
+        else if (!std::strcmp(argv[i], "--cache-assert-warm"))
+            assertWarm = true;
         else {
             std::fprintf(stderr,
                          "usage: %s [--binaries N] [--functions N] "
                          "[--jobs N] [--metrics-out FILE] "
-                         "[--no-verify]\n",
+                         "[--no-verify] [--cache-dir DIR] "
+                         "[--cache-fresh] [--cache-assert-warm]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if ((assertWarm || cacheFresh) && cacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-%s needs --cache-dir\n",
+                     assertWarm ? "assert-warm" : "fresh");
+        return 2;
+    }
+    if (cacheFresh) {
+        std::error_code ec;
+        std::filesystem::remove_all(cacheDir, ec);
     }
 
     try {
@@ -134,6 +167,7 @@ main(int argc, char **argv)
         pipeline::MetricsRegistry metrics;
         pipeline::BatchConfig config;
         config.jobs = jobs;
+        config.cacheDir = cacheDir;
         pipeline::BatchAnalyzer analyzer(config, &metrics);
         pipeline::BatchReport report = analyzer.run(images);
         std::printf("parallel: %.3f s (%.1f MB/s) with %u jobs, "
@@ -166,6 +200,59 @@ main(int argc, char **argv)
             }
             std::printf("verified: parallel output is byte-identical "
                         "to serial\n");
+        }
+
+        if (report.cache.enabled) {
+            std::printf(
+                "cache:    %llu hits / %llu misses, %llu stored, "
+                "%llu bad entries\n",
+                static_cast<unsigned long long>(report.cache.hits),
+                static_cast<unsigned long long>(report.cache.misses),
+                static_cast<unsigned long long>(report.cache.stores),
+                static_cast<unsigned long long>(
+                    report.cache.badEntries));
+        }
+
+        if (assertWarm) {
+            pipeline::BatchReport warm = analyzer.run(images);
+            std::printf(
+                "warm:     %.3f s, %llu hits / %llu misses, "
+                "%llu bad entries\n",
+                warm.wallSeconds,
+                static_cast<unsigned long long>(warm.cache.hits),
+                static_cast<unsigned long long>(warm.cache.misses),
+                static_cast<unsigned long long>(
+                    warm.cache.badEntries));
+            if (warm.cache.misses != 0 || warm.cache.hits == 0)
+                throw Error("warm run was not served 100% from "
+                            "cache");
+            if (warm.cache.badEntries != 0)
+                throw Error("warm run hit corrupt cache entries");
+            for (std::size_t i = 0; i < warm.results.size(); ++i) {
+                const auto &cold = report.results[i];
+                const auto &replay = warm.results[i];
+                if (!replay.ok())
+                    throw Error("warm batch failed on " +
+                                replay.name + ": " + replay.error);
+                if (replay.sections.size() != cold.sections.size())
+                    throw Error("warm section count differs on " +
+                                replay.name);
+                for (std::size_t s = 0; s < replay.sections.size();
+                     ++s) {
+                    // Full operator== — map, insn starts, provenance
+                    // and stats must survive the disk round trip.
+                    if (!(replay.sections[s].result ==
+                          cold.sections[s].result))
+                        throw Error("warm result differs from cold "
+                                    "on " + replay.name + " " +
+                                    replay.sections[s].name);
+                }
+            }
+            if (warm.wallSeconds > 0.0)
+                std::printf("warm speedup: %.2fx over cold\n",
+                            report.wallSeconds / warm.wallSeconds);
+            std::printf("verified: warm run served from cache, "
+                        "byte-identical to cold\n");
         }
 
         if (!metricsOut.empty()) {

@@ -10,7 +10,7 @@
  *   fuzz_engine [--runs N] [--seed S] [--jobs N] [--minimize]
  *               [--corpus-dir DIR] [--known-gaps DIR]
  *               [--max-mutations N] [--functions LO:HI]
- *               [--no-batch] [--no-baselines]
+ *               [--no-batch] [--no-baselines] [--no-cache]
  *
  * --known-gaps points at a directory of checked-in reproducers (e.g.
  * tests/corpus); a finding matching an `expect divergence` entry's
@@ -46,7 +46,7 @@ usage(const char *argv0)
                  "usage: %s [--runs N] [--seed S] [--jobs N] "
                  "[--minimize] [--corpus-dir DIR] [--known-gaps DIR] "
                  "[--max-mutations N] [--functions LO:HI] "
-                 "[--no-batch] [--no-baselines]\n",
+                 "[--no-batch] [--no-baselines] [--no-cache]\n",
                  argv0);
     return 2;
 }
@@ -117,6 +117,8 @@ main(int argc, char **argv)
             config.oracle.checkBatch = false;
         } else if (!std::strcmp(argv[i], "--no-baselines")) {
             config.oracle.checkBaselines = false;
+        } else if (!std::strcmp(argv[i], "--no-cache")) {
+            config.oracle.checkCache = false;
         } else {
             return usage(argv[0]);
         }

@@ -1,0 +1,115 @@
+#include "cache/analysis_cache.hh"
+
+namespace accdis
+{
+
+namespace
+{
+
+/** Superset entries ignore the config/inputs axes and the pass
+ *  registry (the superset is a pure function of the bytes and the
+ *  decoder, which the schema-bump contract covers): key on content
+ *  plus the bare schema version so every config and pass-toggle
+ *  variant shares one entry. */
+CacheKey
+supersetKey(const CacheKey &key)
+{
+    CacheKey out;
+    out.content = key.content;
+    out.schema = static_cast<u64>(kSchemaVersion);
+    return out;
+}
+
+} // namespace
+
+CacheKey
+makeCacheKey(u64 contentKey, const std::vector<Offset> &entryOffsets,
+             Addr sectionBase,
+             const std::vector<AuxRegion> &auxRegions,
+             const DisassemblyEngine &engine)
+{
+    CacheKey key;
+    key.content = contentKey;
+
+    Hasher inputs;
+    inputs.add(sectionBase);
+    inputs.add(static_cast<u64>(entryOffsets.size()));
+    for (Offset off : entryOffsets)
+        inputs.add(off);
+    inputs.add(static_cast<u64>(auxRegions.size()));
+    for (const AuxRegion &region : auxRegions) {
+        inputs.add(region.base);
+        inputs.add(region.bytes);
+    }
+    key.inputs = inputs.digest();
+
+    key.config = engineConfigFingerprint(engine.config());
+    key.schema = static_cast<u64>(kSchemaVersion) ^
+                 passRegistryFingerprint(engine.passes());
+    return key;
+}
+
+std::optional<CachedResult>
+loadCachedResult(const ResultCache &cache, const CacheKey &key)
+{
+    auto payload = cache.load(key, ResultCache::Kind::Result);
+    if (!payload)
+        return std::nullopt;
+    // Defense in depth: ResultCache verified the payload hash, but a
+    // schema bug (encoder/decoder drift) would still surface here —
+    // treat it as a miss rather than crashing the pipeline.
+    try {
+        Decoder dec{ByteSpan(*payload)};
+        CachedResult out;
+        out.result = decodeClassification(dec);
+        if (dec.pod<u8>() != 0)
+            out.explain = decodeExplain(dec);
+        dec.expectEnd();
+        return out;
+    } catch (const SerializeError &) {
+        return std::nullopt;
+    }
+}
+
+void
+storeCachedResult(ResultCache &cache, const CacheKey &key,
+                  const Classification &result,
+                  const ExplainArtifact *explain)
+{
+    Encoder enc;
+    encodeClassification(enc, result);
+    enc.pod(static_cast<u8>(explain != nullptr));
+    if (explain != nullptr)
+        encodeExplain(enc, *explain);
+    cache.store(key, ResultCache::Kind::Result, enc.take());
+}
+
+std::optional<Superset>
+loadCachedSuperset(const ResultCache &cache, const CacheKey &key,
+                   ByteSpan bytes)
+{
+    auto payload = cache.load(supersetKey(key),
+                              ResultCache::Kind::Superset);
+    if (!payload)
+        return std::nullopt;
+    try {
+        Decoder dec{ByteSpan(*payload)};
+        Superset superset = decodeSuperset(dec, bytes);
+        dec.expectEnd();
+        return superset;
+    } catch (const SerializeError &) {
+        return std::nullopt;
+    }
+}
+
+void
+storeCachedSuperset(ResultCache &cache, const CacheKey &key,
+                    const Superset &superset)
+{
+    Encoder enc;
+    encodeSuperset(enc, superset);
+    cache.store(supersetKey(key), ResultCache::Kind::Superset,
+                enc.take());
+}
+
+} // namespace accdis

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Typed layer over ResultCache: composes the engine's serializable
+ * artifacts (core/artifact_io.hh) into cache entries and builds the
+ * four-axis CacheKey from an actual analyze call.
+ *
+ * Two entry kinds exist per section:
+ *
+ *  - Result — the Classification, optionally bundled with the
+ *    ExplainArtifact so `--explain` can answer from the cache without
+ *    re-analysis. Keyed on all four axes.
+ *  - Superset — the decode nodes alone. Keyed on content and schema
+ *    only (the superset is a pure function of the bytes), so it warm-
+ *    starts re-analysis even after a config or ablation change
+ *    invalidated the result entry.
+ */
+
+#ifndef ACCDIS_CACHE_ANALYSIS_CACHE_HH
+#define ACCDIS_CACHE_ANALYSIS_CACHE_HH
+
+#include <optional>
+#include <vector>
+
+#include "cache/result_cache.hh"
+#include "core/artifact_io.hh"
+#include "core/engine.hh"
+
+namespace accdis
+{
+
+/**
+ * The cache key for one analyzeSection call: @p contentKey is
+ * Section::contentKey() (or an equivalent hash of bytes + base +
+ * permissions), the per-call inputs are hashed here, and the engine
+ * contributes its config and pass-registry fingerprints.
+ */
+CacheKey makeCacheKey(u64 contentKey,
+                      const std::vector<Offset> &entryOffsets,
+                      Addr sectionBase,
+                      const std::vector<AuxRegion> &auxRegions,
+                      const DisassemblyEngine &engine);
+
+/** A decoded Result entry. */
+struct CachedResult
+{
+    Classification result;
+    /** Present only when the entry was stored with an explain
+     *  artifact (pipeline runs with provenance recording). */
+    std::optional<ExplainArtifact> explain;
+};
+
+/** Load the Result entry for @p key; nullopt on miss/corruption. */
+std::optional<CachedResult> loadCachedResult(const ResultCache &cache,
+                                             const CacheKey &key);
+
+/** Store @p result (and @p explain when non-null) under @p key. */
+void storeCachedResult(ResultCache &cache, const CacheKey &key,
+                       const Classification &result,
+                       const ExplainArtifact *explain = nullptr);
+
+/**
+ * Load the Superset entry matching @p key's content/schema axes and
+ * rebind it to @p bytes; nullopt on miss/corruption. The config and
+ * inputs axes are ignored by construction — see file comment.
+ */
+std::optional<Superset> loadCachedSuperset(const ResultCache &cache,
+                                           const CacheKey &key,
+                                           ByteSpan bytes);
+
+/** Store @p superset under @p key's content/schema axes. */
+void storeCachedSuperset(ResultCache &cache, const CacheKey &key,
+                         const Superset &superset);
+
+} // namespace accdis
+
+#endif // ACCDIS_CACHE_ANALYSIS_CACHE_HH

@@ -1,0 +1,203 @@
+#include "cache/result_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "support/version.hh"
+
+namespace fs = std::filesystem;
+
+namespace accdis
+{
+
+namespace
+{
+
+/** First bytes of every entry file: "ACDC", little-endian. */
+constexpr u32 kMagic = 0x43444341;
+
+/** Suffix of in-flight writes, skipped by eviction accounting. */
+constexpr const char *kTmpInfix = ".tmp.";
+
+u64
+keyDigest(const CacheKey &key, ResultCache::Kind kind)
+{
+    Hasher hasher;
+    hasher.add(key.content);
+    hasher.add(key.inputs);
+    hasher.add(key.config);
+    hasher.add(key.schema);
+    hasher.add(static_cast<u8>(kind));
+    return hasher.digest();
+}
+
+/** Read a whole file; std::nullopt when it cannot be opened/read. */
+std::optional<ByteVec>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    ByteVec data((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+    return data;
+}
+
+} // namespace
+
+ResultCache::ResultCache(Config config) : config_(std::move(config)) {}
+
+std::string
+ResultCache::entryPath(const CacheKey &key, Kind kind) const
+{
+    return config_.dir + "/" + hexDigest(keyDigest(key, kind)) +
+           ".accdis";
+}
+
+std::optional<std::vector<u8>>
+ResultCache::load(const CacheKey &key, Kind kind) const
+{
+    const std::string path = entryPath(key, kind);
+    std::optional<ByteVec> raw = slurp(path);
+    if (!raw) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+
+    // Verify everything the entry claims about itself. Any failure —
+    // truncation, a flipped bit, a stale schema, even a file-name
+    // digest collision — is a bad entry: delete it and miss.
+    try {
+        Decoder dec{ByteSpan(*raw)};
+        if (dec.pod<u32>() != kMagic)
+            throw SerializeError("cache: bad magic");
+        if (dec.pod<u32>() != kSchemaVersion)
+            throw SerializeError("cache: schema version mismatch");
+        CacheKey echo;
+        echo.content = dec.pod<u64>();
+        echo.inputs = dec.pod<u64>();
+        echo.config = dec.pod<u64>();
+        echo.schema = dec.pod<u64>();
+        if (!(echo == key) || dec.pod<u8>() != static_cast<u8>(kind))
+            throw SerializeError("cache: key mismatch");
+        dec.str(); // Producer build id: informational only.
+        u64 payloadHash = dec.pod<u64>();
+        std::vector<u8> payload = dec.bytes();
+        dec.expectEnd();
+        if (contentHash64(ByteSpan(payload)) != payloadHash)
+            throw SerializeError("cache: payload hash mismatch");
+
+        ++stats_.hits;
+        // Refresh the LRU clock. Best effort: a raced eviction or a
+        // read-only store leaves the hit itself intact.
+        std::error_code ec;
+        fs::last_write_time(path, fs::file_time_type::clock::now(),
+                            ec);
+        return payload;
+    } catch (const SerializeError &) {
+        ++stats_.badEntries;
+        ++stats_.misses;
+        std::error_code ec;
+        fs::remove(path, ec);
+        return std::nullopt;
+    }
+}
+
+void
+ResultCache::store(const CacheKey &key, Kind kind,
+                   const std::vector<u8> &payload)
+{
+    Encoder enc;
+    enc.pod(kMagic);
+    enc.pod(kSchemaVersion);
+    enc.pod(key.content);
+    enc.pod(key.inputs);
+    enc.pod(key.config);
+    enc.pod(key.schema);
+    enc.pod(static_cast<u8>(kind));
+    enc.str(gitDescribe());
+    enc.pod(contentHash64(ByteSpan(payload)));
+    enc.bytes(ByteSpan(payload));
+
+    const std::string path = entryPath(key, kind);
+    const std::string tmp =
+        path + kTmpInfix + std::to_string(tmpCounter_.fetch_add(1));
+
+    std::lock_guard<std::mutex> lock(storeMutex_);
+    std::error_code ec;
+    fs::create_directories(config_.dir, ec);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return;
+        const ByteVec &buf = enc.buffer();
+        out.write(reinterpret_cast<const char *>(buf.data()),
+                  static_cast<std::streamsize>(buf.size()));
+        if (!out.good()) {
+            out.close();
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    // rename(2) within one directory is atomic: readers see either
+    // the old complete entry or the new complete entry, never a
+    // partial write.
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return;
+    }
+    ++stats_.stores;
+    evictToFit();
+}
+
+void
+ResultCache::evictToFit()
+{
+    // Caller holds storeMutex_.
+    struct EntryFile
+    {
+        fs::path path;
+        u64 size;
+        fs::file_time_type mtime;
+    };
+
+    std::error_code ec;
+    std::vector<EntryFile> entries;
+    u64 total = 0;
+    for (const auto &dirent : fs::directory_iterator(config_.dir, ec)) {
+        if (!dirent.is_regular_file(ec))
+            continue;
+        const std::string name = dirent.path().filename().string();
+        if (name.find(kTmpInfix) != std::string::npos)
+            continue;
+        u64 size = dirent.file_size(ec);
+        if (ec)
+            continue;
+        entries.push_back({dirent.path(), size,
+                           dirent.last_write_time(ec)});
+        total += size;
+    }
+    if (total <= config_.maxBytes)
+        return;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryFile &a, const EntryFile &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const EntryFile &entry : entries) {
+        if (total <= config_.maxBytes)
+            break;
+        if (fs::remove(entry.path, ec) && !ec) {
+            total -= entry.size;
+            ++stats_.evictions;
+        }
+    }
+}
+
+} // namespace accdis

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Content-addressed on-disk store for serialized analysis artifacts.
+ *
+ * Every entry is one file whose name is the hex digest of its
+ * CacheKey, written atomically (temp file + rename into place) so a
+ * concurrent reader never observes a half-written entry. Loads are
+ * lock-free: an entry unlinked by eviction mid-read keeps its data
+ * until the reader closes it (POSIX semantics).
+ *
+ * The store trusts nothing it reads back. Each entry carries a magic,
+ * the schema version, an echo of its full key and a payload hash; any
+ * mismatch — truncation, bit flips, stale schema, hash collisions in
+ * the file name — counts as a bad entry, deletes the file and falls
+ * back to a miss. Corruption can cost time, never correctness.
+ *
+ * Size is bounded by an LRU cap: hits refresh an entry's mtime and
+ * stores evict oldest-mtime entries until the directory fits.
+ */
+
+#ifndef ACCDIS_CACHE_RESULT_CACHE_HH
+#define ACCDIS_CACHE_RESULT_CACHE_HH
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/serialize.hh"
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/**
+ * The four independent invalidation axes of one cache entry. Entries
+ * are looked up by the digest of all four plus the entry kind, so a
+ * change along any axis is simply a miss, never a wrong hit.
+ */
+struct CacheKey
+{
+    /** Section::contentKey() — bytes, base address and permissions. */
+    u64 content = 0;
+    /** Per-call inputs: entry offsets and auxiliary regions. */
+    u64 inputs = 0;
+    /** engineConfigFingerprint() of the analyzing engine. */
+    u64 config = 0;
+    /** kSchemaVersion ⊕ passRegistryFingerprint(). */
+    u64 schema = 0;
+
+    bool operator==(const CacheKey &) const = default;
+};
+
+/** Monotonic operation counters, shared across threads. */
+struct CacheStats
+{
+    std::atomic<u64> hits{0};
+    std::atomic<u64> misses{0};
+    std::atomic<u64> stores{0};
+    std::atomic<u64> evictions{0};
+    /** Corrupt/stale entries detected (each also counts as a miss). */
+    std::atomic<u64> badEntries{0};
+};
+
+/**
+ * The on-disk store. Payloads are opaque byte vectors; the typed
+ * composition of analysis artifacts lives in cache/analysis_cache.hh.
+ *
+ * Thread safety: load() is lock-free, store() and eviction serialize
+ * on an internal mutex, and the counters are atomic. Multiple
+ * processes may share one directory — atomic renames keep entries
+ * consistent and the worst cross-process race is a redundant store.
+ */
+class ResultCache
+{
+  public:
+    /** Entry kinds; part of the entry's identity. */
+    enum class Kind : u8
+    {
+        Result = 1,   ///< Classification (+ optional explain artifact).
+        Superset = 2, ///< Superset nodes for warm-start re-analysis.
+    };
+
+    struct Config
+    {
+        /** Store directory; created on first store if missing. */
+        std::string dir;
+        /** LRU size cap over all entry files, in bytes. */
+        u64 maxBytes = 256ull << 20;
+    };
+
+    explicit ResultCache(Config config);
+
+    /**
+     * Look up the entry for (@p key, @p kind). Returns the payload on
+     * a verified hit; std::nullopt on a miss. Corrupt or stale
+     * entries are deleted, counted in stats().badEntries and reported
+     * as misses — this function never throws on bad cache contents.
+     */
+    std::optional<std::vector<u8>> load(const CacheKey &key,
+                                        Kind kind) const;
+
+    /**
+     * Write the entry for (@p key, @p kind), replacing any previous
+     * one, then evict oldest entries while the store exceeds its
+     * size cap. I/O failures (e.g. a read-only or full disk) are
+     * swallowed: caching is an optimization, not a guarantee.
+     */
+    void store(const CacheKey &key, Kind kind,
+               const std::vector<u8> &payload);
+
+    const CacheStats &stats() const { return stats_; }
+    const Config &config() const { return config_; }
+
+    /** The entry file path for (@p key, @p kind). */
+    std::string entryPath(const CacheKey &key, Kind kind) const;
+
+  private:
+    void evictToFit();
+
+    Config config_;
+    mutable CacheStats stats_;
+    /** Serializes store()/evictToFit(); load() never takes it. */
+    mutable std::mutex storeMutex_;
+    std::atomic<u64> tmpCounter_{0};
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_CACHE_RESULT_CACHE_HH

@@ -1,0 +1,259 @@
+#include "core/artifact_io.hh"
+
+#include <sstream>
+
+#include "core/context.hh"
+#include "core/engine.hh"
+#include "core/pass.hh"
+#include "prob/ngram.hh"
+
+namespace accdis
+{
+
+void
+encodeClassification(Encoder &enc, const Classification &result)
+{
+    enc.intervalMap(result.map);
+    enc.podVec(result.insnStarts);
+    enc.intervalMap(result.provenance);
+    const Classification::Stats &stats = result.stats;
+    enc.varint(stats.evidenceProcessed);
+    enc.varint(stats.conflicts);
+    enc.varint(stats.rollbacks);
+    enc.varint(stats.mustFaultOffsets);
+    enc.varint(stats.jumpTablesFound);
+    enc.varint(stats.dataPatternBytes);
+    enc.varint(stats.gapBytes);
+    enc.varint(stats.supersetBytes);
+    enc.podVec(stats.committedPerPhase);
+}
+
+Classification
+decodeClassification(Decoder &dec)
+{
+    Classification result;
+    result.map = dec.intervalMap<ResultClass>();
+    result.insnStarts = dec.podVec<Offset>();
+    result.provenance = dec.intervalMap<u8>();
+    Classification::Stats &stats = result.stats;
+    stats.evidenceProcessed = dec.varint();
+    stats.conflicts = dec.varint();
+    stats.rollbacks = dec.varint();
+    stats.mustFaultOffsets = dec.varint();
+    stats.jumpTablesFound = dec.varint();
+    stats.dataPatternBytes = dec.varint();
+    stats.gapBytes = dec.varint();
+    stats.supersetBytes = dec.varint();
+    stats.committedPerPhase = dec.podVec<u64>();
+    return result;
+}
+
+void
+encodeSuperset(Encoder &enc, const Superset &superset)
+{
+    enc.varint(superset.validCount());
+    enc.podVec(superset.nodes());
+}
+
+Superset
+decodeSuperset(Decoder &dec, ByteSpan bytes)
+{
+    u64 validCount = dec.varint();
+    std::vector<SupersetNode> nodes = dec.podVec<SupersetNode>();
+    if (nodes.size() != bytes.size())
+        throw SerializeError(
+            "superset artifact does not match the section size");
+    return Superset(bytes, std::move(nodes), validCount);
+}
+
+ExplainArtifact
+captureExplain(const AnalysisContext &ctx)
+{
+    ExplainArtifact artifact;
+    artifact.reasons = ctx.ledger.reasons();
+    for (const auto &event : ctx.ledger.events()) {
+        artifact.events.push_back(
+            {static_cast<u8>(event.kind), event.id, event.byId});
+    }
+    for (const Commitment &commit : ctx.commits) {
+        ExplainArtifact::Commit out;
+        out.prio = static_cast<u8>(commit.prio);
+        out.source = commit.source;
+        out.reasonId = commit.reasonId;
+        out.ranges = commit.ranges;
+        artifact.commits.push_back(std::move(out));
+    }
+    artifact.state = ctx.state;
+    artifact.owner = ctx.owner;
+    return artifact;
+}
+
+std::string
+renderExplain(const ExplainArtifact &artifact, Offset off)
+{
+    if (off >= artifact.state.size())
+        return "";
+
+    auto reasonOf = [&](u32 id) -> const std::string & {
+        static const std::string kEmpty;
+        return id < artifact.reasons.size() ? artifact.reasons[id]
+                                            : kEmpty;
+    };
+    auto prioOf = [](u8 level) {
+        return priorityName(static_cast<Priority>(level));
+    };
+
+    std::ostringstream out;
+    for (const auto &event : artifact.events) {
+        if (event.id >= artifact.commits.size())
+            continue;
+        const ExplainArtifact::Commit &commit =
+            artifact.commits[event.id];
+        if (!commit.covers(off))
+            continue;
+        if (event.kind == 0) {
+            out << "commit #" << event.id << " ["
+                << prioOf(commit.prio) << "] by " << commit.source;
+            const std::string &reason = reasonOf(commit.reasonId);
+            if (!reason.empty())
+                out << ": " << reason;
+            out << "\n";
+        } else if (event.byId < artifact.commits.size()) {
+            const ExplainArtifact::Commit &by =
+                artifact.commits[event.byId];
+            out << "rollback #" << event.id << " (evicted by #"
+                << event.byId << " [" << prioOf(by.prio) << "] from "
+                << by.source << ")\n";
+        }
+    }
+
+    u8 state = artifact.state[off];
+    const char *cls = state == AnalysisContext::kCode   ? "code"
+                      : state == AnalysisContext::kData ? "data"
+                                                        : "unknown";
+    out << "final: " << cls;
+    u32 holder = off < artifact.owner.size() ? artifact.owner[off] : 0;
+    if (holder != 0 && holder < artifact.commits.size()) {
+        const ExplainArtifact::Commit &commit =
+            artifact.commits[holder];
+        out << ", owner #" << holder << " [" << prioOf(commit.prio)
+            << "] by " << commit.source;
+        const std::string &reason = reasonOf(commit.reasonId);
+        if (!reason.empty())
+            out << ": " << reason;
+    }
+    out << "\n";
+    return out.str();
+}
+
+void
+encodeExplain(Encoder &enc, const ExplainArtifact &artifact)
+{
+    enc.varint(artifact.reasons.size());
+    for (const std::string &reason : artifact.reasons)
+        enc.str(reason);
+    enc.podVec(artifact.events);
+    enc.varint(artifact.commits.size());
+    for (const ExplainArtifact::Commit &commit : artifact.commits) {
+        enc.pod(commit.prio);
+        enc.str(commit.source);
+        enc.pod(commit.reasonId);
+        enc.varint(commit.ranges.size());
+        for (const auto &[begin, end] : commit.ranges) {
+            enc.varint(begin);
+            enc.varint(end);
+        }
+    }
+    enc.podVec(artifact.state);
+    enc.podVec(artifact.owner);
+}
+
+ExplainArtifact
+decodeExplain(Decoder &dec)
+{
+    ExplainArtifact artifact;
+    u64 reasons = dec.varint();
+    for (u64 i = 0; i < reasons; ++i)
+        artifact.reasons.push_back(dec.str());
+    artifact.events = dec.podVec<ExplainArtifact::Event>();
+    u64 commits = dec.varint();
+    for (u64 i = 0; i < commits; ++i) {
+        ExplainArtifact::Commit commit;
+        commit.prio = dec.pod<u8>();
+        commit.source = dec.str();
+        commit.reasonId = dec.pod<u32>();
+        u64 ranges = dec.varint();
+        commit.ranges.reserve(ranges);
+        for (u64 r = 0; r < ranges; ++r) {
+            Offset begin = dec.varint();
+            Offset end = dec.varint();
+            commit.ranges.emplace_back(begin, end);
+        }
+        artifact.commits.push_back(std::move(commit));
+    }
+    artifact.state = dec.podVec<u8>();
+    artifact.owner = dec.podVec<u32>();
+    return artifact;
+}
+
+u64
+engineConfigFingerprint(const EngineConfig &config)
+{
+    Hasher hasher;
+    hasher.add(static_cast<u8>(config.useFlowAnalysis));
+    hasher.add(static_cast<u8>(config.useDefUse));
+    hasher.add(static_cast<u8>(config.useProbModel));
+    hasher.add(static_cast<u8>(config.useDataPatterns));
+    hasher.add(static_cast<u8>(config.useJumpTables));
+    hasher.add(static_cast<u8>(config.useIndirectFlow));
+    hasher.add(static_cast<u8>(config.useErrorCorrection));
+    hasher.add(config.codeThreshold);
+    hasher.add(config.defUseWeight);
+    hasher.add(config.poisonWeight);
+
+    hasher.add(static_cast<u8>(config.flow.escapingBranchIsFatal));
+    hasher.add(config.flow.poisonDecay);
+    hasher.add(config.flow.maxPasses);
+
+    // Per-call fields (auxRegions, sectionBase) are deliberately
+    // excluded here: the cache key hashes the actual per-section
+    // inputs separately.
+    hasher.add(config.jumpTables.minEntries);
+    hasher.add(config.jumpTables.maxEntries);
+    hasher.add(config.jumpTables.idiomWindow);
+    hasher.add(
+        static_cast<u8>(config.jumpTables.requireBackwardTargets));
+
+    hasher.add(config.patterns.minStringRun);
+    hasher.add(config.patterns.minPrintableFraction);
+    hasher.add(config.patterns.minZeroRun);
+    hasher.add(config.patterns.minPointerEntries);
+
+    hasher.add(config.scorer.window);
+
+    // A custom model changes every score: fingerprint its full
+    // content, not its address. The nullptr default selects
+    // defaultProbModel(), whose training is deterministic — behavior
+    // changes there require a kSchemaVersion bump (see file comment).
+    if (config.model != nullptr) {
+        hasher.add(static_cast<u8>(1));
+        hasher.add(ByteSpan(config.model->code.serialize()));
+        hasher.add(ByteSpan(config.model->data.serialize()));
+    } else {
+        hasher.add(static_cast<u8>(0));
+    }
+    return hasher.digest();
+}
+
+u64
+passRegistryFingerprint(const PassManager &passes)
+{
+    Hasher hasher;
+    for (const EvidencePass *pass : passes.schedule()) {
+        hasher.add(std::string(pass->name()));
+        hasher.add(static_cast<u8>(passes.enabled(pass->name())));
+    }
+    return hasher.digest();
+}
+
+} // namespace accdis

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Round-trip serialization of the engine's analysis artifacts and the
+ * fingerprints that key them in the result cache.
+ *
+ * Three artifacts are serializable:
+ *
+ *  - Classification — the full engine output (code/data map,
+ *    instruction starts, provenance and Stats); a deserialized value
+ *    compares operator== to the original.
+ *  - Superset — the per-offset decode nodes, rebound to the section
+ *    bytes on load so a warm re-analysis can skip the superset decode
+ *    pass entirely (the nodes are a pure function of the bytes).
+ *  - ExplainArtifact — a self-contained snapshot of the provenance
+ *    ledger, the commitments and the final per-byte state, enough to
+ *    render `accdis_cli --explain` for any byte without re-analysis.
+ *
+ * The cache key is (Section::contentKey, per-call input hash,
+ * engineConfigFingerprint, kSchemaVersion ⊕ passRegistryFingerprint):
+ * any ablation flag, tunable, pass-set or schema change invalidates
+ * cleanly. Changing engine *behavior* without changing any of those
+ * (e.g. retuning a pass's internal constants or the default model
+ * training) MUST bump kSchemaVersion — that is the contract that
+ * makes a warm hit byte-identical to a cold run.
+ */
+
+#ifndef ACCDIS_CORE_ARTIFACT_IO_HH
+#define ACCDIS_CORE_ARTIFACT_IO_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.hh"
+#include "superset/superset.hh"
+#include "support/serialize.hh"
+
+namespace accdis
+{
+
+struct EngineConfig;
+class PassManager;
+class AnalysisContext;
+
+// --- Classification ---------------------------------------------------
+
+/** Append @p result to @p enc (decode with decodeClassification). */
+void encodeClassification(Encoder &enc, const Classification &result);
+
+/** Decode one Classification. @throws SerializeError on bad input. */
+Classification decodeClassification(Decoder &dec);
+
+// --- Superset (warm-start artifact) -----------------------------------
+
+/** Append the superset nodes of @p superset to @p enc. */
+void encodeSuperset(Encoder &enc, const Superset &superset);
+
+/**
+ * Decode a superset and rebind it to @p bytes. @throws SerializeError
+ * when the node count does not match the section size — loading a
+ * superset against different bytes is always a caller bug or cache
+ * corruption, never recoverable.
+ */
+Superset decodeSuperset(Decoder &dec, ByteSpan bytes);
+
+// --- Explain artifact -------------------------------------------------
+
+/**
+ * Self-contained snapshot of everything `--explain` needs: the
+ * interned reasons, the commit/rollback event stream, the commitments
+ * (with their sources lifted to owned strings) and the final per-byte
+ * state/owner maps.
+ */
+struct ExplainArtifact
+{
+    struct Event
+    {
+        u8 kind = 0; ///< 0 = commit, 1 = rollback.
+        u32 id = 0;
+        u32 byId = 0;
+    };
+
+    struct Commit
+    {
+        u8 prio = 0; ///< core Priority level.
+        std::string source;
+        u32 reasonId = 0;
+        std::vector<std::pair<Offset, Offset>> ranges;
+
+        bool
+        covers(Offset off) const
+        {
+            for (const auto &[begin, end] : ranges) {
+                if (off >= begin && off < end)
+                    return true;
+            }
+            return false;
+        }
+    };
+
+    std::vector<std::string> reasons;
+    std::vector<Event> events;
+    std::vector<Commit> commits;
+    /** Final AnalysisContext::ByteState per byte. */
+    std::vector<u8> state;
+    /** Final owning commitment id per byte (0 = none). */
+    std::vector<u32> owner;
+};
+
+/** Snapshot the explain state of a finished analysis context. */
+ExplainArtifact captureExplain(const AnalysisContext &ctx);
+
+/**
+ * Render the commit/rollback chain that decided @p off, identically
+ * to AnalysisContext::explain (which is implemented on top of this).
+ */
+std::string renderExplain(const ExplainArtifact &artifact, Offset off);
+
+void encodeExplain(Encoder &enc, const ExplainArtifact &artifact);
+ExplainArtifact decodeExplain(Decoder &dec);
+
+// --- Fingerprints (cache-key components) ------------------------------
+
+/**
+ * Stable 64-bit fingerprint of every EngineConfig field that affects
+ * analysis results: the ablation flags, thresholds and weights, the
+ * per-analysis tunables, and the full content of a custom ProbModel
+ * when one is set (per-call fields like aux regions and section bases
+ * are keyed separately; pure observers like passTimes and
+ * recordProvenance are excluded).
+ */
+u64 engineConfigFingerprint(const EngineConfig &config);
+
+/**
+ * Fingerprint of the pass registry: every pass name in schedule order
+ * plus its enablement. Registering, removing, reordering or toggling
+ * any pass changes the fingerprint — and therefore the cache key.
+ */
+u64 passRegistryFingerprint(const PassManager &passes);
+
+} // namespace accdis
+
+#endif // ACCDIS_CORE_ARTIFACT_IO_HH

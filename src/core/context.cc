@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <sstream>
 
 #include "analysis/defuse.hh"
+#include "core/artifact_io.hh"
 #include "core/engine.hh"
 
 namespace accdis
@@ -362,45 +362,10 @@ AnalysisContext::finish() const
 std::string
 AnalysisContext::explain(Offset off) const
 {
-    if (off >= state.size())
-        return "";
-
-    std::ostringstream out;
-    for (const auto &event : ledger.events()) {
-        const Commitment &commit = commits[event.id];
-        if (!commit.covers(off))
-            continue;
-        if (event.kind == ProvenanceLedger::Event::Kind::Commit) {
-            out << "commit #" << event.id << " ["
-                << priorityName(commit.prio) << "] by "
-                << commit.source;
-            const std::string &reason = ledger.reason(commit.reasonId);
-            if (!reason.empty())
-                out << ": " << reason;
-            out << "\n";
-        } else {
-            const Commitment &by = commits[event.byId];
-            out << "rollback #" << event.id << " (evicted by #"
-                << event.byId << " [" << priorityName(by.prio)
-                << "] from " << by.source << ")\n";
-        }
-    }
-
-    const char *cls = state[off] == kCode    ? "code"
-                      : state[off] == kData ? "data"
-                                            : "unknown";
-    out << "final: " << cls;
-    u32 holder = owner[off];
-    if (holder != 0) {
-        const Commitment &commit = commits[holder];
-        out << ", owner #" << holder << " ["
-            << priorityName(commit.prio) << "] by " << commit.source;
-        const std::string &reason = ledger.reason(commit.reasonId);
-        if (!reason.empty())
-            out << ": " << reason;
-    }
-    out << "\n";
-    return out.str();
+    // One renderer serves both the live context and cached explain
+    // artifacts (`--explain` without re-analysis), so the two can
+    // never drift apart.
+    return renderExplain(captureExplain(*this), off);
 }
 
 } // namespace accdis

@@ -129,6 +129,9 @@ class ProvenanceLedger
 
     const std::string &reason(u32 id) const { return reasons_[id]; }
 
+    /** All interned reasons, by id (serialization). */
+    const std::vector<std::string> &reasons() const { return reasons_; }
+
     /** One ledger event, in engine execution order. */
     struct Event
     {

@@ -67,10 +67,34 @@ DisassemblyEngine::analyzeSection(
     ByteSpan bytes, const std::vector<Offset> &entryOffsets,
     Addr sectionBase, const std::vector<AuxRegion> &auxRegions) const
 {
+    return analyzeSectionWith(bytes, entryOffsets, sectionBase,
+                              auxRegions, {});
+}
+
+Classification
+DisassemblyEngine::analyzeSectionWith(
+    ByteSpan bytes, const std::vector<Offset> &entryOffsets,
+    Addr sectionBase, const std::vector<AuxRegion> &auxRegions,
+    const AnalyzeOptions &options) const
+{
+    bool recordLedger =
+        config_.recordProvenance || options.explainOut != nullptr;
     AnalysisContext ctx(config_, bytes, entryOffsets, sectionBase,
-                        auxRegions, config_.recordProvenance);
+                        auxRegions, recordLedger);
+    if (options.warmSuperset != nullptr) {
+        // Seed the slot before the passes run; the superset decode
+        // pass sees it present and skips the per-offset re-decode.
+        // The cache's content-hash key guarantees the nodes belong
+        // to exactly these bytes.
+        ctx.superset.emplace(*options.warmSuperset);
+    }
     passes_.run(ctx, config_.passTimes);
-    return ctx.finish();
+    Classification result = ctx.finish();
+    if (options.explainOut != nullptr)
+        *options.explainOut = captureExplain(ctx);
+    if (options.supersetOut != nullptr && ctx.superset.present())
+        options.supersetOut->emplace(ctx.superset.get());
+    return result;
 }
 
 std::string
@@ -79,10 +103,12 @@ DisassemblyEngine::explainSection(
     Offset target, Addr sectionBase,
     const std::vector<AuxRegion> &auxRegions) const
 {
-    AnalysisContext ctx(config_, bytes, entryOffsets, sectionBase,
-                        auxRegions, /*recordLedger=*/true);
-    passes_.run(ctx, config_.passTimes);
-    return ctx.explain(target);
+    ExplainArtifact artifact;
+    AnalyzeOptions options;
+    options.explainOut = &artifact;
+    analyzeSectionWith(bytes, entryOffsets, sectionBase, auxRegions,
+                       options);
+    return renderExplain(artifact, target);
 }
 
 std::vector<DisassemblyEngine::SectionResult>

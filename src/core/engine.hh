@@ -26,9 +26,11 @@
 #ifndef ACCDIS_CORE_ENGINE_HH
 #define ACCDIS_CORE_ENGINE_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/artifact_io.hh"
 #include "core/context.hh"
 #include "core/pass.hh"
 #include "core/result.hh"
@@ -117,6 +119,28 @@ class DisassemblyEngine
   public:
     explicit DisassemblyEngine(EngineConfig config = {});
 
+    /** Optional extras threaded through one analyzeSection call. */
+    struct AnalyzeOptions
+    {
+        /**
+         * Pre-built superset decode of exactly the analyzed bytes
+         * (a deserialized cache artifact); the superset decode pass
+         * then skips its rebuild. nullptr decodes from scratch.
+         */
+        const Superset *warmSuperset = nullptr;
+        /**
+         * When non-null, run with the provenance ledger recording
+         * (regardless of EngineConfig::recordProvenance) and capture
+         * the explain artifact of the finished analysis.
+         */
+        ExplainArtifact *explainOut = nullptr;
+        /**
+         * When non-null, receives a copy of the run's superset decode
+         * after the passes finish — the warm-start cache artifact.
+         */
+        std::optional<Superset> *supersetOut = nullptr;
+    };
+
     /**
      * Classify one executable section. @p entryOffsets are known
      * section-relative entry points (possibly empty for fully
@@ -128,6 +152,12 @@ class DisassemblyEngine
         ByteSpan bytes, const std::vector<Offset> &entryOffsets,
         Addr sectionBase = 0,
         const std::vector<AuxRegion> &auxRegions = {}) const;
+
+    /** analyzeSection with warm-start/explain options applied. */
+    Classification analyzeSectionWith(
+        ByteSpan bytes, const std::vector<Offset> &entryOffsets,
+        Addr sectionBase, const std::vector<AuxRegion> &auxRegions,
+        const AnalyzeOptions &options) const;
 
     /**
      * Re-analyze one section with the provenance ledger recording and

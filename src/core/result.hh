@@ -53,6 +53,8 @@ struct Classification
         u64 supersetBytes = 0;
         /** Errors-remaining trace per correction phase (figure F4). */
         std::vector<u64> committedPerPhase;
+
+        bool operator==(const Stats &) const = default;
     } stats;
 
     /** True when @p off was recovered as an instruction start. */
@@ -65,6 +67,17 @@ struct Classification
 
     /** Total bytes classified as the given class. */
     u64 bytesOf(ResultClass cls) const { return map.totalBytes(cls); }
+
+    /**
+     * Full structural equality, including provenance and Stats — the
+     * bar a cache hit must clear against a cold run.
+     */
+    bool
+    operator==(const Classification &other) const
+    {
+        return map == other.map && insnStarts == other.insnStarts &&
+               provenance == other.provenance && stats == other.stats;
+    }
 };
 
 } // namespace accdis

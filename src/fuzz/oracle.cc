@@ -1,6 +1,11 @@
 #include "fuzz/oracle.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <sstream>
 
@@ -209,6 +214,122 @@ classifyBaselineDivergence(const Classification &engine,
     }
 }
 
+/** Full operator== comparison of two single-image batch reports. */
+bool
+sameResults(const pipeline::BatchReport &a,
+            const pipeline::BatchReport &b)
+{
+    if (a.results.size() != b.results.size())
+        return false;
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        const pipeline::BinaryResult &lhs = a.results[i];
+        const pipeline::BinaryResult &rhs = b.results[i];
+        if (!lhs.ok() || !rhs.ok() ||
+            lhs.sections.size() != rhs.sections.size())
+            return false;
+        for (std::size_t s = 0; s < lhs.sections.size(); ++s) {
+            if (lhs.sections[s].name != rhs.sections[s].name ||
+                lhs.sections[s].base != rhs.sections[s].base ||
+                !(lhs.sections[s].result == rhs.sections[s].result))
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Damage one cache entry: drop its tail or flip its last byte (the
+ *  last byte is always payload, so a flip must trip the payload
+ *  hash; a truncation must trip the bounds-checked decoder). */
+void
+corruptEntry(const std::filesystem::path &path, bool truncate)
+{
+    std::error_code ec;
+    auto size = std::filesystem::file_size(path, ec);
+    if (ec || size == 0)
+        return;
+    if (truncate) {
+        std::filesystem::resize_file(path, size / 2, ec);
+        return;
+    }
+    std::fstream file(path, std::ios::in | std::ios::out |
+                                std::ios::binary);
+    if (!file)
+        return;
+    file.seekg(-1, std::ios::end);
+    char byte = 0;
+    file.get(byte);
+    file.seekp(-1, std::ios::end);
+    file.put(static_cast<char>(byte ^ 0x01));
+}
+
+/**
+ * The cache-consistency oracle: cold run populates a throwaway cache,
+ * a warm replay must be served entirely from it with identical
+ * results, and after every entry is corrupted a third run must detect
+ * the damage, survive it, and still match the cold results.
+ */
+void
+checkCacheConsistency(const Mutant &mutant,
+                      const OracleOptions &options,
+                      Collector &collector)
+{
+    namespace fs = std::filesystem;
+    static std::atomic<u64> scratchCounter{0};
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("accdis-fuzz-cache-" + std::to_string(::getpid()) + "-" +
+         std::to_string(scratchCounter.fetch_add(1)));
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+
+    pipeline::BatchConfig config;
+    config.jobs = 1;
+    config.engine = options.engine;
+    config.cacheDir = dir.string();
+    pipeline::BatchAnalyzer analyzer(config);
+
+    pipeline::BatchReport cold = analyzer.run({&mutant.image});
+    if (cold.results.size() != 1 || !cold.results[0].ok()) {
+        collector.report("cache-consistency", "cold-error",
+                         "cold cached run failed on " +
+                             mutant.image.name());
+        fs::remove_all(dir, ec);
+        return;
+    }
+
+    pipeline::BatchReport warm = analyzer.run({&mutant.image});
+    if (warm.cache.misses != 0 || warm.cache.hits == 0) {
+        collector.report("cache-consistency", "warm-miss",
+                         "warm replay was not served 100% from cache "
+                         "on " + mutant.image.name());
+    } else if (!sameResults(cold, warm)) {
+        collector.report("cache-consistency", "warm-mismatch",
+                         "warm cache hit differs from cold run on " +
+                             mutant.image.name());
+    }
+
+    // Corrupt every entry, alternating truncation and bit flips.
+    bool truncate = true;
+    for (const auto &dirent : fs::directory_iterator(dir, ec)) {
+        if (!dirent.is_regular_file(ec))
+            continue;
+        corruptEntry(dirent.path(), truncate);
+        truncate = !truncate;
+    }
+    pipeline::BatchReport damaged = analyzer.run({&mutant.image});
+    if (damaged.cache.badEntries == 0) {
+        collector.report("cache-consistency", "corruption-missed",
+                         "corrupted entries went undetected on " +
+                             mutant.image.name());
+    }
+    if (!sameResults(cold, damaged)) {
+        collector.report("cache-consistency", "corrupt-mismatch",
+                         "run over a corrupted cache differs from "
+                         "the cold run on " + mutant.image.name());
+    }
+    fs::remove_all(dir, ec);
+}
+
 } // namespace
 
 std::vector<Divergence>
@@ -315,6 +436,10 @@ runOracles(const Mutant &mutant, const OracleOptions &options)
                                  mutant.image.name());
         }
     }
+
+    // --- Result-cache round-trip and corruption resilience ----------
+    if (options.checkCache)
+        checkCacheConsistency(mutant, options, collector);
 
     // --- Structural validity of every produced classification -------
     for (const auto &sec : first) {

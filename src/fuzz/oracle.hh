@@ -20,6 +20,11 @@
  *    that land on code-classified bytes;
  *  - engine-determinism: two serial runs agree byte-for-byte, and a
  *    BatchAnalyzer run agrees with serial at any job count;
+ *  - cache-consistency: a warm result-cache replay is served 100%
+ *    from disk and compares operator== to the cold run, and after
+ *    every entry is corrupted (truncated or bit-flipped) the replay
+ *    detects the damage (cache.bad_entry rises), never crashes, and
+ *    still reproduces the cold results exactly;
  *  - ec-monotonicity (pristine binaries only): enabling prioritized
  *    error correction never increases the ground-truth error count;
  *  - recursive-soundness (pristine binaries only): every instruction
@@ -89,6 +94,9 @@ struct OracleOptions
     /** Run baselines for the divergence histogram and their
      *  well-formedness / soundness checks. */
     bool checkBaselines = true;
+    /** Run the result-cache cold/warm/corrupted consistency check
+     *  (three extra batch runs against a throwaway cache dir). */
+    bool checkCache = true;
     /** Engine configuration under test. */
     EngineConfig engine;
 };

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "support/serialize.hh"
 #include "support/types.hh"
 
 namespace accdis
@@ -61,6 +62,28 @@ class Section
 
     /** Section-relative offset of @p addr. @pre containsVaddr(addr). */
     Offset toOffset(Addr addr) const { return addr - base_; }
+
+    /**
+     * Content identity of the section for result caching: a stable
+     * 64-bit hash of the payload bytes, the virtual base address and
+     * the permission flags. Two sections with equal contentKey()s
+     * produce byte-identical analyses under equal engine
+     * configurations (the name is deliberately excluded — renaming
+     * .text does not change what the bytes mean). Computed on demand
+     * and not cached so const Sections stay shareable across threads
+     * without synchronization.
+     */
+    u64
+    contentKey() const
+    {
+        Hasher hasher;
+        hasher.add(ByteSpan(bytes_));
+        hasher.add(base_);
+        hasher.add(static_cast<u8>(flags_.executable));
+        hasher.add(static_cast<u8>(flags_.writable));
+        hasher.add(static_cast<u8>(flags_.initialized));
+        return hasher.digest();
+    }
 
   private:
     std::string name_;

@@ -1,8 +1,12 @@
 #include "pipeline/batch.hh"
 
+#include <atomic>
 #include <chrono>
+#include <memory>
+#include <optional>
 #include <utility>
 
+#include "cache/analysis_cache.hh"
 #include "prob/ngram.hh"
 #include "support/error.hh"
 
@@ -46,20 +50,82 @@ planBinary(const BinaryImage &image)
     return plan;
 }
 
+/** Shared per-run cache state, read-only config plus atomics. */
+struct CacheRuntime
+{
+    ResultCache store;
+    bool verify = false;
+    bool explain = false;
+    std::atomic<u64> verified{0};
+    std::atomic<u64> verifyMismatches{0};
+
+    explicit CacheRuntime(ResultCache::Config config)
+        : store(std::move(config))
+    {}
+};
+
 /** Analyze one executable section of a planned binary. */
 DisassemblyEngine::SectionResult
 analyzePlanned(const DisassemblyEngine &engine, const BinaryPlan &plan,
-               std::size_t which)
+               std::size_t which, CacheRuntime *cache)
 {
     const Section &section =
         plan.image->section(plan.execSections[which]);
     DisassemblyEngine::SectionResult result;
     result.name = section.name();
     result.base = section.base();
-    result.result = engine.analyzeSection(section.bytes(),
-                                          plan.entries[which],
-                                          section.base(),
-                                          plan.auxRegions);
+    if (cache == nullptr) {
+        result.result = engine.analyzeSection(section.bytes(),
+                                              plan.entries[which],
+                                              section.base(),
+                                              plan.auxRegions);
+        return result;
+    }
+
+    const CacheKey key =
+        makeCacheKey(section.contentKey(), plan.entries[which],
+                     section.base(), plan.auxRegions, engine);
+    if (auto cached = loadCachedResult(cache->store, key)) {
+        if (!cache->verify) {
+            result.result = std::move(cached->result);
+            return result;
+        }
+        // Paranoia path: the hit only counts if a cold run agrees
+        // byte for byte (map, starts, provenance AND stats).
+        Classification cold = engine.analyzeSection(
+            section.bytes(), plan.entries[which], section.base(),
+            plan.auxRegions);
+        ++cache->verified;
+        if (!(cold == cached->result)) {
+            ++cache->verifyMismatches;
+            throw Error("cache: verification mismatch for section " +
+                        result.name + " of " + plan.image->name());
+        }
+        result.result = std::move(cold);
+        return result;
+    }
+
+    // Result miss. A cached superset for these bytes (keyed on
+    // content + schema only) still warm-starts the analysis even when
+    // a config change invalidated the result entry.
+    std::optional<Superset> warm =
+        loadCachedSuperset(cache->store, key, section.bytes());
+    std::optional<Superset> decoded;
+    ExplainArtifact explain;
+    DisassemblyEngine::AnalyzeOptions options;
+    if (warm)
+        options.warmSuperset = &*warm;
+    else
+        options.supersetOut = &decoded;
+    if (cache->explain)
+        options.explainOut = &explain;
+    result.result = engine.analyzeSectionWith(
+        section.bytes(), plan.entries[which], section.base(),
+        plan.auxRegions, options);
+    storeCachedResult(cache->store, key, result.result,
+                      cache->explain ? &explain : nullptr);
+    if (decoded)
+        storeCachedSuperset(cache->store, key, *decoded);
     return result;
 }
 
@@ -82,6 +148,16 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
     PassTimes passTimes;
     engineConfig.passTimes = &passTimes;
     const DisassemblyEngine engine(engineConfig);
+
+    std::unique_ptr<CacheRuntime> cacheRt;
+    if (!config_.cacheDir.empty()) {
+        cacheRt = std::make_unique<CacheRuntime>(
+            ResultCache::Config{config_.cacheDir,
+                                config_.cacheMaxBytes});
+        cacheRt->verify = config_.cacheVerify;
+        cacheRt->explain = config_.cacheExplain;
+    }
+    CacheRuntime *cache = cacheRt.get();
 
     BatchReport report;
     report.results.resize(images.size());
@@ -114,8 +190,8 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
                 for (std::size_t s = 0; s < plan.execSections.size();
                      ++s) {
                     futures[i].push_back(pool.submit([&engine, &plan,
-                                                      s] {
-                        return analyzePlanned(engine, plan, s);
+                                                      s, cache] {
+                        return analyzePlanned(engine, plan, s, cache);
                     }));
                 }
             } else if (!plan.execSections.empty()) {
@@ -126,7 +202,7 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
                     plan.execSections.size());
                 for (auto &p : *promise)
                     futures[i].push_back(p.get_future());
-                pool.submit([&engine, &plan, promise] {
+                pool.submit([&engine, &plan, promise, cache] {
                     // Cache the count: after the final set_value the
                     // joiner may race ahead, so the loop must not
                     // read plan again.
@@ -135,7 +211,8 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
                     for (std::size_t s = 0; s < count; ++s) {
                         try {
                             promise->at(s).set_value(
-                                analyzePlanned(engine, plan, s));
+                                analyzePlanned(engine, plan, s,
+                                               cache));
                         } catch (...) {
                             promise->at(s).set_exception(
                                 std::current_exception());
@@ -167,6 +244,19 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
             .count();
     report.passTimes = passTimes.snapshot();
 
+    if (cache != nullptr) {
+        const CacheStats &stats = cache->store.stats();
+        report.cache.enabled = true;
+        report.cache.hits = stats.hits.load();
+        report.cache.misses = stats.misses.load();
+        report.cache.stores = stats.stores.load();
+        report.cache.evictions = stats.evictions.load();
+        report.cache.badEntries = stats.badEntries.load();
+        report.cache.verified = cache->verified.load();
+        report.cache.verifyMismatches =
+            cache->verifyMismatches.load();
+    }
+
     if (metrics_) {
         metrics_->counter("batch.binaries").add(images.size());
         u64 sections = 0, failed = 0, supersetBytes = 0;
@@ -189,6 +279,23 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
         metrics_->counter("pool.max_queue_depth")
             .set(report.pool.maxQueueDepth);
         metrics_->counter("superset.bytes").add(supersetBytes);
+        if (report.cache.enabled) {
+            metrics_->counter("cache.hits").add(report.cache.hits);
+            metrics_->counter("cache.misses")
+                .add(report.cache.misses);
+            metrics_->counter("cache.stores")
+                .add(report.cache.stores);
+            metrics_->counter("cache.evictions")
+                .add(report.cache.evictions);
+            metrics_->counter("cache.bad_entry")
+                .add(report.cache.badEntries);
+            metrics_->counter("cache.verified")
+                .add(report.cache.verified);
+            metrics_->counter("cache.verify_mismatches")
+                .add(report.cache.verifyMismatches);
+            metrics_->counter("cache.hit_rate_pct")
+                .set(static_cast<u64>(report.cache.hitRate() * 100.0));
+        }
         for (const PassTimes::Entry &entry : report.passTimes)
             metrics_->timer("pass." + entry.name)
                 .merge(entry.nanos, entry.calls);

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hh"
 #include "core/engine.hh"
 #include "image/binary_image.hh"
 #include "pipeline/metrics.hh"
@@ -38,6 +39,30 @@ struct BatchConfig
     bool splitSections = true;
     /** Engine configuration applied to every binary. */
     EngineConfig engine;
+
+    /**
+     * Result-cache directory; empty disables caching. Unchanged
+     * sections (same bytes, entries, aux regions, engine config and
+     * pass registry) are served from disk and skip analysis entirely;
+     * changed sections warm-start from a cached superset when one
+     * matches their content.
+     */
+    std::string cacheDir;
+    /** LRU size cap of the cache directory, in bytes. */
+    u64 cacheMaxBytes = 256ull << 20;
+    /**
+     * Paranoia mode: on every cache hit ALSO run the cold analysis
+     * and fail the binary unless the cached result is byte-identical
+     * (operator==, including provenance and Stats). Costs a full cold
+     * run per hit; for CI and cache debugging.
+     */
+    bool cacheVerify = false;
+    /**
+     * Record provenance on cold runs and bundle the explain artifact
+     * into each stored result entry so `--explain` can later answer
+     * from the cache without re-analysis.
+     */
+    bool cacheExplain = false;
 };
 
 /** Analysis outcome of one binary within a batch. */
@@ -71,6 +96,33 @@ struct BatchReport
     /** Per-pass engine times accumulated across the whole batch,
      *  keyed by pass name, covering every registered pass that ran. */
     PassTimes::Snapshot passTimes;
+
+    /** Result-cache activity of the run (all zero when disabled). */
+    struct CacheSummary
+    {
+        bool enabled = false;
+        u64 hits = 0;
+        u64 misses = 0;
+        u64 stores = 0;
+        u64 evictions = 0;
+        u64 badEntries = 0;
+        /** Hits re-run cold under cacheVerify. */
+        u64 verified = 0;
+        /** Verified hits that were NOT byte-identical (each also
+         *  fails its binary with an error). */
+        u64 verifyMismatches = 0;
+
+        double
+        hitRate() const
+        {
+            u64 total = hits + misses;
+            return total > 0
+                       ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+        }
+    };
+    CacheSummary cache;
 
     /** Throughput in bytes per second (0 when wallSeconds is 0). */
     double

@@ -1,9 +1,20 @@
 #include "superset/superset.hh"
 
+#include <utility>
+
+#include "support/error.hh"
 #include "x86/decoder.hh"
 
 namespace accdis
 {
+
+Superset::Superset(ByteSpan bytes, std::vector<SupersetNode> nodes,
+                   u64 validCount)
+    : bytes_(bytes), nodes_(std::move(nodes)), validCount_(validCount)
+{
+    if (nodes_.size() != bytes.size())
+        throw Error("superset: warm-start node count mismatch");
+}
 
 Superset::Superset(ByteSpan bytes) : bytes_(bytes)
 {

@@ -138,6 +138,16 @@ class Superset
     /** Decode every offset of @p bytes. */
     explicit Superset(ByteSpan bytes);
 
+    /**
+     * Rebind previously decoded nodes to @p bytes without re-decoding
+     * (cache warm start). @p nodes must be the decode of exactly
+     * these bytes — one node per byte offset; callers get that
+     * guarantee from the result cache's content-hash key.
+     * @throws Error when the node count does not match the section.
+     */
+    Superset(ByteSpan bytes, std::vector<SupersetNode> nodes,
+             u64 validCount);
+
     /** Number of byte offsets (== section size). */
     std::size_t size() const { return nodes_.size(); }
 
@@ -197,6 +207,9 @@ class Superset
 
     /** Count of offsets with a valid decode. */
     u64 validCount() const { return validCount_; }
+
+    /** The per-offset nodes, in offset order (serialization). */
+    const std::vector<SupersetNode> &nodes() const { return nodes_; }
 
     /** Re-decode the full Instruction at @p off (on-demand detail). */
     x86::Instruction decodeFull(Offset off) const;

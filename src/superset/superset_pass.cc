@@ -8,8 +8,13 @@ namespace accdis
 void
 SupersetDecodePass::run(AnalysisContext &ctx) const
 {
-    Superset &superset = ctx.superset.emplace(ctx.bytes);
-    ctx.stats.supersetBytes = superset.size() * sizeof(SupersetNode);
+    // A warm-start (deserialized cache artifact) may have seeded the
+    // slot before the passes ran; the nodes are a pure function of
+    // the bytes, so re-decoding would only reproduce them.
+    if (!ctx.superset.present())
+        ctx.superset.emplace(ctx.bytes);
+    ctx.stats.supersetBytes =
+        ctx.superset->size() * sizeof(SupersetNode);
 }
 
 } // namespace accdis

@@ -135,11 +135,24 @@ class IntervalMap
         return total;
     }
 
+    /** Structural equality (same intervals, same labels). */
+    bool
+    operator==(const IntervalMap &other) const
+    {
+        return map_ == other.map_;
+    }
+
   private:
     struct Node
     {
         Offset end;
         Label label;
+
+        bool
+        operator==(const Node &other) const
+        {
+            return end == other.end && label == other.label;
+        }
     };
 
     void

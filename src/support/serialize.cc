@@ -1,0 +1,17 @@
+#include "support/serialize.hh"
+
+#include <cstdio>
+
+namespace accdis
+{
+
+std::string
+hexDigest(u64 digest)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+} // namespace accdis

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Versioned binary codec for analysis artifacts plus a stable 64-bit
+ * content hash.
+ *
+ * The codec is deliberately small: little-endian PODs, LEB128-style
+ * varints, length-prefixed strings/byte blobs, POD vectors and
+ * IntervalMaps. Every Decoder read is bounds-checked and throws
+ * SerializeError on truncation or malformed input — the cache layer
+ * catches it and falls back to cold analysis, so a corrupted entry
+ * can never crash the engine or change results.
+ *
+ * The content hash (FNV-1a over bytes with a splitmix64 finalizer) is
+ * the identity primitive of the result cache: section payloads,
+ * engine configurations and the pass registry all reduce to 64-bit
+ * fingerprints through Hasher. The hash value for a given byte stream
+ * is part of the on-disk format — changing it must bump
+ * kSchemaVersion.
+ */
+
+#ifndef ACCDIS_SUPPORT_SERIALIZE_HH
+#define ACCDIS_SUPPORT_SERIALIZE_HH
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hh"
+#include "support/interval_map.hh"
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/**
+ * On-disk schema version shared by every serialized artifact and
+ * cache entry. Bump on ANY change to the codec, the artifact layouts,
+ * the content hash, or the meaning of existing fields; a version
+ * mismatch invalidates every cache entry cleanly.
+ */
+inline constexpr u32 kSchemaVersion = 1;
+
+/** Thrown on truncated or malformed serialized input. */
+class SerializeError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/**
+ * Streaming 64-bit content hash: FNV-1a accumulation with a
+ * splitmix64 avalanche finalizer. Stable across platforms and
+ * processes (byte-order independent inputs are the caller's job:
+ * feed little-endian PODs via add()).
+ */
+class Hasher
+{
+  public:
+    explicit Hasher(u64 seed = 0)
+    {
+        if (seed != 0)
+            add(seed);
+    }
+
+    /** Absorb @p size raw bytes. */
+    Hasher &
+    update(const void *data, std::size_t size)
+    {
+        const u8 *bytes = static_cast<const u8 *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state_ ^= bytes[i];
+            state_ *= kFnvPrime;
+        }
+        return *this;
+    }
+
+    /** Absorb one trivially copyable value (memory representation). */
+    template <typename T>
+    Hasher &
+    add(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "hash inputs must be trivially copyable");
+        return update(&value, sizeof(value));
+    }
+
+    /** Absorb a length-prefixed string (self-delimiting). */
+    Hasher &
+    add(const std::string &value)
+    {
+        add(static_cast<u64>(value.size()));
+        return update(value.data(), value.size());
+    }
+
+    /** Absorb a length-prefixed byte span. */
+    Hasher &
+    add(ByteSpan bytes)
+    {
+        add(static_cast<u64>(bytes.size()));
+        return update(bytes.data(), bytes.size());
+    }
+
+    /** The avalanched digest of everything absorbed so far. */
+    u64
+    digest() const
+    {
+        // splitmix64 finalizer: FNV-1a alone mixes low bits poorly.
+        u64 h = state_;
+        h ^= h >> 30;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 27;
+        h *= 0x94d049bb133111ebull;
+        h ^= h >> 31;
+        return h;
+    }
+
+  private:
+    static constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
+    static constexpr u64 kFnvPrime = 0x100000001b3ull;
+
+    u64 state_ = kFnvOffset;
+};
+
+/** One-shot content hash of a byte span. */
+inline u64
+contentHash64(ByteSpan bytes, u64 seed = 0)
+{
+    return Hasher(seed).update(bytes.data(), bytes.size()).digest();
+}
+
+/** Fixed-width lowercase hex rendering of a 64-bit digest. */
+std::string hexDigest(u64 digest);
+
+/** Append-only binary encoder over an owned byte buffer. */
+class Encoder
+{
+  public:
+    /** Write one trivially copyable value verbatim (little-endian
+     *  hosts only, which accdis already assumes everywhere). */
+    template <typename T>
+    void
+    pod(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "pod() needs a trivially copyable type");
+        const auto *bytes = reinterpret_cast<const u8 *>(&value);
+        out_.insert(out_.end(), bytes, bytes + sizeof(value));
+    }
+
+    /** LEB128 unsigned varint (1 byte for values < 128). */
+    void
+    varint(u64 value)
+    {
+        while (value >= 0x80) {
+            out_.push_back(static_cast<u8>(value) | 0x80);
+            value >>= 7;
+        }
+        out_.push_back(static_cast<u8>(value));
+    }
+
+    /** Length-prefixed raw bytes. */
+    void
+    bytes(ByteSpan span)
+    {
+        varint(span.size());
+        out_.insert(out_.end(), span.begin(), span.end());
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(const std::string &value)
+    {
+        varint(value.size());
+        out_.insert(out_.end(), value.begin(), value.end());
+    }
+
+    /** Length-prefixed vector of trivially copyable elements. */
+    template <typename T>
+    void
+    podVec(const std::vector<T> &values)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "podVec() needs trivially copyable elements");
+        varint(values.size());
+        if (!values.empty()) {
+            const auto *raw =
+                reinterpret_cast<const u8 *>(values.data());
+            out_.insert(out_.end(), raw,
+                        raw + values.size() * sizeof(T));
+        }
+    }
+
+    /** Interval map with trivially copyable labels: entry count then
+     *  (begin, length) varint pairs plus the POD label. */
+    template <typename Label>
+    void
+    intervalMap(const IntervalMap<Label> &map)
+    {
+        auto entries = map.entries();
+        varint(entries.size());
+        for (const auto &entry : entries) {
+            varint(entry.begin);
+            varint(entry.end - entry.begin);
+            pod(entry.label);
+        }
+    }
+
+    /** The encoded buffer so far. */
+    const ByteVec &buffer() const { return out_; }
+
+    /** Move the encoded buffer out. */
+    ByteVec take() { return std::move(out_); }
+
+  private:
+    ByteVec out_;
+};
+
+/**
+ * Bounds-checked reader over a borrowed byte span. Every accessor
+ * throws SerializeError instead of reading out of range, so decoding
+ * attacker-or-bitrot-controlled bytes is safe by construction.
+ */
+class Decoder
+{
+  public:
+    explicit Decoder(ByteSpan in) : in_(in) {}
+
+    template <typename T>
+    T
+    pod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "pod() needs a trivially copyable type");
+        need(sizeof(T));
+        T value;
+        std::memcpy(&value, in_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return value;
+    }
+
+    u64
+    varint()
+    {
+        u64 value = 0;
+        for (int shift = 0; shift < 64; shift += 7) {
+            need(1);
+            u8 byte = in_[pos_++];
+            if (shift == 63 && (byte & 0x7e) != 0)
+                throw SerializeError("serialize: varint overflow");
+            value |= static_cast<u64>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return value;
+        }
+        throw SerializeError("serialize: varint too long");
+    }
+
+    ByteVec
+    bytes()
+    {
+        u64 size = varint();
+        need(size);
+        ByteVec out(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    in_.begin() +
+                        static_cast<std::ptrdiff_t>(pos_ + size));
+        pos_ += size;
+        return out;
+    }
+
+    std::string
+    str()
+    {
+        u64 size = varint();
+        need(size);
+        std::string out(
+            reinterpret_cast<const char *>(in_.data() + pos_),
+            static_cast<std::size_t>(size));
+        pos_ += size;
+        return out;
+    }
+
+    template <typename T>
+    std::vector<T>
+    podVec()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "podVec() needs trivially copyable elements");
+        u64 count = varint();
+        // Guard the multiplication below before trusting the count.
+        if (count > (in_.size() - pos_) / sizeof(T))
+            throw SerializeError("serialize: vector count too large");
+        need(count * sizeof(T));
+        std::vector<T> values(static_cast<std::size_t>(count));
+        if (count > 0) {
+            std::memcpy(values.data(), in_.data() + pos_,
+                        static_cast<std::size_t>(count) * sizeof(T));
+            pos_ += count * sizeof(T);
+        }
+        return values;
+    }
+
+    template <typename Label>
+    IntervalMap<Label>
+    intervalMap()
+    {
+        u64 count = varint();
+        IntervalMap<Label> map;
+        for (u64 i = 0; i < count; ++i) {
+            Offset begin = varint();
+            Offset length = varint();
+            Label label = pod<Label>();
+            if (length == 0 || begin + length < begin)
+                throw SerializeError(
+                    "serialize: malformed interval entry");
+            map.assign(begin, begin + length, label);
+        }
+        return map;
+    }
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return in_.size() - pos_; }
+
+    /** True when every input byte has been consumed. */
+    bool atEnd() const { return pos_ == in_.size(); }
+
+    /** Throw unless the whole input was consumed (trailing garbage
+     *  is corruption, not slack). */
+    void
+    expectEnd() const
+    {
+        if (!atEnd())
+            throw SerializeError("serialize: trailing bytes");
+    }
+
+  private:
+    void
+    need(u64 size) const
+    {
+        if (size > in_.size() - pos_)
+            throw SerializeError("serialize: truncated input");
+    }
+
+    ByteSpan in_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_SERIALIZE_HH

@@ -1,0 +1,16 @@
+#include "support/version.hh"
+
+namespace accdis
+{
+
+const char *
+gitDescribe()
+{
+#ifdef ACCDIS_GIT_DESCRIBE
+    return ACCDIS_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace accdis

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Build identity: the git describe string baked in at configure time.
+ * Embedded (informationally) in every cache entry header and printed
+ * by `accdis_cli --version`; the cache key itself uses kSchemaVersion
+ * and the pass-registry fingerprint, not this string, so rebuilding
+ * the same schema from a different commit keeps warm entries valid.
+ */
+
+#ifndef ACCDIS_SUPPORT_VERSION_HH
+#define ACCDIS_SUPPORT_VERSION_HH
+
+namespace accdis
+{
+
+/** `git describe --always --dirty` of the build, or "unknown". */
+const char *gitDescribe();
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_VERSION_HH

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests for the content-addressed result cache: store/load round
+ * trips, corruption resilience (truncated and bit-flipped entries
+ * fall back cold and count as bad entries, never crash or change
+ * results), LRU eviction, key invalidation across the config and
+ * schema axes, superset warm-start reuse, and the end-to-end warm
+ * batch contract — 100% hit rate and operator== identical results at
+ * 1 and 8 jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/analysis_cache.hh"
+#include "cache/result_cache.hh"
+#include "pipeline/batch.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory per test. */
+fs::path
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   ("accdis-cache-test-" + name);
+    fs::remove_all(dir);
+    return dir;
+}
+
+CacheKey
+keyOf(u64 content, u64 inputs = 1, u64 config = 2, u64 schema = 3)
+{
+    CacheKey key;
+    key.content = content;
+    key.inputs = inputs;
+    key.config = config;
+    key.schema = schema;
+    return key;
+}
+
+/** The single entry file in @p dir (fails the test when not 1). */
+fs::path
+onlyEntry(const fs::path &dir)
+{
+    std::vector<fs::path> files;
+    for (const auto &dirent : fs::directory_iterator(dir))
+        files.push_back(dirent.path());
+    EXPECT_EQ(files.size(), 1u);
+    return files.empty() ? fs::path() : files.front();
+}
+
+TEST(CacheStore, RoundTripsPayload)
+{
+    ResultCache cache({scratchDir("roundtrip").string()});
+    const std::vector<u8> payload{1, 2, 3, 250, 251, 252};
+    const CacheKey key = keyOf(42);
+
+    EXPECT_FALSE(cache.load(key, ResultCache::Kind::Result));
+    cache.store(key, ResultCache::Kind::Result, payload);
+    auto back = cache.load(key, ResultCache::Kind::Result);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, payload);
+    EXPECT_EQ(cache.stats().hits.load(), 1u);
+    EXPECT_EQ(cache.stats().misses.load(), 1u);
+    EXPECT_EQ(cache.stats().stores.load(), 1u);
+    EXPECT_EQ(cache.stats().badEntries.load(), 0u);
+}
+
+TEST(CacheStore, KindAndKeyAreIdentity)
+{
+    ResultCache cache({scratchDir("identity").string()});
+    cache.store(keyOf(1), ResultCache::Kind::Result, {1});
+    // Same key, different kind: distinct entry.
+    EXPECT_FALSE(cache.load(keyOf(1), ResultCache::Kind::Superset));
+    // Any single axis change: distinct entry.
+    EXPECT_FALSE(cache.load(keyOf(9), ResultCache::Kind::Result));
+    EXPECT_FALSE(
+        cache.load(keyOf(1, 9), ResultCache::Kind::Result));
+    EXPECT_FALSE(
+        cache.load(keyOf(1, 1, 9), ResultCache::Kind::Result));
+    EXPECT_FALSE(
+        cache.load(keyOf(1, 1, 2, 9), ResultCache::Kind::Result));
+    EXPECT_TRUE(cache.load(keyOf(1), ResultCache::Kind::Result));
+}
+
+TEST(CacheStore, TruncatedEntryFallsBackCold)
+{
+    fs::path dir = scratchDir("truncate");
+    ResultCache cache({dir.string()});
+    const CacheKey key = keyOf(7);
+    cache.store(key, ResultCache::Kind::Result,
+                std::vector<u8>(100, 0xab));
+
+    fs::path entry = onlyEntry(dir);
+    fs::resize_file(entry, fs::file_size(entry) / 2);
+
+    EXPECT_FALSE(cache.load(key, ResultCache::Kind::Result));
+    EXPECT_EQ(cache.stats().badEntries.load(), 1u);
+    // The damaged file is gone: the next load is a clean miss, not
+    // another bad entry.
+    EXPECT_FALSE(fs::exists(entry));
+    EXPECT_FALSE(cache.load(key, ResultCache::Kind::Result));
+    EXPECT_EQ(cache.stats().badEntries.load(), 1u);
+}
+
+TEST(CacheStore, BitFlippedEntryFallsBackCold)
+{
+    fs::path dir = scratchDir("bitflip");
+    ResultCache cache({dir.string()});
+    const CacheKey key = keyOf(8);
+    cache.store(key, ResultCache::Kind::Result,
+                std::vector<u8>(64, 0x5a));
+
+    // Flip one bit in every byte position, one at a time; no single
+    // flip anywhere in the file may survive verification.
+    fs::path entry = onlyEntry(dir);
+    std::ifstream in(entry, std::ios::binary);
+    std::vector<char> pristine(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    in.close();
+    for (std::size_t pos = 0; pos < pristine.size();
+         pos += std::max<std::size_t>(1, pristine.size() / 16)) {
+        std::vector<char> damaged = pristine;
+        damaged[pos] = static_cast<char>(damaged[pos] ^ 0x10);
+        std::ofstream out(entry,
+                          std::ios::binary | std::ios::trunc);
+        out.write(damaged.data(),
+                  static_cast<std::streamsize>(damaged.size()));
+        out.close();
+        // Exception: flips inside the informational build-id string
+        // do not invalidate the entry; detect and skip those.
+        auto loaded = cache.load(key, ResultCache::Kind::Result);
+        if (loaded.has_value()) {
+            EXPECT_EQ(*loaded, std::vector<u8>(64, 0x5a))
+                << "byte " << pos;
+        }
+    }
+    u64 badBefore = cache.stats().badEntries.load();
+    EXPECT_GT(badBefore, 0u);
+}
+
+TEST(CacheStore, EvictsOldestWhenOverCap)
+{
+    fs::path dir = scratchDir("lru");
+    ResultCache::Config config{dir.string()};
+    // Each entry is ~60 header bytes + 256 payload; cap at three-ish.
+    config.maxBytes = 3 * 340;
+    ResultCache cache(config);
+    for (u64 i = 0; i < 6; ++i) {
+        cache.store(keyOf(i), ResultCache::Kind::Result,
+                    std::vector<u8>(256, static_cast<u8>(i)));
+    }
+    EXPECT_GT(cache.stats().evictions.load(), 0u);
+    u64 present = 0;
+    for (const auto &dirent : fs::directory_iterator(dir)) {
+        (void)dirent;
+        ++present;
+    }
+    EXPECT_LT(present, 6u);
+    // The most recent store always survives its own eviction pass.
+    EXPECT_TRUE(cache.load(keyOf(5), ResultCache::Kind::Result));
+}
+
+// --- Typed layer ------------------------------------------------------
+
+/** Small mixed corpus for end-to-end cache tests. */
+std::vector<synth::SynthBinary>
+smallCorpus(int binaries)
+{
+    std::vector<synth::SynthBinary> corpus;
+    for (int i = 0; i < binaries; ++i) {
+        synth::CorpusConfig config =
+            (i % 2 ? synth::msvcLikePreset : synth::gccLikePreset)(
+                static_cast<u64>(i + 1));
+        config.numFunctions = 12;
+        config.name = "cache-synth-" + std::to_string(i);
+        corpus.push_back(synth::buildSynthBinary(config));
+    }
+    return corpus;
+}
+
+TEST(CacheAnalysis, ConfigChangeMissesButSupersetWarmStarts)
+{
+    fs::path dir = scratchDir("invalidate");
+    ResultCache cache({dir.string()});
+    synth::SynthBinary bin = smallCorpus(1)[0];
+    const Section *text = nullptr;
+    for (const Section &sec : bin.image.sections()) {
+        if (sec.flags().executable)
+            text = &sec;
+    }
+    ASSERT_NE(text, nullptr);
+
+    DisassemblyEngine engine;
+    const CacheKey key =
+        makeCacheKey(text->contentKey(), {}, text->base(), {},
+                     engine);
+    Classification result =
+        engine.analyzeSection(text->bytes(), {}, text->base());
+    storeCachedResult(cache, key, result);
+    Superset superset(text->bytes());
+    storeCachedSuperset(cache, key, superset);
+
+    ASSERT_TRUE(loadCachedResult(cache, key).has_value());
+
+    // A config change must miss the result entry...
+    EngineConfig changed;
+    changed.useJumpTables = false;
+    DisassemblyEngine other(changed);
+    const CacheKey otherKey =
+        makeCacheKey(text->contentKey(), {}, text->base(), {},
+                     other);
+    EXPECT_NE(otherKey.config, key.config);
+    EXPECT_FALSE(loadCachedResult(cache, otherKey).has_value());
+    // ...but still warm-start from the shared superset entry, which
+    // is keyed on content + schema only.
+    auto warm = loadCachedSuperset(cache, otherKey, text->bytes());
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_EQ(warm->validCount(), superset.validCount());
+}
+
+TEST(CacheAnalysis, CachedResultSurvivesWithExplain)
+{
+    fs::path dir = scratchDir("explain");
+    ResultCache cache({dir.string()});
+    synth::SynthBinary bin = smallCorpus(1)[0];
+    DisassemblyEngine engine;
+
+    const Section *text = nullptr;
+    for (const Section &sec : bin.image.sections()) {
+        if (sec.flags().executable)
+            text = &sec;
+    }
+    ASSERT_NE(text, nullptr);
+    ExplainArtifact artifact;
+    DisassemblyEngine::AnalyzeOptions options;
+    options.explainOut = &artifact;
+    Classification result = engine.analyzeSectionWith(
+        text->bytes(), {}, text->base(), {}, options);
+
+    const CacheKey key =
+        makeCacheKey(text->contentKey(), {}, text->base(), {},
+                     engine);
+    storeCachedResult(cache, key, result, &artifact);
+    auto back = loadCachedResult(cache, key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->result == result);
+    ASSERT_TRUE(back->explain.has_value());
+    EXPECT_EQ(renderExplain(*back->explain, 0),
+              renderExplain(artifact, 0));
+}
+
+/** Cold + warm batch over a tiny corpus at @p jobs; asserts a 100%
+ *  warm hit rate and operator== identical results. */
+void
+runWarmBatchContract(unsigned jobs)
+{
+    fs::path dir =
+        scratchDir("warm-jobs-" + std::to_string(jobs));
+    std::vector<synth::SynthBinary> corpus = smallCorpus(4);
+    std::vector<const BinaryImage *> images;
+    for (const auto &bin : corpus)
+        images.push_back(&bin.image);
+
+    pipeline::BatchConfig config;
+    config.jobs = jobs;
+    config.cacheDir = dir.string();
+    pipeline::BatchAnalyzer analyzer(config);
+
+    pipeline::BatchReport cold = analyzer.run(images);
+    ASSERT_TRUE(cold.cache.enabled);
+    EXPECT_EQ(cold.cache.hits, 0u);
+    EXPECT_GT(cold.cache.stores, 0u);
+
+    pipeline::BatchReport warm = analyzer.run(images);
+    EXPECT_EQ(warm.cache.misses, 0u) << "warm run must be 100% hits";
+    EXPECT_GT(warm.cache.hits, 0u);
+    EXPECT_DOUBLE_EQ(warm.cache.hitRate(), 1.0);
+    EXPECT_EQ(warm.cache.badEntries, 0u);
+
+    ASSERT_EQ(warm.results.size(), cold.results.size());
+    for (std::size_t i = 0; i < warm.results.size(); ++i) {
+        ASSERT_TRUE(warm.results[i].ok());
+        ASSERT_EQ(warm.results[i].sections.size(),
+                  cold.results[i].sections.size());
+        for (std::size_t s = 0; s < warm.results[i].sections.size();
+             ++s) {
+            EXPECT_TRUE(warm.results[i].sections[s].result ==
+                        cold.results[i].sections[s].result)
+                << warm.results[i].name << " section " << s;
+        }
+    }
+}
+
+TEST(CacheAnalysis, WarmBatchIsIdenticalAtOneJob)
+{
+    runWarmBatchContract(1);
+}
+
+TEST(CacheAnalysis, WarmBatchIsIdenticalAtEightJobs)
+{
+    runWarmBatchContract(8);
+}
+
+TEST(CacheAnalysis, CorruptedEntriesNeverChangeResults)
+{
+    fs::path dir = scratchDir("corrupt-batch");
+    std::vector<synth::SynthBinary> corpus = smallCorpus(3);
+    std::vector<const BinaryImage *> images;
+    for (const auto &bin : corpus)
+        images.push_back(&bin.image);
+
+    pipeline::BatchConfig config;
+    config.jobs = 2;
+    config.cacheDir = dir.string();
+    pipeline::BatchAnalyzer analyzer(config);
+    pipeline::BatchReport cold = analyzer.run(images);
+
+    // Damage every entry: alternate truncation and payload flips.
+    bool truncate = true;
+    for (const auto &dirent : fs::directory_iterator(dir)) {
+        if (truncate) {
+            fs::resize_file(dirent.path(),
+                            fs::file_size(dirent.path()) / 2);
+        } else {
+            std::fstream file(dirent.path(),
+                              std::ios::in | std::ios::out |
+                                  std::ios::binary);
+            file.seekg(-1, std::ios::end);
+            char byte = 0;
+            file.get(byte);
+            file.seekp(-1, std::ios::end);
+            file.put(static_cast<char>(byte ^ 0x40));
+        }
+        truncate = !truncate;
+    }
+
+    pipeline::BatchReport damaged = analyzer.run(images);
+    // Every corrupted entry is detected (cache.bad_entry counts it)
+    // and the run silently falls back to cold analysis.
+    EXPECT_GT(damaged.cache.badEntries, 0u);
+    EXPECT_EQ(damaged.cache.hits, 0u);
+    ASSERT_EQ(damaged.results.size(), cold.results.size());
+    for (std::size_t i = 0; i < damaged.results.size(); ++i) {
+        ASSERT_TRUE(damaged.results[i].ok());
+        for (std::size_t s = 0;
+             s < damaged.results[i].sections.size(); ++s) {
+            EXPECT_TRUE(damaged.results[i].sections[s].result ==
+                        cold.results[i].sections[s].result);
+        }
+    }
+
+    // And the re-stored entries serve a clean warm run again.
+    pipeline::BatchReport recovered = analyzer.run(images);
+    EXPECT_EQ(recovered.cache.misses, 0u);
+    EXPECT_EQ(recovered.cache.badEntries, 0u);
+}
+
+} // namespace
+} // namespace accdis

@@ -31,6 +31,7 @@ quickOracles()
     fuzz::OracleOptions options;
     options.checkBatch = false;
     options.checkBaselines = false;
+    options.checkCache = false;
     return options;
 }
 

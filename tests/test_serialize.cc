@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the binary codec (support/serialize.hh) and the artifact
+ * round trips built on it (core/artifact_io.hh): varint boundaries
+ * and malformed-input rejection, hash stability, SupersetNode packing
+ * across a serialize/deserialize cycle, full Classification and
+ * explain-artifact round trips, and the fingerprint sensitivity that
+ * keys the result cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/artifact_io.hh"
+#include "core/engine.hh"
+#include "support/serialize.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+// --- Codec primitives -------------------------------------------------
+
+TEST(SerializeVarint, RoundTripsBoundaryValues)
+{
+    const u64 values[] = {0, 1, 127, 128, 129, 16383, 16384,
+                          (u64{1} << 32) - 1, u64{1} << 32,
+                          std::numeric_limits<u64>::max()};
+    Encoder enc;
+    for (u64 v : values)
+        enc.varint(v);
+    Decoder dec{ByteSpan(enc.buffer())};
+    for (u64 v : values)
+        EXPECT_EQ(dec.varint(), v);
+    EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(SerializeVarint, SmallValuesUseOneByte)
+{
+    Encoder enc;
+    enc.varint(127);
+    EXPECT_EQ(enc.buffer().size(), 1u);
+}
+
+TEST(SerializeVarint, RejectsOverlongInput)
+{
+    // Eleven continuation bytes can never be a valid 64-bit varint.
+    ByteVec bad(11, 0xff);
+    Decoder dec{ByteSpan(bad)};
+    EXPECT_THROW(dec.varint(), SerializeError);
+}
+
+TEST(SerializeVarint, RejectsOverflowingTenthByte)
+{
+    // Nine continuation bytes consume 63 bits; a tenth byte larger
+    // than 1 would shift set bits past bit 63.
+    ByteVec bad(9, 0x80);
+    bad.push_back(0x02);
+    Decoder dec{ByteSpan(bad)};
+    EXPECT_THROW(dec.varint(), SerializeError);
+}
+
+TEST(SerializeVarint, RejectsTruncation)
+{
+    ByteVec bad{0x80}; // Continuation bit set, nothing follows.
+    Decoder dec{ByteSpan(bad)};
+    EXPECT_THROW(dec.varint(), SerializeError);
+}
+
+TEST(SerializeCodec, RoundTripsMixedPayload)
+{
+    Encoder enc;
+    enc.pod(u32{0xdeadbeef});
+    enc.str("hello, codec");
+    enc.str("");
+    ByteVec blob{1, 2, 3, 4, 5};
+    enc.bytes(ByteSpan(blob));
+    std::vector<u64> vec{7, 8, 9};
+    enc.podVec(vec);
+    enc.podVec(std::vector<u64>{});
+
+    Decoder dec{ByteSpan(enc.buffer())};
+    EXPECT_EQ(dec.pod<u32>(), 0xdeadbeefu);
+    EXPECT_EQ(dec.str(), "hello, codec");
+    EXPECT_EQ(dec.str(), "");
+    EXPECT_EQ(dec.bytes(), blob);
+    EXPECT_EQ(dec.podVec<u64>(), vec);
+    EXPECT_TRUE(dec.podVec<u64>().empty());
+    EXPECT_NO_THROW(dec.expectEnd());
+}
+
+TEST(SerializeCodec, RejectsOversizedVectorCount)
+{
+    // A count far past the remaining input must be rejected before
+    // any allocation or multiply can misbehave.
+    Encoder enc;
+    enc.varint(std::numeric_limits<u64>::max() / 2);
+    Decoder dec{ByteSpan(enc.buffer())};
+    EXPECT_THROW(dec.podVec<u64>(), SerializeError);
+}
+
+TEST(SerializeCodec, ExpectEndRejectsTrailingBytes)
+{
+    Encoder enc;
+    enc.pod(u8{1});
+    enc.pod(u8{2});
+    Decoder dec{ByteSpan(enc.buffer())};
+    dec.pod<u8>();
+    EXPECT_THROW(dec.expectEnd(), SerializeError);
+}
+
+TEST(SerializeCodec, IntervalMapRoundTrips)
+{
+    IntervalMap<u8> map;
+    map.assign(0, 10, 1);
+    map.assign(10, 64, 2);
+    map.assign(64, 100, 1);
+    Encoder enc;
+    enc.intervalMap(map);
+    Decoder dec{ByteSpan(enc.buffer())};
+    IntervalMap<u8> back = dec.intervalMap<u8>();
+    EXPECT_TRUE(map == back);
+}
+
+TEST(SerializeCodec, IntervalMapRejectsZeroLengthEntry)
+{
+    Encoder enc;
+    enc.varint(1); // one entry
+    enc.varint(5); // begin
+    enc.varint(0); // zero length
+    enc.pod(u8{1});
+    Decoder dec{ByteSpan(enc.buffer())};
+    EXPECT_THROW(dec.intervalMap<u8>(), SerializeError);
+}
+
+// --- Hashing ----------------------------------------------------------
+
+TEST(SerializeHash, IsDeterministic)
+{
+    ByteVec bytes{0x90, 0xc3, 0x55, 0x48};
+    EXPECT_EQ(contentHash64(ByteSpan(bytes)),
+              contentHash64(ByteSpan(bytes)));
+    bytes[0] ^= 1;
+    EXPECT_NE(contentHash64(ByteSpan(bytes)),
+              Hasher().update("\x90\xc3\x55\x48", 4).digest());
+}
+
+TEST(SerializeHash, LengthPrefixBlocksConcatenationCollisions)
+{
+    // ("ab","c") and ("a","bc") absorb the same characters; the
+    // length prefix must keep their digests apart.
+    Hasher a, b;
+    a.add(std::string("ab")).add(std::string("c"));
+    b.add(std::string("a")).add(std::string("bc"));
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(SerializeHash, HexDigestIsFixedWidth)
+{
+    EXPECT_EQ(hexDigest(0), "0000000000000000");
+    EXPECT_EQ(hexDigest(0xabcdef0123456789ull), "abcdef0123456789");
+}
+
+// --- SupersetNode packing + superset round trip -----------------------
+
+TEST(SerializeSuperset, NodePackedAccessorsRoundTrip)
+{
+    static_assert(sizeof(SupersetNode) == 16);
+    SupersetNode node;
+    // Drive every packed field through its setter, including the
+    // 19-bit register masks whose high bits share one byte and the
+    // hasTarget bit folded into the flag word.
+    node.setFlags(0x5aa5 & 0x7fff);
+    node.setHasTarget(true);
+    node.setRegsRead(0x7ffff);
+    node.setRegsWritten(0x5a5a5 & 0x7ffff);
+    EXPECT_EQ(node.flags(), 0x5aa5 & 0x7fff);
+    EXPECT_TRUE(node.hasTarget());
+    EXPECT_EQ(node.regsRead(), 0x7ffffu);
+    EXPECT_EQ(node.regsWritten(), 0x5a5a5u & 0x7ffff);
+    // Setters must not clobber their packed neighbors.
+    node.setHasTarget(false);
+    EXPECT_EQ(node.flags(), 0x5aa5 & 0x7fff);
+    node.setRegsRead(0);
+    EXPECT_EQ(node.regsWritten(), 0x5a5a5u & 0x7ffff);
+
+    // And the whole node must survive a serialize round trip.
+    Encoder enc;
+    enc.podVec(std::vector<SupersetNode>{node});
+    Decoder dec{ByteSpan(enc.buffer())};
+    std::vector<SupersetNode> back = dec.podVec<SupersetNode>();
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].flags(), node.flags());
+    EXPECT_EQ(back[0].hasTarget(), node.hasTarget());
+    EXPECT_EQ(back[0].regsRead(), node.regsRead());
+    EXPECT_EQ(back[0].regsWritten(), node.regsWritten());
+}
+
+TEST(SerializeSuperset, DecodedSupersetMatchesOriginal)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(11);
+    config.numFunctions = 12;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    ByteSpan bytes;
+    for (const Section &sec : bin.image.sections()) {
+        if (sec.flags().executable)
+            bytes = sec.bytes();
+    }
+    ASSERT_FALSE(bytes.empty());
+
+    Superset original(bytes);
+    Encoder enc;
+    encodeSuperset(enc, original);
+    Decoder dec{ByteSpan(enc.buffer())};
+    Superset back = decodeSuperset(dec, bytes);
+    EXPECT_TRUE(dec.atEnd());
+
+    ASSERT_EQ(back.size(), original.size());
+    EXPECT_EQ(back.validCount(), original.validCount());
+    for (Offset off = 0; off < original.size(); ++off) {
+        const SupersetNode &a = original.node(off);
+        const SupersetNode &b = back.node(off);
+        ASSERT_EQ(a.length, b.length) << "offset " << off;
+        ASSERT_EQ(a.op, b.op) << "offset " << off;
+        ASSERT_EQ(a.flow, b.flow) << "offset " << off;
+        ASSERT_EQ(a.flags(), b.flags()) << "offset " << off;
+        ASSERT_EQ(a.hasTarget(), b.hasTarget()) << "offset " << off;
+        ASSERT_EQ(a.regsRead(), b.regsRead()) << "offset " << off;
+        ASSERT_EQ(a.regsWritten(), b.regsWritten())
+            << "offset " << off;
+        ASSERT_EQ(a.targetRel, b.targetRel) << "offset " << off;
+    }
+}
+
+TEST(SerializeSuperset, DecodeRejectsSizeMismatch)
+{
+    ByteVec bytes{0x90, 0x90, 0x90, 0x90};
+    Superset superset{ByteSpan(bytes)};
+    Encoder enc;
+    encodeSuperset(enc, superset);
+    Decoder dec{ByteSpan(enc.buffer())};
+    ByteVec other(5, 0x90);
+    EXPECT_THROW(decodeSuperset(dec, ByteSpan(other)),
+                 SerializeError);
+}
+
+// --- Classification / explain artifact round trips --------------------
+
+TEST(SerializeArtifacts, ClassificationRoundTripsExactly)
+{
+    synth::CorpusConfig config = synth::msvcLikePreset(7);
+    config.numFunctions = 16;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    DisassemblyEngine engine;
+    Classification result = engine.analyze(bin.image);
+
+    Encoder enc;
+    encodeClassification(enc, result);
+    Decoder dec{ByteSpan(enc.buffer())};
+    Classification back = decodeClassification(dec);
+    EXPECT_TRUE(dec.atEnd());
+    // operator== covers the map, instruction starts, provenance AND
+    // stats — the exact bar a warm cache hit must clear.
+    EXPECT_TRUE(result == back);
+}
+
+TEST(SerializeArtifacts, ExplainArtifactRendersIdentically)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(3);
+    config.numFunctions = 10;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    const Section *text = nullptr;
+    for (const Section &sec : bin.image.sections()) {
+        if (sec.flags().executable)
+            text = &sec;
+    }
+    ASSERT_NE(text, nullptr);
+    std::vector<Offset> entries;
+    for (Addr entry : bin.image.entryPoints()) {
+        if (text->containsVaddr(entry))
+            entries.push_back(text->toOffset(entry));
+    }
+
+    DisassemblyEngine engine;
+    ExplainArtifact artifact;
+    DisassemblyEngine::AnalyzeOptions options;
+    options.explainOut = &artifact;
+    engine.analyzeSectionWith(text->bytes(), entries, text->base(),
+                              auxRegionsOf(bin.image), options);
+
+    Encoder enc;
+    encodeExplain(enc, artifact);
+    Decoder dec{ByteSpan(enc.buffer())};
+    ExplainArtifact back = decodeExplain(dec);
+    EXPECT_TRUE(dec.atEnd());
+
+    // The decoded artifact must render the same chain as the live
+    // one at every byte — including bytes never committed.
+    for (Offset off = 0; off < text->size();
+         off += std::max<Offset>(1, text->size() / 64)) {
+        EXPECT_EQ(renderExplain(artifact, off),
+                  renderExplain(back, off))
+            << "offset " << off;
+    }
+    // And as the engine's own explain entry point.
+    EXPECT_EQ(renderExplain(back, 0),
+              engine.explainSection(text->bytes(), entries, 0,
+                                    text->base(),
+                                    auxRegionsOf(bin.image)));
+}
+
+// --- Fingerprints -----------------------------------------------------
+
+TEST(SerializeFingerprint, EngineConfigFlagsChangeFingerprint)
+{
+    EngineConfig base;
+    const u64 reference = engineConfigFingerprint(base);
+    EXPECT_EQ(engineConfigFingerprint(base), reference);
+
+    EngineConfig flipped = base;
+    flipped.useJumpTables = false;
+    EXPECT_NE(engineConfigFingerprint(flipped), reference);
+
+    EngineConfig tuned = base;
+    tuned.codeThreshold += 0.05;
+    EXPECT_NE(engineConfigFingerprint(tuned), reference);
+
+    EngineConfig window = base;
+    window.scorer.window += 1;
+    EXPECT_NE(engineConfigFingerprint(window), reference);
+
+    // Pure observers must NOT change the fingerprint.
+    EngineConfig observed = base;
+    observed.recordProvenance = true;
+    EXPECT_EQ(engineConfigFingerprint(observed), reference);
+}
+
+TEST(SerializeFingerprint, PassRegistryTogglesChangeFingerprint)
+{
+    DisassemblyEngine engine;
+    const u64 reference = passRegistryFingerprint(engine.passes());
+    EXPECT_EQ(passRegistryFingerprint(engine.passes()), reference);
+    engine.passes().setEnabled("error_correction", false);
+    EXPECT_NE(passRegistryFingerprint(engine.passes()), reference);
+    engine.passes().setEnabled("error_correction", true);
+    EXPECT_EQ(passRegistryFingerprint(engine.passes()), reference);
+}
+
+} // namespace
+} // namespace accdis
