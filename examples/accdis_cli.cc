@@ -7,11 +7,19 @@
  * Usage:
  *   accdis_cli <binary>... [--json] [--functions] [--max-insns N]
  *              [--jobs N] [--metrics-out FILE] [--explain ADDR]
- *              [--cache-dir DIR] [--cache-verify] [--version]
+ *              [--cache-dir DIR] [--cache-verify] [--salvage]
+ *              [--load-report] [--version]
  *
  * Several binaries and/or --jobs > 1 route the analysis through the
  * parallel batch pipeline; output is byte-identical to a serial run.
- * --metrics-out dumps batch/pool/per-pass metrics as JSON.
+ * Loading is fault-isolated per input: a corrupt or unreadable file
+ * becomes a per-item error record (and a non-zero exit code) while
+ * every healthy input is still analyzed. --salvage recovers the
+ * well-formed sections of partially corrupt images instead of
+ * rejecting them; --load-report prints each input's load diagnostics
+ * (format, outcome, taxonomized issues, salvage repairs) to stderr.
+ * --metrics-out dumps batch/pool/per-pass and load/fault metrics as
+ * JSON.
  * --explain ADDR re-analyzes with the provenance ledger recording and
  * prints the evidence chain (commits, rollbacks, final owner) that
  * decided the classification of the byte at virtual address ADDR.
@@ -34,8 +42,7 @@
 #include "cache/analysis_cache.hh"
 #include "core/engine.hh"
 #include "core/functions.hh"
-#include "image/elf_reader.hh"
-#include "image/pe_reader.hh"
+#include "image/loader.hh"
 #include "pipeline/batch.hh"
 #include "pipeline/metrics.hh"
 #include "support/error.hh"
@@ -48,26 +55,26 @@ namespace
 
 using namespace accdis;
 
-BinaryImage
-loadAny(const std::string &path)
+/** Print one input's load diagnostics (for --load-report). */
+void
+printLoadReport(const LoadReport &report)
 {
-    std::unique_ptr<std::FILE, int (*)(std::FILE *)>
-        file(std::fopen(path.c_str(), "rb"), &std::fclose);
-    if (!file)
-        throw Error("cannot open " + path);
-    std::fseek(file.get(), 0, SEEK_END);
-    long size = std::ftell(file.get());
-    std::fseek(file.get(), 0, SEEK_SET);
-    ByteVec bytes(static_cast<std::size_t>(std::max(0L, size)));
-    if (!bytes.empty() &&
-        std::fread(bytes.data(), 1, bytes.size(), file.get()) !=
-            bytes.size())
-        throw Error("short read on " + path);
-    if (isElf(bytes))
-        return readElf(bytes, path);
-    if (isPe(bytes))
-        return readPe(bytes, path);
-    throw Error(path + ": neither ELF nor PE");
+    std::fprintf(stderr, "load: %s: %s\n", report.name.c_str(),
+                 report.summary().c_str());
+    for (const LoadIssue &issue : report.issues)
+        std::fprintf(stderr, "load:   [%s] %s\n",
+                     loadErrorCodeName(issue.code),
+                     issue.detail.c_str());
+    if (report.salvaged)
+        std::fprintf(stderr,
+                     "load:   salvage: %llu section(s) loaded, %llu "
+                     "dropped, %llu byte(s) clamped\n",
+                     static_cast<unsigned long long>(
+                         report.sectionsLoaded),
+                     static_cast<unsigned long long>(
+                         report.sectionsDropped),
+                     static_cast<unsigned long long>(
+                         report.bytesClamped));
 }
 
 void
@@ -111,12 +118,15 @@ reportJson(const Section &section, const Classification &result,
  * no loaded image maps the address.
  */
 bool
-explainAddress(const std::vector<BinaryImage> &images, Addr target,
+explainAddress(const std::vector<LoadResult> &loads, Addr target,
                const EngineConfig &engineConfig,
                const std::string &cacheDir)
 {
     bool found = false;
-    for (const BinaryImage &image : images) {
+    for (const LoadResult &load : loads) {
+        if (!load.ok())
+            continue;
+        const BinaryImage &image = *load.image;
         for (const Section &section : image.sections()) {
             if (!section.flags().executable ||
                 !section.containsVaddr(target))
@@ -177,7 +187,7 @@ main(int argc, char **argv)
                      "[--max-insns N] [--jobs N] "
                      "[--metrics-out FILE] [--explain ADDR] "
                      "[--cache-dir DIR] [--cache-verify] "
-                     "[--version]\n",
+                     "[--salvage] [--load-report] [--version]\n",
                      argv[0]);
         return 2;
     }
@@ -190,6 +200,7 @@ main(int argc, char **argv)
     Addr explainAddr = 0;
     std::string cacheDir;
     bool cacheVerify = false;
+    bool salvage = false, loadReport = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--version")) {
             // The identity triple of every cache entry: the build
@@ -226,6 +237,10 @@ main(int argc, char **argv)
             cacheDir = argv[++i];
         else if (!std::strcmp(argv[i], "--cache-verify"))
             cacheVerify = true;
+        else if (!std::strcmp(argv[i], "--salvage"))
+            salvage = true;
+        else if (!std::strcmp(argv[i], "--load-report"))
+            loadReport = true;
         else
             paths.emplace_back(argv[i]);
     }
@@ -235,19 +250,28 @@ main(int argc, char **argv)
     }
 
     try {
-        std::vector<BinaryImage> images;
-        images.reserve(paths.size());
+        // Fault-isolated loading: one corrupt file becomes an error
+        // record below instead of aborting the other inputs.
+        LoadOptions loadOptions;
+        loadOptions.salvage = salvage;
+        std::vector<LoadResult> loads;
+        loads.reserve(paths.size());
         for (const std::string &path : paths)
-            images.push_back(loadAny(path));
+            loads.push_back(loadBinaryFile(path, loadOptions));
+        if (loadReport) {
+            for (const LoadResult &load : loads)
+                printLoadReport(load.report);
+        }
 
         pipeline::BatchConfig batchConfig;
         batchConfig.jobs = jobs;
         batchConfig.engine.flow.escapingBranchIsFatal = false;
         batchConfig.cacheDir = cacheDir;
         batchConfig.cacheVerify = cacheVerify;
+        batchConfig.load = loadOptions;
 
         if (explain) {
-            if (!explainAddress(images, explainAddr,
+            if (!explainAddress(loads, explainAddr,
                                 batchConfig.engine, cacheDir)) {
                 std::fprintf(stderr,
                              "error: vaddr %llx is not inside any "
@@ -261,7 +285,7 @@ main(int argc, char **argv)
 
         pipeline::MetricsRegistry metrics;
         pipeline::BatchAnalyzer analyzer(batchConfig, &metrics);
-        pipeline::BatchReport report = analyzer.run(images);
+        pipeline::BatchReport report = analyzer.run(loads);
 
         bool failed = false;
         if (json)
@@ -269,7 +293,6 @@ main(int argc, char **argv)
         bool first = true;
         for (std::size_t b = 0; b < report.results.size(); ++b) {
             pipeline::BinaryResult &binary = report.results[b];
-            const BinaryImage &image = images[b];
             if (!binary.ok()) {
                 std::fprintf(stderr, "error: %s: %s\n",
                              binary.name.c_str(),
@@ -277,6 +300,7 @@ main(int argc, char **argv)
                 failed = true;
                 continue;
             }
+            const BinaryImage &image = *loads[b].image;
             for (auto &sr : binary.sections) {
                 const Section *sectionPtr =
                     image.sectionNamed(sr.name);

@@ -11,6 +11,14 @@
  *               [--corpus-dir DIR] [--known-gaps DIR]
  *               [--max-mutations N] [--functions LO:HI]
  *               [--no-batch] [--no-baselines] [--no-cache]
+ *   fuzz_engine --image-mode [--runs N] [--seed S] [--jobs N]
+ *               [--minimize] [--corpus-dir DIR] [--max-mutations N]
+ *               [--functions LO:HI]
+ *
+ * --image-mode switches from the structure-aware engine campaign to
+ * structure-unaware header mutation of serialized ELF/PE byte
+ * streams, asserting the loader contract (valid image or taxonomized
+ * LoadReport, never a crash) on every mutant — see fuzz/image_fuzz.hh.
  *
  * --known-gaps points at a directory of checked-in reproducers (e.g.
  * tests/corpus); a finding matching an `expect divergence` entry's
@@ -31,6 +39,7 @@
 #include <string>
 #include <tuple>
 
+#include "fuzz/image_fuzz.hh"
 #include "fuzz/runner.hh"
 #include "support/error.hh"
 
@@ -43,12 +52,71 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--runs N] [--seed S] [--jobs N] "
-                 "[--minimize] [--corpus-dir DIR] [--known-gaps DIR] "
-                 "[--max-mutations N] [--functions LO:HI] "
-                 "[--no-batch] [--no-baselines] [--no-cache]\n",
+                 "usage: %s [--image-mode] [--runs N] [--seed S] "
+                 "[--jobs N] [--minimize] [--corpus-dir DIR] "
+                 "[--known-gaps DIR] [--max-mutations N] "
+                 "[--functions LO:HI] [--no-batch] [--no-baselines] "
+                 "[--no-cache]\n",
                  argv0);
     return 2;
+}
+
+/** The --image-mode campaign: mutate ELF/PE byte streams, assert the
+ *  loader contract, report the strict-outcome taxonomy. */
+int
+runImageCampaign(const fuzz::ImageFuzzConfig &config)
+{
+    std::printf("image-fuzzing: %llu runs, seed %llu, %u jobs, up to "
+                "%d mutations per run\n",
+                static_cast<unsigned long long>(config.runs),
+                static_cast<unsigned long long>(config.seed),
+                config.jobs, config.maxMutations);
+    fuzz::ImageFuzzRunner runner(config);
+    fuzz::ImageFuzzReport report = runner.run();
+
+    std::printf("done: %llu runs in %.1f s (%.1f runs/s): "
+                "%llu strict-loaded, %llu strict-rejected, "
+                "%llu salvage-recovered\n",
+                static_cast<unsigned long long>(report.runs),
+                report.wallSeconds,
+                report.wallSeconds > 0.0
+                    ? static_cast<double>(report.runs) /
+                          report.wallSeconds
+                    : 0.0,
+                static_cast<unsigned long long>(report.strictLoaded),
+                static_cast<unsigned long long>(report.strictRejected),
+                static_cast<unsigned long long>(
+                    report.salvageRecovered));
+    std::printf("strict outcome taxonomy:\n");
+    for (const auto &[code, count] : report.taxonomy)
+        std::printf("  %-20s %llu\n", code.c_str(),
+                    static_cast<unsigned long long>(count));
+
+    std::printf("%zu deduplicated finding(s)\n",
+                report.findings.size());
+    for (const fuzz::ImageFinding &finding : report.findings) {
+        std::printf("  [%s] %s\n", finding.divergence.key.c_str(),
+                    finding.divergence.detail.c_str());
+        std::printf("    first at run %llu, %llu duplicate(s); repro: "
+                    "format=%s preset=%s seed=%llu functions=%d "
+                    "mutations=%zu%s%s\n",
+                    static_cast<unsigned long long>(finding.runIndex),
+                    static_cast<unsigned long long>(
+                        finding.duplicates),
+                    finding.spec.format.c_str(),
+                    finding.spec.preset.c_str(),
+                    static_cast<unsigned long long>(
+                        finding.spec.corpusSeed),
+                    finding.spec.numFunctions,
+                    finding.spec.mutations.size(),
+                    finding.reproducerPath.empty() ? "" : " -> ",
+                    finding.reproducerPath.c_str());
+    }
+    if (report.clean()) {
+        std::printf("no loader-contract violations\n");
+        return 0;
+    }
+    return 1;
 }
 
 /** Reproducers marked `expect divergence` under @p dir. */
@@ -85,9 +153,12 @@ main(int argc, char **argv)
     config.seed = 1;
     config.jobs = 1;
     config.minimize = false;
+    bool imageMode = false;
     std::string knownGapsDir;
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--runs") && i + 1 < argc) {
+        if (!std::strcmp(argv[i], "--image-mode")) {
+            imageMode = true;
+        } else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc) {
             config.runs = std::strtoull(argv[++i], nullptr, 0);
         } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
             config.seed = std::strtoull(argv[++i], nullptr, 0);
@@ -125,6 +196,23 @@ main(int argc, char **argv)
     }
 
     try {
+        if (imageMode) {
+            if (!knownGapsDir.empty()) {
+                std::fprintf(stderr, "error: --known-gaps does not "
+                                     "apply to --image-mode\n");
+                return usage(argv[0]);
+            }
+            fuzz::ImageFuzzConfig imageConfig;
+            imageConfig.runs = config.runs;
+            imageConfig.seed = config.seed;
+            imageConfig.jobs = config.jobs;
+            imageConfig.minimize = config.minimize;
+            imageConfig.corpusDir = config.corpusDir;
+            imageConfig.maxMutations = config.maxMutations;
+            imageConfig.minFunctions = config.minFunctions;
+            imageConfig.maxFunctions = config.maxFunctions;
+            return runImageCampaign(imageConfig);
+        }
         if (!knownGapsDir.empty()) {
             config.knownGaps = loadKnownGaps(knownGapsDir);
             for (const fuzz::Reproducer &gap : config.knownGaps)

@@ -1,0 +1,697 @@
+#include "fuzz/image_fuzz.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <sstream>
+
+#include "image/elf_reader.hh"
+#include "image/pe_reader.hh"
+#include "image/writers.hh"
+#include "pipeline/thread_pool.hh"
+#include "support/error.hh"
+#include "synth/corpus.hh"
+
+namespace accdis::fuzz
+{
+
+namespace
+{
+
+constexpr const char *kKindNames[] = {
+    "flip-bit",  "set-byte", "write-le16", "write-le32",
+    "write-le64", "truncate", "extend",     "zero-range",
+};
+static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==
+              kNumImageMutationKinds);
+
+/** Hostile values a blind mutator should plant in header fields. */
+constexpr u64 kInterestingValues[] = {
+    0,
+    1,
+    0x7f,
+    0xff,
+    0x7fff,
+    0xffff,
+    0x7fffffff,
+    0xffffffff,
+    0xfffffff0,
+    0x100000000ull,
+    0x7fffffffffffffffull,
+    0xfffffffffffffff0ull,
+    0xfffffffffffffff8ull,
+    ~u64{0} - 1,
+    ~u64{0},
+};
+
+u64
+parseU64(const std::string &token, const std::string &context)
+{
+    try {
+        std::size_t used = 0;
+        u64 value = std::stoull(token, &used, 0);
+        if (used != token.size())
+            throw Error("trailing junk");
+        return value;
+    } catch (const std::exception &) {
+        throw Error("imgrepro: bad number '" + token + "' in " +
+                    context);
+    }
+}
+
+/** Per-run spec RNG seed: pure function of (masterSeed, runIndex). */
+u64
+runSeed(u64 masterSeed, u64 runIndex)
+{
+    return masterSeed ^ ((runIndex + 1) * 0x9e3779b97f4a7c15ull);
+}
+
+/** Filesystem-safe file stem for a divergence key. */
+std::string
+sanitizeKey(const std::string &key)
+{
+    std::string out;
+    for (char c : key) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '_';
+        out.push_back(ok ? c : '-');
+    }
+    return out;
+}
+
+/** Outcome of evaluating one run, folded in index order. */
+struct RunOutcome
+{
+    ImageRunSpec spec;
+    ImageLoadOutcome load;
+    std::vector<Divergence> divergences;
+};
+
+/** True when calling @p fn throws anything; the divergence (if any)
+ *  is appended to @p out under @p oracle/@p key. */
+template <typename Fn>
+bool
+mustNotThrow(Fn &&fn, const std::string &oracle, const std::string &key,
+             const std::string &what, std::vector<Divergence> &out)
+{
+    try {
+        fn();
+        return false;
+    } catch (const std::exception &err) {
+        out.push_back(
+            {oracle, key,
+             what + " threw std::exception: " + err.what()});
+    } catch (...) {
+        out.push_back({oracle, key, what + " threw a non-standard "
+                                           "exception"});
+    }
+    return true;
+}
+
+/** Structural consistency of one LoadResult against its input. */
+void
+checkResultShape(const LoadResult &result, u64 inputSize,
+                 const std::string &mode,
+                 std::vector<Divergence> &out)
+{
+    const std::string oracle = "image-load-contract";
+    if (result.ok() != result.report.loaded) {
+        out.push_back({oracle, "image-report-loaded-flag-" + mode,
+                       mode + ": report.loaded=" +
+                           (result.report.loaded ? "true" : "false") +
+                           " but image " +
+                           (result.ok() ? "present" : "absent")});
+    }
+    if (!result.ok()) {
+        if (result.report.issues.empty()) {
+            out.push_back({oracle, "image-report-missing-issue-" + mode,
+                           mode + ": load failed without a taxonomized "
+                                  "issue"});
+        }
+        return;
+    }
+    const BinaryImage &image = *result.image;
+    if (image.sections().empty()) {
+        out.push_back({oracle, "image-empty-success-" + mode,
+                       mode + ": load succeeded with zero sections"});
+    }
+    if (result.report.sectionsLoaded != image.sections().size()) {
+        out.push_back(
+            {oracle, "image-report-section-count-" + mode,
+             mode + ": report counts " +
+                 std::to_string(result.report.sectionsLoaded) +
+                 " loaded section(s), image has " +
+                 std::to_string(image.sections().size())});
+    }
+    for (const Section &section : image.sections()) {
+        if (section.size() > inputSize) {
+            out.push_back(
+                {oracle, "image-section-exceeds-input-" + mode,
+                 mode + ": section '" + section.name() + "' has " +
+                     std::to_string(section.size()) +
+                     " byte(s) from a " + std::to_string(inputSize) +
+                     "-byte input"});
+            break;
+        }
+    }
+}
+
+} // namespace
+
+const char *
+imageMutationKindName(ImageMutationKind kind)
+{
+    auto index = static_cast<std::size_t>(kind);
+    return index < kNumImageMutationKinds ? kKindNames[index]
+                                          : "unknown";
+}
+
+ImageMutationKind
+imageMutationKindFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumImageMutationKinds; ++i) {
+        if (name == kKindNames[i])
+            return static_cast<ImageMutationKind>(i);
+    }
+    return ImageMutationKind::NumKinds;
+}
+
+ByteVec
+buildSeedImageBytes(const ImageRunSpec &spec)
+{
+    synth::CorpusConfig config;
+    if (spec.preset == "gcc")
+        config = synth::gccLikePreset(spec.corpusSeed);
+    else if (spec.preset == "msvc")
+        config = synth::msvcLikePreset(spec.corpusSeed);
+    else if (spec.preset == "adversarial")
+        config = synth::adversarialPreset(spec.corpusSeed);
+    else
+        throw Error("imgrepro: unknown preset '" + spec.preset + "'");
+    config.numFunctions = spec.numFunctions;
+    synth::SynthBinary seed = synth::buildSynthBinary(config);
+    if (spec.format == "elf")
+        return writeElf(seed.image);
+    if (spec.format == "pe")
+        return writePe(seed.image);
+    throw Error("imgrepro: unknown format '" + spec.format + "'");
+}
+
+ByteVec
+applyImageMutations(ByteVec bytes,
+                    const std::vector<ImageMutation> &mutations)
+{
+    for (const ImageMutation &mutation : mutations) {
+        switch (mutation.kind) {
+        case ImageMutationKind::FlipBit:
+            if (!bytes.empty())
+                bytes[mutation.offset % bytes.size()] ^=
+                    static_cast<u8>(1u << (mutation.value % 8));
+            break;
+        case ImageMutationKind::SetByte:
+            if (!bytes.empty())
+                bytes[mutation.offset % bytes.size()] =
+                    static_cast<u8>(mutation.value);
+            break;
+        case ImageMutationKind::WriteLe16:
+        case ImageMutationKind::WriteLe32:
+        case ImageMutationKind::WriteLe64: {
+            if (bytes.empty())
+                break;
+            u64 width =
+                mutation.kind == ImageMutationKind::WriteLe16   ? 2
+                : mutation.kind == ImageMutationKind::WriteLe32 ? 4
+                                                                : 8;
+            u64 off = mutation.offset % bytes.size();
+            // Partial writes at the tail are fine: a blind mutator
+            // happily clips a field straddling EOF.
+            for (u64 i = 0; i < width && off + i < bytes.size(); ++i)
+                bytes[off + i] =
+                    static_cast<u8>(mutation.value >> (8 * i));
+            break;
+        }
+        case ImageMutationKind::Truncate:
+            bytes.resize(mutation.offset % (bytes.size() + 1));
+            break;
+        case ImageMutationKind::Extend:
+            bytes.resize(bytes.size() + mutation.offset % 4096,
+                         static_cast<u8>(mutation.value));
+            break;
+        case ImageMutationKind::ZeroRange: {
+            if (bytes.empty())
+                break;
+            u64 off = mutation.offset % bytes.size();
+            u64 len = mutation.value % (bytes.size() - off) + 1;
+            std::fill(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                      bytes.begin() +
+                          static_cast<std::ptrdiff_t>(off + len),
+                      u8{0});
+            break;
+        }
+        case ImageMutationKind::NumKinds:
+            break;
+        }
+    }
+    return bytes;
+}
+
+ByteVec
+buildImageMutant(const ImageRunSpec &spec)
+{
+    return applyImageMutations(buildSeedImageBytes(spec),
+                               spec.mutations);
+}
+
+std::vector<ImageMutation>
+randomImageMutations(Rng &rng, u64 streamSize, int maxMutations)
+{
+    std::vector<ImageMutation> mutations;
+    int count = static_cast<int>(
+        rng.below(static_cast<u64>(maxMutations) + 1));
+    for (int i = 0; i < count; ++i) {
+        ImageMutation mutation;
+        mutation.kind = static_cast<ImageMutationKind>(
+            rng.below(kNumImageMutationKinds));
+        // Bias offsets toward the header region (file header plus
+        // section/program tables live early or at recorded offsets;
+        // blind-but-front-loaded finds the parsing bugs fastest).
+        u64 size = streamSize ? streamSize : 1;
+        mutation.offset = rng.chance(0.7)
+                              ? rng.below(std::min<u64>(size, 512))
+                              : rng.below(size);
+        switch (mutation.kind) {
+        case ImageMutationKind::WriteLe16:
+        case ImageMutationKind::WriteLe32:
+        case ImageMutationKind::WriteLe64:
+            // Half hostile boundary values, half uniform noise.
+            mutation.value =
+                rng.chance(0.5)
+                    ? kInterestingValues[rng.below(
+                          sizeof(kInterestingValues) /
+                          sizeof(kInterestingValues[0]))]
+                    : rng.next();
+            break;
+        case ImageMutationKind::Truncate:
+            // Re-purpose offset as the new size (biased early).
+            break;
+        default:
+            mutation.value = rng.next();
+            break;
+        }
+        mutations.push_back(mutation);
+    }
+    return mutations;
+}
+
+std::vector<Divergence>
+checkImageLoadContract(ByteSpan bytes, const std::string &name,
+                       ImageLoadOutcome *outcome)
+{
+    std::vector<Divergence> out;
+    const std::string oracle = "image-load-contract";
+
+    LoadResult strict, salvage;
+    bool strictThrew = mustNotThrow(
+        [&] { strict = loadBinary(bytes, name); }, oracle,
+        "image-strict-load-throw", "strict loadBinary()", out);
+    LoadOptions salvageOptions;
+    salvageOptions.salvage = true;
+    bool salvageThrew = mustNotThrow(
+        [&] { salvage = loadBinary(bytes, name, salvageOptions); },
+        oracle, "image-salvage-load-throw", "salvage loadBinary()",
+        out);
+    if (strictThrew || salvageThrew)
+        return out;
+
+    checkResultShape(strict, bytes.size(), "strict", out);
+    checkResultShape(salvage, bytes.size(), "salvage", out);
+
+    // Salvage only ever adds tolerance: a strict success must load
+    // identically (same sections, same bytes) in salvage mode.
+    if (strict.ok()) {
+        if (!salvage.ok()) {
+            out.push_back({oracle, "image-salvage-regressed",
+                           "strict load succeeded but salvage load "
+                           "failed"});
+        } else if (strict.image->sections().size() !=
+                       salvage.image->sections().size() ||
+                   strict.image->executableBytes() !=
+                       salvage.image->executableBytes()) {
+            out.push_back({oracle, "image-salvage-diverged",
+                           "strict and salvage loads of a strict-ok "
+                           "image produced different sections"});
+        }
+    }
+
+    // The throwing wrappers must throw accdis::Error and nothing
+    // else — a std::length_error or std::bad_alloc escaping the
+    // reader means unchecked arithmetic reached a container.
+    if (isElf(bytes)) {
+        try {
+            readElf(bytes, name);
+        } catch (const Error &) {
+        } catch (const std::exception &err) {
+            out.push_back({oracle, "image-readelf-foreign-throw",
+                           std::string("readElf threw non-Error: ") +
+                               err.what()});
+        } catch (...) {
+            out.push_back({oracle, "image-readelf-foreign-throw",
+                           "readElf threw a non-standard exception"});
+        }
+    } else if (bytes.size() >= 2 && bytes[0] == 'M' && bytes[1] == 'Z') {
+        try {
+            readPe(bytes, name);
+        } catch (const Error &) {
+        } catch (const std::exception &err) {
+            out.push_back({oracle, "image-readpe-foreign-throw",
+                           std::string("readPe threw non-Error: ") +
+                               err.what()});
+        } catch (...) {
+            out.push_back({oracle, "image-readpe-foreign-throw",
+                           "readPe threw a non-standard exception"});
+        }
+    }
+
+    // Loading is a pure function of the bytes.
+    LoadResult again = loadBinary(bytes, name);
+    if (again.ok() != strict.ok() ||
+        again.report.summary() != strict.report.summary()) {
+        out.push_back({oracle, "image-load-nondeterministic",
+                       "two strict loads of identical bytes "
+                       "disagreed: '" +
+                           strict.report.summary() + "' vs '" +
+                           again.report.summary() + "'"});
+    }
+
+    if (outcome) {
+        outcome->strictOk = strict.ok();
+        outcome->salvageOk = salvage.ok();
+        outcome->salvaged = salvage.report.salvaged;
+        outcome->strictCode =
+            strict.ok() ? "ok"
+                        : loadErrorCodeName(strict.report.primaryCode());
+    }
+    return out;
+}
+
+bool
+imageReproExpectationHolds(const ImageReproducer &repro,
+                           const ImageLoadOutcome &outcome,
+                           std::string *why)
+{
+    auto fail = [&](const std::string &message) {
+        if (why)
+            *why = message;
+        return false;
+    };
+    if (repro.expect == "any")
+        return true;
+    if (repro.expect == "strict-ok") {
+        return outcome.strictOk ||
+               fail("expected strict-ok, got strict-error " +
+                    outcome.strictCode);
+    }
+    if (repro.expect == "salvage-ok") {
+        return outcome.salvageOk ||
+               fail("expected salvage-ok but salvage load failed "
+                    "(strict outcome: " +
+                    outcome.strictCode + ")");
+    }
+    const std::string prefix = "strict-error ";
+    if (repro.expect.rfind(prefix, 0) == 0) {
+        std::string code = repro.expect.substr(prefix.size());
+        if (outcome.strictOk)
+            return fail("expected strict-error " + code +
+                        ", but the strict load succeeded");
+        return outcome.strictCode == code ||
+               fail("expected strict-error " + code + ", got " +
+                    outcome.strictCode);
+    }
+    return fail("unknown expectation '" + repro.expect + "'");
+}
+
+std::string
+serializeImageRepro(const ImageReproducer &repro,
+                    const std::string &comment)
+{
+    std::ostringstream out;
+    out << "# accdis image-fuzz reproducer\n";
+    if (!comment.empty())
+        out << "# " << comment << "\n";
+    out << "format " << repro.spec.format << "\n";
+    out << "preset " << repro.spec.preset << "\n";
+    out << "seed " << repro.spec.corpusSeed << "\n";
+    out << "functions " << repro.spec.numFunctions << "\n";
+    for (const ImageMutation &mutation : repro.spec.mutations) {
+        out << "mutate " << imageMutationKindName(mutation.kind) << " "
+            << mutation.offset << " " << mutation.value << "\n";
+    }
+    out << "expect " << repro.expect << "\n";
+    return out.str();
+}
+
+ImageReproducer
+parseImageRepro(const std::string &text)
+{
+    ImageReproducer repro;
+    std::istringstream lines(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(lines, line)) {
+        ++lineNo;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream fields(line);
+        std::string directive;
+        if (!(fields >> directive))
+            continue;
+        std::string where = "line " + std::to_string(lineNo);
+        if (directive == "format") {
+            if (!(fields >> repro.spec.format))
+                throw Error("imgrepro: format needs a name, " + where);
+        } else if (directive == "preset") {
+            if (!(fields >> repro.spec.preset))
+                throw Error("imgrepro: preset needs a name, " + where);
+        } else if (directive == "seed") {
+            std::string token;
+            if (!(fields >> token))
+                throw Error("imgrepro: seed needs a value, " + where);
+            repro.spec.corpusSeed = parseU64(token, where);
+        } else if (directive == "functions") {
+            std::string token;
+            if (!(fields >> token))
+                throw Error("imgrepro: functions needs a value, " +
+                            where);
+            repro.spec.numFunctions =
+                static_cast<int>(parseU64(token, where));
+        } else if (directive == "mutate") {
+            std::string kindName, offToken, valueToken;
+            if (!(fields >> kindName >> offToken >> valueToken))
+                throw Error(
+                    "imgrepro: mutate needs <kind> <offset> <value>, " +
+                    where);
+            ImageMutationKind kind =
+                imageMutationKindFromName(kindName);
+            if (kind == ImageMutationKind::NumKinds)
+                throw Error("imgrepro: unknown mutation '" + kindName +
+                            "', " + where);
+            repro.spec.mutations.push_back(
+                {kind, parseU64(offToken, where),
+                 parseU64(valueToken, where)});
+        } else if (directive == "expect") {
+            std::string rest;
+            std::getline(fields, rest);
+            auto first = rest.find_first_not_of(" \t");
+            if (first == std::string::npos)
+                throw Error("imgrepro: expect needs a value, " + where);
+            auto last = rest.find_last_not_of(" \t");
+            repro.expect = rest.substr(first, last - first + 1);
+        } else {
+            throw Error("imgrepro: unknown directive '" + directive +
+                        "', " + where);
+        }
+    }
+    if (repro.spec.format != "elf" && repro.spec.format != "pe")
+        throw Error("imgrepro: format must be elf or pe, got '" +
+                    repro.spec.format + "'");
+    return repro;
+}
+
+ImageReproducer
+loadImageReproFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw Error("imgrepro: cannot open " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseImageRepro(text.str());
+}
+
+void
+writeImageReproFile(const std::string &path, const ImageReproducer &repro,
+                    const std::string &comment)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw Error("imgrepro: cannot open " + path + " for writing");
+    out << serializeImageRepro(repro, comment);
+    if (!out)
+        throw Error("imgrepro: short write on " + path);
+}
+
+ImageFuzzRunner::ImageFuzzRunner(ImageFuzzConfig config)
+    : config_(std::move(config))
+{}
+
+ImageRunSpec
+ImageFuzzRunner::specForRun(u64 runIndex) const
+{
+    Rng rng(runSeed(config_.seed, runIndex));
+    ImageRunSpec spec;
+    spec.format = rng.chance(0.5) ? "elf" : "pe";
+    static const char *const kPresets[] = {"gcc", "msvc",
+                                           "adversarial"};
+    spec.preset = kPresets[rng.below(3)];
+    spec.corpusSeed = rng.next();
+    int lo = std::max(1, config_.minFunctions);
+    int hi = std::max(lo, config_.maxFunctions);
+    spec.numFunctions = static_cast<int>(
+        rng.range(static_cast<u64>(lo), static_cast<u64>(hi)));
+    // The seed stream's size depends on the generated binary; build
+    // it so mutation offsets can target the actual layout.
+    ByteVec seedBytes = buildSeedImageBytes(spec);
+    spec.mutations = randomImageMutations(rng, seedBytes.size(),
+                                          config_.maxMutations);
+    return spec;
+}
+
+ImageRunSpec
+ImageFuzzRunner::minimizeSpec(const ImageRunSpec &spec,
+                              const std::string &key) const
+{
+    auto stillFails = [&key](const ImageRunSpec &candidate) {
+        std::vector<Divergence> divergences = checkImageLoadContract(
+            buildImageMutant(candidate), "minimize");
+        return std::any_of(divergences.begin(), divergences.end(),
+                           [&key](const Divergence &d) {
+                               return d.key == key;
+                           });
+    };
+    if (!stillFails(spec))
+        return spec;
+    ImageRunSpec best = spec;
+    bool shrunk = true;
+    while (shrunk && !best.mutations.empty()) {
+        shrunk = false;
+        for (std::size_t i = 0; i < best.mutations.size(); ++i) {
+            ImageRunSpec candidate = best;
+            candidate.mutations.erase(candidate.mutations.begin() +
+                                      static_cast<std::ptrdiff_t>(i));
+            if (stillFails(candidate)) {
+                best = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    return best;
+}
+
+ImageFuzzReport
+ImageFuzzRunner::run() const
+{
+    auto start = std::chrono::steady_clock::now();
+    ImageFuzzReport report;
+    report.runs = config_.runs;
+
+    auto evaluate = [this](u64 runIndex) {
+        RunOutcome outcome;
+        outcome.spec = specForRun(runIndex);
+        outcome.divergences = checkImageLoadContract(
+            buildImageMutant(outcome.spec),
+            "run" + std::to_string(runIndex), &outcome.load);
+        return outcome;
+    };
+
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(config_.runs);
+    unsigned jobs =
+        config_.jobs != 0
+            ? config_.jobs
+            : std::max(1u, std::thread::hardware_concurrency());
+    if (jobs <= 1) {
+        for (u64 i = 0; i < config_.runs; ++i)
+            outcomes.push_back(evaluate(i));
+    } else {
+        pipeline::ThreadPool pool(jobs);
+        std::vector<std::future<RunOutcome>> futures;
+        futures.reserve(config_.runs);
+        for (u64 i = 0; i < config_.runs; ++i)
+            futures.push_back(
+                pool.submit([&evaluate, i] { return evaluate(i); }));
+        // Collect strictly in run-index order: report contents become
+        // independent of scheduling, hence of the jobs value.
+        for (auto &future : futures)
+            outcomes.push_back(future.get());
+    }
+
+    std::map<std::string, u64> taxonomy;
+    std::map<std::string, std::size_t> findingIndex;
+    for (u64 i = 0; i < outcomes.size(); ++i) {
+        RunOutcome &outcome = outcomes[i];
+        if (outcome.load.strictOk)
+            ++report.strictLoaded;
+        else
+            ++report.strictRejected;
+        if (!outcome.load.strictOk && outcome.load.salvageOk)
+            ++report.salvageRecovered;
+        ++taxonomy[outcome.load.strictCode];
+        for (Divergence &divergence : outcome.divergences) {
+            auto it = findingIndex.find(divergence.key);
+            if (it != findingIndex.end()) {
+                ++report.findings[it->second].duplicates;
+                continue;
+            }
+            findingIndex.emplace(divergence.key,
+                                 report.findings.size());
+            ImageFinding finding;
+            finding.divergence = std::move(divergence);
+            finding.spec = outcome.spec;
+            finding.runIndex = i;
+            report.findings.push_back(std::move(finding));
+        }
+    }
+    report.taxonomy.assign(taxonomy.begin(), taxonomy.end());
+
+    for (ImageFinding &finding : report.findings) {
+        if (config_.minimize) {
+            finding.spec =
+                minimizeSpec(finding.spec, finding.divergence.key);
+        }
+        if (!config_.corpusDir.empty()) {
+            std::filesystem::create_directories(config_.corpusDir);
+            ImageReproducer repro;
+            repro.spec = finding.spec;
+            repro.expect = "any";
+            std::string path = config_.corpusDir + "/" +
+                               sanitizeKey(finding.divergence.key) +
+                               ".imgrepro";
+            writeImageReproFile(path, repro,
+                                finding.divergence.detail);
+            finding.reproducerPath = path;
+        }
+    }
+
+    report.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return report;
+}
+
+} // namespace accdis::fuzz

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Structure-unaware header-mutation fuzzing of the image loaders.
+ *
+ * Complementing the structure-aware engine fuzzer (fuzz/mutator.hh),
+ * this campaign attacks the *loading* layer: it serializes synthetic
+ * binaries into real ELF/PE byte streams (image/writers.hh), mutates
+ * them with blind byte-level operations — bit flips, little-endian
+ * writes of hostile values like UINT64_MAX into header fields,
+ * truncation, extension — and asserts the load contract on every
+ * mutant:
+ *
+ *  - loadBinary() (strict and salvage) never throws, crashes or
+ *    hangs: every input yields either a valid BinaryImage or a
+ *    taxonomized LoadReport;
+ *  - a failed load always carries at least one taxonomy issue, a
+ *    successful one at least one section, with report bookkeeping
+ *    (sectionsLoaded, per-section sizes) consistent with the image;
+ *  - a strict success implies a salvage success over the same bytes
+ *    with identical sections (salvage only ever *adds* tolerance);
+ *  - the throwing readElf()/readPe() wrappers throw accdis::Error
+ *    and nothing else;
+ *  - loading is deterministic: the same bytes load to the same
+ *    outcome twice.
+ *
+ * Memory-safety violations (the original wraparound bugs) surface as
+ * ASan/UBSan findings when the campaign runs under a sanitized build
+ * — the CI fuzz-smoke job does exactly that.
+ *
+ * Replayability: a mutation is a concrete (kind, offset, value)
+ * triple, so a spec replays bit-for-bit from its text form. Findings
+ * are minimized by greedily dropping mutations and written as
+ * .imgrepro files; the ones checked into tests/corpus/images/ are
+ * replayed as permanent regression tests.
+ */
+
+#ifndef ACCDIS_FUZZ_IMAGE_FUZZ_HH
+#define ACCDIS_FUZZ_IMAGE_FUZZ_HH
+
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hh"
+#include "image/loader.hh"
+#include "support/rng.hh"
+
+namespace accdis::fuzz
+{
+
+/** Blind byte-stream mutation repertoire. */
+enum class ImageMutationKind : u8
+{
+    FlipBit = 0, ///< XOR one bit of one byte.
+    SetByte,     ///< Overwrite one byte with a chosen value.
+    WriteLe16,   ///< Write a little-endian u16 at an offset.
+    WriteLe32,   ///< Write a little-endian u32 at an offset.
+    WriteLe64,   ///< Write a little-endian u64 at an offset.
+    Truncate,    ///< Cut the stream to a smaller size.
+    Extend,      ///< Append filler bytes.
+    ZeroRange,   ///< Zero a byte range.
+    NumKinds,
+};
+
+/** Number of ImageMutationKind values. */
+inline constexpr std::size_t kNumImageMutationKinds =
+    static_cast<std::size_t>(ImageMutationKind::NumKinds);
+
+/** Stable lowercase name of @p kind ("write-le64", ...). */
+const char *imageMutationKindName(ImageMutationKind kind);
+
+/** Parse a mutation kind name; returns NumKinds when unknown. */
+ImageMutationKind imageMutationKindFromName(const std::string &name);
+
+/**
+ * One concrete, replayable byte-stream mutation. Offsets are reduced
+ * modulo the current stream size at apply time, so a spec stays
+ * applicable after truncation shrank the stream.
+ */
+struct ImageMutation
+{
+    ImageMutationKind kind = ImageMutationKind::FlipBit;
+    /** Target offset (Truncate: new size; Extend: bytes to append). */
+    u64 offset = 0;
+    /** Payload (FlipBit: bit index; SetByte/Extend: byte value;
+     *  WriteLeNN: the value; ZeroRange: range length). */
+    u64 value = 0;
+
+    bool
+    operator==(const ImageMutation &other) const
+    {
+        return kind == other.kind && offset == other.offset &&
+               value == other.value;
+    }
+};
+
+/** Complete, replayable recipe for one image-fuzz input. */
+struct ImageRunSpec
+{
+    /** Container format of the seed stream: "elf" or "pe". */
+    std::string format = "elf";
+    /** Synth preset shaping the seed binary ("gcc"/"msvc"/
+     *  "adversarial" — varies section layout). */
+    std::string preset = "gcc";
+    /** Seed of the synthetic binary behind the byte stream. */
+    u64 corpusSeed = 1;
+    /** Function count of the seed binary (kept small for speed). */
+    int numFunctions = 4;
+    /** Mutation chain applied to the serialized bytes, in order. */
+    std::vector<ImageMutation> mutations;
+
+    bool
+    operator==(const ImageRunSpec &other) const
+    {
+        return format == other.format && preset == other.preset &&
+               corpusSeed == other.corpusSeed &&
+               numFunctions == other.numFunctions &&
+               mutations == other.mutations;
+    }
+};
+
+/** How one mutant fared under the load contract (for reporting). */
+struct ImageLoadOutcome
+{
+    /** Strict load produced an image. */
+    bool strictOk = false;
+    /** Salvage load produced an image. */
+    bool salvageOk = false;
+    /** Salvage load needed repairs (report.salvaged). */
+    bool salvaged = false;
+    /** Taxonomy name of the strict outcome ("salvaged" when ok). */
+    std::string strictCode;
+};
+
+/** An .imgrepro file: a spec plus an expectation to assert. */
+struct ImageReproducer
+{
+    ImageRunSpec spec;
+    /**
+     * "any" (contract only), "strict-ok" (strict load must produce
+     * an image), "salvage-ok" (salvage load must produce an image),
+     * or "strict-error <code>" (strict load must fail with exactly
+     * this taxonomy code).
+     */
+    std::string expect = "any";
+};
+
+/** One deduplicated contract violation found by a campaign. */
+struct ImageFinding
+{
+    /** The first divergence observed with this key. */
+    Divergence divergence;
+    /** Spec reproducing it — minimized when minimization ran. */
+    ImageRunSpec spec;
+    /** Run index of the first occurrence. */
+    u64 runIndex = 0;
+    /** Later runs that hit the same key. */
+    u64 duplicates = 0;
+    /** Reproducer file written for it; empty when none. */
+    std::string reproducerPath;
+};
+
+/** Configuration of one image-fuzz campaign. */
+struct ImageFuzzConfig
+{
+    /** Master seed; everything else derives from (seed, runIndex). */
+    u64 seed = 1;
+    /** Number of mutants to generate and check. */
+    u64 runs = 1000;
+    /** Worker threads; 0 selects hardware_concurrency(). */
+    unsigned jobs = 1;
+    /** Mutation-chain length range (0..max steps per run). */
+    int maxMutations = 8;
+    /** Function-count range for seed binaries. */
+    int minFunctions = 2;
+    int maxFunctions = 6;
+    /** Shrink each deduplicated finding by dropping mutations. */
+    bool minimize = false;
+    /** Directory for reproducer files; empty disables writing. */
+    std::string corpusDir;
+};
+
+/** Campaign outcome. */
+struct ImageFuzzReport
+{
+    u64 runs = 0;
+    /** Mutants the strict load accepted / rejected cleanly. */
+    u64 strictLoaded = 0;
+    u64 strictRejected = 0;
+    /** Mutants salvage mode recovered that strict rejected. */
+    u64 salvageRecovered = 0;
+    /** Taxonomy histogram of strict outcomes, by code name. */
+    std::vector<std::pair<std::string, u64>> taxonomy;
+    std::vector<ImageFinding> findings;
+    double wallSeconds = 0.0;
+
+    /** True when no contract violation was found. */
+    bool clean() const { return findings.empty(); }
+};
+
+/** Serialize the seed binary of @p spec into ELF/PE bytes. */
+ByteVec buildSeedImageBytes(const ImageRunSpec &spec);
+
+/** Apply @p mutations to @p bytes, in order. Deterministic. */
+ByteVec applyImageMutations(ByteVec bytes,
+                            const std::vector<ImageMutation> &mutations);
+
+/** Build the fully mutated byte stream of @p spec. */
+ByteVec buildImageMutant(const ImageRunSpec &spec);
+
+/** Draw a random mutation chain against a @p streamSize-byte image. */
+std::vector<ImageMutation> randomImageMutations(Rng &rng, u64 streamSize,
+                                                int maxMutations);
+
+/**
+ * Run the load contract on @p bytes. Returns every violation found
+ * (empty = contract holds); fills @p outcome when non-null.
+ */
+std::vector<Divergence> checkImageLoadContract(
+    ByteSpan bytes, const std::string &name,
+    ImageLoadOutcome *outcome = nullptr);
+
+/**
+ * True when @p repro's expectation holds for @p outcome; on failure
+ * @p why (when non-null) explains the mismatch.
+ */
+bool imageReproExpectationHolds(const ImageReproducer &repro,
+                                const ImageLoadOutcome &outcome,
+                                std::string *why = nullptr);
+
+/** Serialize to the .imgrepro text format (with a header comment). */
+std::string serializeImageRepro(const ImageReproducer &repro,
+                                const std::string &comment = "");
+
+/** Parse the .imgrepro format. @throws Error on malformed input. */
+ImageReproducer parseImageRepro(const std::string &text);
+
+/** Read and parse one .imgrepro file. @throws Error on failure. */
+ImageReproducer loadImageReproFile(const std::string &path);
+
+/** Write @p repro to @p path. @throws Error when the write fails. */
+void writeImageReproFile(const std::string &path,
+                         const ImageReproducer &repro,
+                         const std::string &comment = "");
+
+/** Runs image-fuzz campaigns. */
+class ImageFuzzRunner
+{
+  public:
+    explicit ImageFuzzRunner(ImageFuzzConfig config);
+
+    /** Execute the campaign described by the config. */
+    ImageFuzzReport run() const;
+
+    /**
+     * The spec of run @p runIndex — a pure function of the master
+     * seed and the index, so campaigns are deterministic at any
+     * --jobs value.
+     */
+    ImageRunSpec specForRun(u64 runIndex) const;
+
+    /**
+     * Greedily drop mutations from @p spec while the divergence
+     * keyed @p key still reproduces. Returns @p spec unchanged when
+     * it does not reproduce.
+     */
+    ImageRunSpec minimizeSpec(const ImageRunSpec &spec,
+                              const std::string &key) const;
+
+    const ImageFuzzConfig &config() const { return config_; }
+
+  private:
+    ImageFuzzConfig config_;
+};
+
+} // namespace accdis::fuzz
+
+#endif // ACCDIS_FUZZ_IMAGE_FUZZ_HH

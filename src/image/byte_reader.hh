@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bounds-checked, overflow-proof view over an untrusted byte stream.
+ *
+ * The ELF and PE readers share this core: every read states its
+ * offset and width, the reader verifies the range with subtraction-
+ * form checks (support/checked.hh) and returns nullopt instead of
+ * touching out-of-range memory. Unlike the raw readLeNN() helpers in
+ * support/bytes.hh — whose asserts compile out in release builds —
+ * a ByteReader is safe to point at arbitrary attacker-controlled
+ * bytes.
+ */
+
+#ifndef ACCDIS_IMAGE_BYTE_READER_HH
+#define ACCDIS_IMAGE_BYTE_READER_HH
+
+#include <optional>
+
+#include "support/bytes.hh"
+#include "support/checked.hh"
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** Overflow-safe random-access reader over a ByteSpan. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(ByteSpan bytes) : bytes_(bytes) {}
+
+    /** Total bytes available. */
+    u64 size() const { return bytes_.size(); }
+
+    /** True when [off, off + count) lies inside the stream. */
+    bool
+    canRead(u64 off, u64 count) const
+    {
+        return fitsRange(off, count, bytes_.size());
+    }
+
+    /**
+     * True when an @p count-entry table of @p entsize-byte records
+     * starting at @p off lies fully inside the stream; false both on
+     * ranges past the end and on count*entsize products that wrap.
+     */
+    bool
+    tableFits(u64 off, u64 count, u64 entsize) const
+    {
+        std::optional<u64> total = tableBytes(count, entsize);
+        return total && canRead(off, *total);
+    }
+
+    /** Byte at @p off, or nullopt when out of range. */
+    std::optional<u8>
+    u8At(u64 off) const
+    {
+        if (!canRead(off, 1))
+            return std::nullopt;
+        return bytes_[off];
+    }
+
+    /** Little-endian u16 at @p off, or nullopt when out of range. */
+    std::optional<u16>
+    u16At(u64 off) const
+    {
+        if (!canRead(off, 2))
+            return std::nullopt;
+        return readLe16(bytes_, off);
+    }
+
+    /** Little-endian u32 at @p off, or nullopt when out of range. */
+    std::optional<u32>
+    u32At(u64 off) const
+    {
+        if (!canRead(off, 4))
+            return std::nullopt;
+        return readLe32(bytes_, off);
+    }
+
+    /** Little-endian u64 at @p off, or nullopt when out of range. */
+    std::optional<u64>
+    u64At(u64 off) const
+    {
+        if (!canRead(off, 8))
+            return std::nullopt;
+        return readLe64(bytes_, off);
+    }
+
+    /** Subspan [off, off + count), or nullopt when out of range. */
+    std::optional<ByteSpan>
+    slice(u64 off, u64 count) const
+    {
+        if (!canRead(off, count))
+            return std::nullopt;
+        return bytes_.subspan(off, count);
+    }
+
+    /**
+     * The in-range prefix of [off, off + count): the full slice when
+     * it fits, the [off, end) tail when only the start is in range,
+     * and an empty span when even @p off is out of range. The salvage
+     * path uses this to clamp truncated section payloads.
+     */
+    ByteSpan
+    clampedSlice(u64 off, u64 count) const
+    {
+        if (off >= bytes_.size())
+            return {};
+        u64 avail = bytes_.size() - off;
+        return bytes_.subspan(off, count < avail ? count : avail);
+    }
+
+  private:
+    ByteSpan bytes_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_IMAGE_BYTE_READER_HH

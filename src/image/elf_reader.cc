@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <memory>
 
-#include "support/bytes.hh"
+#include "image/byte_reader.hh"
+#include "support/checked.hh"
 #include "support/error.hh"
 
 namespace accdis
@@ -41,32 +42,46 @@ struct ElfHeader
     u16 shstrndx;
 };
 
-ElfHeader
-parseHeader(ByteSpan bytes)
+/** Parse the file header into @p hdr; false (with issues) on reject. */
+bool
+parseHeader(const ByteReader &reader, LoadReport &report, ElfHeader &hdr)
 {
-    if (bytes.size() < 64)
-        throw Error("ELF: file shorter than the ELF64 header");
-    if (bytes[0] != kMag0 || bytes[1] != kMag1 || bytes[2] != kMag2 ||
-        bytes[3] != kMag3)
-        throw Error("ELF: bad magic");
-    if (bytes[4] != kClass64)
-        throw Error("ELF: only ELF64 is supported");
-    if (bytes[5] != kDataLsb)
-        throw Error("ELF: only little-endian images are supported");
+    if (reader.size() < 64) {
+        report.addIssue(LoadErrorCode::Truncated,
+                        "file shorter than the ELF64 header");
+        return false;
+    }
+    if (*reader.u8At(0) != kMag0 || *reader.u8At(1) != kMag1 ||
+        *reader.u8At(2) != kMag2 || *reader.u8At(3) != kMag3) {
+        report.addIssue(LoadErrorCode::BadMagic, "bad ELF magic");
+        return false;
+    }
+    if (*reader.u8At(4) != kClass64) {
+        report.addIssue(LoadErrorCode::Unsupported,
+                        "only ELF64 is supported");
+        return false;
+    }
+    if (*reader.u8At(5) != kDataLsb) {
+        report.addIssue(LoadErrorCode::Unsupported,
+                        "only little-endian images are supported");
+        return false;
+    }
 
-    ElfHeader hdr;
-    hdr.machine = readLe16(bytes, 18);
-    hdr.entry = readLe64(bytes, 24);
-    hdr.phoff = readLe64(bytes, 32);
-    hdr.shoff = readLe64(bytes, 40);
-    hdr.phentsize = readLe16(bytes, 54);
-    hdr.phnum = readLe16(bytes, 56);
-    hdr.shentsize = readLe16(bytes, 58);
-    hdr.shnum = readLe16(bytes, 60);
-    hdr.shstrndx = readLe16(bytes, 62);
-    if (hdr.machine != kMachineX8664)
-        throw Error("ELF: only x86-64 images are supported");
-    return hdr;
+    hdr.machine = *reader.u16At(18);
+    hdr.entry = *reader.u64At(24);
+    hdr.phoff = *reader.u64At(32);
+    hdr.shoff = *reader.u64At(40);
+    hdr.phentsize = *reader.u16At(54);
+    hdr.phnum = *reader.u16At(56);
+    hdr.shentsize = *reader.u16At(58);
+    hdr.shnum = *reader.u16At(60);
+    hdr.shstrndx = *reader.u16At(62);
+    if (hdr.machine != kMachineX8664) {
+        report.addIssue(LoadErrorCode::Unsupported,
+                        "only x86-64 images are supported");
+        return false;
+    }
+    return true;
 }
 
 std::string
@@ -78,82 +93,223 @@ sectionName(ByteSpan strtab, u32 nameOff)
     return out;
 }
 
-bool
-loadFromSections(ByteSpan bytes, const ElfHeader &hdr, BinaryImage &image)
+/**
+ * Classify an out-of-range [off, off + size) table/payload range:
+ * arithmetic that wraps is a hostile header, a non-wrapping range
+ * past EOF is a truncated file.
+ */
+LoadErrorCode
+rangeErrorCode(u64 off, u64 size)
 {
-    if (hdr.shoff == 0 || hdr.shnum == 0 || hdr.shentsize < 64)
-        return false;
-    if (hdr.shoff + static_cast<u64>(hdr.shnum) * hdr.shentsize >
-        bytes.size())
-        throw Error("ELF: section table extends past end of file");
+    return checkedAdd(off, size) ? LoadErrorCode::Truncated
+                                 : LoadErrorCode::OverflowingHeader;
+}
 
-    // Locate the section-name string table.
+/**
+ * Load SHT_PROGBITS+ALLOC sections from the section table. Returns
+ * true when at least one section was loaded; false when the image has
+ * no (usable) section table and the caller should try program
+ * headers. A malformed table entry fails the load in strict mode
+ * (loadFailed=true) and is dropped or clamped in salvage mode.
+ */
+bool
+loadFromSections(const ByteReader &reader, const ElfHeader &hdr,
+                 const LoadOptions &options, BinaryImage &image,
+                 LoadReport &report, bool &loadFailed)
+{
+    if (hdr.shoff == 0 || hdr.shnum == 0)
+        return false;
+    if (hdr.shentsize < 64) {
+        report.addIssue(LoadErrorCode::Unsupported,
+                        "section header entry size " +
+                            std::to_string(hdr.shentsize) +
+                            " below the ELF64 minimum of 64");
+        return false;
+    }
+
+    u16 shnum = hdr.shnum;
+    if (!reader.tableFits(hdr.shoff, shnum, hdr.shentsize)) {
+        std::optional<u64> total = tableBytes(shnum, hdr.shentsize);
+        LoadErrorCode code =
+            total ? rangeErrorCode(hdr.shoff, *total)
+                  : LoadErrorCode::OverflowingHeader;
+        report.addIssue(code,
+                        "section table extends past end of file");
+        if (!options.salvage) {
+            loadFailed = true;
+            return false;
+        }
+        // Salvage: keep the entries that do fit; fall back to program
+        // headers when not even one does.
+        u16 fits = 0;
+        while (fits < shnum &&
+               reader.tableFits(hdr.shoff, fits + u64{1},
+                                hdr.shentsize))
+            ++fits;
+        shnum = fits;
+        if (shnum == 0)
+            return false;
+    }
+
+    // Locate the section-name string table. A malformed string table
+    // costs only the names, never the load.
     ByteSpan strtab;
-    if (hdr.shstrndx < hdr.shnum) {
-        u64 sh = hdr.shoff + static_cast<u64>(hdr.shstrndx) * hdr.shentsize;
-        u64 off = readLe64(bytes, sh + 24);
-        u64 size = readLe64(bytes, sh + 32);
-        if (off + size <= bytes.size())
-            strtab = bytes.subspan(off, size);
+    if (hdr.shstrndx < shnum) {
+        u64 sh = hdr.shoff +
+                 static_cast<u64>(hdr.shstrndx) * hdr.shentsize;
+        u64 off = *reader.u64At(sh + 24);
+        u64 size = *reader.u64At(sh + 32);
+        if (std::optional<ByteSpan> slice = reader.slice(off, size)) {
+            strtab = *slice;
+        } else {
+            report.addIssue(rangeErrorCode(off, size),
+                            "section name string table out of range");
+        }
     }
 
     bool loadedAny = false;
-    for (u16 i = 0; i < hdr.shnum; ++i) {
+    for (u16 i = 0; i < shnum; ++i) {
         u64 sh = hdr.shoff + static_cast<u64>(i) * hdr.shentsize;
-        u32 nameOff = readLe32(bytes, sh);
-        u32 type = readLe32(bytes, sh + 4);
-        u64 flags = readLe64(bytes, sh + 8);
-        Addr addr = readLe64(bytes, sh + 16);
-        u64 off = readLe64(bytes, sh + 24);
-        u64 size = readLe64(bytes, sh + 32);
+        u32 nameOff = *reader.u32At(sh);
+        u32 type = *reader.u32At(sh + 4);
+        u64 flags = *reader.u64At(sh + 8);
+        Addr addr = *reader.u64At(sh + 16);
+        u64 off = *reader.u64At(sh + 24);
+        u64 size = *reader.u64At(sh + 32);
 
         if (type != kShtProgbits || !(flags & kShfAlloc) || size == 0)
             continue;
-        if (off + size > bytes.size())
-            throw Error("ELF: section payload extends past end of file");
 
         SectionFlags sflags;
         sflags.executable = (flags & kShfExecinstr) != 0;
         sflags.writable = (flags & kShfWrite) != 0;
-        ByteVec payload(bytes.begin() + off, bytes.begin() + off + size);
-        image.addSection(Section(sectionName(strtab, nameOff), addr,
-                                 std::move(payload), sflags));
+        std::string name = sectionName(strtab, nameOff);
+
+        ByteSpan payload;
+        if (std::optional<ByteSpan> slice = reader.slice(off, size)) {
+            payload = *slice;
+        } else if (!options.salvage) {
+            report.addIssue(rangeErrorCode(off, size),
+                            "section " + std::to_string(i) +
+                                " payload extends past end of file");
+            loadFailed = true;
+            return loadedAny;
+        } else if (off < reader.size()) {
+            // Truncated tail: keep the bytes that are present.
+            payload = reader.clampedSlice(off, size);
+            report.bytesClamped += size - payload.size();
+            report.addIssue(rangeErrorCode(off, size),
+                            "section " + std::to_string(i) +
+                                " clamped from " + std::to_string(size) +
+                                " to " + std::to_string(payload.size()) +
+                                " byte(s)");
+        } else {
+            ++report.sectionsDropped;
+            report.addIssue(rangeErrorCode(off, size),
+                            "section " + std::to_string(i) +
+                                " dropped: offset past end of file");
+            continue;
+        }
+        if (payload.empty())
+            continue;
+        image.addSection(Section(std::move(name), addr,
+                                 ByteVec(payload.begin(), payload.end()),
+                                 sflags));
+        ++report.sectionsLoaded;
         loadedAny = true;
     }
     return loadedAny;
 }
 
+/** Program-header fallback for fully stripped images; same contract
+ *  as loadFromSections. */
 bool
-loadFromProgramHeaders(ByteSpan bytes, const ElfHeader &hdr,
-                       BinaryImage &image)
+loadFromProgramHeaders(const ByteReader &reader, const ElfHeader &hdr,
+                       const LoadOptions &options, BinaryImage &image,
+                       LoadReport &report, bool &loadFailed)
 {
-    if (hdr.phoff == 0 || hdr.phnum == 0 || hdr.phentsize < 56)
+    if (hdr.phoff == 0 || hdr.phnum == 0)
         return false;
-    if (hdr.phoff + static_cast<u64>(hdr.phnum) * hdr.phentsize >
-        bytes.size())
-        throw Error("ELF: program header table extends past end of file");
+    if (hdr.phentsize < 56) {
+        report.addIssue(LoadErrorCode::Unsupported,
+                        "program header entry size " +
+                            std::to_string(hdr.phentsize) +
+                            " below the ELF64 minimum of 56");
+        return false;
+    }
+
+    u16 phnum = hdr.phnum;
+    if (!reader.tableFits(hdr.phoff, phnum, hdr.phentsize)) {
+        std::optional<u64> total = tableBytes(phnum, hdr.phentsize);
+        LoadErrorCode code =
+            total ? rangeErrorCode(hdr.phoff, *total)
+                  : LoadErrorCode::OverflowingHeader;
+        report.addIssue(code,
+                        "program header table extends past end of file");
+        if (!options.salvage) {
+            loadFailed = true;
+            return false;
+        }
+        u16 fits = 0;
+        while (fits < phnum &&
+               reader.tableFits(hdr.phoff, fits + u64{1},
+                                hdr.phentsize))
+            ++fits;
+        phnum = fits;
+        if (phnum == 0)
+            return false;
+    }
 
     bool loadedAny = false;
     int index = 0;
-    for (u16 i = 0; i < hdr.phnum; ++i) {
+    for (u16 i = 0; i < phnum; ++i) {
         u64 ph = hdr.phoff + static_cast<u64>(i) * hdr.phentsize;
-        u32 type = readLe32(bytes, ph);
-        u32 flags = readLe32(bytes, ph + 4);
-        u64 off = readLe64(bytes, ph + 8);
-        Addr vaddr = readLe64(bytes, ph + 16);
-        u64 filesz = readLe64(bytes, ph + 32);
+        u32 type = *reader.u32At(ph);
+        u32 flags = *reader.u32At(ph + 4);
+        u64 off = *reader.u64At(ph + 8);
+        Addr vaddr = *reader.u64At(ph + 16);
+        u64 filesz = *reader.u64At(ph + 32);
 
         if (type != kPtLoad || filesz == 0)
             continue;
-        if (off + filesz > bytes.size())
-            throw Error("ELF: segment payload extends past end of file");
 
         SectionFlags sflags;
         sflags.executable = (flags & kPfX) != 0;
         sflags.writable = (flags & kPfW) != 0;
-        ByteVec payload(bytes.begin() + off, bytes.begin() + off + filesz);
-        image.addSection(Section("load" + std::to_string(index++), vaddr,
-                                 std::move(payload), sflags));
+
+        ByteSpan payload;
+        if (std::optional<ByteSpan> slice =
+                reader.slice(off, filesz)) {
+            payload = *slice;
+        } else if (!options.salvage) {
+            report.addIssue(rangeErrorCode(off, filesz),
+                            "segment " + std::to_string(i) +
+                                " payload extends past end of file");
+            loadFailed = true;
+            return loadedAny;
+        } else if (off < reader.size()) {
+            payload = reader.clampedSlice(off, filesz);
+            report.bytesClamped += filesz - payload.size();
+            report.addIssue(rangeErrorCode(off, filesz),
+                            "segment " + std::to_string(i) +
+                                " clamped from " +
+                                std::to_string(filesz) + " to " +
+                                std::to_string(payload.size()) +
+                                " byte(s)");
+        } else {
+            ++report.sectionsDropped;
+            report.addIssue(rangeErrorCode(off, filesz),
+                            "segment " + std::to_string(i) +
+                                " dropped: offset past end of file");
+            continue;
+        }
+        if (payload.empty())
+            continue;
+        image.addSection(Section("load" + std::to_string(index++),
+                                 vaddr,
+                                 ByteVec(payload.begin(), payload.end()),
+                                 sflags));
+        ++report.sectionsLoaded;
         loadedAny = true;
     }
     return loadedAny;
@@ -168,17 +324,56 @@ isElf(ByteSpan bytes)
            bytes[2] == kMag2 && bytes[3] == kMag3;
 }
 
+LoadResult
+readElfReport(ByteSpan bytes, const std::string &name,
+              const LoadOptions &options)
+{
+    LoadResult result;
+    result.report.name = name;
+    result.report.format = "elf";
+
+    ByteReader reader(bytes);
+    ElfHeader hdr;
+    if (!parseHeader(reader, result.report, hdr))
+        return result;
+
+    BinaryImage image(name);
+    bool loadFailed = false;
+    bool loaded = loadFromSections(reader, hdr, options, image,
+                                   result.report, loadFailed);
+    if (!loaded && !loadFailed)
+        loaded = loadFromProgramHeaders(reader, hdr, options, image,
+                                        result.report, loadFailed);
+    if (loadFailed)
+        return result;
+    if (!loaded) {
+        result.report.addIssue(
+            LoadErrorCode::NoSections,
+            "no loadable sections or segments found");
+        return result;
+    }
+    if (hdr.entry != 0)
+        image.addEntryPoint(hdr.entry);
+    result.report.loaded = true;
+    result.report.salvaged =
+        options.salvage && !result.report.issues.empty();
+    result.image = std::move(image);
+    return result;
+}
+
 BinaryImage
 readElf(ByteSpan bytes, const std::string &name)
 {
-    ElfHeader hdr = parseHeader(bytes);
-    BinaryImage image(name);
-    if (!loadFromSections(bytes, hdr, image) &&
-        !loadFromProgramHeaders(bytes, hdr, image))
-        throw Error("ELF: no loadable sections or segments found");
-    if (hdr.entry != 0)
-        image.addEntryPoint(hdr.entry);
-    return image;
+    LoadResult result = readElfReport(bytes, name);
+    if (!result.ok()) {
+        const std::string &detail = result.report.issues.empty()
+                                        ? std::string("load failed")
+                                        : result.report.issues
+                                              .front()
+                                              .detail;
+        throw Error("ELF: " + detail);
+    }
+    return std::move(*result.image);
 }
 
 BinaryImage

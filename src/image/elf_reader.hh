@@ -12,6 +12,7 @@
 #include <string>
 
 #include "image/binary_image.hh"
+#include "image/loader.hh"
 #include "support/types.hh"
 
 namespace accdis
@@ -19,6 +20,19 @@ namespace accdis
 
 /** True when @p bytes starts with the ELF magic. */
 bool isElf(ByteSpan bytes);
+
+/**
+ * Parse an ELF64 little-endian image from memory, never throwing on
+ * malformed input: the outcome (and every problem found) comes back
+ * in the LoadResult's report. All offset/size arithmetic over header
+ * fields is overflow-checked, so hostile values near UINT64_MAX are
+ * rejected as overflowing-header instead of wrapping into
+ * out-of-bounds reads. With options.salvage, malformed section-table
+ * entries are dropped and truncated payloads clamped instead of
+ * failing the load.
+ */
+LoadResult readElfReport(ByteSpan bytes, const std::string &name,
+                         const LoadOptions &options = {});
 
 /**
  * Parse an ELF64 little-endian image from memory.

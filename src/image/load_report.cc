@@ -1,0 +1,82 @@
+#include "image/load_report.hh"
+
+namespace accdis
+{
+
+const char *
+loadErrorCodeName(LoadErrorCode code)
+{
+    switch (code) {
+    case LoadErrorCode::Io:
+        return "io";
+    case LoadErrorCode::Truncated:
+        return "truncated";
+    case LoadErrorCode::BadMagic:
+        return "bad-magic";
+    case LoadErrorCode::Unsupported:
+        return "unsupported";
+    case LoadErrorCode::OverflowingHeader:
+        return "overflowing-header";
+    case LoadErrorCode::NoSections:
+        return "no-sections";
+    case LoadErrorCode::Salvaged:
+        return "salvaged";
+    }
+    return "unknown";
+}
+
+bool
+loadErrorCodeFromName(const std::string &name, LoadErrorCode &out)
+{
+    static constexpr LoadErrorCode kCodes[] = {
+        LoadErrorCode::Io,           LoadErrorCode::Truncated,
+        LoadErrorCode::BadMagic,     LoadErrorCode::Unsupported,
+        LoadErrorCode::OverflowingHeader, LoadErrorCode::NoSections,
+        LoadErrorCode::Salvaged,
+    };
+    for (LoadErrorCode code : kCodes) {
+        if (name == loadErrorCodeName(code)) {
+            out = code;
+            return true;
+        }
+    }
+    return false;
+}
+
+LoadErrorCode
+LoadReport::primaryCode() const
+{
+    if (loaded)
+        return LoadErrorCode::Salvaged;
+    if (!issues.empty())
+        return issues.front().code;
+    return LoadErrorCode::NoSections;
+}
+
+std::string
+LoadReport::summary() const
+{
+    std::string out = format;
+    out += ": ";
+    if (loaded && !salvaged) {
+        out += "ok, " + std::to_string(sectionsLoaded) + " section(s)";
+        return out;
+    }
+    out += loadErrorCodeName(primaryCode());
+    if (loaded) {
+        out += " (" + std::to_string(sectionsLoaded) + " loaded, " +
+               std::to_string(sectionsDropped) + " dropped, " +
+               std::to_string(bytesClamped) + " byte(s) clamped)";
+    }
+    if (!issues.empty()) {
+        out += ": ";
+        out += issues.front().detail;
+        if (issues.size() > 1) {
+            out += " (+" + std::to_string(issues.size() - 1) +
+                   " more issue(s))";
+        }
+    }
+    return out;
+}
+
+} // namespace accdis

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Structured diagnostics for untrusted-image loading.
+ *
+ * Loading a binary from the wild must never be a boolean affair: a
+ * LoadReport records *why* an image was rejected (a small error
+ * taxonomy, machine-matchable by code) or what had to be dropped or
+ * clamped to salvage it. The batch pipeline turns these into per-item
+ * error records and load.* metrics, and the image fuzzer's oracle
+ * asserts every input yields either a valid image or a taxonomized
+ * report — never a crash.
+ */
+
+#ifndef ACCDIS_IMAGE_LOAD_REPORT_HH
+#define ACCDIS_IMAGE_LOAD_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/**
+ * Why a load failed, or what a salvaged load had to work around.
+ * Stable identifiers: metric names and reproducer expectations key on
+ * loadErrorCodeName() strings.
+ */
+enum class LoadErrorCode : u8
+{
+    /** File could not be opened, stat'ed or read. */
+    Io,
+    /** File ends before a structure its headers promise. */
+    Truncated,
+    /** Not an ELF or PE image at all. */
+    BadMagic,
+    /** Recognized but out of scope (ELF32, big-endian, non-x86-64). */
+    Unsupported,
+    /** A header field whose offset/size arithmetic would wrap —
+     *  always hostile or garbage, never a benign encoding. */
+    OverflowingHeader,
+    /** Structurally readable but nothing loadable inside. */
+    NoSections,
+    /** Not an error: parts were dropped/clamped in salvage mode. */
+    Salvaged,
+};
+
+/** Stable lowercase name of @p code ("overflowing-header", ...). */
+const char *loadErrorCodeName(LoadErrorCode code);
+
+/** Parse a taxonomy name; returns false when unknown. */
+bool loadErrorCodeFromName(const std::string &name, LoadErrorCode &out);
+
+/** One diagnostic: a taxonomy code plus a human-readable detail. */
+struct LoadIssue
+{
+    LoadErrorCode code = LoadErrorCode::Io;
+    std::string detail;
+};
+
+/** Everything the loader learned about one input. */
+struct LoadReport
+{
+    /** Input name (file path or synthetic id). */
+    std::string name;
+    /** "elf", "pe", or "unknown". */
+    std::string format = "unknown";
+    /** True when a usable BinaryImage was produced. */
+    bool loaded = false;
+    /** True when the image loaded only by dropping/clamping parts. */
+    bool salvaged = false;
+    /** Every problem noticed, in discovery order. */
+    std::vector<LoadIssue> issues;
+    /** Sections successfully loaded. */
+    u64 sectionsLoaded = 0;
+    /** Sections dropped by salvage (malformed header entries). */
+    u64 sectionsDropped = 0;
+    /** Payload bytes clamped off by salvage (truncated sections). */
+    u64 bytesClamped = 0;
+
+    /** Append an issue. */
+    void
+    addIssue(LoadErrorCode code, std::string detail)
+    {
+        issues.push_back(LoadIssue{code, std::move(detail)});
+    }
+
+    /**
+     * The primary taxonomy code: Salvaged for a salvaged success, the
+     * first issue's code for a failure, NoSections for an issue-free
+     * failure (defensive; the loader always records an issue).
+     */
+    LoadErrorCode primaryCode() const;
+
+    /** One-line human summary ("elf: truncated: ..."). */
+    std::string summary() const;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_IMAGE_LOAD_REPORT_HH

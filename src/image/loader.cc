@@ -1,0 +1,69 @@
+#include "image/loader.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "image/elf_reader.hh"
+#include "image/pe_reader.hh"
+
+namespace accdis
+{
+
+BinaryFormat
+detectFormat(ByteSpan bytes)
+{
+    if (bytes.size() >= 4 && bytes[0] == 0x7f && bytes[1] == 'E' &&
+        bytes[2] == 'L' && bytes[3] == 'F')
+        return BinaryFormat::Elf;
+    if (bytes.size() >= 2 && bytes[0] == 'M' && bytes[1] == 'Z')
+        return BinaryFormat::Pe;
+    return BinaryFormat::Unknown;
+}
+
+LoadResult
+loadBinary(ByteSpan bytes, const std::string &name,
+           const LoadOptions &options)
+{
+    switch (detectFormat(bytes)) {
+    case BinaryFormat::Elf:
+        return readElfReport(bytes, name, options);
+    case BinaryFormat::Pe:
+        return readPeReport(bytes, name, options);
+    case BinaryFormat::Unknown:
+        break;
+    }
+    LoadResult result;
+    result.report.name = name;
+    result.report.addIssue(LoadErrorCode::BadMagic,
+                           "neither ELF nor PE magic");
+    return result;
+}
+
+LoadResult
+loadBinaryFile(const std::string &path, const LoadOptions &options)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)>
+        file(std::fopen(path.c_str(), "rb"), &std::fclose);
+    auto ioFail = [&path](const std::string &detail) {
+        LoadResult result;
+        result.report.name = path;
+        result.report.addIssue(LoadErrorCode::Io, detail);
+        return result;
+    };
+    if (!file)
+        return ioFail("cannot open " + path);
+    if (std::fseek(file.get(), 0, SEEK_END) != 0)
+        return ioFail("cannot seek " + path);
+    long size = std::ftell(file.get());
+    if (size < 0)
+        return ioFail("cannot stat " + path);
+    std::fseek(file.get(), 0, SEEK_SET);
+    ByteVec bytes(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        std::fread(bytes.data(), 1, bytes.size(), file.get()) !=
+            bytes.size())
+        return ioFail("short read on " + path);
+    return loadBinary(bytes, path, options);
+}
+
+} // namespace accdis

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fault-tolerant front door for untrusted binaries.
+ *
+ * loadBinary()/loadBinaryFile() detect the format, run the matching
+ * overflow-proof reader and *return* a LoadResult instead of throwing:
+ * the image when one could be built, and always a LoadReport saying
+ * what happened. In salvage mode a partially corrupt image still
+ * yields its well-formed sections (with the damage itemized in the
+ * report); in strict mode any malformation fails the load with a
+ * taxonomized reason. This is the only entry point the batch pipeline
+ * and the CLI use for real-world files — the throwing readElf/readPe
+ * wrappers remain for callers that want exceptions.
+ */
+
+#ifndef ACCDIS_IMAGE_LOADER_HH
+#define ACCDIS_IMAGE_LOADER_HH
+
+#include <optional>
+#include <string>
+
+#include "image/binary_image.hh"
+#include "image/load_report.hh"
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** Loader behavior knobs. */
+struct LoadOptions
+{
+    /**
+     * Salvage mode: recover the well-formed sections of a partially
+     * corrupt image instead of failing the whole load. Malformed
+     * section-table entries are dropped, payloads running past EOF
+     * are clamped to the bytes actually present, and every such
+     * repair is itemized in the report (salvaged=true). Off (the
+     * default) preserves strict semantics: the first malformation
+     * fails the load.
+     */
+    bool salvage = false;
+};
+
+/** A loaded (or rejected) binary plus its diagnostics. */
+struct LoadResult
+{
+    /** The image, when one could be built. */
+    std::optional<BinaryImage> image;
+    /** Always populated: what happened during the load. */
+    LoadReport report;
+
+    bool ok() const { return image.has_value(); }
+};
+
+/** Container formats the loader recognizes. */
+enum class BinaryFormat : u8
+{
+    Unknown,
+    Elf,
+    Pe,
+};
+
+/** Cheap magic sniff; Unknown when neither ELF nor MZ. */
+BinaryFormat detectFormat(ByteSpan bytes);
+
+/**
+ * Parse @p bytes as whatever format its magic announces. Never
+ * throws on malformed input: a failed load comes back as
+ * !result.ok() with a taxonomized report.
+ */
+LoadResult loadBinary(ByteSpan bytes, const std::string &name,
+                      const LoadOptions &options = {});
+
+/**
+ * Read @p path and loadBinary() it. I/O problems come back as
+ * LoadErrorCode::Io report entries, not exceptions.
+ */
+LoadResult loadBinaryFile(const std::string &path,
+                          const LoadOptions &options = {});
+
+} // namespace accdis
+
+#endif // ACCDIS_IMAGE_LOADER_HH

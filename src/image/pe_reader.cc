@@ -1,9 +1,11 @@
 #include "image/pe_reader.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
-#include "support/bytes.hh"
+#include "image/byte_reader.hh"
+#include "support/checked.hh"
 #include "support/error.hh"
 
 namespace accdis
@@ -28,48 +30,91 @@ isPe(ByteSpan bytes)
     return bytes.size() >= 0x40 && readLe16(bytes, 0) == kDosMagic;
 }
 
-BinaryImage
-readPe(ByteSpan bytes, const std::string &name)
+LoadResult
+readPeReport(ByteSpan bytes, const std::string &name,
+             const LoadOptions &options)
 {
-    if (!isPe(bytes))
-        throw Error("PE: missing MZ header");
-    u32 peOff = readLe32(bytes, 0x3c);
-    if (peOff + 24 > bytes.size())
-        throw Error("PE: e_lfanew points past end of file");
-    if (readLe32(bytes, peOff) != kPeSignature)
-        throw Error("PE: bad PE signature");
+    LoadResult result;
+    LoadReport &report = result.report;
+    report.name = name;
+    report.format = "pe";
+
+    ByteReader reader(bytes);
+    std::optional<u16> dosMagic = reader.u16At(0);
+    if (!dosMagic || *dosMagic != kDosMagic) {
+        report.addIssue(LoadErrorCode::BadMagic, "missing MZ header");
+        return result;
+    }
+    std::optional<u32> peOffField = reader.u32At(0x3c);
+    if (!peOffField) {
+        report.addIssue(LoadErrorCode::Truncated,
+                        "file shorter than the DOS header");
+        return result;
+    }
+    // All further offset math is u64 over u32 header fields, so
+    // nothing here can wrap; an out-of-range e_lfanew is caught by
+    // the bounds check, not by 32-bit wraparound.
+    const u64 peOff = *peOffField;
+    if (!reader.canRead(peOff, 24)) {
+        report.addIssue(LoadErrorCode::Truncated,
+                        "e_lfanew points past end of file");
+        return result;
+    }
+    if (*reader.u32At(peOff) != kPeSignature) {
+        report.addIssue(LoadErrorCode::BadMagic, "bad PE signature");
+        return result;
+    }
 
     // COFF file header.
-    u16 machine = readLe16(bytes, peOff + 4);
-    u16 numSections = readLe16(bytes, peOff + 6);
-    u16 optSize = readLe16(bytes, peOff + 20);
-    if (machine != kMachineAmd64)
-        throw Error("PE: only x86-64 (PE32+) images are supported");
-    u64 optOff = peOff + 24;
-    if (optOff + optSize > bytes.size() || optSize < 112)
-        throw Error("PE: optional header truncated");
-    if (readLe16(bytes, optOff) != kPe32PlusMagic)
-        throw Error("PE: not a PE32+ optional header");
+    u16 machine = *reader.u16At(peOff + 4);
+    u16 numSections = *reader.u16At(peOff + 6);
+    u16 optSize = *reader.u16At(peOff + 20);
+    if (machine != kMachineAmd64) {
+        report.addIssue(LoadErrorCode::Unsupported,
+                        "only x86-64 (PE32+) images are supported");
+        return result;
+    }
+    const u64 optOff = peOff + 24;
+    if (optSize < 112 || !reader.canRead(optOff, optSize)) {
+        report.addIssue(LoadErrorCode::Truncated,
+                        "optional header truncated");
+        return result;
+    }
+    if (*reader.u16At(optOff) != kPe32PlusMagic) {
+        report.addIssue(LoadErrorCode::Unsupported,
+                        "not a PE32+ optional header");
+        return result;
+    }
 
-    Addr entryRva = readLe32(bytes, optOff + 16);
-    Addr imageBase = readLe64(bytes, optOff + 24);
+    Addr entryRva = *reader.u32At(optOff + 16);
+    Addr imageBase = *reader.u64At(optOff + 24);
 
     // Section table follows the optional header.
-    u64 secOff = optOff + optSize;
-    if (secOff + static_cast<u64>(numSections) * 40 > bytes.size())
-        throw Error("PE: section table truncated");
+    const u64 secOff = optOff + optSize;
+    u16 sections = numSections;
+    if (!reader.tableFits(secOff, sections, 40)) {
+        report.addIssue(LoadErrorCode::Truncated,
+                        "section table truncated");
+        if (!options.salvage)
+            return result;
+        u16 fits = 0;
+        while (fits < sections &&
+               reader.tableFits(secOff, fits + u64{1}, 40))
+            ++fits;
+        sections = fits;
+    }
 
     BinaryImage image(name);
-    for (u16 i = 0; i < numSections; ++i) {
+    for (u16 i = 0; i < sections; ++i) {
         u64 sh = secOff + static_cast<u64>(i) * 40;
         std::string secName;
-        for (int c = 0; c < 8 && bytes[sh + c] != 0; ++c)
-            secName.push_back(static_cast<char>(bytes[sh + c]));
-        u32 virtualSize = readLe32(bytes, sh + 8);
-        u32 rva = readLe32(bytes, sh + 12);
-        u32 rawSize = readLe32(bytes, sh + 16);
-        u32 rawOff = readLe32(bytes, sh + 20);
-        u32 characteristics = readLe32(bytes, sh + 36);
+        for (u64 c = 0; c < 8 && *reader.u8At(sh + c) != 0; ++c)
+            secName.push_back(static_cast<char>(*reader.u8At(sh + c)));
+        u32 virtualSize = *reader.u32At(sh + 8);
+        u32 rva = *reader.u32At(sh + 12);
+        u32 rawSize = *reader.u32At(sh + 16);
+        u32 rawOff = *reader.u32At(sh + 20);
+        u32 characteristics = *reader.u32At(sh + 36);
 
         if (characteristics & kScnCntUninitialized)
             continue; // .bss-style sections carry no bytes.
@@ -77,22 +122,68 @@ readPe(ByteSpan bytes, const std::string &name)
                                                           : rawSize);
         if (loadSize == 0)
             continue;
-        if (static_cast<u64>(rawOff) + loadSize > bytes.size())
-            throw Error("PE: section payload extends past end of file");
 
         SectionFlags flags;
         flags.executable = (characteristics & kScnMemExecute) != 0;
         flags.writable = (characteristics & kScnMemWrite) != 0;
-        ByteVec payload(bytes.begin() + rawOff,
-                        bytes.begin() + rawOff + loadSize);
-        image.addSection(Section(secName, imageBase + rva,
-                                 std::move(payload), flags));
+
+        ByteSpan payload;
+        if (std::optional<ByteSpan> slice =
+                reader.slice(rawOff, loadSize)) {
+            payload = *slice;
+        } else if (!options.salvage) {
+            report.addIssue(LoadErrorCode::Truncated,
+                            "section " + std::to_string(i) +
+                                " payload extends past end of file");
+            return result;
+        } else if (rawOff < reader.size()) {
+            payload = reader.clampedSlice(rawOff, loadSize);
+            report.bytesClamped += loadSize - payload.size();
+            report.addIssue(LoadErrorCode::Truncated,
+                            "section " + std::to_string(i) +
+                                " clamped from " +
+                                std::to_string(loadSize) + " to " +
+                                std::to_string(payload.size()) +
+                                " byte(s)");
+        } else {
+            ++report.sectionsDropped;
+            report.addIssue(LoadErrorCode::Truncated,
+                            "section " + std::to_string(i) +
+                                " dropped: raw data past end of file");
+            continue;
+        }
+        if (payload.empty())
+            continue;
+        image.addSection(Section(std::move(secName), imageBase + rva,
+                                 ByteVec(payload.begin(), payload.end()),
+                                 flags));
+        ++report.sectionsLoaded;
     }
-    if (image.sections().empty())
-        throw Error("PE: no loadable sections");
+    if (image.sections().empty()) {
+        report.addIssue(LoadErrorCode::NoSections,
+                        "no loadable sections");
+        return result;
+    }
     if (entryRva != 0)
         image.addEntryPoint(imageBase + entryRva);
-    return image;
+    report.loaded = true;
+    report.salvaged = options.salvage && !report.issues.empty();
+    result.image = std::move(image);
+    return result;
+}
+
+BinaryImage
+readPe(ByteSpan bytes, const std::string &name)
+{
+    LoadResult result = readPeReport(bytes, name);
+    if (!result.ok()) {
+        const std::string &detail =
+            result.report.issues.empty()
+                ? std::string("load failed")
+                : result.report.issues.front().detail;
+        throw Error("PE: " + detail);
+    }
+    return std::move(*result.image);
 }
 
 BinaryImage

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "image/binary_image.hh"
+#include "image/loader.hh"
 #include "support/types.hh"
 
 namespace accdis
@@ -19,6 +20,19 @@ namespace accdis
 
 /** True when @p bytes starts with the DOS "MZ" magic. */
 bool isPe(ByteSpan bytes);
+
+/**
+ * Parse a PE32+ x86-64 image from memory, never throwing on malformed
+ * input: the outcome (and every problem found) comes back in the
+ * LoadResult's report. All offset arithmetic runs in 64 bits over the
+ * 32-bit header fields, so an e_lfanew near UINT32_MAX is caught by
+ * the bounds check instead of wrapping. With options.salvage, a
+ * truncated section table is clamped to the entries that fit and
+ * malformed section payloads are dropped or clamped instead of
+ * failing the load.
+ */
+LoadResult readPeReport(ByteSpan bytes, const std::string &name,
+                        const LoadOptions &options = {});
 
 /**
  * Parse a PE32+ x86-64 image from memory. Loads every section with

@@ -225,14 +225,25 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
         for (std::size_t i = 0; i < images.size(); ++i) {
             BinaryResult &result = report.results[i];
             result.name = images[i]->name();
+            // Capture EVERYTHING, per item: an exception from one
+            // binary's analysis (Error or not) must become that
+            // item's error record, never abort the batch or leak a
+            // `catch (...)` black hole that discards the message.
             try {
                 for (auto &future : futures[i])
                     result.sections.push_back(future.get());
                 result.executableBytes = images[i]->executableBytes();
                 report.totalBytes += result.executableBytes;
-            } catch (const Error &err) {
+            } catch (const std::exception &err) {
                 result.sections.clear();
                 result.error = err.what();
+                result.errorKind = "analysis";
+                ++report.analysisFailures;
+            } catch (...) {
+                result.sections.clear();
+                result.error = "non-standard exception (no message)";
+                result.errorKind = "analysis";
+                ++report.analysisFailures;
             }
         }
         report.pool = pool.stats();
@@ -268,6 +279,8 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
         }
         metrics_->counter("batch.sections").add(sections);
         metrics_->counter("batch.failed_binaries").add(failed);
+        metrics_->counter("fault.analysis")
+            .add(report.analysisFailures);
         metrics_->counter("batch.bytes").add(report.totalBytes);
         metrics_->counter("batch.bytes_per_sec")
             .set(static_cast<u64>(report.bytesPerSecond()));
@@ -311,6 +324,85 @@ BatchAnalyzer::run(const std::vector<BinaryImage> &images) const
     for (const BinaryImage &image : images)
         pointers.push_back(&image);
     return run(pointers);
+}
+
+BatchReport
+BatchAnalyzer::run(const std::vector<LoadResult> &loads) const
+{
+    // Analyze the items that loaded; the rest become per-item load
+    // error records spliced back at their input positions.
+    std::vector<const BinaryImage *> images;
+    std::vector<std::size_t> position;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        if (loads[i].ok()) {
+            images.push_back(&*loads[i].image);
+            position.push_back(i);
+        }
+    }
+
+    BatchReport report = run(images);
+    std::vector<BinaryResult> expanded(loads.size());
+    for (std::size_t j = 0; j < position.size(); ++j)
+        expanded[position[j]] = std::move(report.results[j]);
+    report.results = std::move(expanded);
+
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        BinaryResult &result = report.results[i];
+        result.load = loads[i].report;
+        if (!loads[i].ok()) {
+            result.name = loads[i].report.name;
+            result.error = loads[i].report.summary();
+            result.errorKind = "load";
+            ++report.loadFailures;
+        } else if (loads[i].report.salvaged) {
+            ++report.salvagedLoads;
+        }
+    }
+
+    if (metrics_) {
+        u64 sectionsDropped = 0, bytesClamped = 0;
+        for (const LoadResult &load : loads) {
+            sectionsDropped += load.report.sectionsDropped;
+            bytesClamped += load.report.bytesClamped;
+            if (!load.ok()) {
+                metrics_
+                    ->counter(std::string("load.error.") +
+                              loadErrorCodeName(
+                                  load.report.primaryCode()))
+                    .inc();
+            }
+        }
+        metrics_->counter("load.attempted").add(loads.size());
+        metrics_->counter("load.loaded")
+            .add(loads.size() - report.loadFailures);
+        metrics_->counter("load.salvaged").add(report.salvagedLoads);
+        metrics_->counter("load.failed").add(report.loadFailures);
+        metrics_->counter("load.sections_dropped")
+            .add(sectionsDropped);
+        metrics_->counter("load.bytes_clamped").add(bytesClamped);
+        metrics_->counter("fault.load").add(report.loadFailures);
+        metrics_->counter("fault.total")
+            .add(report.loadFailures + report.analysisFailures);
+    }
+    return report;
+}
+
+BatchReport
+BatchAnalyzer::runFiles(const std::vector<std::string> &paths) const
+{
+    std::vector<LoadResult> loads;
+    loads.reserve(paths.size());
+    auto start = std::chrono::steady_clock::now();
+    for (const std::string &path : paths)
+        loads.push_back(loadBinaryFile(path, config_.load));
+    if (metrics_) {
+        auto elapsed = std::chrono::steady_clock::now() - start;
+        metrics_->timer("load.wall").add(static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                elapsed)
+                .count()));
+    }
+    return run(loads);
 }
 
 } // namespace accdis::pipeline

@@ -20,6 +20,7 @@
 #include "cache/result_cache.hh"
 #include "core/engine.hh"
 #include "image/binary_image.hh"
+#include "image/loader.hh"
 #include "pipeline/metrics.hh"
 #include "pipeline/thread_pool.hh"
 
@@ -63,6 +64,13 @@ struct BatchConfig
      * from the cache without re-analysis.
      */
     bool cacheExplain = false;
+
+    /**
+     * Loader behavior for runFiles(): salvage mode recovers the
+     * well-formed sections of partially corrupt images instead of
+     * failing them (see LoadOptions).
+     */
+    LoadOptions load;
 };
 
 /** Analysis outcome of one binary within a batch. */
@@ -74,8 +82,15 @@ struct BinaryResult
     std::vector<DisassemblyEngine::SectionResult> sections;
     /** Executable bytes analyzed. */
     u64 executableBytes = 0;
-    /** Empty on success; the Error message when analysis failed. */
+    /** Empty on success; the exception message when this item
+     *  failed. One bad item never fails the batch: every failure is
+     *  captured here, per item, with the batch completing. */
     std::string error;
+    /** Which stage failed: "" (success), "load" or "analysis". */
+    std::string errorKind;
+    /** Loader diagnostics (populated by the LoadResult/runFiles
+     *  entry points; default for pre-loaded images). */
+    LoadReport load;
 
     bool ok() const { return error.empty(); }
 };
@@ -93,6 +108,12 @@ struct BatchReport
     u64 totalBytes = 0;
     /** Pool statistics of the run (steals, queue depth, tasks). */
     PoolStats pool;
+    /** Items whose load failed (LoadResult/runFiles entry points). */
+    u64 loadFailures = 0;
+    /** Items loaded only through salvage-mode repairs. */
+    u64 salvagedLoads = 0;
+    /** Items whose analysis threw (captured per item). */
+    u64 analysisFailures = 0;
     /** Per-pass engine times accumulated across the whole batch,
      *  keyed by pass name, covering every registered pass that ran. */
     PassTimes::Snapshot passTimes;
@@ -155,6 +176,25 @@ class BatchAnalyzer
 
     /** Convenience overload over owned images. */
     BatchReport run(const std::vector<BinaryImage> &images) const;
+
+    /**
+     * Fault-isolated batch over loader outcomes: items that failed to
+     * load become per-item "load" error records carrying their
+     * LoadReport, loaded items are analyzed (with "analysis" failures
+     * likewise captured per item), and load/fault metrics are
+     * recorded. Results stay in input order; the healthy items'
+     * results are byte-identical to a run() over just those images.
+     */
+    BatchReport run(const std::vector<LoadResult> &loads) const;
+
+    /**
+     * Load every path (honoring BatchConfig::load, e.g. salvage
+     * mode) and run the fault-isolated batch over the outcomes. One
+     * hostile input can never take down the batch: I/O errors, parse
+     * rejections and analysis exceptions all become structured
+     * per-item records.
+     */
+    BatchReport runFiles(const std::vector<std::string> &paths) const;
 
     const BatchConfig &config() const { return config_; }
 

@@ -66,6 +66,15 @@ appendLe64(ByteVec &out, u64 v)
         out.push_back(static_cast<u8>(v >> (8 * i)));
 }
 
+/** Overwrite a little-endian 16-bit value in place. */
+inline void
+writeLe16(ByteVec &out, Offset off, u16 v)
+{
+    assert(off + 2 <= out.size());
+    out[off] = static_cast<u8>(v);
+    out[off + 1] = static_cast<u8>(v >> 8);
+}
+
 /** Overwrite a little-endian 32-bit value in place. */
 inline void
 writeLe32(ByteVec &out, Offset off, u32 v)

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Overflow-proof unsigned arithmetic for untrusted-input parsing.
+ *
+ * Every offset/size computation over attacker-controlled header
+ * fields must go through these helpers: the naive `off + size >
+ * limit` bounds check silently wraps for `off` near UINT64_MAX and
+ * then admits an out-of-range access. The subtraction-form
+ * `fitsRange()` and the explicit checked add/mul below cannot wrap,
+ * whatever the inputs.
+ */
+
+#ifndef ACCDIS_SUPPORT_CHECKED_HH
+#define ACCDIS_SUPPORT_CHECKED_HH
+
+#include <optional>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** a + b, or nullopt when the sum would wrap past UINT64_MAX. */
+inline std::optional<u64>
+checkedAdd(u64 a, u64 b)
+{
+    if (a > ~u64{0} - b)
+        return std::nullopt;
+    return a + b;
+}
+
+/** a * b, or nullopt when the product would wrap past UINT64_MAX. */
+inline std::optional<u64>
+checkedMul(u64 a, u64 b)
+{
+    if (b != 0 && a > ~u64{0} / b)
+        return std::nullopt;
+    return a * b;
+}
+
+/**
+ * True when the half-open range [off, off + size) lies inside
+ * [0, limit). Subtraction form: never computes `off + size`, so it is
+ * immune to wraparound for any input values.
+ */
+inline bool
+fitsRange(u64 off, u64 size, u64 limit)
+{
+    return off <= limit && size <= limit - off;
+}
+
+/**
+ * Size of an @p count-entry table of @p entsize-byte records, or
+ * nullopt when the product would wrap (a table that cannot possibly
+ * fit in any file).
+ */
+inline std::optional<u64>
+tableBytes(u64 count, u64 entsize)
+{
+    return checkedMul(count, entsize);
+}
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_CHECKED_HH

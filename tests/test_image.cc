@@ -1,8 +1,11 @@
 /**
  * @file
- * Unit tests for the binary-image substrate, including the from-scratch
- * ELF64 reader exercised against a hand-built ELF image and against a
- * real system binary when one is available.
+ * Unit tests for the binary-image substrate: the from-scratch ELF64
+ * and PE32+ readers against hand-built images, a malformed-input
+ * matrix (truncation at every header boundary, zero/huge/overlapping
+ * sections, tables past EOF, offsets near UINT64_MAX that used to
+ * wrap the bounds checks) asserting the LoadReport taxonomy and
+ * salvage-mode behavior, and a real system binary when available.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +14,7 @@
 
 #include "image/binary_image.hh"
 #include "image/elf_reader.hh"
+#include "image/pe_reader.hh"
 #include "support/bytes.hh"
 #include "support/error.hh"
 
@@ -149,6 +153,307 @@ TEST(ElfReader, RejectsSectionPastEof)
     // Corrupt .text size to extend past the file end.
     writeLe64(elf, 0x100 + 64 + 32, 1 << 20);
     EXPECT_THROW(readElf(elf, "eof"), Error);
+}
+
+/** Salvage-mode load options, for the malformed matrix below. */
+LoadOptions
+salvageMode()
+{
+    LoadOptions options;
+    options.salvage = true;
+    return options;
+}
+
+TEST(ElfReport, TruncationAtEveryHeaderBoundary)
+{
+    ByteVec elf = buildTinyElf();
+    // Below 64 bytes there is no complete ELF64 header: the taxonomy
+    // is Truncated regardless of where the cut lands.
+    for (std::size_t size : {std::size_t{0}, std::size_t{1},
+                             std::size_t{4}, std::size_t{16},
+                             std::size_t{63}}) {
+        ByteVec cut(elf.begin(),
+                    elf.begin() + static_cast<std::ptrdiff_t>(size));
+        LoadResult result = readElfReport(cut, "trunc");
+        EXPECT_FALSE(result.ok()) << "size " << size;
+        EXPECT_EQ(result.report.primaryCode(), LoadErrorCode::Truncated)
+            << "size " << size;
+        EXPECT_FALSE(result.report.issues.empty());
+    }
+}
+
+TEST(ElfReport, SectionTablePastEofStrictVsSalvage)
+{
+    ByteVec elf = buildTinyElf();
+    elf.resize(0x100); // cut the file right before the section table
+    LoadResult strict = readElfReport(elf, "headless");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(), LoadErrorCode::Truncated);
+
+    // Salvage clamps the table to the zero entries that fit; with no
+    // program headers to fall back to, the load still fails — but as
+    // a taxonomized outcome (root cause first, then no-sections), not
+    // a crash.
+    LoadResult salvage = readElfReport(elf, "headless", salvageMode());
+    EXPECT_FALSE(salvage.ok());
+    EXPECT_EQ(salvage.report.primaryCode(), LoadErrorCode::Truncated);
+    ASSERT_GE(salvage.report.issues.size(), 2u);
+    EXPECT_EQ(salvage.report.issues.back().code,
+              LoadErrorCode::NoSections);
+}
+
+TEST(ElfReport, MidTableTruncationSalvagesFittingEntries)
+{
+    ByteVec elf = buildTinyElf();
+    // Keep the null entry and .text but cut .shstrtab's header short.
+    elf.resize(0x100 + 2 * 64 + 10);
+    EXPECT_THROW(readElf(elf, "midtable"), Error);
+
+    LoadResult salvage = readElfReport(elf, "midtable", salvageMode());
+    ASSERT_TRUE(salvage.ok());
+    EXPECT_TRUE(salvage.report.salvaged);
+    EXPECT_EQ(salvage.report.primaryCode(), LoadErrorCode::Salvaged);
+    ASSERT_EQ(salvage.image->sections().size(), 1u);
+    // shstrndx points past the clamped table, so the name is lost but
+    // the bytes survive.
+    EXPECT_EQ(salvage.image->section(0).size(), 16u);
+    EXPECT_EQ(salvage.image->section(0).bytes()[0], 0xc3);
+}
+
+TEST(ElfReport, SectionOffsetNearU64MaxDoesNotWrap)
+{
+    // Regression: off + size used to wrap around u64 and pass the
+    // `off + size <= file size` bounds check, handing the Section a
+    // wild slice. The subtraction-form check must classify this as an
+    // overflowing header in strict mode and drop the section in
+    // salvage mode.
+    ByteVec elf = buildTinyElf();
+    writeLe64(elf, 0x100 + 64 + 24, ~u64{0} - 8); // .text offset
+    writeLe64(elf, 0x100 + 64 + 32, 16);          // .text size
+
+    LoadResult strict = readElfReport(elf, "wrap");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(),
+              LoadErrorCode::OverflowingHeader);
+    EXPECT_THROW(readElf(elf, "wrap"), Error);
+
+    LoadResult salvage = readElfReport(elf, "wrap", salvageMode());
+    EXPECT_FALSE(salvage.ok());
+    EXPECT_EQ(salvage.report.sectionsDropped, 1u);
+}
+
+TEST(ElfReport, SectionTableOffsetNearU64MaxDoesNotWrap)
+{
+    // Regression: shoff + shnum * shentsize used to wrap, reading the
+    // "section table" from low memory offsets.
+    ByteVec elf = buildTinyElf();
+    writeLe64(elf, 40, ~u64{0} - 64); // e_shoff
+    LoadResult strict = readElfReport(elf, "shoff-wrap");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(),
+              LoadErrorCode::OverflowingHeader);
+    EXPECT_THROW(readElf(elf, "shoff-wrap"), Error);
+}
+
+TEST(ElfReport, StrtabOffsetNearU64MaxCostsOnlyNames)
+{
+    // Regression: the string-table bounds check had the same
+    // wraparound; a hostile strtab header must cost the names, never
+    // the load (and never an out-of-bounds read).
+    ByteVec elf = buildTinyElf();
+    writeLe64(elf, 0x100 + 2 * 64 + 24, ~u64{0} - 4); // .shstrtab off
+    writeLe64(elf, 0x100 + 2 * 64 + 32, 16);          // .shstrtab size
+
+    LoadResult result = readElfReport(elf, "strtab-wrap");
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.image->sections().size(), 1u);
+    EXPECT_EQ(result.image->section(0).name(), "");
+    ASSERT_FALSE(result.report.issues.empty());
+    EXPECT_EQ(result.report.issues[0].code,
+              LoadErrorCode::OverflowingHeader);
+}
+
+TEST(ElfReport, ZeroSizeSectionsYieldNoSections)
+{
+    ByteVec elf = buildTinyElf();
+    writeLe64(elf, 0x100 + 64 + 32, 0); // .text size = 0
+    LoadResult result = readElfReport(elf, "empty");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.report.primaryCode(), LoadErrorCode::NoSections);
+}
+
+TEST(ElfReport, OverlappingSectionsAreTolerated)
+{
+    // Overlapping PROGBITS payloads are legal as far as loading goes
+    // (layout conflicts are the analysis layers' concern): both load.
+    ByteVec elf = buildTinyElf();
+    u64 sh = 0x100 + 2 * 64; // repurpose .shstrtab as a second PROGBITS
+    writeLe32(elf, sh + 4, 1);         // SHT_PROGBITS
+    writeLe64(elf, sh + 8, 0x2);       // ALLOC
+    writeLe64(elf, sh + 16, 0x402000); // addr
+    writeLe64(elf, sh + 24, 0x88);     // overlaps .text's payload
+    writeLe64(elf, sh + 32, 8);
+
+    LoadResult result = readElfReport(elf, "overlap");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.image->sections().size(), 2u);
+    EXPECT_EQ(result.report.sectionsLoaded, 2u);
+}
+
+TEST(ElfReport, HugeSectionClampedInSalvageMode)
+{
+    ByteVec elf = buildTinyElf();
+    writeLe64(elf, 0x100 + 64 + 32, 1 << 20); // .text size = 1 MiB
+    LoadResult salvage = readElfReport(elf, "huge", salvageMode());
+    ASSERT_TRUE(salvage.ok());
+    EXPECT_TRUE(salvage.report.salvaged);
+    ASSERT_EQ(salvage.image->sections().size(), 1u);
+    // Only the bytes actually in the file: 0x80 to EOF.
+    EXPECT_EQ(salvage.image->section(0).size(), elf.size() - 0x80);
+    EXPECT_EQ(salvage.report.bytesClamped,
+              (u64{1} << 20) - (elf.size() - 0x80));
+}
+
+/** Build a minimal but well-formed PE32+ x86-64 image in memory. */
+ByteVec
+buildTinyPe()
+{
+    // Layout: DOS header [0,0x40), PE signature + COFF at 0x40,
+    // optional header (112 bytes) at 0x58, one 40-byte section header
+    // at 0xc8, .text payload [0x200,0x210).
+    ByteVec pe(0x210, 0);
+    pe[0] = 'M'; pe[1] = 'Z';
+    writeLe32(pe, 0x3c, 0x40);  // e_lfanew
+    writeLe32(pe, 0x40, 0x00004550); // "PE\0\0"
+    writeLe16(pe, 0x44, 0x8664); // machine: AMD64
+    writeLe16(pe, 0x46, 1);      // NumberOfSections
+    writeLe16(pe, 0x54, 112);    // SizeOfOptionalHeader
+    writeLe16(pe, 0x58, 0x20b);  // PE32+ magic
+    writeLe32(pe, 0x58 + 16, 0x1000);     // AddressOfEntryPoint
+    writeLe64(pe, 0x58 + 24, 0x140000000); // ImageBase
+
+    u64 sh = 0xc8;
+    const char name[] = ".text";
+    for (std::size_t i = 0; i < sizeof(name) - 1; ++i)
+        pe[sh + i] = static_cast<u8>(name[i]);
+    writeLe32(pe, sh + 8, 16);     // VirtualSize
+    writeLe32(pe, sh + 12, 0x1000); // VirtualAddress
+    writeLe32(pe, sh + 16, 16);    // SizeOfRawData
+    writeLe32(pe, sh + 20, 0x200); // PointerToRawData
+    writeLe32(pe, sh + 36, 0x60000020); // CODE | EXECUTE | READ
+
+    pe[0x200] = 0xc3;
+    for (int i = 1; i < 16; ++i)
+        pe[0x200 + i] = 0x90;
+    return pe;
+}
+
+TEST(PeReader, ParsesTinyImage)
+{
+    ByteVec pe = buildTinyPe();
+    BinaryImage image = readPe(pe, "tiny");
+    ASSERT_EQ(image.sections().size(), 1u);
+    const Section &text = image.section(0);
+    EXPECT_EQ(text.name(), ".text");
+    EXPECT_EQ(text.base(), 0x140001000u);
+    EXPECT_EQ(text.size(), 16u);
+    EXPECT_TRUE(text.flags().executable);
+    EXPECT_EQ(text.bytes()[0], 0xc3);
+    ASSERT_EQ(image.entryPoints().size(), 1u);
+    EXPECT_EQ(image.entryPoints()[0], 0x140001000u);
+}
+
+TEST(PeReport, TruncationAtEveryHeaderBoundary)
+{
+    ByteVec pe = buildTinyPe();
+    struct Case
+    {
+        std::size_t size;
+        LoadErrorCode code;
+    };
+    const Case cases[] = {
+        {0, LoadErrorCode::BadMagic},    // no MZ to read
+        {1, LoadErrorCode::BadMagic},    // half an MZ
+        {0x20, LoadErrorCode::Truncated}, // e_lfanew missing
+        {0x44, LoadErrorCode::Truncated}, // COFF header cut short
+        {0x60, LoadErrorCode::Truncated}, // optional header cut short
+        {0xd0, LoadErrorCode::Truncated}, // section table cut short
+    };
+    for (const Case &c : cases) {
+        ByteVec cut(pe.begin(),
+                    pe.begin() + static_cast<std::ptrdiff_t>(c.size));
+        LoadResult result = readPeReport(cut, "trunc");
+        EXPECT_FALSE(result.ok()) << "size " << c.size;
+        EXPECT_EQ(result.report.primaryCode(), c.code)
+            << "size " << c.size;
+    }
+}
+
+TEST(PeReport, LfanewNearU32MaxDoesNotWrap)
+{
+    // Regression: peOff + 24 was computed in u32, so an e_lfanew near
+    // UINT32_MAX wrapped to a small offset and the reader parsed
+    // garbage as a COFF header. The check now runs in u64.
+    ByteVec pe = buildTinyPe();
+    writeLe32(pe, 0x3c, 0xfffffff0);
+    LoadResult result = readPeReport(pe, "lfanew-wrap");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.report.primaryCode(), LoadErrorCode::Truncated);
+    EXPECT_THROW(readPe(pe, "lfanew-wrap"), Error);
+}
+
+TEST(PeReport, RawDataOffsetNearU32MaxDoesNotWrap)
+{
+    // Regression: rawOff + loadSize wrapped the same way for section
+    // payloads near the top of the u32 range.
+    ByteVec pe = buildTinyPe();
+    writeLe32(pe, 0xc8 + 20, 0xfffffff8); // PointerToRawData
+    LoadResult strict = readPeReport(pe, "raw-wrap");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(), LoadErrorCode::Truncated);
+
+    LoadResult salvage = readPeReport(pe, "raw-wrap", salvageMode());
+    EXPECT_FALSE(salvage.ok());
+    EXPECT_EQ(salvage.report.sectionsDropped, 1u);
+    // Root cause leads the issue list; the no-sections outcome of the
+    // drop closes it.
+    EXPECT_EQ(salvage.report.primaryCode(), LoadErrorCode::Truncated);
+    EXPECT_EQ(salvage.report.issues.back().code,
+              LoadErrorCode::NoSections);
+}
+
+TEST(PeReport, BadSignatureAndWrongMachine)
+{
+    ByteVec pe = buildTinyPe();
+    writeLe32(pe, 0x40, 0x00004551); // not "PE\0\0"
+    EXPECT_EQ(readPeReport(pe, "sig").report.primaryCode(),
+              LoadErrorCode::BadMagic);
+
+    pe = buildTinyPe();
+    writeLe16(pe, 0x44, 0x014c); // i386
+    EXPECT_EQ(readPeReport(pe, "machine").report.primaryCode(),
+              LoadErrorCode::Unsupported);
+
+    pe = buildTinyPe();
+    writeLe16(pe, 0x58, 0x10b); // PE32, not PE32+
+    EXPECT_EQ(readPeReport(pe, "pe32").report.primaryCode(),
+              LoadErrorCode::Unsupported);
+}
+
+TEST(PeReport, TruncatedPayloadClampedInSalvageMode)
+{
+    ByteVec pe = buildTinyPe();
+    pe.resize(0x208); // half the .text payload
+    LoadResult strict = readPeReport(pe, "clamp");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(), LoadErrorCode::Truncated);
+
+    LoadResult salvage = readPeReport(pe, "clamp", salvageMode());
+    ASSERT_TRUE(salvage.ok());
+    EXPECT_TRUE(salvage.report.salvaged);
+    ASSERT_EQ(salvage.image->sections().size(), 1u);
+    EXPECT_EQ(salvage.image->section(0).size(), 8u);
+    EXPECT_EQ(salvage.report.bytesClamped, 8u);
 }
 
 TEST(ElfReader, ReadsRealSystemBinaryIfPresent)

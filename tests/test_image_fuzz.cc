@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Image-fuzz subsystem tests: mutation application semantics and
+ * determinism, .imgrepro format round-trips, the load-contract oracle
+ * on healthy and hostile streams, jobs-independence of campaigns, and
+ * the replay of every reproducer checked into tests/corpus/images/
+ * (compile definition ACCDIS_CORPUS_DIR).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/image_fuzz.hh"
+#include "support/error.hh"
+
+namespace accdis
+{
+namespace
+{
+
+TEST(ImageMutations, KindNamesRoundTrip)
+{
+    for (std::size_t i = 0; i < fuzz::kNumImageMutationKinds; ++i) {
+        auto kind = static_cast<fuzz::ImageMutationKind>(i);
+        std::string name = fuzz::imageMutationKindName(kind);
+        EXPECT_FALSE(name.empty());
+        EXPECT_EQ(fuzz::imageMutationKindFromName(name), kind);
+    }
+    EXPECT_EQ(fuzz::imageMutationKindFromName("no-such-mutation"),
+              fuzz::ImageMutationKind::NumKinds);
+}
+
+TEST(ImageMutations, ApplySemantics)
+{
+    ByteVec bytes{0x10, 0x20, 0x30, 0x40};
+
+    ByteVec flipped = fuzz::applyImageMutations(
+        bytes, {{fuzz::ImageMutationKind::FlipBit, 1, 3}});
+    EXPECT_EQ(flipped[1], 0x20 ^ (1 << 3));
+
+    ByteVec set = fuzz::applyImageMutations(
+        bytes, {{fuzz::ImageMutationKind::SetByte, 2, 0xaa}});
+    EXPECT_EQ(set[2], 0xaa);
+
+    ByteVec cut = fuzz::applyImageMutations(
+        bytes, {{fuzz::ImageMutationKind::Truncate, 2, 0}});
+    EXPECT_EQ(cut.size(), 2u);
+
+    ByteVec grown = fuzz::applyImageMutations(
+        bytes, {{fuzz::ImageMutationKind::Extend, 3, 0x5a}});
+    ASSERT_EQ(grown.size(), 7u);
+    EXPECT_EQ(grown[6], 0x5a);
+
+    // A le64 write straddling the end is clipped, not out-of-bounds.
+    ByteVec tail = fuzz::applyImageMutations(
+        bytes, {{fuzz::ImageMutationKind::WriteLe64, 2, ~u64{0}}});
+    ASSERT_EQ(tail.size(), 4u);
+    EXPECT_EQ(tail[0], 0x10);
+    EXPECT_EQ(tail[2], 0xff);
+    EXPECT_EQ(tail[3], 0xff);
+
+    // Offsets reduce modulo the stream size.
+    ByteVec wrapped = fuzz::applyImageMutations(
+        bytes, {{fuzz::ImageMutationKind::SetByte, 6, 0x77}});
+    EXPECT_EQ(wrapped[2], 0x77);
+
+    // Everything is a no-op on an empty stream except Extend.
+    ByteVec empty = fuzz::applyImageMutations(
+        ByteVec{}, {{fuzz::ImageMutationKind::FlipBit, 0, 0},
+                    {fuzz::ImageMutationKind::ZeroRange, 5, 9}});
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(ImageMutations, ApplyIsDeterministic)
+{
+    fuzz::ImageRunSpec spec;
+    spec.format = "elf";
+    spec.preset = "gcc";
+    spec.corpusSeed = 77;
+    spec.numFunctions = 3;
+    spec.mutations = {{fuzz::ImageMutationKind::WriteLe64, 40, ~u64{0}},
+                      {fuzz::ImageMutationKind::Truncate, 200, 0}};
+    EXPECT_EQ(fuzz::buildImageMutant(spec), fuzz::buildImageMutant(spec));
+}
+
+TEST(ImageRepro, SerializeParseRoundTrip)
+{
+    fuzz::ImageReproducer repro;
+    repro.spec.format = "pe";
+    repro.spec.preset = "msvc";
+    repro.spec.corpusSeed = 123456789;
+    repro.spec.numFunctions = 5;
+    repro.spec.mutations = {
+        {fuzz::ImageMutationKind::WriteLe32, 60, 0xfffffff0},
+        {fuzz::ImageMutationKind::Truncate, 32, 0},
+    };
+    repro.expect = "strict-error truncated";
+
+    std::string text = fuzz::serializeImageRepro(repro, "a comment");
+    fuzz::ImageReproducer back = fuzz::parseImageRepro(text);
+    EXPECT_EQ(back.spec, repro.spec);
+    EXPECT_EQ(back.expect, repro.expect);
+}
+
+TEST(ImageRepro, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(fuzz::parseImageRepro("format floppy\n"), Error);
+    EXPECT_THROW(fuzz::parseImageRepro("format elf\nmutate warp 0 0\n"),
+                 Error);
+    EXPECT_THROW(fuzz::parseImageRepro("format elf\nseed zebra\n"),
+                 Error);
+    EXPECT_THROW(fuzz::parseImageRepro("format elf\nfrobnicate 1\n"),
+                 Error);
+}
+
+TEST(ImageRepro, ExpectationChecks)
+{
+    fuzz::ImageReproducer repro;
+    fuzz::ImageLoadOutcome ok;
+    ok.strictOk = true;
+    ok.salvageOk = true;
+    ok.strictCode = "ok";
+    fuzz::ImageLoadOutcome rejected;
+    rejected.strictCode = "truncated";
+
+    repro.expect = "any";
+    EXPECT_TRUE(fuzz::imageReproExpectationHolds(repro, ok));
+    EXPECT_TRUE(fuzz::imageReproExpectationHolds(repro, rejected));
+
+    repro.expect = "strict-ok";
+    EXPECT_TRUE(fuzz::imageReproExpectationHolds(repro, ok));
+    std::string why;
+    EXPECT_FALSE(fuzz::imageReproExpectationHolds(repro, rejected, &why));
+    EXPECT_FALSE(why.empty());
+
+    repro.expect = "strict-error truncated";
+    EXPECT_TRUE(fuzz::imageReproExpectationHolds(repro, rejected));
+    EXPECT_FALSE(fuzz::imageReproExpectationHolds(repro, ok));
+
+    repro.expect = "strict-error bad-magic";
+    EXPECT_FALSE(fuzz::imageReproExpectationHolds(repro, rejected));
+}
+
+TEST(ImageOracle, HealthyStreamsSatisfyTheContract)
+{
+    for (const char *format : {"elf", "pe"}) {
+        fuzz::ImageRunSpec spec;
+        spec.format = format;
+        spec.preset = "gcc";
+        spec.corpusSeed = 9;
+        spec.numFunctions = 3;
+        fuzz::ImageLoadOutcome outcome;
+        std::vector<fuzz::Divergence> divergences =
+            fuzz::checkImageLoadContract(fuzz::buildSeedImageBytes(spec),
+                                         format, &outcome);
+        for (const fuzz::Divergence &d : divergences)
+            ADD_FAILURE() << format << ": " << d.key << ": " << d.detail;
+        EXPECT_TRUE(outcome.strictOk) << format;
+        EXPECT_TRUE(outcome.salvageOk) << format;
+        EXPECT_EQ(outcome.strictCode, "ok") << format;
+    }
+}
+
+TEST(ImageOracle, HostileStreamsAreTaxonomizedNotCrashes)
+{
+    fuzz::ImageRunSpec spec;
+    spec.format = "elf";
+    spec.preset = "gcc";
+    spec.corpusSeed = 9;
+    spec.numFunctions = 3;
+    spec.mutations = {{fuzz::ImageMutationKind::WriteLe64, 40,
+                       ~u64{0} - 64}};
+    fuzz::ImageLoadOutcome outcome;
+    std::vector<fuzz::Divergence> divergences =
+        fuzz::checkImageLoadContract(fuzz::buildImageMutant(spec),
+                                     "hostile", &outcome);
+    for (const fuzz::Divergence &d : divergences)
+        ADD_FAILURE() << d.key << ": " << d.detail;
+    EXPECT_FALSE(outcome.strictOk);
+    EXPECT_EQ(outcome.strictCode, "overflowing-header");
+}
+
+TEST(ImageCampaign, ShortRunIsCleanAndJobsIndependent)
+{
+    fuzz::ImageFuzzConfig config;
+    config.seed = 5;
+    config.runs = 120;
+    config.jobs = 1;
+    config.maxMutations = 4;
+    fuzz::ImageFuzzReport serial = fuzz::ImageFuzzRunner(config).run();
+    for (const fuzz::ImageFinding &finding : serial.findings)
+        ADD_FAILURE() << finding.divergence.key << ": "
+                      << finding.divergence.detail;
+    EXPECT_TRUE(serial.clean());
+    EXPECT_EQ(serial.runs, 120u);
+    EXPECT_EQ(serial.strictLoaded + serial.strictRejected, 120u);
+    EXPECT_FALSE(serial.taxonomy.empty());
+
+    config.jobs = 2;
+    fuzz::ImageFuzzReport parallel =
+        fuzz::ImageFuzzRunner(config).run();
+    EXPECT_EQ(serial.strictLoaded, parallel.strictLoaded);
+    EXPECT_EQ(serial.strictRejected, parallel.strictRejected);
+    EXPECT_EQ(serial.salvageRecovered, parallel.salvageRecovered);
+    EXPECT_EQ(serial.taxonomy, parallel.taxonomy);
+    EXPECT_EQ(serial.findings.size(), parallel.findings.size());
+}
+
+TEST(ImageCampaign, SpecForRunIsPureInSeedAndIndex)
+{
+    fuzz::ImageFuzzConfig config;
+    config.seed = 42;
+    fuzz::ImageFuzzRunner a(config), b(config);
+    for (u64 i = 0; i < 16; ++i)
+        EXPECT_EQ(a.specForRun(i), b.specForRun(i)) << i;
+    config.seed = 43;
+    fuzz::ImageFuzzRunner c(config);
+    bool anyDiffer = false;
+    for (u64 i = 0; i < 16; ++i)
+        anyDiffer |= !(a.specForRun(i) == c.specForRun(i));
+    EXPECT_TRUE(anyDiffer);
+}
+
+/**
+ * Replay every reproducer checked into tests/corpus/images/: each
+ * mutant must satisfy the full load contract AND its recorded
+ * expectation (taxonomy code, strict/salvage outcome) — so a loader
+ * behavior change that reclassifies a known hostile input flips this
+ * test and forces a corpus update.
+ */
+TEST(ImageCorpus, ReplayCheckedInReproducers)
+{
+    std::filesystem::path dir(ACCDIS_CORPUS_DIR);
+    dir /= "images";
+    ASSERT_TRUE(std::filesystem::is_directory(dir))
+        << "missing corpus directory " << dir;
+    std::size_t replayed = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".imgrepro")
+            continue;
+        SCOPED_TRACE(entry.path().filename().string());
+        fuzz::ImageReproducer repro =
+            fuzz::loadImageReproFile(entry.path().string());
+        fuzz::ImageLoadOutcome outcome;
+        std::vector<fuzz::Divergence> divergences =
+            fuzz::checkImageLoadContract(fuzz::buildImageMutant(repro.spec),
+                                         entry.path().filename().string(),
+                                         &outcome);
+        for (const fuzz::Divergence &d : divergences)
+            ADD_FAILURE() << d.key << ": " << d.detail;
+        std::string why;
+        EXPECT_TRUE(fuzz::imageReproExpectationHolds(repro, outcome, &why))
+            << why;
+        ++replayed;
+    }
+    EXPECT_GT(replayed, 0u) << "corpus directory has no .imgrepro files";
+}
+
+} // namespace
+} // namespace accdis

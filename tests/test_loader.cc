@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests of the fault-tolerant loading layer: format detection and
+ * dispatch in loadBinary()/loadBinaryFile(), the LoadReport taxonomy
+ * API, and per-binary fault isolation in BatchAnalyzer — a batch with
+ * injected corrupt images must complete with structured per-item
+ * error records, correct load/fault metrics, and byte-identical
+ * results for the healthy binaries at any job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "image/loader.hh"
+#include "image/writers.hh"
+#include "pipeline/batch.hh"
+#include "pipeline/metrics.hh"
+#include "support/bytes.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+/** A healthy ELF or PE byte stream from the synthetic generator. */
+ByteVec
+healthyBytes(u64 seed, bool pe)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(seed);
+    config.numFunctions = 3;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    return pe ? writePe(bin.image) : writeElf(bin.image);
+}
+
+LoadOptions
+salvageMode()
+{
+    LoadOptions options;
+    options.salvage = true;
+    return options;
+}
+
+TEST(LoadErrorCodes, NamesRoundTrip)
+{
+    const LoadErrorCode codes[] = {
+        LoadErrorCode::Io,          LoadErrorCode::Truncated,
+        LoadErrorCode::BadMagic,    LoadErrorCode::Unsupported,
+        LoadErrorCode::OverflowingHeader, LoadErrorCode::NoSections,
+        LoadErrorCode::Salvaged,
+    };
+    for (LoadErrorCode code : codes) {
+        std::string name = loadErrorCodeName(code);
+        EXPECT_FALSE(name.empty());
+        LoadErrorCode back = LoadErrorCode::Io;
+        ASSERT_TRUE(loadErrorCodeFromName(name, back)) << name;
+        EXPECT_EQ(back, code);
+    }
+    LoadErrorCode out = LoadErrorCode::Io;
+    EXPECT_FALSE(loadErrorCodeFromName("not-a-code", out));
+}
+
+TEST(Loader, DetectsFormats)
+{
+    EXPECT_EQ(detectFormat(healthyBytes(1, false)), BinaryFormat::Elf);
+    EXPECT_EQ(detectFormat(healthyBytes(1, true)), BinaryFormat::Pe);
+    ByteVec junk{0x12, 0x34, 0x56, 0x78};
+    EXPECT_EQ(detectFormat(junk), BinaryFormat::Unknown);
+    EXPECT_EQ(detectFormat(ByteVec{}), BinaryFormat::Unknown);
+}
+
+TEST(Loader, DispatchesByMagic)
+{
+    LoadResult elf = loadBinary(healthyBytes(2, false), "a.elf");
+    ASSERT_TRUE(elf.ok());
+    EXPECT_EQ(elf.report.format, "elf");
+    EXPECT_TRUE(elf.report.loaded);
+    EXPECT_FALSE(elf.report.salvaged);
+    EXPECT_GT(elf.image->executableBytes(), 0u);
+
+    LoadResult pe = loadBinary(healthyBytes(2, true), "a.exe");
+    ASSERT_TRUE(pe.ok());
+    EXPECT_EQ(pe.report.format, "pe");
+
+    ByteVec junk{0x00, 0x01, 0x02, 0x03};
+    LoadResult bad = loadBinary(junk, "junk");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.report.format, "unknown");
+    EXPECT_EQ(bad.report.primaryCode(), LoadErrorCode::BadMagic);
+    EXPECT_NE(bad.report.summary().find("bad-magic"),
+              std::string::npos);
+}
+
+TEST(Loader, MissingFileBecomesIoIssue)
+{
+    LoadResult result =
+        loadBinaryFile("/nonexistent/definitely-missing.bin");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.report.primaryCode(), LoadErrorCode::Io);
+    EXPECT_FALSE(result.report.issues.empty());
+}
+
+TEST(LoadReport, SummaryFormatting)
+{
+    LoadReport report;
+    report.format = "elf";
+    report.loaded = true;
+    report.sectionsLoaded = 2;
+    EXPECT_EQ(report.summary(), "elf: ok, 2 section(s)");
+
+    report.loaded = false;
+    report.addIssue(LoadErrorCode::Truncated, "first problem");
+    report.addIssue(LoadErrorCode::Truncated, "second problem");
+    EXPECT_NE(report.summary().find("truncated"), std::string::npos);
+    EXPECT_NE(report.summary().find("first problem"),
+              std::string::npos);
+    EXPECT_NE(report.summary().find("1 more issue"),
+              std::string::npos);
+}
+
+/**
+ * A 20-item mixed batch: healthy ELF and PE images with corrupt
+ * streams injected at fixed positions — truncated, bad magic,
+ * wrapping section offset — plus one salvageable truncation.
+ */
+std::vector<LoadResult>
+mixedBatch(const LoadOptions &options)
+{
+    std::vector<LoadResult> loads;
+    for (std::size_t i = 0; i < 20; ++i) {
+        ByteVec bytes = healthyBytes(100 + i, i % 3 == 1);
+        std::string name = "bin" + std::to_string(i);
+        if (i == 3 || i == 11) {
+            bytes.resize(32); // shorter than any file header
+        } else if (i == 7) {
+            bytes[0] ^= 0xff; // destroy the magic
+        } else if (i == 12) {
+            // Wrap the ELF section-table offset: the overflow class
+            // of corruption the bounds checks must classify (index 12
+            // is an ELF stream).
+            writeLe64(bytes, 40, ~u64{0} - 64);
+        }
+        loads.push_back(loadBinary(bytes, name, options));
+    }
+    return loads;
+}
+
+TEST(BatchFaultIsolation, CorruptItemsBecomeErrorRecords)
+{
+    std::vector<LoadResult> loads = mixedBatch({});
+    pipeline::MetricsRegistry metrics;
+    pipeline::BatchConfig config;
+    config.jobs = 1;
+    pipeline::BatchAnalyzer analyzer(config, &metrics);
+    pipeline::BatchReport report = analyzer.run(loads);
+
+    ASSERT_EQ(report.results.size(), 20u);
+    EXPECT_EQ(report.loadFailures, 4u);
+    EXPECT_EQ(report.analysisFailures, 0u);
+    for (std::size_t i = 0; i < 20; ++i) {
+        const pipeline::BinaryResult &result = report.results[i];
+        EXPECT_EQ(result.name, "bin" + std::to_string(i));
+        if (i == 3 || i == 7 || i == 11 || i == 12) {
+            EXPECT_FALSE(result.ok()) << i;
+            EXPECT_EQ(result.errorKind, "load") << i;
+            EXPECT_FALSE(result.error.empty()) << i;
+            EXPECT_FALSE(result.load.issues.empty()) << i;
+            EXPECT_TRUE(result.sections.empty()) << i;
+        } else {
+            EXPECT_TRUE(result.ok()) << i << ": " << result.error;
+            EXPECT_FALSE(result.sections.empty()) << i;
+        }
+    }
+    // The wrapped e_shoff must be taxonomized as an overflowing
+    // header, not lumped in with ordinary truncation.
+    EXPECT_EQ(report.results[12].load.primaryCode(),
+              LoadErrorCode::OverflowingHeader);
+
+    EXPECT_EQ(metrics.counter("load.attempted").value(), 20u);
+    EXPECT_EQ(metrics.counter("load.loaded").value(), 16u);
+    EXPECT_EQ(metrics.counter("load.failed").value(), 4u);
+    EXPECT_EQ(metrics.counter("fault.load").value(), 4u);
+    EXPECT_EQ(metrics.counter("fault.total").value(), 4u);
+    EXPECT_EQ(metrics.counter("load.error.truncated").value(), 2u);
+    EXPECT_EQ(metrics.counter("load.error.bad-magic").value(), 1u);
+    EXPECT_EQ(
+        metrics.counter("load.error.overflowing-header").value(), 1u);
+}
+
+TEST(BatchFaultIsolation, HealthyResultsIdenticalAtAnyJobCount)
+{
+    std::vector<LoadResult> loads = mixedBatch({});
+
+    pipeline::BatchConfig serialConfig;
+    serialConfig.jobs = 1;
+    pipeline::BatchReport serial =
+        pipeline::BatchAnalyzer(serialConfig).run(loads);
+
+    pipeline::BatchConfig parallelConfig;
+    parallelConfig.jobs = 8;
+    pipeline::BatchReport parallel =
+        pipeline::BatchAnalyzer(parallelConfig).run(loads);
+
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    EXPECT_EQ(serial.loadFailures, parallel.loadFailures);
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        const pipeline::BinaryResult &a = serial.results[i];
+        const pipeline::BinaryResult &b = parallel.results[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.error, b.error);
+        EXPECT_EQ(a.errorKind, b.errorKind);
+        ASSERT_EQ(a.sections.size(), b.sections.size()) << i;
+        for (std::size_t s = 0; s < a.sections.size(); ++s) {
+            EXPECT_EQ(a.sections[s].name, b.sections[s].name);
+            EXPECT_EQ(a.sections[s].base, b.sections[s].base);
+            // Full structural equality, provenance and stats included.
+            EXPECT_TRUE(a.sections[s].result == b.sections[s].result)
+                << "binary " << i << " section " << s;
+        }
+    }
+}
+
+TEST(BatchFaultIsolation, SalvageModeRecoversAndCounts)
+{
+    // One stream with its tail cut off: strict mode fails it, salvage
+    // mode clamps the last section and keeps the binary in the batch.
+    std::vector<LoadResult> strict, salvage;
+    ByteVec bytes = healthyBytes(500, false);
+    ByteVec cut(bytes.begin(),
+                bytes.begin() +
+                    static_cast<std::ptrdiff_t>(bytes.size() - 8));
+    strict.push_back(loadBinary(cut, "cut"));
+    salvage.push_back(loadBinary(cut, "cut", salvageMode()));
+
+    // The ELF writer puts the section table last, so cutting the tail
+    // truncates the table: strict rejects, salvage clamps.
+    pipeline::MetricsRegistry metrics;
+    pipeline::BatchAnalyzer analyzer({}, &metrics);
+
+    pipeline::BatchReport strictReport = analyzer.run(strict);
+    EXPECT_EQ(strictReport.loadFailures, 1u);
+    EXPECT_FALSE(strictReport.results[0].ok());
+
+    pipeline::BatchReport salvageReport = analyzer.run(salvage);
+    ASSERT_TRUE(salvageReport.results[0].ok())
+        << salvageReport.results[0].error;
+    EXPECT_EQ(salvageReport.loadFailures, 0u);
+    EXPECT_EQ(salvageReport.salvagedLoads, 1u);
+    EXPECT_TRUE(salvageReport.results[0].load.salvaged);
+    EXPECT_EQ(metrics.counter("load.salvaged").value(), 1u);
+}
+
+TEST(BatchFaultIsolation, RunFilesIsolatesIoFailures)
+{
+    pipeline::MetricsRegistry metrics;
+    pipeline::BatchAnalyzer analyzer({}, &metrics);
+    pipeline::BatchReport report =
+        analyzer.runFiles({"/nonexistent/one.bin",
+                           "/nonexistent/two.bin"});
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_EQ(report.loadFailures, 2u);
+    for (const pipeline::BinaryResult &result : report.results) {
+        EXPECT_FALSE(result.ok());
+        EXPECT_EQ(result.errorKind, "load");
+        EXPECT_EQ(result.load.primaryCode(), LoadErrorCode::Io);
+    }
+    EXPECT_EQ(metrics.counter("load.error.io").value(), 2u);
+}
+
+} // namespace
+} // namespace accdis
