@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Soak harness for the analysis daemon: N concurrent clients hammer
+ * one in-process server with M distinct binaries (mixed healthy and
+ * corrupt), over a real Unix domain socket.
+ *
+ * Phases:
+ *   1. cold    — N clients, each analyzing its own disjoint corpus of
+ *                M binaries (same size/health mix), so the cold
+ *                distribution is measured at soak concurrency and the
+ *                warm:cold ratio isolates the cache instead of
+ *                queueing delay;
+ *   2. prewarm — one untimed pass over the shared corpus to populate
+ *                the cache;
+ *   3. soak    — N clients each analyze all M shared binaries
+ *                (staggered start offsets), everything now warm or
+ *                single-flight-shared;
+ *   4. stats   — final server metrics, fetched over the wire.
+ *
+ * Emits BENCH_server.json: request counts, error/refusal breakdown,
+ * cold and warm p50/p95/p99, warm:cold ratio, cache hit counters.
+ * The acceptance bar tracked over time: zero crashes and warm p95
+ * under 10% of cold p95.
+ *
+ * Usage: bench_server [clients] [binaries] [jobs] [nogate]
+ *   defaults: 8 clients, 20 binaries, 4 worker threads
+ *   "nogate" skips the warm:cold ratio gate (still fails on any
+ *   transport error) — for CI smoke runs on noisy shared machines.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "image/writers.hh"
+#include "server/client.hh"
+#include "server/server.hh"
+#include "synth/corpus.hh"
+
+namespace
+{
+
+using namespace accdis;
+using namespace accdis::server;
+
+struct Corpus
+{
+    std::vector<std::string> names;
+    std::vector<ByteVec> bytes;
+    std::vector<bool> healthy;
+};
+
+/** M deterministic binaries: ~3/4 healthy synth ELFs across the
+ *  three presets, ~1/4 corrupted variants (truncated or
+ *  magic-mangled) exercising the PR-5 load taxonomy. */
+Corpus
+buildCorpus(int count, u64 seedBase)
+{
+    Corpus corpus;
+    using Preset = synth::CorpusConfig (*)(u64);
+    const Preset presets[] = {synth::gccLikePreset,
+                              synth::msvcLikePreset,
+                              synth::adversarialPreset};
+    for (int i = 0; i < count; ++i) {
+        synth::CorpusConfig config =
+            presets[i % 3](seedBase + static_cast<u64>(i));
+        // Big enough that cold analysis dominates the socket round
+        // trip — the warm:cold ratio is meaningless on tiny inputs.
+        config.numFunctions = 600 + 120 * (i % 5);
+        synth::SynthBinary bin = synth::buildSynthBinary(config);
+        ByteVec elf = writeElf(bin.image);
+        bool healthy = i % 4 != 3;
+        if (!healthy) {
+            if (i % 2 == 0 && elf.size() > 64)
+                elf.resize(elf.size() / 3); // Truncate mid-tables.
+            else
+                elf[1] ^= 0xff; // Mangle the magic.
+        }
+        corpus.names.push_back("bench-" + std::to_string(seedBase) +
+                               "-" + std::to_string(i) +
+                               (healthy ? "" : "-corrupt"));
+        corpus.bytes.push_back(std::move(elf));
+        corpus.healthy.push_back(healthy);
+    }
+    return corpus;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t index = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size())));
+    index = index > 0 ? index - 1 : 0;
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+struct Tally
+{
+    std::vector<double> okSeconds;
+    u64 ok = 0;
+    u64 errors = 0;
+    u64 refused = 0;
+    u64 transportErrors = 0;
+
+    void
+    merge(const Tally &other)
+    {
+        okSeconds.insert(okSeconds.end(), other.okSeconds.begin(),
+                         other.okSeconds.end());
+        ok += other.ok;
+        errors += other.errors;
+        refused += other.refused;
+        transportErrors += other.transportErrors;
+    }
+};
+
+/** One client pass over the corpus, starting at @p offset. */
+Tally
+runClient(const std::string &socketPath, const Corpus &corpus,
+          std::size_t offset)
+{
+    Tally tally;
+    try {
+        ServerClient client(socketPath);
+        for (std::size_t n = 0; n < corpus.bytes.size(); ++n) {
+            std::size_t i = (offset + n) % corpus.bytes.size();
+            AnalyzeOptions options;
+            options.salvage = true;
+            auto start = std::chrono::steady_clock::now();
+            Reply reply = client.analyzeBytes(
+                corpus.names[i], corpus.bytes[i], options);
+            double seconds =
+                std::chrono::duration_cast<
+                    std::chrono::duration<double>>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (const auto *result =
+                    std::get_if<ResultReply>(&reply)) {
+                if (result->ok()) {
+                    ++tally.ok;
+                    tally.okSeconds.push_back(seconds);
+                } else {
+                    ++tally.errors;
+                }
+            } else {
+                ++tally.refused;
+            }
+        }
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "client: %s\n", err.what());
+        ++tally.transportErrors;
+    }
+    return tally;
+}
+
+u64
+counterFromJson(const std::string &json, const std::string &name)
+{
+    std::string needle = "\"" + name + "\": ";
+    auto pos = json.find(needle);
+    if (pos == std::string::npos)
+        return 0;
+    return std::strtoull(json.c_str() + pos + needle.size(),
+                         nullptr, 10);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int clients = argc > 1 ? std::atoi(argv[1]) : 8;
+    const int binaries = argc > 2 ? std::atoi(argv[2]) : 20;
+    const unsigned jobs =
+        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 4;
+    const bool gateRatio =
+        !(argc > 4 && std::string(argv[4]) == "nogate");
+
+    const std::string tag = std::to_string(::getpid());
+    const std::string socketPath =
+        "/tmp/accdis-bench-" + tag + ".sock";
+    const std::string cacheDir = "/tmp/accdis-bench-" + tag + ".cache";
+    std::filesystem::remove_all(cacheDir);
+
+    Corpus corpus = buildCorpus(binaries, 100);
+
+    ServerConfig config;
+    config.socketPath = socketPath;
+    config.service.jobs = jobs;
+    config.service.cacheDir = cacheDir;
+    // Room for the per-client cold corpora AND the shared corpus;
+    // eviction mid-soak would contaminate the warm numbers.
+    config.service.cacheMaxBytes = 1ull << 30;
+    config.admission.maxQueueDepth =
+        static_cast<u64>(clients) * 4;
+    config.admission.maxPerConnection = 8;
+    AccdisServer server(std::move(config));
+    server.start();
+
+    // Phase 1: cold — N clients at soak concurrency, each over its
+    // own disjoint corpus so neither the cache nor single-flight can
+    // share work across them.
+    Tally cold;
+    {
+        std::vector<Corpus> corpora;
+        for (int c = 0; c < clients; ++c)
+            corpora.push_back(buildCorpus(
+                binaries, 10000 + 1000 * static_cast<u64>(c)));
+        std::vector<Tally> tallies(
+            static_cast<std::size_t>(clients));
+        std::vector<std::thread> threads;
+        for (int c = 0; c < clients; ++c)
+            threads.emplace_back([&, c] {
+                tallies[static_cast<std::size_t>(c)] = runClient(
+                    socketPath,
+                    corpora[static_cast<std::size_t>(c)], 0);
+            });
+        for (auto &thread : threads)
+            thread.join();
+        for (const Tally &tally : tallies)
+            cold.merge(tally);
+    }
+
+    // Phase 2: pre-warm the shared corpus, untimed — the soak should
+    // measure warm hits, not the shared corpus's one cold pass.
+    runClient(socketPath, corpus, 0);
+
+    // Phase 3: soak — N concurrent clients, staggered start offsets,
+    // everything warm (cache) or shared (single-flight).
+    std::vector<Tally> tallies(static_cast<std::size_t>(clients));
+    {
+        std::vector<std::thread> threads;
+        for (int c = 0; c < clients; ++c)
+            threads.emplace_back([&, c] {
+                tallies[static_cast<std::size_t>(c)] = runClient(
+                    socketPath, corpus,
+                    static_cast<std::size_t>(c) * 3);
+            });
+        for (auto &thread : threads)
+            thread.join();
+    }
+    Tally warm;
+    for (const Tally &tally : tallies)
+        warm.merge(tally);
+
+    // Phase 4: final server-side metrics over the wire.
+    std::string statsJson;
+    {
+        ServerClient client(socketPath);
+        statsJson = client.stats();
+        client.shutdownServer(true);
+    }
+    server.waitStopped();
+    std::filesystem::remove_all(cacheDir);
+
+    const double coldP50 = percentile(cold.okSeconds, 0.50);
+    const double coldP95 = percentile(cold.okSeconds, 0.95);
+    const double coldP99 = percentile(cold.okSeconds, 0.99);
+    const double warmP50 = percentile(warm.okSeconds, 0.50);
+    const double warmP95 = percentile(warm.okSeconds, 0.95);
+    const double warmP99 = percentile(warm.okSeconds, 0.99);
+    const double ratioP95 =
+        coldP95 > 0.0 ? warmP95 / coldP95 : 0.0;
+    const u64 cacheHits = counterFromJson(statsJson, "cache.hits");
+    const u64 cacheMisses =
+        counterFromJson(statsJson, "cache.misses");
+    const double hitRate =
+        cacheHits + cacheMisses > 0
+            ? static_cast<double>(cacheHits) /
+                  static_cast<double>(cacheHits + cacheMisses)
+            : 0.0;
+
+    std::printf("bench_server: %d clients x %d binaries, %u jobs\n",
+                clients, binaries, jobs);
+    std::printf("  cold: ok %llu err %llu  p50 %.4fs p95 %.4fs "
+                "p99 %.4fs\n",
+                static_cast<unsigned long long>(cold.ok),
+                static_cast<unsigned long long>(cold.errors),
+                coldP50, coldP95, coldP99);
+    std::printf("  warm: ok %llu err %llu refused %llu  p50 %.4fs "
+                "p95 %.4fs p99 %.4fs\n",
+                static_cast<unsigned long long>(warm.ok),
+                static_cast<unsigned long long>(warm.errors),
+                static_cast<unsigned long long>(warm.refused),
+                warmP50, warmP95, warmP99);
+    std::printf("  warm/cold p95 %.3f, cache hit rate %.3f "
+                "(%llu/%llu)\n",
+                ratioP95, hitRate,
+                static_cast<unsigned long long>(cacheHits),
+                static_cast<unsigned long long>(cacheHits +
+                                                cacheMisses));
+
+    std::ofstream out("BENCH_server.json");
+    out << "{\n"
+        << "  \"clients\": " << clients << ",\n"
+        << "  \"binaries\": " << binaries << ",\n"
+        << "  \"jobs\": " << jobs << ",\n"
+        << "  \"cold\": {\"ok\": " << cold.ok
+        << ", \"errors\": " << cold.errors << ", \"p50_s\": "
+        << coldP50 << ", \"p95_s\": " << coldP95
+        << ", \"p99_s\": " << coldP99 << "},\n"
+        << "  \"warm\": {\"ok\": " << warm.ok
+        << ", \"errors\": " << warm.errors << ", \"refused\": "
+        << warm.refused << ", \"p50_s\": " << warmP50
+        << ", \"p95_s\": " << warmP95 << ", \"p99_s\": " << warmP99
+        << "},\n"
+        << "  \"warm_cold_p95_ratio\": " << ratioP95 << ",\n"
+        << "  \"cache_hits\": " << cacheHits << ",\n"
+        << "  \"cache_misses\": " << cacheMisses << ",\n"
+        << "  \"cache_hit_rate\": " << hitRate << ",\n"
+        << "  \"transport_errors\": "
+        << cold.transportErrors + warm.transportErrors << "\n"
+        << "}\n";
+
+    const bool pass =
+        cold.transportErrors == 0 && warm.transportErrors == 0 &&
+        (!gateRatio || coldP95 == 0.0 || ratioP95 < 0.10);
+    std::printf("bench_server: %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

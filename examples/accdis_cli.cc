@@ -145,9 +145,9 @@ explainAddress(const std::vector<LoadResult> &loads, Addr target,
                 const CacheKey key = makeCacheKey(
                     section.contentKey(), entries, section.base(),
                     auxRegionsOf(image), engine);
-                auto cached = loadCachedResult(store, key);
-                if (cached && cached->explain) {
-                    chain = renderExplain(*cached->explain, off);
+                auto cached = loadCachedExplain(store, key);
+                if (cached) {
+                    chain = renderExplain(*cached, off);
                     fromCache = true;
                 } else {
                     ExplainArtifact artifact;
@@ -156,7 +156,8 @@ explainAddress(const std::vector<LoadResult> &loads, Addr target,
                     Classification result = engine.analyzeSectionWith(
                         section.bytes(), entries, section.base(),
                         auxRegionsOf(image), options);
-                    storeCachedResult(store, key, result, &artifact);
+                    storeCachedResult(store, key, result);
+                    storeCachedExplain(store, key, artifact);
                     chain = renderExplain(artifact, off);
                 }
             } else {

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Command-line client of the analysis daemon.
+ *
+ * Usage:
+ *   accdis_client --socket PATH analyze [--by-path] [--salvage]
+ *                 [--explain ADDR] [--deadline-ms N] FILE...
+ *   accdis_client --socket PATH stats
+ *   accdis_client --socket PATH ping
+ *   accdis_client --socket PATH shutdown [--now]
+ *
+ * `analyze` uploads each file's bytes (or, with --by-path, sends the
+ * path for the server to read locally) and prints one line per reply.
+ * Exit code: 0 when every analysis succeeded, 1 when any reply was an
+ * error or refusal, 2 on usage or transport problems.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/client.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace accdis;
+using namespace accdis::server;
+
+ByteVec
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw Error("cannot open " + path);
+    return ByteVec(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+}
+
+std::string
+baseName(const std::string &path)
+{
+    auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? path
+                                      : path.substr(slash + 1);
+}
+
+/** Print one analysis reply; returns true when it was a success. */
+bool
+printReply(const Reply &reply)
+{
+    if (const auto *error = std::get_if<ErrorReply>(&reply)) {
+        std::printf("refused [%s]: %s\n", error->code.c_str(),
+                    error->message.c_str());
+        return false;
+    }
+    const auto &result = std::get<ResultReply>(reply);
+    if (!result.ok()) {
+        std::printf("%s: error [%s]: %s\n", result.name.c_str(),
+                    result.errorKind.c_str(), result.error.c_str());
+        if (!result.loadSummary.empty())
+            std::printf("%s:   load: %s\n", result.name.c_str(),
+                        result.loadSummary.c_str());
+        return false;
+    }
+    u64 code = 0;
+    u64 data = 0;
+    for (const auto &section : result.sections) {
+        code += section.result.bytesOf(ResultClass::Code);
+        data += section.result.bytesOf(ResultClass::Data);
+    }
+    std::printf("%s: ok, %zu section(s), %llu exec byte(s) "
+                "(code %llu, data %llu)%s\n",
+                result.name.c_str(), result.sections.size(),
+                static_cast<unsigned long long>(
+                    result.executableBytes),
+                static_cast<unsigned long long>(code),
+                static_cast<unsigned long long>(data),
+                result.salvaged ? " [salvaged]" : "");
+    if (result.salvaged && !result.loadSummary.empty())
+        std::printf("%s:   load: %s\n", result.name.c_str(),
+                    result.loadSummary.c_str());
+    for (const auto &section : result.sections) {
+        if (section.explainText.empty())
+            continue;
+        std::printf("%s: explain (%s):\n%s\n", result.name.c_str(),
+                    section.name.c_str(),
+                    section.explainText.c_str());
+    }
+    return true;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH analyze [--by-path] [--salvage]\n"
+        "          [--explain ADDR] [--deadline-ms N] FILE...\n"
+        "       %s --socket PATH stats | ping | shutdown [--now]\n",
+        argv0, argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string command;
+    AnalyzeOptions options;
+    bool byPath = false;
+    bool shutdownNow = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            socketPath = value();
+        else if (arg == "--by-path")
+            byPath = true;
+        else if (arg == "--salvage")
+            options.salvage = true;
+        else if (arg == "--explain") {
+            options.explain = true;
+            options.explainAddr =
+                std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--deadline-ms")
+            options.deadlineMs = std::strtoull(value(), nullptr, 0);
+        else if (arg == "--now")
+            shutdownNow = true;
+        else if (command.empty() && arg[0] != '-')
+            command = arg;
+        else if (arg[0] != '-')
+            files.push_back(arg);
+        else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (socketPath.empty() || command.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        ServerClient client(socketPath);
+        if (command == "ping") {
+            client.ping();
+            std::printf("pong\n");
+            return 0;
+        }
+        if (command == "stats") {
+            std::printf("%s\n", client.stats().c_str());
+            return 0;
+        }
+        if (command == "shutdown") {
+            client.shutdownServer(!shutdownNow);
+            std::printf("shutdown acknowledged\n");
+            return 0;
+        }
+        if (command != "analyze" || files.empty()) {
+            usage(argv[0]);
+            return 2;
+        }
+        // Pipeline every request, then collect replies as they
+        // stream back in completion order.
+        std::size_t sent = 0;
+        for (const std::string &file : files) {
+            if (byPath)
+                client.sendAnalyzeFile(file, options);
+            else
+                client.sendAnalyzeBytes(baseName(file),
+                                        readFileBytes(file),
+                                        options);
+            ++sent;
+        }
+        bool allOk = true;
+        for (std::size_t i = 0; i < sent; ++i)
+            allOk = printReply(client.readReply()) && allOk;
+        return allOk ? 0 : 1;
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "accdis_client: error: %s\n",
+                     err.what());
+        return 2;
+    }
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The analysis daemon: serve accdis over a Unix domain socket.
+ *
+ * Usage:
+ *   accdis_server --socket PATH [--jobs N] [--cache-dir DIR]
+ *                 [--cache-max-bytes N] [--cache-verify]
+ *                 [--max-queue N] [--max-per-conn N]
+ *                 [--max-body-bytes N] [--deadline-ms N]
+ *                 [--max-connections N]
+ *
+ * The daemon keeps one engine, one work-stealing pool and (with
+ * --cache-dir) one persistent result cache alive across requests, so
+ * repeat analyses of unchanged binaries are answered from disk and
+ * concurrent identical requests share a single engine run. Stop it
+ * with a client `shutdown` request or SIGINT/SIGTERM — both drain
+ * in-flight work before exiting.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/server.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+std::atomic<bool> gSignalled{false};
+
+void
+onSignal(int)
+{
+    gSignalled.store(true);
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH [--jobs N] "
+                 "[--cache-dir DIR] [--cache-max-bytes N] "
+                 "[--cache-verify] [--max-queue N] "
+                 "[--max-per-conn N] [--max-body-bytes N] "
+                 "[--deadline-ms N] [--max-connections N]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace accdis;
+    using namespace accdis::server;
+
+    ServerConfig config;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            config.socketPath = value();
+        else if (arg == "--jobs")
+            config.service.jobs =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+        else if (arg == "--cache-dir")
+            config.service.cacheDir = value();
+        else if (arg == "--cache-max-bytes")
+            config.service.cacheMaxBytes =
+                std::strtoull(value(), nullptr, 0);
+        else if (arg == "--cache-verify")
+            config.service.cacheVerify = true;
+        else if (arg == "--max-queue")
+            config.admission.maxQueueDepth =
+                std::strtoull(value(), nullptr, 0);
+        else if (arg == "--max-per-conn")
+            config.admission.maxPerConnection =
+                std::strtoull(value(), nullptr, 0);
+        else if (arg == "--max-body-bytes")
+            config.admission.maxBodyBytes =
+                std::strtoull(value(), nullptr, 0);
+        else if (arg == "--deadline-ms")
+            config.admission.defaultDeadlineMs =
+                std::strtoull(value(), nullptr, 0);
+        else if (arg == "--max-connections")
+            config.maxConnections =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+        else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (config.socketPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        AccdisServer server(std::move(config));
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        server.start();
+        std::printf("accdis_server: listening on %s\n",
+                    server.config().socketPath.c_str());
+        std::fflush(stdout);
+        while (server.running()) {
+            if (gSignalled.load()) {
+                std::fprintf(stderr,
+                             "accdis_server: signal, draining\n");
+                server.stop(true);
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+        server.waitStopped();
+        std::printf("accdis_server: stopped\n");
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "accdis_server: error: %s\n",
+                     err.what());
+        return 1;
+    }
+    return 0;
+}

@@ -62,8 +62,6 @@ loadCachedResult(const ResultCache &cache, const CacheKey &key)
         Decoder dec{ByteSpan(*payload)};
         CachedResult out;
         out.result = decodeClassification(dec);
-        if (dec.pod<u8>() != 0)
-            out.explain = decodeExplain(dec);
         dec.expectEnd();
         return out;
     } catch (const SerializeError &) {
@@ -73,15 +71,36 @@ loadCachedResult(const ResultCache &cache, const CacheKey &key)
 
 void
 storeCachedResult(ResultCache &cache, const CacheKey &key,
-                  const Classification &result,
-                  const ExplainArtifact *explain)
+                  const Classification &result)
 {
     Encoder enc;
     encodeClassification(enc, result);
-    enc.pod(static_cast<u8>(explain != nullptr));
-    if (explain != nullptr)
-        encodeExplain(enc, *explain);
     cache.store(key, ResultCache::Kind::Result, enc.take());
+}
+
+std::optional<ExplainArtifact>
+loadCachedExplain(const ResultCache &cache, const CacheKey &key)
+{
+    auto payload = cache.load(key, ResultCache::Kind::Explain);
+    if (!payload)
+        return std::nullopt;
+    try {
+        Decoder dec{ByteSpan(*payload)};
+        ExplainArtifact explain = decodeExplain(dec);
+        dec.expectEnd();
+        return explain;
+    } catch (const SerializeError &) {
+        return std::nullopt;
+    }
+}
+
+void
+storeCachedExplain(ResultCache &cache, const CacheKey &key,
+                   const ExplainArtifact &explain)
+{
+    Encoder enc;
+    encodeExplain(enc, explain);
+    cache.store(key, ResultCache::Kind::Explain, enc.take());
 }
 
 std::optional<Superset>

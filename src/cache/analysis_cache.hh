@@ -4,11 +4,15 @@
  * artifacts (core/artifact_io.hh) into cache entries and builds the
  * four-axis CacheKey from an actual analyze call.
  *
- * Two entry kinds exist per section:
+ * Three entry kinds exist per section:
  *
- *  - Result — the Classification, optionally bundled with the
- *    ExplainArtifact so `--explain` can answer from the cache without
- *    re-analysis. Keyed on all four axes.
+ *  - Result — the Classification alone. Keyed on all four axes. Kept
+ *    deliberately lean: a warm hit reads, hash-verifies and decodes
+ *    nothing but the classification it serves.
+ *  - Explain — the ExplainArtifact (provenance ledger), stored as its
+ *    own entry under the same four axes so `--explain` can answer
+ *    from the cache without re-analysis while ordinary hits never pay
+ *    for the (much larger) ledger.
  *  - Superset — the decode nodes alone. Keyed on content and schema
  *    only (the superset is a pure function of the bytes), so it warm-
  *    starts re-analysis even after a config or ablation change
@@ -44,19 +48,24 @@ CacheKey makeCacheKey(u64 contentKey,
 struct CachedResult
 {
     Classification result;
-    /** Present only when the entry was stored with an explain
-     *  artifact (pipeline runs with provenance recording). */
-    std::optional<ExplainArtifact> explain;
 };
 
 /** Load the Result entry for @p key; nullopt on miss/corruption. */
 std::optional<CachedResult> loadCachedResult(const ResultCache &cache,
                                              const CacheKey &key);
 
-/** Store @p result (and @p explain when non-null) under @p key. */
+/** Store @p result under @p key. */
 void storeCachedResult(ResultCache &cache, const CacheKey &key,
-                       const Classification &result,
-                       const ExplainArtifact *explain = nullptr);
+                       const Classification &result);
+
+/** Load the Explain entry for @p key; nullopt when the result was
+ *  analyzed without provenance recording (or evicted). */
+std::optional<ExplainArtifact>
+loadCachedExplain(const ResultCache &cache, const CacheKey &key);
+
+/** Store @p explain as its own entry under @p key. */
+void storeCachedExplain(ResultCache &cache, const CacheKey &key,
+                        const ExplainArtifact &explain);
 
 /**
  * Load the Superset entry matching @p key's content/schema axes and

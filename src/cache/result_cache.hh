@@ -78,8 +78,9 @@ class ResultCache
     /** Entry kinds; part of the entry's identity. */
     enum class Kind : u8
     {
-        Result = 1,   ///< Classification (+ optional explain artifact).
+        Result = 1,   ///< Classification alone (the hot hit path).
         Superset = 2, ///< Superset nodes for warm-start re-analysis.
+        Explain = 3,  ///< Provenance ledger for `--explain` replays.
     };
 
     struct Config

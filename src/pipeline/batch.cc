@@ -50,41 +50,39 @@ planBinary(const BinaryImage &image)
     return plan;
 }
 
-/** Shared per-run cache state, read-only config plus atomics. */
-struct CacheRuntime
-{
-    ResultCache store;
-    bool verify = false;
-    bool explain = false;
-    std::atomic<u64> verified{0};
-    std::atomic<u64> verifyMismatches{0};
-
-    explicit CacheRuntime(ResultCache::Config config)
-        : store(std::move(config))
-    {}
-};
-
 /** Analyze one executable section of a planned binary. */
 DisassemblyEngine::SectionResult
 analyzePlanned(const DisassemblyEngine &engine, const BinaryPlan &plan,
                std::size_t which, CacheRuntime *cache)
 {
-    const Section &section =
-        plan.image->section(plan.execSections[which]);
+    return analyzeSectionCached(
+        engine, plan.image->section(plan.execSections[which]),
+        plan.entries[which], plan.auxRegions, cache);
+}
+
+} // namespace
+
+DisassemblyEngine::SectionResult
+analyzeSectionCached(const DisassemblyEngine &engine,
+                     const Section &section,
+                     const std::vector<Offset> &entryOffsets,
+                     const std::vector<AuxRegion> &auxRegions,
+                     CacheRuntime *cache)
+{
     DisassemblyEngine::SectionResult result;
     result.name = section.name();
     result.base = section.base();
     if (cache == nullptr) {
         result.result = engine.analyzeSection(section.bytes(),
-                                              plan.entries[which],
+                                              entryOffsets,
                                               section.base(),
-                                              plan.auxRegions);
+                                              auxRegions);
         return result;
     }
 
     const CacheKey key =
-        makeCacheKey(section.contentKey(), plan.entries[which],
-                     section.base(), plan.auxRegions, engine);
+        makeCacheKey(section.contentKey(), entryOffsets,
+                     section.base(), auxRegions, engine);
     if (auto cached = loadCachedResult(cache->store, key)) {
         if (!cache->verify) {
             result.result = std::move(cached->result);
@@ -93,13 +91,13 @@ analyzePlanned(const DisassemblyEngine &engine, const BinaryPlan &plan,
         // Paranoia path: the hit only counts if a cold run agrees
         // byte for byte (map, starts, provenance AND stats).
         Classification cold = engine.analyzeSection(
-            section.bytes(), plan.entries[which], section.base(),
-            plan.auxRegions);
+            section.bytes(), entryOffsets, section.base(),
+            auxRegions);
         ++cache->verified;
         if (!(cold == cached->result)) {
             ++cache->verifyMismatches;
             throw Error("cache: verification mismatch for section " +
-                        result.name + " of " + plan.image->name());
+                        result.name);
         }
         result.result = std::move(cold);
         return result;
@@ -120,16 +118,66 @@ analyzePlanned(const DisassemblyEngine &engine, const BinaryPlan &plan,
     if (cache->explain)
         options.explainOut = &explain;
     result.result = engine.analyzeSectionWith(
-        section.bytes(), plan.entries[which], section.base(),
-        plan.auxRegions, options);
-    storeCachedResult(cache->store, key, result.result,
-                      cache->explain ? &explain : nullptr);
+        section.bytes(), entryOffsets, section.base(), auxRegions,
+        options);
+    storeCachedResult(cache->store, key, result.result);
+    if (cache->explain)
+        storeCachedExplain(cache->store, key, explain);
     if (decoded)
         storeCachedSuperset(cache->store, key, *decoded);
     return result;
 }
 
-} // namespace
+BinaryResult
+analyzeBinary(const DisassemblyEngine &engine, const LoadResult &load,
+              CacheRuntime *cache, const CancelToken *cancel,
+              const SectionAnalyzeFn &analyze)
+{
+    BinaryResult result;
+    result.load = load.report;
+    if (!load.ok()) {
+        result.name = load.report.name;
+        result.error = load.report.summary();
+        result.errorKind = "load";
+        return result;
+    }
+
+    const BinaryImage &image = *load.image;
+    result.name = image.name();
+    const BinaryPlan plan = planBinary(image);
+    try {
+        for (std::size_t s = 0; s < plan.execSections.size(); ++s) {
+            if (cancel != nullptr && cancel->stopped()) {
+                CancelState state = cancel->state();
+                result.sections.clear();
+                result.error =
+                    std::string("analysis abandoned: ") +
+                    cancelStateName(state);
+                result.errorKind = cancelStateName(state);
+                return result;
+            }
+            const Section &section =
+                image.section(plan.execSections[s]);
+            result.sections.push_back(
+                analyze ? analyze(section, plan.entries[s],
+                                  plan.auxRegions)
+                        : analyzeSectionCached(engine, section,
+                                               plan.entries[s],
+                                               plan.auxRegions,
+                                               cache));
+        }
+        result.executableBytes = image.executableBytes();
+    } catch (const std::exception &err) {
+        result.sections.clear();
+        result.error = err.what();
+        result.errorKind = "analysis";
+    } catch (...) {
+        result.sections.clear();
+        result.error = "non-standard exception (no message)";
+        result.errorKind = "analysis";
+    }
+    return result;
+}
 
 BatchAnalyzer::BatchAnalyzer(BatchConfig config,
                              MetricsRegistry *metrics)

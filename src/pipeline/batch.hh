@@ -14,6 +14,8 @@
 #ifndef ACCDIS_PIPELINE_BATCH_HH
 #define ACCDIS_PIPELINE_BATCH_HH
 
+#include <atomic>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "core/engine.hh"
 #include "image/binary_image.hh"
 #include "image/loader.hh"
+#include "pipeline/cancel.hh"
 #include "pipeline/metrics.hh"
 #include "pipeline/thread_pool.hh"
 
@@ -154,6 +157,68 @@ struct BatchReport
                    : 0.0;
     }
 };
+
+/**
+ * Shared cache state of one analysis scope: the on-disk store plus
+ * the verify/explain switches and verification counters. BatchAnalyzer
+ * creates one per run(); long-lived services (src/server) keep one
+ * alive across requests so warm hits accumulate. All members are safe
+ * to share across analysis threads.
+ */
+struct CacheRuntime
+{
+    ResultCache store;
+    bool verify = false;
+    bool explain = false;
+    std::atomic<u64> verified{0};
+    std::atomic<u64> verifyMismatches{0};
+
+    explicit CacheRuntime(ResultCache::Config config)
+        : store(std::move(config))
+    {}
+};
+
+/**
+ * The cache-aware analysis of one executable section — the single
+ * step every analysis path runs, whether fanned out by BatchAnalyzer
+ * or wrapped in the server's single-flight table: result-cache
+ * lookup (with optional cold-run verification), warm superset start
+ * on a result miss, cold analysis, store-back. @p cache may be null:
+ * always cold, nothing stored. Thread-safe for concurrent calls on
+ * one engine/cache pair.
+ */
+DisassemblyEngine::SectionResult
+analyzeSectionCached(const DisassemblyEngine &engine,
+                     const Section &section,
+                     const std::vector<Offset> &entryOffsets,
+                     const std::vector<AuxRegion> &auxRegions,
+                     CacheRuntime *cache);
+
+/**
+ * Per-section analysis hook for analyzeBinary(). Receives the section
+ * and its planned inputs (entry offsets, aux regions); returns the
+ * finished SectionResult. The default runs analyzeSectionCached();
+ * the server interposes its single-flight table here.
+ */
+using SectionAnalyzeFn = std::function<DisassemblyEngine::SectionResult(
+    const Section &section, const std::vector<Offset> &entryOffsets,
+    const std::vector<AuxRegion> &auxRegions)>;
+
+/**
+ * Cancellation-aware, fault-isolated analysis of one loaded binary —
+ * the building block for asynchronous submission: schedule
+ * `pool.submit([=] { return analyzeBinary(...); })` and every
+ * outcome (load failure, analysis exception, cancellation, deadline
+ * expiry) comes back as a structured BinaryResult, never an escaped
+ * exception. @p cancel, when non-null, is polled before each
+ * executable section; a stopped token yields an error record whose
+ * errorKind is "cancelled" or "deadline". @p analyze overrides the
+ * per-section step (defaults to analyzeSectionCached with @p cache).
+ */
+BinaryResult analyzeBinary(const DisassemblyEngine &engine,
+                           const LoadResult &load, CacheRuntime *cache,
+                           const CancelToken *cancel = nullptr,
+                           const SectionAnalyzeFn &analyze = {});
 
 /**
  * Analyzes batches of binaries in parallel. The analyzer itself is

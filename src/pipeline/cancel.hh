@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cooperative cancellation for asynchronously submitted analyses.
+ *
+ * A CancelToken is shared between whoever submits work (a server
+ * connection, a batch driver) and the task executing it. The task
+ * polls state() at its natural checkpoints — the pipeline checks
+ * between executable sections — and abandons the remaining work when
+ * the submitter cancelled or the request's deadline passed. Tokens
+ * never interrupt a section mid-analysis: cancellation is a promise
+ * to stop at the next checkpoint, not preemption.
+ */
+
+#ifndef ACCDIS_PIPELINE_CANCEL_HH
+#define ACCDIS_PIPELINE_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+
+namespace accdis::pipeline
+{
+
+/** Why a token reports itself cancelled. */
+enum class CancelState
+{
+    /** Keep going. */
+    Live,
+    /** cancel() was called (client disconnect, operator abort). */
+    Cancelled,
+    /** The deadline set at submission has passed. */
+    DeadlineExceeded,
+};
+
+/** Stable lowercase name of @p state ("cancelled", "deadline"). */
+inline const char *
+cancelStateName(CancelState state)
+{
+    switch (state) {
+    case CancelState::Cancelled:
+        return "cancelled";
+    case CancelState::DeadlineExceeded:
+        return "deadline";
+    default:
+        return "live";
+    }
+}
+
+/**
+ * Shared cancellation flag plus an optional absolute deadline.
+ * Thread-safe: cancel() and state() may race freely. The deadline is
+ * set once, before the token is shared with the executing task.
+ */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+
+    /** Token that expires at @p deadline. */
+    explicit CancelToken(Clock::time_point deadline)
+        : deadline_(deadline), hasDeadline_(true)
+    {}
+
+    /** Token that expires @p budget from now. */
+    static CancelToken
+    withTimeout(Clock::duration budget)
+    {
+        return CancelToken(Clock::now() + budget);
+    }
+
+    /** Request cancellation; sticky and idempotent. */
+    void cancel() { cancelled_.store(true); }
+
+    /** Current verdict; DeadlineExceeded is evaluated lazily. */
+    CancelState
+    state() const
+    {
+        if (cancelled_.load())
+            return CancelState::Cancelled;
+        if (hasDeadline_ && Clock::now() >= deadline_)
+            return CancelState::DeadlineExceeded;
+        return CancelState::Live;
+    }
+
+    /** True when the work should stop at its next checkpoint. */
+    bool stopped() const { return state() != CancelState::Live; }
+
+    /** The deadline, meaningful only when hasDeadline(). */
+    Clock::time_point deadline() const { return deadline_; }
+    bool hasDeadline() const { return hasDeadline_; }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    Clock::time_point deadline_{};
+    bool hasDeadline_ = false;
+};
+
+} // namespace accdis::pipeline
+
+#endif // ACCDIS_PIPELINE_CANCEL_HH

@@ -28,32 +28,54 @@ MetricsRegistry::timer(const std::string &name)
     return *slot;
 }
 
-std::string
-MetricsRegistry::toJson() const
+MetricsSnapshot
+MetricsRegistry::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, counter] : counters_)
+        snap.counters.emplace(name, counter->value());
+    for (const auto &[name, timer] : timers_) {
+        MetricsSnapshot::TimerValue value;
+        // Count before nanos: see the snapshot() contract.
+        value.count = timer->count();
+        value.nanos = timer->nanos();
+        snap.timers.emplace(name, value);
+    }
+    return snap;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
     std::ostringstream out;
     out << "{\n  \"counters\": {";
     bool first = true;
-    for (const auto &[name, counter] : counters_) {
+    for (const auto &[name, value] : counters) {
         out << (first ? "\n" : ",\n") << "    \"" << name
-            << "\": " << counter->value();
+            << "\": " << value;
         first = false;
     }
     out << (first ? "" : "\n  ") << "},\n  \"timers\": {";
     first = true;
-    for (const auto &[name, timer] : timers_) {
+    for (const auto &[name, timer] : timers) {
         char seconds[32];
         std::snprintf(seconds, sizeof(seconds), "%.9f",
-                      timer->seconds());
+                      timer.seconds());
         out << (first ? "\n" : ",\n") << "    \"" << name
-            << "\": {\"nanos\": " << timer->nanos()
-            << ", \"count\": " << timer->count()
+            << "\": {\"nanos\": " << timer.nanos
+            << ", \"count\": " << timer.count
             << ", \"seconds\": " << seconds << "}";
         first = false;
     }
     out << (first ? "" : "\n  ") << "}\n}\n";
     return out.str();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    return snapshot().toJson();
 }
 
 void

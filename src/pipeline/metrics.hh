@@ -85,6 +85,34 @@ class Timer
 };
 
 /**
+ * One consistent point-in-time copy of a registry: every atomic is
+ * read exactly once when the snapshot is taken, and all rendering
+ * (JSON, live stats replies) works from the frozen copy — a stats
+ * poll racing ongoing updates can never observe one counter at time
+ * t1 and another at time t2 > t1 within the same dump.
+ */
+struct MetricsSnapshot
+{
+    struct TimerValue
+    {
+        u64 nanos = 0;
+        u64 count = 0;
+
+        double
+        seconds() const
+        {
+            return static_cast<double>(nanos) * 1e-9;
+        }
+    };
+
+    std::map<std::string, u64> counters;
+    std::map<std::string, TimerValue> timers;
+
+    /** Render as JSON (see file comment for the stable schema). */
+    std::string toJson() const;
+};
+
+/**
  * Named registry of counters and timers. Handle resolution locks;
  * handle use is lock-free. Returned references stay valid for the
  * registry's lifetime.
@@ -98,7 +126,16 @@ class MetricsRegistry
     /** The timer named @p name, created on first use. */
     Timer &timer(const std::string &name);
 
-    /** Serialize every metric as JSON (see file comment for schema). */
+    /**
+     * Read every metric once into a frozen copy, safe to render while
+     * other threads keep updating the registry. For each timer the
+     * count is read before the nanos so a concurrent Timer::add can
+     * never yield a snapshot whose nanos/count ratio is missing time
+     * that its count already claims.
+     */
+    MetricsSnapshot snapshot() const;
+
+    /** snapshot().toJson() — one consistent read, then render. */
     std::string toJson() const;
 
     /** Write toJson() to @p path. Throws accdis::Error on I/O error. */

@@ -1,5 +1,7 @@
 #include "pipeline/thread_pool.hh"
 
+#include "support/error.hh"
+
 namespace accdis::pipeline
 {
 
@@ -38,6 +40,8 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::pushTask(Task task)
 {
+    if (draining_.load())
+        throw Error("pool: draining, new tasks are rejected");
     unsigned target;
     bool front = false;
     if (tlsPool == this) {
@@ -79,6 +83,9 @@ ThreadPool::popTask(unsigned self, Task &out)
         if (!own.tasks.empty()) {
             out = std::move(own.tasks.front());
             own.tasks.pop_front();
+            // Active before pending: a drainer must never observe
+            // both zero while this task is still in flight.
+            active_.fetch_add(1);
             pending_.fetch_sub(1);
             return true;
         }
@@ -94,6 +101,7 @@ ThreadPool::popTask(unsigned self, Task &out)
         if (!queue.tasks.empty()) {
             out = std::move(queue.tasks.back());
             queue.tasks.pop_back();
+            active_.fetch_add(1);
             pending_.fetch_sub(1);
             steals_.fetch_add(1);
             return true;
@@ -115,7 +123,30 @@ ThreadPool::runPendingTask()
     // become ready must also see it counted in stats().
     executed_.fetch_add(1);
     task();
+    noteTaskDone();
     return true;
+}
+
+void
+ThreadPool::noteTaskDone()
+{
+    if (active_.fetch_sub(1) == 1 && draining_.load() &&
+        pending_.load() == 0) {
+        // Pair the notify with the drainer's mutex so the wakeup
+        // cannot slip between its predicate check and its wait.
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        drained_.notify_all();
+    }
+}
+
+void
+ThreadPool::drain()
+{
+    draining_.store(true);
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    drained_.wait(lock, [this] {
+        return pending_.load() == 0 && active_.load() == 0;
+    });
 }
 
 void
@@ -129,6 +160,7 @@ ThreadPool::workerLoop(unsigned self)
             executed_.fetch_add(1);
             task();
             task = nullptr;
+            noteTaskDone();
             continue;
         }
         std::unique_lock<std::mutex> lock(sleepMutex_);

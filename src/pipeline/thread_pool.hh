@@ -94,6 +94,22 @@ class ThreadPool
      */
     bool runPendingTask();
 
+    /**
+     * Graceful drain, distinct from shutdown: immediately reject any
+     * further submit() (with accdis::Error), then block until every
+     * task already accepted — queued or mid-execution — has finished.
+     * The workers stay alive afterwards, so stats() and the futures
+     * of drained tasks remain usable; destruction is still the only
+     * thing that joins them. Must be called from outside the pool
+     * (a task draining its own pool would wait on itself). Idempotent
+     * and safe to call from several threads — all of them block until
+     * the pool is empty.
+     */
+    void drain();
+
+    /** True once drain() has been entered; submit() now rejects. */
+    bool draining() const { return draining_.load(); }
+
     /** Snapshot of lifetime statistics. */
     PoolStats stats() const;
 
@@ -114,10 +130,17 @@ class ThreadPool
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> workers_;
 
+    /** Bumped around task execution so drain() can wait for tasks
+     *  that already left a deque but have not finished running. */
+    void noteTaskDone();
+
     std::mutex sleepMutex_;
     std::condition_variable wake_;
+    std::condition_variable drained_;
     bool stopping_ = false;
+    std::atomic<bool> draining_{false};
 
+    std::atomic<u64> active_{0};
     std::atomic<u64> pending_{0};
     std::atomic<u64> submitted_{0};
     std::atomic<u64> executed_{0};

@@ -1,0 +1,107 @@
+#include "server/admission.hh"
+
+#include <algorithm>
+
+namespace accdis::server
+{
+
+const char *
+admitErrorCode(AdmitError error)
+{
+    switch (error) {
+    case AdmitError::Overloaded:
+        return "overloaded";
+    case AdmitError::ConnectionLimit:
+        return "conn-limit";
+    case AdmitError::TooLarge:
+        return "too-large";
+    case AdmitError::Draining:
+        return "draining";
+    default:
+        return "none";
+    }
+}
+
+AdmissionController::AdmissionController(
+    AdmissionConfig config, pipeline::MetricsRegistry *metrics)
+    : config_(config), metrics_(metrics)
+{}
+
+AdmitError
+AdmissionController::tryAdmit(u64 connId, u64 bodyBytes)
+{
+    AdmitError error = AdmitError::None;
+    u64 maxInFlight = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_)
+            error = AdmitError::Draining;
+        else if (bodyBytes > config_.maxBodyBytes)
+            error = AdmitError::TooLarge;
+        else if (inFlight_ >= config_.maxQueueDepth)
+            error = AdmitError::Overloaded;
+        else if (perConnection_[connId] >= config_.maxPerConnection)
+            error = AdmitError::ConnectionLimit;
+        else {
+            ++inFlight_;
+            ++perConnection_[connId];
+            maxInFlight_ = std::max(maxInFlight_, inFlight_);
+            maxInFlight = maxInFlight_;
+        }
+    }
+    if (metrics_ != nullptr) {
+        if (error == AdmitError::None) {
+            metrics_->counter("server.admitted").inc();
+            metrics_->counter("server.max_inflight")
+                .set(maxInFlight);
+        } else {
+            metrics_
+                ->counter(std::string("server.rejected.") +
+                          admitErrorCode(error))
+                .inc();
+        }
+    }
+    return error;
+}
+
+void
+AdmissionController::release(u64 connId)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inFlight_ > 0)
+        --inFlight_;
+    auto it = perConnection_.find(connId);
+    if (it != perConnection_.end() && --it->second == 0)
+        perConnection_.erase(it);
+}
+
+void
+AdmissionController::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+}
+
+bool
+AdmissionController::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+u64
+AdmissionController::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inFlight_;
+}
+
+u64
+AdmissionController::effectiveDeadlineMs(u64 requestedMs) const
+{
+    u64 deadline = requestedMs == 0 ? config_.defaultDeadlineMs
+                                    : requestedMs;
+    return std::min(deadline, config_.maxDeadlineMs);
+}
+
+} // namespace accdis::server

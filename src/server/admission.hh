@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Admission control for the analysis service: a bounded in-flight
+ * budget, per-connection fairness limits, a body-size cap, and a
+ * drain switch.
+ *
+ * The point is graceful degradation under hostile load: a flood of
+ * salvage-path uploads (PR-5) occupies at most maxQueueDepth slots —
+ * the flood's excess is answered immediately with a structured
+ * "overloaded" refusal instead of queueing without bound — and no
+ * single connection can take more than maxPerConnection of those
+ * slots, so a healthy client still gets admitted while one abusive
+ * peer is shed. A slot is held from admission until the request's
+ * reply is sent (RAII AdmitTicket), i.e. the budget covers queued AND
+ * executing work.
+ */
+
+#ifndef ACCDIS_SERVER_ADMISSION_HH
+#define ACCDIS_SERVER_ADMISSION_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "pipeline/metrics.hh"
+#include "support/types.hh"
+
+namespace accdis::server
+{
+
+/** Admission-control knobs. */
+struct AdmissionConfig
+{
+    /** Analysis requests admitted concurrently (queued + running). */
+    u64 maxQueueDepth = 64;
+    /** Of those, the most one connection may hold. */
+    u64 maxPerConnection = 8;
+    /** Largest accepted analysis body, in bytes. */
+    u64 maxBodyBytes = 32ull << 20;
+    /** Deadline applied when a request does not set one, in ms. */
+    u64 defaultDeadlineMs = 60000;
+    /** Hard cap on any requested deadline, in ms. */
+    u64 maxDeadlineMs = 10 * 60000;
+};
+
+/** Why a request was refused; maps 1:1 to ErrorReply codes. */
+enum class AdmitError
+{
+    None,
+    /** Global in-flight budget exhausted. */
+    Overloaded,
+    /** The connection's fair share is exhausted. */
+    ConnectionLimit,
+    /** Body larger than maxBodyBytes. */
+    TooLarge,
+    /** Server is draining; no new work. */
+    Draining,
+};
+
+/** Stable refusal-code string of @p error ("overloaded", ...). */
+const char *admitErrorCode(AdmitError error);
+
+/**
+ * Tracks the in-flight budget. Thread-safe. Metrics (when a registry
+ * is supplied): server.admitted, server.rejected.<code>,
+ * server.inflight high-water in server.max_inflight.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(
+        AdmissionConfig config = {},
+        pipeline::MetricsRegistry *metrics = nullptr);
+
+    /**
+     * Try to take one slot for @p connId with a body of @p bodyBytes.
+     * Returns AdmitError::None on success; the caller MUST later
+     * release(connId) exactly once (use AdmitTicket).
+     */
+    AdmitError tryAdmit(u64 connId, u64 bodyBytes);
+
+    /** Return the slot taken by tryAdmit. */
+    void release(u64 connId);
+
+    /** Flip to draining: every further tryAdmit returns Draining. */
+    void beginDrain();
+
+    bool draining() const;
+
+    /** Admitted requests currently in flight. */
+    u64 inFlight() const;
+
+    /** The deadline to apply: the request's own (clamped to
+     *  maxDeadlineMs) or the default when it asked for none. */
+    u64 effectiveDeadlineMs(u64 requestedMs) const;
+
+    const AdmissionConfig &config() const { return config_; }
+
+  private:
+    AdmissionConfig config_;
+    pipeline::MetricsRegistry *metrics_;
+    mutable std::mutex mutex_;
+    bool draining_ = false;
+    u64 inFlight_ = 0;
+    u64 maxInFlight_ = 0;
+    std::map<u64, u64> perConnection_;
+};
+
+/** RAII admission slot: releases on destruction unless disarmed. */
+class AdmitTicket
+{
+  public:
+    AdmitTicket() = default;
+    AdmitTicket(AdmissionController &controller, u64 connId)
+        : controller_(&controller), connId_(connId)
+    {}
+
+    ~AdmitTicket() { release(); }
+
+    AdmitTicket(AdmitTicket &&other) noexcept
+        : controller_(other.controller_), connId_(other.connId_)
+    {
+        other.controller_ = nullptr;
+    }
+
+    AdmitTicket &
+    operator=(AdmitTicket &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            controller_ = other.controller_;
+            connId_ = other.connId_;
+            other.controller_ = nullptr;
+        }
+        return *this;
+    }
+
+    AdmitTicket(const AdmitTicket &) = delete;
+    AdmitTicket &operator=(const AdmitTicket &) = delete;
+
+    /** Release the slot now (idempotent). */
+    void
+    release()
+    {
+        if (controller_ != nullptr) {
+            controller_->release(connId_);
+            controller_ = nullptr;
+        }
+    }
+
+    bool held() const { return controller_ != nullptr; }
+
+  private:
+    AdmissionController *controller_ = nullptr;
+    u64 connId_ = 0;
+};
+
+} // namespace accdis::server
+
+#endif // ACCDIS_SERVER_ADMISSION_HH

@@ -1,0 +1,133 @@
+#include "server/client.hh"
+
+#include <utility>
+
+#include "support/error.hh"
+
+namespace accdis::server
+{
+
+namespace
+{
+
+AnalyzeRequest
+makeAnalyzeBytes(u64 requestId, const std::string &name,
+                 ByteVec bytes, const AnalyzeOptions &options)
+{
+    AnalyzeRequest request;
+    request.requestId = requestId;
+    request.name = name;
+    request.options = options;
+    request.byPath = false;
+    request.bytes = std::move(bytes);
+    return request;
+}
+
+AnalyzeRequest
+makeAnalyzeFile(u64 requestId, const std::string &path,
+                const AnalyzeOptions &options)
+{
+    AnalyzeRequest request;
+    request.requestId = requestId;
+    request.name = path;
+    request.options = options;
+    request.byPath = true;
+    request.path = path;
+    return request;
+}
+
+} // namespace
+
+ServerClient::ServerClient(const std::string &socketPath,
+                           u32 maxFrameBytes)
+    : socket_(connectUnix(socketPath)), maxFrameBytes_(maxFrameBytes)
+{}
+
+u64
+ServerClient::sendRequest(Request request)
+{
+    const u64 requestId = requestIdOf(request);
+    writeFramePayload(socket_, encodeRequest(request));
+    return requestId;
+}
+
+Reply
+ServerClient::readReply(int timeoutMs)
+{
+    auto payload =
+        readFramePayload(socket_, maxFrameBytes_, timeoutMs);
+    if (!payload)
+        throw Error("client: server closed the connection");
+    return decodeReply(*payload);
+}
+
+Reply
+ServerClient::roundTrip(Request request)
+{
+    sendRequest(std::move(request));
+    return readReply();
+}
+
+Reply
+ServerClient::analyzeBytes(const std::string &name, ByteVec bytes,
+                           const AnalyzeOptions &options)
+{
+    return roundTrip(makeAnalyzeBytes(nextId_++, name,
+                                      std::move(bytes), options));
+}
+
+Reply
+ServerClient::analyzeFile(const std::string &path,
+                          const AnalyzeOptions &options)
+{
+    return roundTrip(makeAnalyzeFile(nextId_++, path, options));
+}
+
+std::string
+ServerClient::stats()
+{
+    StatsRequest request;
+    request.requestId = nextId_++;
+    Reply reply = roundTrip(request);
+    if (auto *stats = std::get_if<StatsReply>(&reply))
+        return stats->json;
+    throw Error("client: unexpected reply to stats request");
+}
+
+void
+ServerClient::ping()
+{
+    PingRequest request;
+    request.requestId = nextId_++;
+    Reply reply = roundTrip(request);
+    if (!std::holds_alternative<PongReply>(reply))
+        throw Error("client: unexpected reply to ping");
+}
+
+void
+ServerClient::shutdownServer(bool drain)
+{
+    ShutdownRequest request;
+    request.requestId = nextId_++;
+    request.drain = drain;
+    Reply reply = roundTrip(request);
+    if (!std::holds_alternative<ShutdownReply>(reply))
+        throw Error("client: unexpected reply to shutdown");
+}
+
+u64
+ServerClient::sendAnalyzeBytes(const std::string &name, ByteVec bytes,
+                               const AnalyzeOptions &options)
+{
+    return sendRequest(
+        makeAnalyzeBytes(nextId_++, name, std::move(bytes), options));
+}
+
+u64
+ServerClient::sendAnalyzeFile(const std::string &path,
+                              const AnalyzeOptions &options)
+{
+    return sendRequest(makeAnalyzeFile(nextId_++, path, options));
+}
+
+} // namespace accdis::server

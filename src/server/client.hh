@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Client side of the daemon protocol: connects to the Unix-domain
+ * socket and speaks framed requests/replies.
+ *
+ * Two usage styles: the blocking helpers (analyzeBytes, stats, ...)
+ * do one round trip each, and the sendAnalyze.../readReply pair
+ * pipelines —
+ * queue many requests, then match streaming replies to requests by
+ * the returned requestIds (replies arrive in completion order, not
+ * send order).
+ *
+ * Not thread-safe: one ServerClient per thread (the daemon handles
+ * any number of concurrent connections).
+ */
+
+#ifndef ACCDIS_SERVER_CLIENT_HH
+#define ACCDIS_SERVER_CLIENT_HH
+
+#include <string>
+
+#include "server/net.hh"
+#include "server/protocol.hh"
+
+namespace accdis::server
+{
+
+class ServerClient
+{
+  public:
+    /** Connect to the daemon at @p socketPath.
+     *  @throws Error when the connect fails. */
+    explicit ServerClient(const std::string &socketPath,
+                          u32 maxFrameBytes = kDefaultMaxFrameBytes);
+
+    // --- Blocking round trips ----------------------------------------
+
+    /** Analyze inline @p bytes; returns the server's ResultReply or
+     *  ErrorReply (refusals are data, not exceptions). */
+    Reply analyzeBytes(const std::string &name, ByteVec bytes,
+                       const AnalyzeOptions &options = {});
+
+    /** Analyze the server-local file @p path. */
+    Reply analyzeFile(const std::string &path,
+                      const AnalyzeOptions &options = {});
+
+    /** Live metrics snapshot as JSON.
+     *  @throws Error on an unexpected reply type. */
+    std::string stats();
+
+    /** Liveness check. @throws Error when the pong does not come. */
+    void ping();
+
+    /** Ask the server to shut down (gracefully when @p drain). The
+     *  ShutdownReply is confirmed before returning. */
+    void shutdownServer(bool drain = true);
+
+    // --- Pipelined use -----------------------------------------------
+
+    /** Queue an analyze request without waiting; returns its
+     *  requestId for matching the eventual reply. */
+    u64 sendAnalyzeBytes(const std::string &name, ByteVec bytes,
+                         const AnalyzeOptions &options = {});
+    u64 sendAnalyzeFile(const std::string &path,
+                        const AnalyzeOptions &options = {});
+
+    /**
+     * Read the next reply off the socket (blocking; @p timeoutMs >= 0
+     * bounds the wait). @throws Error when the server closed the
+     * connection or the wait timed out.
+     */
+    Reply readReply(int timeoutMs = -1);
+
+  private:
+    u64 sendRequest(Request request);
+    Reply roundTrip(Request request);
+
+    Socket socket_;
+    u32 maxFrameBytes_;
+    u64 nextId_ = 1;
+};
+
+} // namespace accdis::server
+
+#endif // ACCDIS_SERVER_CLIENT_HH

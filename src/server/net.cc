@@ -1,0 +1,279 @@
+#include "server/net.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.hh"
+
+namespace accdis::server
+{
+
+namespace
+{
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw Error(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+Socket::~Socket()
+{
+    close();
+}
+
+Socket::Socket(Socket &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{}
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::sendAll(ByteSpan bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + sent,
+                           bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("socket: send failed");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::size_t
+Socket::trySend(ByteSpan bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n =
+            ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            throwErrno("socket: send failed");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return sent;
+}
+
+bool
+Socket::waitReadable(int timeoutMs, bool alsoWritable)
+{
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    if (alsoWritable)
+        pfd.events |= POLLOUT;
+    pfd.revents = 0;
+    for (;;) {
+        int ready = ::poll(&pfd, 1, timeoutMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("socket: poll failed");
+        }
+        if (ready == 0)
+            return false;
+        return (pfd.revents & POLLIN) != 0;
+    }
+}
+
+bool
+Socket::recvExact(void *buf, std::size_t size, int timeoutMs)
+{
+    u8 *out = static_cast<u8 *>(buf);
+    std::size_t got = 0;
+    while (got < size) {
+        if (timeoutMs >= 0 && !waitReadable(timeoutMs))
+            throw Error("socket: receive timed out");
+        ssize_t n = ::recv(fd_, out + got, size - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("socket: recv failed");
+        }
+        if (n == 0) {
+            if (got == 0)
+                return false; // Clean EOF between messages.
+            throw Error("socket: peer closed mid-message");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<ByteVec>
+readFramePayload(Socket &socket, u32 maxPayloadBytes, int timeoutMs)
+{
+    u8 header[8];
+    if (!socket.recvExact(header, sizeof(header), timeoutMs))
+        return std::nullopt;
+    u32 length = parseFrameHeader(header, maxPayloadBytes);
+    ByteVec payload(length);
+    if (length > 0 &&
+        !socket.recvExact(payload.data(), payload.size(), timeoutMs))
+        throw Error("socket: peer closed mid-frame");
+    return payload;
+}
+
+void
+writeFramePayload(Socket &socket, ByteSpan payload)
+{
+    socket.sendAll(frame(payload));
+}
+
+Listener::~Listener()
+{
+    close();
+}
+
+Listener::Listener(Listener &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_))
+{
+    other.path_.clear();
+}
+
+Listener &
+Listener::operator=(Listener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        path_ = std::move(other.path_);
+        other.path_.clear();
+    }
+    return *this;
+}
+
+Listener
+Listener::bind(const std::string &path, int backlog)
+{
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw Error("listener: socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("listener: socket failed");
+    // A stale socket file from a dead daemon blocks bind; take it
+    // over (a live daemon would still hold the listening fd, but two
+    // daemons on one path is an operator error either way).
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("listener: bind failed on " + path);
+    }
+    if (::listen(fd, backlog) != 0) {
+        int saved = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        errno = saved;
+        throwErrno("listener: listen failed on " + path);
+    }
+    Listener listener;
+    listener.fd_ = fd;
+    listener.path_ = path;
+    return listener;
+}
+
+std::optional<Socket>
+Listener::accept(int timeoutMs)
+{
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    for (;;) {
+        int ready = ::poll(&pfd, 1, timeoutMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("listener: poll failed");
+        }
+        if (ready == 0)
+            return std::nullopt;
+        int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            throwErrno("listener: accept failed");
+        }
+        return Socket(fd);
+    }
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        if (!path_.empty())
+            ::unlink(path_.c_str());
+    }
+}
+
+Socket
+connectUnix(const std::string &path)
+{
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw Error("client: socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("client: socket failed");
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("client: cannot connect to " + path);
+    }
+    return Socket(fd);
+}
+
+} // namespace accdis::server

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Minimal RAII wrappers over Unix domain stream sockets — the only
+ * transport the analysis service speaks. POSIX-only, like the rest of
+ * the daemon; the analysis library itself stays portable.
+ *
+ * All receive paths poll with a timeout so a blocked reader can
+ * periodically observe server state (drain, stop) instead of hanging
+ * in recv() forever. Writes suppress SIGPIPE (MSG_NOSIGNAL): a peer
+ * that disconnected mid-reply surfaces as an Error, never a signal.
+ */
+
+#ifndef ACCDIS_SERVER_NET_HH
+#define ACCDIS_SERVER_NET_HH
+
+#include <optional>
+#include <string>
+
+#include "server/protocol.hh"
+#include "support/types.hh"
+
+namespace accdis::server
+{
+
+/** One connected Unix-socket endpoint; closes its fd on destruction. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(Socket &&other) noexcept;
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    void close();
+
+    /** Write all of @p bytes. @throws Error on a broken peer. */
+    void sendAll(ByteSpan bytes);
+
+    /**
+     * Write as much of @p bytes as fits in the kernel send buffer
+     * without blocking; returns the byte count actually sent (possibly
+     * 0). @throws Error on a broken peer. Lets reply producers hand
+     * leftovers to a queue instead of stalling on a slow reader.
+     */
+    std::size_t trySend(ByteSpan bytes);
+
+    /**
+     * Read exactly @p size bytes. Returns false on a clean EOF before
+     * the first byte; @throws Error on EOF mid-read, I/O failure, or
+     * when @p timeoutMs (>= 0) elapses with the stream idle.
+     */
+    bool recvExact(void *buf, std::size_t size, int timeoutMs = -1);
+
+    /**
+     * Wait until the socket is readable. Returns false on timeout.
+     * @p timeoutMs < 0 waits forever. With @p alsoWritable the poll
+     * additionally wakes when the send buffer has room (the return
+     * value still reports readability only) — used by connection
+     * loops that have backlogged replies to flush.
+     */
+    bool waitReadable(int timeoutMs, bool alsoWritable = false);
+
+  private:
+    int fd_ = -1;
+};
+
+/** Read one length-prefixed frame payload. Returns std::nullopt on a
+ *  clean EOF between frames; @throws ProtocolError on a malformed
+ *  header, Error on I/O failure or timeout. */
+std::optional<ByteVec> readFramePayload(
+    Socket &socket, u32 maxPayloadBytes = kDefaultMaxFrameBytes,
+    int timeoutMs = -1);
+
+/** Frame and write @p payload. */
+void writeFramePayload(Socket &socket, ByteSpan payload);
+
+/** Bound, listening Unix-socket endpoint. Unlinks the path it bound
+ *  both on takeover (stale socket file) and on destruction. */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(Listener &&other) noexcept;
+    Listener &operator=(Listener &&other) noexcept;
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /** Bind and listen on @p path. @throws Error on failure (path too
+     *  long for sun_path, bind/listen errors). */
+    static Listener bind(const std::string &path, int backlog = 64);
+
+    /** Accept one connection; std::nullopt on timeout. */
+    std::optional<Socket> accept(int timeoutMs);
+
+    bool valid() const { return fd_ >= 0; }
+    const std::string &path() const { return path_; }
+
+    /** Stop listening and remove the socket file. */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/** Connect to the daemon at @p path. @throws Error on failure. */
+Socket connectUnix(const std::string &path);
+
+} // namespace accdis::server
+
+#endif // ACCDIS_SERVER_NET_HH

@@ -1,0 +1,264 @@
+#include "server/protocol.hh"
+
+#include <cstring>
+
+namespace accdis::server
+{
+
+namespace
+{
+
+void
+encodeHeader(Encoder &enc, MsgType type, u64 requestId)
+{
+    enc.pod(kProtocolVersion);
+    enc.pod(static_cast<u8>(type));
+    enc.pod(requestId);
+}
+
+/** Parse the common payload header; returns (type, requestId). */
+std::pair<MsgType, u64>
+decodeHeader(Decoder &dec)
+{
+    u8 version = dec.pod<u8>();
+    if (version != kProtocolVersion)
+        throw ProtocolError("protocol: unsupported version " +
+                            std::to_string(version));
+    u8 type = dec.pod<u8>();
+    u64 requestId = dec.pod<u64>();
+    return {static_cast<MsgType>(type), requestId};
+}
+
+void
+encodeAnalyzeOptions(Encoder &enc, const AnalyzeOptions &options)
+{
+    u8 flags = 0;
+    if (options.salvage)
+        flags |= 1;
+    if (options.explain)
+        flags |= 2;
+    enc.pod(flags);
+    enc.pod(options.explainAddr);
+    enc.varint(options.deadlineMs);
+}
+
+AnalyzeOptions
+decodeAnalyzeOptions(Decoder &dec)
+{
+    AnalyzeOptions options;
+    u8 flags = dec.pod<u8>();
+    options.salvage = (flags & 1) != 0;
+    options.explain = (flags & 2) != 0;
+    options.explainAddr = dec.pod<Addr>();
+    options.deadlineMs = dec.varint();
+    return options;
+}
+
+} // namespace
+
+ByteVec
+encodeRequest(const Request &request)
+{
+    Encoder enc;
+    if (const auto *analyze = std::get_if<AnalyzeRequest>(&request)) {
+        encodeHeader(enc,
+                     analyze->byPath ? MsgType::AnalyzeFile
+                                     : MsgType::AnalyzeBytes,
+                     analyze->requestId);
+        enc.str(analyze->name);
+        encodeAnalyzeOptions(enc, analyze->options);
+        if (analyze->byPath)
+            enc.str(analyze->path);
+        else
+            enc.bytes(analyze->bytes);
+    } else if (const auto *stats =
+                   std::get_if<StatsRequest>(&request)) {
+        encodeHeader(enc, MsgType::Stats, stats->requestId);
+    } else if (const auto *ping = std::get_if<PingRequest>(&request)) {
+        encodeHeader(enc, MsgType::Ping, ping->requestId);
+    } else {
+        const auto &shutdown = std::get<ShutdownRequest>(request);
+        encodeHeader(enc, MsgType::Shutdown, shutdown.requestId);
+        enc.pod(static_cast<u8>(shutdown.drain ? 1 : 0));
+    }
+    return enc.take();
+}
+
+Request
+decodeRequest(ByteSpan payload)
+{
+    Decoder dec(payload);
+    auto [type, requestId] = decodeHeader(dec);
+    switch (type) {
+    case MsgType::AnalyzeBytes:
+    case MsgType::AnalyzeFile: {
+        AnalyzeRequest request;
+        request.requestId = requestId;
+        request.name = dec.str();
+        request.options = decodeAnalyzeOptions(dec);
+        if (type == MsgType::AnalyzeFile) {
+            request.byPath = true;
+            request.path = dec.str();
+        } else {
+            request.bytes = dec.bytes();
+        }
+        dec.expectEnd();
+        return request;
+    }
+    case MsgType::Stats: {
+        dec.expectEnd();
+        return StatsRequest{requestId};
+    }
+    case MsgType::Ping: {
+        dec.expectEnd();
+        return PingRequest{requestId};
+    }
+    case MsgType::Shutdown: {
+        ShutdownRequest request;
+        request.requestId = requestId;
+        request.drain = dec.pod<u8>() != 0;
+        dec.expectEnd();
+        return request;
+    }
+    default:
+        throw ProtocolError("protocol: unknown request type " +
+                            std::to_string(static_cast<int>(type)));
+    }
+}
+
+ByteVec
+encodeReply(const Reply &reply)
+{
+    Encoder enc;
+    if (const auto *result = std::get_if<ResultReply>(&reply)) {
+        encodeHeader(enc, MsgType::ResultReply, result->requestId);
+        enc.str(result->name);
+        enc.str(result->error);
+        enc.str(result->errorKind);
+        enc.str(result->loadSummary);
+        enc.pod(static_cast<u8>(result->salvaged ? 1 : 0));
+        enc.varint(result->executableBytes);
+        enc.varint(result->sections.size());
+        for (const SectionReply &section : result->sections) {
+            enc.str(section.name);
+            enc.pod(section.base);
+            encodeClassification(enc, section.result);
+            enc.str(section.explainText);
+        }
+    } else if (const auto *error = std::get_if<ErrorReply>(&reply)) {
+        encodeHeader(enc, MsgType::ErrorReply, error->requestId);
+        enc.str(error->code);
+        enc.str(error->message);
+    } else if (const auto *stats = std::get_if<StatsReply>(&reply)) {
+        encodeHeader(enc, MsgType::StatsReply, stats->requestId);
+        enc.str(stats->json);
+    } else if (const auto *pong = std::get_if<PongReply>(&reply)) {
+        encodeHeader(enc, MsgType::PongReply, pong->requestId);
+    } else {
+        const auto &ack = std::get<ShutdownReply>(reply);
+        encodeHeader(enc, MsgType::ShutdownReply, ack.requestId);
+    }
+    return enc.take();
+}
+
+Reply
+decodeReply(ByteSpan payload)
+{
+    Decoder dec(payload);
+    auto [type, requestId] = decodeHeader(dec);
+    switch (type) {
+    case MsgType::ResultReply: {
+        ResultReply reply;
+        reply.requestId = requestId;
+        reply.name = dec.str();
+        reply.error = dec.str();
+        reply.errorKind = dec.str();
+        reply.loadSummary = dec.str();
+        reply.salvaged = dec.pod<u8>() != 0;
+        reply.executableBytes = dec.varint();
+        u64 sections = dec.varint();
+        for (u64 i = 0; i < sections; ++i) {
+            SectionReply section;
+            section.name = dec.str();
+            section.base = dec.pod<Addr>();
+            section.result = decodeClassification(dec);
+            section.explainText = dec.str();
+            reply.sections.push_back(std::move(section));
+        }
+        dec.expectEnd();
+        return reply;
+    }
+    case MsgType::ErrorReply: {
+        ErrorReply reply;
+        reply.requestId = requestId;
+        reply.code = dec.str();
+        reply.message = dec.str();
+        dec.expectEnd();
+        return reply;
+    }
+    case MsgType::StatsReply: {
+        StatsReply reply;
+        reply.requestId = requestId;
+        reply.json = dec.str();
+        dec.expectEnd();
+        return reply;
+    }
+    case MsgType::PongReply: {
+        dec.expectEnd();
+        return PongReply{requestId};
+    }
+    case MsgType::ShutdownReply: {
+        dec.expectEnd();
+        return ShutdownReply{requestId};
+    }
+    default:
+        throw ProtocolError("protocol: unknown reply type " +
+                            std::to_string(static_cast<int>(type)));
+    }
+}
+
+u64
+requestIdOf(const Request &request)
+{
+    return std::visit([](const auto &msg) { return msg.requestId; },
+                      request);
+}
+
+u64
+requestIdOf(const Reply &reply)
+{
+    return std::visit([](const auto &msg) { return msg.requestId; },
+                      reply);
+}
+
+ByteVec
+frame(ByteSpan payload)
+{
+    if (payload.size() > ~u32{0})
+        throw ProtocolError("protocol: payload exceeds u32 framing");
+    Encoder enc;
+    enc.pod(kFrameMagic);
+    enc.pod(static_cast<u32>(payload.size()));
+    ByteVec out = enc.take();
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+u32
+parseFrameHeader(const u8 (&header)[8], u32 maxPayloadBytes)
+{
+    u32 magic, length;
+    std::memcpy(&magic, header, sizeof(magic));
+    std::memcpy(&length, header + 4, sizeof(length));
+    if (magic != kFrameMagic)
+        throw ProtocolError("protocol: bad frame magic");
+    if (length > maxPayloadBytes)
+        throw ProtocolError("protocol: frame of " +
+                            std::to_string(length) +
+                            " bytes exceeds the " +
+                            std::to_string(maxPayloadBytes) +
+                            "-byte limit");
+    return length;
+}
+
+} // namespace accdis::server

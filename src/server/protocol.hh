@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Wire protocol of the accdis analysis service.
+ *
+ * Framing is minimal length-prefixed binary reusing support/serialize:
+ *
+ *   frame   := magic:u32 ("ACDS", little-endian)
+ *              length:u32 (payload bytes; bounded by the receiver)
+ *              payload
+ *   payload := version:u8 type:u8 requestId:u64 body
+ *
+ * Requests carry a client-chosen requestId; every reply echoes the id
+ * of the request it answers, so clients may pipeline requests and
+ * match replies as they stream back in completion order. Bodies are
+ * encoded with the bounds-checked Encoder/Decoder — a malformed
+ * payload throws SerializeError, which the server answers with a
+ * "bad-request" ErrorReply before dropping the connection.
+ *
+ * Reply taxonomy: an *admitted* analysis request always produces a
+ * ResultReply (ok, or a structured per-item error record with the
+ * PR-5 load taxonomy / analysis / deadline errorKind). ErrorReply is
+ * reserved for requests the server refused to run: admission-control
+ * load shedding ("overloaded", "conn-limit", "too-large"), drain
+ * ("draining") and protocol violations ("bad-request").
+ */
+
+#ifndef ACCDIS_SERVER_PROTOCOL_HH
+#define ACCDIS_SERVER_PROTOCOL_HH
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/artifact_io.hh"
+#include "core/result.hh"
+#include "support/serialize.hh"
+#include "support/types.hh"
+
+namespace accdis::server
+{
+
+/** Frame magic: "ACDS" read as a little-endian u32. */
+inline constexpr u32 kFrameMagic = 0x53444341u;
+
+/** Protocol version carried in every payload. */
+inline constexpr u8 kProtocolVersion = 1;
+
+/** Default upper bound on one frame's payload, server and client. */
+inline constexpr u32 kDefaultMaxFrameBytes = 64u << 20;
+
+/** Message discriminator (requests < 64, replies >= 64). */
+enum class MsgType : u8
+{
+    AnalyzeBytes = 1, ///< Body carries the binary's bytes.
+    AnalyzeFile = 2,  ///< Body names a server-local file path.
+    Stats = 3,        ///< Live metrics snapshot as JSON.
+    Ping = 4,
+    Shutdown = 5, ///< Graceful drain (or immediate) shutdown.
+
+    ResultReply = 64,
+    ErrorReply = 65,
+    StatsReply = 66,
+    PongReply = 67,
+    ShutdownReply = 68,
+};
+
+/** Per-request analysis options. */
+struct AnalyzeOptions
+{
+    /** Salvage-mode loading (PR-5): recover well-formed sections of
+     *  partially corrupt images instead of failing the load. */
+    bool salvage = false;
+    /** Request the provenance record for the byte at explainAddr. */
+    bool explain = false;
+    /** Virtual address to explain (meaningful when explain). */
+    Addr explainAddr = 0;
+    /** Request deadline in milliseconds; 0 uses the server default. */
+    u64 deadlineMs = 0;
+};
+
+/** Analyze a binary: bytes carried inline or a server-local path. */
+struct AnalyzeRequest
+{
+    u64 requestId = 0;
+    /** Display name of the input (file name for path requests). */
+    std::string name;
+    AnalyzeOptions options;
+    /** True: analyze `path` on the server host. False: `bytes`. */
+    bool byPath = false;
+    std::string path;
+    ByteVec bytes;
+};
+
+struct StatsRequest
+{
+    u64 requestId = 0;
+};
+
+struct PingRequest
+{
+    u64 requestId = 0;
+};
+
+struct ShutdownRequest
+{
+    u64 requestId = 0;
+    /** Finish in-flight work before stopping (graceful). */
+    bool drain = true;
+};
+
+using Request = std::variant<AnalyzeRequest, StatsRequest, PingRequest,
+                             ShutdownRequest>;
+
+/** One analyzed executable section within a ResultReply. */
+struct SectionReply
+{
+    std::string name;
+    Addr base = 0;
+    Classification result;
+    /** Rendered provenance chain when the request asked to explain a
+     *  byte inside this section; empty otherwise. */
+    std::string explainText;
+};
+
+/** Outcome of one admitted analysis request. */
+struct ResultReply
+{
+    u64 requestId = 0;
+    std::string name;
+    /** Empty on success; the per-item error otherwise. */
+    std::string error;
+    /** "", "load", "analysis", "cancelled" or "deadline". */
+    std::string errorKind;
+    /** Loader summary line ("elf: salvaged: ..."); empty when the
+     *  load was clean. */
+    std::string loadSummary;
+    bool salvaged = false;
+    u64 executableBytes = 0;
+    std::vector<SectionReply> sections;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Refusal codes, stable strings (metrics key on them too). */
+struct ErrorReply
+{
+    u64 requestId = 0;
+    /** "overloaded", "conn-limit", "too-large", "draining" or
+     *  "bad-request". */
+    std::string code;
+    std::string message;
+};
+
+struct StatsReply
+{
+    u64 requestId = 0;
+    /** MetricsSnapshot::toJson() of the live registry. */
+    std::string json;
+};
+
+struct PongReply
+{
+    u64 requestId = 0;
+};
+
+struct ShutdownReply
+{
+    u64 requestId = 0;
+};
+
+using Reply = std::variant<ResultReply, ErrorReply, StatsReply,
+                           PongReply, ShutdownReply>;
+
+/** Thrown on malformed frames or payloads (extends SerializeError so
+ *  generic decode failures and protocol violations unify). */
+class ProtocolError : public SerializeError
+{
+  public:
+    using SerializeError::SerializeError;
+};
+
+// --- Payload codecs ---------------------------------------------------
+// Each encode returns a complete payload (version/type/id + body),
+// ready to frame; decode parses a complete payload and throws
+// SerializeError/ProtocolError on malformed input.
+
+ByteVec encodeRequest(const Request &request);
+Request decodeRequest(ByteSpan payload);
+
+ByteVec encodeReply(const Reply &reply);
+Reply decodeReply(ByteSpan payload);
+
+/** The requestId of any request alternative. */
+u64 requestIdOf(const Request &request);
+
+/** The requestId of any reply alternative. */
+u64 requestIdOf(const Reply &reply);
+
+/**
+ * Wrap @p payload in a frame header. The result is the exact byte
+ * sequence written to the socket.
+ */
+ByteVec frame(ByteSpan payload);
+
+/**
+ * Parse a frame header (magic + length). @throws ProtocolError on a
+ * bad magic or a length above @p maxPayloadBytes.
+ */
+u32 parseFrameHeader(const u8 (&header)[8], u32 maxPayloadBytes);
+
+} // namespace accdis::server
+
+#endif // ACCDIS_SERVER_PROTOCOL_HH

@@ -1,0 +1,392 @@
+#include "server/server.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "support/error.hh"
+
+namespace accdis::server
+{
+
+namespace
+{
+
+/** Poll granularity of blocking waits that must notice shutdown. */
+constexpr int kPollMs = 100;
+
+/** Receive timeout for the remainder of a frame whose header already
+ *  arrived: a peer that stalls mid-frame is dropped, not waited on. */
+constexpr int kMidFrameTimeoutMs = 10000;
+
+ResultReply
+makeResultReply(u64 requestId, bool explain, Addr explainAddr,
+                const ServiceResult &result)
+{
+    ResultReply reply;
+    reply.requestId = requestId;
+    reply.name = result.binary.name;
+    reply.error = result.binary.error;
+    reply.errorKind = result.binary.errorKind;
+    reply.salvaged = result.binary.load.salvaged;
+    if (result.binary.load.salvaged ||
+        result.binary.errorKind == "load")
+        reply.loadSummary = result.binary.load.summary();
+    reply.executableBytes = result.binary.executableBytes;
+    reply.sections.reserve(result.binary.sections.size());
+    for (const auto &section : result.binary.sections) {
+        SectionReply out;
+        out.name = section.name;
+        out.base = section.base;
+        out.result = section.result;
+        reply.sections.push_back(std::move(out));
+    }
+    if (explain && !result.explainText.empty() &&
+        !reply.sections.empty()) {
+        // Attach the rendered provenance to the section holding the
+        // explained address; when none does, the text itself says so
+        // and rides on the first section.
+        SectionReply *home = &reply.sections.front();
+        for (auto &section : reply.sections) {
+            u64 span = section.result.bytesOf(ResultClass::Code) +
+                       section.result.bytesOf(ResultClass::Data);
+            if (explainAddr >= section.base &&
+                explainAddr - section.base < span)
+                home = &section;
+        }
+        home->explainText = result.explainText;
+    }
+    return reply;
+}
+
+} // namespace
+
+AccdisServer::AccdisServer(ServerConfig config)
+    : config_(std::move(config)),
+      service_(config_.service, metrics_),
+      admission_(config_.admission, &metrics_)
+{}
+
+AccdisServer::~AccdisServer()
+{
+    stop(true);
+    waitStopped();
+}
+
+void
+AccdisServer::start()
+{
+    if (running_.load())
+        throw Error("server: already running");
+    listener_ = Listener::bind(config_.socketPath);
+    running_.store(true);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+AccdisServer::stop(bool drain)
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        if (stopInitiated_)
+            return;
+        stopInitiated_ = true;
+    }
+    admission_.beginDrain();
+    // Graceful path: every in-flight request completes and its reply
+    // is written (completions run on pool threads, independent of the
+    // connection read loops we are about to stop) before connections
+    // start closing.
+    if (drain)
+        service_.drain();
+    stopping_.store(true);
+}
+
+void
+AccdisServer::waitStopped()
+{
+    if (acceptor_.joinable())
+        acceptor_.join();
+}
+
+void
+AccdisServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        std::optional<Socket> accepted;
+        try {
+            accepted = listener_.accept(kPollMs);
+        } catch (const std::exception &) {
+            break; // Listener gone; shut down.
+        }
+        reapConnections(false);
+        if (!accepted)
+            continue;
+
+        std::size_t active;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            active = connections_.size();
+        }
+        if (active >= config_.maxConnections) {
+            metrics_.counter("server.rejected.connections").inc();
+            try {
+                ErrorReply refuse;
+                refuse.code = "overloaded";
+                refuse.message = "connection limit reached";
+                writeFramePayload(*accepted, encodeReply(refuse));
+            } catch (const std::exception &) {
+            }
+            continue; // Socket closes as `accepted` goes out of scope.
+        }
+
+        metrics_.counter("server.connections").inc();
+        std::list<ConnHandle>::iterator handle;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            connections_.emplace_back();
+            handle = std::prev(connections_.end());
+            handle->conn = std::make_shared<Connection>(
+                std::move(*accepted), nextConnId_++);
+        }
+        handle->thread = std::thread([this, handle] {
+            serveConnection(handle->conn, handle->done);
+        });
+    }
+    listener_.close();
+    reapConnections(true);
+    running_.store(false);
+}
+
+void
+AccdisServer::reapConnections(bool all)
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if (all || it->done.load()) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = connections_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+AccdisServer::serveConnection(const std::shared_ptr<Connection> &conn,
+                              std::atomic<bool> &done)
+{
+    try {
+        while (!stopping_.load()) {
+            bool pending = false;
+            if (!flushOutbound(conn, &pending))
+                break;
+            // With a backlog the poll also wakes on writability so a
+            // draining peer is served promptly, not on the next tick.
+            if (!conn->socket.waitReadable(kPollMs, pending))
+                continue;
+            bool keep = true;
+            try {
+                auto payload = readFramePayload(
+                    conn->socket, config_.maxFrameBytes,
+                    kMidFrameTimeoutMs);
+                if (!payload)
+                    break; // Clean EOF between frames.
+                keep = dispatch(conn, decodeRequest(*payload));
+            } catch (const SerializeError &err) {
+                // Malformed frame or payload: answer once, then drop
+                // the connection — after a framing error the stream
+                // position is untrustworthy.
+                metrics_.counter("server.bad_request").inc();
+                ErrorReply refuse;
+                refuse.code = "bad-request";
+                refuse.message = err.what();
+                sendReply(conn, refuse);
+                keep = false;
+            }
+            if (!keep)
+                break;
+        }
+    } catch (const std::exception &) {
+        // Socket-level failure: nothing to answer on; drop.
+    }
+    flushBeforeClose(conn);
+    done.store(true);
+}
+
+bool
+AccdisServer::dispatch(const std::shared_ptr<Connection> &conn,
+                       Request request)
+{
+    if (auto *analyze = std::get_if<AnalyzeRequest>(&request)) {
+        handleAnalyze(conn, std::move(*analyze));
+        return true;
+    }
+    if (auto *ping = std::get_if<PingRequest>(&request)) {
+        PongReply pong;
+        pong.requestId = ping->requestId;
+        sendReply(conn, pong);
+        return true;
+    }
+    if (auto *stats = std::get_if<StatsRequest>(&request)) {
+        service_.refreshGauges();
+        metrics_.counter("server.inflight")
+            .set(admission_.inFlight());
+        StatsReply reply;
+        reply.requestId = stats->requestId;
+        reply.json = metrics_.snapshot().toJson();
+        sendReply(conn, reply);
+        return true;
+    }
+    auto &shutdown = std::get<ShutdownRequest>(request);
+    ShutdownReply reply;
+    reply.requestId = shutdown.requestId;
+    sendReply(conn, reply);
+    stop(shutdown.drain);
+    return false;
+}
+
+void
+AccdisServer::handleAnalyze(const std::shared_ptr<Connection> &conn,
+                            AnalyzeRequest request)
+{
+    const u64 bodyBytes =
+        request.byPath ? request.path.size() : request.bytes.size();
+    AdmitError admit = admission_.tryAdmit(conn->id, bodyBytes);
+    if (admit != AdmitError::None) {
+        ErrorReply refuse;
+        refuse.requestId = request.requestId;
+        refuse.code = admitErrorCode(admit);
+        refuse.message =
+            "request refused: " + std::string(refuse.code);
+        sendReply(conn, refuse);
+        return;
+    }
+    // shared_ptr because the completion must be copyable
+    // (std::function) while the ticket is move-only.
+    auto ticket =
+        std::make_shared<AdmitTicket>(admission_, conn->id);
+
+    const u64 deadlineMs =
+        admission_.effectiveDeadlineMs(request.options.deadlineMs);
+    auto cancel = std::make_shared<pipeline::CancelToken>(
+        pipeline::CancelToken::Clock::now() +
+        std::chrono::milliseconds(deadlineMs));
+
+    ServiceRequest work;
+    work.name = request.name;
+    work.salvage = request.options.salvage;
+    work.explain = request.options.explain;
+    work.explainAddr = request.options.explainAddr;
+    work.cancel = cancel;
+    if (request.byPath)
+        work.path = request.path;
+    else
+        work.bytes = std::move(request.bytes);
+
+    const u64 requestId = request.requestId;
+    const bool explain = request.options.explain;
+    const Addr explainAddr = request.options.explainAddr;
+    try {
+        service_.submit(
+            std::move(work),
+            [this, conn, ticket, requestId, explain,
+             explainAddr](ServiceResult result) {
+                sendReply(conn,
+                          makeResultReply(requestId, explain,
+                                          explainAddr, result));
+                ticket->release();
+            });
+    } catch (const std::exception &err) {
+        // Lost the race with drain between tryAdmit and submit.
+        ErrorReply refuse;
+        refuse.requestId = requestId;
+        refuse.code = "draining";
+        refuse.message = err.what();
+        sendReply(conn, refuse);
+    }
+}
+
+void
+AccdisServer::sendReply(const std::shared_ptr<Connection> &conn,
+                        const Reply &reply)
+{
+    // Never block the calling thread (often a pool worker) on the
+    // peer's read pace: send what fits now, queue the rest for the
+    // connection's serve thread. Frame order is preserved because
+    // both paths run under writeMutex and leftovers always append.
+    const ByteVec framed = frame(encodeReply(reply));
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (conn->dead)
+        return;
+    try {
+        std::size_t sent = 0;
+        if (conn->outbound.empty())
+            sent = conn->socket.trySend(framed);
+        if (sent == framed.size())
+            return;
+        if (conn->outbound.size() + (framed.size() - sent) >
+            config_.maxOutboundBytes) {
+            metrics_.counter("server.dropped.backpressure").inc();
+            conn->dead = true;
+            conn->outbound.clear();
+            return;
+        }
+        conn->outbound.insert(
+            conn->outbound.end(),
+            framed.begin() + static_cast<std::ptrdiff_t>(sent),
+            framed.end());
+    } catch (const std::exception &) {
+        // Peer gone; the work's metrics were already recorded.
+        conn->dead = true;
+        conn->outbound.clear();
+    }
+}
+
+bool
+AccdisServer::flushOutbound(const std::shared_ptr<Connection> &conn,
+                            bool *pending)
+{
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (conn->dead)
+        return false;
+    if (!conn->outbound.empty()) {
+        try {
+            std::size_t sent = conn->socket.trySend(conn->outbound);
+            conn->outbound.erase(
+                conn->outbound.begin(),
+                conn->outbound.begin() +
+                    static_cast<std::ptrdiff_t>(sent));
+        } catch (const std::exception &) {
+            conn->dead = true;
+            conn->outbound.clear();
+            return false;
+        }
+    }
+    *pending = !conn->outbound.empty();
+    return true;
+}
+
+void
+AccdisServer::flushBeforeClose(const std::shared_ptr<Connection> &conn)
+{
+    // Replies produced by a graceful drain may still sit in the
+    // backlog when the serve loop exits; give the peer a bounded
+    // window to take them so "drain" means delivered, not computed.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    for (;;) {
+        bool pending = false;
+        if (!flushOutbound(conn, &pending) || !pending)
+            return;
+        if (std::chrono::steady_clock::now() >= deadline)
+            return;
+        try {
+            conn->socket.waitReadable(kPollMs, true);
+        } catch (const std::exception &) {
+            return;
+        }
+    }
+}
+
+} // namespace accdis::server

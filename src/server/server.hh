@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The accdis analysis daemon: a Unix-domain-socket front end over
+ * AnalysisService.
+ *
+ * Threading model: one acceptor thread plus one thread per accepted
+ * connection. A connection thread only parses frames and dispatches —
+ * analysis itself runs on the service's work-stealing pool, and the
+ * completion callback writes the reply back under the connection's
+ * write mutex, so one connection can pipeline many requests and
+ * receive replies in completion order (matched by requestId).
+ *
+ * Replies never block the pool on a slow reader: a completion sends
+ * what fits in the kernel buffer without blocking and queues the rest
+ * on the connection's outbound backlog, which the connection's own
+ * serve thread flushes as the peer drains. A peer that stops reading
+ * can therefore stall only its own connection; when its backlog
+ * exceeds ServerConfig::maxOutboundBytes the connection is dropped.
+ *
+ * Graceful shutdown (client Shutdown request or stop()): admission
+ * flips to draining (new analyses are refused with "draining"),
+ * in-flight work finishes and its replies are written, then the
+ * listener closes and connection threads wind down.
+ */
+
+#ifndef ACCDIS_SERVER_SERVER_HH
+#define ACCDIS_SERVER_SERVER_HH
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "pipeline/metrics.hh"
+#include "server/admission.hh"
+#include "server/net.hh"
+#include "server/protocol.hh"
+#include "server/service.hh"
+
+namespace accdis::server
+{
+
+/** Daemon configuration. */
+struct ServerConfig
+{
+    /** Unix-domain socket path to listen on. */
+    std::string socketPath;
+    /** Analysis-side configuration (pool, engine, cache). */
+    ServiceConfig service;
+    /** Load-shedding knobs. */
+    AdmissionConfig admission;
+    /** Upper bound on one frame's payload, either direction. */
+    u32 maxFrameBytes = kDefaultMaxFrameBytes;
+    /** Concurrent connections; excess connects are refused with an
+     *  "overloaded" ErrorReply and closed. */
+    unsigned maxConnections = 32;
+    /** Per-connection cap on reply bytes queued for a peer that is
+     *  not reading; past it the connection is dropped
+     *  (server.dropped.backpressure). */
+    u64 maxOutboundBytes = 256ull << 20;
+};
+
+/**
+ * The daemon. start() binds and serves in background threads;
+ * waitStopped() blocks until a Shutdown request (or stop()) has run
+ * its course. Destruction stops the server if still running.
+ */
+class AccdisServer
+{
+  public:
+    explicit AccdisServer(ServerConfig config);
+    ~AccdisServer();
+
+    AccdisServer(const AccdisServer &) = delete;
+    AccdisServer &operator=(const AccdisServer &) = delete;
+
+    /** Bind the socket and start the acceptor thread.
+     *  @throws Error when the socket cannot be bound. */
+    void start();
+
+    /**
+     * Initiate shutdown: refuse new work, optionally wait for
+     * in-flight requests to finish and their replies to be written
+     * (@p drain), then close the listener. Idempotent; safe from any
+     * thread including connection threads.
+     */
+    void stop(bool drain = true);
+
+    /** Block until the acceptor and every connection thread exited. */
+    void waitStopped();
+
+    bool running() const { return running_.load(); }
+
+    const ServerConfig &config() const { return config_; }
+    pipeline::MetricsRegistry &metrics() { return metrics_; }
+    AnalysisService &service() { return service_; }
+    AdmissionController &admission() { return admission_; }
+
+  private:
+    /** Per-connection shared state; completions keep it alive until
+     *  their reply is written even after the read loop exited. */
+    struct Connection
+    {
+        Socket socket;
+        u64 id = 0;
+        std::mutex writeMutex;
+        /** Reply bytes the kernel buffer would not take, in frame
+         *  order; flushed by the serve thread. Guarded by
+         *  writeMutex. */
+        ByteVec outbound;
+        /** Write side is unusable (peer gone or backlog cap blown);
+         *  guarded by writeMutex. */
+        bool dead = false;
+
+        Connection(Socket s, u64 connId)
+            : socket(std::move(s)), id(connId)
+        {}
+    };
+
+    struct ConnHandle
+    {
+        std::thread thread;
+        std::shared_ptr<Connection> conn;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void serveConnection(const std::shared_ptr<Connection> &conn,
+                         std::atomic<bool> &done);
+    /** Handle one decoded request; returns false to close the
+     *  connection. */
+    bool dispatch(const std::shared_ptr<Connection> &conn,
+                  Request request);
+    void handleAnalyze(const std::shared_ptr<Connection> &conn,
+                       AnalyzeRequest request);
+    void sendReply(const std::shared_ptr<Connection> &conn,
+                   const Reply &reply);
+    /** Push queued outbound bytes as far as the kernel buffer allows.
+     *  Returns false once the connection's write side is dead. */
+    bool flushOutbound(const std::shared_ptr<Connection> &conn,
+                       bool *pending);
+    /** Bounded best-effort flush of the remaining backlog before a
+     *  connection closes, so drained replies still reach the peer. */
+    void flushBeforeClose(const std::shared_ptr<Connection> &conn);
+    void reapConnections(bool all);
+
+    ServerConfig config_;
+    pipeline::MetricsRegistry metrics_;
+    AnalysisService service_;
+    AdmissionController admission_;
+
+    Listener listener_;
+    std::thread acceptor_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::mutex stopMutex_;
+    bool stopInitiated_ = false;
+
+    std::mutex connMutex_;
+    std::list<ConnHandle> connections_;
+    u64 nextConnId_ = 1;
+};
+
+} // namespace accdis::server
+
+#endif // ACCDIS_SERVER_SERVER_HH

@@ -1,0 +1,215 @@
+#include "server/service.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "cache/analysis_cache.hh"
+#include "prob/ngram.hh"
+#include "support/error.hh"
+
+namespace accdis::server
+{
+
+namespace
+{
+
+/** Digest of the four-axis cache key: the single-flight identity of
+ *  one section analysis (content, inputs, config and schema all
+ *  participate, so "identical request" means identical result). */
+u64
+flightKey(const CacheKey &key)
+{
+    Hasher hasher;
+    hasher.add(key.content);
+    hasher.add(key.inputs);
+    hasher.add(key.config);
+    hasher.add(key.schema);
+    return hasher.digest();
+}
+
+/** Entry offsets of @p section, as BatchAnalyzer plans them. */
+std::vector<Offset>
+sectionEntries(const BinaryImage &image, const Section &section)
+{
+    std::vector<Offset> entries;
+    for (Addr entry : image.entryPoints()) {
+        if (section.containsVaddr(entry))
+            entries.push_back(section.toOffset(entry));
+    }
+    return entries;
+}
+
+} // namespace
+
+AnalysisService::AnalysisService(ServiceConfig config,
+                                 pipeline::MetricsRegistry &metrics)
+    : config_(std::move(config)), metrics_(metrics),
+      engine_([&] {
+          // Pre-warm the shared model so its one-time training is
+          // not charged to (or raced by) the first requests.
+          if (config_.engine.useProbModel && !config_.engine.model)
+              defaultProbModel();
+          return DisassemblyEngine(config_.engine);
+      }()),
+      pool_(config_.jobs)
+{
+    if (!config_.cacheDir.empty()) {
+        cache_ = std::make_unique<pipeline::CacheRuntime>(
+            ResultCache::Config{config_.cacheDir,
+                                config_.cacheMaxBytes});
+        cache_->verify = config_.cacheVerify;
+        // Always bundle explain artifacts: the daemon answers
+        // --explain requests from the cache without re-analysis.
+        cache_->explain = true;
+    }
+}
+
+AnalysisService::~AnalysisService() = default;
+
+void
+AnalysisService::submit(ServiceRequest request, Completion done)
+{
+    metrics_.counter("server.requests").inc();
+    pool_.submit([this, request = std::move(request),
+                  done = std::move(done)]() mutable {
+        ServiceResult result;
+        try {
+            result = analyzeNow(request);
+        } catch (const std::exception &err) {
+            result.binary.name = request.name;
+            result.binary.error = err.what();
+            result.binary.errorKind = "analysis";
+        } catch (...) {
+            result.binary.name = request.name;
+            result.binary.error =
+                "non-standard exception (no message)";
+            result.binary.errorKind = "analysis";
+        }
+        if (result.binary.ok())
+            metrics_.counter("server.completed").inc();
+        else
+            metrics_
+                .counter(std::string("server.failed.") +
+                         result.binary.errorKind)
+                .inc();
+        done(std::move(result));
+    });
+}
+
+ServiceResult
+AnalysisService::analyzeNow(const ServiceRequest &request)
+{
+    auto start = std::chrono::steady_clock::now();
+    ServiceResult result;
+
+    LoadOptions loadOptions;
+    loadOptions.salvage = request.salvage;
+    LoadResult load =
+        request.path.empty()
+            ? loadBinary(request.bytes, request.name, loadOptions)
+            : loadBinaryFile(request.path, loadOptions);
+
+    pipeline::SectionAnalyzeFn sectionFn =
+        [this](const Section &section,
+               const std::vector<Offset> &entries,
+               const std::vector<AuxRegion> &aux) {
+            const CacheKey key =
+                makeCacheKey(section.contentKey(), entries,
+                             section.base(), aux, engine_);
+            bool leader = false;
+            auto sectionResult = flights_.run(
+                flightKey(key),
+                [&] {
+                    return pipeline::analyzeSectionCached(
+                        engine_, section, entries, aux,
+                        cache_.get());
+                },
+                &leader);
+            metrics_
+                .counter(leader ? "server.singleflight.leader"
+                                : "server.singleflight.shared")
+                .inc();
+            return sectionResult;
+        };
+
+    result.binary = pipeline::analyzeBinary(
+        engine_, load, cache_.get(), request.cancel.get(),
+        sectionFn);
+
+    if (result.binary.ok() && request.explain && load.ok())
+        result.explainText = renderExplainFor(request, *load.image);
+
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    result.seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            elapsed)
+            .count();
+    metrics_.timer("server.analyze_wall")
+        .add(static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                elapsed)
+                .count()));
+    return result;
+}
+
+std::string
+AnalysisService::renderExplainFor(const ServiceRequest &request,
+                                  const BinaryImage &image)
+{
+    for (std::size_t i = 0; i < image.sections().size(); ++i) {
+        const Section &section = image.section(i);
+        if (!section.flags().executable ||
+            !section.containsVaddr(request.explainAddr))
+            continue;
+        const Offset target = section.toOffset(request.explainAddr);
+        const std::vector<Offset> entries =
+            sectionEntries(image, section);
+        const std::vector<AuxRegion> aux = auxRegionsOf(image);
+        if (cache_ != nullptr) {
+            const CacheKey key =
+                makeCacheKey(section.contentKey(), entries,
+                             section.base(), aux, engine_);
+            if (auto cached = loadCachedExplain(cache_->store, key))
+                return renderExplain(*cached, target);
+        }
+        // No cached artifact (cache disabled or evicted): re-derive
+        // by a one-off explain run.
+        return engine_.explainSection(section.bytes(), entries,
+                                      target, section.base(), aux);
+    }
+    return "address " + std::to_string(request.explainAddr) +
+           " is not inside any executable section";
+}
+
+void
+AnalysisService::drain()
+{
+    pool_.drain();
+}
+
+void
+AnalysisService::refreshGauges()
+{
+    if (cache_ != nullptr) {
+        const CacheStats &stats = cache_->store.stats();
+        metrics_.counter("cache.hits").set(stats.hits.load());
+        metrics_.counter("cache.misses").set(stats.misses.load());
+        metrics_.counter("cache.stores").set(stats.stores.load());
+        metrics_.counter("cache.evictions")
+            .set(stats.evictions.load());
+        metrics_.counter("cache.bad_entry")
+            .set(stats.badEntries.load());
+        metrics_.counter("cache.verified")
+            .set(cache_->verified.load());
+        metrics_.counter("cache.verify_mismatches")
+            .set(cache_->verifyMismatches.load());
+    }
+    pipeline::PoolStats pool = pool_.stats();
+    metrics_.counter("pool.tasks").set(pool.executed);
+    metrics_.counter("pool.steals").set(pool.steals);
+    metrics_.counter("pool.max_queue_depth").set(pool.maxQueueDepth);
+    metrics_.counter("server.singleflight.inflight")
+        .set(flights_.inFlight());
+}
+
+} // namespace accdis::server

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The analysis core of the daemon, independent of any transport: a
+ * long-lived engine, work-stealing pool, persistent result cache and
+ * single-flight table behind an asynchronous submit.
+ *
+ * Request flow: submit() schedules one pool task that loads the
+ * input (inline bytes or a server-local path, strict or salvage),
+ * then runs the pipeline's cancellation-aware analyzeBinary with the
+ * per-section step wrapped in the single-flight table — concurrent
+ * requests for a section with the same four-axis cache key share ONE
+ * engine run, and every later request is a warm cache hit. The
+ * completion callback runs on the pool thread with the structured
+ * BinaryResult (ok, load taxonomy, analysis error, cancellation or
+ * deadline expiry).
+ *
+ * drain() rejects further submits and returns once every accepted
+ * request has completed and had its completion run — the building
+ * block of the daemon's graceful shutdown.
+ */
+
+#ifndef ACCDIS_SERVER_SERVICE_HH
+#define ACCDIS_SERVER_SERVICE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/engine.hh"
+#include "image/loader.hh"
+#include "pipeline/batch.hh"
+#include "pipeline/cancel.hh"
+#include "pipeline/metrics.hh"
+#include "pipeline/thread_pool.hh"
+#include "server/single_flight.hh"
+
+namespace accdis::server
+{
+
+/** Analysis-side configuration of the daemon. */
+struct ServiceConfig
+{
+    /** Pool workers; 0 selects hardware_concurrency(). */
+    unsigned jobs = 0;
+    /** Engine configuration shared by every request. */
+    EngineConfig engine;
+    /** Result-cache directory; empty disables the cache (every
+     *  request analyzes cold, single-flight still dedupes). */
+    std::string cacheDir;
+    /** LRU size cap of the cache directory, in bytes. */
+    u64 cacheMaxBytes = 256ull << 20;
+    /** Paranoia: re-run every cache hit cold and compare. */
+    bool cacheVerify = false;
+};
+
+/** One unit of work accepted by AnalysisService::submit(). */
+struct ServiceRequest
+{
+    /** Display name (file name for path requests). */
+    std::string name;
+    /** Inline binary bytes (when path is empty). */
+    ByteVec bytes;
+    /** Server-local file to analyze instead of inline bytes. */
+    std::string path;
+    /** Salvage-mode loading for this request. */
+    bool salvage = false;
+    /** Render the provenance chain of the byte at explainAddr. */
+    bool explain = false;
+    Addr explainAddr = 0;
+    /** Cooperative cancellation/deadline token; may be null. */
+    std::shared_ptr<pipeline::CancelToken> cancel;
+};
+
+/** Outcome delivered to the completion callback. */
+struct ServiceResult
+{
+    pipeline::BinaryResult binary;
+    /** Rendered explain text when the request asked for one and its
+     *  address fell inside an analyzed section. */
+    std::string explainText;
+    /** Wall time spent from task start to completion, seconds. */
+    double seconds = 0.0;
+};
+
+/**
+ * Long-lived analysis service. Thread-safe: submit() may be called
+ * from any number of connection threads.
+ */
+class AnalysisService
+{
+  public:
+    using Completion = std::function<void(ServiceResult)>;
+
+    AnalysisService(ServiceConfig config,
+                    pipeline::MetricsRegistry &metrics);
+    ~AnalysisService();
+
+    AnalysisService(const AnalysisService &) = delete;
+    AnalysisService &operator=(const AnalysisService &) = delete;
+
+    /**
+     * Schedule @p request; @p done runs exactly once on a pool thread
+     * with the structured outcome (it is never skipped — analysis
+     * errors arrive as error records, and an internal failure still
+     * invokes it with an "analysis" record). @throws Error when the
+     * service is draining.
+     */
+    void submit(ServiceRequest request, Completion done);
+
+    /**
+     * Stop accepting work and block until every accepted request has
+     * completed. Idempotent.
+     */
+    void drain();
+
+    bool draining() const { return pool_.draining(); }
+
+    /** Mirror cache + pool gauges into the metrics registry (called
+     *  before stats snapshots so the JSON is current). */
+    void refreshGauges();
+
+    const DisassemblyEngine &engine() const { return engine_; }
+    pipeline::CacheRuntime *cacheRuntime() { return cache_.get(); }
+    pipeline::PoolStats poolStats() const { return pool_.stats(); }
+
+  private:
+    ServiceResult analyzeNow(const ServiceRequest &request);
+    std::string renderExplainFor(const ServiceRequest &request,
+                                 const BinaryImage &image);
+
+    ServiceConfig config_;
+    pipeline::MetricsRegistry &metrics_;
+    DisassemblyEngine engine_;
+    std::unique_ptr<pipeline::CacheRuntime> cache_;
+    SingleFlight<DisassemblyEngine::SectionResult> flights_;
+    pipeline::ThreadPool pool_;
+};
+
+} // namespace accdis::server
+
+#endif // ACCDIS_SERVER_SERVICE_HH

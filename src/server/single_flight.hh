@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Single-flight deduplication of in-flight work.
+ *
+ * When several concurrent requests ask for the same computation —
+ * identified by a 64-bit key, in practice the digest of a section's
+ * four-axis CacheKey — exactly one of them (the leader) runs it; the
+ * rest (followers) block on the leader's shared future and receive a
+ * copy of its value, or its exception. The table only holds entries
+ * for work currently in flight: once the leader finishes, the entry
+ * is erased and the next request for that key computes again (and in
+ * the server's case then hits the warm result cache instead).
+ */
+
+#ifndef ACCDIS_SERVER_SINGLE_FLIGHT_HH
+#define ACCDIS_SERVER_SINGLE_FLIGHT_HH
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "support/types.hh"
+
+namespace accdis::server
+{
+
+/**
+ * In-flight computation table. Value must be copyable (every follower
+ * gets its own copy). Thread-safe; run() may be called concurrently
+ * from any number of threads, including for the same key.
+ */
+template <typename Value>
+class SingleFlight
+{
+  public:
+    /**
+     * Return the value for @p key: the calling thread either computes
+     * it via @p fn (leader) or waits for the concurrent leader's
+     * result (follower). An exception thrown by the leader's fn
+     * propagates to the leader and every follower alike. @p wasLeader,
+     * when non-null, reports which role this call played.
+     */
+    template <typename Fn>
+    Value
+    run(u64 key, Fn &&fn, bool *wasLeader = nullptr)
+    {
+        std::shared_ptr<Entry> entry;
+        bool leader = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = inflight_.find(key);
+            if (it != inflight_.end()) {
+                entry = it->second;
+                entry->waiters.fetch_add(1);
+            } else {
+                entry = std::make_shared<Entry>();
+                inflight_.emplace(key, entry);
+                leader = true;
+            }
+        }
+        if (wasLeader != nullptr)
+            *wasLeader = leader;
+        if (!leader)
+            return entry->future.get();
+        try {
+            Value value = fn();
+            entry->promise.set_value(value);
+            erase(key);
+            return value;
+        } catch (...) {
+            entry->promise.set_exception(std::current_exception());
+            erase(key);
+            throw;
+        }
+    }
+
+    /**
+     * Followers currently blocked on @p key's in-flight computation;
+     * 0 when the key is not in flight. Introspection for metrics and
+     * deterministic tests.
+     */
+    u64
+    waiters(u64 key) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = inflight_.find(key);
+        return it != inflight_.end()
+                   ? it->second->waiters.load()
+                   : 0;
+    }
+
+    /** Keys currently in flight. */
+    u64
+    inFlight() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return inflight_.size();
+    }
+
+  private:
+    struct Entry
+    {
+        std::promise<Value> promise;
+        std::shared_future<Value> future{promise.get_future()};
+        /** Followers attached to this computation. */
+        std::atomic<u64> waiters{0};
+    };
+
+    void
+    erase(u64 key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inflight_.erase(key);
+    }
+
+    mutable std::mutex mutex_;
+    std::unordered_map<u64, std::shared_ptr<Entry>> inflight_;
+};
+
+} // namespace accdis::server
+
+#endif // ACCDIS_SERVER_SINGLE_FLIGHT_HH

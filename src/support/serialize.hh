@@ -39,7 +39,7 @@ namespace accdis
  * the content hash, or the meaning of existing fields; a version
  * mismatch invalidates every cache entry cleanly.
  */
-inline constexpr u32 kSchemaVersion = 1;
+inline constexpr u32 kSchemaVersion = 2;
 
 /** Thrown on truncated or malformed serialized input. */
 class SerializeError : public Error

@@ -253,13 +253,14 @@ TEST(CacheAnalysis, CachedResultSurvivesWithExplain)
     const CacheKey key =
         makeCacheKey(text->contentKey(), {}, text->base(), {},
                      engine);
-    storeCachedResult(cache, key, result, &artifact);
+    storeCachedResult(cache, key, result);
+    storeCachedExplain(cache, key, artifact);
     auto back = loadCachedResult(cache, key);
     ASSERT_TRUE(back.has_value());
     EXPECT_TRUE(back->result == result);
-    ASSERT_TRUE(back->explain.has_value());
-    EXPECT_EQ(renderExplain(*back->explain, 0),
-              renderExplain(artifact, 0));
+    auto explain = loadCachedExplain(cache, key);
+    ASSERT_TRUE(explain.has_value());
+    EXPECT_EQ(renderExplain(*explain, 0), renderExplain(artifact, 0));
 }
 
 /** Cold + warm batch over a tiny corpus at @p jobs; asserts a 100%

@@ -18,9 +18,11 @@
 #include <thread>
 #include <vector>
 
+#include "image/writers.hh"
 #include "pipeline/batch.hh"
 #include "pipeline/metrics.hh"
 #include "pipeline/thread_pool.hh"
+#include "support/error.hh"
 #include "synth/corpus.hh"
 
 namespace accdis
@@ -372,6 +374,138 @@ TEST(PipelineBatch, EmptyBatchIsEmptyReport)
         std::vector<const BinaryImage *>{});
     EXPECT_TRUE(report.results.empty());
     EXPECT_EQ(report.totalBytes, 0u);
+}
+
+TEST(PipelinePool, DrainFinishesBacklogAndRejectsNewWork)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&ran] {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+            ran.fetch_add(1);
+        });
+    }
+    EXPECT_FALSE(pool.draining());
+    pool.drain();
+    // Every task submitted before the drain has fully executed by
+    // the time drain() returns — queued AND in flight.
+    EXPECT_EQ(ran.load(), 64);
+    EXPECT_TRUE(pool.draining());
+    // Unlike shutdown, the pool object is still alive — but it
+    // refuses new work with a structured error.
+    EXPECT_THROW(pool.submit([] {}), Error);
+    EXPECT_EQ(ran.load(), 64);
+    pool.drain(); // Idempotent.
+}
+
+TEST(PipelinePool, DrainWithEmptyQueueReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.drain();
+    EXPECT_TRUE(pool.draining());
+    EXPECT_THROW(pool.submit([] { return 1; }), Error);
+}
+
+TEST(PipelineMetrics, SnapshotIsConsistentUnderConcurrentUpdates)
+{
+    // Hammer the registry from several threads while snapshotting;
+    // every snapshot must be internally sane (counts never ahead of
+    // the time they claim; values only move forward between
+    // snapshots). Run under TSan this also proves snapshot() is
+    // race-free against live add()/inc().
+    MetricsRegistry metrics;
+    constexpr int kWriters = 4;
+    constexpr u64 kUpdates = 2000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&metrics, &go] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (u64 i = 0; i < kUpdates; ++i) {
+                metrics.counter("hot").inc();
+                metrics.timer("lat").add(100);
+            }
+        });
+    }
+    go.store(true);
+    u64 lastCounter = 0;
+    u64 lastTimerCount = 0;
+    for (int s = 0; s < 200; ++s) {
+        pipeline::MetricsSnapshot snap = metrics.snapshot();
+        const u64 counter = snap.counters.count("hot")
+                                ? snap.counters.at("hot")
+                                : 0;
+        EXPECT_GE(counter, lastCounter);
+        lastCounter = counter;
+        if (snap.timers.count("lat")) {
+            const auto &timer = snap.timers.at("lat");
+            // Count is read before nanos: the time observed can
+            // only be >= what the observed count accounts for.
+            EXPECT_GE(timer.nanos, timer.count * 100);
+            EXPECT_GE(timer.count, lastTimerCount);
+            lastTimerCount = timer.count;
+        }
+    }
+    for (auto &writer : writers)
+        writer.join();
+    pipeline::MetricsSnapshot final = metrics.snapshot();
+    EXPECT_EQ(final.counters.at("hot"), kWriters * kUpdates);
+    EXPECT_EQ(final.timers.at("lat").count, kWriters * kUpdates);
+    EXPECT_EQ(final.timers.at("lat").nanos,
+              kWriters * kUpdates * 100);
+    // The JSON render works from the same frozen copy.
+    EXPECT_EQ(final.toJson(), metrics.toJson());
+}
+
+TEST(PipelineBatch, AnalyzeBinaryIsCancellationAware)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(17);
+    config.numFunctions = 12;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    LoadResult load =
+        loadBinary(writeElf(bin.image), "cancel.elf", {});
+    ASSERT_TRUE(load.ok());
+    DisassemblyEngine engine;
+
+    // Live token: full analysis.
+    pipeline::CancelToken live;
+    pipeline::BinaryResult ok =
+        pipeline::analyzeBinary(engine, load, nullptr, &live);
+    ASSERT_TRUE(ok.ok()) << ok.error;
+    EXPECT_FALSE(ok.sections.empty());
+
+    // Cancelled before the first section checkpoint: structured
+    // "cancelled" record, no sections analyzed.
+    pipeline::CancelToken cancelled;
+    cancelled.cancel();
+    pipeline::BinaryResult stopped =
+        pipeline::analyzeBinary(engine, load, nullptr, &cancelled);
+    EXPECT_FALSE(stopped.ok());
+    EXPECT_EQ(stopped.errorKind, "cancelled");
+    EXPECT_TRUE(stopped.sections.empty());
+
+    // Expired deadline: same shape, "deadline" kind.
+    pipeline::CancelToken expired(
+        std::chrono::steady_clock::now() -
+        std::chrono::milliseconds(1));
+    pipeline::BinaryResult late =
+        pipeline::analyzeBinary(engine, load, nullptr, &expired);
+    EXPECT_FALSE(late.ok());
+    EXPECT_EQ(late.errorKind, "deadline");
+
+    // Load failures surface through the same structured path.
+    ByteVec bytes = writeElf(bin.image);
+    bytes.resize(bytes.size() / 3);
+    LoadResult bad = loadBinary(bytes, "bad.elf", {});
+    ASSERT_FALSE(bad.ok());
+    pipeline::BinaryResult failed =
+        pipeline::analyzeBinary(engine, bad, nullptr, nullptr);
+    EXPECT_FALSE(failed.ok());
+    EXPECT_EQ(failed.errorKind, "load");
+    EXPECT_FALSE(failed.error.empty());
 }
 
 } // namespace
