@@ -7,7 +7,7 @@
  *                 [--cache-max-bytes N] [--cache-verify]
  *                 [--max-queue N] [--max-per-conn N]
  *                 [--max-body-bytes N] [--deadline-ms N]
- *                 [--max-connections N]
+ *                 [--max-connections N] [--allow-path]
  *
  * The daemon keeps one engine, one work-stealing pool and (with
  * --cache-dir) one persistent result cache alive across requests, so
@@ -47,7 +47,8 @@ usage(const char *argv0)
                  "[--cache-dir DIR] [--cache-max-bytes N] "
                  "[--cache-verify] [--max-queue N] "
                  "[--max-per-conn N] [--max-body-bytes N] "
-                 "[--deadline-ms N] [--max-connections N]\n",
+                 "[--deadline-ms N] [--max-connections N] "
+                 "[--allow-path]\n",
                  argv0);
 }
 
@@ -96,6 +97,8 @@ main(int argc, char **argv)
         else if (arg == "--max-connections")
             config.maxConnections =
                 static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+        else if (arg == "--allow-path")
+            config.allowPathRequests = true;
         else {
             usage(argv[0]);
             return 2;

@@ -169,8 +169,19 @@ analyzeBinary(const DisassemblyEngine &engine, const LoadResult &load,
         result.executableBytes = image.executableBytes();
     } catch (const std::exception &err) {
         result.sections.clear();
-        result.error = err.what();
-        result.errorKind = "analysis";
+        // An exception with the token already stopped is the
+        // cancellation surfacing mid-section (e.g. a single-flight
+        // follower abandoning its wait): report the cancel taxonomy,
+        // not a generic analysis failure.
+        if (cancel != nullptr && cancel->stopped()) {
+            CancelState state = cancel->state();
+            result.error = std::string("analysis abandoned: ") +
+                           cancelStateName(state);
+            result.errorKind = cancelStateName(state);
+        } else {
+            result.error = err.what();
+            result.errorKind = "analysis";
+        }
     } catch (...) {
         result.sections.clear();
         result.error = "non-standard exception (no message)";

@@ -6,6 +6,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -189,13 +190,34 @@ Listener::bind(const std::string &path, int backlog)
         throw Error("listener: socket path too long: " + path);
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
+    // A stale socket file from a dead daemon blocks bind; take it
+    // over — but only after verifying that is what it is. Never
+    // delete a non-socket (a mistyped path must not cost a file),
+    // and never hijack a live daemon's socket (a probe connect
+    // succeeding means someone is still accepting there).
+    struct stat st;
+    if (::lstat(path.c_str(), &st) == 0) {
+        if (!S_ISSOCK(st.st_mode))
+            throw Error(
+                "listener: refusing to replace non-socket file: " +
+                path);
+        int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe < 0)
+            throwErrno("listener: socket failed");
+        const bool live =
+            ::connect(probe,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)) == 0;
+        ::close(probe);
+        if (live)
+            throw Error(
+                "listener: socket in use by a live server: " + path);
+        ::unlink(path.c_str());
+    }
+
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
         throwErrno("listener: socket failed");
-    // A stale socket file from a dead daemon blocks bind; take it
-    // over (a live daemon would still hold the listening fd, but two
-    // daemons on one path is an operator error either way).
-    ::unlink(path.c_str());
     if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
                sizeof(addr)) != 0) {
         int saved = errno;

@@ -94,8 +94,11 @@ class Listener
     Listener(const Listener &) = delete;
     Listener &operator=(const Listener &) = delete;
 
-    /** Bind and listen on @p path. @throws Error on failure (path too
-     *  long for sun_path, bind/listen errors). */
+    /** Bind and listen on @p path. A stale socket file left by a
+     *  dead server is unlinked and taken over; a socket a live
+     *  server still accepts on, or any non-socket file, is refused.
+     *  @throws Error on failure (path too long for sun_path, path
+     *  occupied as above, bind/listen errors). */
     static Listener bind(const std::string &path, int backlog = 64);
 
     /** Accept one connection; std::nullopt on timeout. */

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include <sys/stat.h>
+
 #include "support/error.hh"
 
 namespace accdis::server
@@ -19,7 +21,7 @@ constexpr int kPollMs = 100;
 constexpr int kMidFrameTimeoutMs = 10000;
 
 ResultReply
-makeResultReply(u64 requestId, bool explain, Addr explainAddr,
+makeResultReply(u64 requestId, bool explain,
                 const ServiceResult &result)
 {
     ResultReply reply;
@@ -42,16 +44,18 @@ makeResultReply(u64 requestId, bool explain, Addr explainAddr,
     }
     if (explain && !result.explainText.empty() &&
         !reply.sections.empty()) {
-        // Attach the rendered provenance to the section holding the
-        // explained address; when none does, the text itself says so
-        // and rides on the first section.
+        // Attach the rendered provenance to the section the service
+        // resolved the explained address into (by actual section
+        // bounds, not classification spans — unclassified bytes must
+        // not shift the text to another section). When the address
+        // hit no section the text itself says so and rides on the
+        // first one.
         SectionReply *home = &reply.sections.front();
-        for (auto &section : reply.sections) {
-            u64 span = section.result.bytesOf(ResultClass::Code) +
-                       section.result.bytesOf(ResultClass::Data);
-            if (explainAddr >= section.base &&
-                explainAddr - section.base < span)
-                home = &section;
+        if (result.explainResolved) {
+            for (auto &section : reply.sections) {
+                if (section.base == result.explainBase)
+                    home = &section;
+            }
         }
         home->explainText = result.explainText;
     }
@@ -62,13 +66,19 @@ makeResultReply(u64 requestId, bool explain, Addr explainAddr,
 
 AccdisServer::AccdisServer(ServerConfig config)
     : config_(std::move(config)),
-      service_(config_.service, metrics_),
-      admission_(config_.admission, &metrics_)
+      admission_(config_.admission, &metrics_),
+      service_(config_.service, metrics_)
 {}
 
 AccdisServer::~AccdisServer()
 {
     stop(true);
+    // stop() no-ops once shutdown was already initiated — including a
+    // client ShutdownRequest{drain: false} that left work in flight.
+    // Those tasks' completions touch admission_ and metrics_, so they
+    // must all have run before any member is destroyed: drain
+    // unconditionally (idempotent).
+    service_.drain();
     waitStopped();
 }
 
@@ -250,8 +260,38 @@ void
 AccdisServer::handleAnalyze(const std::shared_ptr<Connection> &conn,
                             AnalyzeRequest request)
 {
-    const u64 bodyBytes =
-        request.byPath ? request.path.size() : request.bytes.size();
+    u64 bodyBytes = request.bytes.size();
+    if (request.byPath) {
+        // A path request makes the daemon read a server-local file,
+        // so it is (a) opt-in and (b) charged its on-disk size
+        // against maxBodyBytes — the inline-bytes cap must not be
+        // bypassable by naming a huge file instead of uploading it.
+        if (!config_.allowPathRequests) {
+            metrics_.counter("server.rejected.path").inc();
+            ErrorReply refuse;
+            refuse.requestId = request.requestId;
+            refuse.code = "bad-request";
+            refuse.message =
+                "path requests are disabled on this server";
+            sendReply(conn, refuse);
+            return;
+        }
+        struct stat st;
+        if (::stat(request.path.c_str(), &st) == 0) {
+            if (!S_ISREG(st.st_mode)) {
+                ErrorReply refuse;
+                refuse.requestId = request.requestId;
+                refuse.code = "bad-request";
+                refuse.message = "not a regular file: " +
+                                 request.path;
+                sendReply(conn, refuse);
+                return;
+            }
+            bodyBytes = static_cast<u64>(st.st_size);
+        }
+        // stat failure falls through with bodyBytes == 0: the load
+        // step reports the I/O error as a taxonomized ResultReply.
+    }
     AdmitError admit = admission_.tryAdmit(conn->id, bodyBytes);
     if (admit != AdmitError::None) {
         ErrorReply refuse;
@@ -286,15 +326,13 @@ AccdisServer::handleAnalyze(const std::shared_ptr<Connection> &conn,
 
     const u64 requestId = request.requestId;
     const bool explain = request.options.explain;
-    const Addr explainAddr = request.options.explainAddr;
     try {
         service_.submit(
             std::move(work),
-            [this, conn, ticket, requestId, explain,
-             explainAddr](ServiceResult result) {
-                sendReply(conn,
-                          makeResultReply(requestId, explain,
-                                          explainAddr, result));
+            [this, conn, ticket, requestId,
+             explain](ServiceResult result) {
+                sendReply(conn, makeResultReply(requestId, explain,
+                                                result));
                 ticket->release();
             });
     } catch (const std::exception &err) {

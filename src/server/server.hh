@@ -60,6 +60,12 @@ struct ServerConfig
      *  not reading; past it the connection is dropped
      *  (server.dropped.backpressure). */
     u64 maxOutboundBytes = 256ull << 20;
+    /** Accept AnalyzeFile (server-local path) requests. Off by
+     *  default: a path request lets any socket client make the
+     *  daemon read files it has access to, so it must be an explicit
+     *  operator decision (--allow-path). Admission charges the
+     *  file's on-disk size against maxBodyBytes. */
+    bool allowPathRequests = false;
 };
 
 /**
@@ -147,9 +153,13 @@ class AccdisServer
     void reapConnections(bool all);
 
     ServerConfig config_;
+    // Declaration order is load-bearing: completion callbacks touch
+    // metrics_ and admission_ from pool threads, and ~AnalysisService
+    // joins that pool — so service_ must be destroyed FIRST (declared
+    // last among the three).
     pipeline::MetricsRegistry metrics_;
-    AnalysisService service_;
     AdmissionController admission_;
+    AnalysisService service_;
 
     Listener listener_;
     std::thread acceptor_;

@@ -109,10 +109,24 @@ AnalysisService::analyzeNow(const ServiceRequest &request)
             ? loadBinary(request.bytes, request.name, loadOptions)
             : loadBinaryFile(request.path, loadOptions);
 
+    // A follower must not outwait its own deadline: when the request
+    // carries a cancel token, the single-flight wait polls it and
+    // abandons (FlightAbandoned surfaces through analyzeBinary as a
+    // cancelled/deadline record, not a stuck pool thread).
+    const pipeline::CancelToken *cancel = request.cancel.get();
+    std::function<bool()> abandonWait;
+    if (cancel != nullptr)
+        abandonWait = [this, cancel] {
+            if (!cancel->stopped())
+                return false;
+            metrics_.counter("server.singleflight.abandoned").inc();
+            return true;
+        };
+
     pipeline::SectionAnalyzeFn sectionFn =
-        [this](const Section &section,
-               const std::vector<Offset> &entries,
-               const std::vector<AuxRegion> &aux) {
+        [this, &abandonWait](const Section &section,
+                             const std::vector<Offset> &entries,
+                             const std::vector<AuxRegion> &aux) {
             const CacheKey key =
                 makeCacheKey(section.contentKey(), entries,
                              section.base(), aux, engine_);
@@ -124,7 +138,7 @@ AnalysisService::analyzeNow(const ServiceRequest &request)
                         engine_, section, entries, aux,
                         cache_.get());
                 },
-                &leader);
+                &leader, abandonWait);
             metrics_
                 .counter(leader ? "server.singleflight.leader"
                                 : "server.singleflight.shared")
@@ -137,7 +151,7 @@ AnalysisService::analyzeNow(const ServiceRequest &request)
         sectionFn);
 
     if (result.binary.ok() && request.explain && load.ok())
-        result.explainText = renderExplainFor(request, *load.image);
+        renderExplainFor(request, *load.image, result);
 
     auto elapsed = std::chrono::steady_clock::now() - start;
     result.seconds =
@@ -152,15 +166,18 @@ AnalysisService::analyzeNow(const ServiceRequest &request)
     return result;
 }
 
-std::string
+void
 AnalysisService::renderExplainFor(const ServiceRequest &request,
-                                  const BinaryImage &image)
+                                  const BinaryImage &image,
+                                  ServiceResult &result)
 {
     for (std::size_t i = 0; i < image.sections().size(); ++i) {
         const Section &section = image.section(i);
         if (!section.flags().executable ||
             !section.containsVaddr(request.explainAddr))
             continue;
+        result.explainResolved = true;
+        result.explainBase = section.base();
         const Offset target = section.toOffset(request.explainAddr);
         const std::vector<Offset> entries =
             sectionEntries(image, section);
@@ -169,16 +186,21 @@ AnalysisService::renderExplainFor(const ServiceRequest &request,
             const CacheKey key =
                 makeCacheKey(section.contentKey(), entries,
                              section.base(), aux, engine_);
-            if (auto cached = loadCachedExplain(cache_->store, key))
-                return renderExplain(*cached, target);
+            if (auto cached =
+                    loadCachedExplain(cache_->store, key)) {
+                result.explainText = renderExplain(*cached, target);
+                return;
+            }
         }
         // No cached artifact (cache disabled or evicted): re-derive
         // by a one-off explain run.
-        return engine_.explainSection(section.bytes(), entries,
-                                      target, section.base(), aux);
+        result.explainText = engine_.explainSection(
+            section.bytes(), entries, target, section.base(), aux);
+        return;
     }
-    return "address " + std::to_string(request.explainAddr) +
-           " is not inside any executable section";
+    result.explainText =
+        "address " + std::to_string(request.explainAddr) +
+        " is not inside any executable section";
 }
 
 void

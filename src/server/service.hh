@@ -78,6 +78,12 @@ struct ServiceResult
     /** Rendered explain text when the request asked for one and its
      *  address fell inside an analyzed section. */
     std::string explainText;
+    /** True when explainAddr resolved into an executable section;
+     *  explainBase is then that section's base, so the transport can
+     *  attach explainText to the right section without re-deriving
+     *  containment from classification spans. */
+    bool explainResolved = false;
+    Addr explainBase = 0;
     /** Wall time spent from task start to completion, seconds. */
     double seconds = 0.0;
 };
@@ -125,8 +131,10 @@ class AnalysisService
 
   private:
     ServiceResult analyzeNow(const ServiceRequest &request);
-    std::string renderExplainFor(const ServiceRequest &request,
-                                 const BinaryImage &image);
+    /** Fill @p result's explainText/explainResolved/explainBase. */
+    void renderExplainFor(const ServiceRequest &request,
+                          const BinaryImage &image,
+                          ServiceResult &result);
 
     ServiceConfig config_;
     pipeline::MetricsRegistry &metrics_;

@@ -16,9 +16,12 @@
 #define ACCDIS_SERVER_SINGLE_FLIGHT_HH
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
@@ -26,6 +29,17 @@
 
 namespace accdis::server
 {
+
+/**
+ * Thrown to a follower that stopped waiting on the leader (its
+ * deadline expired or its request was cancelled). The leader's
+ * computation keeps running for the remaining waiters.
+ */
+class FlightAbandoned : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /**
  * In-flight computation table. Value must be copyable (every follower
@@ -42,10 +56,19 @@ class SingleFlight
      * result (follower). An exception thrown by the leader's fn
      * propagates to the leader and every follower alike. @p wasLeader,
      * when non-null, reports which role this call played.
+     *
+     * @p abandonWait, when supplied, is polled while a follower
+     * waits; once it returns true the follower throws FlightAbandoned
+     * instead of staying pinned to the leader's run — a
+     * short-deadline request must not wait out a long leader. Without
+     * it a follower blocks until the leader finishes, whatever its
+     * own deadline. The leader never polls it: its computation is
+     * what the other waiters are owed.
      */
     template <typename Fn>
     Value
-    run(u64 key, Fn &&fn, bool *wasLeader = nullptr)
+    run(u64 key, Fn &&fn, bool *wasLeader = nullptr,
+        const std::function<bool()> &abandonWait = {})
     {
         std::shared_ptr<Entry> entry;
         bool leader = false;
@@ -63,8 +86,22 @@ class SingleFlight
         }
         if (wasLeader != nullptr)
             *wasLeader = leader;
-        if (!leader)
+        if (!leader) {
+            if (abandonWait) {
+                while (entry->future.wait_for(
+                           std::chrono::milliseconds(
+                               kAbandonPollMs)) !=
+                       std::future_status::ready) {
+                    if (abandonWait()) {
+                        entry->waiters.fetch_sub(1);
+                        throw FlightAbandoned(
+                            "single-flight: follower abandoned "
+                            "waiting on the leader");
+                    }
+                }
+            }
             return entry->future.get();
+        }
         try {
             Value value = fn();
             entry->promise.set_value(value);
@@ -101,6 +138,9 @@ class SingleFlight
     }
 
   private:
+    /** Poll period of a follower's abandonWait check. */
+    static constexpr int kAbandonPollMs = 20;
+
     struct Entry
     {
         std::promise<Value> promise;

@@ -16,11 +16,17 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <future>
 #include <mutex>
 #include <thread>
-#include <unistd.h>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "image/writers.hh"
 #include "support/error.hh"
@@ -209,6 +215,53 @@ TEST(ServerProtocol, FramingRejectsGarbage)
     EXPECT_THROW(decodeReply(ByteSpan(payload)), SerializeError);
 }
 
+// --- Listener bind safety ---------------------------------------------
+
+TEST(ServerNet, BindRefusesLiveSocketsAndForeignFiles)
+{
+    const std::string path = socketPathFor("bindsafe");
+
+    // A live server's socket is never hijacked — and, critically,
+    // never unlinked out from under it by the failed attempt.
+    {
+        Listener live = Listener::bind(path);
+        EXPECT_THROW(Listener::bind(path), Error);
+        EXPECT_TRUE(fs::exists(path));
+    }
+    EXPECT_FALSE(fs::exists(path)) << "closed listener unlinks";
+
+    // A non-socket file at the path (mistyped --socket) is refused
+    // and left intact.
+    {
+        std::ofstream file(path);
+        file << "precious";
+    }
+    EXPECT_THROW(Listener::bind(path), Error);
+    ASSERT_TRUE(fs::exists(path));
+    EXPECT_TRUE(fs::is_regular_file(path));
+    fs::remove(path);
+
+    // A stale socket file (bound once, owner dead, nobody accepting)
+    // is reclaimed.
+    {
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        ASSERT_LT(path.size(), sizeof(addr.sun_path));
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(::bind(fd,
+                         reinterpret_cast<struct sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ::close(fd); // fd gone, socket file left behind: stale.
+    }
+    ASSERT_TRUE(fs::exists(path));
+    Listener reclaimed = Listener::bind(path);
+    EXPECT_TRUE(fs::exists(path));
+}
+
 // --- Single flight ----------------------------------------------------
 
 TEST(ServerSingleFlight, ConcurrentSameKeyComputesOnce)
@@ -281,6 +334,42 @@ TEST(ServerSingleFlight, DistinctKeysRunIndependently)
     EXPECT_EQ(flights.run(2, [] { return 20; }), 20);
     EXPECT_EQ(flights.waiters(1), 0u);
     EXPECT_EQ(flights.inFlight(), 0u);
+}
+
+TEST(ServerSingleFlight, FollowerAbandonsWaitOnItsOwnDeadline)
+{
+    SingleFlight<int> flights;
+    std::promise<void> release;
+    std::shared_future<void> gate = release.get_future().share();
+
+    // The leader holds the flight open until told otherwise — it
+    // simulates a long cold run a short-deadline follower must not
+    // be pinned to.
+    std::thread leader([&] {
+        flights.run(9, [&] {
+            gate.wait();
+            return 1;
+        });
+    });
+    while (flights.inFlight() == 0)
+        std::this_thread::yield();
+
+    bool wasLeader = true;
+    EXPECT_THROW(
+        flights.run(
+            9, [] { return 2; }, &wasLeader, [] { return true; }),
+        FlightAbandoned);
+    EXPECT_FALSE(wasLeader);
+    // The abandoning follower detached itself from the entry.
+    EXPECT_EQ(flights.waiters(9), 0u);
+
+    // The leader is unaffected and still completes for its caller.
+    release.set_value();
+    leader.join();
+    EXPECT_EQ(flights.inFlight(), 0u);
+
+    // A follower without an abandon hook keeps the old semantics.
+    EXPECT_EQ(flights.run(9, [] { return 3; }), 3);
 }
 
 // --- Admission --------------------------------------------------------
@@ -481,6 +570,82 @@ TEST(ServerEndToEnd, ColdWarmCorruptExplainStatsShutdown)
     EXPECT_FALSE(fs::exists(socket)) << "socket file unlinked";
 }
 
+TEST(ServerEndToEnd, PathRequestsAreGatedAndSizeCapped)
+{
+    // Default server: path requests are an opt-in capability, so
+    // naming a server-local file is refused outright.
+    {
+        const std::string socket = socketPathFor("pathoff");
+        ServerConfig config;
+        config.socketPath = socket;
+        config.service.jobs = 1;
+        AccdisServer server(std::move(config));
+        server.start();
+        ServerClient client(socket);
+        Reply reply = client.analyzeFile("/bin/true");
+        const auto &refuse = std::get<ErrorReply>(reply);
+        EXPECT_EQ(refuse.code, "bad-request");
+        client.shutdownServer(true);
+        server.waitStopped();
+    }
+
+    // Opted-in server: admission charges the file's on-disk size
+    // against maxBodyBytes — a path request cannot smuggle in a body
+    // the inline path would have refused.
+    fs::path dir = scratchDir("pathon");
+    fs::create_directories(dir);
+    const ByteVec elf = healthyElf(91, 24);
+    const fs::path small = dir / "small.elf";
+    {
+        std::ofstream out(small, std::ios::binary);
+        out.write(reinterpret_cast<const char *>(elf.data()),
+                  static_cast<std::streamsize>(elf.size()));
+    }
+    const fs::path big = dir / "big.bin";
+    {
+        std::ofstream out(big, std::ios::binary);
+        std::vector<char> chunk(1 << 16, 0);
+        for (int i = 0; i < 40; ++i) // ~2.5 MiB > the 1 MiB cap.
+            out.write(chunk.data(),
+                      static_cast<std::streamsize>(chunk.size()));
+    }
+
+    const std::string socket = socketPathFor("pathon");
+    ServerConfig config;
+    config.socketPath = socket;
+    config.service.jobs = 1;
+    config.allowPathRequests = true;
+    config.admission.maxBodyBytes = 1 << 20;
+    ASSERT_GT(config.admission.maxBodyBytes, elf.size());
+    AccdisServer server(std::move(config));
+    server.start();
+    ServerClient client(socket);
+
+    Reply ok = client.analyzeFile(small.string());
+    const auto &result = std::get<ResultReply>(ok);
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_GT(result.executableBytes, 0u);
+
+    Reply tooBig = client.analyzeFile(big.string());
+    const auto &refused = std::get<ErrorReply>(tooBig);
+    EXPECT_EQ(refused.code, "too-large");
+
+    // Directories are not analyzable bodies.
+    Reply notFile = client.analyzeFile(dir.string());
+    EXPECT_EQ(std::get<ErrorReply>(notFile).code, "bad-request");
+
+    // A missing path is admitted (nothing to stat) and comes back as
+    // a taxonomized load failure, not a hang or crash.
+    Reply missing =
+        client.analyzeFile((dir / "nonexistent.elf").string());
+    const auto &loadFail = std::get<ResultReply>(missing);
+    EXPECT_FALSE(loadFail.ok());
+    EXPECT_EQ(loadFail.errorKind, "load");
+
+    client.shutdownServer(true);
+    server.waitStopped();
+}
+
 TEST(ServerEndToEnd, PipelinedRepliesMatchRequestsById)
 {
     const std::string socket = socketPathFor("pipe");
@@ -662,6 +827,32 @@ TEST(ServerDrain, ShutdownDeliversInFlightRepliesFirst)
 
     // After shutdown the socket is gone.
     EXPECT_THROW(ServerClient{socket}, Error);
+}
+
+TEST(ServerDrain, NonDrainShutdownDestructsSafely)
+{
+    // A client-requested non-draining shutdown leaves admitted work
+    // on the pool when the server object dies. Destruction must
+    // still run those tasks' completions (which touch the admission
+    // controller and metrics) BEFORE any member is torn down —
+    // under TSan/ASan this test is the use-after-free regression
+    // check for the member destruction order.
+    const std::string socket = socketPathFor("nodrain");
+    ServerConfig config;
+    config.socketPath = socket;
+    config.service.jobs = 1;
+    {
+        AccdisServer server(std::move(config));
+        server.start();
+        ServerClient client(socket);
+        // Same connection: the analyze is dispatched (and admitted)
+        // before the shutdown request is even read, so work is
+        // guaranteed in flight when stop(false) runs.
+        client.sendAnalyzeBytes("big.elf", healthyElf(81, 600));
+        client.shutdownServer(false);
+        server.waitStopped();
+    }
+    SUCCEED();
 }
 
 } // namespace
