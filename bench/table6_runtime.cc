@@ -137,6 +137,8 @@ BM_BatchPipeline(benchmark::State &state)
     }
     pipeline::BatchConfig config;
     config.jobs = static_cast<unsigned>(state.range(0));
+    HotPathStats hotStats;
+    config.engine.hotPathStats = &hotStats;
     pipeline::BatchAnalyzer analyzer(config);
     double parallelSec = 0.0;
     std::map<std::string, u64> passNanos;
@@ -164,6 +166,15 @@ BM_BatchPipeline(benchmark::State &state)
             static_cast<double>(nanos) * 1e-9 /
             static_cast<double>(state.iterations());
     }
+    // Hot-path observability: how much of the superset decode the
+    // prescan tables served, and the arena scratch high-water mark.
+    // A peak of zero is the aliasing fast path working as designed —
+    // the flow edge arrays borrow the superset's own SoA storage, so
+    // the scratch arena only fills when the legacy derivation runs.
+    state.counters["decode_fast_path_fraction"] =
+        hotStats.fastPathFraction();
+    state.counters["peak_scratch_bytes"] = static_cast<double>(
+        hotStats.peakScratchBytes.load(std::memory_order_relaxed));
 }
 
 /**

@@ -14,6 +14,87 @@ FlowAnalysis::FlowAnalysis(const Superset &superset, FlowConfig config)
     computePoison(superset);
 }
 
+FlowAnalysis::FlowAnalysis(const Superset &superset,
+                           const SupersetEdges &edges,
+                           FlowConfig config)
+    : config_(config)
+{
+    bad_.assign(superset.size(), false);
+    poison_.assign(superset.size(), 0.0);
+    computeBad(superset, edges);
+    computePoison(superset);
+}
+
+void
+FlowAnalysis::computeBad(const Superset &superset,
+                         const SupersetEdges &edges)
+{
+    const std::size_t n = superset.size();
+    const u32 *ft = edges.ftData();
+    const u32 *tgt = edges.tgtData();
+
+    // Alternating linear sweeps to the least fixpoint over the flat
+    // arrays. The successor sentinels make the node-locally-bad seed
+    // a pure function of the two arrays (no node probes): a
+    // fallthrough slot of kInvalid/kEscape, or — when escaping
+    // branches are fatal — a target slot of kEscape (escaping calls
+    // carry their own benign sentinel). Fallthrough successors always
+    // sit at higher offsets, so the first (descending) sweep seeds
+    // and resolves entire fallthrough chains in one pass; ascending
+    // sweeps resolve propagation through backward branches. Real
+    // sections converge in two or three sweeps — cheaper than a
+    // preds-based worklist walk, whose CSR predecessor table costs
+    // more to build than the sweeps save.
+    u64 count = 0;
+    const bool fatal = config_.escapingBranchIsFatal;
+    passes_ = 1;
+    for (Offset off = n; off-- > 0;) {
+        const u32 f = ft[off];
+        const u32 t = tgt[off];
+        // kInvalid or kEscape in the fallthrough slot.
+        bool bad = f - SupersetEdges::kInvalid <= 1;
+        bad |= fatal && t == SupersetEdges::kEscape;
+        bad |= f < n && bad_[f];
+        bad |= t < n && bad_[t];
+        if (bad) {
+            bad_[off] = true;
+            ++count;
+        }
+    }
+    bool changed = count != 0;
+    while (changed) {
+        changed = false;
+        ++passes_;
+        if (passes_ % 2 == 0) {
+            for (Offset off = 0; off < n; ++off) {
+                if (bad_[off])
+                    continue;
+                const u32 f = ft[off];
+                const u32 t = tgt[off];
+                if ((f < n && bad_[f]) || (t < n && bad_[t])) {
+                    bad_[off] = true;
+                    ++count;
+                    changed = true;
+                }
+            }
+        } else {
+            for (Offset off = n; off-- > 0;) {
+                if (bad_[off])
+                    continue;
+                const u32 f = ft[off];
+                const u32 t = tgt[off];
+                if ((f < n && bad_[f]) || (t < n && bad_[t])) {
+                    bad_[off] = true;
+                    ++count;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    badCount_ = count;
+}
+
 void
 FlowAnalysis::computeBad(const Superset &superset)
 {
@@ -92,6 +173,7 @@ FlowAnalysis::computePoison(const Superset &superset)
     using x86::kFlagSegment;
 
     const std::size_t n = superset.size();
+    const SupersetNode *nodes = superset.nodes().data();
     // Single descending sweep: poison flows backward along the
     // fallthrough chain with decay, so a candidate a few instructions
     // before a `hlt` or an `in` is still suspicious.
@@ -100,20 +182,25 @@ FlowAnalysis::computePoison(const Superset &superset)
             poison_[off] = 1.0;
             continue;
         }
-        const SupersetNode &node = superset.node(off);
+        const SupersetNode &node = nodes[off];
+        const u16 flags = node.flags();
         double base = 0.0;
-        if (node.flags() & kFlagPrivileged)
+        if (flags & kFlagPrivileged)
             base = std::max(base, 0.7);
-        if (node.flags() & kFlagRare)
+        if (flags & kFlagRare)
             base = std::max(base, 0.35);
-        if (node.flags() & kFlagRedundantPrefix)
+        if (flags & kFlagRedundantPrefix)
             base = std::max(base, 0.25);
-        if (node.flags() & kFlagSegment)
+        if (flags & kFlagSegment)
             base = std::max(base, 0.10);
-        if (superset.targetEscapes(off))
-            base = std::max(base,
-                            node.flow == x86::CtrlFlow::Call ? 0.20
-                                                             : 0.50);
+        if (node.hasDirectTarget()) {
+            const s64 t = static_cast<s64>(off) + node.targetRel;
+            if (t < 0 || static_cast<u64>(t) >= n)
+                base = std::max(base,
+                                node.flow == x86::CtrlFlow::Call
+                                    ? 0.20
+                                    : 0.50);
+        }
 
         double inherited = 0.0;
         if (node.fallsThrough()) {

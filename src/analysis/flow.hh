@@ -11,7 +11,9 @@
 
 #include <vector>
 
+#include "superset/edges.hh"
 #include "superset/superset.hh"
+#include "support/arena.hh"
 
 namespace accdis
 {
@@ -43,10 +45,20 @@ class FlowAnalysis
     FlowAnalysis(const Superset &superset, FlowConfig config = {});
 
     /**
+     * Accelerated construction over the flat successor arrays:
+     * mustFault propagation becomes alternating linear sweeps over
+     * contiguous u32 successor arrays instead of per-node accessor
+     * chasing. Results are identical to the node-walking fixpoint
+     * (both compute the least fixpoint of the same propagation rule).
+     */
+    FlowAnalysis(const Superset &superset, const SupersetEdges &edges,
+                 FlowConfig config = {});
+
+    /**
      * True when every execution path from @p off reaches an invalid
      * decode (or falls off the section): @p off cannot be code.
      */
-    bool mustFault(Offset off) const { return bad_[off]; }
+    bool mustFault(Offset off) const { return bad_[off] != 0; }
 
     /**
      * Soft evidence in [0,1] that @p off is data: decayed proximity to
@@ -63,10 +75,15 @@ class FlowAnalysis
 
   private:
     void computeBad(const Superset &superset);
+    void computeBad(const Superset &superset,
+                    const SupersetEdges &edges);
     void computePoison(const Superset &superset);
 
     FlowConfig config_;
-    std::vector<bool> bad_;
+    // One byte per offset, not vector<bool>: mustFault() sits inside
+    // the resolve/commit hot loops and the packed form pays a
+    // shift/mask on every probe.
+    std::vector<u8> bad_;
     std::vector<double> poison_;
     u64 badCount_ = 0;
     int passes_ = 0;

@@ -9,7 +9,12 @@ namespace accdis
 void
 FlowPass::run(AnalysisContext &ctx) const
 {
-    ctx.flow.emplace(ctx.superset.get(), ctx.config.flow);
+    if (ctx.config.acceleratedHotPath) {
+        const SupersetEdges &edges = ctx.ensureEdges();
+        ctx.flow.emplace(ctx.superset.get(), edges, ctx.config.flow);
+    } else {
+        ctx.flow.emplace(ctx.superset.get(), ctx.config.flow);
+    }
 }
 
 } // namespace accdis

@@ -20,6 +20,11 @@ resolveIndirectFlow(const Superset &superset, IndirectConfig config)
         // Case 1: call/jmp [rip+disp] with a constant in-section slot.
         if ((node.flow == x86::CtrlFlow::IndirectCall ||
              node.flow == x86::CtrlFlow::IndirectJump)) {
+            // The node's flag word mirrors Instruction::ripRelative;
+            // checking it first skips the full re-decode for the
+            // (common) register/SIB indirect forms.
+            if (!(node.flags() & x86::kFlagRipRelative))
+                continue;
             x86::Instruction insn = superset.decodeFull(off);
             if (insn.ripRelative) {
                 s64 slot = static_cast<s64>(insn.end()) + insn.disp;
@@ -75,17 +80,21 @@ resolveIndirectFlow(const Superset &superset, IndirectConfig config)
             if (!superset.validAt(cursor))
                 break;
             const SupersetNode &next = superset.node(cursor);
-            x86::Instruction use = superset.decodeFull(cursor);
             bool isIndirect =
                 next.flow == x86::CtrlFlow::IndirectCall ||
                 next.flow == x86::CtrlFlow::IndirectJump;
-            if (isIndirect && use.hasModRm && use.modrmMod == 3 &&
-                use.modrmRm == reg) {
-                resolved.push_back(
-                    {cursor, static_cast<Offset>(rel),
-                     next.flow == x86::CtrlFlow::IndirectCall,
-                     IndirectTarget::Via::RegisterConstant});
-                break;
+            if (isIndirect) {
+                // Only the ModRM fields are needed, and only for
+                // indirect nodes: defer the full re-decode until here.
+                x86::Instruction use = superset.decodeFull(cursor);
+                if (use.hasModRm && use.modrmMod == 3 &&
+                    use.modrmRm == reg) {
+                    resolved.push_back(
+                        {cursor, static_cast<Offset>(rel),
+                         next.flow == x86::CtrlFlow::IndirectCall,
+                         IndirectTarget::Via::RegisterConstant});
+                    break;
+                }
             }
             if (next.regsWritten() & x86::regBit(reg))
                 break;

@@ -1,7 +1,6 @@
 #include "analysis/patterns.hh"
 
 #include <algorithm>
-#include <set>
 
 #include "support/bytes.hh"
 #include "support/stats.hh"
@@ -12,12 +11,46 @@ namespace accdis
 namespace
 {
 
-bool
-isTextByte(u8 b)
+/** Per-byte text classes: bit 0 = text byte, bit 1 = printable. A
+ *  table lookup classifies without data-dependent branches — section
+ *  bytes are effectively random, so branchy classification pays a
+ *  mispredict per byte. */
+struct TextClasses
 {
-    return (b >= 0x20 && b < 0x7f) || b == 0 || b == '\t' || b == '\n' ||
-           b == '\r';
-}
+    u8 cls[256] = {};
+    constexpr TextClasses()
+    {
+        for (unsigned b = 0; b < 256; ++b) {
+            bool printable = b >= 0x20 && b < 0x7f;
+            bool text = printable || b == 0 || b == '\t' ||
+                        b == '\n' || b == '\r';
+            cls[b] = static_cast<u8>(text | printable << 1);
+        }
+    }
+};
+
+constexpr TextClasses kTextClasses;
+
+/** Prefix bytes that can still lead into a two-byte prologue idiom:
+ *  any single legacy/REX prefix (followed by a 50-57 push), ff
+ *  (followed by a mod=3 push r/m ModRM) and f3 (endbr64). One-byte
+ *  pushes (50-57) are tested directly in the scan; every other first
+ *  byte is rejected with one load instead of touching the node. */
+struct PrologueHeads
+{
+    bool head[256] = {};
+    constexpr PrologueHeads()
+    {
+        for (unsigned b = 0x40; b <= 0x4f; ++b)
+            head[b] = true; // REX
+        for (unsigned b : {0x26u, 0x2eu, 0x36u, 0x3eu, 0x64u, 0x65u,
+                           0x66u, 0x67u, 0xf0u, 0xf2u, 0xf3u})
+            head[b] = true; // legacy prefixes (f3 also heads endbr64)
+        head[0xff] = true;  // push r/m, mod=3
+    }
+};
+
+constexpr PrologueHeads kPrologueHeads;
 
 } // namespace
 
@@ -28,6 +61,8 @@ findStringRegions(ByteSpan bytes, const PatternConfig &config)
     const std::size_t n = bytes.size();
     Offset runStart = 0;
     bool inRun = false;
+    bool hasNul = false;
+    u64 printable = 0;
 
     auto flush = [&](Offset end) {
         if (!inRun)
@@ -36,13 +71,6 @@ findStringRegions(ByteSpan bytes, const PatternConfig &config)
         u64 len = end - runStart;
         if (len < config.minStringRun)
             return;
-        ByteSpan run = bytes.subspan(runStart, len);
-        bool hasNul = false;
-        u64 printable = 0;
-        for (u8 b : run) {
-            hasNul |= b == 0;
-            printable += b >= 0x20 && b < 0x7f;
-        }
         double frac =
             static_cast<double>(printable) / static_cast<double>(len);
         if (hasNul && frac >= config.minPrintableFraction)
@@ -50,11 +78,17 @@ findStringRegions(ByteSpan bytes, const PatternConfig &config)
     };
 
     for (Offset off = 0; off < n; ++off) {
-        if (isTextByte(bytes[off])) {
+        const u8 b = bytes[off];
+        const u8 cls = kTextClasses.cls[b];
+        if (cls & 1) {
             if (!inRun) {
                 inRun = true;
                 runStart = off;
+                hasNul = false;
+                printable = 0;
             }
+            hasNul |= b == 0;
+            printable += cls >> 1;
         } else {
             flush(off);
         }
@@ -90,6 +124,17 @@ findWideStringRegions(ByteSpan bytes, const PatternConfig &config)
                     {runStart, off, DataRegion::Kind::WideString});
             }
             off += 2;
+            // Fast-forward: every code unit needs a zero high byte,
+            // so while an aligned 8-byte window holds no zero byte at
+            // all, no run can start inside it — skip it whole (8 is
+            // even, preserving the phase).
+            while (off + 8 <= n) {
+                u64 w = readLe64(bytes, off);
+                if ((w - 0x0101010101010101ull) & ~w &
+                    0x8080808080808080ull)
+                    break;
+                off += 8;
+            }
         }
     }
     return regions;
@@ -159,27 +204,34 @@ findPointerArrays(const Superset &superset, const PatternConfig &config)
 namespace
 {
 
+/** Max instructions in a stub: the stride bound (each >= 1 byte). */
+constexpr std::size_t kMaxStubInsns = 16;
+
 /**
- * Try to parse one linkage stub of @p stride bytes at @p off.
- * Returns the instruction offsets inside the stub, or empty when the
- * shape does not match.
+ * Try to parse one linkage stub of @p stride bytes at @p off into
+ * @p insns (capacity kMaxStubInsns; stride is at most 16 bytes, and
+ * every instruction is at least one). Returns the instruction count,
+ * or 0 when the shape does not match — a real stub always has at
+ * least one instruction. Fixed-capacity output keeps the scan, which
+ * probes every stride-aligned offset of the section, allocation-free.
  */
-std::vector<Offset>
-parseStub(const Superset &superset, Offset off, u32 stride)
+std::size_t
+parseStub(const Superset &superset, Offset off, u32 stride,
+          Offset (&insns)[kMaxStubInsns])
 {
-    std::vector<Offset> insns;
+    std::size_t count = 0;
     bool sawIndirectJmp = false;
     Offset cursor = off;
     Offset limit = off + stride;
     if (limit > superset.size())
-        return {};
+        return 0;
     while (cursor < limit) {
         if (!superset.validAt(cursor))
-            return {};
+            return 0;
         const SupersetNode &node = superset.node(cursor);
         if (cursor + node.length > limit)
-            return {};
-        insns.push_back(cursor);
+            return 0;
+        insns[count++] = cursor;
         if (node.flow == x86::CtrlFlow::IndirectJump &&
             (node.flags() & x86::kFlagRipRelative))
             sawIndirectJmp = true;
@@ -195,26 +247,26 @@ parseStub(const Superset &superset, Offset off, u32 stride)
         }
         if (!node.fallsThrough() &&
             node.flow != x86::CtrlFlow::IndirectJump)
-            return {};
+            return 0;
         cursor += node.length;
         if (node.flow == x86::CtrlFlow::IndirectJump) {
             // Lazy PLT: the push/jmp tail follows the first jmp.
             continue;
         }
     }
-    if (!sawIndirectJmp || insns.size() > 4)
-        return {};
+    if (!sawIndirectJmp || count > 4)
+        return 0;
     // Remaining bytes must be padding NOPs.
     while (cursor < limit) {
         if (!superset.validAt(cursor))
-            return {};
+            return 0;
         const SupersetNode &node = superset.node(cursor);
         if (node.op != x86::Op::Nop || cursor + node.length > limit)
-            return {};
-        insns.push_back(cursor);
+            return 0;
+        insns[count++] = cursor;
         cursor += node.length;
     }
-    return insns;
+    return count;
 }
 
 } // namespace
@@ -223,34 +275,39 @@ std::vector<Offset>
 findLinkageStubs(const Superset &superset)
 {
     std::vector<Offset> result;
-    std::set<Offset> seen;
+    std::vector<Offset> runInsns; // Reused per candidate run.
     for (u32 stride : {16u, 8u}) {
         Offset base = 0;
         while (base + stride <= superset.size()) {
             // Count a run of consecutive stubs at this stride.
-            std::vector<std::vector<Offset>> run;
+            runInsns.clear();
+            std::size_t stubs = 0;
             Offset cursor = base;
+            Offset insns[kMaxStubInsns];
             while (cursor + stride <= superset.size()) {
-                auto stub = parseStub(superset, cursor, stride);
-                if (stub.empty())
+                std::size_t count =
+                    parseStub(superset, cursor, stride, insns);
+                if (count == 0)
                     break;
-                run.push_back(std::move(stub));
+                runInsns.insert(runInsns.end(), insns, insns + count);
+                ++stubs;
                 cursor += stride;
             }
-            if (run.size() >= 3) {
-                for (const auto &stub : run) {
-                    for (Offset off : stub) {
-                        if (seen.insert(off).second)
-                            result.push_back(off);
-                    }
-                }
+            if (stubs >= 3) {
+                result.insert(result.end(), runInsns.begin(),
+                              runInsns.end());
                 base = cursor;
             } else {
                 base += stride;
             }
         }
     }
+    // The two stride passes can report the same offsets; the callers
+    // consume a sorted unique list, which is exactly what the old
+    // insertion-time set dedup plus final sort produced.
     std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()),
+                 result.end());
     return result;
 }
 
@@ -262,6 +319,20 @@ findPrologues(const Superset &superset)
     const std::size_t n = superset.size();
 
     for (Offset off = 0; off < n; ++off) {
+        // Every idiom starts with a one-byte push (50-57), or with a
+        // head byte whose *second* byte narrows it further: prefix +
+        // push, ff + mod=3 /6 ModRM, or f3 0f (endbr64). Checking two
+        // raw bytes rejects ~95% of offsets without a node load.
+        const u8 b = bytes[off];
+        bool cand = (b & 0xf8) == 0x50;
+        if (!cand && kPrologueHeads.head[b]) {
+            const u8 b1 = off + 1 < n ? bytes[off + 1] : 0;
+            cand = (b1 & 0xf8) == 0x50 ||
+                   (b == 0xff && (b1 & 0xf8) == 0xf0) ||
+                   (b == 0xf3 && b1 == 0x0f);
+        }
+        if (!cand)
+            continue;
         if (!superset.validAt(off))
             continue;
 

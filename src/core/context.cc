@@ -69,6 +69,7 @@ AnalysisContext::invalidate(ArtifactId id)
     switch (id) {
       case ArtifactId::Superset:
         superset.reset();
+        edges_.reset();
         invalidate(ArtifactId::Flow);
         invalidate(ArtifactId::Scorer);
         return;
@@ -88,6 +89,7 @@ AnalysisContext::invalidate(ArtifactId id)
         state.assign(bytes.size(), kUnknown);
         owner.assign(bytes.size(), 0);
         isStart.assign(bytes.size(), false);
+        startCount_ = 0;
         queuedTarget.assign(bytes.size(), false);
         commits.clear();
         commits.emplace_back();
@@ -117,9 +119,56 @@ AnalysisContext::artifactPresent(ArtifactId id) const
     }
 }
 
+const SupersetEdges &
+AnalysisContext::ensureEdges()
+{
+    if (!edges_ || edgesGeneration_ != superset.generation()) {
+        edges_.emplace(superset.get(), arena);
+        edgesGeneration_ = superset.generation();
+    }
+    return *edges_;
+}
+
+std::vector<EvidenceItem>
+AnalysisContext::queueSnapshot() const
+{
+    auto copy = queue_;
+    std::vector<EvidenceItem> items;
+    items.reserve(copy.size());
+    while (!copy.empty()) {
+        items.push_back(copy.top());
+        copy.pop();
+    }
+    return items;
+}
+
 double
 AnalysisContext::seedScore(Offset off) const
 {
+    // The memo key folds in every input the score mixes: the slot
+    // generations (bumped on rebuild), slot presence, and the def-use
+    // toggle. Gap refinement probes the same windows across resolve
+    // rounds, so hits dominate once the first round has run.
+    if (config.acceleratedHotPath && off < bytes.size()) {
+        const u64 sGen =
+            superset.generation() * 2 + (superset.present() ? 1 : 0);
+        const u64 fGen = flow.generation() * 2 + (flow.present() ? 1 : 0);
+        const u64 scGen =
+            scorer.generation() * 2 + (scorer.present() ? 1 : 0);
+        if (seedMemo_.size() != bytes.size() ||
+            memoSupersetGen_ != sGen || memoFlowGen_ != fGen ||
+            memoScorerGen_ != scGen || memoDefUse_ != defUseEnabled) {
+            seedMemo_.assign(bytes.size(), 0.0);
+            seedMemoSet_.assign(bytes.size(), 0);
+            memoSupersetGen_ = sGen;
+            memoFlowGen_ = fGen;
+            memoScorerGen_ = scGen;
+            memoDefUse_ = defUseEnabled;
+        }
+        if (seedMemoSet_[off])
+            return seedMemo_[off];
+    }
+
     double score = 0.0;
     if (scorer.present())
         score += scorer->scoreAt(off);
@@ -128,6 +177,12 @@ AnalysisContext::seedScore(Offset off) const
                  defUseScore(analyzeDefUse(superset.get(), off));
     if (flow.present())
         score -= config.poisonWeight * flow->poison(off);
+
+    if (config.acceleratedHotPath && off < bytes.size() &&
+        !seedMemo_.empty()) {
+        seedMemo_[off] = score;
+        seedMemoSet_[off] = 1;
+    }
     return score;
 }
 
@@ -160,7 +215,7 @@ AnalysisContext::rollback(u32 id, u32 byId)
     }
     for (Offset start : commit.starts) {
         if (owner[start] == 0)
-            isStart[start] = false;
+            clearStart(start);
     }
 }
 
@@ -211,7 +266,9 @@ AnalysisContext::commitCodeFrom(const EvidenceItem &item)
     const Superset &ss = superset.get();
     u32 id = newCommit(item.prio, item.source, item.reasonId);
     Commitment &commit = commits[id];
-    std::vector<Offset> work{item.off};
+    std::vector<Offset> &work = workScratch_;
+    work.clear();
+    work.push_back(item.off);
 
     // Evidence derived from a commitment is itself evidence: call
     // targets are queued at Propagated strength (or Heuristic when
@@ -242,7 +299,7 @@ AnalysisContext::commitCodeFrom(const EvidenceItem &item)
             state[b] = kCode;
             owner[b] = id;
         }
-        isStart[o] = true;
+        setStart(o);
         commit.starts.push_back(o);
         commit.ranges.emplace_back(o, end);
 
@@ -302,15 +359,6 @@ AnalysisContext::commitData(const EvidenceItem &item)
         commit.live = false;
 }
 
-u64
-AnalysisContext::committedStarts() const
-{
-    u64 committed = 0;
-    for (Offset off = 0; off < state.size(); ++off)
-        committed += isStart[off];
-    return committed;
-}
-
 Classification
 AnalysisContext::finish() const
 {
@@ -319,15 +367,23 @@ AnalysisContext::finish() const
     if (flow.present())
         result.stats.mustFaultOffsets = flow->mustFaultCount();
 
+    // One fused pass builds the class map, the provenance map and the
+    // instruction-start list together: the per-byte state/owner loads
+    // dominate, so three separate sweeps triple the memory traffic.
+    // Owner ids run in long stretches; caching the last id's priority
+    // skips the commits[] indirection inside a run.
     const Offset n = state.size();
-    Offset runStart = 0;
-    ResultClass runClass = ResultClass::Data;
     auto classify = [&](Offset off) {
         return state[off] == kCode ? ResultClass::Code
                                    : ResultClass::Data;
     };
     if (n > 0) {
-        runClass = classify(0);
+        Offset runStart = 0;
+        ResultClass runClass = classify(0);
+        Offset provStart = 0;
+        u32 lastOwner = owner[0];
+        u8 provLevel = static_cast<u8>(commits[lastOwner].prio);
+        u8 lastLevel = provLevel;
         for (Offset off = 1; off < n; ++off) {
             ResultClass cls = classify(off);
             if (cls != runClass) {
@@ -335,26 +391,35 @@ AnalysisContext::finish() const
                 runStart = off;
                 runClass = cls;
             }
-        }
-        result.map.assign(runStart, n, runClass);
-    }
-    // Provenance: record the committing evidence strength per byte.
-    if (n > 0) {
-        Offset provStart = 0;
-        u8 provLevel = static_cast<u8>(commits[owner[0]].prio);
-        for (Offset off = 1; off < n; ++off) {
-            u8 level = static_cast<u8>(commits[owner[off]].prio);
-            if (level != provLevel) {
+            if (owner[off] != lastOwner) {
+                lastOwner = owner[off];
+                lastLevel = static_cast<u8>(commits[lastOwner].prio);
+            }
+            if (lastLevel != provLevel) {
                 result.provenance.assign(provStart, off, provLevel);
                 provStart = off;
-                provLevel = level;
+                provLevel = lastLevel;
             }
         }
+        result.map.assign(runStart, n, runClass);
         result.provenance.assign(provStart, n, provLevel);
     }
-    for (Offset off = 0; off < n; ++off) {
-        if (isStart[off] && state[off] == kCode)
-            result.insnStarts.push_back(off);
+
+    // Instruction starts via whole-word bit scans: only ~1/16 of the
+    // bytes carry a start bit, so walking set bits with ctz touches
+    // state[] far less often than a per-byte probe would.
+    result.insnStarts.reserve(startCount_);
+    const std::vector<u64> &words = isStart.words();
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        u64 w = words[wi];
+        while (w != 0) {
+            Offset off = static_cast<Offset>(
+                wi * 64 +
+                static_cast<unsigned>(__builtin_ctzll(w)));
+            if (state[off] == kCode)
+                result.insnStarts.push_back(off);
+            w &= w - 1;
+        }
     }
     return result;
 }

@@ -26,7 +26,10 @@
 #include "analysis/patterns.hh"
 #include "core/result.hh"
 #include "prob/scorer.hh"
+#include "superset/edges.hh"
 #include "superset/superset.hh"
+#include "support/arena.hh"
+#include "support/bitset.hh"
 
 namespace accdis
 {
@@ -257,6 +260,21 @@ class AnalysisContext
     ArtifactSlot<Superset> superset;
     ArtifactSlot<FlowAnalysis> flow;
     ArtifactSlot<LikelihoodScorer> scorer;
+
+    /**
+     * Per-context scratch arena for the hot passes (flow worklists,
+     * edge arrays, gap-refinement chains). Never reset while passes
+     * run — arena-backed artifacts like the edge arrays stay valid for
+     * the context's lifetime.
+     */
+    Arena arena;
+
+    /**
+     * Flat successor/predecessor arrays over the current superset,
+     * built on first use and rebuilt when the superset slot's
+     * generation moves. @pre superset.present().
+     */
+    const SupersetEdges &ensureEdges();
     /** Mix the def-use component into seed scores (DefUsePass). */
     bool defUseEnabled = false;
     /** Rollback + chain refinement armed (ErrorCorrectionPass). */
@@ -296,6 +314,13 @@ class AnalysisContext
     bool queueEmpty() const { return queue_.empty(); }
     std::size_t queueSize() const { return queue_.size(); }
 
+    /**
+     * The pending evidence items in pop (strongest-first) order,
+     * without disturbing the queue. Observability only (the
+     * pass-equivalence harness); costs a full queue copy.
+     */
+    std::vector<EvidenceItem> queueSnapshot() const;
+
     /** Pop the strongest pending item. @pre !queueEmpty(). */
     EvidenceItem
     popEvidence()
@@ -319,7 +344,7 @@ class AnalysisContext
     // --- Commitment map ---------------------------------------------
     std::vector<u8> state;          ///< ByteState per byte.
     std::vector<u32> owner;         ///< Owning commitment id (0 none).
-    std::vector<bool> isStart;      ///< Accepted instruction start.
+    Bitset isStart;                 ///< Accepted instruction start.
     std::vector<bool> queuedTarget; ///< Call target already queued.
     std::vector<Commitment> commits; ///< Id 0 = "no owner" sentinel.
     Classification::Stats stats;
@@ -353,8 +378,32 @@ class AnalysisContext
     /** Commit [begin, end) as data, byte-divisibly. */
     void commitData(const EvidenceItem &item);
 
+    /**
+     * Mark/unmark @p off as an accepted instruction start. All
+     * isStart mutations go through these so committedStarts() can be
+     * a counter read instead of a full bitvector scan (it is sampled
+     * once per evidence priority class and per correction round).
+     */
+    void
+    setStart(Offset off)
+    {
+        if (!isStart[off]) {
+            isStart.set(off);
+            ++startCount_;
+        }
+    }
+
+    void
+    clearStart(Offset off)
+    {
+        if (isStart[off]) {
+            isStart.clear(off);
+            --startCount_;
+        }
+    }
+
     /** Number of accepted instruction starts so far. */
-    u64 committedStarts() const;
+    u64 committedStarts() const { return startCount_; }
 
     /** Fold the commitment map into the final Classification. */
     Classification finish() const;
@@ -370,6 +419,26 @@ class AnalysisContext
     std::priority_queue<EvidenceItem, std::vector<EvidenceItem>,
                         EvidenceOrder>
         queue_;
+
+    std::optional<SupersetEdges> edges_;
+    u64 edgesGeneration_ = 0;
+
+    // Seed-score memo (accelerated path): gap refinement re-probes the
+    // same window offsets across rounds and the trigram table lookup
+    // dominates resolve. Validity is keyed on the artifact-slot
+    // generations the score mixes, so rebuilds invalidate implicitly.
+    mutable std::vector<double> seedMemo_;
+    mutable std::vector<u8> seedMemoSet_;
+    mutable u64 memoSupersetGen_ = 0;
+    mutable u64 memoFlowGen_ = 0;
+    mutable u64 memoScorerGen_ = 0;
+    mutable bool memoDefUse_ = false;
+
+    // Reused DFS stack for commitCodeFrom.
+    std::vector<Offset> workScratch_;
+
+    // Live count of set isStart bits (see setStart/clearStart).
+    u64 startCount_ = 0;
 };
 
 } // namespace accdis

@@ -300,7 +300,7 @@ ResolvePass::refineGapChain(AnalysisContext &ctx, Offset g0,
                     ctx.state[b] = AnalysisContext::kCode;
                     ctx.owner[b] = id;
                 }
-                ctx.isStart[o] = true;
+                ctx.setStart(o);
                 commit.starts.push_back(o);
                 commit.ranges.emplace_back(o, end);
                 // Calls out of a residually committed chain are weak
@@ -359,7 +359,7 @@ ResolvePass::refineGapGreedy(AnalysisContext &ctx, Offset g0,
                     ctx.state[b] = AnalysisContext::kCode;
                     ctx.owner[b] = id;
                 }
-                ctx.isStart[cursor] = true;
+                ctx.setStart(cursor);
                 commit.starts.push_back(cursor);
                 commit.ranges.emplace_back(cursor, end);
                 cursor = end;

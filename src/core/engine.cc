@@ -88,7 +88,9 @@ DisassemblyEngine::analyzeSectionWith(
         // to exactly these bytes.
         ctx.superset.emplace(*options.warmSuperset);
     }
-    passes_.run(ctx, config_.passTimes);
+    passes_.run(ctx, config_.passTimes, config_.passHook);
+    if (config_.hotPathStats != nullptr)
+        config_.hotPathStats->notePeakScratch(ctx.arena.peakBytes());
     Classification result = ctx.finish();
     if (options.explainOut != nullptr)
         *options.explainOut = captureExplain(ctx);

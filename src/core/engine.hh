@@ -36,6 +36,7 @@
 #include "core/result.hh"
 #include "image/binary_image.hh"
 #include "prob/ngram.hh"
+#include "support/hotpath.hh"
 
 namespace accdis
 {
@@ -95,6 +96,30 @@ struct EngineConfig
      * explain entry points enable it for their own run regardless.
      */
     bool recordProvenance = false;
+
+    /**
+     * Route the hot passes through the flat-layout fast paths: the
+     * prescan-table superset decode, the SoA successor/predecessor
+     * flow propagation, and the seed-score memo. Outputs are
+     * byte-identical to the legacy paths (locked by the pass-granular
+     * equivalence harness); the toggle exists so the harness can run
+     * both and so regressions can be bisected. Excluded from
+     * engineConfigFingerprint precisely because results never differ.
+     */
+    bool acceleratedHotPath = true;
+
+    /**
+     * Optional hot-path counter sink (fast-path decode fraction, peak
+     * arena scratch); nullptr disables. Shared across threads; an
+     * observer like passTimes, excluded from the config fingerprint.
+     */
+    HotPathStats *hotPathStats = nullptr;
+
+    /**
+     * Observability hook run after every enabled pass (see
+     * PassManager::run). Observer; excluded from the fingerprint.
+     */
+    const PassHook *passHook = nullptr;
 };
 
 /**

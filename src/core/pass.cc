@@ -182,7 +182,8 @@ PassManager::schedule() const
 }
 
 void
-PassManager::run(AnalysisContext &ctx, PassTimes *times) const
+PassManager::run(AnalysisContext &ctx, PassTimes *times,
+                 const PassHook *hook) const
 {
     for (const EvidencePass *pass : schedule()) {
         if (!enabled(pass->name()))
@@ -191,6 +192,8 @@ PassManager::run(AnalysisContext &ctx, PassTimes *times) const
         pass->run(ctx);
         if (times)
             times->add(pass->name(), nowNanos() - start);
+        if (hook && *hook)
+            (*hook)(pass->name(), ctx);
     }
 }
 

@@ -15,6 +15,7 @@
 #ifndef ACCDIS_CORE_PASS_HH
 #define ACCDIS_CORE_PASS_HH
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,6 +27,14 @@ namespace accdis
 {
 
 class AnalysisContext;
+
+/**
+ * Observer invoked after each enabled pass finishes (outside its
+ * timed interval): (pass name, the context it just mutated). Used by
+ * the pass-granular equivalence harness to serialize intermediate
+ * artifacts; hooks must not mutate the context.
+ */
+using PassHook = std::function<void(const char *, AnalysisContext &)>;
 
 /** One schedulable, individually timed unit of section analysis. */
 class EvidencePass
@@ -121,9 +130,11 @@ class PassManager
 
     /**
      * Run every enabled pass over @p ctx in schedule() order, timing
-     * each into @p times (nullptr disables timing).
+     * each into @p times (nullptr disables timing) and invoking
+     * @p hook after each pass, outside the timed interval.
      */
-    void run(AnalysisContext &ctx, PassTimes *times = nullptr) const;
+    void run(AnalysisContext &ctx, PassTimes *times = nullptr,
+             const PassHook *hook = nullptr) const;
 
   private:
     struct Registered

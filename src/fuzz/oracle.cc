@@ -14,6 +14,7 @@
 #include "pipeline/batch.hh"
 #include "superset/superset.hh"
 #include "x86/decoder.hh"
+#include "x86/prescan.hh"
 
 namespace accdis::fuzz
 {
@@ -137,6 +138,66 @@ checkDecodeStability(ByteSpan bytes, const std::string &secName,
                                  ": slice re-decode disagrees (length " +
                                  std::to_string(again.length) + " vs " +
                                  std::to_string(full.length) + ")");
+        }
+    }
+}
+
+/**
+ * The length/facet prescan may only be incomplete (defer), never
+ * wrong: every non-defer table answer over the mutant's bytes must
+ * reproduce the full decoder's facets exactly, including the
+ * lookup-time rel32/SIB patches.
+ */
+void
+checkPrescan(ByteSpan bytes, const std::string &secName,
+             Collector &collector)
+{
+    const x86::PrescanEntry *table = x86::prescanTableData();
+    for (Offset off = 0; off < bytes.size(); ++off) {
+        const x86::PrescanEntry *entry =
+            x86::prescanLookup(table, bytes, off);
+        if (entry == nullptr)
+            continue; // Deferred: the decoder is authoritative.
+        x86::Instruction full = x86::decode(bytes, off);
+        std::ostringstream at;
+        at << secName << "+0x" << std::hex << off;
+        const bool valid =
+            entry->state != x86::PrescanEntry::kInvalid;
+        if (valid != full.valid()) {
+            collector.report("prescan-consistency", "validity",
+                             at.str() + ": prescan valid=" +
+                                 std::to_string(valid) +
+                                 " decoder valid=" +
+                                 std::to_string(full.valid()));
+            continue;
+        }
+        if (!full.valid())
+            continue;
+        u8 length = entry->length;
+        u16 regsReadLow = entry->regsReadLow;
+        if (entry->state == x86::PrescanEntry::kValidSib)
+            x86::prescanApplySib(*entry, bytes, off, length,
+                                 regsReadLow);
+        const x86::RegMask regsRead =
+            regsReadLow |
+            (x86::RegMask{entry->regsHigh} & 0x7) << 16;
+        bool sameTarget =
+            entry->hasTarget() == full.hasTarget &&
+            (!full.hasTarget ||
+             static_cast<s64>(off) +
+                     x86::prescanTargetRel(*entry, bytes, off) ==
+                 full.target);
+        if (length != full.length || entry->op != full.op ||
+            entry->flow != full.flow ||
+            entry->flags() != full.flags ||
+            regsRead != full.regsRead ||
+            entry->regsWritten() != full.regsWritten || !sameTarget) {
+            collector.report(
+                "prescan-consistency", "facets",
+                at.str() + ": prescan length " +
+                    std::to_string(length) + " vs decoder " +
+                    std::to_string(full.length) +
+                    " (or facet mismatch)");
         }
     }
 }
@@ -401,6 +462,7 @@ runOracles(const Mutant &mutant, const OracleOptions &options)
 
     // --- Decoder / superset invariants (no engine involved) ---------
     checkDecodeStability(bytes, text->name(), collector);
+    checkPrescan(bytes, text->name(), collector);
     checkSuperset(bytes, mutant.truth, text->name(),
                   /*checkSoundness=*/true, collector);
 

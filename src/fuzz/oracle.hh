@@ -11,6 +11,10 @@
  *    identically from a slice of exactly its own bytes (the decoder
  *    never reads past the length it reports), lengths stay in
  *    [1, 15], and no decode overruns the section;
+ *  - prescan-consistency: every non-defer answer of the batched
+ *    length/facet prescan (with its lookup-time rel32/SIB patches
+ *    applied) equals the full decoder's answer — the prescan may be
+ *    incomplete, never wrong;
  *  - superset-consistency: every SupersetNode facet equals the full
  *    decoder's answer at that offset;
  *  - superset-soundness: every maintained ground-truth instruction

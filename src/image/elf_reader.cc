@@ -114,8 +114,9 @@ rangeErrorCode(u64 off, u64 size)
  */
 bool
 loadFromSections(const ByteReader &reader, const ElfHeader &hdr,
-                 const LoadOptions &options, BinaryImage &image,
-                 LoadReport &report, bool &loadFailed)
+                 const LoadOptions &options, const SectionOwner &owner,
+                 BinaryImage &image, LoadReport &report,
+                 bool &loadFailed)
 {
     if (hdr.shoff == 0 || hdr.shnum == 0)
         return false;
@@ -212,9 +213,8 @@ loadFromSections(const ByteReader &reader, const ElfHeader &hdr,
         }
         if (payload.empty())
             continue;
-        image.addSection(Section(std::move(name), addr,
-                                 ByteVec(payload.begin(), payload.end()),
-                                 sflags));
+        image.addSection(Section::fromPayload(std::move(name), addr,
+                                              payload, sflags, owner));
         ++report.sectionsLoaded;
         loadedAny = true;
     }
@@ -225,7 +225,8 @@ loadFromSections(const ByteReader &reader, const ElfHeader &hdr,
  *  as loadFromSections. */
 bool
 loadFromProgramHeaders(const ByteReader &reader, const ElfHeader &hdr,
-                       const LoadOptions &options, BinaryImage &image,
+                       const LoadOptions &options,
+                       const SectionOwner &owner, BinaryImage &image,
                        LoadReport &report, bool &loadFailed)
 {
     if (hdr.phoff == 0 || hdr.phnum == 0)
@@ -305,10 +306,9 @@ loadFromProgramHeaders(const ByteReader &reader, const ElfHeader &hdr,
         }
         if (payload.empty())
             continue;
-        image.addSection(Section("load" + std::to_string(index++),
-                                 vaddr,
-                                 ByteVec(payload.begin(), payload.end()),
-                                 sflags));
+        image.addSection(
+            Section::fromPayload("load" + std::to_string(index++),
+                                 vaddr, payload, sflags, owner));
         ++report.sectionsLoaded;
         loadedAny = true;
     }
@@ -326,7 +326,7 @@ isElf(ByteSpan bytes)
 
 LoadResult
 readElfReport(ByteSpan bytes, const std::string &name,
-              const LoadOptions &options)
+              const LoadOptions &options, const SectionOwner &owner)
 {
     LoadResult result;
     result.report.name = name;
@@ -339,11 +339,12 @@ readElfReport(ByteSpan bytes, const std::string &name,
 
     BinaryImage image(name);
     bool loadFailed = false;
-    bool loaded = loadFromSections(reader, hdr, options, image,
+    bool loaded = loadFromSections(reader, hdr, options, owner, image,
                                    result.report, loadFailed);
     if (!loaded && !loadFailed)
-        loaded = loadFromProgramHeaders(reader, hdr, options, image,
-                                        result.report, loadFailed);
+        loaded = loadFromProgramHeaders(reader, hdr, options, owner,
+                                        image, result.report,
+                                        loadFailed);
     if (loadFailed)
         return result;
     if (!loaded) {

@@ -29,10 +29,13 @@ bool isElf(ByteSpan bytes);
  * rejected as overflowing-header instead of wrapping into
  * out-of-bounds reads. With options.salvage, malformed section-table
  * entries are dropped and truncated payloads clamped instead of
- * failing the load.
+ * failing the load. A non-null @p owner marks @p bytes as storage it
+ * keeps alive; section payloads then alias the file bytes zero-copy
+ * instead of being copied.
  */
 LoadResult readElfReport(ByteSpan bytes, const std::string &name,
-                         const LoadOptions &options = {});
+                         const LoadOptions &options = {},
+                         const SectionOwner &owner = {});
 
 /**
  * Parse an ELF64 little-endian image from memory.

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "image/elf_reader.hh"
+#include "image/mmap_file.hh"
 #include "image/pe_reader.hh"
 
 namespace accdis
@@ -22,13 +23,13 @@ detectFormat(ByteSpan bytes)
 
 LoadResult
 loadBinary(ByteSpan bytes, const std::string &name,
-           const LoadOptions &options)
+           const LoadOptions &options, const SectionOwner &owner)
 {
     switch (detectFormat(bytes)) {
     case BinaryFormat::Elf:
-        return readElfReport(bytes, name, options);
+        return readElfReport(bytes, name, options, owner);
     case BinaryFormat::Pe:
-        return readPeReport(bytes, name, options);
+        return readPeReport(bytes, name, options, owner);
     case BinaryFormat::Unknown:
         break;
     }
@@ -42,6 +43,21 @@ loadBinary(ByteSpan bytes, const std::string &name,
 LoadResult
 loadBinaryFile(const std::string &path, const LoadOptions &options)
 {
+    // Zero-copy fast path: map the file and alias section payloads
+    // into the mapping. Unmappable files (missing, empty, non-regular,
+    // or a filesystem without mmap) fall through to the read path,
+    // which reports any I/O problem itself — the two paths produce
+    // identical LoadResults for every input both can load.
+    if (options.mmapLoad) {
+        if (std::optional<MappedFile> mapped = MappedFile::open(path)) {
+            auto holder =
+                std::make_shared<MappedFile>(std::move(*mapped));
+            ByteSpan bytes = holder->span();
+            return loadBinary(bytes, path, options,
+                              SectionOwner(holder, bytes.data()));
+        }
+    }
+
     std::unique_ptr<std::FILE, int (*)(std::FILE *)>
         file(std::fopen(path.c_str(), "rb"), &std::fclose);
     auto ioFail = [&path](const std::string &detail) {
@@ -58,12 +74,17 @@ loadBinaryFile(const std::string &path, const LoadOptions &options)
     if (size < 0)
         return ioFail("cannot stat " + path);
     std::fseek(file.get(), 0, SEEK_SET);
-    ByteVec bytes(static_cast<std::size_t>(size));
+    // Share the read buffer with the image so section payloads alias
+    // it instead of being copied a second time.
+    auto buffer =
+        std::make_shared<ByteVec>(static_cast<std::size_t>(size));
     if (size > 0 &&
-        std::fread(bytes.data(), 1, bytes.size(), file.get()) !=
-            bytes.size())
+        std::fread(buffer->data(), 1, buffer->size(), file.get()) !=
+            buffer->size())
         return ioFail("short read on " + path);
-    return loadBinary(bytes, path, options);
+    ByteSpan bytes(*buffer);
+    return loadBinary(bytes, path, options,
+                      SectionOwner(buffer, buffer->data()));
 }
 
 } // namespace accdis

@@ -21,6 +21,7 @@
 
 #include "image/binary_image.hh"
 #include "image/load_report.hh"
+#include "image/section.hh"
 #include "support/types.hh"
 
 namespace accdis
@@ -39,6 +40,15 @@ struct LoadOptions
      * fails the load.
      */
     bool salvage = false;
+
+    /**
+     * Map files instead of reading them: loadBinaryFile() mmaps the
+     * input and section payloads alias the mapping zero-copy. Files
+     * that cannot be mapped (empty, non-regular, unsupported
+     * filesystem) silently fall back to the read path with identical
+     * results — the flag changes memory traffic, never outcomes.
+     */
+    bool mmapLoad = true;
 };
 
 /** A loaded (or rejected) binary plus its diagnostics. */
@@ -67,9 +77,15 @@ BinaryFormat detectFormat(ByteSpan bytes);
  * Parse @p bytes as whatever format its magic announces. Never
  * throws on malformed input: a failed load comes back as
  * !result.ok() with a taxonomized report.
+ *
+ * With a non-null @p owner, @p bytes is storage @p owner keeps alive
+ * (an mmap'd file, a shared read buffer) and section payloads alias
+ * it zero-copy; without one they are copied, so @p bytes need not
+ * outlive the image.
  */
 LoadResult loadBinary(ByteSpan bytes, const std::string &name,
-                      const LoadOptions &options = {});
+                      const LoadOptions &options = {},
+                      const SectionOwner &owner = {});
 
 /**
  * Read @p path and loadBinary() it. I/O problems come back as

@@ -1,0 +1,49 @@
+#include "image/mmap_file.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace accdis
+{
+
+std::optional<MappedFile>
+MappedFile::open(const std::string &path)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return std::nullopt;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) ||
+        st.st_size <= 0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void *data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (data == MAP_FAILED)
+        return std::nullopt;
+    return MappedFile(data, size);
+#else
+    (void)path;
+    return std::nullopt;
+#endif
+}
+
+void
+MappedFile::unmap()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    if (data_)
+        ::munmap(data_, size_);
+#endif
+    data_ = nullptr;
+    size_ = 0;
+}
+
+} // namespace accdis

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * RAII read-only memory mapping of a regular file.
+ *
+ * The batch pipeline used to fread() every input into a ByteVec and
+ * then copy each section payload out of that buffer — two copies of
+ * every byte before analysis even starts. MappedFile maps the file
+ * once (PROT_READ, MAP_PRIVATE) and the loader aliases section
+ * payloads straight into the mapping, so loading becomes zero-copy:
+ * the kernel pages bytes in on first touch by the superset scan.
+ * Files that cannot be mapped (empty, non-regular, or a filesystem
+ * without mmap support) simply fail open() and the caller falls back
+ * to the read path with identical observable results.
+ */
+
+#ifndef ACCDIS_IMAGE_MMAP_FILE_HH
+#define ACCDIS_IMAGE_MMAP_FILE_HH
+
+#include <optional>
+#include <string>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** A read-only, privately mapped view of one regular file. */
+class MappedFile
+{
+  public:
+    /**
+     * Map @p path read-only. nullopt when the file cannot be opened,
+     * stat'ed or mapped — including empty files (a zero-length mmap
+     * is invalid) and non-regular files. Never throws.
+     */
+    static std::optional<MappedFile> open(const std::string &path);
+
+    MappedFile(MappedFile &&other) noexcept
+        : data_(other.data_), size_(other.size_)
+    {
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+
+    MappedFile &
+    operator=(MappedFile &&other) noexcept
+    {
+        if (this != &other) {
+            unmap();
+            data_ = other.data_;
+            size_ = other.size_;
+            other.data_ = nullptr;
+            other.size_ = 0;
+        }
+        return *this;
+    }
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    ~MappedFile() { unmap(); }
+
+    /** The mapped bytes; valid for the lifetime of this object. */
+    ByteSpan
+    span() const
+    {
+        return ByteSpan(static_cast<const u8 *>(data_), size_);
+    }
+
+  private:
+    MappedFile(void *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    void unmap();
+
+    void *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_IMAGE_MMAP_FILE_HH

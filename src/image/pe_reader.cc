@@ -32,7 +32,7 @@ isPe(ByteSpan bytes)
 
 LoadResult
 readPeReport(ByteSpan bytes, const std::string &name,
-             const LoadOptions &options)
+             const LoadOptions &options, const SectionOwner &owner)
 {
     LoadResult result;
     LoadReport &report = result.report;
@@ -154,9 +154,9 @@ readPeReport(ByteSpan bytes, const std::string &name,
         }
         if (payload.empty())
             continue;
-        image.addSection(Section(std::move(secName), imageBase + rva,
-                                 ByteVec(payload.begin(), payload.end()),
-                                 flags));
+        image.addSection(Section::fromPayload(std::move(secName),
+                                              imageBase + rva, payload,
+                                              flags, owner));
         ++report.sectionsLoaded;
     }
     if (image.sections().empty()) {

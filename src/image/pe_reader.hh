@@ -29,10 +29,13 @@ bool isPe(ByteSpan bytes);
  * the bounds check instead of wrapping. With options.salvage, a
  * truncated section table is clamped to the entries that fit and
  * malformed section payloads are dropped or clamped instead of
- * failing the load.
+ * failing the load. A non-null @p owner marks @p bytes as storage it
+ * keeps alive; section payloads then alias the file bytes zero-copy
+ * instead of being copied.
  */
 LoadResult readPeReport(ByteSpan bytes, const std::string &name,
-                        const LoadOptions &options = {});
+                        const LoadOptions &options = {},
+                        const SectionOwner &owner = {});
 
 /**
  * Parse a PE32+ x86-64 image from memory. Loads every section with

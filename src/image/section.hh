@@ -6,6 +6,7 @@
 #ifndef ACCDIS_IMAGE_SECTION_HH
 #define ACCDIS_IMAGE_SECTION_HH
 
+#include <memory>
 #include <string>
 
 #include "support/serialize.hh"
@@ -13,6 +14,14 @@
 
 namespace accdis
 {
+
+/**
+ * Keep-alive handle for section payloads that alias caller-owned
+ * storage (an mmap'd file, a shared read buffer) instead of owning a
+ * copy. The pointee is never dereferenced — only its lifetime
+ * matters — so any aliasing shared_ptr works.
+ */
+using SectionOwner = std::shared_ptr<const void>;
 
 /** Access permissions of a section, as relevant to disassembly. */
 struct SectionFlags
@@ -35,6 +44,35 @@ class Section
           flags_(flags)
     {}
 
+    /**
+     * Aliasing mode: the payload is @p view into storage kept alive by
+     * @p owner (an mmap'd file or shared buffer) — no copy is made.
+     * @pre owner != nullptr and @p view points into storage it keeps
+     * alive.
+     */
+    Section(std::string name, Addr base, ByteSpan view,
+            SectionOwner owner, SectionFlags flags)
+        : name_(std::move(name)), base_(base), view_(view),
+          owner_(std::move(owner)), flags_(flags)
+    {}
+
+    /**
+     * Build a section over @p payload: aliasing (zero-copy) when
+     * @p owner is non-null, owning a copy otherwise. The readers use
+     * this so one construction site serves both the mmap and the
+     * from-memory paths.
+     */
+    static Section
+    fromPayload(std::string name, Addr base, ByteSpan payload,
+                SectionFlags flags, const SectionOwner &owner)
+    {
+        if (owner)
+            return Section(std::move(name), base, payload, owner,
+                           flags);
+        return Section(std::move(name), base,
+                       ByteVec(payload.begin(), payload.end()), flags);
+    }
+
     /** Section name, e.g. ".text". */
     const std::string &name() const { return name_; }
 
@@ -42,10 +80,14 @@ class Section
     Addr base() const { return base_; }
 
     /** Section payload. */
-    ByteSpan bytes() const { return bytes_; }
+    ByteSpan
+    bytes() const
+    {
+        return owner_ ? view_ : ByteSpan(bytes_);
+    }
 
     /** Number of payload bytes. */
-    u64 size() const { return bytes_.size(); }
+    u64 size() const { return bytes().size(); }
 
     /** Permission flags. */
     const SectionFlags &flags() const { return flags_; }
@@ -77,7 +119,7 @@ class Section
     contentKey() const
     {
         Hasher hasher;
-        hasher.add(ByteSpan(bytes_));
+        hasher.add(bytes());
         hasher.add(base_);
         hasher.add(static_cast<u8>(flags_.executable));
         hasher.add(static_cast<u8>(flags_.writable));
@@ -88,7 +130,12 @@ class Section
   private:
     std::string name_;
     Addr base_;
+    /** Owned payload storage (owner_ == nullptr). */
     ByteVec bytes_;
+    /** Aliased payload view (owner_ != nullptr); points into the
+     *  storage owner_ keeps alive, so copies and moves stay valid. */
+    ByteSpan view_;
+    SectionOwner owner_;
     SectionFlags flags_;
 };
 

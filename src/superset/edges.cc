@@ -1,0 +1,53 @@
+#include "superset/edges.hh"
+
+namespace accdis
+{
+
+SupersetEdges::SupersetEdges(const Superset &superset, Arena &arena)
+    : n_(superset.size())
+{
+    static_assert(kNone == Superset::kEdgeNone &&
+                      kEscape == Superset::kEdgeEscape &&
+                      kInvalid == Superset::kEdgeInvalid &&
+                      kEscapeCall == Superset::kEdgeEscapeCall,
+                  "successor encodings must agree");
+    // Accelerated superset builds derived the flat successor arrays
+    // during the fill (the facets were already in registers there);
+    // alias them instead of re-deriving from the packed nodes. The
+    // superset artifact outlives these edges — both live on the
+    // context, and invalidating the superset drops the edges with it.
+    if (!superset.ftSuccessors().empty()) {
+        ft_ = superset.ftSuccessors().data();
+        tgt_ = superset.tgtSuccessors().data();
+        return;
+    }
+    u32 *ft = arena.allocArray<u32>(n_);
+    u32 *tgt = arena.allocArray<u32>(n_);
+    for (Offset off = 0; off < n_; ++off) {
+        const SupersetNode &node = superset.node(off);
+        u32 f = kNone;
+        u32 t = kNone;
+        if (node.valid()) {
+            if (node.fallsThrough()) {
+                Offset next = off + node.length;
+                f = next < n_ ? static_cast<u32>(next) : kEscape;
+            }
+            if (node.hasDirectTarget()) {
+                s64 rel = static_cast<s64>(off) + node.targetRel;
+                t = (rel >= 0 && static_cast<u64>(rel) < n_)
+                        ? static_cast<u32>(rel)
+                    : node.flow == x86::CtrlFlow::Call
+                        ? kEscapeCall
+                        : kEscape;
+            }
+        } else {
+            f = kInvalid;
+        }
+        ft[off] = f;
+        tgt[off] = t;
+    }
+    ft_ = ft;
+    tgt_ = tgt;
+}
+
+} // namespace accdis

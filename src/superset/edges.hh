@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SoA successor storage over the superset graph.
+ *
+ * The flow fixpoint used to chase successors through SupersetNode
+ * accessors on every sweep, re-deriving fallthrough/target offsets
+ * from packed node fields up to 64 times per offset. SupersetEdges
+ * flattens the graph once into contiguous u32 arrays — per-offset
+ * fallthrough and direct-target successors — so propagation becomes
+ * linear scans over flat memory. Accelerated superset builds derive
+ * the arrays during the decode fill (the facets are already in
+ * registers there) and this class merely aliases them; otherwise the
+ * arrays are arena-allocated and die with the Arena.
+ */
+
+#ifndef ACCDIS_SUPERSET_EDGES_HH
+#define ACCDIS_SUPERSET_EDGES_HH
+
+#include "superset/superset.hh"
+#include "support/arena.hh"
+
+namespace accdis
+{
+
+/**
+ * Flat successor arrays over one Superset.
+ *
+ * An edge is *required* when execution from the source must be able
+ * to continue through it for the source to be code: the fallthrough
+ * successor of any falling-through node, and the in-section direct
+ * target of any direct branch/call. Both successors of a conditional
+ * are required — real code does not conditionally branch into
+ * garbage — so the arrays contain exactly the edges the mustFault
+ * propagation needs.
+ */
+class SupersetEdges
+{
+  public:
+    /** The node has no successor of this kind. */
+    static constexpr u32 kNone = 0xffffffff;
+    /** The successor of this kind leaves the section. */
+    static constexpr u32 kEscape = 0xfffffffe;
+    /** Fallthrough slot only: no instruction decodes here. */
+    static constexpr u32 kInvalid = 0xfffffffd;
+    /** Target slot only: escaping direct call (never fatal). */
+    static constexpr u32 kEscapeCall = 0xfffffffc;
+
+    /** Build the arrays for @p superset; memory comes from @p arena
+     *  and must not outlive it. */
+    SupersetEdges(const Superset &superset, Arena &arena);
+
+    std::size_t size() const { return n_; }
+
+    /** Fallthrough successor: offset, kEscape (runs off the section)
+     *  or kNone (the node is invalid or does not fall through). */
+    u32 fallthrough(Offset off) const { return ft_[off]; }
+
+    /** Direct-target successor: offset, kEscape or kNone. */
+    u32 target(Offset off) const { return tgt_[off]; }
+
+    /** Raw per-offset fallthrough array (size() entries) for linear
+     *  sweeps; same encoding as fallthrough(). */
+    const u32 *ftData() const { return ft_; }
+
+    /** Raw per-offset direct-target array. */
+    const u32 *tgtData() const { return tgt_; }
+
+  private:
+    std::size_t n_ = 0;
+    /** Successor arrays: aliased from the Superset when it carries
+     *  them (accelerated builds), arena-allocated otherwise. */
+    const u32 *ft_ = nullptr;
+    const u32 *tgt_ = nullptr;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPERSET_EDGES_HH

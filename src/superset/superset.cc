@@ -1,12 +1,65 @@
 #include "superset/superset.hh"
 
+#include <cstring>
 #include <utility>
 
 #include "support/error.hh"
 #include "x86/decoder.hh"
+#include "x86/prescan.hh"
 
 namespace accdis
 {
+
+namespace
+{
+
+/** Populate one node from a full decode. No-op on invalid decodes. */
+bool
+fillNode(SupersetNode &n, const x86::Instruction &insn, Offset off)
+{
+    if (!insn.valid())
+        return false;
+    n.length = insn.length;
+    n.opcodeByte = insn.opcodeByte;
+    n.op = insn.op;
+    n.flow = insn.flow;
+    n.setFlags(insn.flags);
+    n.setHasTarget(insn.hasTarget);
+    if (insn.hasTarget)
+        n.targetRel =
+            static_cast<s32>(insn.target - static_cast<s64>(off));
+    n.setRegsRead(insn.regsRead);
+    n.setRegsWritten(insn.regsWritten);
+    return true;
+}
+
+/**
+ * Populate one node from a prescan template entry. The entry's field
+ * layout mirrors the node byte for byte (register masks pre-split,
+ * hasTarget folded into the flag word; the entry's state byte lands
+ * on the node's reserved byte and is zeroed), so the common kValid
+ * case is a single 16-byte copy; kValidRel32 re-reads the rel32
+ * target and kValidSib patches the SIB byte's contribution.
+ */
+bool
+fillNode(SupersetNode &n, const x86::PrescanEntry &e, ByteSpan bytes,
+         Offset off)
+{
+    if (e.state == x86::PrescanEntry::kInvalid)
+        return false;
+    static_assert(sizeof(n) == sizeof(e));
+    std::memcpy(&n, &e, sizeof(n));
+    n.reserved = 0;
+    if (e.state == x86::PrescanEntry::kValidRel32)
+        n.targetRel =
+            static_cast<s32>(e.length) +
+            static_cast<s32>(readLe32(bytes, off + e.length - 4));
+    else if (e.state == x86::PrescanEntry::kValidSib)
+        x86::prescanApplySib(e, bytes, off, n.length, n.regsReadLow);
+    return true;
+}
+
+} // namespace
 
 Superset::Superset(ByteSpan bytes, std::vector<SupersetNode> nodes,
                    u64 validCount)
@@ -16,26 +69,71 @@ Superset::Superset(ByteSpan bytes, std::vector<SupersetNode> nodes,
         throw Error("superset: warm-start node count mismatch");
 }
 
-Superset::Superset(ByteSpan bytes) : bytes_(bytes)
+Superset::Superset(ByteSpan bytes) : Superset(bytes, false, nullptr) {}
+
+Superset::Superset(ByteSpan bytes, bool accelerated, HotPathStats *stats)
+    : bytes_(bytes)
 {
     nodes_.resize(bytes.size());
-    for (Offset off = 0; off < bytes.size(); ++off) {
-        x86::Instruction insn = x86::decode(bytes, off);
-        if (!insn.valid())
-            continue;
-        SupersetNode &n = nodes_[off];
-        n.length = insn.length;
-        n.opcodeByte = insn.opcodeByte;
-        n.op = insn.op;
-        n.flow = insn.flow;
-        n.setFlags(insn.flags);
-        n.setHasTarget(insn.hasTarget);
-        if (insn.hasTarget)
-            n.targetRel =
-                static_cast<s32>(insn.target - static_cast<s64>(off));
-        n.setRegsRead(insn.regsRead);
-        n.setRegsWritten(insn.regsWritten);
-        ++validCount_;
+    u64 fast = 0;
+    if (accelerated) {
+        const std::size_t n = bytes.size();
+        ftSucc_.resize(n);
+        tgtSucc_.resize(n);
+        // Hoist the table base: fetching it per byte re-checks the
+        // lazy-init guard 20M+ times per corpus run.
+        const x86::PrescanEntry *table = x86::prescanTableData();
+        // Keys are data-dependent and the tables exceed L2; issuing
+        // the probe a cache-latency's worth of bytes early turns a
+        // miss per byte into a hit per byte on the sequential scan.
+        constexpr Offset kPrefetchAhead = 24;
+        for (Offset off = 0; off < n; ++off) {
+            if (off + kPrefetchAhead + 2 < n)
+                __builtin_prefetch(
+                    x86::prescanEntryAddr(table, bytes,
+                                          off + kPrefetchAhead),
+                    0, 1);
+            const x86::PrescanEntry *e =
+                x86::prescanLookup(table, bytes, off);
+            if (e) {
+                ++fast;
+                if (fillNode(nodes_[off], *e, bytes, off))
+                    ++validCount_;
+            } else if (fillNode(nodes_[off], x86::decode(bytes, off),
+                                off)) {
+                ++validCount_;
+            }
+            // Derive the flat successors now, while the node is hot:
+            // SupersetEdges then skips its node re-scan entirely. The
+            // valid/falls/target mix varies byte to byte, so the
+            // selects are written as ternary chains (cmov) rather
+            // than branches.
+            const SupersetNode &node = nodes_[off];
+            const Offset next = off + node.length;
+            u32 ft = !node.valid()        ? kEdgeInvalid
+                     : !node.fallsThrough() ? kEdgeNone
+                     : next < n             ? static_cast<u32>(next)
+                                            : kEdgeEscape;
+            const s64 t = static_cast<s64>(off) + node.targetRel;
+            u32 tgt =
+                !node.hasDirectTarget() ? kEdgeNone
+                : t >= 0 && static_cast<u64>(t) < n
+                    ? static_cast<u32>(t)
+                : node.flow == x86::CtrlFlow::Call ? kEdgeEscapeCall
+                                                   : kEdgeEscape;
+            ftSucc_[off] = ft;
+            tgtSucc_[off] = tgt;
+        }
+    } else {
+        for (Offset off = 0; off < bytes.size(); ++off) {
+            if (fillNode(nodes_[off], x86::decode(bytes, off), off))
+                ++validCount_;
+        }
+    }
+    if (stats) {
+        stats->fastPathNodes.fetch_add(fast, std::memory_order_relaxed);
+        stats->totalNodes.fetch_add(bytes.size(),
+                                    std::memory_order_relaxed);
     }
 }
 

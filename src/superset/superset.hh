@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "support/hotpath.hh"
 #include "support/types.hh"
 #include "x86/instruction.hh"
 
@@ -139,6 +140,15 @@ class Superset
     explicit Superset(ByteSpan bytes);
 
     /**
+     * Decode every offset, optionally through the prescan fast path
+     * (x86/prescan.hh): offsets whose facets the template tables
+     * determine skip the full decoder. Output is byte-identical to the
+     * plain constructor — the prescan defers anything it cannot prove.
+     * @p stats (may be null) receives fast-path/total node counts.
+     */
+    Superset(ByteSpan bytes, bool accelerated, HotPathStats *stats);
+
+    /**
      * Rebind previously decoded nodes to @p bytes without re-decoding
      * (cache warm start). @p nodes must be the decode of exactly
      * these bytes — one node per byte offset; callers get that
@@ -211,12 +221,40 @@ class Superset
     /** The per-offset nodes, in offset order (serialization). */
     const std::vector<SupersetNode> &nodes() const { return nodes_; }
 
+    /** Successor encoding shared with SupersetEdges. The sentinels
+     *  are chosen so the flow seed is a pure function of the two
+     *  arrays: an offset is node-locally non-code exactly when its
+     *  fallthrough slot holds kEdgeInvalid/kEdgeEscape or its target
+     *  slot holds kEdgeEscape (escaping *calls* are routine and carry
+     *  their own sentinel). */
+    static constexpr u32 kEdgeNone = 0xffffffff;
+    static constexpr u32 kEdgeEscape = 0xfffffffe;
+    /** Fallthrough slot only: no instruction decodes at the offset. */
+    static constexpr u32 kEdgeInvalid = 0xfffffffd;
+    /** Target slot only: a direct call whose target leaves the
+     *  section (never fatal, unlike an escaping jump/branch). */
+    static constexpr u32 kEdgeEscapeCall = 0xfffffffc;
+
+    /**
+     * Flat per-offset fallthrough successors (offset, kEdgeEscape or
+     * kEdgeNone), filled by the accelerated constructor while the
+     * node facets are still in registers. Empty on legacy and
+     * warm-start builds — SupersetEdges re-derives from the nodes
+     * then.
+     */
+    const std::vector<u32> &ftSuccessors() const { return ftSucc_; }
+
+    /** Flat per-offset direct-target successors (same encoding). */
+    const std::vector<u32> &tgtSuccessors() const { return tgtSucc_; }
+
     /** Re-decode the full Instruction at @p off (on-demand detail). */
     x86::Instruction decodeFull(Offset off) const;
 
   private:
     ByteSpan bytes_;
     std::vector<SupersetNode> nodes_;
+    std::vector<u32> ftSucc_;
+    std::vector<u32> tgtSucc_;
     u64 validCount_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "superset/superset_pass.hh"
 
 #include "core/context.hh"
+#include "core/engine.hh"
 
 namespace accdis
 {
@@ -12,7 +13,8 @@ SupersetDecodePass::run(AnalysisContext &ctx) const
     // slot before the passes ran; the nodes are a pure function of
     // the bytes, so re-decoding would only reproduce them.
     if (!ctx.superset.present())
-        ctx.superset.emplace(ctx.bytes);
+        ctx.superset.emplace(ctx.bytes, ctx.config.acceleratedHotPath,
+                             ctx.config.hotPathStats);
     ctx.stats.supersetBytes =
         ctx.superset->size() * sizeof(SupersetNode);
 }

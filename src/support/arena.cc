@@ -1,0 +1,39 @@
+#include "support/arena.hh"
+
+namespace accdis
+{
+
+void *
+Arena::allocSlow(std::size_t size, std::size_t align)
+{
+    // Oversized (or over-aligned) requests get a dedicated block:
+    // threading them through the bump blocks would leave most of a
+    // block dead until reset, and block bases only guarantee
+    // max_align_t alignment.
+    if (size > blockSize_ / 2 || align > alignof(std::max_align_t)) {
+        Block b{std::make_unique<u8[]>(size + align), size + align};
+        u8 *raw = b.data.get();
+        auto addr = reinterpret_cast<std::uintptr_t>(raw);
+        std::size_t adjust = (align - addr % align) % align;
+        oversized_.push_back(std::move(b));
+        noteUsed(size);
+        return raw + adjust;
+    }
+
+    // Advance to the next retained block, appending a fresh one when
+    // the arena has not grown this far before.
+    if (block_ < blocks_.size())
+        ++block_;
+    if (block_ >= blocks_.size())
+        blocks_.push_back(
+            Block{std::make_unique<u8[]>(blockSize_), blockSize_});
+    cursor_ = 0;
+
+    std::size_t cur = (cursor_ + (align - 1)) & ~(align - 1);
+    void *p = blocks_[block_].data.get() + cur;
+    cursor_ = cur + size;
+    noteUsed(size);
+    return p;
+}
+
+} // namespace accdis

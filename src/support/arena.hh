@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Bump/arena allocator for per-pass scratch memory.
+ *
+ * The hot analysis passes (flow propagation, gap refinement, pattern
+ * scanning) used to allocate short-lived vectors and sets on the
+ * general heap once per work item. An Arena replaces that with pointer
+ * bumps into large retained blocks: allocation is a cursor increment,
+ * and reset() recycles every block for the next pass without returning
+ * memory to the OS. Arenas are single-owner objects — one per
+ * AnalysisContext — and are not thread-safe by design.
+ */
+
+#ifndef ACCDIS_SUPPORT_ARENA_HH
+#define ACCDIS_SUPPORT_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/**
+ * Region allocator with bump-pointer blocks, O(1) reset-and-reuse and
+ * a dedicated-block fallback for oversized requests.
+ *
+ * Lifetime contract: memory returned by alloc()/allocArray() stays
+ * valid until the next reset() (or destruction). Only trivially
+ * destructible types may be placed in an arena — reset() never runs
+ * destructors.
+ */
+class Arena
+{
+  public:
+    /** Default size of a normal block. */
+    static constexpr std::size_t kBlockSize = std::size_t{256} << 10;
+
+    explicit Arena(std::size_t blockSize = kBlockSize)
+        : blockSize_(blockSize)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p size bytes aligned to @p align (a power of two).
+     * Requests larger than half a block get their own dedicated block
+     * so they never poison the bump blocks' reuse.
+     */
+    void *
+    alloc(std::size_t size, std::size_t align = alignof(std::max_align_t))
+    {
+        std::size_t cur = (cursor_ + (align - 1)) & ~(align - 1);
+        if (align > alignof(std::max_align_t) ||
+            block_ >= blocks_.size() || cur + size > blocks_[block_].size)
+            return allocSlow(size, align);
+        void *p = blocks_[block_].data.get() + cur;
+        cursor_ = cur + size;
+        noteUsed(size);
+        return p;
+    }
+
+    /**
+     * Allocate an uninitialized array of @p count trivially
+     * destructible @p T. Callers initialize the elements themselves.
+     */
+    template <typename T>
+    T *
+    allocArray(std::size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is reclaimed without destructors");
+        return static_cast<T *>(alloc(count * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Rewind to empty, retaining every normal block for reuse and
+     * releasing dedicated oversized blocks back to the heap.
+     */
+    void
+    reset()
+    {
+        block_ = 0;
+        cursor_ = 0;
+        used_ = 0;
+        oversized_.clear();
+    }
+
+    /** Live bytes handed out since the last reset (excludes padding). */
+    std::size_t usedBytes() const { return used_; }
+
+    /** High-water mark of usedBytes() over the arena's lifetime. */
+    std::size_t peakBytes() const { return peak_; }
+
+    /** Total bytes currently reserved from the heap. */
+    std::size_t
+    reservedBytes() const
+    {
+        std::size_t total = 0;
+        for (const Block &b : blocks_)
+            total += b.size;
+        for (const Block &b : oversized_)
+            total += b.size;
+        return total;
+    }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<u8[]> data;
+        std::size_t size = 0;
+    };
+
+    void *allocSlow(std::size_t size, std::size_t align);
+
+    void
+    noteUsed(std::size_t size)
+    {
+        used_ += size;
+        if (used_ > peak_)
+            peak_ = used_;
+    }
+
+    std::size_t blockSize_;
+    std::vector<Block> blocks_;
+    std::vector<Block> oversized_;
+    std::size_t block_ = 0;  ///< Index of the active bump block.
+    std::size_t cursor_ = 0; ///< Bump offset within the active block.
+    std::size_t used_ = 0;
+    std::size_t peak_ = 0;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_ARENA_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A flat bit vector with direct word access. std::vector<bool> hides
+ * its words, which forces bit-at-a-time scans; the classification
+ * fold wants to walk set bits with ctz over whole 64-bit words.
+ */
+
+#ifndef ACCDIS_SUPPORT_BITSET_HH
+#define ACCDIS_SUPPORT_BITSET_HH
+
+#include <vector>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+/** Fixed-size bit vector backed by u64 words. */
+class Bitset
+{
+  public:
+    Bitset() = default;
+
+    /** Resize to @p n bits, all set to @p value. */
+    void
+    assign(std::size_t n, bool value)
+    {
+        size_ = n;
+        words_.assign((n + 63) / 64, value ? ~u64{0} : u64{0});
+        // Keep bits past size() clear so word scans need no tail mask.
+        if (value && (n & 63) != 0)
+            words_.back() = (u64{1} << (n & 63)) - 1;
+    }
+
+    bool
+    operator[](std::size_t i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void set(std::size_t i) { words_[i >> 6] |= u64{1} << (i & 63); }
+
+    void
+    clear(std::size_t i)
+    {
+        words_[i >> 6] &= ~(u64{1} << (i & 63));
+    }
+
+    /** Number of bits. */
+    std::size_t size() const { return size_; }
+
+    /** Backing words, low bit = lowest index; tail bits are clear. */
+    const std::vector<u64> &words() const { return words_; }
+
+  private:
+    std::size_t size_ = 0;
+    std::vector<u64> words_;
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_BITSET_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Observability counters for the accelerated hot path.
+ *
+ * A HotPathStats instance is an optional observer hung off
+ * EngineConfig: the superset build counts how many nodes the prescan
+ * fast path served, and the analysis context reports its arena's
+ * high-water mark. The counters are atomics because one engine config
+ * (and therefore one stats sink) is shared across BatchAnalyzer
+ * workers; they never feed back into analysis results.
+ */
+
+#ifndef ACCDIS_SUPPORT_HOTPATH_HH
+#define ACCDIS_SUPPORT_HOTPATH_HH
+
+#include <atomic>
+
+#include "support/types.hh"
+
+namespace accdis
+{
+
+struct HotPathStats
+{
+    /** Superset nodes filled from the prescan tables. */
+    std::atomic<u64> fastPathNodes{0};
+    /** Total superset nodes decoded (fast path + full decoder). */
+    std::atomic<u64> totalNodes{0};
+    /** High-water mark of per-context arena scratch, in bytes. */
+    std::atomic<u64> peakScratchBytes{0};
+
+    /** Raise peakScratchBytes to at least @p bytes. */
+    void
+    notePeakScratch(u64 bytes)
+    {
+        u64 cur = peakScratchBytes.load(std::memory_order_relaxed);
+        while (cur < bytes &&
+               !peakScratchBytes.compare_exchange_weak(
+                   cur, bytes, std::memory_order_relaxed))
+            ;
+    }
+
+    /** fastPathNodes / totalNodes, or 0 when nothing was decoded. */
+    double
+    fastPathFraction() const
+    {
+        u64 total = totalNodes.load(std::memory_order_relaxed);
+        if (total == 0)
+            return 0.0;
+        return static_cast<double>(
+                   fastPathNodes.load(std::memory_order_relaxed)) /
+               static_cast<double>(total);
+    }
+};
+
+} // namespace accdis
+
+#endif // ACCDIS_SUPPORT_HOTPATH_HH

@@ -54,6 +54,23 @@ class IntervalMap
     {
         if (begin >= end)
             return;
+        // Append fast path: classification folds emit their runs in
+        // ascending disjoint order, so the common insert lands past
+        // every stored interval — coalesce or emplace at the tail in
+        // O(1) instead of paying the general split/erase search.
+        if (map_.empty() ||
+            std::prev(map_.end())->second.end <= begin) {
+            if (!map_.empty()) {
+                auto last = std::prev(map_.end());
+                if (last->second.end == begin &&
+                    last->second.label == label) {
+                    last->second.end = end;
+                    return;
+                }
+            }
+            map_.emplace_hint(map_.end(), begin, Node{end, label});
+            return;
+        }
         // Find first interval that could overlap, possibly splitting it.
         auto it = map_.lower_bound(begin);
         if (it != map_.begin()) {

@@ -1,0 +1,266 @@
+#include "x86/prescan.hh"
+
+#include <vector>
+
+#include "x86/decoder.hh"
+#include "x86/opcode_table.hh"
+
+namespace accdis::x86
+{
+
+namespace
+{
+
+u8
+rexOfVariant(unsigned v)
+{
+    if (v == 0)
+        return 0;
+    unsigned v3 = v - 1;
+    return static_cast<u8>(0x40 | ((v3 & 4) << 1) | ((v3 & 2) << 1) |
+                           (v3 & 1));
+}
+
+bool
+isLegacyPrefix(u8 b)
+{
+    switch (b) {
+      case 0x26: case 0x2e: case 0x36: case 0x3e:
+      case 0x64: case 0x65: case 0x66: case 0x67:
+      case 0xf0: case 0xf2: case 0xf3:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+specHasModRm(const OpSpec &sp)
+{
+    return sp.enc == Enc::M || sp.enc == Enc::MI8 ||
+           sp.enc == Enc::MIz || sp.group >= 0;
+}
+
+/**
+ * True when the decode at this key can read a length-or-validity
+ * relevant byte beyond (rex, b0, b1) and must take the full decoder.
+ */
+bool
+deferKey(bool hasRex, u8 b0, u8 b1)
+{
+    if (isLegacyPrefix(b0))
+        return true; // Prefix chains restart the state machine.
+    if (b0 >= 0x40 && b0 <= 0x4f)
+        return true; // A (second) REX byte; effective REX is the last.
+    if (b0 == 0x62 || b0 == 0xc4 || b0 == 0xc5)
+        // VEX/EVEX validity and length depend on bytes past the key —
+        // except after REX, where the decoder rejects immediately, so
+        // those keys are cacheable invalids.
+        return !hasRex;
+    if (b0 == 0x0f) {
+        if (b1 == 0x38 || b1 == 0x3a)
+            return true; // Three-byte maps: opcode is outside the key.
+        return specHasModRm(twoByteMap()[b1]); // ModRM outside the key.
+    }
+    const OpSpec &sp = oneByteMap()[b0];
+    if (specHasModRm(sp)) {
+        // ModRM is b1: length is key-determined unless a SIB byte
+        // follows (memory form with rm == 4).
+        u8 mod = b1 >> 6;
+        u8 rm = b1 & 7;
+        if (mod != 3 && rm == 4)
+            return true;
+    }
+    return false;
+}
+
+/** One-byte-map memory form whose rm field announces a SIB byte. */
+bool
+isSibKey(u8 b0, u8 b1)
+{
+    if (isLegacyPrefix(b0) || (b0 >= 0x40 && b0 <= 0x4f) ||
+        b0 == 0x0f || b0 == 0x62 || b0 == 0xc4 || b0 == 0xc5)
+        return false;
+    const OpSpec &sp = oneByteMap()[b0];
+    return specHasModRm(sp) && (b1 >> 6) != 3 && (b1 & 7) == 4;
+}
+
+/**
+ * Build a kValidSib entry: the SIB byte only contributes the base and
+ * index address registers (and, under mod 0, whether a disp32
+ * follows), so the entry stores SIB-stripped facets and the lookup
+ * patches the real SIB's contribution back in (prescanApplySib).
+ *
+ * The strip is verified, not assumed: the key is decoded under two
+ * templates with different bases — 0x25 (index none, base 101: bare
+ * disp32 under mod 0, rbp/r13 under mod 1/2) and 0x26 (index none,
+ * base rsi/r14, no disp under mod 0) — and the entry is only cached
+ * when the two decodes agree exactly after removing each template's
+ * own base-register bit. Any key where the base collides with a
+ * genuine operand register (the strip would eat a real read) shows up
+ * as a mismatch between the two stripped decodes and defers.
+ */
+void
+buildSibEntry(PrescanEntry &e, u8 rex, u8 b0, u8 b1)
+{
+    const u8 rexB = rex & 1;
+    const u8 mod = b1 >> 6;
+    u8 buf[18] = {};
+    std::size_t i = 0;
+    if (rex)
+        buf[i++] = rex;
+    buf[i++] = b0;
+    buf[i++] = b1;
+    const std::size_t sibAt = i;
+    buf[sibAt] = 0x25;
+    Instruction a = decode(ByteSpan(buf, sizeof buf), 0);
+    buf[sibAt] = 0x26;
+    Instruction b = decode(ByteSpan(buf, sizeof buf), 0);
+    if (!a.valid() || !b.valid()) {
+        if (!a.valid() && !b.valid())
+            e.state = PrescanEntry::kInvalid;
+        return; // Validity depends on the SIB byte: defer.
+    }
+    if (a.hasTarget || b.hasTarget)
+        return; // No direct-target op takes a SIB; defer if one does.
+    if (a.op != b.op || a.flow != b.flow || a.flags != b.flags ||
+        a.opcodeByte != b.opcodeByte ||
+        a.regsWritten != b.regsWritten)
+        return;
+    const RegMask aBase = RegMask{1} << (5 | (rexB << 3));
+    const RegMask bBase = RegMask{1} << (6 | (rexB << 3));
+    RegMask aRead = a.regsRead;
+    RegMask bRead = b.regsRead;
+    if (mod == 0) {
+        // Template A is base-register-free (base 101 == disp32), so
+        // its decode already is the stripped form; B must match it
+        // after dropping its base and its missing disp32.
+        if (a.length != b.length + 4)
+            return;
+        if ((bRead & bBase) == 0)
+            return;
+        bRead &= ~bBase;
+    } else {
+        if (a.length != b.length)
+            return;
+        if ((aRead & aBase) == 0 || (bRead & bBase) == 0)
+            return;
+        aRead &= ~aBase;
+        bRead &= ~bBase;
+    }
+    if (aRead != bRead)
+        return;
+    e.length = a.length; // mod 0: the base==101 (disp32) length.
+    e.opcodeByte = a.opcodeByte;
+    e.op = a.op;
+    e.flow = a.flow;
+    e.packedFlags =
+        static_cast<u16>(a.flags & ~PrescanEntry::kHasTargetBit);
+    e.targetRel = 0;
+    e.regsReadLow = static_cast<u16>(aRead);
+    e.regsWrittenLow = static_cast<u16>(a.regsWritten);
+    e.regsHigh =
+        static_cast<u8>((aRead >> 16 & 0x7) |
+                        ((a.regsWritten >> 16 & 0x7) << 4));
+    e.state = PrescanEntry::kValidSib;
+}
+
+void
+buildEntry(PrescanEntry &e, u8 rex, u8 b0, u8 b1)
+{
+    if (isSibKey(b0, b1)) {
+        buildSibEntry(e, rex, b0, b1);
+        return;
+    }
+    if (deferKey(rex != 0, b0, b1))
+        return; // Stays kDefer.
+
+    // Decode the key on a zero-padded buffer long enough for the
+    // 15-byte instruction-length cap; trailing disp/imm bytes never
+    // affect the facets of an eligible key.
+    u8 buf[18] = {};
+    std::size_t i = 0;
+    if (rex)
+        buf[i++] = rex;
+    buf[i++] = b0;
+    buf[i++] = b1;
+    Instruction insn = decode(ByteSpan(buf, sizeof buf), 0);
+    if (!insn.valid()) {
+        // Eligible keys decode without reading validity-relevant bytes
+        // past the key, so an invalid here is invalid everywhere.
+        e.state = PrescanEntry::kInvalid;
+        return;
+    }
+    e.length = insn.length;
+    e.opcodeByte = insn.opcodeByte;
+    e.op = insn.op;
+    e.flow = insn.flow;
+    e.packedFlags =
+        static_cast<u16>(insn.flags & ~PrescanEntry::kHasTargetBit);
+    if (insn.hasTarget)
+        e.packedFlags |= PrescanEntry::kHasTargetBit;
+    e.targetRel =
+        insn.hasTarget ? static_cast<s32>(insn.target) : 0; // Offset 0.
+    e.regsReadLow = static_cast<u16>(insn.regsRead);
+    e.regsWrittenLow = static_cast<u16>(insn.regsWritten);
+    e.regsHigh =
+        static_cast<u8>((insn.regsRead >> 16 & 0x7) |
+                        ((insn.regsWritten >> 16 & 0x7) << 4));
+    if (insn.hasTarget) {
+        // Rel8 immediates sit inside the key (one-byte map, imm == b1)
+        // so the template target is final; every other direct-target
+        // form (E8/E9, 0F 8x, C7 F8 xbegin) carries a rel32 as its
+        // last four bytes, re-read at lookup time.
+        bool rel8 =
+            insn.opcodeMap == 0 && oneByteMap()[b0].enc == Enc::Rel8;
+        e.state = rel8 ? PrescanEntry::kValid : PrescanEntry::kValidRel32;
+    } else {
+        e.state = PrescanEntry::kValid;
+    }
+}
+
+struct Tables
+{
+    std::vector<PrescanEntry> entries;
+};
+
+Tables
+buildTables()
+{
+    Tables t;
+    t.entries.resize(kPrescanVariants * kPrescanKeys);
+    for (unsigned v = 0; v < kPrescanVariants; ++v) {
+        u8 rex = rexOfVariant(v);
+        for (std::size_t key = 0; key < kPrescanKeys; ++key) {
+            if (v == 0 && ((key >> 8) & 0xf0) == 0x40)
+                continue; // Unreachable: lookup routes REX to variants.
+            buildEntry(t.entries[v * kPrescanKeys + key], rex,
+                       static_cast<u8>(key >> 8),
+                       static_cast<u8>(key & 0xff));
+        }
+    }
+    return t;
+}
+
+const Tables &
+tables()
+{
+    static const Tables t = buildTables();
+    return t;
+}
+
+} // namespace
+
+const PrescanEntry *
+prescanTableData()
+{
+    return tables().entries.data();
+}
+
+void
+prescanWarm()
+{
+    (void)tables();
+}
+
+} // namespace accdis::x86

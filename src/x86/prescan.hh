@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Batched instruction-length/facet prescan for superset decode.
+ *
+ * Superset disassembly calls the full decoder once per section byte;
+ * at ~60ns per decode that dominates the engine's runtime. The prescan
+ * replaces the common case with a table lookup: for instructions whose
+ * length and analysis facets are fully determined by (optional REX,
+ * first two bytes) — the one-byte map with or without ModRM-register
+ * and non-SIB memory forms, and the ModRM-free 0F-map opcodes — a
+ * precomputed template entry supplies the SupersetNode facets
+ * directly. One-byte-map SIB memory forms are covered too: the SIB
+ * byte only contributes address registers (and mod-0 disp32
+ * presence), so their entries store SIB-stripped facets that the
+ * lookup patches from the real bytes (kValidSib). Everything else
+ * (legacy prefixes, VEX/EVEX, 0F-map ModRM forms, section tails)
+ * explicitly defers to the authoritative full decoder, so the prescan
+ * can never be wrong — only incomplete.
+ *
+ * The tables are built once per process by running the real decoder
+ * over every eligible (REX-variant, two-byte key) on a zero-padded
+ * synthetic buffer. Facets are a pure function of the consumed bytes,
+ * and for eligible keys every length-or-validity-relevant byte lies
+ * inside the key; trailing displacement/immediate bytes only shift
+ * disp/imm/target values, which the entry state accounts for (direct
+ * rel32 targets are re-read from the section at lookup time).
+ *
+ * Entries are hand-packed to 16 bytes — the tables are consulted once
+ * per section byte with data-dependent keys, so entry density (four
+ * per cache line) is what keeps the lookup from being one cache miss
+ * per byte. The field layout mirrors SupersetNode (register masks
+ * pre-split into 16-bit halves plus the shared high byte, hasTarget
+ * folded into the flag word's top bit) so the superset fill is a
+ * straight field copy.
+ */
+
+#ifndef ACCDIS_X86_PRESCAN_HH
+#define ACCDIS_X86_PRESCAN_HH
+
+#include "support/bytes.hh"
+#include "support/types.hh"
+#include "x86/instruction.hh"
+
+namespace accdis::x86
+{
+
+/** Facet template for one (REX-variant, two-byte) decode key. */
+struct PrescanEntry
+{
+    enum State : u8
+    {
+        kDefer = 0,   ///< Consult the full decoder.
+        kValid = 1,   ///< Facets below are exact.
+        kValidRel32 = 2, ///< Exact, but targetRel re-read at lookup.
+        kInvalid = 3, ///< No instruction decodes at this key.
+        /** Exact except for the SIB byte's contribution: callers must
+         *  apply prescanApplySib() to patch the length (mod==0 only)
+         *  and OR in the base/index address registers. */
+        kValidSib = 4,
+    };
+
+    u8 length = 0;
+    u8 opcodeByte = 0;
+    Op op = Op::Invalid;
+    CtrlFlow flow = CtrlFlow::None;
+    /** InsnFlag bits 0-14; bit 15 stores hasTarget. */
+    u16 packedFlags = 0;
+    /** regsRead bits 0-15. */
+    u16 regsReadLow = 0;
+    s32 targetRel = 0; ///< Branch target minus instruction offset.
+    /** regsWritten bits 0-15. */
+    u16 regsWrittenLow = 0;
+    /** regsRead bits 16-18 low nibble, regsWritten 16-18 high. */
+    u8 regsHigh = 0;
+    u8 state = kDefer;
+
+    static constexpr u16 kHasTargetBit = u16{1} << 15;
+
+    bool hasTarget() const { return packedFlags & kHasTargetBit; }
+
+    /** The decoder's InsnFlag word. */
+    u16 flags() const { return packedFlags & ~kHasTargetBit; }
+
+    RegMask
+    regsRead() const
+    {
+        return regsReadLow | (RegMask{regsHigh} & 0x7) << 16;
+    }
+
+    RegMask
+    regsWritten() const
+    {
+        return regsWrittenLow | (RegMask{regsHigh} >> 4 & 0x7) << 16;
+    }
+};
+
+static_assert(sizeof(PrescanEntry) == 16,
+              "PrescanEntry must stay 16 bytes: the tables are probed "
+              "once per section byte with data-dependent keys");
+
+/** 9 REX variants: 0 = none, 1..8 indexed by the W/R/B bits (REX.X
+ *  only affects the SIB index register, which kValidSib entries
+ *  derive from the real bytes at lookup time). */
+inline constexpr unsigned kPrescanVariants = 9;
+inline constexpr std::size_t kPrescanKeys = std::size_t{1} << 16;
+
+/** Variant index of REX byte @p rex (0x40..0x4f). */
+inline unsigned
+prescanVariantOf(u8 rex)
+{
+    return 1 + (((rex >> 1) & 6) | (rex & 1));
+}
+
+/**
+ * Base of the template tables (kPrescanVariants x kPrescanKeys
+ * entries, variant-major). The first call in a process builds them
+ * (~0.5M decoder invocations); prescanWarm() triggers that eagerly so
+ * the cost lands outside timed regions. Hoist the returned pointer
+ * out of per-byte loops.
+ */
+const PrescanEntry *prescanTableData();
+
+/** Build the template tables now (idempotent, thread-safe). */
+void prescanWarm();
+
+/**
+ * Look up the prescan entry for the decode at @p off against a hoisted
+ * @p table base (from prescanTableData()).
+ *
+ * Returns nullptr when the prescan defers (prefix bytes, VEX/EVEX,
+ * 0F ModRM forms, unverifiable SIB keys, or fewer than 15 readable
+ * bytes — the section tail always takes the full decoder). A non-null
+ * entry has state kValid, kValidRel32, kValidSib or kInvalid and its
+ * facets are exactly what the full decoder would produce; kValidRel32
+ * callers obtain the target via prescanTargetRel(), kValidSib callers
+ * must additionally apply prescanApplySib().
+ */
+/**
+ * Address of the table entry the decode at @p off keys to, ignoring
+ * the tail guard and the entry state. @pre off + 2 < bytes.size().
+ * Exposed so sequential scans can prefetch entries ahead of use — the
+ * tables are far larger than L2 and the keys are data-dependent, so
+ * an unprefetched probe is a cache miss per section byte.
+ */
+inline const PrescanEntry *
+prescanEntryAddr(const PrescanEntry *table, ByteSpan bytes, Offset off)
+{
+    // Select-based rather than branched: whether an offset starts
+    // with REX is data-dependent and mispredicts on real sections.
+    const u8 c0 = bytes[off];
+    const u8 b1 = bytes[off + 1];
+    const u8 b2 = bytes[off + 2];
+    const bool rex = (c0 & 0xf0) == 0x40;
+    const std::size_t variant =
+        rex ? 1 + (((c0 >> 1) & 6) | (c0 & 1)) : 0;
+    const std::size_t hi = rex ? b1 : c0;
+    const std::size_t lo = rex ? b2 : b1;
+    return &table[variant * kPrescanKeys + ((hi << 8) | lo)];
+}
+
+inline const PrescanEntry *
+prescanLookup(const PrescanEntry *table, ByteSpan bytes, Offset off)
+{
+    // Tail guard: with fewer than 15 readable bytes a cached length
+    // could run past the section while the real decoder would reject;
+    // the tail always takes the authoritative path.
+    if (off + 15 > bytes.size())
+        return nullptr;
+    const PrescanEntry *e = prescanEntryAddr(table, bytes, off);
+    return e->state == PrescanEntry::kDefer ? nullptr : e;
+}
+
+/** Convenience overload that fetches (and lazily builds) the table. */
+inline const PrescanEntry *
+prescanLookup(ByteSpan bytes, Offset off)
+{
+    return prescanLookup(prescanTableData(), bytes, off);
+}
+
+/**
+ * targetRel for an entry at @p off: the template value for kValid, or
+ * the rel32 immediate re-read from the instruction's last four bytes
+ * for kValidRel32. @pre the entry came from prescanLookup(bytes, off).
+ */
+inline s32
+prescanTargetRel(const PrescanEntry &entry, ByteSpan bytes, Offset off)
+{
+    if (entry.state != PrescanEntry::kValidRel32)
+        return entry.targetRel;
+    return static_cast<s32>(entry.length) +
+           static_cast<s32>(readLe32(bytes, off + entry.length - 4));
+}
+
+/**
+ * Patch a kValidSib entry's facets with the SIB byte's contribution:
+ * the template was built with a no-register SIB (mod 0) or a known
+ * strippable base (mod 1/2), so the adjustments are purely additive —
+ * mod 0 drops the template's disp32 unless base == 101, and the
+ * actual base/index registers (REX.B/REX.X applied from the real
+ * bytes; the table folds REX.X away) are ORed into the read mask.
+ * @pre the entry came from prescanLookup(bytes, off).
+ */
+inline void
+prescanApplySib(const PrescanEntry &entry, ByteSpan bytes, Offset off,
+                u8 &length, u16 &regsReadLow)
+{
+    const u8 c0 = bytes[off];
+    const bool hasRex = c0 >= 0x40 && c0 <= 0x4f;
+    const u8 rexB = hasRex ? (c0 & 1) : 0;
+    const u8 rexX = hasRex ? ((c0 >> 1) & 1) : 0;
+    const u8 mod =
+        static_cast<u8>(bytes[off + (hasRex ? 2 : 1)] >> 6);
+    const u8 sib = bytes[off + (hasRex ? 3 : 2)];
+    const u8 baseLow = sib & 7;
+    length = entry.length;
+    u16 extra = 0;
+    if (mod == 0) {
+        // Template SIB had base == 101: disp32, no base register.
+        if (baseLow != 5) {
+            length = static_cast<u8>(length - 4);
+            extra |= static_cast<u16>(
+                u16{1} << (baseLow | (rexB << 3)));
+        }
+    } else {
+        extra |=
+            static_cast<u16>(u16{1} << (baseLow | (rexB << 3)));
+    }
+    const u8 index =
+        static_cast<u8>(((sib >> 3) & 7) | (rexX << 3));
+    if (index != 4)
+        extra |= static_cast<u16>(u16{1} << index);
+    regsReadLow = entry.regsReadLow | extra;
+}
+
+} // namespace accdis::x86
+
+#endif // ACCDIS_X86_PRESCAN_HH

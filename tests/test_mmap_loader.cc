@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests of the zero-copy mmap loading path: mapped loads must be
+ * observably identical to read-path loads (same image bytes, same
+ * LoadReports) for every input, unmappable files must silently fall
+ * back to the read path, and aliased section payloads must stay
+ * valid after the original mapping handle and image are moved
+ * around.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "image/loader.hh"
+#include "image/mmap_file.hh"
+#include "image/writers.hh"
+#include "synth/corpus.hh"
+
+namespace accdis
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void
+writeFile(const std::string &path, ByteSpan bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!bytes.empty())
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+}
+
+ByteVec
+synthElfBytes(u64 seed)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(seed);
+    config.numFunctions = 3;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    return writeElf(bin.image);
+}
+
+/** Deep equality of two LoadReports. */
+void
+expectSameReport(const LoadReport &a, const LoadReport &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.format, b.format);
+    EXPECT_EQ(a.loaded, b.loaded);
+    EXPECT_EQ(a.salvaged, b.salvaged);
+    EXPECT_EQ(a.sectionsLoaded, b.sectionsLoaded);
+    EXPECT_EQ(a.sectionsDropped, b.sectionsDropped);
+    EXPECT_EQ(a.bytesClamped, b.bytesClamped);
+    ASSERT_EQ(a.issues.size(), b.issues.size());
+    for (std::size_t i = 0; i < a.issues.size(); ++i) {
+        EXPECT_EQ(a.issues[i].code, b.issues[i].code);
+        EXPECT_EQ(a.issues[i].detail, b.issues[i].detail);
+    }
+}
+
+/** Deep equality of two loaded images (sections and entry points). */
+void
+expectSameImage(const BinaryImage &a, const BinaryImage &b)
+{
+    EXPECT_EQ(a.entryPoints(), b.entryPoints());
+    ASSERT_EQ(a.sections().size(), b.sections().size());
+    for (std::size_t i = 0; i < a.sections().size(); ++i) {
+        const Section &sa = a.sections()[i];
+        const Section &sb = b.sections()[i];
+        EXPECT_EQ(sa.name(), sb.name());
+        EXPECT_EQ(sa.base(), sb.base());
+        EXPECT_EQ(sa.flags().executable, sb.flags().executable);
+        EXPECT_EQ(sa.flags().writable, sb.flags().writable);
+        ASSERT_EQ(sa.size(), sb.size());
+        EXPECT_TRUE(std::equal(sa.bytes().begin(), sa.bytes().end(),
+                               sb.bytes().begin()));
+        EXPECT_EQ(sa.contentKey(), sb.contentKey());
+    }
+}
+
+TEST(MappedFile, MapsRegularFilesAndRejectsTheRest)
+{
+    std::string path = tempPath("accdis_mmap_regular.bin");
+    ByteVec payload;
+    for (int i = 0; i < 5000; ++i)
+        payload.push_back(static_cast<u8>(i * 7));
+    writeFile(path, payload);
+
+    std::optional<MappedFile> mapped = MappedFile::open(path);
+    ASSERT_TRUE(mapped.has_value());
+    ASSERT_EQ(mapped->span().size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           mapped->span().begin()));
+
+    // Moving the handle keeps the mapping valid.
+    MappedFile moved = std::move(*mapped);
+    EXPECT_EQ(moved.span().size(), payload.size());
+    EXPECT_EQ(moved.span()[4999], payload[4999]);
+
+    // Missing files and empty files are unmappable (a zero-length
+    // mmap is invalid) — open() reports that as nullopt, never
+    // throws.
+    EXPECT_FALSE(
+        MappedFile::open(tempPath("accdis_mmap_missing.bin"))
+            .has_value());
+    std::string empty = tempPath("accdis_mmap_empty.bin");
+    writeFile(empty, ByteSpan{});
+    EXPECT_FALSE(MappedFile::open(empty).has_value());
+
+    std::remove(path.c_str());
+    std::remove(empty.c_str());
+}
+
+TEST(MmapLoader, MappedAndReadPathsAreIdentical)
+{
+    std::string path = tempPath("accdis_mmap_elf.bin");
+    ByteVec bytes = synthElfBytes(7);
+    writeFile(path, bytes);
+
+    LoadOptions mapped;
+    mapped.mmapLoad = true;
+    LoadOptions readPath;
+    readPath.mmapLoad = false;
+
+    LoadResult viaMap = loadBinaryFile(path, mapped);
+    LoadResult viaRead = loadBinaryFile(path, readPath);
+    ASSERT_TRUE(viaMap.ok());
+    ASSERT_TRUE(viaRead.ok());
+    expectSameReport(viaMap.report, viaRead.report);
+    expectSameImage(*viaMap.image, *viaRead.image);
+
+    std::remove(path.c_str());
+}
+
+TEST(MmapLoader, UnmappableFilesFallBackWithIdenticalReports)
+{
+    // Empty file: mmap refuses it, the read path loads zero bytes and
+    // reports BadMagic — both options must agree exactly.
+    std::string empty = tempPath("accdis_mmap_fallback_empty.bin");
+    writeFile(empty, ByteSpan{});
+    LoadOptions mapped;
+    mapped.mmapLoad = true;
+    LoadOptions readPath;
+    readPath.mmapLoad = false;
+
+    LoadResult viaMap = loadBinaryFile(empty, mapped);
+    LoadResult viaRead = loadBinaryFile(empty, readPath);
+    EXPECT_FALSE(viaMap.ok());
+    EXPECT_FALSE(viaRead.ok());
+    expectSameReport(viaMap.report, viaRead.report);
+    EXPECT_EQ(viaMap.report.primaryCode(), LoadErrorCode::BadMagic);
+
+    // Missing file: both paths produce the same Io report.
+    std::string missing = tempPath("accdis_mmap_fallback_missing.bin");
+    LoadResult mapMissing = loadBinaryFile(missing, mapped);
+    LoadResult readMissing = loadBinaryFile(missing, readPath);
+    EXPECT_FALSE(mapMissing.ok());
+    expectSameReport(mapMissing.report, readMissing.report);
+    EXPECT_EQ(mapMissing.report.primaryCode(), LoadErrorCode::Io);
+
+    std::remove(empty.c_str());
+}
+
+TEST(MmapLoader, AliasedSectionsSurviveImageMoves)
+{
+    std::string path = tempPath("accdis_mmap_moves.bin");
+    ByteVec bytes = synthElfBytes(11);
+    writeFile(path, bytes);
+
+    LoadResult result = loadBinaryFile(path);
+    ASSERT_TRUE(result.ok());
+    // Unlink the file while the mapping is live: POSIX keeps the
+    // pages, so the image must stay fully readable.
+    std::remove(path.c_str());
+
+    BinaryImage moved = std::move(*result.image);
+    result.image.reset();
+    ASSERT_FALSE(moved.sections().empty());
+    u64 checksum = 0;
+    for (const Section &sec : moved.sections()) {
+        for (u8 byte : sec.bytes())
+            checksum += byte;
+        EXPECT_EQ(sec.size(), sec.bytes().size());
+    }
+    EXPECT_GT(checksum, 0u);
+
+    // Copies of aliased sections share the mapping keep-alive.
+    Section copy = moved.sections().front();
+    BinaryImage dropped = std::move(moved);
+    ASSERT_EQ(copy.bytes().size(), copy.size());
+    EXPECT_EQ(copy.contentKey(),
+              dropped.sections().front().contentKey());
+}
+
+TEST(MmapLoader, SalvageModeIdenticalAcrossPaths)
+{
+    // Truncate a healthy ELF mid-payload: salvage mode clamps and
+    // itemizes identically on both paths.
+    ByteVec bytes = synthElfBytes(13);
+    ByteVec cut(bytes.begin(),
+                bytes.begin() + bytes.size() * 3 / 4);
+    std::string path = tempPath("accdis_mmap_salvage.bin");
+    writeFile(path, cut);
+
+    LoadOptions mapped;
+    mapped.salvage = true;
+    mapped.mmapLoad = true;
+    LoadOptions readPath;
+    readPath.salvage = true;
+    readPath.mmapLoad = false;
+
+    LoadResult viaMap = loadBinaryFile(path, mapped);
+    LoadResult viaRead = loadBinaryFile(path, readPath);
+    expectSameReport(viaMap.report, viaRead.report);
+    if (viaMap.ok() && viaRead.ok())
+        expectSameImage(*viaMap.image, *viaRead.image);
+    else
+        EXPECT_EQ(viaMap.ok(), viaRead.ok());
+
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace accdis

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Prescan-vs-decoder oracle: the length/facet prescan may only ever
+ * be *incomplete* (defer to the full decoder), never *wrong*.
+ *
+ * Three escalating sweeps pin that contract:
+ *
+ *  - every golden encoding (real glibc instructions with
+ *    objdump-verified lengths) run through the prescan agrees with
+ *    the decoder byte for byte, or defers;
+ *  - an exhaustive sweep of every (REX variant, two-byte key) the
+ *    tables hold, decoded over tails the table build never saw (the
+ *    build pads with zeros; the sweep uses varied non-zero tails), so
+ *    any entry whose facets are NOT a pure function of the key bytes
+ *    is caught;
+ *  - single-instruction buffers cut from synthetic corpus binaries at
+ *    ground-truth instruction starts, re-checked in isolation.
+ */
+
+#include <array>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "synth/corpus.hh"
+#include "x86/decoder.hh"
+#include "x86/prescan.hh"
+
+namespace accdis
+{
+namespace
+{
+
+struct GoldenEncoding
+{
+    std::vector<u8> bytes;
+    unsigned length;
+};
+
+const std::vector<GoldenEncoding> kGoldenEncodings = {
+#include "golden_encodings.inc"
+};
+
+/**
+ * Compare the prescan's answer at @p off against the full decoder.
+ * Returns true when the prescan deferred (which is always allowed).
+ * Any disagreement fails with @p what in the message.
+ */
+bool
+expectPrescanAgrees(ByteSpan bytes, Offset off, const std::string &what)
+{
+    const x86::PrescanEntry *entry = x86::prescanLookup(bytes, off);
+    if (entry == nullptr)
+        return true; // Explicit defer: the decoder is authoritative.
+
+    x86::Instruction full = x86::decode(bytes, off);
+    const bool valid = entry->state != x86::PrescanEntry::kInvalid;
+    EXPECT_EQ(valid, full.valid()) << what << ": validity disagrees";
+    if (!valid || !full.valid())
+        return false;
+
+    u8 length = entry->length;
+    u16 regsReadLow = entry->regsReadLow;
+    if (entry->state == x86::PrescanEntry::kValidSib)
+        x86::prescanApplySib(*entry, bytes, off, length, regsReadLow);
+    const x86::RegMask regsRead =
+        regsReadLow | (x86::RegMask{entry->regsHigh} & 0x7) << 16;
+
+    EXPECT_EQ(length, full.length) << what << ": length disagrees";
+    EXPECT_EQ(entry->op, full.op) << what;
+    EXPECT_EQ(entry->flow, full.flow) << what;
+    EXPECT_EQ(entry->flags(), full.flags) << what;
+    EXPECT_EQ(regsRead, full.regsRead) << what;
+    EXPECT_EQ(entry->regsWritten(), full.regsWritten) << what;
+    EXPECT_EQ(entry->hasTarget(), full.hasTarget) << what;
+    if (entry->hasTarget() && full.hasTarget) {
+        EXPECT_EQ(static_cast<s64>(off) +
+                      x86::prescanTargetRel(*entry, bytes, off),
+                  full.target)
+            << what << ": target disagrees";
+    }
+    return false;
+}
+
+TEST(PrescanOracle, GoldenEncodingsMatchOrDefer)
+{
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < kGoldenEncodings.size(); ++i) {
+        const GoldenEncoding &golden = kGoldenEncodings[i];
+        // Pad past the 15-byte tail guard so the prescan engages; the
+        // padding byte (nop) must not change the keyed decode.
+        ByteVec buf(golden.bytes);
+        buf.resize(buf.size() + 16, 0x90);
+        std::ostringstream what;
+        what << "golden[" << i << "]";
+        if (!expectPrescanAgrees(buf, 0, what.str()))
+            ++covered;
+        // When the prescan answered, its length must be the verified
+        // golden length (the decoder itself is golden-tested
+        // elsewhere; this pins the oracle end to end).
+        const x86::PrescanEntry *entry = x86::prescanLookup(buf, 0);
+        if (entry && entry->state != x86::PrescanEntry::kInvalid) {
+            u8 length = entry->length;
+            u16 regsReadLow = entry->regsReadLow;
+            if (entry->state == x86::PrescanEntry::kValidSib)
+                x86::prescanApplySib(*entry, buf, 0, length,
+                                     regsReadLow);
+            EXPECT_EQ(length, golden.length) << what.str();
+        }
+    }
+    // The prescan exists to cover the common case; if it suddenly
+    // deferred on most real-world encodings something broke.
+    EXPECT_GT(covered, kGoldenEncodings.size() / 2);
+}
+
+TEST(PrescanOracle, ExhaustiveKeySweepOverUnseenTails)
+{
+    // Two tails the table build never used (it pads with zeros):
+    // a patterned non-zero tail and a second one that exercises
+    // different SIB/disp bytes. Every non-defer entry must reproduce
+    // the decoder exactly over both.
+    const std::array<std::array<u8, 16>, 2> tails = {{
+        {0x5a, 0xa5, 0x3c, 0xc3, 0x11, 0x88, 0x44, 0x22, 0x5a, 0xa5,
+         0x3c, 0xc3, 0x11, 0x88, 0x44, 0x22},
+        {0x8d, 0x04, 0xcd, 0x7f, 0x01, 0xfe, 0x80, 0x40, 0x8d, 0x04,
+         0xcd, 0x7f, 0x01, 0xfe, 0x80, 0x40},
+    }};
+    u64 checked = 0;
+    for (unsigned variant = 0; variant < x86::kPrescanVariants;
+         ++variant) {
+        const u8 rex =
+            variant == 0
+                ? 0
+                : static_cast<u8>(0x40 |
+                                  (((variant - 1) & 6) << 1) |
+                                  ((variant - 1) & 1));
+        for (u32 key = 0; key < x86::kPrescanKeys; ++key) {
+            for (const auto &tail : tails) {
+                ByteVec buf;
+                if (rex)
+                    buf.push_back(rex);
+                buf.push_back(static_cast<u8>(key >> 8));
+                buf.push_back(static_cast<u8>(key & 0xff));
+                buf.insert(buf.end(), tail.begin(), tail.end());
+                if (!expectPrescanAgrees(buf, 0, "")) {
+                    ++checked;
+                    if (::testing::Test::HasFailure()) {
+                        FAIL()
+                            << "variant " << variant << " key 0x"
+                            << std::hex << key << " rex 0x"
+                            << static_cast<unsigned>(rex);
+                    }
+                }
+            }
+        }
+    }
+    // The tables must actually answer for a large share of the key
+    // space (one-byte map + ModRM-free 0F opcodes).
+    EXPECT_GT(checked, u64{100000});
+}
+
+TEST(PrescanOracle, SynthSingleInstructionBuffers)
+{
+    // Cut every ground-truth instruction out of a few synthetic
+    // binaries into its own buffer: the prescan must agree with the
+    // decoder both in section context and in isolation.
+    synth::CorpusConfig (*presets[])(u64) = {
+        synth::gccLikePreset,
+        synth::msvcLikePreset,
+        synth::adversarialPreset,
+    };
+    for (u64 seed = 1; seed <= 6; ++seed) {
+        synth::CorpusConfig config = presets[seed % 3](seed);
+        config.numFunctions = 8;
+        synth::SynthBinary bin = synth::buildSynthBinary(config);
+        const Section *text = nullptr;
+        for (const Section &sec : bin.image.sections()) {
+            if (sec.flags().executable) {
+                text = &sec;
+                break;
+            }
+        }
+        ASSERT_NE(text, nullptr);
+        ByteSpan bytes = text->bytes();
+        for (Offset start : bin.truth.insnStarts()) {
+            ASSERT_LT(start, bytes.size());
+            std::ostringstream what;
+            what << "seed " << seed << " start 0x" << std::hex
+                 << start;
+            expectPrescanAgrees(bytes, start, what.str() + " (in "
+                                                          "section)");
+            x86::Instruction full = x86::decode(bytes, start);
+            ASSERT_TRUE(full.valid()) << what.str();
+            ByteVec buf(bytes.begin() + start,
+                        bytes.begin() + start + full.length);
+            buf.resize(buf.size() + 16, 0xcc);
+            expectPrescanAgrees(buf, 0,
+                                what.str() + " (isolated)");
+            if (::testing::Test::HasFailure())
+                FAIL() << what.str();
+        }
+    }
+}
+
+} // namespace
+} // namespace accdis
