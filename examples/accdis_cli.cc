@@ -6,12 +6,16 @@
  *
  * Usage:
  *   accdis_cli <binary>... [--json] [--functions] [--max-insns N]
- *              [--jobs N] [--metrics-out FILE] [--explain ADDR]
- *              [--cache-dir DIR] [--cache-verify] [--salvage]
- *              [--load-report] [--version]
+ *              [--jobs N] [--mode x64|x86] [--metrics-out FILE]
+ *              [--explain ADDR] [--cache-dir DIR] [--cache-verify]
+ *              [--salvage] [--load-report] [--version]
  *
  * Several binaries and/or --jobs > 1 route the analysis through the
  * parallel batch pipeline; output is byte-identical to a serial run.
+ * Each input analyzes under the decode mode its container headers
+ * declare (ELF64/PE32+ -> x86-64, ELF32/PE32 -> x86-32), so a batch
+ * may mix both freely; --mode only sets the default engine mode for
+ * inputs that do not declare one.
  * Loading is fault-isolated per input: a corrupt or unreadable file
  * becomes a per-item error record (and a non-zero exit code) while
  * every healthy input is still analyzed. --salvage recovers the
@@ -136,7 +140,11 @@ explainAddress(const std::vector<LoadResult> &loads, Addr target,
                 if (section.containsVaddr(entry))
                     entries.push_back(section.toOffset(entry));
             }
-            DisassemblyEngine engine(engineConfig);
+            // The image's container decided its decode mode; explain
+            // under that mode, not the CLI-wide default.
+            EngineConfig modeConfig = engineConfig;
+            modeConfig.mode = image.mode();
+            DisassemblyEngine engine(modeConfig);
             const Offset off = section.toOffset(target);
             std::string chain;
             bool fromCache = false;
@@ -145,7 +153,8 @@ explainAddress(const std::vector<LoadResult> &loads, Addr target,
                 const CacheKey key = makeCacheKey(
                     section.contentKey(), entries, section.base(),
                     auxRegionsOf(image), engine);
-                auto cached = loadCachedExplain(store, key);
+                auto cached =
+                    loadCachedExplain(store, key, image.mode());
                 if (cached) {
                     chain = renderExplain(*cached, off);
                     fromCache = true;
@@ -185,7 +194,7 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: %s <binary>... [--json] [--functions] "
-                     "[--max-insns N] [--jobs N] "
+                     "[--max-insns N] [--jobs N] [--mode x64|x86] "
                      "[--metrics-out FILE] [--explain ADDR] "
                      "[--cache-dir DIR] [--cache-verify] "
                      "[--salvage] [--load-report] [--version]\n",
@@ -202,6 +211,7 @@ main(int argc, char **argv)
     std::string cacheDir;
     bool cacheVerify = false;
     bool salvage = false, loadReport = false;
+    x86::DecodeMode mode = x86::DecodeMode::X64;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--version")) {
             // The identity triple of every cache entry: the build
@@ -225,6 +235,16 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
             jobs = static_cast<unsigned>(
                 std::max(0, std::atoi(argv[++i])));
+        else if (!std::strcmp(argv[i], "--mode") && i + 1 < argc) {
+            ++i;
+            if (!x86::decodeModeFromName(argv[i], mode)) {
+                std::fprintf(stderr,
+                             "error: unknown decode mode '%s' "
+                             "(expected x64 or x86)\n",
+                             argv[i]);
+                return 2;
+            }
+        }
         else if (!std::strcmp(argv[i], "--metrics-out") &&
                  i + 1 < argc)
             metricsOut = argv[++i];
@@ -266,6 +286,7 @@ main(int argc, char **argv)
 
         pipeline::BatchConfig batchConfig;
         batchConfig.jobs = jobs;
+        batchConfig.engine.mode = mode;
         batchConfig.engine.flow.escapingBranchIsFatal = false;
         batchConfig.cacheDir = cacheDir;
         batchConfig.cacheVerify = cacheVerify;
@@ -309,7 +330,7 @@ main(int argc, char **argv)
                     continue;
                 const Section &section = *sectionPtr;
                 Classification &result = sr.result;
-                Superset superset(section.bytes());
+                Superset superset(section.bytes(), image.mode());
                 auto functions = recoverFunctions(superset, result,
                                                   section.base());
 
@@ -343,8 +364,8 @@ main(int argc, char **argv)
                 for (Offset off : result.insnStarts) {
                     if (shown++ >= maxInsns)
                         break;
-                    x86::Instruction insn =
-                        x86::decode(section.bytes(), off);
+                    x86::Instruction insn = x86::decode(
+                        section.bytes(), off, image.mode());
                     std::printf("  %8llx: %s\n",
                                 static_cast<unsigned long long>(
                                     section.vaddr(off)),

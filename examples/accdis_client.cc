@@ -100,7 +100,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s --socket PATH analyze [--by-path] [--salvage]\n"
-        "          [--explain ADDR] [--deadline-ms N] FILE...\n"
+        "          [--mode x64|x86] [--explain ADDR]\n"
+        "          [--deadline-ms N] FILE...\n"
         "       %s --socket PATH stats | ping | shutdown [--now]\n",
         argv0, argv0);
 }
@@ -138,6 +139,14 @@ main(int argc, char **argv)
                 std::strtoull(value(), nullptr, 0);
         } else if (arg == "--deadline-ms")
             options.deadlineMs = std::strtoull(value(), nullptr, 0);
+        else if (arg == "--mode") {
+            if (!x86::decodeModeFromName(value(), options.mode)) {
+                std::fprintf(stderr,
+                             "error: unknown decode mode (expected "
+                             "x64 or x86)\n");
+                return 2;
+            }
+        }
         else if (arg == "--now")
             shutdownNow = true;
         else if (command.empty() && arg[0] != '-')

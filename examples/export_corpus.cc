@@ -1,21 +1,25 @@
 /**
  * @file
- * Export the synthetic corpus as real on-disk binaries (ELF64 and
- * PE32+) so external tools — objdump, IDA, Ghidra, ddisasm — can be
- * evaluated on inputs with known byte-exact ground truth. The ground
- * truth is written alongside as a simple text format.
+ * Export the synthetic corpus as real on-disk binaries (ELF64/PE32+
+ * for the default x86-64 corpus, ELF32/PE32 with --mode x86) so
+ * external tools — objdump, IDA, Ghidra, ddisasm — can be evaluated
+ * on inputs with known byte-exact ground truth. The ground truth is
+ * written alongside as a simple text format.
  *
  * Usage: ./build/examples/export_corpus [out-dir] [seed]
+ *            [--mode x64|x86]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "image/writers.hh"
 #include "support/error.hh"
 #include "synth/corpus.hh"
+#include "x86/mode.hh"
 
 namespace
 {
@@ -54,8 +58,25 @@ int
 main(int argc, char **argv)
 {
     using namespace accdis;
-    std::string outDir = argc > 1 ? argv[1] : "/tmp/accdis-corpus";
-    u64 seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 1;
+    std::string outDir = "/tmp/accdis-corpus";
+    u64 seed = 1;
+    x86::DecodeMode mode = x86::DecodeMode::X64;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--mode") && i + 1 < argc) {
+            if (!x86::decodeModeFromName(argv[++i], mode)) {
+                std::fprintf(stderr,
+                             "error: unknown decode mode "
+                             "(expected x64 or x86)\n");
+                return 1;
+            }
+        } else if (positional == 0) {
+            outDir = argv[i];
+            ++positional;
+        } else {
+            seed = std::strtoull(argv[i], nullptr, 0);
+        }
+    }
 
     std::string mkdir = "mkdir -p " + outDir;
     if (std::system(mkdir.c_str()) != 0) {
@@ -68,8 +89,11 @@ main(int argc, char **argv)
                             synth::adversarialPreset}) {
             synth::CorpusConfig config = preset(seed);
             config.numFunctions = 96;
+            config.mode = mode;
             synth::SynthBinary bin = synth::buildSynthBinary(config);
             std::string stem = outDir + "/" + bin.image.name();
+            if (mode == x86::DecodeMode::X86)
+                stem += "-x86";
             writeFileBytes(stem + ".elf", writeElf(bin.image));
             writeFileBytes(stem + ".exe", writePe(bin.image));
             writeTruth(stem + ".truth", bin);

@@ -7,8 +7,8 @@
  * batch pipeline, or ground-truth generator.
  *
  * Usage:
- *   fuzz_engine [--runs N] [--seed S] [--jobs N] [--minimize]
- *               [--corpus-dir DIR] [--known-gaps DIR]
+ *   fuzz_engine [--mode x64|x86] [--runs N] [--seed S] [--jobs N]
+ *               [--minimize] [--corpus-dir DIR] [--known-gaps DIR]
  *               [--max-mutations N] [--functions LO:HI]
  *               [--no-batch] [--no-baselines] [--no-cache]
  *   fuzz_engine --image-mode [--runs N] [--seed S] [--jobs N]
@@ -52,11 +52,11 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--image-mode] [--runs N] [--seed S] "
-                 "[--jobs N] [--minimize] [--corpus-dir DIR] "
-                 "[--known-gaps DIR] [--max-mutations N] "
-                 "[--functions LO:HI] [--no-batch] [--no-baselines] "
-                 "[--no-cache]\n",
+                 "usage: %s [--image-mode] [--mode x64|x86] [--runs N] "
+                 "[--seed S] [--jobs N] [--minimize] "
+                 "[--corpus-dir DIR] [--known-gaps DIR] "
+                 "[--max-mutations N] [--functions LO:HI] "
+                 "[--no-batch] [--no-baselines] [--no-cache]\n",
                  argv0);
     return 2;
 }
@@ -158,6 +158,12 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--image-mode")) {
             imageMode = true;
+        } else if (!std::strcmp(argv[i], "--mode") && i + 1 < argc) {
+            if (!x86::decodeModeFromName(argv[++i], config.mode)) {
+                std::fprintf(stderr, "error: unknown decode mode "
+                                     "(expected x64 or x86)\n");
+                return usage(argv[0]);
+            }
         } else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc) {
             config.runs = std::strtoull(argv[++i], nullptr, 0);
         } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
@@ -222,9 +228,10 @@ main(int argc, char **argv)
                             static_cast<unsigned long long>(
                                 gap.spec.corpusSeed));
         }
-        std::printf("fuzzing: %llu runs, seed %llu, %u jobs, up to %d "
-                    "mutations per run\n",
+        std::printf("fuzzing: %llu %s runs, seed %llu, %u jobs, up to "
+                    "%d mutations per run\n",
                     static_cast<unsigned long long>(config.runs),
+                    x86::decodeModeName(config.mode),
                     static_cast<unsigned long long>(config.seed),
                     config.jobs, config.maxMutations);
         fuzz::FuzzRunner runner(config);

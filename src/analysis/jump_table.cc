@@ -49,8 +49,10 @@ findJumpTables(const Superset &superset, JumpTableConfig config)
     ByteSpan bytes = superset.bytes();
     const std::size_t n = superset.size();
 
-    // First pass: collect every RIP-relative lea and the base it
-    // materializes. The bases double as walk terminators: compilers
+    // First pass: collect every base-materializing instruction
+    // (RIP-relative lea in x64, absolute mov r32|imm32 in x86-32)
+    // and the base it names. The bases double as walk terminators:
+    // compilers
     // pool switch tables back to back, so the entries of one table
     // must not be parsed as a continuation of its neighbor.
     std::vector<std::pair<Offset, Offset>> candidates; // (lea, base)
@@ -62,11 +64,22 @@ findJumpTables(const Superset &superset, JumpTableConfig config)
         if (!superset.validAt(off))
             continue;
         const SupersetNode &node = superset.node(off);
-        if (node.op != x86::Op::Lea ||
-            !(node.flags() & x86::kFlagRipRelative))
-            continue;
-        x86::Instruction lea = superset.decodeFull(off);
-        s64 base = static_cast<s64>(lea.end()) + lea.disp;
+        s64 base;
+        if (config.mode == x86::DecodeMode::X86) {
+            // 32-bit base materialization: mov r32, imm32 (b8+r)
+            // carrying the table's absolute virtual address.
+            if (node.op != x86::Op::Mov || node.length != 5 ||
+                bytes[off] < 0xb8 || bytes[off] > 0xbf)
+                continue;
+            x86::Instruction mov = superset.decodeFull(off);
+            base = mov.imm - static_cast<s64>(config.sectionBase);
+        } else {
+            if (node.op != x86::Op::Lea ||
+                !(node.flags() & x86::kFlagRipRelative))
+                continue;
+            x86::Instruction lea = superset.decodeFull(off);
+            base = static_cast<s64>(lea.end()) + lea.disp;
+        }
         if (base >= 0 && static_cast<u64>(base) + 4 <= n) {
             candidates.emplace_back(off, static_cast<Offset>(base));
             bases.insert(static_cast<Offset>(base));

@@ -19,7 +19,8 @@ namespace accdis
 /** One recovered jump table. */
 struct JumpTable
 {
-    /** Offset of the lea that materializes the table base. */
+    /** Offset of the instruction materializing the table base (a
+     *  RIP-relative lea in x64, a mov r32|imm32 in x86-32). */
     Offset dispatchOff = 0;
     /** First byte of the table (section-relative; meaningless when
      *  external is true — see tableVaddr). */
@@ -72,6 +73,14 @@ struct JumpTableConfig
     bool requireBackwardTargets = true;
     /** Section base address (for absolute 8-byte tables). */
     Addr sectionBase = 0;
+    /**
+     * Decode mode of the section. Selects the base-materialization
+     * idiom searched for: x64 dispatch anchors tables with a
+     * RIP-relative lea; x86-32 has no RIP-relative addressing, so the
+     * table base arrives as an absolute `mov r32, imm32`. Both layouts
+     * store base-relative s32 deltas, so the entry walk is shared.
+     */
+    x86::DecodeMode mode = x86::DecodeMode::X64;
 };
 
 /**

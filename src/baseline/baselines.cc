@@ -78,7 +78,7 @@ LinearSweep::analyzeSection(ByteSpan bytes,
 
     Offset off = 0;
     while (off < bytes.size()) {
-        x86::Instruction insn = x86::decode(bytes, off);
+        x86::Instruction insn = x86::decode(bytes, off, mode_);
         if (!insn.valid()) {
             // objdump prints the byte as data and resumes at the next
             // offset.
@@ -100,7 +100,7 @@ RecursiveTraversal::analyzeSection(
 {
     (void)sectionBase;
     (void)aux;
-    Superset superset(bytes);
+    Superset superset(bytes, mode_);
     std::vector<bool> isCode(bytes.size(), false);
     std::vector<bool> isStart(bytes.size(), false);
 
@@ -134,9 +134,10 @@ ProbDisasm::analyzeSection(ByteSpan bytes,
 {
     (void)sectionBase;
     (void)aux;
-    Superset superset(bytes);
-    const ProbModel &model =
-        config_.model ? *config_.model : defaultProbModel();
+    Superset superset(bytes, config_.mode);
+    const ProbModel &model = config_.model
+                                 ? *config_.model
+                                 : defaultProbModel(config_.mode);
     LikelihoodScorer scorer(model, superset);
 
     const std::size_t n = bytes.size();

@@ -53,11 +53,18 @@ class Disassembler
 class LinearSweep : public Disassembler
 {
   public:
+    explicit LinearSweep(x86::DecodeMode mode = x86::DecodeMode::X64)
+        : mode_(mode)
+    {}
+
     std::string name() const override { return "linear-sweep"; }
     Classification analyzeSection(
         ByteSpan bytes, const std::vector<Offset> &entries,
         Addr sectionBase,
         const std::vector<AuxRegion> &auxRegions = {}) const override;
+
+  private:
+    x86::DecodeMode mode_;
 };
 
 /**
@@ -69,11 +76,19 @@ class LinearSweep : public Disassembler
 class RecursiveTraversal : public Disassembler
 {
   public:
+    explicit RecursiveTraversal(
+        x86::DecodeMode mode = x86::DecodeMode::X64)
+        : mode_(mode)
+    {}
+
     std::string name() const override { return "recursive"; }
     Classification analyzeSection(
         ByteSpan bytes, const std::vector<Offset> &entries,
         Addr sectionBase,
         const std::vector<AuxRegion> &auxRegions = {}) const override;
+
+  private:
+    x86::DecodeMode mode_;
 };
 
 /** Configuration for the probabilistic baseline. */
@@ -84,6 +99,8 @@ struct ProbDisasmConfig
     /** Hint propagation sweeps. */
     int iterations = 4;
     const ProbModel *model = nullptr; ///< nullptr = default model.
+    /** Decode mode; selects the default model when model is null. */
+    x86::DecodeMode mode = x86::DecodeMode::X64;
 };
 
 /**

@@ -6,16 +6,18 @@ namespace accdis
 namespace
 {
 
-/** Superset entries ignore the config/inputs axes and the pass
- *  registry (the superset is a pure function of the bytes and the
- *  decoder, which the schema-bump contract covers): key on content
- *  plus the bare schema version so every config and pass-toggle
- *  variant shares one entry. */
+/** Superset entries ignore the inputs axis and the pass registry
+ *  (the superset is a pure function of the bytes and the decoder,
+ *  which the schema-bump contract covers), but NOT the decode mode:
+ *  the same bytes decode differently per mode, so the mode is the
+ *  one config axis a superset entry keys on. Every other config and
+ *  pass-toggle variant of a mode shares one entry. */
 CacheKey
-supersetKey(const CacheKey &key)
+supersetKey(const CacheKey &key, x86::DecodeMode mode)
 {
     CacheKey out;
     out.content = key.content;
+    out.config = Hasher().add(static_cast<u8>(mode)).digest();
     out.schema = static_cast<u64>(kSchemaVersion);
     return out;
 }
@@ -79,16 +81,22 @@ storeCachedResult(ResultCache &cache, const CacheKey &key,
 }
 
 std::optional<ExplainArtifact>
-loadCachedExplain(const ResultCache &cache, const CacheKey &key)
+loadCachedExplain(const ResultCache &cache, const CacheKey &key,
+                  x86::DecodeMode mode)
 {
     auto payload = cache.load(key, ResultCache::Kind::Explain);
     if (!payload)
         return std::nullopt;
     try {
         Decoder dec{ByteSpan(*payload)};
-        ExplainArtifact explain = decodeExplain(dec);
+        ExplainArtifact explain = decodeExplain(dec, mode);
         dec.expectEnd();
         return explain;
+    } catch (const ModeMismatchError &) {
+        // Never serve a wrong-mode provenance chain, and never bury
+        // the mismatch as a quiet miss: the key includes the mode, so
+        // landing here means a key bug or hostile cache content.
+        throw;
     } catch (const SerializeError &) {
         return std::nullopt;
     }
@@ -105,17 +113,21 @@ storeCachedExplain(ResultCache &cache, const CacheKey &key,
 
 std::optional<Superset>
 loadCachedSuperset(const ResultCache &cache, const CacheKey &key,
-                   ByteSpan bytes)
+                   ByteSpan bytes, x86::DecodeMode mode)
 {
-    auto payload = cache.load(supersetKey(key),
+    auto payload = cache.load(supersetKey(key, mode),
                               ResultCache::Kind::Superset);
     if (!payload)
         return std::nullopt;
     try {
         Decoder dec{ByteSpan(*payload)};
-        Superset superset = decodeSuperset(dec, bytes);
+        Superset superset = decodeSuperset(dec, bytes, mode);
         dec.expectEnd();
         return superset;
+    } catch (const ModeMismatchError &) {
+        // A warm start in the wrong mode would poison every
+        // downstream pass; refuse loudly (see loadCachedExplain).
+        throw;
     } catch (const SerializeError &) {
         return std::nullopt;
     }
@@ -127,8 +139,8 @@ storeCachedSuperset(ResultCache &cache, const CacheKey &key,
 {
     Encoder enc;
     encodeSuperset(enc, superset);
-    cache.store(supersetKey(key), ResultCache::Kind::Superset,
-                enc.take());
+    cache.store(supersetKey(key, superset.mode()),
+                ResultCache::Kind::Superset, enc.take());
 }
 
 } // namespace accdis

@@ -13,10 +13,11 @@
  *    own entry under the same four axes so `--explain` can answer
  *    from the cache without re-analysis while ordinary hits never pay
  *    for the (much larger) ledger.
- *  - Superset — the decode nodes alone. Keyed on content and schema
- *    only (the superset is a pure function of the bytes), so it warm-
- *    starts re-analysis even after a config or ablation change
- *    invalidated the result entry.
+ *  - Superset — the decode nodes alone. Keyed on content, schema and
+ *    the decode mode (the superset is a pure function of the bytes
+ *    AND the mode), so it warm-starts re-analysis even after an
+ *    ablation change invalidated the result entry, while x86-64 and
+ *    x86-32 analyses of identical bytes never share an entry.
  */
 
 #ifndef ACCDIS_CACHE_ANALYSIS_CACHE_HH
@@ -59,24 +60,32 @@ void storeCachedResult(ResultCache &cache, const CacheKey &key,
                        const Classification &result);
 
 /** Load the Explain entry for @p key; nullopt when the result was
- *  analyzed without provenance recording (or evicted). */
+ *  analyzed without provenance recording (or evicted). @throws
+ *  ModeMismatchError when the entry was produced under a decode mode
+ *  other than @p mode. */
 std::optional<ExplainArtifact>
-loadCachedExplain(const ResultCache &cache, const CacheKey &key);
+loadCachedExplain(const ResultCache &cache, const CacheKey &key,
+                  x86::DecodeMode mode = x86::DecodeMode::X64);
 
 /** Store @p explain as its own entry under @p key. */
 void storeCachedExplain(ResultCache &cache, const CacheKey &key,
                         const ExplainArtifact &explain);
 
 /**
- * Load the Superset entry matching @p key's content/schema axes and
- * rebind it to @p bytes; nullopt on miss/corruption. The config and
- * inputs axes are ignored by construction — see file comment.
+ * Load the Superset entry for @p key's content/schema axes and
+ * @p mode, rebound to @p bytes; nullopt on miss/corruption. The
+ * inputs axis is ignored by construction, and the config axis
+ * reduces to the decode mode — the only configuration the pure
+ * decode depends on (see file comment). @throws ModeMismatchError
+ * when a stored artifact's recorded mode disagrees with @p mode.
  */
-std::optional<Superset> loadCachedSuperset(const ResultCache &cache,
-                                           const CacheKey &key,
-                                           ByteSpan bytes);
+std::optional<Superset>
+loadCachedSuperset(const ResultCache &cache, const CacheKey &key,
+                   ByteSpan bytes,
+                   x86::DecodeMode mode = x86::DecodeMode::X64);
 
-/** Store @p superset under @p key's content/schema axes. */
+/** Store @p superset under @p key's content/schema axes and the
+ *  superset's own decode mode. */
 void storeCachedSuperset(ResultCache &cache, const CacheKey &key,
                          const Superset &superset);
 

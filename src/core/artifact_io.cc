@@ -10,6 +10,33 @@
 namespace accdis
 {
 
+namespace
+{
+
+/** Read a serialized mode byte and insist it matches @p want. */
+x86::DecodeMode
+decodeArtifactMode(Decoder &dec, x86::DecodeMode want)
+{
+    const u8 raw = dec.pod<u8>();
+    if (raw > static_cast<u8>(x86::DecodeMode::X86))
+        throw SerializeError("serialize: unknown decode mode byte");
+    const auto have = static_cast<x86::DecodeMode>(raw);
+    if (have != want)
+        throw ModeMismatchError(have, want);
+    return have;
+}
+
+} // namespace
+
+ModeMismatchError::ModeMismatchError(x86::DecodeMode have,
+                                     x86::DecodeMode want)
+    : SerializeError(std::string("mode-mismatch: artifact was "
+                                 "produced under ") +
+                     x86::decodeModeName(have) +
+                     " but this analysis runs under " +
+                     x86::decodeModeName(want))
+{}
+
 void
 encodeClassification(Encoder &enc, const Classification &result)
 {
@@ -51,25 +78,28 @@ decodeClassification(Decoder &dec)
 void
 encodeSuperset(Encoder &enc, const Superset &superset)
 {
+    enc.pod(static_cast<u8>(superset.mode()));
     enc.varint(superset.validCount());
     enc.podVec(superset.nodes());
 }
 
 Superset
-decodeSuperset(Decoder &dec, ByteSpan bytes)
+decodeSuperset(Decoder &dec, ByteSpan bytes, x86::DecodeMode mode)
 {
+    decodeArtifactMode(dec, mode);
     u64 validCount = dec.varint();
     std::vector<SupersetNode> nodes = dec.podVec<SupersetNode>();
     if (nodes.size() != bytes.size())
         throw SerializeError(
             "superset artifact does not match the section size");
-    return Superset(bytes, std::move(nodes), validCount);
+    return Superset(bytes, std::move(nodes), validCount, mode);
 }
 
 ExplainArtifact
 captureExplain(const AnalysisContext &ctx)
 {
     ExplainArtifact artifact;
+    artifact.mode = ctx.config.mode;
     artifact.reasons = ctx.ledger.reasons();
     for (const auto &event : ctx.ledger.events()) {
         artifact.events.push_back(
@@ -149,6 +179,7 @@ renderExplain(const ExplainArtifact &artifact, Offset off)
 void
 encodeExplain(Encoder &enc, const ExplainArtifact &artifact)
 {
+    enc.pod(static_cast<u8>(artifact.mode));
     enc.varint(artifact.reasons.size());
     for (const std::string &reason : artifact.reasons)
         enc.str(reason);
@@ -169,9 +200,10 @@ encodeExplain(Encoder &enc, const ExplainArtifact &artifact)
 }
 
 ExplainArtifact
-decodeExplain(Decoder &dec)
+decodeExplain(Decoder &dec, x86::DecodeMode mode)
 {
     ExplainArtifact artifact;
+    artifact.mode = decodeArtifactMode(dec, mode);
     u64 reasons = dec.varint();
     for (u64 i = 0; i < reasons; ++i)
         artifact.reasons.push_back(dec.str());
@@ -200,6 +232,9 @@ u64
 engineConfigFingerprint(const EngineConfig &config)
 {
     Hasher hasher;
+    // Mode first: it changes every downstream result (decode tables,
+    // prescan planes, the default model selection when model is null).
+    hasher.add(static_cast<u8>(config.mode));
     hasher.add(static_cast<u8>(config.useFlowAnalysis));
     hasher.add(static_cast<u8>(config.useDefUse));
     hasher.add(static_cast<u8>(config.useProbModel));

@@ -42,6 +42,20 @@ struct EngineConfig;
 class PassManager;
 class AnalysisContext;
 
+/**
+ * A serialized artifact decoded cleanly but was produced under a
+ * different decode mode than the consumer runs in. Always refused:
+ * mode changes every decode result, so replaying such a payload would
+ * silently serve wrong answers. Distinct from plain SerializeError
+ * (corruption → cache miss, re-analyze cold) so callers can surface
+ * the mismatch as its own taxonomy instead of swallowing it.
+ */
+class ModeMismatchError : public SerializeError
+{
+  public:
+    ModeMismatchError(x86::DecodeMode have, x86::DecodeMode want);
+};
+
 // --- Classification ---------------------------------------------------
 
 /** Append @p result to @p enc (decode with decodeClassification). */
@@ -52,16 +66,19 @@ Classification decodeClassification(Decoder &dec);
 
 // --- Superset (warm-start artifact) -----------------------------------
 
-/** Append the superset nodes of @p superset to @p enc. */
+/** Append the decode mode and superset nodes of @p superset to
+ *  @p enc. */
 void encodeSuperset(Encoder &enc, const Superset &superset);
 
 /**
  * Decode a superset and rebind it to @p bytes. @throws SerializeError
  * when the node count does not match the section size — loading a
  * superset against different bytes is always a caller bug or cache
- * corruption, never recoverable.
+ * corruption, never recoverable. @throws ModeMismatchError when the
+ * artifact was decoded under a mode other than @p mode.
  */
-Superset decodeSuperset(Decoder &dec, ByteSpan bytes);
+Superset decodeSuperset(Decoder &dec, ByteSpan bytes,
+                        x86::DecodeMode mode = x86::DecodeMode::X64);
 
 // --- Explain artifact -------------------------------------------------
 
@@ -98,6 +115,9 @@ struct ExplainArtifact
         }
     };
 
+    /** The decode mode the analysis ran under (replaying an explain
+     *  chain in the wrong mode would describe the wrong decode). */
+    x86::DecodeMode mode = x86::DecodeMode::X64;
     std::vector<std::string> reasons;
     std::vector<Event> events;
     std::vector<Commit> commits;
@@ -117,7 +137,14 @@ ExplainArtifact captureExplain(const AnalysisContext &ctx);
 std::string renderExplain(const ExplainArtifact &artifact, Offset off);
 
 void encodeExplain(Encoder &enc, const ExplainArtifact &artifact);
-ExplainArtifact decodeExplain(Decoder &dec);
+
+/**
+ * Decode one ExplainArtifact. @throws ModeMismatchError when the
+ * artifact's recorded mode differs from @p mode.
+ */
+ExplainArtifact
+decodeExplain(Decoder &dec,
+              x86::DecodeMode mode = x86::DecodeMode::X64);
 
 // --- Fingerprints (cache-key components) ------------------------------
 

@@ -53,6 +53,7 @@ AnalysisContext::AnalysisContext(
     jtConfig = config.jumpTables;
     jtConfig.sectionBase = sectionBase;
     jtConfig.auxRegions = auxRegions;
+    jtConfig.mode = config.mode;
     patConfig = config.patterns;
     patConfig.sectionBase = sectionBase;
 

@@ -44,6 +44,16 @@ namespace accdis
 /** Engine configuration; the ablation switches mirror Table 4. */
 struct EngineConfig
 {
+    /**
+     * Decode mode every analyzed section is interpreted under. Part
+     * of the engine's identity (hashed into engineConfigFingerprint):
+     * the superset, flow facts and scores of the same bytes differ
+     * between modes, so mode-blind cache or artifact reuse would be
+     * silent corruption. Batch and server construct one engine per
+     * mode and route each binary by its BinaryImage::mode().
+     */
+    x86::DecodeMode mode = x86::DecodeMode::X64;
+
     /** Use the control-flow consistency proof (pass "flow"). */
     bool useFlowAnalysis = true;
     /** Use register def-use scoring (pass "def_use"). */

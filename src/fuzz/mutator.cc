@@ -18,6 +18,7 @@ using synth::GroundTruth;
 struct Working
 {
     std::string name;
+    x86::DecodeMode mode = x86::DecodeMode::X64;
     Addr textBase = 0;
     ByteVec text;
     bool hasRodata = false;
@@ -31,9 +32,9 @@ struct Working
 
 /** Decoded length at a maintained start (>= 1 by maintenance). */
 u8
-lengthAt(const ByteVec &text, Offset off)
+lengthAt(const Working &w, Offset off)
 {
-    x86::Instruction insn = x86::decode(text, off);
+    x86::Instruction insn = x86::decode(w.text, off, w.mode);
     return insn.valid() ? insn.length : 1;
 }
 
@@ -50,7 +51,7 @@ retireStarts(Working &w, Offset begin, Offset end)
                                scanFrom);
     auto hi = std::lower_bound(w.starts.begin(), w.starts.end(), end);
     auto keep = [&](Offset s) {
-        return s + lengthAt(w.text, s) <= begin;
+        return s + lengthAt(w, s) <= begin;
     };
     w.starts.erase(std::remove_if(lo, hi,
                                   [&](Offset s) { return !keep(s); }),
@@ -155,7 +156,7 @@ flipCodeByte(Working &w, Rng &rng)
         return;
     }
     Offset s = w.starts[rng.below(w.starts.size())];
-    u8 len = lengthAt(w.text, s);
+    u8 len = lengthAt(w, s);
     Offset at = s + rng.below(len);
     u8 mask = static_cast<u8>(1u << rng.below(8));
     retireStarts(w, at, at + 1);
@@ -182,7 +183,7 @@ overlapJump(Working &w, Rng &rng)
 {
     std::vector<Offset> candidates;
     for (Offset s : w.starts) {
-        if (lengthAt(w.text, s) >= 3)
+        if (lengthAt(w, s) >= 3)
             candidates.push_back(s);
     }
     if (candidates.empty()) {
@@ -190,7 +191,7 @@ overlapJump(Working &w, Rng &rng)
         return;
     }
     Offset s = candidates[rng.below(candidates.size())];
-    u8 len = lengthAt(w.text, s);
+    u8 len = lengthAt(w, s);
     // jmp rel8 at s whose target lands on one of the old
     // instruction's tail bytes: two decode streams now overlap.
     u8 disp = static_cast<u8>(rng.below(len - 2u));
@@ -210,19 +211,19 @@ truncateSection(Working &w, Rng &rng)
         return;
     std::vector<Offset> candidates;
     for (Offset s : w.starts) {
-        if (lengthAt(w.text, s) >= 2 && s >= 16)
+        if (lengthAt(w, s) >= 2 && s >= 16)
             candidates.push_back(s);
     }
     if (candidates.empty())
         return;
     Offset s = candidates[rng.below(candidates.size())];
-    u8 len = lengthAt(w.text, s);
+    u8 len = lengthAt(w, s);
     Offset cut = s + rng.range(1, static_cast<u64>(len) - 1);
 
     // Decode lengths before the resize; keep fully surviving starts.
     std::vector<Offset> kept;
     for (Offset start : w.starts) {
-        if (start + lengthAt(w.text, start) <= cut)
+        if (start + lengthAt(w, start) <= cut)
             kept.push_back(start);
     }
     w.text.resize(cut);
@@ -324,6 +325,7 @@ mutate(const synth::SynthBinary &seedBinary,
 {
     Working w;
     w.name = seedBinary.image.name();
+    w.mode = seedBinary.image.mode();
     w.truth = seedBinary.truth;
     w.starts = seedBinary.truth.insnStarts();
     w.functionStarts = seedBinary.truth.functionStarts();
@@ -355,6 +357,7 @@ mutate(const synth::SynthBinary &seedBinary,
     Mutant mutant;
     mutant.steps = steps;
     mutant.image = BinaryImage(w.name);
+    mutant.image.setMode(w.mode);
     SectionFlags execFlags;
     execFlags.executable = true;
     u64 textSize = w.text.size();

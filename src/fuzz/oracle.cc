@@ -92,11 +92,12 @@ class Collector
 };
 
 void
-checkDecodeStability(ByteSpan bytes, const std::string &secName,
+checkDecodeStability(ByteSpan bytes, x86::DecodeMode mode,
+                     const std::string &secName,
                      Collector &collector)
 {
     for (Offset off = 0; off < bytes.size(); ++off) {
-        x86::Instruction full = x86::decode(bytes, off);
+        x86::Instruction full = x86::decode(bytes, off, mode);
         if (!full.valid())
             continue;
         std::ostringstream at;
@@ -118,7 +119,7 @@ checkDecodeStability(ByteSpan bytes, const std::string &secName,
         // Re-decode from a slice of exactly the reported bytes: the
         // decoder must not have peeked past its own length.
         ByteSpan slice = bytes.subspan(off, full.length);
-        x86::Instruction again = x86::decode(slice, 0);
+        x86::Instruction again = x86::decode(slice, 0, mode);
         if (!again.valid()) {
             collector.report("decode-stability", "slice-invalid",
                              at.str() +
@@ -149,16 +150,15 @@ checkDecodeStability(ByteSpan bytes, const std::string &secName,
  * lookup-time rel32/SIB patches.
  */
 void
-checkPrescan(ByteSpan bytes, const std::string &secName,
-             Collector &collector)
+checkPrescan(ByteSpan bytes, x86::DecodeMode mode,
+             const std::string &secName, Collector &collector)
 {
-    const x86::PrescanEntry *table = x86::prescanTableData();
     for (Offset off = 0; off < bytes.size(); ++off) {
         const x86::PrescanEntry *entry =
-            x86::prescanLookup(table, bytes, off);
+            x86::prescanLookup(bytes, off, mode);
         if (entry == nullptr)
             continue; // Deferred: the decoder is authoritative.
-        x86::Instruction full = x86::decode(bytes, off);
+        x86::Instruction full = x86::decode(bytes, off, mode);
         std::ostringstream at;
         at << secName << "+0x" << std::hex << off;
         const bool valid =
@@ -203,14 +203,15 @@ checkPrescan(ByteSpan bytes, const std::string &secName,
 }
 
 void
-checkSuperset(ByteSpan bytes, const synth::GroundTruth &truth,
+checkSuperset(ByteSpan bytes, x86::DecodeMode mode,
+              const synth::GroundTruth &truth,
               const std::string &secName, bool checkSoundness,
               Collector &collector)
 {
-    Superset superset(bytes);
+    Superset superset(bytes, mode);
     for (Offset off = 0; off < bytes.size(); ++off) {
         const SupersetNode &node = superset.node(off);
-        x86::Instruction full = x86::decode(bytes, off);
+        x86::Instruction full = x86::decode(bytes, off, mode);
         std::ostringstream at;
         at << secName << "+0x" << std::hex << off;
         if (node.valid() != full.valid()) {
@@ -460,14 +461,18 @@ runOracles(const Mutant &mutant, const OracleOptions &options)
         return report;
     ByteSpan bytes = text->bytes();
 
-    // --- Decoder / superset invariants (no engine involved) ---------
-    checkDecodeStability(bytes, text->name(), collector);
-    checkPrescan(bytes, text->name(), collector);
-    checkSuperset(bytes, mutant.truth, text->name(),
+    // --- Decoder / superset invariants (no engine involved), all
+    // --- run under the mutant image's own decode mode ---------------
+    const x86::DecodeMode mode = mutant.image.mode();
+    checkDecodeStability(bytes, mode, text->name(), collector);
+    checkPrescan(bytes, mode, text->name(), collector);
+    checkSuperset(bytes, mode, mutant.truth, text->name(),
                   /*checkSoundness=*/true, collector);
 
     // --- Engine determinism: serial twice, then serial vs batch -----
-    DisassemblyEngine engine(options.engine);
+    EngineConfig engineConfig = options.engine;
+    engineConfig.mode = mode;
+    DisassemblyEngine engine(engineConfig);
     auto first = engine.analyzeAll(mutant.image);
     auto second = engine.analyzeAll(mutant.image);
     std::string reference = fingerprint(first);
@@ -522,8 +527,8 @@ runOracles(const Mutant &mutant, const OracleOptions &options)
     if (options.checkBaselines) {
         std::vector<Offset> entries = entryOffsets(mutant.image, *text);
         std::vector<AuxRegion> aux = auxRegionsOf(mutant.image);
-        LinearSweep sweepTool;
-        RecursiveTraversal recursiveTool;
+        LinearSweep sweepTool(mode);
+        RecursiveTraversal recursiveTool(mode);
         Classification sweep = sweepTool.analyzeSection(
             bytes, entries, text->base(), aux);
         Classification recursive = recursiveTool.analyzeSection(
@@ -562,7 +567,7 @@ runOracles(const Mutant &mutant, const OracleOptions &options)
         // Re-run with the error_correction pass disabled on the pass
         // registry — the same engine pipeline minus one pass, rather
         // than a separately configured engine.
-        DisassemblyEngine plain(options.engine);
+        DisassemblyEngine plain(engineConfig);
         plain.passes().setEnabled("error_correction", false);
         Classification uncorrected = plain.analyze(mutant.image);
         AccuracyMetrics with =

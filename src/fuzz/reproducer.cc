@@ -40,6 +40,7 @@ configForSpec(const RunSpec &spec)
         config = synth::adversarialPreset(spec.corpusSeed);
     else
         throw Error("reproducer: unknown preset '" + spec.preset + "'");
+    config.mode = spec.mode;
     config.numFunctions = spec.numFunctions;
     return config;
 }
@@ -59,6 +60,10 @@ serializeReproducer(const Reproducer &repro, const std::string &comment)
     if (!comment.empty())
         out << "# " << comment << "\n";
     out << "preset " << repro.spec.preset << "\n";
+    // x64 is the format's default; omitting it keeps pre-mode
+    // reproducers and new x64 ones byte-identical.
+    if (repro.spec.mode != x86::DecodeMode::X64)
+        out << "mode " << x86::decodeModeName(repro.spec.mode) << "\n";
     out << "seed " << repro.spec.corpusSeed << "\n";
     out << "functions " << repro.spec.numFunctions << "\n";
     for (const MutationStep &step : repro.spec.steps) {
@@ -94,6 +99,14 @@ parseReproducer(const std::string &text)
             if (!(fields >> repro.spec.preset))
                 throw Error("reproducer: preset needs a name, " + where);
             sawPreset = true;
+        } else if (directive == "mode") {
+            std::string name;
+            if (!(fields >> name))
+                throw Error("reproducer: mode needs a name, " + where);
+            if (!x86::decodeModeFromName(name.c_str(),
+                                         repro.spec.mode))
+                throw Error("reproducer: unknown mode '" + name +
+                            "', " + where);
         } else if (directive == "seed") {
             std::string token;
             if (!(fields >> token))

@@ -14,11 +14,15 @@
  * Format (one directive per line, '#' starts a comment):
  *
  *     preset adversarial
+ *     mode x86
  *     seed 421
  *     functions 8
  *     mutate flip-prefix 9917
  *     mutate splice-data 40031
  *     expect clean
+ *
+ * The `mode` directive is optional and defaults to x64, so every
+ * reproducer written before the 32-bit leg existed replays unchanged.
  *
  * `expect clean` asserts the oracles stay silent; `expect divergence
  * <oracle>` marks a known gap whose fix is still pending — the replay
@@ -34,6 +38,7 @@
 #include <vector>
 
 #include "fuzz/mutator.hh"
+#include "x86/mode.hh"
 
 namespace accdis::fuzz
 {
@@ -43,6 +48,8 @@ struct RunSpec
 {
     /** Synth preset name: "gcc", "msvc", or "adversarial". */
     std::string preset = "gcc";
+    /** Decode mode the seed binary is generated (and checked) in. */
+    x86::DecodeMode mode = x86::DecodeMode::X64;
     /** Seed handed to the preset (drives codegen randomness). */
     u64 corpusSeed = 1;
     /** Function count override (keeps fuzz binaries small). */
@@ -53,7 +60,7 @@ struct RunSpec
     bool
     operator==(const RunSpec &other) const
     {
-        return preset == other.preset &&
+        return preset == other.preset && mode == other.mode &&
                corpusSeed == other.corpusSeed &&
                numFunctions == other.numFunctions &&
                steps == other.steps;

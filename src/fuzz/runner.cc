@@ -54,6 +54,7 @@ isKnownGap(const std::vector<Reproducer> &gaps,
                        [&](const Reproducer &gap) {
                            return gap.expect == oracle &&
                                   gap.spec.preset == spec.preset &&
+                                  gap.spec.mode == spec.mode &&
                                   gap.spec.corpusSeed ==
                                       spec.corpusSeed;
                        });
@@ -68,6 +69,7 @@ FuzzRunner::specForRun(u64 runIndex) const
     RunSpec spec;
     static const char *const kPresets[] = {"gcc", "msvc", "adversarial"};
     spec.preset = kPresets[rng.below(3)];
+    spec.mode = config_.mode;
     spec.corpusSeed = rng.next();
     int lo = std::max(1, config_.minFunctions);
     int hi = std::max(lo, config_.maxFunctions);

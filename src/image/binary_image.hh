@@ -11,6 +11,7 @@
 
 #include "image/section.hh"
 #include "support/types.hh"
+#include "x86/mode.hh"
 
 namespace accdis
 {
@@ -30,6 +31,17 @@ class BinaryImage
 
     /** Image name (file path or synthetic id). */
     const std::string &name() const { return name_; }
+
+    /**
+     * Decode mode the image's code sections must be interpreted
+     * under, derived from the container headers at load time (ELF
+     * class / PE machine) or from the synth generator's config.
+     * Batch and server route each image to a matching engine.
+     */
+    x86::DecodeMode mode() const { return mode_; }
+
+    /** Record the image's decode mode (loader / generator only). */
+    void setMode(x86::DecodeMode mode) { mode_ = mode; }
 
     /** Append a section; returns its index. */
     std::size_t
@@ -87,6 +99,7 @@ class BinaryImage
 
   private:
     std::string name_;
+    x86::DecodeMode mode_ = x86::DecodeMode::X64;
     std::vector<Section> sections_;
     std::vector<Addr> entryPoints_;
 };

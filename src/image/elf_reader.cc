@@ -18,8 +18,10 @@ constexpr u8 kMag0 = 0x7f;
 constexpr u8 kMag1 = 'E';
 constexpr u8 kMag2 = 'L';
 constexpr u8 kMag3 = 'F';
+constexpr u8 kClass32 = 1;
 constexpr u8 kClass64 = 2;
 constexpr u8 kDataLsb = 1;
+constexpr u16 kMachine386 = 3;
 constexpr u16 kMachineX8664 = 62;
 constexpr u32 kShtProgbits = 1;
 constexpr u64 kShfAlloc = 0x2;
@@ -31,6 +33,7 @@ constexpr u32 kPfW = 2;
 
 struct ElfHeader
 {
+    bool is64;
     u16 machine;
     Addr entry;
     u64 phoff;
@@ -40,15 +43,23 @@ struct ElfHeader
     u16 shentsize;
     u16 shnum;
     u16 shstrndx;
+
+    /** Minimum section/program header entry sizes for the class. */
+    u16 shentMin() const { return is64 ? 64 : 40; }
+    u16 phentMin() const { return is64 ? 56 : 32; }
 };
 
-/** Parse the file header into @p hdr; false (with issues) on reject. */
+/**
+ * Parse the file header into @p hdr; false (with issues) on reject.
+ * Both ELF classes are accepted: ELF64/x86-64 and ELF32/i386; the
+ * class picks the field layout and the image's decode mode.
+ */
 bool
 parseHeader(const ByteReader &reader, LoadReport &report, ElfHeader &hdr)
 {
-    if (reader.size() < 64) {
+    if (reader.size() < 52) {
         report.addIssue(LoadErrorCode::Truncated,
-                        "file shorter than the ELF64 header");
+                        "file shorter than the ELF header");
         return false;
     }
     if (*reader.u8At(0) != kMag0 || *reader.u8At(1) != kMag1 ||
@@ -56,9 +67,17 @@ parseHeader(const ByteReader &reader, LoadReport &report, ElfHeader &hdr)
         report.addIssue(LoadErrorCode::BadMagic, "bad ELF magic");
         return false;
     }
-    if (*reader.u8At(4) != kClass64) {
+    const u8 elfClass = *reader.u8At(4);
+    if (elfClass != kClass64 && elfClass != kClass32) {
         report.addIssue(LoadErrorCode::Unsupported,
-                        "only ELF64 is supported");
+                        "unknown ELF class " +
+                            std::to_string(elfClass));
+        return false;
+    }
+    hdr.is64 = elfClass == kClass64;
+    if (hdr.is64 && reader.size() < 64) {
+        report.addIssue(LoadErrorCode::Truncated,
+                        "file shorter than the ELF64 header");
         return false;
     }
     if (*reader.u8At(5) != kDataLsb) {
@@ -68,17 +87,33 @@ parseHeader(const ByteReader &reader, LoadReport &report, ElfHeader &hdr)
     }
 
     hdr.machine = *reader.u16At(18);
-    hdr.entry = *reader.u64At(24);
-    hdr.phoff = *reader.u64At(32);
-    hdr.shoff = *reader.u64At(40);
-    hdr.phentsize = *reader.u16At(54);
-    hdr.phnum = *reader.u16At(56);
-    hdr.shentsize = *reader.u16At(58);
-    hdr.shnum = *reader.u16At(60);
-    hdr.shstrndx = *reader.u16At(62);
-    if (hdr.machine != kMachineX8664) {
+    if (hdr.is64) {
+        hdr.entry = *reader.u64At(24);
+        hdr.phoff = *reader.u64At(32);
+        hdr.shoff = *reader.u64At(40);
+        hdr.phentsize = *reader.u16At(54);
+        hdr.phnum = *reader.u16At(56);
+        hdr.shentsize = *reader.u16At(58);
+        hdr.shnum = *reader.u16At(60);
+        hdr.shstrndx = *reader.u16At(62);
+    } else {
+        hdr.entry = *reader.u32At(24);
+        hdr.phoff = *reader.u32At(28);
+        hdr.shoff = *reader.u32At(32);
+        hdr.phentsize = *reader.u16At(42);
+        hdr.phnum = *reader.u16At(44);
+        hdr.shentsize = *reader.u16At(46);
+        hdr.shnum = *reader.u16At(48);
+        hdr.shstrndx = *reader.u16At(50);
+    }
+    const u16 wantMachine = hdr.is64 ? kMachineX8664 : kMachine386;
+    if (hdr.machine != wantMachine) {
         report.addIssue(LoadErrorCode::Unsupported,
-                        "only x86-64 images are supported");
+                        hdr.is64
+                            ? "only x86-64 images are supported "
+                              "for ELF64"
+                            : "only i386 images are supported "
+                              "for ELF32");
         return false;
     }
     return true;
@@ -120,11 +155,12 @@ loadFromSections(const ByteReader &reader, const ElfHeader &hdr,
 {
     if (hdr.shoff == 0 || hdr.shnum == 0)
         return false;
-    if (hdr.shentsize < 64) {
+    if (hdr.shentsize < hdr.shentMin()) {
         report.addIssue(LoadErrorCode::Unsupported,
                         "section header entry size " +
                             std::to_string(hdr.shentsize) +
-                            " below the ELF64 minimum of 64");
+                            " below the class minimum of " +
+                            std::to_string(hdr.shentMin()));
         return false;
     }
 
@@ -158,8 +194,10 @@ loadFromSections(const ByteReader &reader, const ElfHeader &hdr,
     if (hdr.shstrndx < shnum) {
         u64 sh = hdr.shoff +
                  static_cast<u64>(hdr.shstrndx) * hdr.shentsize;
-        u64 off = *reader.u64At(sh + 24);
-        u64 size = *reader.u64At(sh + 32);
+        u64 off = hdr.is64 ? *reader.u64At(sh + 24)
+                           : u64{*reader.u32At(sh + 16)};
+        u64 size = hdr.is64 ? *reader.u64At(sh + 32)
+                            : u64{*reader.u32At(sh + 20)};
         if (std::optional<ByteSpan> slice = reader.slice(off, size)) {
             strtab = *slice;
         } else {
@@ -173,10 +211,14 @@ loadFromSections(const ByteReader &reader, const ElfHeader &hdr,
         u64 sh = hdr.shoff + static_cast<u64>(i) * hdr.shentsize;
         u32 nameOff = *reader.u32At(sh);
         u32 type = *reader.u32At(sh + 4);
-        u64 flags = *reader.u64At(sh + 8);
-        Addr addr = *reader.u64At(sh + 16);
-        u64 off = *reader.u64At(sh + 24);
-        u64 size = *reader.u64At(sh + 32);
+        u64 flags = hdr.is64 ? *reader.u64At(sh + 8)
+                             : u64{*reader.u32At(sh + 8)};
+        Addr addr = hdr.is64 ? *reader.u64At(sh + 16)
+                             : Addr{*reader.u32At(sh + 12)};
+        u64 off = hdr.is64 ? *reader.u64At(sh + 24)
+                           : u64{*reader.u32At(sh + 16)};
+        u64 size = hdr.is64 ? *reader.u64At(sh + 32)
+                            : u64{*reader.u32At(sh + 20)};
 
         if (type != kShtProgbits || !(flags & kShfAlloc) || size == 0)
             continue;
@@ -231,11 +273,12 @@ loadFromProgramHeaders(const ByteReader &reader, const ElfHeader &hdr,
 {
     if (hdr.phoff == 0 || hdr.phnum == 0)
         return false;
-    if (hdr.phentsize < 56) {
+    if (hdr.phentsize < hdr.phentMin()) {
         report.addIssue(LoadErrorCode::Unsupported,
                         "program header entry size " +
                             std::to_string(hdr.phentsize) +
-                            " below the ELF64 minimum of 56");
+                            " below the class minimum of " +
+                            std::to_string(hdr.phentMin()));
         return false;
     }
 
@@ -266,10 +309,16 @@ loadFromProgramHeaders(const ByteReader &reader, const ElfHeader &hdr,
     for (u16 i = 0; i < phnum; ++i) {
         u64 ph = hdr.phoff + static_cast<u64>(i) * hdr.phentsize;
         u32 type = *reader.u32At(ph);
-        u32 flags = *reader.u32At(ph + 4);
-        u64 off = *reader.u64At(ph + 8);
-        Addr vaddr = *reader.u64At(ph + 16);
-        u64 filesz = *reader.u64At(ph + 32);
+        // p_flags sits after p_type in ELF64 but after p_memsz in
+        // ELF32 — the one field the classes moved.
+        u32 flags = hdr.is64 ? *reader.u32At(ph + 4)
+                             : *reader.u32At(ph + 24);
+        u64 off = hdr.is64 ? *reader.u64At(ph + 8)
+                           : u64{*reader.u32At(ph + 4)};
+        Addr vaddr = hdr.is64 ? *reader.u64At(ph + 16)
+                              : Addr{*reader.u32At(ph + 8)};
+        u64 filesz = hdr.is64 ? *reader.u64At(ph + 32)
+                              : u64{*reader.u32At(ph + 16)};
 
         if (type != kPtLoad || filesz == 0)
             continue;
@@ -338,6 +387,10 @@ readElfReport(ByteSpan bytes, const std::string &name,
         return result;
 
     BinaryImage image(name);
+    image.setMode(hdr.is64 ? x86::DecodeMode::X64
+                           : x86::DecodeMode::X86);
+    result.report.mode =
+        hdr.is64 ? x86::DecodeMode::X64 : x86::DecodeMode::X86;
     bool loadFailed = false;
     bool loaded = loadFromSections(reader, hdr, options, owner, image,
                                    result.report, loadFailed);

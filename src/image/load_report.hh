@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "support/types.hh"
+#include "x86/mode.hh"
 
 namespace accdis
 {
@@ -35,7 +36,8 @@ enum class LoadErrorCode : u8
     Truncated,
     /** Not an ELF or PE image at all. */
     BadMagic,
-    /** Recognized but out of scope (ELF32, big-endian, non-x86-64). */
+    /** Recognized but out of scope (big-endian, non-x86 machines,
+     *  unknown ELF class / PE optional-header magic). */
     Unsupported,
     /** A header field whose offset/size arithmetic would wrap —
      *  always hostile or garbage, never a benign encoding. */
@@ -68,6 +70,9 @@ struct LoadReport
     std::string format = "unknown";
     /** True when a usable BinaryImage was produced. */
     bool loaded = false;
+    /** Decode mode derived from the container headers (ELF class /
+     *  PE machine); meaningful once the header parse got that far. */
+    x86::DecodeMode mode = x86::DecodeMode::X64;
     /** True when the image loaded only by dropping/clamping parts. */
     bool salvaged = false;
     /** Every problem noticed, in discovery order. */

@@ -17,7 +17,9 @@ namespace
 constexpr u16 kDosMagic = 0x5a4d;      // "MZ"
 constexpr u32 kPeSignature = 0x00004550; // "PE\0\0"
 constexpr u16 kMachineAmd64 = 0x8664;
+constexpr u16 kMachineI386 = 0x14c;
 constexpr u16 kPe32PlusMagic = 0x20b;
+constexpr u16 kPe32Magic = 0x10b;
 constexpr u32 kScnMemExecute = 0x20000000;
 constexpr u32 kScnMemWrite = 0x80000000;
 constexpr u32 kScnCntUninitialized = 0x00000080;
@@ -65,29 +67,43 @@ readPeReport(ByteSpan bytes, const std::string &name,
         return result;
     }
 
-    // COFF file header.
+    // COFF file header. Two machine/optional-header pairings are in
+    // scope: AMD64 + PE32+ (64-bit) and i386 + PE32 (32-bit); the
+    // pairing decides the image's decode mode.
     u16 machine = *reader.u16At(peOff + 4);
     u16 numSections = *reader.u16At(peOff + 6);
     u16 optSize = *reader.u16At(peOff + 20);
-    if (machine != kMachineAmd64) {
+    if (machine != kMachineAmd64 && machine != kMachineI386) {
         report.addIssue(LoadErrorCode::Unsupported,
-                        "only x86-64 (PE32+) images are supported");
+                        "only x86-64 (PE32+) and i386 (PE32) images "
+                        "are supported");
         return result;
     }
+    const bool is64 = machine == kMachineAmd64;
+    report.mode = is64 ? x86::DecodeMode::X64 : x86::DecodeMode::X86;
     const u64 optOff = peOff + 24;
-    if (optSize < 112 || !reader.canRead(optOff, optSize)) {
+    // Minimum optional-header size through NumberOfRvaAndSizes:
+    // 112 bytes for PE32+, 96 for PE32 (the 32-bit layout packs
+    // BaseOfData where PE32+ widens ImageBase).
+    const u16 optMin = is64 ? 112 : 96;
+    if (optSize < optMin || !reader.canRead(optOff, optSize)) {
         report.addIssue(LoadErrorCode::Truncated,
                         "optional header truncated");
         return result;
     }
-    if (*reader.u16At(optOff) != kPe32PlusMagic) {
+    const u16 optMagic = *reader.u16At(optOff);
+    if (optMagic != (is64 ? kPe32PlusMagic : kPe32Magic)) {
         report.addIssue(LoadErrorCode::Unsupported,
-                        "not a PE32+ optional header");
+                        is64 ? "AMD64 image without a PE32+ optional "
+                               "header"
+                             : "i386 image without a PE32 optional "
+                               "header");
         return result;
     }
 
     Addr entryRva = *reader.u32At(optOff + 16);
-    Addr imageBase = *reader.u64At(optOff + 24);
+    Addr imageBase = is64 ? *reader.u64At(optOff + 24)
+                          : Addr{*reader.u32At(optOff + 28)};
 
     // Section table follows the optional header.
     const u64 secOff = optOff + optSize;
@@ -105,6 +121,7 @@ readPeReport(ByteSpan bytes, const std::string &name,
     }
 
     BinaryImage image(name);
+    image.setMode(report.mode);
     for (u16 i = 0; i < sections; ++i) {
         u64 sh = secOff + static_cast<u64>(i) * 40;
         std::string secName;

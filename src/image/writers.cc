@@ -27,8 +27,13 @@ writeElf(const BinaryImage &image)
     if (sections.empty())
         throw Error("writeElf: image has no sections");
 
+    // The image's decode mode picks the container class: ELF64 for
+    // x86-64 images, ELF32/i386 for x86-32 ones.
+    const bool is64 = image.mode() == x86::DecodeMode::X64;
+    const u64 ehdrSize = is64 ? 64 : 52;
+    const u64 shentSize = is64 ? 64 : 40;
+
     // Layout: [ehdr][payloads...][shstrtab][shdrs].
-    const u64 ehdrSize = 64;
     ByteVec out(ehdrSize, 0);
 
     // Payloads (16-byte aligned for readability).
@@ -61,9 +66,9 @@ writeElf(const BinaryImage &image)
     out.resize(alignUp(out.size(), 8), 0);
     u64 shoff = out.size();
     u16 shnum = static_cast<u16>(sections.size() + 2);
-    out.resize(out.size() + static_cast<u64>(shnum) * 64, 0);
+    out.resize(out.size() + static_cast<u64>(shnum) * shentSize, 0);
 
-    auto shdr = [&](u16 index) { return shoff + index * u64{64}; };
+    auto shdr = [&](u16 index) { return shoff + index * shentSize; };
     for (std::size_t i = 0; i < sections.size(); ++i) {
         u64 sh = shdr(static_cast<u16>(i + 1));
         const Section &sec = sections[i];
@@ -74,18 +79,32 @@ writeElf(const BinaryImage &image)
             flags |= 0x4; // SHF_EXECINSTR
         if (sec.flags().writable)
             flags |= 0x1; // SHF_WRITE
-        writeLe64(out, sh + 8, flags);
-        writeLe64(out, sh + 16, sec.base());
-        writeLe64(out, sh + 24, payloadOff[i]);
-        writeLe64(out, sh + 32, sec.size());
-        writeLe64(out, sh + 48, 16); // alignment
+        if (is64) {
+            writeLe64(out, sh + 8, flags);
+            writeLe64(out, sh + 16, sec.base());
+            writeLe64(out, sh + 24, payloadOff[i]);
+            writeLe64(out, sh + 32, sec.size());
+            writeLe64(out, sh + 48, 16); // alignment
+        } else {
+            writeLe32(out, sh + 8, static_cast<u32>(flags));
+            writeLe32(out, sh + 12, static_cast<u32>(sec.base()));
+            writeLe32(out, sh + 16, static_cast<u32>(payloadOff[i]));
+            writeLe32(out, sh + 20, static_cast<u32>(sec.size()));
+            writeLe32(out, sh + 32, 16); // alignment
+        }
     }
     {
         u64 sh = shdr(static_cast<u16>(sections.size() + 1));
         writeLe32(out, sh + 0, shstrtabName);
         writeLe32(out, sh + 4, 3); // SHT_STRTAB
-        writeLe64(out, sh + 24, strtabOff);
-        writeLe64(out, sh + 32, strtab.size());
+        if (is64) {
+            writeLe64(out, sh + 24, strtabOff);
+            writeLe64(out, sh + 32, strtab.size());
+        } else {
+            writeLe32(out, sh + 16, static_cast<u32>(strtabOff));
+            writeLe32(out, sh + 20,
+                      static_cast<u32>(strtab.size()));
+        }
     }
 
     // ELF header.
@@ -93,23 +112,30 @@ writeElf(const BinaryImage &image)
     out[1] = 'E';
     out[2] = 'L';
     out[3] = 'F';
-    out[4] = 2; // ELFCLASS64
+    out[4] = is64 ? 2 : 1; // ELFCLASS64 / ELFCLASS32
     out[5] = 1; // little endian
     out[6] = 1; // EV_CURRENT
     out[16] = 2; // ET_EXEC
-    out[18] = 62; // EM_X86_64
+    out[18] = is64 ? 62 : 3; // EM_X86_64 / EM_386
     writeLe32(out, 20, 1); // e_version
     Addr entry = image.entryPoints().empty() ? 0
                                              : image.entryPoints()[0];
-    writeLe64(out, 24, entry);
-    writeLe64(out, 40, shoff);
-    out[52] = 64; // e_ehsize
-    out[58] = 64; // e_shentsize
-    out[60] = static_cast<u8>(shnum);
-    out[61] = static_cast<u8>(shnum >> 8);
     u16 shstrndx = static_cast<u16>(sections.size() + 1);
-    out[62] = static_cast<u8>(shstrndx);
-    out[63] = static_cast<u8>(shstrndx >> 8);
+    if (is64) {
+        writeLe64(out, 24, entry);
+        writeLe64(out, 40, shoff);
+        out[52] = 64; // e_ehsize
+        out[58] = 64; // e_shentsize
+        writeLe16(out, 60, shnum);
+        writeLe16(out, 62, shstrndx);
+    } else {
+        writeLe32(out, 24, static_cast<u32>(entry));
+        writeLe32(out, 32, static_cast<u32>(shoff));
+        out[40] = 52; // e_ehsize
+        out[46] = 40; // e_shentsize
+        writeLe16(out, 48, shnum);
+        writeLe16(out, 50, shstrndx);
+    }
     return out;
 }
 
@@ -129,7 +155,10 @@ writePe(const BinaryImage &image)
     // would read back as "no entry point".
     imageBase = imageBase >= 0x1000 ? imageBase - 0x1000 : 0;
 
-    const u32 optSize = 240; // standard PE32+ optional header
+    // The image's decode mode picks the flavor: AMD64 + PE32+ for
+    // x86-64 images, i386 + PE32 for x86-32 ones.
+    const bool is64 = image.mode() == x86::DecodeMode::X64;
+    const u32 optSize = is64 ? 240 : 224; // standard optional header
     const u32 peOff = 0x80;
     const u64 headersEnd =
         peOff + 24 + optSize + sections.size() * u64{40};
@@ -144,8 +173,7 @@ writePe(const BinaryImage &image)
 
     // PE signature + COFF header.
     writeLe32(out, peOff, 0x00004550);
-    out[peOff + 4] = 0x64; // machine 0x8664
-    out[peOff + 5] = 0x86;
+    writeLe16(out, peOff + 4, is64 ? u16{0x8664} : u16{0x14c});
     out[peOff + 6] = static_cast<u8>(sections.size());
     out[peOff + 7] = static_cast<u8>(sections.size() >> 8);
     out[peOff + 20] = static_cast<u8>(optSize);
@@ -153,14 +181,18 @@ writePe(const BinaryImage &image)
     // Characteristics: EXECUTABLE_IMAGE | LARGE_ADDRESS_AWARE.
     out[peOff + 22] = 0x22;
 
-    // Optional header (PE32+).
+    // Optional header (PE32+ or PE32; ImageBase widens to u64 at
+    // +24 in PE32+ where PE32 keeps BaseOfData there and stores a
+    // u32 ImageBase at +28).
     u64 opt = peOff + 24;
-    out[opt] = 0x0b; // magic 0x20b
-    out[opt + 1] = 0x02;
+    writeLe16(out, opt, is64 ? u16{0x20b} : u16{0x10b});
     Addr entry = image.entryPoints().empty() ? imageBase
                                              : image.entryPoints()[0];
     writeLe32(out, opt + 16, static_cast<u32>(entry - imageBase));
-    writeLe64(out, opt + 24, imageBase);
+    if (is64)
+        writeLe64(out, opt + 24, imageBase);
+    else
+        writeLe32(out, opt + 28, static_cast<u32>(imageBase));
     writeLe32(out, opt + 32, 0x1000); // SectionAlignment
     writeLe32(out, opt + 36, 0x200);  // FileAlignment
 

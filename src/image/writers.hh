@@ -1,9 +1,10 @@
 /**
  * @file
- * Minimal ELF64 and PE32+ writers: serialize a BinaryImage (e.g. a
+ * Minimal ELF and PE writers: serialize a BinaryImage (e.g. a
  * synthesized corpus binary) into a real on-disk object that external
- * tools (objdump, IDA, Ghidra) can open. Round-trips through the
- * in-repo readers.
+ * tools (objdump, IDA, Ghidra) can open. The image's decode mode
+ * picks the container class — ELF64/PE32+ for x86-64 images,
+ * ELF32/PE32 for x86-32. Round-trips through the in-repo readers.
  */
 
 #ifndef ACCDIS_IMAGE_WRITERS_HH
@@ -17,10 +18,12 @@
 namespace accdis
 {
 
-/** Serialize @p image as a minimal ELF64 x86-64 executable image. */
+/** Serialize @p image as a minimal ELF executable image (ELF64 for
+ *  x86-64 images, ELF32 for x86-32 — by BinaryImage::mode()). */
 ByteVec writeElf(const BinaryImage &image);
 
-/** Serialize @p image as a minimal PE32+ x86-64 image. */
+/** Serialize @p image as a minimal PE image (PE32+ for x86-64
+ *  images, PE32 for x86-32 — by BinaryImage::mode()). */
 ByteVec writePe(const BinaryImage &image);
 
 /** Write @p bytes to @p path. @throws Error on I/O failure. */

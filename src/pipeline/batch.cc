@@ -107,7 +107,8 @@ analyzeSectionCached(const DisassemblyEngine &engine,
     // content + schema only) still warm-starts the analysis even when
     // a config change invalidated the result entry.
     std::optional<Superset> warm =
-        loadCachedSuperset(cache->store, key, section.bytes());
+        loadCachedSuperset(cache->store, key, section.bytes(),
+                           engine.config().mode);
     std::optional<Superset> decoded;
     ExplainArtifact explain;
     DisassemblyEngine::AnalyzeOptions options;
@@ -198,15 +199,36 @@ BatchAnalyzer::BatchAnalyzer(BatchConfig config,
 BatchReport
 BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
 {
-    // Pre-warm the shared model so its one-time training is not
-    // serialized inside (or timed as part of) the parallel region.
+    // Each binary analyzes under its container-derived decode mode,
+    // so a batch may mix x86-64 and x86-32 images freely: build one
+    // engine per mode actually present. The configured engine mode
+    // only matters when no image overrides it (empty batch).
     EngineConfig engineConfig = config_.engine;
-    if (engineConfig.useProbModel && !engineConfig.model)
-        defaultProbModel();
-
     PassTimes passTimes;
     engineConfig.passTimes = &passTimes;
-    const DisassemblyEngine engine(engineConfig);
+
+    bool modeSeen[2] = {false, false};
+    for (const BinaryImage *image : images)
+        modeSeen[static_cast<std::size_t>(image->mode())] = true;
+    modeSeen[static_cast<std::size_t>(engineConfig.mode)] = true;
+    std::unique_ptr<const DisassemblyEngine> engines[2];
+    for (std::size_t m = 0; m < 2; ++m) {
+        if (!modeSeen[m])
+            continue;
+        EngineConfig modeConfig = engineConfig;
+        modeConfig.mode = static_cast<x86::DecodeMode>(m);
+        // Pre-warm the per-mode model so its one-time training is
+        // not serialized inside (or timed as part of) the parallel
+        // region.
+        if (modeConfig.useProbModel && !modeConfig.model)
+            defaultProbModel(modeConfig.mode);
+        engines[m] =
+            std::make_unique<const DisassemblyEngine>(modeConfig);
+    }
+    auto engineFor = [&engines](const BinaryImage &image)
+        -> const DisassemblyEngine & {
+        return *engines[static_cast<std::size_t>(image.mode())];
+    };
 
     std::unique_ptr<CacheRuntime> cacheRt;
     if (!config_.cacheDir.empty()) {
@@ -245,12 +267,15 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
         std::vector<std::vector<SectionFuture>> futures(images.size());
         for (std::size_t i = 0; i < plans.size(); ++i) {
             const BinaryPlan &plan = plans[i];
+            const DisassemblyEngine *engine =
+                &engineFor(*plan.image);
             if (config_.splitSections) {
                 for (std::size_t s = 0; s < plan.execSections.size();
                      ++s) {
-                    futures[i].push_back(pool.submit([&engine, &plan,
+                    futures[i].push_back(pool.submit([engine, &plan,
                                                       s, cache] {
-                        return analyzePlanned(engine, plan, s, cache);
+                        return analyzePlanned(*engine, plan, s,
+                                              cache);
                     }));
                 }
             } else if (!plan.execSections.empty()) {
@@ -261,7 +286,7 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
                     plan.execSections.size());
                 for (auto &p : *promise)
                     futures[i].push_back(p.get_future());
-                pool.submit([&engine, &plan, promise, cache] {
+                pool.submit([engine, &plan, promise, cache] {
                     // Cache the count: after the final set_value the
                     // joiner may race ahead, so the loop must not
                     // read plan again.
@@ -270,7 +295,7 @@ BatchAnalyzer::run(const std::vector<const BinaryImage *> &images) const
                     for (std::size_t s = 0; s < count; ++s) {
                         try {
                             promise->at(s).set_value(
-                                analyzePlanned(engine, plan, s,
+                                analyzePlanned(*engine, plan, s,
                                                cache));
                         } catch (...) {
                             promise->at(s).set_exception(

@@ -218,7 +218,7 @@ DataByteModel::deserialize(ByteSpan bytes)
 }
 
 ProbModel
-trainProbModel(u64 seed, u64 approxCodeBytes)
+trainProbModel(u64 seed, u64 approxCodeBytes, x86::DecodeMode mode)
 {
     ProbModel model;
 
@@ -229,6 +229,7 @@ trainProbModel(u64 seed, u64 approxCodeBytes)
     while (codeBytes < approxCodeBytes) {
         synth::CorpusConfig config;
         config.seed = seed + 1000 * round++;
+        config.mode = mode;
         config.numFunctions = 48;
         config.dataFraction = 0.0;
         config.pointerSlots = 0;
@@ -238,7 +239,7 @@ trainProbModel(u64 seed, u64 approxCodeBytes)
 
         std::vector<int> tokens;
         for (Offset off : bin.truth.insnStarts()) {
-            x86::Instruction insn = x86::decode(bytes, off);
+            x86::Instruction insn = x86::decode(bytes, off, mode);
             assert(insn.valid());
             tokens.push_back(codeToken(insn.op, insn.opcodeByte));
             if (!insn.fallsThrough()) {
@@ -274,8 +275,17 @@ trainProbModel(u64 seed, u64 approxCodeBytes)
 }
 
 const ProbModel &
-defaultProbModel()
+defaultProbModel(x86::DecodeMode mode)
 {
+    // One cached model per decode mode: the token statistics of
+    // 32-bit code differ (no REX tokens, one-byte inc/dec, absolute
+    // addressing), so sharing a model across modes would skew every
+    // likelihood ratio. Each builds lazily on first use.
+    if (mode == x86::DecodeMode::X86) {
+        static const ProbModel model32 = trainProbModel(
+            0xacc0ffee, 512 * 1024, x86::DecodeMode::X86);
+        return model32;
+    }
     static const ProbModel model = trainProbModel(0xacc0ffee, 512 * 1024);
     return model;
 }

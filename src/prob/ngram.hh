@@ -13,6 +13,7 @@
 
 #include "support/types.hh"
 #include "x86/instruction.hh"
+#include "x86/mode.hh"
 
 namespace accdis
 {
@@ -128,15 +129,18 @@ struct ProbModel
 
 /**
  * Train a model pair from synthesized corpora with the given seed and
- * approximate training volume (bytes of code).
+ * approximate training volume (bytes of code). The corpora are
+ * generated — and their ground-truth starts decoded — under @p mode.
  */
-ProbModel trainProbModel(u64 seed, u64 approxCodeBytes);
+ProbModel trainProbModel(u64 seed, u64 approxCodeBytes,
+                         x86::DecodeMode mode = x86::DecodeMode::X64);
 
 /**
- * The default model pair: trained once per process from a fixed seed
- * (deterministic), then cached.
+ * The default model pair for @p mode: trained once per process per
+ * mode from a fixed seed (deterministic), then cached.
  */
-const ProbModel &defaultProbModel();
+const ProbModel &
+defaultProbModel(x86::DecodeMode mode = x86::DecodeMode::X64);
 
 } // namespace accdis
 

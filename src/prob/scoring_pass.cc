@@ -10,8 +10,9 @@ namespace accdis
 void
 ScoringPass::run(AnalysisContext &ctx) const
 {
-    const ProbModel &model =
-        ctx.config.model ? *ctx.config.model : defaultProbModel();
+    const ProbModel &model = ctx.config.model
+                                 ? *ctx.config.model
+                                 : defaultProbModel(ctx.config.mode);
     ctx.scorer.emplace(model, ctx.superset.get(), ctx.config.scorer);
 }
 

@@ -40,6 +40,7 @@ encodeAnalyzeOptions(Encoder &enc, const AnalyzeOptions &options)
     enc.pod(flags);
     enc.pod(options.explainAddr);
     enc.varint(options.deadlineMs);
+    enc.pod(static_cast<u8>(options.mode));
 }
 
 AnalyzeOptions
@@ -51,6 +52,11 @@ decodeAnalyzeOptions(Decoder &dec)
     options.explain = (flags & 2) != 0;
     options.explainAddr = dec.pod<Addr>();
     options.deadlineMs = dec.varint();
+    u8 mode = dec.pod<u8>();
+    if (mode > static_cast<u8>(x86::DecodeMode::X86))
+        throw ProtocolError("protocol: unknown decode mode " +
+                            std::to_string(mode));
+    options.mode = static_cast<x86::DecodeMode>(mode);
     return options;
 }
 

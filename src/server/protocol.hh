@@ -42,8 +42,9 @@ namespace accdis::server
 /** Frame magic: "ACDS" read as a little-endian u32. */
 inline constexpr u32 kFrameMagic = 0x53444341u;
 
-/** Protocol version carried in every payload. */
-inline constexpr u8 kProtocolVersion = 1;
+/** Protocol version carried in every payload. v2 added the decode
+ *  mode to AnalyzeOptions. */
+inline constexpr u8 kProtocolVersion = 2;
 
 /** Default upper bound on one frame's payload, server and client. */
 inline constexpr u32 kDefaultMaxFrameBytes = 64u << 20;
@@ -76,6 +77,11 @@ struct AnalyzeOptions
     Addr explainAddr = 0;
     /** Request deadline in milliseconds; 0 uses the server default. */
     u64 deadlineMs = 0;
+    /** Default decode mode for the request. The loaded image's
+     *  container headers win when they declare one (they always do
+     *  for ELF/PE), so this matters for future raw-bytes inputs and
+     *  keeps the client's intent on the wire. */
+    x86::DecodeMode mode = x86::DecodeMode::X64;
 };
 
 /** Analyze a binary: bytes carried inline or a server-local path. */

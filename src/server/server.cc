@@ -316,6 +316,7 @@ AccdisServer::handleAnalyze(const std::shared_ptr<Connection> &conn,
     ServiceRequest work;
     work.name = request.name;
     work.salvage = request.options.salvage;
+    work.mode = request.options.mode;
     work.explain = request.options.explain;
     work.explainAddr = request.options.explainAddr;
     work.cancel = cancel;

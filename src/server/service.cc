@@ -48,7 +48,7 @@ AnalysisService::AnalysisService(ServiceConfig config,
           // Pre-warm the shared model so its one-time training is
           // not charged to (or raced by) the first requests.
           if (config_.engine.useProbModel && !config_.engine.model)
-              defaultProbModel();
+              defaultProbModel(config_.engine.mode);
           return DisassemblyEngine(config_.engine);
       }()),
       pool_(config_.jobs)
@@ -65,6 +65,21 @@ AnalysisService::AnalysisService(ServiceConfig config,
 }
 
 AnalysisService::~AnalysisService() = default;
+
+const DisassemblyEngine &
+AnalysisService::engineFor(x86::DecodeMode mode)
+{
+    if (mode == config_.engine.mode)
+        return engine_;
+    std::call_once(altEngineOnce_, [this, mode] {
+        EngineConfig config = config_.engine;
+        config.mode = mode;
+        if (config.useProbModel && !config.model)
+            defaultProbModel(config.mode);
+        altEngine_ = std::make_unique<DisassemblyEngine>(config);
+    });
+    return *altEngine_;
+}
 
 void
 AnalysisService::submit(ServiceRequest request, Completion done)
@@ -123,19 +138,27 @@ AnalysisService::analyzeNow(const ServiceRequest &request)
             return true;
         };
 
+    // The loaded image's container decided its decode mode; route
+    // the request to the matching engine. The request's own mode is
+    // the fallback (load failures never reach the analysis step, so
+    // it mostly records client intent).
+    const DisassemblyEngine &engine = engineFor(
+        load.ok() ? load.image->mode() : request.mode);
+
     pipeline::SectionAnalyzeFn sectionFn =
-        [this, &abandonWait](const Section &section,
-                             const std::vector<Offset> &entries,
-                             const std::vector<AuxRegion> &aux) {
+        [this, &engine,
+         &abandonWait](const Section &section,
+                       const std::vector<Offset> &entries,
+                       const std::vector<AuxRegion> &aux) {
             const CacheKey key =
                 makeCacheKey(section.contentKey(), entries,
-                             section.base(), aux, engine_);
+                             section.base(), aux, engine);
             bool leader = false;
             auto sectionResult = flights_.run(
                 flightKey(key),
                 [&] {
                     return pipeline::analyzeSectionCached(
-                        engine_, section, entries, aux,
+                        engine, section, entries, aux,
                         cache_.get());
                 },
                 &leader, abandonWait);
@@ -147,7 +170,7 @@ AnalysisService::analyzeNow(const ServiceRequest &request)
         };
 
     result.binary = pipeline::analyzeBinary(
-        engine_, load, cache_.get(), request.cancel.get(),
+        engine, load, cache_.get(), request.cancel.get(),
         sectionFn);
 
     if (result.binary.ok() && request.explain && load.ok())
@@ -171,6 +194,7 @@ AnalysisService::renderExplainFor(const ServiceRequest &request,
                                   const BinaryImage &image,
                                   ServiceResult &result)
 {
+    const DisassemblyEngine &engine = engineFor(image.mode());
     for (std::size_t i = 0; i < image.sections().size(); ++i) {
         const Section &section = image.section(i);
         if (!section.flags().executable ||
@@ -185,16 +209,17 @@ AnalysisService::renderExplainFor(const ServiceRequest &request,
         if (cache_ != nullptr) {
             const CacheKey key =
                 makeCacheKey(section.contentKey(), entries,
-                             section.base(), aux, engine_);
+                             section.base(), aux, engine);
             if (auto cached =
-                    loadCachedExplain(cache_->store, key)) {
+                    loadCachedExplain(cache_->store, key,
+                                      engine.config().mode)) {
                 result.explainText = renderExplain(*cached, target);
                 return;
             }
         }
         // No cached artifact (cache disabled or evicted): re-derive
         // by a one-off explain run.
-        result.explainText = engine_.explainSection(
+        result.explainText = engine.explainSection(
             section.bytes(), entries, target, section.base(), aux);
         return;
     }

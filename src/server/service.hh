@@ -24,6 +24,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/engine.hh"
@@ -64,6 +65,9 @@ struct ServiceRequest
     std::string path;
     /** Salvage-mode loading for this request. */
     bool salvage = false;
+    /** Default decode mode when the loaded image's container does
+     *  not pin one; a container-declared mode always wins. */
+    x86::DecodeMode mode = x86::DecodeMode::X64;
     /** Render the provenance chain of the byte at explainAddr. */
     bool explain = false;
     Addr explainAddr = 0;
@@ -135,10 +139,19 @@ class AnalysisService
     void renderExplainFor(const ServiceRequest &request,
                           const BinaryImage &image,
                           ServiceResult &result);
+    /**
+     * The engine a binary of @p mode analyzes under. The configured
+     * mode's engine is built at startup; the first request in the
+     * other mode builds the alternate engine once (its per-mode model
+     * training is charged to that request, not to startup).
+     */
+    const DisassemblyEngine &engineFor(x86::DecodeMode mode);
 
     ServiceConfig config_;
     pipeline::MetricsRegistry &metrics_;
     DisassemblyEngine engine_;
+    std::once_flag altEngineOnce_;
+    std::unique_ptr<DisassemblyEngine> altEngine_;
     std::unique_ptr<pipeline::CacheRuntime> cache_;
     SingleFlight<DisassemblyEngine::SectionResult> flights_;
     pipeline::ThreadPool pool_;

@@ -59,74 +59,109 @@ fillNode(SupersetNode &n, const x86::PrescanEntry &e, ByteSpan bytes,
     return true;
 }
 
+/**
+ * The accelerated per-byte scan, instantiated once per decode mode so
+ * the mode dispatch (which prescan key schema to probe, which decoder
+ * tables to fall back to) is resolved at compile time and stays out of
+ * the per-byte loop — the x64 instantiation inlines to exactly the
+ * pre-mode-refactor loop.
+ */
+template <x86::DecodeMode kMode>
+u64
+scanAccelerated(ByteSpan bytes, std::vector<SupersetNode> &nodes,
+                std::vector<u32> &ftSucc, std::vector<u32> &tgtSucc,
+                u64 &validCount)
+{
+    using Superset = accdis::Superset;
+    u64 fast = 0;
+    const std::size_t n = bytes.size();
+    ftSucc.resize(n);
+    tgtSucc.resize(n);
+    // Hoist the table base: fetching it per byte re-checks the
+    // lazy-init guard 20M+ times per corpus run.
+    const x86::PrescanEntry *table = x86::prescanTableData(kMode);
+    // Keys are data-dependent and the tables exceed L2; issuing
+    // the probe a cache-latency's worth of bytes early turns a
+    // miss per byte into a hit per byte on the sequential scan.
+    constexpr Offset kPrefetchAhead = 24;
+    for (Offset off = 0; off < n; ++off) {
+        if (off + kPrefetchAhead + 2 < n) {
+            const x86::PrescanEntry *ahead =
+                kMode == x86::DecodeMode::X64
+                    ? x86::prescanEntryAddr(table, bytes,
+                                            off + kPrefetchAhead)
+                    : x86::prescanEntryAddr32(table, bytes,
+                                              off + kPrefetchAhead);
+            __builtin_prefetch(ahead, 0, 1);
+        }
+        const x86::PrescanEntry *e =
+            kMode == x86::DecodeMode::X64
+                ? x86::prescanLookup(table, bytes, off)
+                : x86::prescanLookup32(table, bytes, off);
+        if (e) {
+            ++fast;
+            if (fillNode(nodes[off], *e, bytes, off))
+                ++validCount;
+        } else if (fillNode(nodes[off], x86::decode(bytes, off, kMode),
+                            off)) {
+            ++validCount;
+        }
+        // Derive the flat successors now, while the node is hot:
+        // SupersetEdges then skips its node re-scan entirely. The
+        // valid/falls/target mix varies byte to byte, so the
+        // selects are written as ternary chains (cmov) rather
+        // than branches.
+        const SupersetNode &node = nodes[off];
+        const Offset next = off + node.length;
+        u32 ft = !node.valid()        ? Superset::kEdgeInvalid
+                 : !node.fallsThrough() ? Superset::kEdgeNone
+                 : next < n             ? static_cast<u32>(next)
+                                        : Superset::kEdgeEscape;
+        const s64 t = static_cast<s64>(off) + node.targetRel;
+        u32 tgt =
+            !node.hasDirectTarget() ? Superset::kEdgeNone
+            : t >= 0 && static_cast<u64>(t) < n
+                ? static_cast<u32>(t)
+            : node.flow == x86::CtrlFlow::Call ? Superset::kEdgeEscapeCall
+                                               : Superset::kEdgeEscape;
+        ftSucc[off] = ft;
+        tgtSucc[off] = tgt;
+    }
+    return fast;
+}
+
 } // namespace
 
 Superset::Superset(ByteSpan bytes, std::vector<SupersetNode> nodes,
-                   u64 validCount)
-    : bytes_(bytes), nodes_(std::move(nodes)), validCount_(validCount)
+                   u64 validCount, x86::DecodeMode mode)
+    : bytes_(bytes), mode_(mode), nodes_(std::move(nodes)),
+      validCount_(validCount)
 {
     if (nodes_.size() != bytes.size())
         throw Error("superset: warm-start node count mismatch");
 }
 
-Superset::Superset(ByteSpan bytes) : Superset(bytes, false, nullptr) {}
+Superset::Superset(ByteSpan bytes, x86::DecodeMode mode)
+    : Superset(bytes, false, nullptr, mode)
+{
+}
 
-Superset::Superset(ByteSpan bytes, bool accelerated, HotPathStats *stats)
-    : bytes_(bytes)
+Superset::Superset(ByteSpan bytes, bool accelerated, HotPathStats *stats,
+                   x86::DecodeMode mode)
+    : bytes_(bytes), mode_(mode)
 {
     nodes_.resize(bytes.size());
     u64 fast = 0;
     if (accelerated) {
-        const std::size_t n = bytes.size();
-        ftSucc_.resize(n);
-        tgtSucc_.resize(n);
-        // Hoist the table base: fetching it per byte re-checks the
-        // lazy-init guard 20M+ times per corpus run.
-        const x86::PrescanEntry *table = x86::prescanTableData();
-        // Keys are data-dependent and the tables exceed L2; issuing
-        // the probe a cache-latency's worth of bytes early turns a
-        // miss per byte into a hit per byte on the sequential scan.
-        constexpr Offset kPrefetchAhead = 24;
-        for (Offset off = 0; off < n; ++off) {
-            if (off + kPrefetchAhead + 2 < n)
-                __builtin_prefetch(
-                    x86::prescanEntryAddr(table, bytes,
-                                          off + kPrefetchAhead),
-                    0, 1);
-            const x86::PrescanEntry *e =
-                x86::prescanLookup(table, bytes, off);
-            if (e) {
-                ++fast;
-                if (fillNode(nodes_[off], *e, bytes, off))
-                    ++validCount_;
-            } else if (fillNode(nodes_[off], x86::decode(bytes, off),
-                                off)) {
-                ++validCount_;
-            }
-            // Derive the flat successors now, while the node is hot:
-            // SupersetEdges then skips its node re-scan entirely. The
-            // valid/falls/target mix varies byte to byte, so the
-            // selects are written as ternary chains (cmov) rather
-            // than branches.
-            const SupersetNode &node = nodes_[off];
-            const Offset next = off + node.length;
-            u32 ft = !node.valid()        ? kEdgeInvalid
-                     : !node.fallsThrough() ? kEdgeNone
-                     : next < n             ? static_cast<u32>(next)
-                                            : kEdgeEscape;
-            const s64 t = static_cast<s64>(off) + node.targetRel;
-            u32 tgt =
-                !node.hasDirectTarget() ? kEdgeNone
-                : t >= 0 && static_cast<u64>(t) < n
-                    ? static_cast<u32>(t)
-                : node.flow == x86::CtrlFlow::Call ? kEdgeEscapeCall
-                                                   : kEdgeEscape;
-            ftSucc_[off] = ft;
-            tgtSucc_[off] = tgt;
-        }
+        fast = mode == x86::DecodeMode::X64
+                   ? scanAccelerated<x86::DecodeMode::X64>(
+                         bytes, nodes_, ftSucc_, tgtSucc_, validCount_)
+                   : scanAccelerated<x86::DecodeMode::X86>(
+                         bytes, nodes_, ftSucc_, tgtSucc_, validCount_);
     } else {
         for (Offset off = 0; off < bytes.size(); ++off) {
-            if (fillNode(nodes_[off], x86::decode(bytes, off), off))
+            if (fillNode(nodes_[off], x86::decode(bytes, off, mode),
+                         off))
                 ++validCount_;
         }
     }
@@ -140,7 +175,7 @@ Superset::Superset(ByteSpan bytes, bool accelerated, HotPathStats *stats)
 x86::Instruction
 Superset::decodeFull(Offset off) const
 {
-    return x86::decode(bytes_, off);
+    return x86::decode(bytes_, off, mode_);
 }
 
 } // namespace accdis

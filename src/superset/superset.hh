@@ -12,6 +12,7 @@
 #include "support/hotpath.hh"
 #include "support/types.hh"
 #include "x86/instruction.hh"
+#include "x86/mode.hh"
 
 namespace accdis
 {
@@ -136,33 +137,39 @@ static_assert(sizeof(SupersetNode) == 16,
 class Superset
 {
   public:
-    /** Decode every offset of @p bytes. */
-    explicit Superset(ByteSpan bytes);
+    /** Decode every offset of @p bytes under @p mode. */
+    explicit Superset(ByteSpan bytes,
+                      x86::DecodeMode mode = x86::DecodeMode::X64);
 
     /**
      * Decode every offset, optionally through the prescan fast path
-     * (x86/prescan.hh): offsets whose facets the template tables
+     * (x86/prescan.hh): offsets whose facets @p mode's template tables
      * determine skip the full decoder. Output is byte-identical to the
      * plain constructor — the prescan defers anything it cannot prove.
      * @p stats (may be null) receives fast-path/total node counts.
      */
-    Superset(ByteSpan bytes, bool accelerated, HotPathStats *stats);
+    Superset(ByteSpan bytes, bool accelerated, HotPathStats *stats,
+             x86::DecodeMode mode = x86::DecodeMode::X64);
 
     /**
      * Rebind previously decoded nodes to @p bytes without re-decoding
      * (cache warm start). @p nodes must be the decode of exactly
-     * these bytes — one node per byte offset; callers get that
-     * guarantee from the result cache's content-hash key.
+     * these bytes under @p mode — one node per byte offset; callers
+     * get that guarantee from the result cache's content+mode key.
      * @throws Error when the node count does not match the section.
      */
     Superset(ByteSpan bytes, std::vector<SupersetNode> nodes,
-             u64 validCount);
+             u64 validCount,
+             x86::DecodeMode mode = x86::DecodeMode::X64);
 
     /** Number of byte offsets (== section size). */
     std::size_t size() const { return nodes_.size(); }
 
     /** The raw section bytes the superset was built over. */
     ByteSpan bytes() const { return bytes_; }
+
+    /** The decode mode the superset was built under. */
+    x86::DecodeMode mode() const { return mode_; }
 
     /** Node at @p off. @pre off < size(). */
     const SupersetNode &node(Offset off) const { return nodes_[off]; }
@@ -252,6 +259,7 @@ class Superset
 
   private:
     ByteSpan bytes_;
+    x86::DecodeMode mode_ = x86::DecodeMode::X64;
     std::vector<SupersetNode> nodes_;
     std::vector<u32> ftSucc_;
     std::vector<u32> tgtSucc_;

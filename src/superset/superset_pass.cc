@@ -14,7 +14,7 @@ SupersetDecodePass::run(AnalysisContext &ctx) const
     // the bytes, so re-decoding would only reproduce them.
     if (!ctx.superset.present())
         ctx.superset.emplace(ctx.bytes, ctx.config.acceleratedHotPath,
-                             ctx.config.hotPathStats);
+                             ctx.config.hotPathStats, ctx.config.mode);
     ctx.stats.supersetBytes =
         ctx.superset->size() * sizeof(SupersetNode);
 }

@@ -38,8 +38,11 @@ namespace accdis
  * cache entry. Bump on ANY change to the codec, the artifact layouts,
  * the content hash, or the meaning of existing fields; a version
  * mismatch invalidates every cache entry cleanly.
+ *
+ * v3: superset and explain artifacts carry the decode mode they were
+ * produced under, and decoding refuses a mode-mismatched payload.
  */
-inline constexpr u32 kSchemaVersion = 2;
+inline constexpr u32 kSchemaVersion = 3;
 
 /** Thrown on truncated or malformed serialized input. */
 class SerializeError : public Error

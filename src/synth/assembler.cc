@@ -60,14 +60,35 @@ Assembler::finalize()
                       static_cast<u64>(fix.anchor) +
                           static_cast<u64>(target));
             break;
+          case FixKind::Vaddr32:
+            writeLe32(out_, fix.at,
+                      static_cast<u32>(static_cast<u64>(fix.anchor) +
+                                       static_cast<u64>(target)));
+            break;
         }
     }
     fixups_.clear();
 }
 
+int
+Assembler::opSize(int size) const
+{
+    return mode_ == x86::DecodeMode::X86 && size == 8 ? 4 : size;
+}
+
 void
 Assembler::emitRex(bool w, u8 reg, u8 index, u8 rm, bool force)
 {
+    if (mode_ == x86::DecodeMode::X86) {
+        // No REX in 32-bit mode; the generator's register pools keep
+        // everything in the 8 low GPRs.
+        assert(reg == 0xff || reg < 8);
+        assert(index == 0xff || index < 8);
+        assert(rm == 0xff || rm < 8);
+        (void)w;
+        (void)force;
+        return;
+    }
     u8 rex = 0x40;
     if (w)
         rex |= 0x08;
@@ -91,6 +112,9 @@ void
 Assembler::emitMem(u8 reg, const Mem &mem)
 {
     const u8 regBits = static_cast<u8>((reg & 7) << 3);
+    // mod=0 rm=101 is RIP-relative only in 64-bit mode; 32-bit code
+    // paths materialize absolute addresses instead of using Mem::rip.
+    assert(!mem.ripRel || mode_ == x86::DecodeMode::X64);
     if (mem.ripRel) {
         emit(static_cast<u8>(0x00 | regBits | 5));
         appendLe32(out_, static_cast<u32>(mem.disp));
@@ -140,6 +164,7 @@ Assembler::emitMem(u8 reg, const Mem &mem)
 void
 Assembler::movRR(Reg dst, Reg src, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -151,6 +176,7 @@ Assembler::movRR(Reg dst, Reg src, int size)
 void
 Assembler::movRI(Reg dst, s64 imm, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 8 && (imm < INT32_MIN || imm > INT32_MAX)) {
         emitRex(true, 0xff, 0xff, dst);
@@ -185,6 +211,14 @@ void
 Assembler::movRVaddr64(Reg dst, Label label, Addr sectionBase)
 {
     startInsn();
+    if (mode_ == x86::DecodeMode::X86) {
+        // 32-bit pointers: plain mov r32, imm32.
+        emit(static_cast<u8>(0xb8 | (dst & 7)));
+        Offset at = here();
+        appendLe32(out_, 0);
+        fixups_.push_back({at, sectionBase, label, FixKind::Vaddr32});
+        return;
+    }
     emitRex(true, 0xff, 0xff, dst);
     emit(static_cast<u8>(0xb8 | (dst & 7)));
     Offset at = here();
@@ -195,6 +229,7 @@ Assembler::movRVaddr64(Reg dst, Label label, Addr sectionBase)
 void
 Assembler::movRM(Reg dst, const Mem &mem, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -206,6 +241,7 @@ Assembler::movRM(Reg dst, const Mem &mem, int size)
 void
 Assembler::movMR(const Mem &mem, Reg src, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -217,6 +253,7 @@ Assembler::movMR(const Mem &mem, Reg src, int size)
 void
 Assembler::movMI(const Mem &mem, s32 imm, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -245,6 +282,9 @@ Assembler::movzxRM(Reg dst, const Mem &mem, int srcSize)
 void
 Assembler::movsxdRM(Reg dst, const Mem &mem)
 {
+    // 0x63 is arpl in 32-bit mode; jump-table dispatch uses a plain
+    // 32-bit load there instead.
+    assert(mode_ == x86::DecodeMode::X64);
     startInsn();
     emitRex(true, dst, mem.index, mem.base);
     emit(0x63);
@@ -261,8 +301,12 @@ Assembler::leaRM(Reg dst, const Mem &mem)
 }
 
 void
-Assembler::leaRipLabel(Reg dst, Label label)
+Assembler::leaRipLabel(Reg dst, Label label, Addr sectionBase)
 {
+    if (mode_ == x86::DecodeMode::X86) {
+        movRVaddr64(dst, label, sectionBase);
+        return;
+    }
     startInsn();
     emitRex(true, dst, 0xff, 0xff);
     emit(0x8d);
@@ -275,6 +319,10 @@ Assembler::leaRipLabel(Reg dst, Label label)
 void
 Assembler::leaRipVaddr(Reg dst, Addr targetVaddr, Addr textBase)
 {
+    if (mode_ == x86::DecodeMode::X86) {
+        movRI(dst, static_cast<s64>(static_cast<s32>(targetVaddr)), 4);
+        return;
+    }
     startInsn();
     emitRex(true, dst, 0xff, 0xff);
     emit(0x8d);
@@ -290,6 +338,7 @@ Assembler::leaRipVaddr(Reg dst, Addr targetVaddr, Addr textBase)
 void
 Assembler::aluRR(int opIndex, Reg dst, Reg src, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -301,6 +350,7 @@ Assembler::aluRR(int opIndex, Reg dst, Reg src, int size)
 void
 Assembler::aluRI(int opIndex, Reg dst, s32 imm, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -324,6 +374,7 @@ Assembler::aluRI(int opIndex, Reg dst, s32 imm, int size)
 void
 Assembler::aluRM(int opIndex, Reg dst, const Mem &mem, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -335,6 +386,7 @@ Assembler::aluRM(int opIndex, Reg dst, const Mem &mem, int size)
 void
 Assembler::testRR(Reg a, Reg b, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -346,6 +398,7 @@ Assembler::testRR(Reg a, Reg b, int size)
 void
 Assembler::imulRR(Reg dst, Reg src, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -359,6 +412,7 @@ void
 Assembler::shiftRI(bool right, bool arithmetic, Reg reg, u8 amount,
                    int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -377,7 +431,14 @@ Assembler::shiftRI(bool right, bool arithmetic, Reg reg, u8 amount,
 void
 Assembler::incR(Reg reg, int size)
 {
+    size = opSize(size);
     startInsn();
+    // 32-bit compilers pick the one-byte 0x40|r form (a REX slot in
+    // 64-bit mode, where the FF /0 form is the only encoding).
+    if (mode_ == x86::DecodeMode::X86 && size == 4) {
+        emit(static_cast<u8>(0x40 | (reg & 7)));
+        return;
+    }
     if (size == 2)
         emit(0x66);
     emitRex(size == 8, 0xff, 0xff, reg);
@@ -388,7 +449,12 @@ Assembler::incR(Reg reg, int size)
 void
 Assembler::decR(Reg reg, int size)
 {
+    size = opSize(size);
     startInsn();
+    if (mode_ == x86::DecodeMode::X86 && size == 4) {
+        emit(static_cast<u8>(0x48 | (reg & 7)));
+        return;
+    }
     if (size == 2)
         emit(0x66);
     emitRex(size == 8, 0xff, 0xff, reg);
@@ -399,6 +465,7 @@ Assembler::decR(Reg reg, int size)
 void
 Assembler::negR(Reg reg, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -410,6 +477,7 @@ Assembler::negR(Reg reg, int size)
 void
 Assembler::cmovccRR(u8 cond, Reg dst, Reg src, int size)
 {
+    size = opSize(size);
     startInsn();
     if (size == 2)
         emit(0x66);
@@ -423,8 +491,10 @@ void
 Assembler::setccR(u8 cond, Reg reg)
 {
     startInsn();
-    // REX needed for spl/bpl/sil/dil and r8b-r15b.
-    emitRex(false, 0xff, 0xff, reg, reg >= 4);
+    // REX needed for spl/bpl/sil/dil and r8b-r15b (64-bit only; the
+    // 32-bit encodings 4-7 are ah/ch/dh/bh and need no prefix).
+    emitRex(false, 0xff, 0xff, reg,
+            mode_ == x86::DecodeMode::X64 && reg >= 4);
     emit(0x0f);
     emit(static_cast<u8>(0x90 | (cond & 0x0f)));
     emitModRmReg(0, reg);
@@ -552,13 +622,20 @@ Assembler::call(Label label)
 }
 
 void
-Assembler::callRipMem(Label label)
+Assembler::callRipMem(Label label, Addr sectionBase)
 {
     startInsn();
     emit(0xff);
-    emit(0x15); // modrm: reg=2, rm=101 (RIP-relative).
+    emit(0x15); // modrm: reg=2, rm=101.
     Offset at = here();
     appendLe32(out_, 0);
+    if (mode_ == x86::DecodeMode::X86) {
+        // Same opcode bytes, different meaning: mod=0 rm=101 is an
+        // absolute [disp32] in 32-bit mode, so the slot's virtual
+        // address is patched in rather than a RIP delta.
+        fixups_.push_back({at, sectionBase, label, FixKind::Vaddr32});
+        return;
+    }
     fixups_.push_back({at, here(), label, FixKind::Rel32});
 }
 
@@ -620,13 +697,13 @@ Assembler::ud2()
 }
 
 void
-Assembler::endbr64()
+Assembler::endbr()
 {
     startInsn();
     emit(0xf3);
     emit(0x0f);
     emit(0x1e);
-    emit(0xfa);
+    emit(mode_ == x86::DecodeMode::X86 ? 0xfb : 0xfa);
 }
 
 void
@@ -686,6 +763,23 @@ Assembler::rawLabelVaddr64(Label label, Addr sectionBase)
     Offset at = here();
     appendLe64(out_, 0);
     fixups_.push_back({at, sectionBase, label, FixKind::Vaddr64});
+}
+
+void
+Assembler::rawLabelVaddr32(Label label, Addr sectionBase)
+{
+    Offset at = here();
+    appendLe32(out_, 0);
+    fixups_.push_back({at, sectionBase, label, FixKind::Vaddr32});
+}
+
+void
+Assembler::rawLabelVaddr(Label label, Addr sectionBase)
+{
+    if (mode_ == x86::DecodeMode::X86)
+        rawLabelVaddr32(label, sectionBase);
+    else
+        rawLabelVaddr64(label, sectionBase);
 }
 
 } // namespace accdis::synth

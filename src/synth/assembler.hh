@@ -1,11 +1,19 @@
 /**
  * @file
- * A small x86-64 assembler used by the synthetic binary generator.
+ * A small x86 assembler used by the synthetic binary generator.
  *
  * Emits the compiler-idiomatic instruction subset with label/fixup
  * management for intra-section branches, calls and RIP-relative data
  * references. Every emitted byte sequence is, by construction, a valid
  * encoding for the accdis decoder (round-trip tested).
+ *
+ * The assembler is mode-aware (x86/mode.hh): under DecodeMode::X86 it
+ * never emits REX bytes (the register pool is the 8 low GPRs), clamps
+ * 64-bit operand requests to the 32-bit native width, replaces the
+ * RIP-relative idioms with their absolute-address 32-bit counterparts
+ * (mov reg, imm32 address materialization; call [disp32] import
+ * stubs) and uses the one-byte 0x40-0x4F inc/dec forms a 32-bit
+ * compiler would pick.
  */
 
 #ifndef ACCDIS_SYNTH_ASSEMBLER_HH
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "support/types.hh"
+#include "x86/mode.hh"
 #include "x86/registers.hh"
 
 namespace accdis::synth
@@ -70,7 +79,13 @@ struct Mem
 class Assembler
 {
   public:
-    explicit Assembler(ByteVec &out) : out_(out) {}
+    explicit Assembler(ByteVec &out,
+                       x86::DecodeMode mode = x86::DecodeMode::X64)
+        : out_(out), mode_(mode)
+    {}
+
+    /** The decode mode emitted encodings are valid under. */
+    x86::DecodeMode mode() const { return mode_; }
 
     /** Current offset (== size of the buffer so far). */
     Offset here() const { return out_.size(); }
@@ -97,7 +112,8 @@ class Assembler
     // --- Moves --------------------------------------------------------
     void movRR(Reg dst, Reg src, int size = 8);
     void movRI(Reg dst, s64 imm, int size = 8);
-    /** movabs dst, sectionBase + offset(label) (10-byte imm64 form). */
+    /** mov dst, sectionBase + offset(label): the 10-byte movabs
+     *  imm64 form in x64, the 5-byte mov r32, imm32 form in x86-32. */
     void movRVaddr64(Reg dst, Label label, Addr sectionBase);
     /** mov dst, [mem] */
     void movRM(Reg dst, const Mem &mem, int size = 8);
@@ -106,14 +122,21 @@ class Assembler
     /** mov dword/qword ptr [mem], imm32 */
     void movMI(const Mem &mem, s32 imm, int size = 4);
     void movzxRM(Reg dst, const Mem &mem, int srcSize);
+    /** movsxd dst, dword ptr [mem]. @pre mode() == X64. */
     void movsxdRM(Reg dst, const Mem &mem);
     void leaRM(Reg dst, const Mem &mem);
-    /** lea dst, [rip + (label - end-of-insn)] */
-    void leaRipLabel(Reg dst, Label label);
     /**
-     * lea dst, [rip + delta] targeting an absolute virtual address in
-     * another section. @p textBase is the virtual address of this
-     * buffer's first byte.
+     * Materialize the address of @p label into @p dst: in x64
+     * lea dst, [rip + (label - end-of-insn)]; in x86-32 the PC-less
+     * equivalent mov dst, imm32 (needs @p sectionBase to resolve the
+     * label to a virtual address; ignored in x64).
+     */
+    void leaRipLabel(Reg dst, Label label, Addr sectionBase = 0);
+    /**
+     * Materialize the absolute virtual address @p targetVaddr (in
+     * another section) into @p dst: lea dst, [rip + delta] in x64,
+     * mov dst, imm32 in x86-32. @p textBase is the virtual address of
+     * this buffer's first byte.
      */
     void leaRipVaddr(Reg dst, Addr targetVaddr, Addr textBase);
 
@@ -154,8 +177,13 @@ class Assembler
     void jmpShort(Label label);
     void jcc(u8 cond, Label label);
     void call(Label label);
-    /** call qword ptr [rip + (label - end)] (import-style call). */
-    void callRipMem(Label label);
+    /**
+     * Import-style memory-indirect call through the slot at @p label:
+     * call qword ptr [rip + (label - end)] in x64, the absolute
+     * call dword ptr [disp32] form in x86-32 (needs @p sectionBase to
+     * resolve the slot's virtual address; ignored in x64).
+     */
+    void callRipMem(Label label, Addr sectionBase = 0);
     void callR(Reg reg);
     void jmpR(Reg reg);
     void ret();
@@ -163,7 +191,8 @@ class Assembler
     void leave();
     void int3();
     void ud2();
-    void endbr64();
+    /** CET landing pad: endbr64 in x64 mode, endbr32 in x86-32. */
+    void endbr();
     /** Canonical multi-byte NOP of the given length (1-9 bytes). */
     void nop(int length = 1);
     void repMovsb();
@@ -177,6 +206,11 @@ class Assembler
     void rawLabelDelta32(Label label, Offset base);
     /** Append a 64-bit slot holding sectionBase + label offset. */
     void rawLabelVaddr64(Label label, Addr sectionBase);
+    /** Append a 32-bit slot holding sectionBase + label offset
+     *  (x86-32 pointer width). */
+    void rawLabelVaddr32(Label label, Addr sectionBase);
+    /** Append a pointer-width slot for the current mode. */
+    void rawLabelVaddr(Label label, Addr sectionBase);
 
   private:
     enum class FixKind : u8
@@ -185,6 +219,7 @@ class Assembler
         Rel32,    ///< 4-byte displacement relative to fixed end.
         Delta32,  ///< 4-byte label offset minus stored base.
         Vaddr64,  ///< 8-byte absolute address (base + label offset).
+        Vaddr32,  ///< 4-byte absolute address (base + label offset).
     };
 
     struct Fixup
@@ -200,8 +235,12 @@ class Assembler
     void emitRex(bool w, u8 reg, u8 index, u8 rm, bool force = false);
     void emitModRmReg(u8 reg, u8 rm);
     void emitMem(u8 reg, const Mem &mem);
+    /** Operand size after the mode's width clamp (x86-32 has no
+     *  64-bit operands; native width requests become 4). */
+    int opSize(int size) const;
 
     ByteVec &out_;
+    x86::DecodeMode mode_ = x86::DecodeMode::X64;
     std::vector<Offset> starts_;
     std::vector<Offset> labels_;
     std::vector<bool> bound_;

@@ -17,11 +17,18 @@ const Reg kScratchPool[] = {x86::RAX, x86::RCX, x86::RDX, x86::RSI,
 const Reg kSaveePool[] = {x86::RBX, x86::R12, x86::R13, x86::R14,
                           x86::R15};
 
+/** 32-bit pools: no extended registers, esp/ebp reserved. */
+const Reg kScratchPool32[] = {x86::RAX, x86::RCX, x86::RDX};
+
+const Reg kSaveePool32[] = {x86::RBX, x86::RSI, x86::RDI};
+
 } // namespace
 
 Reg
 CodeGenerator::scratch()
 {
+    if (as_.mode() == x86::DecodeMode::X86)
+        return kScratchPool32[rng_.below(std::size(kScratchPool32))];
     return kScratchPool[rng_.below(std::size(kScratchPool))];
 }
 
@@ -154,7 +161,8 @@ CodeGenerator::emitCallStep(const FuncRequest &request)
     if (!request.funcPtrSlots.empty() && rng_.chance(0.25)) {
         // Import-style indirect call through a pointer slot.
         as_.callRipMem(request.funcPtrSlots[rng_.below(
-            request.funcPtrSlots.size())]);
+                           request.funcPtrSlots.size())],
+                       request.sectionBase);
     } else if (!request.regCallees.empty() && rng_.chance(0.2)) {
         // Materialized-constant indirect call: the classic pattern
         // that defeats plain recursive traversal.
@@ -165,9 +173,13 @@ CodeGenerator::emitCallStep(const FuncRequest &request)
                         request.sectionBase);
         as_.callR(reg);
     } else if (!request.callees.empty()) {
-        // Argument setup then a direct call.
+        // Argument setup then a direct call: SysV registers in x64,
+        // fastcall-style registers in x86-32.
         int args = static_cast<int>(rng_.below(3));
-        const Reg argRegs[] = {x86::RDI, x86::RSI, x86::RDX};
+        const bool is32 = as_.mode() == x86::DecodeMode::X86;
+        const Reg argRegs64[] = {x86::RDI, x86::RSI, x86::RDX};
+        const Reg argRegs32[] = {x86::RCX, x86::RDX, x86::RAX};
+        const Reg *argRegs = is32 ? argRegs32 : argRegs64;
         for (int i = 0; i < args; ++i) {
             if (rng_.chance(0.5))
                 as_.movRI(argRegs[i],
@@ -269,16 +281,24 @@ CodeGenerator::emitJumpTable(const FuncRequest &request,
     Label join = as_.newLabel();
     Label table = rodata ? kNoLabel : as_.newLabel();
 
-    // Bounds check + the canonical PIC jump-table dispatch sequence.
+    // Bounds check + the canonical jump-table dispatch sequence:
+    // PIC (rip-relative base, movsxd) in x64, absolute table address
+    // and a plain 32-bit load in x86-32. Both layouts store
+    // case-minus-table deltas, so dispatch is load + add + jmp reg.
     as_.aluRI(7, sel, cases - 1, 4); // cmp sel, N-1
     as_.jcc(7, join);                // ja -> default path (join)
     if (rodata)
         as_.leaRipVaddr(tbl, request.jumpTableVaddr,
                         request.sectionBase);
     else
-        as_.leaRipLabel(tbl, table);
-    as_.movsxdRM(off, Mem::baseIndex(tbl, sel, 2));
-    as_.aluRR(0, tbl, off, 8); // add tbl, off
+        as_.leaRipLabel(tbl, table, request.sectionBase);
+    if (as_.mode() == x86::DecodeMode::X86) {
+        as_.movRM(off, Mem::baseIndex(tbl, sel, 2), 4);
+        as_.aluRR(0, tbl, off, 4); // add tbl, off
+    } else {
+        as_.movsxdRM(off, Mem::baseIndex(tbl, sel, 2));
+        as_.aluRR(0, tbl, off, 8); // add tbl, off
+    }
     as_.jmpR(tbl);
 
     // Case bodies; every case jumps (or falls through) to join.
@@ -332,7 +352,7 @@ CodeGenerator::generate(const FuncRequest &request)
     // Prologue. Two flavors: rbp frame (leave/ret epilogue, no callee
     // saves to keep the unwind trivial) or frameless with saves.
     if (style_.emitEndbr && rng_.chance(0.9))
-        as_.endbr64();
+        as_.endbr();
     hasFrame_ = !rng_.chance(style_.framelessFraction);
     savedRegs_.clear();
     if (hasFrame_) {
@@ -340,8 +360,10 @@ CodeGenerator::generate(const FuncRequest &request)
         as_.movRR(x86::RBP, x86::RSP, 8);
     } else {
         int saves = static_cast<int>(rng_.below(3));
+        const bool is32 = as_.mode() == x86::DecodeMode::X86;
         for (int i = 0; i < saves; ++i)
-            savedRegs_.push_back(kSaveePool[i]);
+            savedRegs_.push_back(is32 ? kSaveePool32[i]
+                                      : kSaveePool[i]);
         for (Reg r : savedRegs_)
             as_.pushR(r);
     }

@@ -108,11 +108,12 @@ buildSynthBinary(const CorpusConfig &config)
 {
     Rng rng(config.seed);
     ByteVec text;
-    Assembler as(text);
+    Assembler as(text, config.mode);
     DataGenerator datagen(rng);
     TruthBuilder truth;
     SynthBinary result;
     result.image = BinaryImage(config.name);
+    result.image.setMode(config.mode);
 
     const int n = std::max(1, config.numFunctions);
 
@@ -245,7 +246,7 @@ buildSynthBinary(const CorpusConfig &config)
             }
             if (target < 0)
                 target = static_cast<int>(rng.below(n));
-            as.rawLabelVaddr64(entries[target], kSynthTextBase);
+            as.rawLabelVaddr(entries[target], kSynthTextBase);
         }
         truth.markData(begin, as.here(), DataOrigin::PointerPool);
         dataEmitted += as.here() - begin;

@@ -32,6 +32,14 @@ struct CorpusConfig
     std::string name = "synth";
     int numFunctions = 64;
 
+    /**
+     * Decode mode of the generated code. x86-32 binaries use the
+     * 32-bit idioms throughout (no REX, absolute addresses in place
+     * of RIP-relative, one-byte inc/dec, 4-byte pointer slots) and
+     * stamp the mode on the produced BinaryImage.
+     */
+    x86::DecodeMode mode = x86::DecodeMode::X64;
+
     /** Target fraction of section bytes that is embedded data. */
     double dataFraction = 0.15;
     /** Interleave data regions between functions; else pool at end. */
@@ -55,7 +63,8 @@ struct CorpusConfig
 
     /** Functions reachable only through the pointer pool. */
     double addressTakenFraction = 0.15;
-    /** 8-byte function-pointer slots embedded in .text. */
+    /** Pointer-width (8/4-byte by mode) function-pointer slots
+     *  embedded in .text. */
     int pointerSlots = 8;
     /** Emit mov reg, imm64; call reg idioms (large-code-model /
      *  handwritten style); defeats plain recursive traversal. */

@@ -19,6 +19,7 @@ struct Ctx
     ByteSpan bytes;
     Offset start = 0;
     Offset cursor = 0;
+    DecodeMode mode = DecodeMode::X64;
 
     // Prefix state.
     u8 rex = 0;          ///< REX byte (0x40-0x4f) or 0.
@@ -101,7 +102,9 @@ consumePrefixes(Ctx &ctx)
             ++ctx.segCount;
             break;
           default:
-            if (b >= 0x40 && b <= 0x4f) {
+            // REX exists only in 64-bit mode; in 32-bit mode
+            // 0x40-0x4F are one-byte inc/dec and reach table dispatch.
+            if (ctx.mode == DecodeMode::X64 && b >= 0x40 && b <= 0x4f) {
                 if (ctx.rex)
                     ctx.redundant = true;
                 ctx.rex = b;
@@ -162,9 +165,13 @@ consumeModRm(Ctx &ctx, Instruction &insn)
             insn.sibBase = base;
         }
     } else if (rm == 5 && insn.modrmMod == 0) {
-        // RIP-relative addressing.
-        insn.ripRelative = true;
-        insn.flags |= kFlagRipRelative;
+        if (ctx.mode == DecodeMode::X64) {
+            // RIP-relative addressing.
+            insn.ripRelative = true;
+            insn.flags |= kFlagRipRelative;
+        }
+        // 32-bit mode: absolute disp32, no base register (sibBase
+        // stays 0xff so the address computation reads no registers).
         dispSize = 4;
     } else {
         insn.sibBase = insn.modrmRm;
@@ -436,8 +443,17 @@ applySemantics(Ctx &ctx, Instruction &insn, const OpSpec &sp)
         break;
 
       case Op::Inc: case Op::Dec:
-        addRmRead(insn);
-        addRmWrite(insn);
+        if (!insn.hasModRm && insn.opcodeMap == 0 &&
+            (insn.opcodeByte & 0xf0) == 0x40) {
+            // 32-bit one-byte inc/dec r32 (REX slots in 64-bit mode).
+            u8 reg = insn.opcodeByte & 7;
+            insn.opReg = reg;
+            insn.regsRead |= regBit(reg);
+            insn.regsWritten |= regBit(reg);
+        } else {
+            addRmRead(insn);
+            addRmWrite(insn);
+        }
         insn.regsWritten |= kFlagsBit;
         break;
 
@@ -720,7 +736,7 @@ applySemantics(Ctx &ctx, Instruction &insn, const OpSpec &sp)
 } // namespace
 
 Instruction
-decode(ByteSpan bytes, Offset off)
+decode(ByteSpan bytes, Offset off, DecodeMode mode)
 {
     if (off >= bytes.size())
         return invalid(off);
@@ -729,6 +745,7 @@ decode(ByteSpan bytes, Offset off)
     ctx.bytes = bytes;
     ctx.start = off;
     ctx.cursor = off;
+    ctx.mode = mode;
 
     if (!consumePrefixes(ctx))
         return invalid(off);
@@ -741,7 +758,14 @@ decode(ByteSpan bytes, Offset off)
     // Opcode dispatch: VEX escapes, 0F escapes, or the one-byte map.
     const OpSpec *sp = nullptr;
     u8 opcode = ctx.take();
-    if (opcode == 0x62) {
+    // 0x62 is the EVEX escape only in 64-bit mode (bound in 32-bit);
+    // C4/C5 are VEX escapes in 64-bit mode, but les/lds in 32-bit mode
+    // unless the would-be ModRM byte has mod == 3 (the register form
+    // les/lds #UDs on — exactly the VEX discriminator hardware uses).
+    bool vexEscape = opcode == 0xc4 || opcode == 0xc5;
+    if (vexEscape && mode == DecodeMode::X86)
+        vexEscape = ctx.remaining(1) && (ctx.peek() & 0xc0) == 0xc0;
+    if (opcode == 0x62 && mode == DecodeMode::X64) {
         // EVEX (AVX-512). Four-byte prefix: 62 P0 P1 P2, then the
         // opcode from the map selected by P0[2:0], ModRM operands, and
         // an imm8 for map 3. REX or legacy mandatory prefixes before
@@ -770,7 +794,7 @@ decode(ByteSpan bytes, Offset off)
         static const OpSpec evexMI8 = {Op::Sse, Enc::MI8,
                                        CtrlFlow::None, 0, -1};
         sp = map == 3 ? &evexMI8 : &evexM;
-    } else if (opcode == 0xc4 || opcode == 0xc5) {
+    } else if (vexEscape) {
         // VEX. REX or mandatory prefixes before VEX are #UD.
         if (ctx.rex || ctx.opSize66 || ctx.rep || ctx.lock)
             return invalid(off);
@@ -806,7 +830,7 @@ decode(ByteSpan bytes, Offset off)
         static const OpSpec vex0f3a = {Op::Sse, Enc::MI8, CtrlFlow::None,
                                        0, -1};
         if (ctx.vexMap == 1) {
-            sp = &twoByteMap()[opcode];
+            sp = &twoByteMap(mode)[opcode];
             // Only data-processing opcodes exist under VEX, plus the
             // AVX-512 mask-register ops (kmov/kand/kortest/...) that
             // reuse 0F-map slots 41-4F, 90-93 and 98-99.
@@ -842,7 +866,7 @@ decode(ByteSpan bytes, Offset off)
         } else {
             insn.opcodeByte = second;
             insn.opcodeMap = 1;
-            sp = &twoByteMap()[second];
+            sp = &twoByteMap(mode)[second];
             // popcnt/tzcnt/lzcnt require F3; plain 0FB8 is undefined.
             if (second == 0xb8 && ctx.rep != 0xf3)
                 return invalid(off);
@@ -850,7 +874,7 @@ decode(ByteSpan bytes, Offset off)
     } else {
         insn.opcodeByte = opcode;
         insn.opcodeMap = 0;
-        sp = &oneByteMap()[opcode];
+        sp = &oneByteMap(mode)[opcode];
     }
 
     if (sp->op == Op::Invalid)
@@ -865,6 +889,11 @@ decode(ByteSpan bytes, Offset off)
     if (enc == Enc::M || enc == Enc::MI8 || enc == Enc::MIz ||
         sp->group >= 0) {
         if (!consumeModRm(ctx, insn))
+            return invalid(off);
+        // bound (32-bit 0x62) requires a memory operand; its mod=3
+        // form is the VEX/EVEX discriminator on real hardware.
+        if (mode == DecodeMode::X86 && insn.opcodeMap == 0 &&
+            insn.opcodeByte == 0x62 && insn.modrmMod == 3)
             return invalid(off);
     }
 
@@ -886,7 +915,7 @@ decode(ByteSpan bytes, Offset off)
                 insn.length = static_cast<u8>(ctx.cursor - off);
                 insn.target = static_cast<s64>(insn.end()) + insn.imm;
                 insn.hasTarget = true;
-                insn.opSize = 8;
+                insn.opSize = modeFacets(ctx.mode).d64Size;
                 return insn;
             }
             insn.op = Op::Xabort;
@@ -918,15 +947,17 @@ decode(ByteSpan bytes, Offset off)
     if (flags & kSpecCond)
         insn.cond = insn.opcodeByte & 0x0f;
 
-    // Operand size.
+    // Operand size. The 64-bit promotions (REX.W/VEX.W and the
+    // default-64 push/pop/branch class) do not exist in 32-bit mode,
+    // where the ceiling is modeFacets(mode).maxOpSize == 4.
     if (byteOp) {
         insn.opSize = 1;
         insn.flags |= kFlagByteOp;
-    } else if (ctx.rexW()) {
+    } else if (mode == DecodeMode::X64 && ctx.rexW()) {
         insn.opSize = 8;
     } else if (ctx.opSize66) {
         insn.opSize = 2;
-    } else if (flags & kSpecD64) {
+    } else if (mode == DecodeMode::X64 && (flags & kSpecD64)) {
         insn.opSize = 8;
     } else {
         insn.opSize = 4;
@@ -984,13 +1015,33 @@ decode(ByteSpan bytes, Offset off)
                 return invalid(off);
         }
         break;
+      case Enc::APtr: {
+        // Far ptr16:32 (or ptr16:16 with 66h): absolute offset then a
+        // 2-byte segment selector. Never a section-relative target.
+        int offBytes = ctx.opSize66 ? 2 : 4;
+        if (!ctx.remaining(static_cast<u64>(offBytes) + 2))
+            return invalid(off);
+        insn.imm = offBytes == 2
+                       ? static_cast<s64>(readLe16(ctx.bytes, ctx.cursor))
+                       : static_cast<s64>(readLe32(ctx.bytes, ctx.cursor));
+        ctx.cursor += offBytes;
+        insn.disp = static_cast<s64>(readLe16(ctx.bytes, ctx.cursor));
+        ctx.cursor += 2;
+        insn.hasImm = true;
+        break;
+      }
       case Enc::MOffs: {
-        int addrBytes = ctx.addrSize67 ? 4 : 8;
+        int addrBytes = ctx.mode == DecodeMode::X86
+                            ? (ctx.addrSize67 ? 2 : 4)
+                            : (ctx.addrSize67 ? 4 : 8);
         if (!ctx.remaining(static_cast<u64>(addrBytes)))
             return invalid(off);
-        insn.disp = addrBytes == 8
-                        ? static_cast<s64>(readLe64(ctx.bytes, ctx.cursor))
-                        : static_cast<s64>(readLe32(ctx.bytes, ctx.cursor));
+        if (addrBytes == 8)
+            insn.disp = static_cast<s64>(readLe64(ctx.bytes, ctx.cursor));
+        else if (addrBytes == 4)
+            insn.disp = static_cast<s64>(readLe32(ctx.bytes, ctx.cursor));
+        else
+            insn.disp = static_cast<s64>(readLe16(ctx.bytes, ctx.cursor));
         ctx.cursor += addrBytes;
         break;
       }

@@ -1,13 +1,17 @@
 /**
  * @file
- * From-scratch x86-64 instruction decoder.
+ * From-scratch, mode-aware x86 instruction decoder.
  *
- * The decoder is length-exact for the 64-bit instruction subset that
- * compilers emit (all one-byte opcodes valid in long mode, the 0F map,
- * the 0F38/0F3A escapes, VEX), and classifies each decode with the
- * semantic facets the disassembly analyses need: control-flow class,
- * direct branch targets, register def/use masks, and behavioral oddity
- * flags (privileged, rare, redundant prefixes, ...).
+ * The decoder is length-exact for the instruction subset that
+ * compilers emit (all one-byte opcodes valid in the selected mode, the
+ * 0F map, the 0F38/0F3A escapes, VEX), and classifies each decode with
+ * the semantic facets the disassembly analyses need: control-flow
+ * class, direct branch targets, register def/use masks, and behavioral
+ * oddity flags (privileged, rare, redundant prefixes, ...).
+ *
+ * Mode differences are confined to the opcode tables plus a handful of
+ * facet decisions (REX-vs-inc/dec, operand-size defaults, mod=0 rm=5
+ * resolution, VEX-vs-les/lds); see x86/mode.hh.
  */
 
 #ifndef ACCDIS_X86_DECODER_HH
@@ -15,12 +19,13 @@
 
 #include "support/types.hh"
 #include "x86/instruction.hh"
+#include "x86/mode.hh"
 
 namespace accdis::x86
 {
 
 /**
- * Decode one instruction at @p off within @p bytes.
+ * Decode one instruction at @p off within @p bytes under @p mode.
  *
  * On failure (undefined opcode, instruction longer than 15 bytes or
  * running past the end of @p bytes, encodings that #UD such as LOCK on
@@ -31,7 +36,8 @@ namespace accdis::x86
  * section-relative offsets (Instruction::target); they may lie outside
  * [0, bytes.size()) and callers decide how to treat escaping flow.
  */
-Instruction decode(ByteSpan bytes, Offset off);
+Instruction decode(ByteSpan bytes, Offset off,
+                   DecodeMode mode = DecodeMode::X64);
 
 } // namespace accdis::x86
 

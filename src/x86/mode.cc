@@ -1,0 +1,28 @@
+#include "x86/mode.hh"
+
+#include <cstring>
+
+namespace accdis::x86
+{
+
+bool
+decodeModeFromName(const char *name, DecodeMode &out)
+{
+    if (!name)
+        return false;
+    if (!std::strcmp(name, "x64") || !std::strcmp(name, "x86-64") ||
+        !std::strcmp(name, "x86_64") || !std::strcmp(name, "amd64") ||
+        !std::strcmp(name, "64")) {
+        out = DecodeMode::X64;
+        return true;
+    }
+    if (!std::strcmp(name, "x86") || !std::strcmp(name, "x86-32") ||
+        !std::strcmp(name, "i386") || !std::strcmp(name, "ia32") ||
+        !std::strcmp(name, "32")) {
+        out = DecodeMode::X86;
+        return true;
+    }
+    return false;
+}
+
+} // namespace accdis::x86

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Decode modes and their semantic facets.
+ *
+ * The decoder, the prescan tables and every downstream consumer are
+ * parameterized over a DecodeMode instead of assuming x86-64. A mode
+ * is deliberately tiny — a tag plus a descriptor of the handful of
+ * semantic facets that differ between dialects (operand/address size
+ * defaults, REX-vs-none, how mod=0 rm=5 resolves) — so that adding a
+ * mode means adding table rows, not forking the decoder.
+ *
+ * Mode is identity, not configuration: it participates in
+ * engine-config fingerprints, cache keys and serialized artifacts, so
+ * an x86-32 analysis can never be satisfied by (or poison) x86-64
+ * state.
+ */
+
+#ifndef ACCDIS_X86_MODE_HH
+#define ACCDIS_X86_MODE_HH
+
+#include "support/types.hh"
+
+namespace accdis::x86
+{
+
+/** Instruction-set dialect a byte stream is decoded under. */
+enum class DecodeMode : u8
+{
+    X64 = 0, ///< 64-bit long mode (the original target).
+    X86 = 1, ///< 32-bit protected mode.
+};
+
+/** Number of DecodeMode values (table dimensioning). */
+inline constexpr unsigned kNumDecodeModes = 2;
+
+/**
+ * The per-mode semantic facets consumers are allowed to depend on.
+ * Everything else (opcode validity, encodings) lives in the opcode
+ * tables, which are themselves keyed by mode.
+ */
+struct ModeFacets
+{
+    /** Default address size in bytes (8 or 4). */
+    u8 addrSize;
+    /** Largest operand size an encoding can select (8 or 4). */
+    u8 maxOpSize;
+    /** Effective size of kSpecD64 ("default 64") operations. */
+    u8 d64Size;
+    /** Architectural instruction-length cap (15 in both modes). */
+    u8 maxInsnLen;
+    /** 0x40-0x4F are REX prefixes (false: one-byte inc/dec). */
+    bool hasRex;
+    /** mod=0 rm=5 is RIP-relative (false: absolute disp32). */
+    bool ripRelative;
+};
+
+constexpr ModeFacets
+modeFacets(DecodeMode mode)
+{
+    return mode == DecodeMode::X64
+               ? ModeFacets{8, 8, 8, 15, true, true}
+               : ModeFacets{4, 4, 4, 15, false, false};
+}
+
+/** Stable lowercase mode name ("x64" / "x86"). */
+constexpr const char *
+decodeModeName(DecodeMode mode)
+{
+    return mode == DecodeMode::X64 ? "x64" : "x86";
+}
+
+/**
+ * Parse a mode name; accepts the canonical names plus common aliases.
+ * Returns true and sets @p out on success.
+ */
+bool decodeModeFromName(const char *name, DecodeMode &out);
+
+} // namespace accdis::x86
+
+#endif // ACCDIS_X86_MODE_HH

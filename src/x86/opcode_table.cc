@@ -199,6 +199,66 @@ buildOneByteMap()
     return map;
 }
 
+/**
+ * Derive the 32-bit one-byte map from the 64-bit one. Every difference
+ * is a slot that 64-bit mode repurposed (REX, VEX/EVEX escapes) or
+ * removed; the underlying encodings are otherwise identical, so a
+ * delta keeps the two maps from drifting apart.
+ */
+Map
+buildOneByteMap32(const Map &map64)
+{
+    Map map = map64;
+
+    // Push/pop of segment registers and the BCD adjust ops: legal,
+    // flagged rare — modern 32-bit compilers never emit them.
+    for (u8 b : {0x06, 0x0e, 0x16, 0x1e})
+        map[b] = spec(Op::Push, Enc::None, kSpecRare);
+    for (u8 b : {0x07, 0x17, 0x1f})
+        map[b] = spec(Op::Pop, Enc::None, kSpecRare);
+    for (u8 b : {0x27, 0x2f, 0x37, 0x3f})
+        map[b] = spec(Op::Sys, Enc::None, kSpecRare); // daa/das/aaa/aas
+
+    // 40-4F: one-byte inc/dec r32 (REX does not exist here).
+    for (u8 r = 0; r < 8; ++r) {
+        map[0x40 + r] = spec(Op::Inc, Enc::None);
+        map[0x48 + r] = spec(Op::Dec, Enc::None);
+    }
+
+    map[0x60] = spec(Op::Push, Enc::None, kSpecRare); // pusha
+    map[0x61] = spec(Op::Pop, Enc::None, kSpecRare);  // popa
+    // 0x62 is bound Gv, Ma (the decoder rejects the mod=3 form);
+    // EVEX does not exist in 32-bit mode.
+    map[0x62] = spec(Op::Sys, Enc::M, kSpecRare);
+    map[0x63] = spec(Op::Sys, Enc::M, kSpecRare); // arpl Ew, Gw
+
+    map[0x82] = groupSpec(kGrp1, Enc::MI8, kSpecByte | kSpecRare);
+
+    // Far transfers with an immediate ptr16:32. Classified as
+    // indirect flow: the target is an absolute far pointer, never a
+    // section-relative offset the analyses could follow.
+    map[0x9a] = spec(Op::Call, Enc::APtr, kSpecRare,
+                     CtrlFlow::IndirectCall);
+    map[0xea] = spec(Op::Jmp, Enc::APtr, kSpecRare,
+                     CtrlFlow::IndirectJump);
+
+    // C4/C5 are les/lds unless the ModRM byte has mod == 3, in which
+    // case the decoder takes the VEX escape instead. Loads through
+    // memory into a register + segment; Sys keeps the op taxonomy
+    // stable across modes.
+    map[0xc4] = spec(Op::Sys, Enc::M, kSpecRare); // les
+    map[0xc5] = spec(Op::Sys, Enc::M, kSpecRare); // lds
+
+    map[0xce] = spec(Op::Into, Enc::None, kSpecRare,
+                     CtrlFlow::Interrupt);
+
+    map[0xd4] = spec(Op::Sys, Enc::I8, kSpecRare);   // aam
+    map[0xd5] = spec(Op::Sys, Enc::I8, kSpecRare);   // aad
+    map[0xd6] = spec(Op::Sys, Enc::None, kSpecRare); // salc
+
+    return map;
+}
+
 Map
 buildTwoByteMap()
 {
@@ -306,6 +366,16 @@ buildTwoByteMap()
     return map;
 }
 
+/** The 32-bit 0F map: syscall/sysret are 64-bit-only. */
+Map
+buildTwoByteMap32(const Map &map64)
+{
+    Map map = map64;
+    map[0x05] = OpSpec{};
+    map[0x07] = OpSpec{};
+    return map;
+}
+
 GroupTable
 buildGroups()
 {
@@ -392,17 +462,19 @@ buildGroups()
 } // namespace
 
 const Map &
-oneByteMap()
+oneByteMap(DecodeMode mode)
 {
-    static const Map map = buildOneByteMap();
-    return map;
+    static const Map map64 = buildOneByteMap();
+    static const Map map32 = buildOneByteMap32(map64);
+    return mode == DecodeMode::X64 ? map64 : map32;
 }
 
 const Map &
-twoByteMap()
+twoByteMap(DecodeMode mode)
 {
-    static const Map map = buildTwoByteMap();
-    return map;
+    static const Map map64 = buildTwoByteMap();
+    static const Map map32 = buildTwoByteMap32(map64);
+    return mode == DecodeMode::X64 ? map64 : map32;
 }
 
 const GroupTable &

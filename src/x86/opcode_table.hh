@@ -1,8 +1,15 @@
 /**
  * @file
  * Static opcode tables describing encoding, control flow and oddity
- * flags for the one-byte, two-byte (0F) and group opcode maps in
- * 64-bit mode.
+ * flags for the one-byte, two-byte (0F) and group opcode maps, one
+ * table set per decode mode.
+ *
+ * The x86-32 maps are derived from the x86-64 maps: the slots that are
+ * invalid-in-64-bit-only come back to life (push/pop seg, the BCD ops,
+ * pusha/popa, arpl, far call/jmp ptr16:32, into, aam/aad/salc, the
+ * grp1 alias 0x82) and 0x40-0x4F turn from REX prefixes into one-byte
+ * inc/dec, while movsxd reverts to arpl and syscall/sysret disappear
+ * from the 0F map.
  */
 
 #ifndef ACCDIS_X86_OPCODE_TABLE_HH
@@ -12,6 +19,7 @@
 
 #include "support/types.hh"
 #include "x86/instruction.hh"
+#include "x86/mode.hh"
 
 namespace accdis::x86
 {
@@ -31,6 +39,7 @@ enum class Enc : u8
     Rel32,  ///< 32-bit relative branch displacement.
     OI,     ///< B0-BF mov r,imm: imm8 / imm32 / imm64 with REX.W.
     MOffs,  ///< A0-A3 mov moffs: 8-byte absolute (4 with 67h).
+    APtr,   ///< 9A/EA far ptr16:32 (x86-32 only): offset + selector.
 };
 
 /** Per-opcode static properties beyond the encoding. */
@@ -76,13 +85,29 @@ enum GroupId : s8
     kNumGroups,
 };
 
-/** The one-byte opcode map (index = first opcode byte). */
-const std::array<OpSpec, 256> &oneByteMap();
+/** The one-byte opcode map of @p mode (index = first opcode byte). */
+const std::array<OpSpec, 256> &oneByteMap(DecodeMode mode);
 
-/** The two-byte opcode map (index = byte after 0F). */
-const std::array<OpSpec, 256> &twoByteMap();
+/** The two-byte opcode map of @p mode (index = byte after 0F). */
+const std::array<OpSpec, 256> &twoByteMap(DecodeMode mode);
 
-/** Group table: groups()[gid][modrm.reg]. */
+/** x86-64 one-byte map (compatibility alias). */
+inline const std::array<OpSpec, 256> &
+oneByteMap()
+{
+    return oneByteMap(DecodeMode::X64);
+}
+
+/** x86-64 two-byte map (compatibility alias). */
+inline const std::array<OpSpec, 256> &
+twoByteMap()
+{
+    return twoByteMap(DecodeMode::X64);
+}
+
+/** Group table: groups()[gid][modrm.reg]. Mode-independent — the few
+ *  per-mode group differences (grp5 far operand sizes) are semantic,
+ *  not structural, and handled in the decoder. */
 const std::array<std::array<OpSpec, 8>, kNumGroups> &groups();
 
 } // namespace accdis::x86

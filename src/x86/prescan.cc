@@ -46,23 +46,30 @@ specHasModRm(const OpSpec &sp)
  * relevant byte beyond (rex, b0, b1) and must take the full decoder.
  */
 bool
-deferKey(bool hasRex, u8 b0, u8 b1)
+deferKey(DecodeMode mode, bool hasRex, u8 b0, u8 b1)
 {
     if (isLegacyPrefix(b0))
         return true; // Prefix chains restart the state machine.
-    if (b0 >= 0x40 && b0 <= 0x4f)
-        return true; // A (second) REX byte; effective REX is the last.
-    if (b0 == 0x62 || b0 == 0xc4 || b0 == 0xc5)
-        // VEX/EVEX validity and length depend on bytes past the key —
-        // except after REX, where the decoder rejects immediately, so
-        // those keys are cacheable invalids.
-        return !hasRex;
+    if (mode == DecodeMode::X64) {
+        if (b0 >= 0x40 && b0 <= 0x4f)
+            return true; // A (second) REX byte; REX is the last one.
+        if (b0 == 0x62 || b0 == 0xc4 || b0 == 0xc5)
+            // VEX/EVEX validity and length depend on bytes past the
+            // key — except after REX, where the decoder rejects
+            // immediately, so those keys are cacheable invalids.
+            return !hasRex;
+    } else if ((b0 == 0xc4 || b0 == 0xc5) && (b1 & 0xc0) == 0xc0) {
+        // 32-bit VEX form (les/lds otherwise): length depends on
+        // bytes past the key.
+        return true;
+    }
     if (b0 == 0x0f) {
         if (b1 == 0x38 || b1 == 0x3a)
             return true; // Three-byte maps: opcode is outside the key.
-        return specHasModRm(twoByteMap()[b1]); // ModRM outside the key.
+        // ModRM outside the key.
+        return specHasModRm(twoByteMap(mode)[b1]);
     }
-    const OpSpec &sp = oneByteMap()[b0];
+    const OpSpec &sp = oneByteMap(mode)[b0];
     if (specHasModRm(sp)) {
         // ModRM is b1: length is key-determined unless a SIB byte
         // follows (memory form with rm == 4).
@@ -76,12 +83,18 @@ deferKey(bool hasRex, u8 b0, u8 b1)
 
 /** One-byte-map memory form whose rm field announces a SIB byte. */
 bool
-isSibKey(u8 b0, u8 b1)
+isSibKey(DecodeMode mode, u8 b0, u8 b1)
 {
-    if (isLegacyPrefix(b0) || (b0 >= 0x40 && b0 <= 0x4f) ||
-        b0 == 0x0f || b0 == 0x62 || b0 == 0xc4 || b0 == 0xc5)
+    if (isLegacyPrefix(b0) || b0 == 0x0f)
         return false;
-    const OpSpec &sp = oneByteMap()[b0];
+    if (mode == DecodeMode::X64) {
+        if ((b0 >= 0x40 && b0 <= 0x4f) || b0 == 0x62 || b0 == 0xc4 ||
+            b0 == 0xc5)
+            return false;
+    } else if ((b0 == 0xc4 || b0 == 0xc5) && (b1 & 0xc0) == 0xc0) {
+        return false; // VEX form, not les/lds.
+    }
+    const OpSpec &sp = oneByteMap(mode)[b0];
     return specHasModRm(sp) && (b1 >> 6) != 3 && (b1 & 7) == 4;
 }
 
@@ -101,7 +114,7 @@ isSibKey(u8 b0, u8 b1)
  * as a mismatch between the two stripped decodes and defers.
  */
 void
-buildSibEntry(PrescanEntry &e, u8 rex, u8 b0, u8 b1)
+buildSibEntry(PrescanEntry &e, DecodeMode mode, u8 rex, u8 b0, u8 b1)
 {
     const u8 rexB = rex & 1;
     const u8 mod = b1 >> 6;
@@ -113,9 +126,9 @@ buildSibEntry(PrescanEntry &e, u8 rex, u8 b0, u8 b1)
     buf[i++] = b1;
     const std::size_t sibAt = i;
     buf[sibAt] = 0x25;
-    Instruction a = decode(ByteSpan(buf, sizeof buf), 0);
+    Instruction a = decode(ByteSpan(buf, sizeof buf), 0, mode);
     buf[sibAt] = 0x26;
-    Instruction b = decode(ByteSpan(buf, sizeof buf), 0);
+    Instruction b = decode(ByteSpan(buf, sizeof buf), 0, mode);
     if (!a.valid() || !b.valid()) {
         if (!a.valid() && !b.valid())
             e.state = PrescanEntry::kInvalid;
@@ -166,13 +179,13 @@ buildSibEntry(PrescanEntry &e, u8 rex, u8 b0, u8 b1)
 }
 
 void
-buildEntry(PrescanEntry &e, u8 rex, u8 b0, u8 b1)
+buildEntry(PrescanEntry &e, DecodeMode mode, u8 rex, u8 b0, u8 b1)
 {
-    if (isSibKey(b0, b1)) {
-        buildSibEntry(e, rex, b0, b1);
+    if (isSibKey(mode, b0, b1)) {
+        buildSibEntry(e, mode, rex, b0, b1);
         return;
     }
-    if (deferKey(rex != 0, b0, b1))
+    if (deferKey(mode, rex != 0, b0, b1))
         return; // Stays kDefer.
 
     // Decode the key on a zero-padded buffer long enough for the
@@ -184,7 +197,7 @@ buildEntry(PrescanEntry &e, u8 rex, u8 b0, u8 b1)
         buf[i++] = rex;
     buf[i++] = b0;
     buf[i++] = b1;
-    Instruction insn = decode(ByteSpan(buf, sizeof buf), 0);
+    Instruction insn = decode(ByteSpan(buf, sizeof buf), 0, mode);
     if (!insn.valid()) {
         // Eligible keys decode without reading validity-relevant bytes
         // past the key, so an invalid here is invalid everywhere.
@@ -212,7 +225,7 @@ buildEntry(PrescanEntry &e, u8 rex, u8 b0, u8 b1)
         // form (E8/E9, 0F 8x, C7 F8 xbegin) carries a rel32 as its
         // last four bytes, re-read at lookup time.
         bool rel8 =
-            insn.opcodeMap == 0 && oneByteMap()[b0].enc == Enc::Rel8;
+            insn.opcodeMap == 0 && oneByteMap(mode)[b0].enc == Enc::Rel8;
         e.state = rel8 ? PrescanEntry::kValid : PrescanEntry::kValidRel32;
     } else {
         e.state = PrescanEntry::kValid;
@@ -225,16 +238,18 @@ struct Tables
 };
 
 Tables
-buildTables()
+buildTables(DecodeMode mode)
 {
     Tables t;
-    t.entries.resize(kPrescanVariants * kPrescanKeys);
-    for (unsigned v = 0; v < kPrescanVariants; ++v) {
+    const unsigned variants = prescanVariantCount(mode);
+    t.entries.resize(variants * kPrescanKeys);
+    for (unsigned v = 0; v < variants; ++v) {
         u8 rex = rexOfVariant(v);
         for (std::size_t key = 0; key < kPrescanKeys; ++key) {
-            if (v == 0 && ((key >> 8) & 0xf0) == 0x40)
+            if (mode == DecodeMode::X64 && v == 0 &&
+                ((key >> 8) & 0xf0) == 0x40)
                 continue; // Unreachable: lookup routes REX to variants.
-            buildEntry(t.entries[v * kPrescanKeys + key], rex,
+            buildEntry(t.entries[v * kPrescanKeys + key], mode, rex,
                        static_cast<u8>(key >> 8),
                        static_cast<u8>(key & 0xff));
         }
@@ -243,24 +258,30 @@ buildTables()
 }
 
 const Tables &
-tables()
+tables(DecodeMode mode)
 {
-    static const Tables t = buildTables();
-    return t;
+    // One lazily built table set per mode: a batch that never touches
+    // 32-bit binaries never pays for the 32-bit tables.
+    if (mode == DecodeMode::X64) {
+        static const Tables t64 = buildTables(DecodeMode::X64);
+        return t64;
+    }
+    static const Tables t32 = buildTables(DecodeMode::X86);
+    return t32;
 }
 
 } // namespace
 
 const PrescanEntry *
-prescanTableData()
+prescanTableData(DecodeMode mode)
 {
-    return tables().entries.data();
+    return tables(mode).entries.data();
 }
 
 void
-prescanWarm()
+prescanWarm(DecodeMode mode)
 {
-    (void)tables();
+    (void)tables(mode);
 }
 
 } // namespace accdis::x86

@@ -17,9 +17,12 @@
  * explicitly defers to the authoritative full decoder, so the prescan
  * can never be wrong — only incomplete.
  *
- * The tables are built once per process by running the real decoder
- * over every eligible (REX-variant, two-byte key) on a zero-padded
- * synthetic buffer. Facets are a pure function of the consumed bytes,
+ * There is one table set per DecodeMode, built lazily on first use:
+ * x86-64 keys are (REX-variant, two bytes) across 9 variant planes,
+ * x86-32 keys are the plain first two bytes in a single plane (0x40-
+ * 0x4F are one-byte inc/dec there, not prefixes). The tables are
+ * built once per process by running the real decoder (in that mode)
+ * over every eligible key on a zero-padded synthetic buffer. Facets are a pure function of the consumed bytes,
  * and for eligible keys every length-or-validity-relevant byte lies
  * inside the key; trailing displacement/immediate bytes only shift
  * disp/imm/target values, which the entry state accounts for (direct
@@ -40,6 +43,7 @@
 #include "support/bytes.hh"
 #include "support/types.hh"
 #include "x86/instruction.hh"
+#include "x86/mode.hh"
 
 namespace accdis::x86
 {
@@ -104,6 +108,14 @@ static_assert(sizeof(PrescanEntry) == 16,
 inline constexpr unsigned kPrescanVariants = 9;
 inline constexpr std::size_t kPrescanKeys = std::size_t{1} << 16;
 
+/** Variant count of a mode's table set: x86-32 has no REX, so its
+ *  table is a single 65536-entry plane. */
+inline constexpr unsigned
+prescanVariantCount(DecodeMode mode)
+{
+    return mode == DecodeMode::X64 ? kPrescanVariants : 1;
+}
+
 /** Variant index of REX byte @p rex (0x40..0x4f). */
 inline unsigned
 prescanVariantOf(u8 rex)
@@ -112,16 +124,30 @@ prescanVariantOf(u8 rex)
 }
 
 /**
- * Base of the template tables (kPrescanVariants x kPrescanKeys
- * entries, variant-major). The first call in a process builds them
- * (~0.5M decoder invocations); prescanWarm() triggers that eagerly so
- * the cost lands outside timed regions. Hoist the returned pointer
- * out of per-byte loops.
+ * Base of @p mode's template tables (prescanVariantCount(mode) x
+ * kPrescanKeys entries, variant-major). The first call in a process
+ * builds that mode's set (~0.5M decoder invocations for x64);
+ * prescanWarm() triggers it eagerly so the cost lands outside timed
+ * regions. Hoist the returned pointer out of per-byte loops.
  */
-const PrescanEntry *prescanTableData();
+const PrescanEntry *prescanTableData(DecodeMode mode);
 
-/** Build the template tables now (idempotent, thread-safe). */
-void prescanWarm();
+/** x86-64 table base (compatibility alias). */
+inline const PrescanEntry *
+prescanTableData()
+{
+    return prescanTableData(DecodeMode::X64);
+}
+
+/** Build @p mode's template tables now (idempotent, thread-safe). */
+void prescanWarm(DecodeMode mode);
+
+/** Build the x86-64 tables now (compatibility alias). */
+inline void
+prescanWarm()
+{
+    prescanWarm(DecodeMode::X64);
+}
 
 /**
  * Look up the prescan entry for the decode at @p off against a hoisted
@@ -170,11 +196,37 @@ prescanLookup(const PrescanEntry *table, ByteSpan bytes, Offset off)
     return e->state == PrescanEntry::kDefer ? nullptr : e;
 }
 
+/**
+ * x86-32 flavor of prescanEntryAddr: no REX, so the key is simply the
+ * first two bytes. @pre off + 1 < bytes.size().
+ */
+inline const PrescanEntry *
+prescanEntryAddr32(const PrescanEntry *table, ByteSpan bytes, Offset off)
+{
+    const std::size_t hi = bytes[off];
+    const std::size_t lo = bytes[off + 1];
+    return &table[(hi << 8) | lo];
+}
+
+/** x86-32 flavor of prescanLookup against a table base from
+ *  prescanTableData(DecodeMode::X86). */
+inline const PrescanEntry *
+prescanLookup32(const PrescanEntry *table, ByteSpan bytes, Offset off)
+{
+    if (off + 15 > bytes.size())
+        return nullptr;
+    const PrescanEntry *e = prescanEntryAddr32(table, bytes, off);
+    return e->state == PrescanEntry::kDefer ? nullptr : e;
+}
+
 /** Convenience overload that fetches (and lazily builds) the table. */
 inline const PrescanEntry *
-prescanLookup(ByteSpan bytes, Offset off)
+prescanLookup(ByteSpan bytes, Offset off,
+              DecodeMode mode = DecodeMode::X64)
 {
-    return prescanLookup(prescanTableData(), bytes, off);
+    const PrescanEntry *table = prescanTableData(mode);
+    return mode == DecodeMode::X64 ? prescanLookup(table, bytes, off)
+                                   : prescanLookup32(table, bytes, off);
 }
 
 /**

@@ -253,6 +253,41 @@ TEST(JumpTables, FindsSynthesizedTables)
     }
 }
 
+TEST(JumpTables, FindsSynthesizedTablesX86)
+{
+    // The 32-bit discovery path anchors tables at the absolute
+    // `mov r32, imm32` base materialization instead of a RIP-relative
+    // lea (x86-32 has no RIP-relative addressing). Same recovery bar
+    // as the x64 test above.
+    synth::CorpusConfig config = synth::msvcLikePreset(41);
+    config.numFunctions = 48;
+    config.jumpTableFraction = 1.0;
+    config.mode = x86::DecodeMode::X86;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    Superset ss(bin.image.section(0).bytes(), x86::DecodeMode::X86);
+    JumpTableConfig jtConfig;
+    jtConfig.sectionBase = synth::kSynthTextBase;
+    jtConfig.mode = x86::DecodeMode::X86;
+    auto tables = findJumpTables(ss, jtConfig);
+
+    int fullIdiom = 0;
+    for (const auto &t : tables)
+        fullIdiom += t.fullIdiom;
+    EXPECT_GE(fullIdiom,
+              static_cast<int>(0.8 * bin.stats.jumpTables));
+    EXPECT_GT(bin.stats.jumpTables, 0u);
+
+    std::set<Offset> truthStarts(bin.truth.insnStarts().begin(),
+                                 bin.truth.insnStarts().end());
+    for (const auto &t : tables) {
+        if (!t.fullIdiom)
+            continue;
+        for (Offset target : t.targets)
+            EXPECT_TRUE(truthStarts.count(target))
+                << "table at " << t.tableOff << " target " << target;
+    }
+}
+
 TEST(Patterns, StringRegions)
 {
     ByteVec bytes;
@@ -413,7 +448,7 @@ TEST(Patterns, Prologues)
     ByteVec buf;
     Assembler as(buf);
     Offset f1 = as.here();
-    as.endbr64();
+    as.endbr();
     as.ret();
     Offset f2 = as.here();
     as.pushR(x86::RBP);

@@ -231,6 +231,77 @@ TEST(CacheAnalysis, ConfigChangeMissesButSupersetWarmStarts)
     EXPECT_EQ(warm->validCount(), superset.validCount());
 }
 
+TEST(CacheAnalysis, ModeIsACacheAxisForEveryEntryKind)
+{
+    // Satellite regression for the decode-mode cache axis: the same
+    // section bytes analyzed as x86-64 and as x86-32 through one cache
+    // directory must produce distinct entries for all three kinds —
+    // a 32-bit analysis may never warm-start from (or serve) a 64-bit
+    // artifact, because every decode differs between the modes.
+    fs::path dir = scratchDir("mode-axis");
+    ResultCache cache({dir.string()});
+    synth::SynthBinary bin = smallCorpus(1)[0];
+    const Section *text = nullptr;
+    for (const Section &sec : bin.image.sections()) {
+        if (sec.flags().executable)
+            text = &sec;
+    }
+    ASSERT_NE(text, nullptr);
+
+    DisassemblyEngine engine64;
+    EngineConfig config32;
+    config32.mode = x86::DecodeMode::X86;
+    DisassemblyEngine engine32(config32);
+
+    const CacheKey key64 =
+        makeCacheKey(text->contentKey(), {}, text->base(), {},
+                     engine64);
+    const CacheKey key32 =
+        makeCacheKey(text->contentKey(), {}, text->base(), {},
+                     engine32);
+    // Result entries separate via the config axis.
+    EXPECT_NE(key64.config, key32.config);
+
+    Classification result64 =
+        engine64.analyzeSection(text->bytes(), {}, text->base());
+    storeCachedResult(cache, key64, result64);
+    storeCachedSuperset(cache, key64,
+                        Superset(text->bytes(),
+                                 x86::DecodeMode::X64));
+
+    // The 32-bit analysis sees a cold cache on every kind: no result
+    // hit, no cross-mode superset warm start.
+    EXPECT_FALSE(loadCachedResult(cache, key32).has_value());
+    EXPECT_FALSE(loadCachedSuperset(cache, key32, text->bytes(),
+                                    x86::DecodeMode::X86)
+                     .has_value());
+
+    // After the 32-bit analysis stores its own entries, both modes
+    // hit independently — and each superset replays in its own mode.
+    Classification result32 =
+        engine32.analyzeSection(text->bytes(), {}, text->base());
+    storeCachedResult(cache, key32, result32);
+    storeCachedSuperset(cache, key32,
+                        Superset(text->bytes(),
+                                 x86::DecodeMode::X86));
+
+    auto warm64 = loadCachedSuperset(cache, key64, text->bytes(),
+                                     x86::DecodeMode::X64);
+    auto warm32 = loadCachedSuperset(cache, key32, text->bytes(),
+                                     x86::DecodeMode::X86);
+    ASSERT_TRUE(warm64.has_value());
+    ASSERT_TRUE(warm32.has_value());
+    EXPECT_EQ(warm64->mode(), x86::DecodeMode::X64);
+    EXPECT_EQ(warm32->mode(), x86::DecodeMode::X86);
+
+    auto hit64 = loadCachedResult(cache, key64);
+    auto hit32 = loadCachedResult(cache, key32);
+    ASSERT_TRUE(hit64.has_value());
+    ASSERT_TRUE(hit32.has_value());
+    EXPECT_TRUE(hit64->result == result64);
+    EXPECT_TRUE(hit32->result == result32);
+}
+
 TEST(CacheAnalysis, CachedResultSurvivesWithExplain)
 {
     fs::path dir = scratchDir("explain");

@@ -426,12 +426,15 @@ TEST(Decoder, GoldenEncodingsRoundTrip)
     {
         std::vector<int> bytes;
         int length;
+        int mode = 0; ///< 0 = x86-64, 1 = x86-32.
     };
     static const std::vector<GoldenCase> cases = {
 #include "golden_encodings.inc"
     };
     int index = 0;
     for (const GoldenCase &c : cases) {
+        const DecodeMode mode =
+            c.mode ? DecodeMode::X86 : DecodeMode::X64;
         ByteVec raw;
         for (int b : c.bytes)
             raw.push_back(static_cast<u8>(b));
@@ -439,13 +442,13 @@ TEST(Decoder, GoldenEncodingsRoundTrip)
         for (u8 junk : {0xccu, 0x00u, 0xffu})
             padded.push_back(static_cast<u8>(junk));
 
-        Instruction fromPadded = decode(padded, 0);
+        Instruction fromPadded = decode(padded, 0, mode);
         ASSERT_TRUE(fromPadded.valid()) << "golden case " << index;
         EXPECT_EQ(static_cast<int>(fromPadded.length), c.length)
             << "golden case " << index
             << ": length changed when trailing bytes were appended";
 
-        Instruction fromSlice = decode(raw, 0);
+        Instruction fromSlice = decode(raw, 0, mode);
         ASSERT_TRUE(fromSlice.valid()) << "golden case " << index;
         EXPECT_EQ(fromSlice.length, fromPadded.length)
             << "golden case " << index;

@@ -102,6 +102,76 @@ TEST(Engine, ReportedCodeBytesMatchStarts)
     }
 }
 
+TEST(Engine, X86CorpusAnalyzesEndToEndWithHighAccuracy)
+{
+    // End-to-end x86-32: every preset generates a 32-bit binary, a
+    // mode-X86 engine analyzes it, and the eval harness scores the
+    // result against ground truth at the same bar as the 64-bit
+    // suites above.
+    EngineConfig config;
+    config.mode = x86::DecodeMode::X86;
+    struct PresetCase
+    {
+        synth::CorpusConfig (*preset)(u64);
+        double minByteAccuracy;
+    };
+    // Adversarial gets the same slightly lower bar as in the x64
+    // suites: its misaligned-entry traps cost a little byte accuracy
+    // by design.
+    const PresetCase cases[] = {
+        {synth::gccLikePreset, 0.99},
+        {synth::msvcLikePreset, 0.97},
+        {synth::adversarialPreset, 0.96},
+    };
+    for (const PresetCase &pc : cases) {
+        synth::CorpusConfig corpusConfig = pc.preset(17);
+        corpusConfig.numFunctions = 64;
+        corpusConfig.mode = x86::DecodeMode::X86;
+        synth::SynthBinary bin = synth::buildSynthBinary(corpusConfig);
+        ASSERT_EQ(bin.image.mode(), x86::DecodeMode::X86);
+
+        DisassemblyEngine engine(config);
+        Classification result = engine.analyze(bin.image);
+        AccuracyMetrics m = compareToTruth(result, bin.truth);
+        EXPECT_GT(m.recall(), 0.995) << bin.image.name();
+        EXPECT_GT(m.byteAccuracy(), pc.minByteAccuracy)
+            << bin.image.name();
+
+        // Full coverage and decodable starts, in 32-bit mode.
+        u64 total = result.bytesOf(ResultClass::Code) +
+                    result.bytesOf(ResultClass::Data);
+        EXPECT_EQ(total, bin.image.section(0).size());
+        ByteSpan bytes = bin.image.section(0).bytes();
+        for (Offset off : result.insnStarts) {
+            ASSERT_TRUE(
+                x86::decode(bytes, off, x86::DecodeMode::X86).valid())
+                << bin.image.name() << " offset " << off;
+        }
+    }
+}
+
+TEST(Engine, X86HighPrecisionOnCompilerLikePresets)
+{
+    EngineConfig config;
+    config.mode = x86::DecodeMode::X86;
+    DisassemblyEngine engine(config);
+
+    synth::CorpusConfig gccConfig = synth::gccLikePreset(18);
+    gccConfig.numFunctions = 64;
+    gccConfig.mode = x86::DecodeMode::X86;
+    synth::SynthBinary gcc = synth::buildSynthBinary(gccConfig);
+    AccuracyMetrics m = compareToTruth(engine.analyze(gcc.image),
+                                       gcc.truth);
+    EXPECT_GT(m.precision(), 0.99);
+
+    synth::CorpusConfig msvcConfig = synth::msvcLikePreset(18);
+    msvcConfig.numFunctions = 64;
+    msvcConfig.mode = x86::DecodeMode::X86;
+    synth::SynthBinary msvc = synth::buildSynthBinary(msvcConfig);
+    m = compareToTruth(engine.analyze(msvc.image), msvc.truth);
+    EXPECT_GT(m.precision(), 0.96);
+}
+
 TEST(Engine, AblationOrdering)
 {
     // The full system must beat the configuration with the

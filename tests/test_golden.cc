@@ -22,6 +22,8 @@ struct GoldenCase
 {
     std::vector<int> bytes;
     int length;
+    /** 0 = x86-64 (the extracted glibc corpus), 1 = x86-32. */
+    int mode = 0;
 };
 
 const std::vector<GoldenCase> &
@@ -40,7 +42,9 @@ TEST(GoldenEncodings, AllDecodeWithExactLength)
         ByteVec raw;
         for (int b : c.bytes)
             raw.push_back(static_cast<u8>(b));
-        Instruction insn = decode(raw, 0);
+        const DecodeMode mode =
+            c.mode ? DecodeMode::X86 : DecodeMode::X64;
+        Instruction insn = decode(raw, 0, mode);
         ASSERT_TRUE(insn.valid()) << "golden case " << index;
         EXPECT_EQ(static_cast<int>(insn.length), c.length)
             << "golden case " << index;
@@ -55,7 +59,9 @@ TEST(GoldenEncodings, AllFormatNonEmpty)
         ByteVec raw;
         for (int b : c.bytes)
             raw.push_back(static_cast<u8>(b));
-        Instruction insn = decode(raw, 0);
+        const DecodeMode mode =
+            c.mode ? DecodeMode::X86 : DecodeMode::X64;
+        Instruction insn = decode(raw, 0, mode);
         ASSERT_TRUE(insn.valid());
         EXPECT_FALSE(format(insn).empty());
         EXPECT_NE(format(insn), "(bad)");

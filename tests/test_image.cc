@@ -1,11 +1,12 @@
 /**
  * @file
- * Unit tests for the binary-image substrate: the from-scratch ELF64
- * and PE32+ readers against hand-built images, a malformed-input
- * matrix (truncation at every header boundary, zero/huge/overlapping
- * sections, tables past EOF, offsets near UINT64_MAX that used to
- * wrap the bounds checks) asserting the LoadReport taxonomy and
- * salvage-mode behavior, and a real system binary when available.
+ * Unit tests for the binary-image substrate: the from-scratch
+ * ELF64/ELF32 and PE32+/PE32 readers against hand-built images, a
+ * malformed-input matrix (truncation at every header boundary,
+ * zero/huge/overlapping sections, tables past EOF, offsets near
+ * UINT64_MAX — and near UINT32_MAX for the 32-bit containers — that
+ * used to wrap the bounds checks) asserting the LoadReport taxonomy
+ * and salvage-mode behavior, and a real system binary when available.
  */
 
 #include <gtest/gtest.h>
@@ -140,11 +141,21 @@ TEST(ElfReader, RejectsBadMagic)
     EXPECT_THROW(readElf(elf, "bad"), Error);
 }
 
-TEST(ElfReader, RejectsElf32)
+TEST(ElfReader, RejectsClassMachineMismatch)
 {
+    // ELF32 images are supported, but only with an i386 machine: an
+    // ELFCLASS32 header still claiming EM_X86_64 is rejected (and
+    // vice versa an ELF64/i386 pairing, below).
     ByteVec elf = buildTinyElf();
-    elf[4] = 1;
-    EXPECT_THROW(readElf(elf, "elf32"), Error);
+    elf[4] = 1; // ELFCLASS32, machine still EM_X86_64
+    EXPECT_THROW(readElf(elf, "elf32-x64"), Error);
+    EXPECT_EQ(readElfReport(elf, "elf32-x64").report.primaryCode(),
+              LoadErrorCode::Unsupported);
+
+    elf = buildTinyElf();
+    elf[18] = 3; // EM_386, class still ELFCLASS64
+    EXPECT_EQ(readElfReport(elf, "elf64-386").report.primaryCode(),
+              LoadErrorCode::Unsupported);
 }
 
 TEST(ElfReader, RejectsSectionPastEof)
@@ -429,13 +440,15 @@ TEST(PeReport, BadSignatureAndWrongMachine)
     EXPECT_EQ(readPeReport(pe, "sig").report.primaryCode(),
               LoadErrorCode::BadMagic);
 
+    // i386 is supported, but only paired with a PE32 optional header:
+    // each half of a machine/magic mismatch is rejected.
     pe = buildTinyPe();
-    writeLe16(pe, 0x44, 0x014c); // i386
+    writeLe16(pe, 0x44, 0x014c); // i386 claiming a PE32+ header
     EXPECT_EQ(readPeReport(pe, "machine").report.primaryCode(),
               LoadErrorCode::Unsupported);
 
     pe = buildTinyPe();
-    writeLe16(pe, 0x58, 0x10b); // PE32, not PE32+
+    writeLe16(pe, 0x58, 0x10b); // AMD64 claiming a PE32 header
     EXPECT_EQ(readPeReport(pe, "pe32").report.primaryCode(),
               LoadErrorCode::Unsupported);
 }
@@ -454,6 +467,243 @@ TEST(PeReport, TruncatedPayloadClampedInSalvageMode)
     ASSERT_EQ(salvage.image->sections().size(), 1u);
     EXPECT_EQ(salvage.image->section(0).size(), 8u);
     EXPECT_EQ(salvage.report.bytesClamped, 8u);
+}
+
+/** Build a minimal but well-formed ELF32 i386 image in memory. */
+ByteVec
+buildTinyElf32()
+{
+    // Same shape as buildTinyElf with the 32-bit field layout:
+    // ehdr [0,52), .text payload 0x80..0x90, shstrtab 0x90..0xA0,
+    // section headers at 0x100 (3 entries x 40 bytes).
+    ByteVec elf(0x100 + 3 * 40, 0);
+    elf[0] = 0x7f; elf[1] = 'E'; elf[2] = 'L'; elf[3] = 'F';
+    elf[4] = 1;  // ELFCLASS32
+    elf[5] = 1;  // little endian
+    elf[6] = 1;  // version
+    elf[16] = 2; // ET_EXEC
+    elf[18] = 3; // EM_386
+    writeLe32(elf, 24, 0x8049000); // e_entry
+    writeLe32(elf, 32, 0x100);     // e_shoff
+    elf[46] = 40;                   // e_shentsize
+    elf[48] = 3;                    // e_shnum
+    elf[50] = 2;                    // e_shstrndx
+
+    elf[0x80] = 0xc3;
+    for (int i = 1; i < 16; ++i)
+        elf[0x80 + i] = 0x90;
+    const char strs[] = "\0.text\0.shstrtab";
+    for (std::size_t i = 0; i < sizeof(strs); ++i)
+        elf[0x90 + i] = static_cast<u8>(strs[i]);
+
+    // Section header 0: SHT_NULL. Section header 1: .text.
+    u64 sh = 0x100 + 40;
+    writeLe32(elf, sh + 0, 1);         // name -> ".text"
+    writeLe32(elf, sh + 4, 1);         // SHT_PROGBITS
+    writeLe32(elf, sh + 8, 0x2 | 0x4); // ALLOC | EXECINSTR
+    writeLe32(elf, sh + 12, 0x8049000); // addr
+    writeLe32(elf, sh + 16, 0x80);     // offset
+    writeLe32(elf, sh + 20, 16);       // size
+    // Section header 2: .shstrtab.
+    sh = 0x100 + 2 * 40;
+    writeLe32(elf, sh + 0, 7);   // name -> ".shstrtab"
+    writeLe32(elf, sh + 4, 3);   // SHT_STRTAB
+    writeLe32(elf, sh + 16, 0x90);
+    writeLe32(elf, sh + 20, sizeof(strs));
+    return elf;
+}
+
+TEST(Elf32Report, ParsesTinyImageAsX86)
+{
+    ByteVec elf = buildTinyElf32();
+    LoadResult result = readElfReport(elf, "tiny32");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.report.mode, x86::DecodeMode::X86);
+    EXPECT_EQ(result.image->mode(), x86::DecodeMode::X86);
+    ASSERT_EQ(result.image->sections().size(), 1u);
+    const Section &text = result.image->section(0);
+    EXPECT_EQ(text.name(), ".text");
+    EXPECT_EQ(text.base(), 0x8049000u);
+    EXPECT_EQ(text.size(), 16u);
+    EXPECT_TRUE(text.flags().executable);
+    ASSERT_EQ(result.image->entryPoints().size(), 1u);
+    EXPECT_EQ(result.image->entryPoints()[0], 0x8049000u);
+}
+
+TEST(Elf32Report, SectionOffsetNearU32MaxDoesNotWrap)
+{
+    // Regression guard for the classic 32-bit header hazard: ELF32
+    // offset/size fields are u32, and readers that keep the bounds
+    // arithmetic in 32 bits wrap `off + size` past UINT32_MAX and
+    // hand out a wild slice. Our reader widens to u64 before the
+    // check, so the range is simply past EOF: taxonomized Truncated
+    // in strict mode, dropped in salvage mode — never loaded.
+    ByteVec elf = buildTinyElf32();
+    writeLe32(elf, 0x100 + 40 + 16, 0xfffffff0); // .text offset
+    writeLe32(elf, 0x100 + 40 + 20, 16);         // .text size
+
+    LoadResult strict = readElfReport(elf, "wrap32");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(), LoadErrorCode::Truncated);
+    EXPECT_THROW(readElf(elf, "wrap32"), Error);
+
+    LoadResult salvage = readElfReport(elf, "wrap32", salvageMode());
+    EXPECT_FALSE(salvage.ok());
+    EXPECT_EQ(salvage.report.sectionsDropped, 1u);
+}
+
+TEST(Elf32Report, SectionTableOffsetNearU32MaxDoesNotWrap)
+{
+    // Same hazard on e_shoff: a near-UINT32_MAX table offset must not
+    // wrap into low file offsets when the entry span is added.
+    ByteVec elf = buildTinyElf32();
+    writeLe32(elf, 32, 0xffffffff); // e_shoff
+    LoadResult strict = readElfReport(elf, "shoff-wrap32");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(), LoadErrorCode::Truncated);
+    EXPECT_THROW(readElf(elf, "shoff-wrap32"), Error);
+}
+
+TEST(Elf32Report, HugeSectionSizeNearU32MaxClampedInSalvage)
+{
+    // SizeOfRawData-style attack via the u32 size field: strict mode
+    // refuses, salvage keeps only the bytes present in the file.
+    ByteVec elf = buildTinyElf32();
+    writeLe32(elf, 0x100 + 40 + 20, 0xffffffff); // .text size
+
+    LoadResult strict = readElfReport(elf, "huge32");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(), LoadErrorCode::Truncated);
+
+    LoadResult salvage = readElfReport(elf, "huge32", salvageMode());
+    ASSERT_TRUE(salvage.ok());
+    ASSERT_EQ(salvage.image->sections().size(), 1u);
+    EXPECT_EQ(salvage.image->section(0).size(), elf.size() - 0x80);
+    EXPECT_EQ(salvage.report.bytesClamped,
+              u64{0xffffffff} - (elf.size() - 0x80));
+}
+
+TEST(Elf32Report, StrtabOffsetNearU32MaxCostsOnlyNames)
+{
+    ByteVec elf = buildTinyElf32();
+    writeLe32(elf, 0x100 + 2 * 40 + 16, 0xfffffffc); // .shstrtab off
+    writeLe32(elf, 0x100 + 2 * 40 + 20, 16);         // .shstrtab size
+
+    LoadResult result = readElfReport(elf, "strtab-wrap32");
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.image->sections().size(), 1u);
+    EXPECT_EQ(result.image->section(0).name(), "");
+    ASSERT_FALSE(result.report.issues.empty());
+    EXPECT_EQ(result.report.issues[0].code, LoadErrorCode::Truncated);
+}
+
+/** Build a minimal but well-formed PE32 i386 image in memory. */
+ByteVec
+buildTinyPe32()
+{
+    // Layout mirrors buildTinyPe with the 32-bit optional header:
+    // DOS header [0,0x40), PE signature + COFF at 0x40, optional
+    // header (96 bytes) at 0x58, one 40-byte section header at 0xb8,
+    // .text payload [0x200,0x210).
+    ByteVec pe(0x210, 0);
+    pe[0] = 'M'; pe[1] = 'Z';
+    writeLe32(pe, 0x3c, 0x40);       // e_lfanew
+    writeLe32(pe, 0x40, 0x00004550); // "PE\0\0"
+    writeLe16(pe, 0x44, 0x014c);     // machine: i386
+    writeLe16(pe, 0x46, 1);          // NumberOfSections
+    writeLe16(pe, 0x54, 96);         // SizeOfOptionalHeader
+    writeLe16(pe, 0x58, 0x10b);      // PE32 magic
+    writeLe32(pe, 0x58 + 16, 0x1000);   // AddressOfEntryPoint
+    writeLe32(pe, 0x58 + 28, 0x400000); // ImageBase (u32 in PE32)
+
+    u64 sh = 0xb8;
+    const char name[] = ".text";
+    for (std::size_t i = 0; i < sizeof(name) - 1; ++i)
+        pe[sh + i] = static_cast<u8>(name[i]);
+    writeLe32(pe, sh + 8, 16);          // VirtualSize
+    writeLe32(pe, sh + 12, 0x1000);     // VirtualAddress
+    writeLe32(pe, sh + 16, 16);         // SizeOfRawData
+    writeLe32(pe, sh + 20, 0x200);      // PointerToRawData
+    writeLe32(pe, sh + 36, 0x60000020); // CODE | EXECUTE | READ
+
+    pe[0x200] = 0xc3;
+    for (int i = 1; i < 16; ++i)
+        pe[0x200 + i] = 0x90;
+    return pe;
+}
+
+TEST(Pe32Report, ParsesTinyImageAsX86)
+{
+    ByteVec pe = buildTinyPe32();
+    LoadResult result = readPeReport(pe, "tiny32");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.report.mode, x86::DecodeMode::X86);
+    EXPECT_EQ(result.image->mode(), x86::DecodeMode::X86);
+    ASSERT_EQ(result.image->sections().size(), 1u);
+    const Section &text = result.image->section(0);
+    EXPECT_EQ(text.name(), ".text");
+    EXPECT_EQ(text.base(), 0x401000u); // u32 ImageBase + RVA
+    EXPECT_EQ(text.size(), 16u);
+    EXPECT_TRUE(text.flags().executable);
+    ASSERT_EQ(result.image->entryPoints().size(), 1u);
+    EXPECT_EQ(result.image->entryPoints()[0], 0x401000u);
+}
+
+TEST(Pe32Report, RawDataOffsetNearU32MaxDoesNotWrap)
+{
+    // The PE32+ reader's rawOff + loadSize wraparound regression,
+    // re-pinned on the PE32 path: the u32 PointerToRawData near
+    // UINT32_MAX must not wrap the bounds check.
+    ByteVec pe = buildTinyPe32();
+    writeLe32(pe, 0xb8 + 20, 0xfffffff8); // PointerToRawData
+    LoadResult strict = readPeReport(pe, "raw-wrap32");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(), LoadErrorCode::Truncated);
+
+    LoadResult salvage = readPeReport(pe, "raw-wrap32", salvageMode());
+    EXPECT_FALSE(salvage.ok());
+    EXPECT_EQ(salvage.report.sectionsDropped, 1u);
+    EXPECT_EQ(salvage.report.issues.back().code,
+              LoadErrorCode::NoSections);
+}
+
+TEST(Pe32Report, RawDataSizeNearU32MaxClampedInSalvage)
+{
+    ByteVec pe = buildTinyPe32();
+    writeLe32(pe, 0xb8 + 16, 0xffffffff); // SizeOfRawData
+    writeLe32(pe, 0xb8 + 8, 0xffffffff);  // VirtualSize
+    LoadResult strict = readPeReport(pe, "huge-raw32");
+    EXPECT_FALSE(strict.ok());
+    EXPECT_EQ(strict.report.primaryCode(), LoadErrorCode::Truncated);
+
+    LoadResult salvage = readPeReport(pe, "huge-raw32", salvageMode());
+    ASSERT_TRUE(salvage.ok());
+    ASSERT_EQ(salvage.image->sections().size(), 1u);
+    EXPECT_EQ(salvage.image->section(0).size(), pe.size() - 0x200);
+}
+
+TEST(Pe32Report, TruncationAtEveryHeaderBoundary)
+{
+    ByteVec pe = buildTinyPe32();
+    struct Case
+    {
+        std::size_t size;
+        LoadErrorCode code;
+    };
+    const Case cases[] = {
+        {0x20, LoadErrorCode::Truncated}, // e_lfanew missing
+        {0x44, LoadErrorCode::Truncated}, // COFF header cut short
+        {0x60, LoadErrorCode::Truncated}, // optional header cut short
+        {0xc0, LoadErrorCode::Truncated}, // section table cut short
+    };
+    for (const Case &c : cases) {
+        ByteVec cut(pe.begin(),
+                    pe.begin() + static_cast<std::ptrdiff_t>(c.size));
+        LoadResult result = readPeReport(cut, "trunc32");
+        EXPECT_FALSE(result.ok()) << "size " << c.size;
+        EXPECT_EQ(result.report.primaryCode(), c.code)
+            << "size " << c.size;
+    }
 }
 
 TEST(ElfReader, ReadsRealSystemBinaryIfPresent)

@@ -103,7 +103,7 @@ TEST(Functions, SourcePrecedenceCallBeatsPrologue)
     ByteVec buf;
     Assembler as(buf);
     Label callee = as.newLabel();
-    as.endbr64();
+    as.endbr();
     as.call(callee);
     as.ret();
     as.bind(callee);

@@ -33,7 +33,7 @@ namespace
 
 /** The 20-binary mixed-preset corpus the determinism tests use. */
 std::vector<synth::SynthBinary>
-equivalenceCorpus()
+equivalenceCorpus(x86::DecodeMode mode = x86::DecodeMode::X64)
 {
     std::vector<synth::SynthBinary> corpus;
     synth::CorpusConfig (*presets[])(u64) = {
@@ -44,6 +44,7 @@ equivalenceCorpus()
     for (u64 seed = 1; seed <= 20; ++seed) {
         synth::CorpusConfig config = presets[seed % 3](seed);
         config.numFunctions = 10;
+        config.mode = mode;
         corpus.push_back(synth::buildSynthBinary(config));
     }
     return corpus;
@@ -140,6 +141,7 @@ runWithSnapshots(const synth::SynthBinary &bin, bool accelerated,
         snapshots.push_back({pass, snapshotContext(pass, ctx)});
     };
     EngineConfig config;
+    config.mode = bin.image.mode();
     config.acceleratedHotPath = accelerated;
     config.passHook = &hook;
     DisassemblyEngine engine(config);
@@ -162,9 +164,11 @@ firstDiff(const ByteVec &a, const ByteVec &b)
     return limit;
 }
 
-TEST(PassEquivalence, AcceleratedMatchesLegacyAfterEveryPass)
+/** Shared body of the per-mode equivalence sweeps below. */
+void
+runEquivalenceSweep(x86::DecodeMode mode)
 {
-    std::vector<synth::SynthBinary> corpus = equivalenceCorpus();
+    std::vector<synth::SynthBinary> corpus = equivalenceCorpus(mode);
     ASSERT_EQ(corpus.size(), 20u);
 
     for (std::size_t b = 0; b < corpus.size(); ++b) {
@@ -203,6 +207,19 @@ TEST(PassEquivalence, AcceleratedMatchesLegacyAfterEveryPass)
             << "final classifications diverge at byte "
             << firstDiff(legacyFinal, accelFinal);
     }
+}
+
+TEST(PassEquivalence, AcceleratedMatchesLegacyAfterEveryPass)
+{
+    runEquivalenceSweep(x86::DecodeMode::X64);
+}
+
+TEST(PassEquivalence, AcceleratedMatchesLegacyAfterEveryPassX86)
+{
+    // The x86-32 twin of the sweep above: the 32-bit prescan plane,
+    // flow propagation and seed-score memo make the same
+    // byte-identity promise as their 64-bit counterparts.
+    runEquivalenceSweep(x86::DecodeMode::X86);
 }
 
 TEST(PassEquivalence, EveryRegisteredPassIsSnapshotted)

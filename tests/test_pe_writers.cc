@@ -58,6 +58,52 @@ TEST(ElfWriter, RoundTripsThroughReader)
     ASSERT_EQ(reread.entryPoints().size(), 1u);
 }
 
+TEST(Writers, X86ImagesRoundTripAs32BitContainers)
+{
+    // A 32-bit synth image must serialize as ELF32/PE32 and come back
+    // through the readers still tagged DecodeMode::X86 with identical
+    // bytes — the full mixed-mode batch path depends on the container
+    // class carrying the mode.
+    synth::CorpusConfig config = synth::gccLikePreset(44);
+    config.mode = x86::DecodeMode::X86;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    ASSERT_EQ(bin.image.mode(), x86::DecodeMode::X86);
+
+    ByteVec elf = writeElf(bin.image);
+    EXPECT_TRUE(isElf(elf));
+    EXPECT_EQ(elf[4], 1); // ELFCLASS32
+    BinaryImage viaElf = readElf(elf, "elf32-roundtrip");
+    EXPECT_EQ(viaElf.mode(), x86::DecodeMode::X86);
+    ASSERT_GE(viaElf.sections().size(), 1u);
+    EXPECT_TRUE(std::equal(viaElf.section(0).bytes().begin(),
+                           viaElf.section(0).bytes().end(),
+                           bin.image.section(0).bytes().begin()));
+    EXPECT_EQ(viaElf.section(0).base(), synth::kSynthTextBase);
+
+    ByteVec pe = writePe(bin.image);
+    EXPECT_TRUE(isPe(pe));
+    BinaryImage viaPe = readPe(pe, "pe32-roundtrip");
+    EXPECT_EQ(viaPe.mode(), x86::DecodeMode::X86);
+    // .text plus the gcc-layout .rodata that holds the jump tables.
+    ASSERT_GE(viaPe.sections().size(), 1u);
+    EXPECT_TRUE(std::equal(viaPe.section(0).bytes().begin(),
+                           viaPe.section(0).bytes().end(),
+                           bin.image.section(0).bytes().begin()));
+    EXPECT_EQ(viaPe.section(0).base(), synth::kSynthTextBase);
+
+    // And the engine classifies the re-read 32-bit images identically
+    // to the in-memory original.
+    EngineConfig engineConfig;
+    engineConfig.mode = x86::DecodeMode::X86;
+    DisassemblyEngine engine(engineConfig);
+    Classification direct = engine.analyze(bin.image);
+    EXPECT_EQ(direct.insnStarts,
+              engine.analyze(viaElf).insnStarts);
+    EXPECT_EQ(direct.insnStarts, engine.analyze(viaPe).insnStarts);
+    AccuracyMetrics m = compareToTruth(direct, bin.truth);
+    EXPECT_GT(m.recall(), 0.99);
+}
+
 TEST(Writers, ClassificationSurvivesRoundTrip)
 {
     synth::SynthBinary bin =

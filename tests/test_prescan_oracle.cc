@@ -37,6 +37,8 @@ struct GoldenEncoding
 {
     std::vector<u8> bytes;
     unsigned length;
+    /** 0 = x86-64, 1 = x86-32. */
+    int mode = 0;
 };
 
 const std::vector<GoldenEncoding> kGoldenEncodings = {
@@ -49,13 +51,15 @@ const std::vector<GoldenEncoding> kGoldenEncodings = {
  * Any disagreement fails with @p what in the message.
  */
 bool
-expectPrescanAgrees(ByteSpan bytes, Offset off, const std::string &what)
+expectPrescanAgrees(ByteSpan bytes, Offset off, const std::string &what,
+                    x86::DecodeMode mode = x86::DecodeMode::X64)
 {
-    const x86::PrescanEntry *entry = x86::prescanLookup(bytes, off);
+    const x86::PrescanEntry *entry =
+        x86::prescanLookup(bytes, off, mode);
     if (entry == nullptr)
         return true; // Explicit defer: the decoder is authoritative.
 
-    x86::Instruction full = x86::decode(bytes, off);
+    x86::Instruction full = x86::decode(bytes, off, mode);
     const bool valid = entry->state != x86::PrescanEntry::kInvalid;
     EXPECT_EQ(valid, full.valid()) << what << ": validity disagrees";
     if (!valid || !full.valid())
@@ -93,14 +97,18 @@ TEST(PrescanOracle, GoldenEncodingsMatchOrDefer)
         // padding byte (nop) must not change the keyed decode.
         ByteVec buf(golden.bytes);
         buf.resize(buf.size() + 16, 0x90);
+        const x86::DecodeMode mode = golden.mode
+                                         ? x86::DecodeMode::X86
+                                         : x86::DecodeMode::X64;
         std::ostringstream what;
         what << "golden[" << i << "]";
-        if (!expectPrescanAgrees(buf, 0, what.str()))
+        if (!expectPrescanAgrees(buf, 0, what.str(), mode))
             ++covered;
         // When the prescan answered, its length must be the verified
         // golden length (the decoder itself is golden-tested
         // elsewhere; this pins the oracle end to end).
-        const x86::PrescanEntry *entry = x86::prescanLookup(buf, 0);
+        const x86::PrescanEntry *entry =
+            x86::prescanLookup(buf, 0, mode);
         if (entry && entry->state != x86::PrescanEntry::kInvalid) {
             u8 length = entry->length;
             u16 regsReadLow = entry->regsReadLow;
@@ -159,6 +167,81 @@ TEST(PrescanOracle, ExhaustiveKeySweepOverUnseenTails)
     // The tables must actually answer for a large share of the key
     // space (one-byte map + ModRM-free 0F opcodes).
     EXPECT_GT(checked, u64{100000});
+}
+
+TEST(PrescanOracle, ExhaustiveKeySweepOverUnseenTailsX86)
+{
+    // x86-32 flavor: a single 65536-entry plane (no REX variants),
+    // keyed by the first two bytes. Same unseen-tail discipline as
+    // the x64 sweep.
+    const std::array<std::array<u8, 16>, 2> tails = {{
+        {0x5a, 0xa5, 0x3c, 0xc3, 0x11, 0x88, 0x44, 0x22, 0x5a, 0xa5,
+         0x3c, 0xc3, 0x11, 0x88, 0x44, 0x22},
+        {0x8d, 0x04, 0xcd, 0x7f, 0x01, 0xfe, 0x80, 0x40, 0x8d, 0x04,
+         0xcd, 0x7f, 0x01, 0xfe, 0x80, 0x40},
+    }};
+    u64 checked = 0;
+    for (u32 key = 0; key < x86::kPrescanKeys; ++key) {
+        for (const auto &tail : tails) {
+            ByteVec buf;
+            buf.push_back(static_cast<u8>(key >> 8));
+            buf.push_back(static_cast<u8>(key & 0xff));
+            buf.insert(buf.end(), tail.begin(), tail.end());
+            if (!expectPrescanAgrees(buf, 0, "",
+                                     x86::DecodeMode::X86)) {
+                ++checked;
+                if (::testing::Test::HasFailure())
+                    FAIL() << "key 0x" << std::hex << key;
+            }
+        }
+    }
+    EXPECT_GT(checked, u64{30000});
+}
+
+TEST(PrescanOracle, SynthSingleInstructionBuffersX86)
+{
+    // x86-32 twin of SynthSingleInstructionBuffers: every
+    // ground-truth instruction of a few 32-bit synthetic binaries,
+    // in section context and in isolation.
+    synth::CorpusConfig (*presets[])(u64) = {
+        synth::gccLikePreset,
+        synth::msvcLikePreset,
+        synth::adversarialPreset,
+    };
+    for (u64 seed = 1; seed <= 6; ++seed) {
+        synth::CorpusConfig config = presets[seed % 3](seed);
+        config.numFunctions = 8;
+        config.mode = x86::DecodeMode::X86;
+        synth::SynthBinary bin = synth::buildSynthBinary(config);
+        const Section *text = nullptr;
+        for (const Section &sec : bin.image.sections()) {
+            if (sec.flags().executable) {
+                text = &sec;
+                break;
+            }
+        }
+        ASSERT_NE(text, nullptr);
+        ByteSpan bytes = text->bytes();
+        for (Offset start : bin.truth.insnStarts()) {
+            ASSERT_LT(start, bytes.size());
+            std::ostringstream what;
+            what << "x86 seed " << seed << " start 0x" << std::hex
+                 << start;
+            expectPrescanAgrees(bytes, start,
+                                what.str() + " (in section)",
+                                x86::DecodeMode::X86);
+            x86::Instruction full =
+                x86::decode(bytes, start, x86::DecodeMode::X86);
+            ASSERT_TRUE(full.valid()) << what.str();
+            ByteVec buf(bytes.begin() + start,
+                        bytes.begin() + start + full.length);
+            buf.resize(buf.size() + 16, 0xcc);
+            expectPrescanAgrees(buf, 0, what.str() + " (isolated)",
+                                x86::DecodeMode::X86);
+            if (::testing::Test::HasFailure())
+                FAIL() << what.str();
+        }
+    }
 }
 
 TEST(PrescanOracle, SynthSingleInstructionBuffers)

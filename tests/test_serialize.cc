@@ -249,6 +249,62 @@ TEST(SerializeSuperset, DecodeRejectsSizeMismatch)
                  SerializeError);
 }
 
+TEST(SerializeSuperset, X86ModeRoundTripsAndTagsArtifact)
+{
+    // 0x48 is the discriminating byte: dec eax (1 byte) in x86-32, a
+    // REX.W prefix in x86-64. A round-tripped 32-bit superset must
+    // preserve the 32-bit reading, not silently re-key to x64.
+    ByteVec bytes{0x48, 0x89, 0xd8, 0xc3, 0x90, 0x90};
+    Superset original{ByteSpan(bytes), x86::DecodeMode::X86};
+    ASSERT_EQ(original.node(0).length, 1u); // dec eax
+
+    Encoder enc;
+    encodeSuperset(enc, original);
+    Decoder dec{ByteSpan(enc.buffer())};
+    Superset back =
+        decodeSuperset(dec, ByteSpan(bytes), x86::DecodeMode::X86);
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(back.mode(), x86::DecodeMode::X86);
+    ASSERT_EQ(back.size(), original.size());
+    for (Offset off = 0; off < original.size(); ++off) {
+        EXPECT_EQ(back.node(off).length, original.node(off).length)
+            << "offset " << off;
+        EXPECT_EQ(back.node(off).op, original.node(off).op)
+            << "offset " << off;
+    }
+}
+
+TEST(SerializeSuperset, DecodeRefusesModeMismatch)
+{
+    // A 32-bit artifact replayed into a 64-bit analysis (or vice
+    // versa) must be refused with the mode-mismatch taxonomy, not
+    // decoded into wrong answers and not degraded to a generic
+    // corruption error.
+    ByteVec bytes{0x90, 0x90, 0x90, 0x90};
+    Superset superset{ByteSpan(bytes), x86::DecodeMode::X86};
+    Encoder enc;
+    encodeSuperset(enc, superset);
+
+    Decoder dec{ByteSpan(enc.buffer())};
+    EXPECT_THROW(decodeSuperset(dec, ByteSpan(bytes),
+                                x86::DecodeMode::X64),
+                 ModeMismatchError);
+
+    // An out-of-range mode byte is corruption, not a mismatch: plain
+    // SerializeError so cache layers degrade it to a cold miss.
+    ByteVec damaged = enc.buffer();
+    damaged[0] = 0x7f;
+    Decoder dec2{ByteSpan(damaged)};
+    try {
+        decodeSuperset(dec2, ByteSpan(bytes), x86::DecodeMode::X86);
+        FAIL() << "unknown mode byte must not decode";
+    } catch (const ModeMismatchError &) {
+        FAIL() << "unknown mode byte is corruption, not a mismatch";
+    } catch (const SerializeError &) {
+        // Expected.
+    }
+}
+
 // --- Classification / explain artifact round trips --------------------
 
 TEST(SerializeArtifacts, ClassificationRoundTripsExactly)
@@ -314,6 +370,28 @@ TEST(SerializeArtifacts, ExplainArtifactRendersIdentically)
                                     auxRegionsOf(bin.image)));
 }
 
+TEST(SerializeArtifacts, ExplainRefusesModeMismatch)
+{
+    // --explain replay is mode-checked the same way: a ledger captured
+    // under x86-32 must not render inside an x86-64 session.
+    ExplainArtifact artifact;
+    artifact.mode = x86::DecodeMode::X86;
+    artifact.state = {0, 1, 2};
+    artifact.owner = {0, 0, 0};
+
+    Encoder enc;
+    encodeExplain(enc, artifact);
+    Decoder dec{ByteSpan(enc.buffer())};
+    EXPECT_THROW(decodeExplain(dec, x86::DecodeMode::X64),
+                 ModeMismatchError);
+
+    Decoder again{ByteSpan(enc.buffer())};
+    ExplainArtifact back =
+        decodeExplain(again, x86::DecodeMode::X86);
+    EXPECT_EQ(back.mode, x86::DecodeMode::X86);
+    EXPECT_EQ(back.state, artifact.state);
+}
+
 // --- Fingerprints -----------------------------------------------------
 
 TEST(SerializeFingerprint, EngineConfigFlagsChangeFingerprint)
@@ -338,6 +416,12 @@ TEST(SerializeFingerprint, EngineConfigFlagsChangeFingerprint)
     EngineConfig observed = base;
     observed.recordProvenance = true;
     EXPECT_EQ(engineConfigFingerprint(observed), reference);
+
+    // The decode mode is a config axis: identical bytes analyzed as
+    // x86-32 must never serve an x86-64 cache entry.
+    EngineConfig mode32 = base;
+    mode32.mode = x86::DecodeMode::X86;
+    EXPECT_NE(engineConfigFingerprint(mode32), reference);
 }
 
 TEST(SerializeFingerprint, PassRegistryTogglesChangeFingerprint)
