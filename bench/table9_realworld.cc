@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Table 9 — metadata-free evaluation on real system binaries
+ * (google-benchmark): wall time, per-oracle self-consistency
+ * violation counts, and baseline divergence buckets of the full
+ * real-binary evaluation (src/eval/realworld) over ELFs discovered at
+ * runtime (default /usr/bin, overridable with
+ * ACCDIS_REALWORLD_DIR=<dir>).
+ *
+ * Besides the console table, every run writes BENCH_realworld.json
+ * (benchmark name → wall seconds, violation counters, divergence
+ * byte counts) so the engine's real-binary self-consistency
+ * trajectory is tracked by machines, not just eyeballs. Every report
+ * is round-tripped through the versioned codec before its counters
+ * are emitted, so the serialization path is exercised on real data
+ * each run.
+ *
+ * Hosts without a usable binary directory register nothing and still
+ * write a valid (empty) JSON — the bench degrades, never fails.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/realworld.hh"
+
+namespace
+{
+
+using namespace accdis;
+
+constexpr std::size_t kMaxBinaries = 12;
+constexpr u64 kMaxFileBytes = 2ull << 20;
+constexpr u64 kMaxSectionBytes = 1ull << 20;
+
+/** True when @p path is a regular file starting with \x7fELF. */
+bool
+looksLikeElf(const std::filesystem::path &path)
+{
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(path, ec) || ec)
+        return false;
+    if (std::filesystem::file_size(path, ec) > kMaxFileBytes || ec)
+        return false;
+    std::ifstream in(path, std::ios::binary);
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    return in.gcount() == 4 && magic[0] == 0x7f && magic[1] == 'E' &&
+           magic[2] == 'L' && magic[3] == 'F';
+}
+
+/** The first kMaxBinaries ELFs of the bench directory, sorted so
+ *  every run measures the same set. */
+std::vector<std::string>
+discoverBinaries()
+{
+    const char *dir = std::getenv("ACCDIS_REALWORLD_DIR");
+    std::string root = dir != nullptr ? dir : "/usr/bin";
+    std::vector<std::string> found;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(root, ec)) {
+        if (looksLikeElf(entry.path()))
+            found.push_back(entry.path().string());
+    }
+    std::sort(found.begin(), found.end());
+    if (found.size() > kMaxBinaries)
+        found.resize(kMaxBinaries);
+    return found;
+}
+
+void
+BM_RealWorldEval(benchmark::State &state, const std::string &path)
+{
+    eval::RealWorldOptions options;
+    options.maxSectionBytes = kMaxSectionBytes;
+    eval::RealWorldReport report;
+    for (auto _ : state) {
+        report = eval::evaluateFile(path, options);
+        benchmark::DoNotOptimize(report.sections.data());
+    }
+
+    // Codec round trip on real data before anything is reported: a
+    // mismatch here is a serialization bug, surfaced as a bench
+    // failure rather than a silently wrong JSON.
+    eval::RealWorldReport decoded =
+        eval::decodeReport(eval::encodeReport(report));
+    if (!(decoded == report)) {
+        state.SkipWithError("codec round trip diverged");
+        return;
+    }
+
+    u64 bytes = 0;
+    eval::DivergenceBuckets divergence;
+    for (const eval::SectionReport &sec : report.sections) {
+        bytes += sec.bytes;
+        divergence.agreed += sec.divergence.agreed;
+        divergence.oursOnlyCode += sec.divergence.oursOnlyCode;
+        divergence.baselineOnlyCode += sec.divergence.baselineOnlyCode;
+        divergence.bothDiffer += sec.divergence.bothDiffer;
+    }
+    state.SetBytesProcessed(static_cast<s64>(state.iterations()) *
+                            static_cast<s64>(bytes));
+    state.counters["loaded"] = report.loaded ? 1.0 : 0.0;
+    state.counters["exec_bytes"] = static_cast<double>(bytes);
+    state.counters["violations"] =
+        static_cast<double>(report.violationCount());
+    for (const std::string &oracle : eval::realWorldOracles()) {
+        std::string key = oracle;
+        std::replace(key.begin(), key.end(), '-', '_');
+        state.counters[key] =
+            static_cast<double>(report.violationCountFor(oracle));
+    }
+    state.counters["div_agreed"] =
+        static_cast<double>(divergence.agreed);
+    state.counters["div_ours_only_code"] =
+        static_cast<double>(divergence.oursOnlyCode);
+    state.counters["div_baseline_only_code"] =
+        static_cast<double>(divergence.baselineOnlyCode);
+    state.counters["div_both_differ"] =
+        static_cast<double>(divergence.bothDiffer);
+}
+
+/**
+ * Console reporter that additionally collects every run into a flat
+ * list and dumps it as JSON — the machine-readable face of Table 9.
+ */
+class JsonDumpReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            Entry entry;
+            entry.name = run.benchmark_name();
+            entry.iterations = static_cast<double>(run.iterations);
+            entry.wallSeconds =
+                run.iterations > 0
+                    ? run.real_accumulated_time /
+                          static_cast<double>(run.iterations)
+                    : 0.0;
+            for (const auto &[name, counter] : run.counters)
+                entry.counters.emplace_back(name, counter.value);
+            entries_.push_back(std::move(entry));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    /** Write everything collected so far to @p path. */
+    bool
+    writeJson(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            return false;
+        out << "{\n  \"benchmarks\": [\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &entry = entries_[i];
+            out << "    {\n      \"name\": \"" << entry.name
+                << "\",\n      \"iterations\": " << entry.iterations
+                << ",\n      \"wall_seconds\": " << entry.wallSeconds;
+            for (const auto &[name, value] : entry.counters)
+                out << ",\n      \"" << name << "\": " << value;
+            out << "\n    }" << (i + 1 < entries_.size() ? "," : "")
+                << "\n";
+        }
+        out << "  ]\n}\n";
+        return static_cast<bool>(out);
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        double iterations = 0.0;
+        double wallSeconds = 0.0;
+        std::vector<std::pair<std::string, double>> counters;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    std::vector<std::string> binaries = discoverBinaries();
+    if (binaries.empty())
+        std::fprintf(stderr, "no ELF binaries found; writing an "
+                             "empty BENCH_realworld.json\n");
+    for (const std::string &path : binaries) {
+        std::string name =
+            "BM_RealWorldEval/" +
+            std::filesystem::path(path).filename().string();
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [path](benchmark::State &state) {
+                BM_RealWorldEval(state, path);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+
+    JsonDumpReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    const char *jsonPath = "BENCH_realworld.json";
+    if (reporter.writeJson(jsonPath))
+        std::printf("wrote %s\n", jsonPath);
+    else
+        std::fprintf(stderr, "failed to write %s\n", jsonPath);
+    return 0;
+}

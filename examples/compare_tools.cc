@@ -48,6 +48,12 @@ main(int argc, char **argv)
     using namespace accdis;
     u64 seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 7;
     int functions = argc > 2 ? std::atoi(argv[2]) : 96;
+    if (functions <= 0) {
+        std::fprintf(stderr,
+                     "error: functions must be positive (got '%s')\n",
+                     argv[2]);
+        return 2;
+    }
 
     std::vector<std::unique_ptr<Disassembler>> tools;
     tools.push_back(std::make_unique<LinearSweep>());
@@ -61,6 +67,11 @@ main(int argc, char **argv)
         config.numFunctions = functions;
         synth::SynthBinary bin = synth::buildSynthBinary(config);
 
+        double dataPct =
+            bin.stats.totalBytes == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(bin.stats.dataBytes) /
+                      static_cast<double>(bin.stats.totalBytes);
         std::printf("\n%-12s  (%llu bytes, %llu instructions, "
                     "%.0f%% embedded data)\n",
                     bin.image.name().c_str(),
@@ -68,8 +79,7 @@ main(int argc, char **argv)
                         bin.stats.totalBytes),
                     static_cast<unsigned long long>(
                         bin.stats.instructions),
-                    100.0 * static_cast<double>(bin.stats.dataBytes) /
-                        static_cast<double>(bin.stats.totalBytes));
+                    dataPct);
         std::printf("  %-14s %8s %8s %9s %9s %9s\n", "tool", "FP",
                     "FN", "precision", "recall", "byte-acc");
         for (const auto &tool : tools) {

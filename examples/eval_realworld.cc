@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Metadata-free evaluation of real binaries (src/eval/realworld):
+ * self-consistency oracles, baseline divergence triage, and optional
+ * unstripped-twin scoring, over any mix of files and directories.
+ *
+ * Usage:
+ *   eval_realworld [options] <file-or-dir>...
+ *     --twin PATH            unstripped twin (single input file only)
+ *     --limit N              cap on binaries taken from directories
+ *     --max-section-bytes N  skip larger executable sections
+ *                            (default 4 MiB; 0 = no cap)
+ *     --no-baselines         skip the divergence triage layer
+ *     --seeds DIR            export confirmed violations as raw
+ *                            .repro fuzz seeds into DIR
+ *     --json PATH            write a JSON report of every binary
+ *     --fail-on-violation    exit 1 when any oracle fired
+ *     --verbose              print every violation's detail line
+ *
+ * Directories are swept for ELF-magic regular files (sorted, so runs
+ * are deterministic); non-binaries and failed loads are reported and
+ * skipped, never fatal. A typical smoke run:
+ *
+ *   eval_realworld --limit 10 /usr/bin
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/realworld.hh"
+#include "image/loader.hh"
+#include "support/error.hh"
+
+namespace
+{
+
+using namespace accdis;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--twin PATH] [--limit N] "
+                 "[--max-section-bytes N] [--no-baselines] "
+                 "[--seeds DIR] [--json PATH] [--fail-on-violation] "
+                 "<file-or-dir>...\n",
+                 argv0);
+    return 2;
+}
+
+/** True when @p path is a regular file starting with \x7fELF. */
+bool
+looksLikeElf(const std::filesystem::path &path)
+{
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(path, ec) || ec)
+        return false;
+    std::ifstream in(path, std::ios::binary);
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    return in.gcount() == 4 && magic[0] == 0x7f && magic[1] == 'E' &&
+           magic[2] == 'L' && magic[3] == 'F';
+}
+
+ByteVec
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    ByteVec bytes;
+    if (!in)
+        return bytes;
+    in.seekg(0, std::ios::end);
+    std::streamoff size = in.tellg();
+    in.seekg(0, std::ios::beg);
+    if (size > 0) {
+        bytes.resize(static_cast<std::size_t>(size));
+        in.read(reinterpret_cast<char *>(bytes.data()), size);
+        if (!in)
+            bytes.clear();
+    }
+    return bytes;
+}
+
+std::string
+jsonEscape(const std::string &value)
+{
+    std::string out;
+    for (char c : value) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void
+writeJsonReport(std::FILE *out,
+                const std::vector<eval::RealWorldReport> &reports)
+{
+    std::fprintf(out, "{\n  \"binaries\": [");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const eval::RealWorldReport &r = reports[i];
+        std::fprintf(out, "%s\n    {\"name\": \"%s\", \"loaded\": %s",
+                     i > 0 ? "," : "", jsonEscape(r.name).c_str(),
+                     r.loaded ? "true" : "false");
+        if (!r.loaded) {
+            std::fprintf(out, ", \"load_error\": \"%s\"}",
+                         jsonEscape(r.loadError).c_str());
+            continue;
+        }
+        std::fprintf(out, ", \"mode\": \"%s\",\n     \"violations\": {",
+                     x86::decodeModeName(r.mode));
+        bool first = true;
+        for (const std::string &oracle : eval::realWorldOracles()) {
+            std::fprintf(out, "%s\"%s\": %llu", first ? "" : ", ",
+                         oracle.c_str(),
+                         static_cast<unsigned long long>(
+                             r.violationCountFor(oracle)));
+            first = false;
+        }
+        std::fprintf(out, "},\n     \"sections\": [");
+        for (std::size_t s = 0; s < r.sections.size(); ++s) {
+            const eval::SectionReport &sec = r.sections[s];
+            std::fprintf(
+                out,
+                "%s\n      {\"name\": \"%s\", \"bytes\": %llu, "
+                "\"code_bytes\": %llu, \"insn_starts\": %llu, "
+                "\"violations\": %llu,\n       \"divergence\": "
+                "{\"agreed\": %llu, \"ours_only_code\": %llu, "
+                "\"baseline_only_code\": %llu, \"both_differ\": "
+                "%llu}}",
+                s > 0 ? "," : "", jsonEscape(sec.name).c_str(),
+                static_cast<unsigned long long>(sec.bytes),
+                static_cast<unsigned long long>(sec.codeBytes),
+                static_cast<unsigned long long>(sec.insnStarts),
+                static_cast<unsigned long long>(sec.violations.size()),
+                static_cast<unsigned long long>(sec.divergence.agreed),
+                static_cast<unsigned long long>(
+                    sec.divergence.oursOnlyCode),
+                static_cast<unsigned long long>(
+                    sec.divergence.baselineOnlyCode),
+                static_cast<unsigned long long>(
+                    sec.divergence.bothDiffer));
+        }
+        std::fprintf(out, "],\n     \"skipped_sections\": %llu",
+                     static_cast<unsigned long long>(
+                         r.skippedSections.size()));
+        if (r.twin.available) {
+            std::fprintf(
+                out,
+                ",\n     \"twin\": {\"symbols\": %llu, "
+                "\"recovered\": %llu, \"precision\": %.4f, "
+                "\"recall\": %.4f}",
+                static_cast<unsigned long long>(r.twin.symbolCount),
+                static_cast<unsigned long long>(r.twin.recoveredCount),
+                r.twin.starts.precision(), r.twin.starts.recall());
+        }
+        std::fprintf(out, "}");
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+}
+
+void
+printReport(const eval::RealWorldReport &report, bool verbose)
+{
+    if (!report.loaded) {
+        std::printf("%-32s LOAD FAILED: %s\n", report.name.c_str(),
+                    report.loadError.c_str());
+        return;
+    }
+    u64 bytes = 0, code = 0;
+    eval::DivergenceBuckets divergence;
+    for (const eval::SectionReport &sec : report.sections) {
+        bytes += sec.bytes;
+        code += sec.codeBytes;
+        divergence.agreed += sec.divergence.agreed;
+        divergence.oursOnlyCode += sec.divergence.oursOnlyCode;
+        divergence.baselineOnlyCode += sec.divergence.baselineOnlyCode;
+        divergence.bothDiffer += sec.divergence.bothDiffer;
+    }
+    std::printf("%-32s %s %8llu bytes, %5.1f%% code, "
+                "%llu violation(s)\n",
+                report.name.c_str(), x86::decodeModeName(report.mode),
+                static_cast<unsigned long long>(bytes),
+                bytes == 0 ? 0.0
+                           : 100.0 * static_cast<double>(code) /
+                                 static_cast<double>(bytes),
+                static_cast<unsigned long long>(
+                    report.violationCount()));
+    for (const std::string &oracle : eval::realWorldOracles()) {
+        u64 count = report.violationCountFor(oracle);
+        if (count > 0)
+            std::printf("    %-18s %llu\n", oracle.c_str(),
+                        static_cast<unsigned long long>(count));
+    }
+    if (verbose) {
+        for (const eval::SectionReport &sec : report.sections) {
+            for (const eval::Violation &v : sec.violations)
+                std::printf("      [%s] %s: %s\n", v.oracle.c_str(),
+                            sec.name.c_str(), v.detail.c_str());
+        }
+    }
+    if (divergence.total() > 0) {
+        std::printf("    divergence: agreed %llu, ours-only-code "
+                    "%llu, baseline-only-code %llu, both-differ "
+                    "%llu\n",
+                    static_cast<unsigned long long>(divergence.agreed),
+                    static_cast<unsigned long long>(
+                        divergence.oursOnlyCode),
+                    static_cast<unsigned long long>(
+                        divergence.baselineOnlyCode),
+                    static_cast<unsigned long long>(
+                        divergence.bothDiffer));
+    }
+    for (const std::string &name : report.skippedSections)
+        std::printf("    skipped %s (over --max-section-bytes)\n",
+                    name.c_str());
+    if (report.twin.available) {
+        std::printf("    twin: %llu symbols, %llu recovered, "
+                    "precision %.4f, recall %.4f\n",
+                    static_cast<unsigned long long>(
+                        report.twin.symbolCount),
+                    static_cast<unsigned long long>(
+                        report.twin.recoveredCount),
+                    report.twin.starts.precision(),
+                    report.twin.starts.recall());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string twinPath, seedsDir, jsonPath;
+    std::size_t limit = 0;
+    bool failOnViolation = false;
+    bool verbose = false;
+    eval::RealWorldOptions options;
+    options.maxSectionBytes = 4ull << 20;
+    std::vector<std::string> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--twin") && i + 1 < argc) {
+            twinPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--limit") && i + 1 < argc) {
+            limit = std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--max-section-bytes") &&
+                   i + 1 < argc) {
+            options.maxSectionBytes =
+                std::strtoull(argv[++i], nullptr, 0);
+        } else if (!std::strcmp(argv[i], "--no-baselines")) {
+            options.triageBaselines = false;
+        } else if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
+            seedsDir = argv[++i];
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--fail-on-violation")) {
+            failOnViolation = true;
+        } else if (!std::strcmp(argv[i], "--verbose")) {
+            verbose = true;
+        } else if (argv[i][0] == '-') {
+            return usage(argv[0]);
+        } else {
+            inputs.push_back(argv[i]);
+        }
+    }
+    if (inputs.empty())
+        return usage(argv[0]);
+
+    // Expand directories into sorted ELF file lists; files pass
+    // through as given (so a deliberate non-ELF still reports its
+    // load failure instead of being silently dropped).
+    std::vector<std::string> files;
+    for (const std::string &input : inputs) {
+        std::error_code ec;
+        if (std::filesystem::is_directory(input, ec) && !ec) {
+            std::vector<std::string> found;
+            for (const auto &entry :
+                 std::filesystem::directory_iterator(input, ec)) {
+                if (looksLikeElf(entry.path()))
+                    found.push_back(entry.path().string());
+            }
+            std::sort(found.begin(), found.end());
+            files.insert(files.end(), found.begin(), found.end());
+        } else {
+            files.push_back(input);
+        }
+    }
+    if (limit > 0 && files.size() > limit)
+        files.resize(limit);
+    if (!twinPath.empty() && files.size() != 1) {
+        std::fprintf(stderr,
+                     "error: --twin needs exactly one input file\n");
+        return 2;
+    }
+
+    ByteVec twinBytes;
+    if (!twinPath.empty()) {
+        twinBytes = readFileBytes(twinPath);
+        if (twinBytes.empty()) {
+            std::fprintf(stderr, "error: cannot read twin %s\n",
+                         twinPath.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<eval::RealWorldReport> reports;
+    std::size_t seedsWritten = 0;
+    u64 totalViolations = 0;
+    for (const std::string &path : files) {
+        LoadOptions loadOptions;
+        loadOptions.salvage = true;
+        LoadResult loaded = loadBinaryFile(path, loadOptions);
+        eval::RealWorldReport report;
+        if (!loaded.ok()) {
+            report.name = path;
+            report.loaded = false;
+            report.loadError = loaded.report.summary();
+        } else {
+            report = eval::evaluateImage(*loaded.image, options,
+                                         twinBytes);
+            report.name = path;
+        }
+        printReport(report, verbose);
+        totalViolations += report.loaded ? report.violationCount() : 0;
+
+        if (!seedsDir.empty() && loaded.ok() &&
+            report.violationCount() > 0) {
+            std::error_code ec;
+            std::filesystem::create_directories(seedsDir, ec);
+            eval::HarvestOptions harvest;
+            harvest.engine = options.engine;
+            for (const fuzz::Reproducer &seed :
+                 eval::harvestSeeds(*loaded.image, report, harvest)) {
+                std::string stem =
+                    std::filesystem::path(path).filename().string();
+                std::string file = seedsDir + "/" + stem + "-" +
+                                   seed.expect + "-" +
+                                   std::to_string(seedsWritten) +
+                                   ".repro";
+                fuzz::writeReproducerFile(
+                    file, seed, "harvested from " + path);
+                std::printf("    seed -> %s\n", file.c_str());
+                ++seedsWritten;
+            }
+        }
+        reports.push_back(std::move(report));
+    }
+
+    if (!jsonPath.empty()) {
+        std::FILE *out = std::fopen(jsonPath.c_str(), "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+        writeJsonReport(out, reports);
+        std::fclose(out);
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+
+    std::printf("evaluated %zu binaries, %llu violation(s), "
+                "%zu seed(s) exported\n",
+                reports.size(),
+                static_cast<unsigned long long>(totalViolations),
+                seedsWritten);
+    return failOnViolation && totalViolations > 0 ? 1 : 0;
+}

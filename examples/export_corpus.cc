@@ -7,7 +7,12 @@
  * written alongside as a simple text format.
  *
  * Usage: ./build/examples/export_corpus [out-dir] [seed]
- *            [--mode x64|x86]
+ *            [--mode x64|x86] [--functions N] [--twins]
+ *
+ * --twins additionally writes <stem>.sym.elf: the same image with a
+ * .symtab carrying the ground-truth function starts as STT_FUNC
+ * symbols — an "unstripped twin" for exercising symbol-based scoring
+ * (eval_realworld --twin) without committing binaries anywhere.
  */
 
 #include <cstdio>
@@ -52,6 +57,35 @@ writeTruth(const std::string &path, const accdis::synth::SynthBinary &bin)
                      static_cast<unsigned long long>(off));
 }
 
+/** Ground-truth function starts as ELF symbols ("f0", "f1", ...)
+ *  over the image's first executable section. */
+std::vector<accdis::ElfSymbol>
+truthSymbols(const accdis::synth::SynthBinary &bin)
+{
+    using namespace accdis;
+    std::vector<ElfSymbol> symbols;
+    const Section *text = nullptr;
+    for (const Section &sec : bin.image.sections()) {
+        if (sec.flags().executable) {
+            text = &sec;
+            break;
+        }
+    }
+    if (text == nullptr)
+        return symbols;
+    std::vector<Offset> starts = bin.truth.functionStarts();
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        ElfSymbol sym;
+        sym.name = "f" + std::to_string(i);
+        sym.value = text->vaddr(starts[i]);
+        Offset end =
+            i + 1 < starts.size() ? starts[i + 1] : text->size();
+        sym.size = end - starts[i];
+        symbols.push_back(std::move(sym));
+    }
+    return symbols;
+}
+
 } // namespace
 
 int
@@ -61,6 +95,8 @@ main(int argc, char **argv)
     std::string outDir = "/tmp/accdis-corpus";
     u64 seed = 1;
     x86::DecodeMode mode = x86::DecodeMode::X64;
+    int functions = 96;
+    bool twins = false;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--mode") && i + 1 < argc) {
@@ -70,6 +106,16 @@ main(int argc, char **argv)
                              "(expected x64 or x86)\n");
                 return 1;
             }
+        } else if (!std::strcmp(argv[i], "--functions") &&
+                   i + 1 < argc) {
+            functions = std::atoi(argv[++i]);
+            if (functions <= 0) {
+                std::fprintf(stderr,
+                             "error: --functions must be positive\n");
+                return 1;
+            }
+        } else if (!std::strcmp(argv[i], "--twins")) {
+            twins = true;
         } else if (positional == 0) {
             outDir = argv[i];
             ++positional;
@@ -88,7 +134,7 @@ main(int argc, char **argv)
         for (auto preset : {synth::gccLikePreset, synth::msvcLikePreset,
                             synth::adversarialPreset}) {
             synth::CorpusConfig config = preset(seed);
-            config.numFunctions = 96;
+            config.numFunctions = functions;
             config.mode = mode;
             synth::SynthBinary bin = synth::buildSynthBinary(config);
             std::string stem = outDir + "/" + bin.image.name();
@@ -97,6 +143,9 @@ main(int argc, char **argv)
             writeFileBytes(stem + ".elf", writeElf(bin.image));
             writeFileBytes(stem + ".exe", writePe(bin.image));
             writeTruth(stem + ".truth", bin);
+            if (twins)
+                writeFileBytes(stem + ".sym.elf",
+                               writeElf(bin.image, truthSymbols(bin)));
             std::printf("%s.{elf,exe,truth}: %llu bytes, "
                         "%llu instructions\n",
                         stem.c_str(),

@@ -258,6 +258,25 @@ ResolvePass::refineGapChain(AnalysisContext &ctx, Offset g0,
         // and hand their bytes back to the window search. The chain
         // head passed the window score check, so at least one
         // instruction always survives.
+        //
+        // The terminator exemption is bounded, in two tiers, and
+        // only for terminators that stop short of the gap end (a
+        // chain that walks all the way out of its gap ended at a
+        // real boundary; one that stops mid-gap left garbage bytes
+        // it could not explain behind it):
+        //  - a short fragment (<= 4 links) capped by a terminator
+        //    scoring more than 1.5 below threshold has no body of
+        //    plausible decodes vouching for it — measured on the
+        //    synth corpus, genuine two-link epilogue tails
+        //    (insn + ret) score above roughly -0.5 there;
+        //  - at any length, a terminator more than 5 bits below
+        //    threshold is a const-pool byte masquerading as ret/jmp.
+        //    Genuine one-byte rets ending long residual chains
+        //    bottom out near -4.4 (x86 C3 epilogues); the garbage
+        //    population sits at -5.6 to -8.
+        const double kShortTrailerMargin = 1.5;
+        const double kDeepTrailerMargin = 5.0;
+        const std::size_t kShortChain = 4;
         while (!chain.empty()) {
             const SupersetNode &tail = superset.node(chain.back());
             bool transfers =
@@ -267,8 +286,17 @@ ResolvePass::refineGapChain(AnalysisContext &ctx, Offset g0,
                 tail.flow == x86::CtrlFlow::IndirectJump ||
                 tail.flow == x86::CtrlFlow::IndirectCall ||
                 tail.flow == x86::CtrlFlow::Return;
-            if (transfers || ctx.seedScore(chain.back()) >
-                                 ctx.config.codeThreshold)
+            double tailScore = ctx.seedScore(chain.back());
+            bool midGap = chain.back() + tail.length < g1;
+            bool garbageTerminator =
+                midGap &&
+                (tailScore <= ctx.config.codeThreshold -
+                                  kDeepTrailerMargin ||
+                 (tailScore <= ctx.config.codeThreshold -
+                                   kShortTrailerMargin &&
+                  chain.size() <= kShortChain));
+            if ((transfers && !garbageTerminator) ||
+                tailScore > ctx.config.codeThreshold)
                 break;
             cfInsns -= tail.flow != x86::CtrlFlow::None;
             cursor = chain.back();

@@ -1,0 +1,524 @@
+#include "eval/realworld.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "baseline/baselines.hh"
+#include "core/functions.hh"
+#include "image/elf_reader.hh"
+#include "image/loader.hh"
+#include "support/error.hh"
+#include "support/serialize.hh"
+
+namespace accdis::eval
+{
+
+namespace
+{
+
+std::string
+hex(u64 value)
+{
+    std::ostringstream out;
+    out << "0x" << std::hex << value;
+    return out.str();
+}
+
+/** Per-byte code flags flattened out of the interval map — one pass
+ *  per tool instead of a map lookup per byte during triage. */
+std::vector<u8>
+flattenCode(const IntervalMap<ResultClass> &map, u64 size)
+{
+    std::vector<u8> code(size, 0);
+    for (const auto &entry : map.entries()) {
+        if (entry.label != ResultClass::Code)
+            continue;
+        Offset end = std::min<Offset>(entry.end, size);
+        for (Offset b = entry.begin; b < end; ++b)
+            code[b] = 1;
+    }
+    return code;
+}
+
+/** Known entry points of @p image falling inside @p sec, as
+ *  section-relative offsets. */
+std::vector<Offset>
+sectionEntries(const BinaryImage &image, const Section &sec)
+{
+    std::vector<Offset> entries;
+    for (Addr addr : image.entryPoints()) {
+        if (sec.containsVaddr(addr))
+            entries.push_back(sec.toOffset(addr));
+    }
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()),
+                  entries.end());
+    return entries;
+}
+
+DivergenceBuckets
+triageSection(const Classification &ours, ByteSpan bytes,
+              const std::vector<Offset> &entries, Addr base,
+              const std::vector<AuxRegion> &aux, x86::DecodeMode mode)
+{
+    LinearSweep sweep(mode);
+    RecursiveTraversal recursive(mode);
+    Classification sweepResult =
+        sweep.analyzeSection(bytes, entries, base, aux);
+    Classification recResult =
+        recursive.analyzeSection(bytes, entries, base, aux);
+
+    std::vector<u8> oursCode = flattenCode(ours.map, bytes.size());
+    std::vector<u8> sweepCode =
+        flattenCode(sweepResult.map, bytes.size());
+    std::vector<u8> recCode = flattenCode(recResult.map, bytes.size());
+
+    DivergenceBuckets buckets;
+    for (std::size_t b = 0; b < bytes.size(); ++b) {
+        if (sweepCode[b] != recCode[b])
+            ++buckets.bothDiffer;
+        else if (oursCode[b] == sweepCode[b])
+            ++buckets.agreed;
+        else if (oursCode[b])
+            ++buckets.oursOnlyCode;
+        else
+            ++buckets.baselineOnlyCode;
+    }
+    return buckets;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+realWorldOracles()
+{
+    static const std::vector<std::string> oracles = {
+        kOracleOverlap,
+        kOracleCfMidInsn,
+        kOracleCfIntoData,
+        kOracleJumpTable,
+    };
+    return oracles;
+}
+
+u64
+RealWorldReport::violationCount() const
+{
+    u64 total = 0;
+    for (const SectionReport &sec : sections)
+        total += sec.violations.size();
+    return total;
+}
+
+u64
+RealWorldReport::violationCountFor(const std::string &oracle) const
+{
+    u64 total = 0;
+    for (const SectionReport &sec : sections) {
+        for (const Violation &v : sec.violations)
+            total += v.oracle == oracle ? 1 : 0;
+    }
+    return total;
+}
+
+std::vector<Violation>
+checkSelfConsistency(const Superset &superset,
+                     const Classification &result, Addr sectionBase,
+                     const std::vector<AuxRegion> &aux,
+                     const std::string &sectionName)
+{
+    std::vector<Violation> violations;
+    // Calibration gate: bytes committed by residual gap refinement
+    // are the engine's lowest-confidence guesses, and flagging their
+    // decodes measures the known softness of gap fill rather than a
+    // contradiction among confidently-claimed facts. Restricting the
+    // overlap and control-flow oracles to stronger commitments takes
+    // the synthetic determinism corpus to zero violations while real
+    // binaries keep thousands of strongly-committed starts in scope.
+    auto residual = [&](Offset off) {
+        auto prio = result.provenance.at(off);
+        return prio.has_value() &&
+               *prio >= static_cast<u8>(Priority::Residual);
+    };
+    auto report = [&](const char *oracle, Offset site, Offset target,
+                      std::string detail) {
+        Violation v;
+        v.oracle = oracle;
+        v.section = sectionName;
+        v.site = site;
+        v.target = target;
+        v.detail = std::move(detail);
+        violations.push_back(std::move(v));
+    };
+
+    // Oracle 1: committed instruction starts must decode and must not
+    // overlap the next committed start.
+    const std::vector<Offset> &starts = result.insnStarts;
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        Offset s = starts[i];
+        if (!superset.validAt(s)) {
+            report(kOracleOverlap, s, kNoAddr,
+                   "committed start " + hex(s) +
+                       " has no valid decode");
+            continue;
+        }
+        Offset end = s + superset.node(s).length;
+        if (i + 1 < starts.size() && end > starts[i + 1] &&
+            !(residual(s) && residual(starts[i + 1]))) {
+            report(kOracleOverlap, s, starts[i + 1],
+                   "decode at " + hex(s) + " (len " +
+                       std::to_string(superset.node(s).length) +
+                       ") overlaps committed start " +
+                       hex(starts[i + 1]));
+        }
+    }
+
+    // Oracles 2+3: every direct call/jump from committed code must
+    // land on a committed instruction start, not mid-instruction and
+    // not in data-classified bytes. Out-of-section targets are not
+    // checkable and escape via target() == kNoAddr.
+    for (Offset s : starts) {
+        if (residual(s))
+            continue;
+        Offset t = superset.target(s);
+        if (t == kNoAddr)
+            continue;
+        auto cls = result.map.at(t);
+        if (cls.has_value() && *cls == ResultClass::Data) {
+            report(kOracleCfIntoData, s, t,
+                   "direct flow " + hex(s) + " -> " + hex(t) +
+                       " lands in data-classified bytes");
+        } else if (!result.isInsnStart(t)) {
+            report(kOracleCfMidInsn, s, t,
+                   "direct flow " + hex(s) + " -> " + hex(t) +
+                       " lands mid-instruction");
+        }
+    }
+
+    // Oracle 4: fully-matched jump tables whose dispatch the engine
+    // committed as code must have every case target on a committed
+    // start — the table was the engine's own evidence for them.
+    JumpTableConfig jtConfig;
+    jtConfig.auxRegions = aux;
+    jtConfig.sectionBase = sectionBase;
+    jtConfig.mode = superset.mode();
+    for (const JumpTable &table : findJumpTables(superset, jtConfig)) {
+        if (!table.fullIdiom || !result.isInsnStart(table.dispatchOff))
+            continue;
+        for (Offset t : table.targets) {
+            if (result.isInsnStart(t))
+                continue;
+            report(kOracleJumpTable, table.dispatchOff, t,
+                   "jump-table case target " + hex(t) +
+                       " (dispatch " + hex(table.dispatchOff) +
+                       ") is not a committed start");
+        }
+    }
+
+    return violations;
+}
+
+RealWorldReport
+evaluateImage(const BinaryImage &image, const RealWorldOptions &options,
+              ByteSpan twinElf)
+{
+    RealWorldReport report;
+    report.name = image.name();
+    report.loaded = true;
+    report.mode = image.mode();
+
+    EngineConfig config = options.engine;
+    config.mode = image.mode();
+    DisassemblyEngine engine(config);
+    std::vector<AuxRegion> aux = auxRegionsOf(image);
+
+    std::vector<ElfSymbol> twinSymbols;
+    if (!twinElf.empty()) {
+        twinSymbols = readElfFunctionSymbols(twinElf);
+        report.twin.available = !twinSymbols.empty();
+    }
+    std::set<Addr> symbolVaddrs;
+    std::set<Addr> recoveredVaddrs;
+
+    for (const Section &sec : image.sections()) {
+        if (!sec.flags().executable || sec.size() == 0)
+            continue;
+        if (options.maxSectionBytes != 0 &&
+            sec.size() > options.maxSectionBytes) {
+            report.skippedSections.push_back(sec.name());
+            continue;
+        }
+
+        std::vector<Offset> entries = sectionEntries(image, sec);
+        Superset superset(sec.bytes(), config.acceleratedHotPath,
+                          nullptr, config.mode);
+        Classification result =
+            engine.analyzeSection(sec.bytes(), entries, sec.base(), aux);
+
+        SectionReport secReport;
+        secReport.name = sec.name();
+        secReport.base = sec.base();
+        secReport.bytes = sec.size();
+        secReport.codeBytes = result.bytesOf(ResultClass::Code);
+        secReport.insnStarts = result.insnStarts.size();
+        secReport.violations = checkSelfConsistency(
+            superset, result, sec.base(), aux, sec.name());
+        if (options.triageBaselines) {
+            secReport.divergence =
+                triageSection(result, sec.bytes(), entries, sec.base(),
+                              aux, config.mode);
+        }
+        report.sections.push_back(std::move(secReport));
+
+        if (report.twin.available) {
+            for (const ElfSymbol &sym : twinSymbols) {
+                if (sec.containsVaddr(sym.value))
+                    symbolVaddrs.insert(sym.value);
+            }
+            for (const FunctionInfo &fn :
+                 recoverFunctions(superset, result, sec.base()))
+                recoveredVaddrs.insert(sec.vaddr(fn.entry));
+        }
+    }
+
+    if (report.twin.available) {
+        report.twin.symbolCount = symbolVaddrs.size();
+        report.twin.recoveredCount = recoveredVaddrs.size();
+        for (Addr addr : recoveredVaddrs) {
+            if (symbolVaddrs.count(addr))
+                ++report.twin.starts.truePositives;
+            else
+                ++report.twin.starts.falsePositives;
+        }
+        for (Addr addr : symbolVaddrs) {
+            if (!recoveredVaddrs.count(addr))
+                ++report.twin.starts.falseNegatives;
+        }
+    }
+
+    return report;
+}
+
+RealWorldReport
+evaluateFile(const std::string &path, const RealWorldOptions &options,
+             const std::string &twinPath)
+{
+    LoadOptions loadOptions;
+    loadOptions.salvage = true;
+    LoadResult loaded = loadBinaryFile(path, loadOptions);
+    if (!loaded.ok()) {
+        RealWorldReport report;
+        report.name = path;
+        report.loaded = false;
+        report.loadError = loaded.report.summary();
+        return report;
+    }
+
+    ByteVec twinBytes;
+    if (!twinPath.empty()) {
+        std::ifstream in(twinPath, std::ios::binary);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            std::string data = buf.str();
+            twinBytes.assign(data.begin(), data.end());
+        }
+        // An unreadable twin degrades to twin.available == false
+        // rather than failing the whole evaluation.
+    }
+
+    return evaluateImage(*loaded.image, options, twinBytes);
+}
+
+ByteVec
+encodeReport(const RealWorldReport &report)
+{
+    Encoder enc;
+    enc.varint(kSchemaVersion);
+    enc.str(report.name);
+    enc.pod<u8>(report.loaded ? 1 : 0);
+    enc.str(report.loadError);
+    enc.pod<u8>(static_cast<u8>(report.mode));
+    enc.varint(report.sections.size());
+    for (const SectionReport &sec : report.sections) {
+        enc.str(sec.name);
+        enc.pod<u64>(sec.base);
+        enc.varint(sec.bytes);
+        enc.varint(sec.codeBytes);
+        enc.varint(sec.insnStarts);
+        enc.varint(sec.violations.size());
+        for (const Violation &v : sec.violations) {
+            enc.str(v.oracle);
+            enc.str(v.section);
+            enc.pod<u64>(v.site);
+            enc.pod<u64>(v.target);
+            enc.str(v.detail);
+        }
+        enc.varint(sec.divergence.agreed);
+        enc.varint(sec.divergence.oursOnlyCode);
+        enc.varint(sec.divergence.baselineOnlyCode);
+        enc.varint(sec.divergence.bothDiffer);
+    }
+    enc.varint(report.skippedSections.size());
+    for (const std::string &name : report.skippedSections)
+        enc.str(name);
+    enc.pod<u8>(report.twin.available ? 1 : 0);
+    enc.varint(report.twin.symbolCount);
+    enc.varint(report.twin.recoveredCount);
+    enc.varint(report.twin.starts.truePositives);
+    enc.varint(report.twin.starts.falsePositives);
+    enc.varint(report.twin.starts.falseNegatives);
+    return enc.take();
+}
+
+RealWorldReport
+decodeReport(ByteSpan bytes)
+{
+    Decoder dec(bytes);
+    u64 version = dec.varint();
+    if (version != kSchemaVersion)
+        throw SerializeError(
+            "realworld: schema version mismatch (got " +
+            std::to_string(version) + ", want " +
+            std::to_string(kSchemaVersion) + ")");
+    RealWorldReport report;
+    report.name = dec.str();
+    report.loaded = dec.pod<u8>() != 0;
+    report.loadError = dec.str();
+    report.mode = static_cast<x86::DecodeMode>(dec.pod<u8>());
+    u64 sectionCount = dec.varint();
+    for (u64 i = 0; i < sectionCount; ++i) {
+        SectionReport sec;
+        sec.name = dec.str();
+        sec.base = dec.pod<u64>();
+        sec.bytes = dec.varint();
+        sec.codeBytes = dec.varint();
+        sec.insnStarts = dec.varint();
+        u64 violationCount = dec.varint();
+        for (u64 j = 0; j < violationCount; ++j) {
+            Violation v;
+            v.oracle = dec.str();
+            v.section = dec.str();
+            v.site = dec.pod<u64>();
+            v.target = dec.pod<u64>();
+            v.detail = dec.str();
+            sec.violations.push_back(std::move(v));
+        }
+        sec.divergence.agreed = dec.varint();
+        sec.divergence.oursOnlyCode = dec.varint();
+        sec.divergence.baselineOnlyCode = dec.varint();
+        sec.divergence.bothDiffer = dec.varint();
+        report.sections.push_back(std::move(sec));
+    }
+    u64 skippedCount = dec.varint();
+    for (u64 i = 0; i < skippedCount; ++i)
+        report.skippedSections.push_back(dec.str());
+    report.twin.available = dec.pod<u8>() != 0;
+    report.twin.symbolCount = dec.varint();
+    report.twin.recoveredCount = dec.varint();
+    report.twin.starts.truePositives = dec.varint();
+    report.twin.starts.falsePositives = dec.varint();
+    report.twin.starts.falseNegatives = dec.varint();
+    dec.expectEnd();
+    return report;
+}
+
+std::vector<fuzz::Reproducer>
+harvestSeeds(const BinaryImage &image, const RealWorldReport &report,
+             const HarvestOptions &options)
+{
+    std::vector<fuzz::Reproducer> seeds;
+    std::set<std::string> dedup;
+    for (const SectionReport &secReport : report.sections) {
+        const Section *sec = nullptr;
+        for (const Section &candidate : image.sections()) {
+            if (candidate.name() == secReport.name &&
+                candidate.base() == secReport.base) {
+                sec = &candidate;
+                break;
+            }
+        }
+        if (sec == nullptr)
+            continue;
+        ByteSpan bytes = sec->bytes();
+        for (const Violation &v : secReport.violations) {
+            if (seeds.size() >= options.maxSeeds)
+                return seeds;
+            std::string key =
+                v.oracle + "|" + v.section + "|" + hex(v.site);
+            if (!dedup.insert(key).second)
+                continue;
+
+            // The window must hold both the site and (when present)
+            // the target, with slack for the decodes themselves.
+            Offset lo = v.site;
+            Offset hi = v.site;
+            if (v.target != kNoAddr) {
+                lo = std::min(lo, v.target);
+                hi = std::max(hi, v.target);
+            }
+            hi = std::min<Offset>(hi + 16, bytes.size());
+
+            for (std::size_t window = options.minWindow;
+                 window <= options.maxWindow; window *= 4) {
+                if (hi - lo > window)
+                    continue;
+                Offset mid = lo + (hi - lo) / 2;
+                Offset begin =
+                    mid > window / 2 ? mid - window / 2 : 0;
+                if (begin > lo)
+                    begin = lo;
+                Offset end =
+                    std::min<Offset>(begin + window, bytes.size());
+                if (end < hi)
+                    continue;
+
+                fuzz::RunSpec spec;
+                spec.mode = report.mode;
+                spec.rawBase = sec->base() + begin;
+                spec.rawBytes.assign(bytes.begin() + begin,
+                                     bytes.begin() + end);
+
+                bool confirmed = false;
+                for (const Violation &replayed :
+                     replaySeed(spec, options.engine)) {
+                    if (replayed.oracle == v.oracle &&
+                        replayed.site == v.site - begin) {
+                        confirmed = true;
+                        break;
+                    }
+                }
+                if (confirmed) {
+                    fuzz::Reproducer repro;
+                    repro.spec = std::move(spec);
+                    repro.expect = v.oracle;
+                    seeds.push_back(std::move(repro));
+                    break;
+                }
+            }
+        }
+    }
+    return seeds;
+}
+
+std::vector<Violation>
+replaySeed(const fuzz::RunSpec &spec, const EngineConfig &engine)
+{
+    if (!spec.raw())
+        throw Error("realworld: replaySeed needs a raw spec");
+    fuzz::Mutant mutant = fuzz::buildMutant(spec);
+    RealWorldOptions options;
+    options.engine = engine;
+    options.triageBaselines = false;
+    RealWorldReport report = evaluateImage(mutant.image, options);
+    std::vector<Violation> violations;
+    for (SectionReport &sec : report.sections) {
+        for (Violation &v : sec.violations)
+            violations.push_back(std::move(v));
+    }
+    return violations;
+}
+
+} // namespace accdis::eval

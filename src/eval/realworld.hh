@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Metadata-free accuracy evaluation on real binaries.
+ *
+ * Synthetic corpora come with byte-exact ground truth; a stripped
+ * /usr/bin ELF comes with nothing. This subsystem scores the engine
+ * on such binaries anyway, through three layers that need
+ * progressively more input:
+ *
+ *  1. Self-consistency oracles (no ground truth at all): properties
+ *     any *internally coherent* disassembly must satisfy —
+ *     non-overlapping committed decodes, direct calls/jumps that
+ *     land on decoded instruction starts rather than mid-instruction
+ *     or in data-classified bytes, and jump-table case targets that
+ *     resolve to decoded starts. A violation is not automatically an
+ *     engine error (real code does jump into bytes another path
+ *     decodes differently), but every one marks a place where the
+ *     result contradicts itself, and their count is comparable
+ *     across engine versions.
+ *
+ *  2. Cross-tool divergence triage (baselines as a foil): every
+ *     executable byte is bucketed against the linear-sweep and
+ *     recursive-traversal baselines into a stable taxonomy — agreed,
+ *     ours-only-code (the engine alone claims code), baseline-only-
+ *     code (the baselines alone claim code), both-differ (the
+ *     baselines disagree with each other, so "the baseline answer"
+ *     is undefined). Bucket byte counts quantify where the engine
+ *     diverges from convention without declaring either side wrong.
+ *
+ *  3. Unstripped-twin scoring (symbol tables as ground truth): when
+ *     the same binary is available with its .symtab intact, the
+ *     STT_FUNC symbols give function-start ground truth, and the
+ *     engine's recovered functions are scored with the standard
+ *     precision/recall machinery.
+ *
+ * Confirmed self-consistency violations can be exported as raw-mode
+ * fuzz reproducers (fuzz/reproducer.hh): the offending byte window
+ * is carved out, re-checked standalone (a violation that does not
+ * reproduce from its own window was an artifact of wider context and
+ * is dropped), and written as a self-contained `.repro` the corpus
+ * replay keeps honest forever.
+ */
+
+#ifndef ACCDIS_EVAL_REALWORLD_HH
+#define ACCDIS_EVAL_REALWORLD_HH
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "eval/metrics.hh"
+#include "fuzz/reproducer.hh"
+#include "image/binary_image.hh"
+#include "superset/superset.hh"
+
+namespace accdis::eval
+{
+
+/** Stable self-consistency oracle identifiers (report keys, seed
+ *  `expect` lines). The `rw-` prefix keeps them disjoint from the
+ *  synth fuzz oracles. */
+inline constexpr char kOracleOverlap[] = "rw-overlap";
+inline constexpr char kOracleCfMidInsn[] = "rw-cf-mid-insn";
+inline constexpr char kOracleCfIntoData[] = "rw-cf-into-data";
+inline constexpr char kOracleJumpTable[] = "rw-jt-unanchored";
+
+/** Every oracle identifier, in fixed report order. */
+const std::vector<std::string> &realWorldOracles();
+
+/** One self-consistency violation. */
+struct Violation
+{
+    /** Which oracle fired (one of the kOracle* identifiers). */
+    std::string oracle;
+    /** Section the violation lives in. */
+    std::string section;
+    /** Section-relative offset of the offending instruction. */
+    Offset site = 0;
+    /** Section-relative target offset, or kNoAddr when the oracle
+     *  has no target notion (e.g. overlap). */
+    Offset target = kNoAddr;
+    /** Human-readable description with offsets and classes. */
+    std::string detail;
+
+    bool
+    operator==(const Violation &other) const
+    {
+        return oracle == other.oracle && section == other.section &&
+               site == other.site && target == other.target &&
+               detail == other.detail;
+    }
+};
+
+/** Per-byte engine-vs-baseline divergence taxonomy. Every executable
+ *  byte lands in exactly one bucket, so the four counts always sum
+ *  to the section size. */
+struct DivergenceBuckets
+{
+    /** Engine, linear sweep and recursive traversal all agree. */
+    u64 agreed = 0;
+    /** Baselines agree on data; the engine alone claims code. */
+    u64 oursOnlyCode = 0;
+    /** Baselines agree on code; the engine alone claims data. */
+    u64 baselineOnlyCode = 0;
+    /** The baselines disagree with each other (contested bytes). */
+    u64 bothDiffer = 0;
+
+    u64
+    total() const
+    {
+        return agreed + oursOnlyCode + baselineOnlyCode + bothDiffer;
+    }
+
+    bool operator==(const DivergenceBuckets &) const = default;
+};
+
+/** Evaluation of one executable section. */
+struct SectionReport
+{
+    std::string name;
+    Addr base = 0;
+    u64 bytes = 0;
+    u64 codeBytes = 0;
+    u64 insnStarts = 0;
+    std::vector<Violation> violations;
+    DivergenceBuckets divergence;
+
+    bool operator==(const SectionReport &) const = default;
+};
+
+/** Function-start score against an unstripped twin's symbol table. */
+struct TwinReport
+{
+    /** True when a twin was supplied and its symtab parsed. */
+    bool available = false;
+    /** STT_FUNC symbols falling inside evaluated sections. */
+    u64 symbolCount = 0;
+    /** Function entries the engine recovered in those sections. */
+    u64 recoveredCount = 0;
+    /** Start-level score; only the instruction-level fields (TP, FP,
+     *  FN and the derived precision/recall) are populated. */
+    AccuracyMetrics starts;
+
+    bool
+    operator==(const TwinReport &other) const
+    {
+        return available == other.available &&
+               symbolCount == other.symbolCount &&
+               recoveredCount == other.recoveredCount &&
+               starts.truePositives == other.starts.truePositives &&
+               starts.falsePositives == other.starts.falsePositives &&
+               starts.falseNegatives == other.starts.falseNegatives;
+    }
+};
+
+/** Full evaluation of one binary. */
+struct RealWorldReport
+{
+    /** Binary name (file path as given). */
+    std::string name;
+    /** False when the image failed to load; loadError says why. */
+    bool loaded = false;
+    std::string loadError;
+    x86::DecodeMode mode = x86::DecodeMode::X64;
+    std::vector<SectionReport> sections;
+    /** Executable sections skipped by the size cap (never silent). */
+    std::vector<std::string> skippedSections;
+    TwinReport twin;
+
+    /** Total self-consistency violations across sections. */
+    u64 violationCount() const;
+    /** Violations of one oracle across sections. */
+    u64 violationCountFor(const std::string &oracle) const;
+
+    bool operator==(const RealWorldReport &) const = default;
+};
+
+/** Evaluation knobs. */
+struct RealWorldOptions
+{
+    /** Engine configuration; mode is overridden per image. */
+    EngineConfig engine;
+    /** Run the baseline tools for the divergence taxonomy. */
+    bool triageBaselines = true;
+    /** Skip executable sections larger than this (0 = no cap); the
+     *  skip is recorded in RealWorldReport::skippedSections. */
+    u64 maxSectionBytes = 0;
+};
+
+/**
+ * Self-consistency check of one classified section — the truth-free
+ * oracle layer, exposed for hand-built fixtures in tests. @p aux
+ * carries the image's read-only data regions for jump-table
+ * discovery.
+ *
+ * Calibration: the overlap and control-flow oracles ignore sites the
+ * engine committed at Priority::Residual (gap refinement) — those are
+ * its lowest-confidence guesses, and contradictions among them
+ * measure gap-fill softness, not internal inconsistency. This takes
+ * the synthetic determinism corpus to zero violations.
+ */
+std::vector<Violation> checkSelfConsistency(
+    const Superset &superset, const Classification &result,
+    Addr sectionBase, const std::vector<AuxRegion> &aux,
+    const std::string &sectionName);
+
+/**
+ * Evaluate every executable section of @p image. When @p twinElf is
+ * non-empty it must be the bytes of an unstripped build of the same
+ * binary (same link addresses); its STT_FUNC symbols become
+ * function-start ground truth for the twin layer.
+ */
+RealWorldReport evaluateImage(const BinaryImage &image,
+                              const RealWorldOptions &options = {},
+                              ByteSpan twinElf = {});
+
+/**
+ * Load @p path (salvage mode, so partially damaged real-world files
+ * still evaluate their intact sections) and evaluate it. A failed
+ * load comes back as loaded=false with the first report issue in
+ * loadError — never an exception. @p twinPath optionally names the
+ * unstripped twin.
+ */
+RealWorldReport evaluateFile(const std::string &path,
+                             const RealWorldOptions &options = {},
+                             const std::string &twinPath = {});
+
+/** Serialize a report through the versioned binary codec. */
+ByteVec encodeReport(const RealWorldReport &report);
+
+/** Decode an encodeReport buffer. @throws SerializeError. */
+RealWorldReport decodeReport(ByteSpan bytes);
+
+/** Seed-harvest knobs. */
+struct HarvestOptions
+{
+    /** Engine used for the standalone confirmation replay. */
+    EngineConfig engine;
+    /** Smallest window tried around a violation site. */
+    std::size_t minWindow = 256;
+    /** Largest window tried before giving up on confirmation. */
+    std::size_t maxWindow = 4096;
+    /** Cap on exported seeds per report (dedup comes first). */
+    std::size_t maxSeeds = 16;
+};
+
+/**
+ * Export confirmed violations as raw-mode fuzz reproducers: for each
+ * violation, carve the smallest window (minWindow, then 4x steps up
+ * to maxWindow) around the site whose standalone re-analysis still
+ * fires the same oracle. Violations that do not reproduce from any
+ * window are dropped — they were artifacts of wider context, not
+ * self-contained regressions.
+ */
+std::vector<fuzz::Reproducer> harvestSeeds(
+    const BinaryImage &image, const RealWorldReport &report,
+    const HarvestOptions &options = {});
+
+/**
+ * Replay a raw-mode spec (fuzz::RunSpec::raw()): analyze the window
+ * and return its self-consistency violations. @throws Error when the
+ * spec is not raw.
+ */
+std::vector<Violation> replaySeed(const fuzz::RunSpec &spec,
+                                  const EngineConfig &engine = {});
+
+} // namespace accdis::eval
+
+#endif // ACCDIS_EVAL_REALWORLD_HH

@@ -26,12 +26,26 @@ parseU64(const std::string &token, const std::string &context)
     }
 }
 
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
 } // namespace
 
 synth::CorpusConfig
 configForSpec(const RunSpec &spec)
 {
     synth::CorpusConfig config;
+    if (spec.raw())
+        throw Error("reproducer: raw specs have no corpus config");
     if (spec.preset == "gcc")
         config = synth::gccLikePreset(spec.corpusSeed);
     else if (spec.preset == "msvc")
@@ -48,6 +62,21 @@ configForSpec(const RunSpec &spec)
 Mutant
 buildMutant(const RunSpec &spec)
 {
+    if (spec.raw()) {
+        // Literal window: one executable section, no ground truth.
+        Mutant mutant;
+        mutant.image = BinaryImage("raw-seed");
+        mutant.image.setMode(spec.mode);
+        SectionFlags flags;
+        flags.executable = true;
+        mutant.image.addSection(Section(".text", spec.rawBase,
+                                        spec.rawBytes, flags));
+        for (Offset entry : spec.rawEntries) {
+            if (entry < spec.rawBytes.size())
+                mutant.image.addEntryPoint(spec.rawBase + entry);
+        }
+        return mutant;
+    }
     synth::SynthBinary seed = synth::buildSynthBinary(configForSpec(spec));
     return mutate(seed, spec.steps);
 }
@@ -59,6 +88,31 @@ serializeReproducer(const Reproducer &repro, const std::string &comment)
     out << "# accdis fuzz reproducer\n";
     if (!comment.empty())
         out << "# " << comment << "\n";
+    if (repro.spec.raw()) {
+        if (repro.spec.mode != x86::DecodeMode::X64)
+            out << "mode " << x86::decodeModeName(repro.spec.mode)
+                << "\n";
+        out << "base 0x" << std::hex << repro.spec.rawBase
+            << std::dec << "\n";
+        for (Offset entry : repro.spec.rawEntries)
+            out << "entry 0x" << std::hex << entry << std::dec
+                << "\n";
+        out << "bytes ";
+        static const char digits[] = "0123456789abcdef";
+        for (std::size_t i = 0; i < repro.spec.rawBytes.size(); ++i) {
+            // Space every 8 bytes keeps the line diffable.
+            if (i > 0 && i % 8 == 0)
+                out << ' ';
+            u8 b = repro.spec.rawBytes[i];
+            out << digits[b >> 4] << digits[b & 0xf];
+        }
+        out << "\n";
+        if (repro.expectsClean())
+            out << "expect clean\n";
+        else
+            out << "expect divergence " << repro.expect << "\n";
+        return out.str();
+    }
     out << "preset " << repro.spec.preset << "\n";
     // x64 is the format's default; omitting it keeps pre-mode
     // reproducers and new x64 ones byte-identical.
@@ -129,6 +183,38 @@ parseReproducer(const std::string &text)
                 throw Error("reproducer: unknown mutation '" + kindName +
                             "', " + where);
             repro.spec.steps.push_back({kind, parseU64(token, where)});
+        } else if (directive == "base") {
+            std::string token;
+            if (!(fields >> token))
+                throw Error("reproducer: base needs a value, " + where);
+            repro.spec.rawBase = parseU64(token, where);
+        } else if (directive == "entry") {
+            std::string token;
+            if (!(fields >> token))
+                throw Error("reproducer: entry needs a value, " +
+                            where);
+            repro.spec.rawEntries.push_back(parseU64(token, where));
+        } else if (directive == "bytes") {
+            std::string group;
+            int pending = -1;
+            while (fields >> group) {
+                for (char c : group) {
+                    int nibble = hexNibble(c);
+                    if (nibble < 0)
+                        throw Error("reproducer: bad hex '" + group +
+                                    "', " + where);
+                    if (pending < 0) {
+                        pending = nibble;
+                    } else {
+                        repro.spec.rawBytes.push_back(
+                            static_cast<u8>(pending << 4 | nibble));
+                        pending = -1;
+                    }
+                }
+            }
+            if (pending >= 0)
+                throw Error("reproducer: odd hex digit count, " +
+                            where);
         } else if (directive == "expect") {
             std::string what;
             if (!(fields >> what))
@@ -154,6 +240,12 @@ parseReproducer(const std::string &text)
         if (fields >> extra)
             throw Error("reproducer: trailing '" + extra + "', " +
                         where);
+    }
+    if (repro.spec.raw()) {
+        if (sawPreset)
+            throw Error("reproducer: 'preset' and 'bytes' are "
+                        "mutually exclusive");
+        return repro;
     }
     if (!sawPreset)
         throw Error("reproducer: missing 'preset' directive");

@@ -29,6 +29,23 @@
  * asserts the divergence is still exactly the recorded one, so a fix
  * (or a behavior shift) flips the test and forces the corpus entry to
  * be updated.
+ *
+ * A second, *raw* flavor of the format carries a literal byte window
+ * instead of a synth recipe — this is how the real-binary evaluation
+ * (src/eval/realworld) feeds confirmed self-consistency violations
+ * back into the corpus as permanent regressions:
+ *
+ *     mode x86
+ *     base 0x401000
+ *     entry 0
+ *     bytes 5548 89e5 c3
+ *     expect divergence rw-cf-into-data
+ *
+ * Raw reproducers are self-contained (the bytes travel in the file,
+ * so they replay on any machine, unlike the /usr/bin binary they
+ * were harvested from) but carry no ground truth: only the
+ * truth-free self-consistency oracles apply, and the synth-replay
+ * harnesses (fuzz campaigns, known-gap registries) skip them.
  */
 
 #ifndef ACCDIS_FUZZ_REPRODUCER_HH
@@ -57,13 +74,31 @@ struct RunSpec
     /** Mutation chain applied to the generated binary, in order. */
     std::vector<MutationStep> steps;
 
+    /**
+     * Raw flavor: when non-empty the spec is a literal code window
+     * harvested from a real binary, not a synth recipe —
+     * preset/seed/functions/steps are unused, and the mutant built
+     * from it carries an empty ground truth (only truth-free oracles
+     * apply).
+     */
+    ByteVec rawBytes;
+    /** Virtual base address of the raw window. */
+    Addr rawBase = 0;
+    /** Window-relative known entry offsets (often empty: stripped). */
+    std::vector<Offset> rawEntries;
+
+    /** True for the raw (literal-bytes) flavor. */
+    bool raw() const { return !rawBytes.empty(); }
+
     bool
     operator==(const RunSpec &other) const
     {
         return preset == other.preset && mode == other.mode &&
                corpusSeed == other.corpusSeed &&
                numFunctions == other.numFunctions &&
-               steps == other.steps;
+               steps == other.steps && rawBytes == other.rawBytes &&
+               rawBase == other.rawBase &&
+               rawEntries == other.rawEntries;
     }
 };
 

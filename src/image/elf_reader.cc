@@ -1,5 +1,6 @@
 #include "image/elf_reader.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -24,6 +25,8 @@ constexpr u8 kDataLsb = 1;
 constexpr u16 kMachine386 = 3;
 constexpr u16 kMachineX8664 = 62;
 constexpr u32 kShtProgbits = 1;
+constexpr u32 kShtSymtab = 2;
+constexpr u32 kShtDynsym = 11;
 constexpr u64 kShfAlloc = 0x2;
 constexpr u64 kShfExecinstr = 0x4;
 constexpr u64 kShfWrite = 0x1;
@@ -428,6 +431,83 @@ readElf(ByteSpan bytes, const std::string &name)
         throw Error("ELF: " + detail);
     }
     return std::move(*result.image);
+}
+
+std::vector<ElfSymbol>
+readElfFunctionSymbols(ByteSpan bytes)
+{
+    std::vector<ElfSymbol> out;
+    ByteReader reader(bytes);
+    LoadReport scratch;
+    ElfHeader hdr;
+    if (!parseHeader(reader, scratch, hdr))
+        return out;
+    if (hdr.shoff == 0 || hdr.shnum == 0 ||
+        hdr.shentsize < hdr.shentMin() ||
+        !reader.tableFits(hdr.shoff, hdr.shnum, hdr.shentsize))
+        return out;
+
+    // Symbol entry layouts: ELF64 moved st_value/st_size behind the
+    // info/shndx bytes, ELF32 keeps the original ordering.
+    const u64 symSize = hdr.is64 ? 24 : 16;
+    auto sectionField = [&](u16 index, u64 off64, u64 off32,
+                            bool wide) -> u64 {
+        u64 sh = hdr.shoff + static_cast<u64>(index) * hdr.shentsize;
+        if (hdr.is64)
+            return wide ? *reader.u64At(sh + off64)
+                        : u64{*reader.u32At(sh + off64)};
+        return u64{*reader.u32At(sh + off32)};
+    };
+
+    for (u16 i = 0; i < hdr.shnum; ++i) {
+        u64 sh = hdr.shoff + static_cast<u64>(i) * hdr.shentsize;
+        u32 type = *reader.u32At(sh + 4);
+        if (type != kShtSymtab && type != kShtDynsym)
+            continue;
+        u64 off = sectionField(i, 24, 16, true);
+        u64 size = sectionField(i, 32, 20, true);
+        u32 link = static_cast<u32>(sectionField(i, 40, 24, false));
+        std::optional<ByteSpan> table = reader.slice(off, size);
+        if (!table)
+            continue;
+        // The linked string table costs only the names when absent.
+        ByteSpan strtab;
+        if (link < hdr.shnum) {
+            u64 strOff = sectionField(static_cast<u16>(link), 24, 16,
+                                      true);
+            u64 strSize = sectionField(static_cast<u16>(link), 32, 20,
+                                       true);
+            if (auto slice = reader.slice(strOff, strSize))
+                strtab = *slice;
+        }
+        ByteReader syms(*table);
+        for (u64 entry = 0; entry + symSize <= table->size();
+             entry += symSize) {
+            u8 info = hdr.is64 ? *syms.u8At(entry + 4)
+                               : *syms.u8At(entry + 12);
+            u16 shndx = hdr.is64 ? *syms.u16At(entry + 6)
+                                 : *syms.u16At(entry + 14);
+            if ((info & 0xf) != 2 || shndx == 0) // STT_FUNC, defined
+                continue;
+            ElfSymbol sym;
+            sym.value = hdr.is64 ? *syms.u64At(entry + 8)
+                                 : Addr{*syms.u32At(entry + 4)};
+            sym.size = hdr.is64 ? *syms.u64At(entry + 16)
+                                : u64{*syms.u32At(entry + 8)};
+            sym.name = sectionName(strtab, *syms.u32At(entry));
+            out.push_back(std::move(sym));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ElfSymbol &a, const ElfSymbol &b) {
+                  return a.value < b.value;
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const ElfSymbol &a, const ElfSymbol &b) {
+                              return a.value == b.value;
+                          }),
+              out.end());
+    return out;
 }
 
 BinaryImage

@@ -10,6 +10,7 @@
 #define ACCDIS_IMAGE_ELF_READER_HH
 
 #include <string>
+#include <vector>
 
 #include "image/binary_image.hh"
 #include "image/loader.hh"
@@ -50,6 +51,27 @@ BinaryImage readElf(ByteSpan bytes, const std::string &name);
 
 /** Read an ELF file from disk. @throws Error on I/O or parse failure. */
 BinaryImage readElfFile(const std::string &path);
+
+/**
+ * One function symbol from an ELF symbol table — the ground truth an
+ * unstripped twin contributes to the real-binary evaluation.
+ */
+struct ElfSymbol
+{
+    std::string name;
+    /** Virtual address of the function's first byte. */
+    Addr value = 0;
+    /** Declared size in bytes (0 when the producer omitted it). */
+    u64 size = 0;
+};
+
+/**
+ * Harvest every defined STT_FUNC symbol from @p bytes' .symtab and
+ * .dynsym sections, deduplicated by address and sorted by it. Never
+ * throws: malformed or truncated tables simply contribute nothing,
+ * so a stripped binary (or garbage) yields an empty vector.
+ */
+std::vector<ElfSymbol> readElfFunctionSymbols(ByteSpan bytes);
 
 } // namespace accdis
 

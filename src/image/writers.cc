@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "support/bytes.hh"
 #include "support/error.hh"
@@ -18,10 +19,13 @@ alignUp(u64 value, u64 align)
     return (value + align - 1) / align * align;
 }
 
-} // namespace
-
+/**
+ * Shared ELF emission: the symbol-free flavor when @p symbols is
+ * null, a .symtab/.strtab-carrying twin otherwise.
+ */
 ByteVec
-writeElf(const BinaryImage &image)
+writeElfImpl(const BinaryImage &image,
+             const std::vector<ElfSymbol> *symbols)
 {
     const auto &sections = image.sections();
     if (sections.empty())
@@ -32,8 +36,24 @@ writeElf(const BinaryImage &image)
     const bool is64 = image.mode() == x86::DecodeMode::X64;
     const u64 ehdrSize = is64 ? 64 : 52;
     const u64 shentSize = is64 ? 64 : 40;
+    const u64 symentSize = is64 ? 24 : 16;
 
-    // Layout: [ehdr][payloads...][shstrtab][shdrs].
+    // Only symbols that land inside a section can be emitted:
+    // st_shndx must name a real section header.
+    std::vector<std::pair<const ElfSymbol *, u16>> kept;
+    if (symbols) {
+        for (const ElfSymbol &sym : *symbols) {
+            for (std::size_t i = 0; i < sections.size(); ++i) {
+                if (sections[i].containsVaddr(sym.value)) {
+                    kept.emplace_back(&sym, static_cast<u16>(i + 1));
+                    break;
+                }
+            }
+        }
+    }
+    const bool withSymtab = symbols != nullptr;
+
+    // Layout: [ehdr][payloads...][.strtab][.symtab][shstrtab][shdrs].
     ByteVec out(ehdrSize, 0);
 
     // Payloads (16-byte aligned for readability).
@@ -45,7 +65,47 @@ writeElf(const BinaryImage &image)
         out.insert(out.end(), bytes.begin(), bytes.end());
     }
 
-    // Section-name string table: "\0" + names + ".shstrtab".
+    // Symbol-name string table and the symbol entries themselves.
+    u64 symstrOff = 0, symstrSize = 0, symtabOff = 0, symtabSize = 0;
+    if (withSymtab) {
+        ByteVec symstr;
+        symstr.push_back(0);
+        std::vector<u32> symName(kept.size());
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            symName[i] = static_cast<u32>(symstr.size());
+            for (char c : kept[i].first->name)
+                symstr.push_back(static_cast<u8>(c));
+            symstr.push_back(0);
+        }
+        symstrOff = out.size();
+        symstrSize = symstr.size();
+        out.insert(out.end(), symstr.begin(), symstr.end());
+
+        out.resize(alignUp(out.size(), 8), 0);
+        symtabOff = out.size();
+        symtabSize = (kept.size() + 1) * symentSize; // + null entry
+        out.resize(out.size() + symtabSize, 0);
+        for (std::size_t i = 0; i < kept.size(); ++i) {
+            u64 sym = symtabOff + (i + 1) * symentSize;
+            const ElfSymbol &src = *kept[i].first;
+            writeLe32(out, sym + 0, symName[i]);
+            if (is64) {
+                out[sym + 4] = 0x12; // STB_GLOBAL | STT_FUNC
+                writeLe16(out, sym + 6, kept[i].second);
+                writeLe64(out, sym + 8, src.value);
+                writeLe64(out, sym + 16, src.size);
+            } else {
+                writeLe32(out, sym + 4,
+                          static_cast<u32>(src.value));
+                writeLe32(out, sym + 8, static_cast<u32>(src.size));
+                out[sym + 12] = 0x12; // STB_GLOBAL | STT_FUNC
+                writeLe16(out, sym + 14, kept[i].second);
+            }
+        }
+    }
+
+    // Section-name string table: "\0" + names (+ symtab names) +
+    // ".shstrtab".
     u64 strtabOff = out.size();
     ByteVec strtab;
     strtab.push_back(0);
@@ -56,16 +116,30 @@ writeElf(const BinaryImage &image)
             strtab.push_back(static_cast<u8>(c));
         strtab.push_back(0);
     }
+    u32 symtabName = 0, symstrName = 0;
+    if (withSymtab) {
+        symtabName = static_cast<u32>(strtab.size());
+        for (char c : std::string(".symtab"))
+            strtab.push_back(static_cast<u8>(c));
+        strtab.push_back(0);
+        symstrName = static_cast<u32>(strtab.size());
+        for (char c : std::string(".strtab"))
+            strtab.push_back(static_cast<u8>(c));
+        strtab.push_back(0);
+    }
     u32 shstrtabName = static_cast<u32>(strtab.size());
     for (char c : std::string(".shstrtab"))
         strtab.push_back(static_cast<u8>(c));
     strtab.push_back(0);
     out.insert(out.end(), strtab.begin(), strtab.end());
 
-    // Section headers: null + sections + shstrtab.
+    // Section headers: null + sections [+ symtab + strtab] + shstrtab.
     out.resize(alignUp(out.size(), 8), 0);
     u64 shoff = out.size();
-    u16 shnum = static_cast<u16>(sections.size() + 2);
+    const u16 symtabNdx = static_cast<u16>(sections.size() + 1);
+    const u16 symstrNdx = static_cast<u16>(sections.size() + 2);
+    u16 shnum =
+        static_cast<u16>(sections.size() + 2 + (withSymtab ? 2 : 0));
     out.resize(out.size() + static_cast<u64>(shnum) * shentSize, 0);
 
     auto shdr = [&](u16 index) { return shoff + index * shentSize; };
@@ -93,8 +167,38 @@ writeElf(const BinaryImage &image)
             writeLe32(out, sh + 32, 16); // alignment
         }
     }
+    if (withSymtab) {
+        u64 sh = shdr(symtabNdx);
+        writeLe32(out, sh + 0, symtabName);
+        writeLe32(out, sh + 4, 2); // SHT_SYMTAB
+        if (is64) {
+            writeLe64(out, sh + 24, symtabOff);
+            writeLe64(out, sh + 32, symtabSize);
+            writeLe32(out, sh + 40, symstrNdx); // sh_link -> .strtab
+            writeLe32(out, sh + 44, 1);         // first global
+            writeLe64(out, sh + 48, 8);
+            writeLe64(out, sh + 56, symentSize);
+        } else {
+            writeLe32(out, sh + 16, static_cast<u32>(symtabOff));
+            writeLe32(out, sh + 20, static_cast<u32>(symtabSize));
+            writeLe32(out, sh + 24, symstrNdx);
+            writeLe32(out, sh + 28, 1);
+            writeLe32(out, sh + 32, 4);
+            writeLe32(out, sh + 36, static_cast<u32>(symentSize));
+        }
+        sh = shdr(symstrNdx);
+        writeLe32(out, sh + 0, symstrName);
+        writeLe32(out, sh + 4, 3); // SHT_STRTAB
+        if (is64) {
+            writeLe64(out, sh + 24, symstrOff);
+            writeLe64(out, sh + 32, symstrSize);
+        } else {
+            writeLe32(out, sh + 16, static_cast<u32>(symstrOff));
+            writeLe32(out, sh + 20, static_cast<u32>(symstrSize));
+        }
+    }
     {
-        u64 sh = shdr(static_cast<u16>(sections.size() + 1));
+        u64 sh = shdr(static_cast<u16>(shnum - 1));
         writeLe32(out, sh + 0, shstrtabName);
         writeLe32(out, sh + 4, 3); // SHT_STRTAB
         if (is64) {
@@ -120,7 +224,7 @@ writeElf(const BinaryImage &image)
     writeLe32(out, 20, 1); // e_version
     Addr entry = image.entryPoints().empty() ? 0
                                              : image.entryPoints()[0];
-    u16 shstrndx = static_cast<u16>(sections.size() + 1);
+    u16 shstrndx = static_cast<u16>(shnum - 1);
     if (is64) {
         writeLe64(out, 24, entry);
         writeLe64(out, 40, shoff);
@@ -137,6 +241,21 @@ writeElf(const BinaryImage &image)
         writeLe16(out, 50, shstrndx);
     }
     return out;
+}
+
+} // namespace
+
+ByteVec
+writeElf(const BinaryImage &image)
+{
+    return writeElfImpl(image, nullptr);
+}
+
+ByteVec
+writeElf(const BinaryImage &image,
+         const std::vector<ElfSymbol> &symbols)
+{
+    return writeElfImpl(image, &symbols);
 }
 
 ByteVec

@@ -11,8 +11,10 @@
 #define ACCDIS_IMAGE_WRITERS_HH
 
 #include <string>
+#include <vector>
 
 #include "image/binary_image.hh"
+#include "image/elf_reader.hh"
 #include "support/types.hh"
 
 namespace accdis
@@ -21,6 +23,16 @@ namespace accdis
 /** Serialize @p image as a minimal ELF executable image (ELF64 for
  *  x86-64 images, ELF32 for x86-32 — by BinaryImage::mode()). */
 ByteVec writeElf(const BinaryImage &image);
+
+/**
+ * writeElf with a .symtab/.strtab pair carrying @p symbols as global
+ * STT_FUNC entries — the "unstripped twin" of the plain writeElf
+ * output. Symbols whose value falls outside every section are
+ * dropped (st_shndx must name a real section). Round-trips through
+ * readElfFunctionSymbols.
+ */
+ByteVec writeElf(const BinaryImage &image,
+                 const std::vector<ElfSymbol> &symbols);
 
 /** Serialize @p image as a minimal PE image (PE32+ for x86-64
  *  images, PE32 for x86-32 — by BinaryImage::mode()). */

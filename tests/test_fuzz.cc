@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "eval/realworld.hh"
 #include "fuzz/mutator.hh"
 #include "fuzz/oracle.hh"
 #include "fuzz/reproducer.hh"
@@ -302,6 +303,24 @@ TEST(FuzzCorpus, ReplayCheckedInReproducers)
         SCOPED_TRACE(entry.path().filename().string());
         fuzz::Reproducer repro =
             fuzz::loadReproducerFile(entry.path().string());
+        if (repro.spec.raw()) {
+            // Raw windows carry no ground truth; only the realworld
+            // self-consistency oracles apply to them.
+            std::vector<eval::Violation> violations =
+                eval::replaySeed(repro.spec);
+            if (repro.expectsClean()) {
+                for (const eval::Violation &v : violations)
+                    ADD_FAILURE() << v.oracle << " — " << v.detail;
+            } else {
+                bool expectedFired = false;
+                for (const eval::Violation &v : violations)
+                    expectedFired |= v.oracle == repro.expect;
+                EXPECT_TRUE(expectedFired)
+                    << "raw seed no longer reproduces " << repro.expect;
+            }
+            ++replayed;
+            continue;
+        }
         fuzz::OracleReport report =
             fuzz::runOracles(fuzz::buildMutant(repro.spec), options);
         if (repro.expectsClean()) {

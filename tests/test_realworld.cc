@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Tests for the metadata-free real-binary evaluation
+ * (src/eval/realworld): self-consistency oracles on hand-built
+ * conflict fixtures, divergence-taxonomy stability, unstripped-twin
+ * round trips through the ELF writer/reader pair, the report codec,
+ * the raw reproducer flavor, and the zero-violation calibration
+ * across the determinism corpus in both decode modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/context.hh"
+#include "eval/realworld.hh"
+#include "fuzz/reproducer.hh"
+#include "image/elf_reader.hh"
+#include "image/writers.hh"
+#include "synth/corpus.hh"
+
+namespace
+{
+
+using namespace accdis;
+
+/** A one-section image over literal @p bytes at @p base. */
+BinaryImage
+rawImage(ByteVec bytes, Addr base = 0x1000,
+         x86::DecodeMode mode = x86::DecodeMode::X64)
+{
+    BinaryImage image("fixture");
+    image.setMode(mode);
+    SectionFlags flags;
+    flags.executable = true;
+    image.addSection(Section(".text", base, std::move(bytes), flags));
+    return image;
+}
+
+/** A classification claiming @p starts at the given commit
+ *  priority, with [codeEnd, size) classified data. */
+Classification
+fixtureResult(std::vector<Offset> starts, Offset codeEnd, Offset size,
+              Priority priority = Priority::Anchor)
+{
+    Classification result;
+    if (codeEnd > 0)
+        result.map.assign(0, codeEnd, ResultClass::Code);
+    if (size > codeEnd)
+        result.map.assign(codeEnd, size, ResultClass::Data);
+    result.insnStarts = std::move(starts);
+    result.provenance.assign(0, size, static_cast<u8>(priority));
+    return result;
+}
+
+TEST(RealWorldOracles, DirectCallIntoDataFires)
+{
+    // call +3 (lands at 8) | 3x nop | int3 padding classified data.
+    ByteVec bytes = {0xe8, 0x03, 0x00, 0x00, 0x00, 0x90, 0x90,
+                     0x90, 0xcc, 0xcc, 0xcc, 0xcc};
+    Superset superset(bytes);
+    Classification result =
+        fixtureResult({0, 5, 6, 7}, 8, bytes.size());
+
+    std::vector<eval::Violation> violations =
+        eval::checkSelfConsistency(superset, result, 0x1000, {},
+                                   ".text");
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].oracle, eval::kOracleCfIntoData);
+    EXPECT_EQ(violations[0].section, ".text");
+    EXPECT_EQ(violations[0].site, 0u);
+    EXPECT_EQ(violations[0].target, 8u);
+}
+
+TEST(RealWorldOracles, JumpMidInstructionFires)
+{
+    // jmp +1 lands inside the xor at offset 2.
+    ByteVec bytes = {0xeb, 0x01, 0x31, 0xc0, 0x90, 0x90};
+    Superset superset(bytes);
+    Classification result =
+        fixtureResult({0, 2, 4, 5}, bytes.size(), bytes.size());
+
+    std::vector<eval::Violation> violations =
+        eval::checkSelfConsistency(superset, result, 0, {}, ".text");
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].oracle, eval::kOracleCfMidInsn);
+    EXPECT_EQ(violations[0].site, 0u);
+    EXPECT_EQ(violations[0].target, 3u);
+}
+
+TEST(RealWorldOracles, OverlappingCommittedStartsFire)
+{
+    // 48 31 c0 decodes 3 bytes at 0; committing 1 as well overlaps.
+    ByteVec bytes = {0x48, 0x31, 0xc0, 0x90};
+    Superset superset(bytes);
+    Classification result =
+        fixtureResult({0, 1, 3}, bytes.size(), bytes.size());
+
+    std::vector<eval::Violation> violations =
+        eval::checkSelfConsistency(superset, result, 0, {}, ".text");
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].oracle, eval::kOracleOverlap);
+    EXPECT_EQ(violations[0].site, 0u);
+    EXPECT_EQ(violations[0].target, 1u);
+}
+
+TEST(RealWorldOracles, ResidualCommitsAreExempt)
+{
+    // The cf-into-data fixture again, but committed at the weakest
+    // (gap refinement) priority: the calibration gate mutes it.
+    ByteVec bytes = {0xe8, 0x03, 0x00, 0x00, 0x00, 0x90, 0x90,
+                     0x90, 0xcc, 0xcc, 0xcc, 0xcc};
+    Superset superset(bytes);
+    Classification result = fixtureResult({0, 5, 6, 7}, 8, bytes.size(),
+                                          Priority::Residual);
+
+    EXPECT_TRUE(eval::checkSelfConsistency(superset, result, 0, {},
+                                           ".text")
+                    .empty());
+}
+
+TEST(RealWorldOracles, ConsistentSectionIsClean)
+{
+    // call +3 lands on the committed nop at 8: no violation.
+    ByteVec bytes = {0xe8, 0x03, 0x00, 0x00, 0x00, 0x90, 0x90,
+                     0x90, 0x90, 0xc3};
+    Superset superset(bytes);
+    Classification result =
+        fixtureResult({0, 5, 6, 7, 8, 9}, bytes.size(), bytes.size());
+
+    EXPECT_TRUE(eval::checkSelfConsistency(superset, result, 0, {},
+                                           ".text")
+                    .empty());
+}
+
+TEST(RealWorldEval, TaxonomyIsStableAndExhaustive)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(7);
+    config.numFunctions = 10;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+
+    eval::RealWorldReport first = eval::evaluateImage(bin.image);
+    eval::RealWorldReport second = eval::evaluateImage(bin.image);
+    EXPECT_EQ(first, second);
+
+    ASSERT_FALSE(first.sections.empty());
+    for (const eval::SectionReport &sec : first.sections) {
+        // Every byte lands in exactly one divergence bucket.
+        EXPECT_EQ(sec.divergence.total(), sec.bytes);
+    }
+}
+
+TEST(RealWorldEval, SectionSizeCapIsRecorded)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(3);
+    config.numFunctions = 10;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+
+    eval::RealWorldOptions options;
+    options.maxSectionBytes = 16; // Smaller than any real section.
+    eval::RealWorldReport report =
+        eval::evaluateImage(bin.image, options);
+    EXPECT_TRUE(report.sections.empty());
+    EXPECT_FALSE(report.skippedSections.empty());
+}
+
+TEST(RealWorldEval, FailedLoadReportsNotThrows)
+{
+    eval::RealWorldReport report =
+        eval::evaluateFile("/nonexistent/definitely-missing");
+    EXPECT_FALSE(report.loaded);
+    EXPECT_FALSE(report.loadError.empty());
+    EXPECT_EQ(report.violationCount(), 0u);
+}
+
+/** Ground-truth function starts of @p bin as ELF symbols. */
+std::vector<ElfSymbol>
+truthSymbols(const synth::SynthBinary &bin)
+{
+    const Section &text = bin.image.sections().front();
+    std::vector<ElfSymbol> symbols;
+    std::vector<Offset> starts = bin.truth.functionStarts();
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        ElfSymbol sym;
+        sym.name = "f" + std::to_string(i);
+        sym.value = text.vaddr(starts[i]);
+        sym.size =
+            (i + 1 < starts.size() ? starts[i + 1] : text.size()) -
+            starts[i];
+        symbols.push_back(std::move(sym));
+    }
+    return symbols;
+}
+
+TEST(RealWorldTwin, SymbolWriterReaderRoundTrip)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(11);
+    config.numFunctions = 10;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    std::vector<ElfSymbol> symbols = truthSymbols(bin);
+
+    ByteVec twin = writeElf(bin.image, symbols);
+    std::vector<ElfSymbol> readBack = readElfFunctionSymbols(twin);
+    ASSERT_EQ(readBack.size(), symbols.size());
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+        EXPECT_EQ(readBack[i].name, symbols[i].name);
+        EXPECT_EQ(readBack[i].value, symbols[i].value);
+        EXPECT_EQ(readBack[i].size, symbols[i].size);
+    }
+
+    // The symbol-free writer stays symbol-free.
+    EXPECT_TRUE(readElfFunctionSymbols(writeElf(bin.image)).empty());
+    // Garbage never throws.
+    ByteVec garbage = {0x7f, 0x45, 0x4c, 0x46, 0xff, 0xff};
+    EXPECT_TRUE(readElfFunctionSymbols(garbage).empty());
+}
+
+TEST(RealWorldTwin, UnstrippedTwinScoresFunctionStarts)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(11);
+    config.numFunctions = 10;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    ByteVec twin = writeElf(bin.image, truthSymbols(bin));
+
+    eval::RealWorldOptions options;
+    options.triageBaselines = false;
+    eval::RealWorldReport report =
+        eval::evaluateImage(bin.image, options, twin);
+
+    ASSERT_TRUE(report.twin.available);
+    EXPECT_EQ(report.twin.symbolCount,
+              bin.truth.functionStarts().size());
+    // The score partitions cleanly: every symbol is hit or missed,
+    // every recovered entry is right or wrong.
+    EXPECT_EQ(report.twin.starts.truePositives +
+                  report.twin.starts.falseNegatives,
+              report.twin.symbolCount);
+    EXPECT_EQ(report.twin.starts.truePositives +
+                  report.twin.starts.falsePositives,
+              report.twin.recoveredCount);
+    // A synthetic gcc-like binary recovers most starts.
+    EXPECT_GT(report.twin.starts.recall(), 0.5);
+}
+
+TEST(RealWorldTwin, StrippedTwinIsUnavailable)
+{
+    synth::CorpusConfig config = synth::gccLikePreset(11);
+    config.numFunctions = 10;
+    synth::SynthBinary bin = synth::buildSynthBinary(config);
+    ByteVec stripped = writeElf(bin.image);
+
+    eval::RealWorldOptions options;
+    options.triageBaselines = false;
+    eval::RealWorldReport report =
+        eval::evaluateImage(bin.image, options, stripped);
+    EXPECT_FALSE(report.twin.available);
+    EXPECT_EQ(report.twin.symbolCount, 0u);
+}
+
+TEST(RealWorldCodec, ReportRoundTrip)
+{
+    eval::RealWorldReport report;
+    report.name = "/usr/bin/example";
+    report.loaded = true;
+    report.mode = x86::DecodeMode::X86;
+    eval::SectionReport sec;
+    sec.name = ".text";
+    sec.base = 0x401000;
+    sec.bytes = 4096;
+    sec.codeBytes = 3000;
+    sec.insnStarts = 900;
+    eval::Violation v;
+    v.oracle = eval::kOracleCfIntoData;
+    v.section = ".text";
+    v.site = 0x10;
+    v.target = 0x20;
+    v.detail = "direct flow 0x10 -> 0x20 lands in data";
+    sec.violations.push_back(v);
+    sec.divergence = {3800, 100, 150, 46};
+    report.sections.push_back(sec);
+    report.skippedSections.push_back(".text.huge");
+    report.twin.available = true;
+    report.twin.symbolCount = 12;
+    report.twin.recoveredCount = 11;
+    report.twin.starts.truePositives = 10;
+    report.twin.starts.falsePositives = 1;
+    report.twin.starts.falseNegatives = 2;
+
+    ByteVec encoded = eval::encodeReport(report);
+    eval::RealWorldReport decoded = eval::decodeReport(encoded);
+    EXPECT_EQ(report, decoded);
+    EXPECT_EQ(decoded.violationCount(), 1u);
+    EXPECT_EQ(decoded.violationCountFor(eval::kOracleCfIntoData), 1u);
+    EXPECT_EQ(decoded.violationCountFor(eval::kOracleOverlap), 0u);
+
+    // Truncation and trailing garbage are errors, not crashes.
+    ByteVec truncated(encoded.begin(), encoded.begin() + 5);
+    EXPECT_THROW(eval::decodeReport(truncated), SerializeError);
+    ByteVec padded = encoded;
+    padded.push_back(0);
+    EXPECT_THROW(eval::decodeReport(padded), SerializeError);
+}
+
+TEST(RealWorldSeeds, RawReproducerRoundTrip)
+{
+    fuzz::Reproducer repro;
+    repro.spec.mode = x86::DecodeMode::X86;
+    repro.spec.rawBase = 0x401000;
+    repro.spec.rawBytes = {0x55, 0x48, 0x89, 0xe5, 0xeb, 0x01,
+                           0x31, 0xc0, 0x90, 0xc3};
+    repro.spec.rawEntries = {0};
+    repro.expect = eval::kOracleCfMidInsn;
+
+    std::string text = fuzz::serializeReproducer(repro, "round trip");
+    fuzz::Reproducer parsed = fuzz::parseReproducer(text);
+    EXPECT_TRUE(parsed.spec.raw());
+    EXPECT_EQ(parsed.spec, repro.spec);
+    EXPECT_EQ(parsed.expect, repro.expect);
+
+    // preset and bytes are mutually exclusive flavors.
+    EXPECT_THROW(
+        fuzz::parseReproducer("preset gcc\nbytes 90\nexpect clean\n"),
+        Error);
+    // Odd hex digit counts are malformed, not silently truncated.
+    EXPECT_THROW(fuzz::parseReproducer("bytes 909\nexpect clean\n"),
+                 Error);
+}
+
+TEST(RealWorldSeeds, ReplaySeedRunsRawSpec)
+{
+    fuzz::RunSpec spec;
+    spec.rawBase = 0x1000;
+    // A tiny self-consistent function: push rbp; mov rbp,rsp; ret.
+    spec.rawBytes = {0x55, 0x48, 0x89, 0xe5, 0xc3};
+    spec.rawEntries = {0};
+    // Must run without throwing; a clean window stays clean.
+    EXPECT_TRUE(eval::replaySeed(spec).empty());
+
+    fuzz::RunSpec synthSpec;
+    EXPECT_THROW(eval::replaySeed(synthSpec), Error);
+}
+
+TEST(RealWorldCalibration, DeterminismCorpusIsViolationFree)
+{
+    // Satellite requirement: the truth-free oracles stay silent on
+    // the 20-binary determinism corpus in both decode modes — any
+    // firing there would poison every downstream real-binary count.
+    synth::CorpusConfig (*presets[])(u64) = {
+        synth::gccLikePreset,
+        synth::msvcLikePreset,
+        synth::adversarialPreset,
+    };
+    eval::RealWorldOptions options;
+    options.triageBaselines = false;
+    for (x86::DecodeMode mode :
+         {x86::DecodeMode::X64, x86::DecodeMode::X86}) {
+        for (u64 seed = 1; seed <= 20; ++seed) {
+            synth::CorpusConfig config = presets[seed % 3](seed);
+            config.numFunctions = 10;
+            config.mode = mode;
+            synth::SynthBinary bin = synth::buildSynthBinary(config);
+            eval::RealWorldReport report =
+                eval::evaluateImage(bin.image, options);
+            EXPECT_EQ(report.violationCount(), 0u)
+                << bin.image.name() << " seed " << seed << " mode "
+                << x86::decodeModeName(mode);
+        }
+    }
+}
+
+TEST(MetricsEdges, EmptyInputsAreSafe)
+{
+    // Regression guards for the div-by-zero audit: empty and
+    // all-negative inputs yield defined values, never NaN or traps.
+    AccuracyMetrics empty;
+    EXPECT_EQ(empty.precision(), 1.0);
+    EXPECT_EQ(empty.recall(), 1.0);
+    EXPECT_EQ(empty.byteAccuracy(), 1.0);
+    EXPECT_EQ(empty.f1(), 1.0);
+    EXPECT_EQ(empty.errors(), 0u);
+
+    AccuracyMetrics perfect;
+    perfect.truePositives = 10;
+    EXPECT_GE(errorReductionFactor(perfect, empty), 0.0);
+    EXPECT_GE(errorReductionFactor(empty, perfect), 0.0);
+
+    // An empty section classifies to an empty, violation-free report.
+    BinaryImage image = rawImage(ByteVec{});
+    eval::RealWorldReport report = eval::evaluateImage(image);
+    EXPECT_TRUE(report.loaded);
+    EXPECT_EQ(report.violationCount(), 0u);
+}
+
+} // namespace
